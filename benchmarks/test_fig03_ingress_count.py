@@ -1,0 +1,54 @@
+"""Fig. 3: BGP next-hop multiplicity vs. actual ingress points per /24.
+
+Paper: only ~20 % of prefixes have a single BGP next-hop router and
+~60 % have more than five — yet in the flow data, ~80 % of /24 prefixes
+use exactly one ingress point.  The gap is the core motivation for
+traffic-based (not BGP-based) ingress detection.
+"""
+
+from repro.analysis.ranges import bgp_next_hop_counts, simultaneous_ingress_counts
+from repro.reporting.tables import render_table
+
+from conftest import write_result
+
+
+def test_fig03_ingress_count(benchmark, headline):
+    scenario = headline["scenario"]
+    flows = [f for f in headline["flows"] if f.timestamp < 18 * 3600.0]
+
+    counts = benchmark.pedantic(
+        simultaneous_ingress_counts, args=(flows,), rounds=1, iterations=1
+    )
+    actual_counts = list(counts.values())
+    bgp_counts = bgp_next_hop_counts(scenario.bgp_table())
+
+    def share(counts, predicate):
+        return sum(1 for c in counts if predicate(c)) / len(counts)
+
+    actual_single = share(actual_counts, lambda c: c == 1)
+    bgp_single = share(bgp_counts, lambda c: c == 1)
+    bgp_many = share(bgp_counts, lambda c: c > 5)
+
+    write_result(
+        "fig03_ingress_count",
+        render_table(
+            ["view", "=1 next-hop/ingress", ">5", "n"],
+            [
+                ["BGP table", f"{bgp_single:.2f}", f"{bgp_many:.2f}",
+                 len(bgp_counts)],
+                ["flow data (/24)", f"{actual_single:.2f}",
+                 f"{share(actual_counts, lambda c: c > 5):.2f}",
+                 len(actual_counts)],
+            ],
+            title="Fig. 3: possible (BGP) vs actual (traffic) ingress points",
+        )
+        + "\npaper: BGP ~0.20 single / ~0.60 >5; traffic ~0.80 single",
+    )
+
+    # shape: BGP offers many options, traffic uses (mostly) one
+    assert bgp_single < 0.45
+    assert bgp_many > 0.25
+    assert actual_single > 0.5
+    assert actual_single > bgp_single + 0.2
+    # traffic almost never uses more than five routers simultaneously
+    assert share(actual_counts, lambda c: c > 5) < 0.1

@@ -1,0 +1,78 @@
+"""Fig. 8: TOP5 misclassifications over time.
+
+Paper: AS1's misses spike at the maintenance windows (~11 AM / ~11 PM),
+while the CDN ASes (AS3, AS4) show a diurnal miss pattern tracking
+their traffic.  The first two hours (trie warm-up from a cold start)
+are excluded, as the paper's deployment never starts cold.
+"""
+
+from repro.reporting.tables import render_series
+from repro.topology.network import MissKind
+
+from conftest import write_result
+
+WARMUP = 2 * 3600.0
+
+
+def test_fig08_miss_timeseries(benchmark, events_run):
+    scenario = events_run["scenario"]
+    report = events_run["report"]
+    top5 = scenario.plan.top_asns(5)
+
+    series = benchmark.pedantic(
+        report.miss_timeseries, kwargs={"bin_seconds": 3600.0},
+        rounds=1, iterations=1,
+    )
+
+    lines = []
+    for rank, asn in enumerate(top5, start=1):
+        by_hour = series.get(asn, {})
+        points = [
+            (f"{int(start // 3600) % 24:02d}h", by_hour.get(start, 0))
+            for start in sorted(by_hour)
+            if start >= WARMUP
+        ]
+        lines.append(render_series(f"AS{rank} misses", points))
+    write_result(
+        "fig08_miss_timeseries",
+        "Fig. 8: misses over time (hours 0-1 = cold-start warm-up, excluded)\n"
+        + "\n".join(lines),
+    )
+
+    # maintenance at 11:00 and 23:00: the maintenance AS's *interface*
+    # misses concentrate in those windows
+    maintenance_asn = scenario.notes["maintenance_asn"]
+    maint_hours = set()
+    maint_total = 0
+    by_hour = {}
+    for miss in report.misses:
+        if miss.asn != maintenance_asn or miss.kind != MissKind.INTERFACE:
+            continue
+        if miss.timestamp < WARMUP:
+            continue
+        hour = int((miss.timestamp % 86_400.0) // 3600.0)
+        by_hour[hour] = by_hour.get(hour, 0) + 1
+        maint_total += 1
+    assert maint_total > 0, "maintenance must cause interface misses"
+    peak_hour = max(by_hour, key=lambda h: by_hour[h])
+    assert peak_hour in (11, 23)
+
+    # the misaligned CDN's remap window: per-hour PoP-miss rate inside
+    # the window clearly exceeds the outside rate
+    remap_asn = scenario.notes["remap_asn"]
+    window = scenario.notes["remap_window"]
+    in_window = out_window = 0
+    for miss in report.misses:
+        if miss.asn != remap_asn or miss.kind != MissKind.POP:
+            continue
+        if miss.timestamp < WARMUP:
+            continue
+        hour = (miss.timestamp % 86_400.0) / 3600.0
+        if window[0] <= hour < window[1]:
+            in_window += 1
+        else:
+            out_window += 1
+    span = window[1] - window[0]
+    in_rate = in_window / span
+    out_rate = out_window / (24.0 - span)
+    assert in_rate > 1.2 * out_rate

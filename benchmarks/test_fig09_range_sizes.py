@@ -1,0 +1,47 @@
+"""Fig. 9: distribution of IPD range sizes vs BGP prefix sizes.
+
+Paper: BGP announcements peak hard at /24 (>50 %), while IPD's
+traffic-based partitioning spreads over many mask lengths — including
+sizes BGP barely uses — because ranges follow service granularity, not
+allocation granularity.
+"""
+
+from repro.analysis.ranges import bgp_mask_histogram, mask_histogram
+from repro.reporting.tables import render_table
+
+from conftest import write_result
+
+
+def test_fig09_range_sizes(benchmark, headline):
+    scenario = headline["scenario"]
+    final = headline["result"].final_snapshot()
+
+    ipd_masks = benchmark.pedantic(
+        mask_histogram, args=(final,), rounds=1, iterations=1
+    )
+    bgp_masks = bgp_mask_histogram(scenario.bgp_table())
+
+    ipd_total = sum(ipd_masks.values())
+    bgp_total = sum(bgp_masks.values())
+    rows = []
+    for mask in range(14, 29):
+        rows.append([
+            f"/{mask}",
+            f"{ipd_masks.get(mask, 0) / ipd_total:.3f}",
+            f"{bgp_masks.get(mask, 0) / bgp_total:.3f}",
+        ])
+    write_result(
+        "fig09_range_sizes",
+        render_table(["mask", "IPD share", "BGP share"], rows,
+                     title="Fig. 9: IPD range sizes vs BGP prefix sizes")
+        + f"\nIPD ranges: {ipd_total}, BGP prefixes: {bgp_total}",
+    )
+
+    assert ipd_total > 100
+    # BGP peaks at /24
+    assert bgp_masks[24] == max(bgp_masks.values())
+    # IPD spreads: its /24 share is materially below BGP's
+    assert ipd_masks.get(24, 0) / ipd_total < bgp_masks[24] / bgp_total
+    # IPD populates masks more specific than /24 (CDN /26-/28 blocks)
+    finer = sum(ipd_masks.get(m, 0) for m in range(25, 29))
+    assert finer / ipd_total > 0.2

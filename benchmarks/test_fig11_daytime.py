@@ -1,0 +1,55 @@
+"""Fig. 11: mapped address space vs number of IPD prefixes by daytime.
+
+Paper: across the day, the *mapped address space* stays comparatively
+stable while the *number of IPD prefixes* swings substantially — fewer,
+larger ranges in the night/morning trough (sibling joins), more and
+finer ranges after the afternoon ramp.
+"""
+
+from repro.analysis.ranges import daytime_profile
+from repro.reporting.tables import render_series
+
+from conftest import write_result
+
+
+def test_fig11_daytime(benchmark, daytime_run):
+    scenario = daytime_run["scenario"]
+    snapshots = daytime_run["result"].snapshots
+    top5 = set(scenario.plan.top_asns(5))
+    asn_of = scenario.asn_of()
+
+    # skip day one entirely: the trie is still maturing (cold start)
+    warm = {
+        ts: records for ts, records in snapshots.items()
+        if ts >= 24 * 3600.0
+    }
+    profile = benchmark.pedantic(
+        daytime_profile,
+        args=(warm,),
+        kwargs={"record_filter": lambda r: asn_of(r.range.value) in top5},
+        rounds=1,
+        iterations=1,
+    )
+
+    prefixes = profile.normalized_prefix_count()
+    space = profile.normalized_mapped_addresses()
+    hours = sorted(prefixes)
+    write_result(
+        "fig11_daytime",
+        "Fig. 11: TOP5 mapped space vs number of IPD prefixes by hour\n"
+        + render_series("mapped space (norm)",
+                        [(f"{h:02d}", round(space[h], 2)) for h in hours])
+        + "\n"
+        + render_series("#prefixes (norm)",
+                        [(f"{h:02d}", round(prefixes[h], 2)) for h in hours]),
+    )
+
+    assert len(hours) >= 20  # full day coverage
+    swing_prefixes = min(prefixes.values())  # vs normalized max of 1.0
+    # the prefix count swings substantially over the day (paper: to ~70 %)
+    assert swing_prefixes < 0.85
+    # and the swing exceeds the mapped-space swing direction-wise: the
+    # space distribution must not collapse when the count does
+    trough_hours = [h for h in hours if prefixes[h] < 0.8]
+    if trough_hours:
+        assert max(space[h] for h in trough_hours) > 0.5

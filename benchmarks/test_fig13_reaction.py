@@ -1,0 +1,80 @@
+"""Figs. 13/14: classification timeline around an ingress change.
+
+Paper: a range's sub-prefixes enter stably through one interface until a
+maintenance event moves them ("2020-07-14"); IPD drops the stale
+classification and re-assigns the range to the new ingress shortly
+after, with Fig. 14's monotone-then-reset counter trajectory.
+
+Uses :func:`repro.analysis.trajectory.range_trajectory` — the reusable
+form of the paper's detailed per-range view.
+"""
+
+from repro.analysis.trajectory import range_trajectory
+from repro.reporting.tables import render_series
+
+from conftest import write_result
+
+
+def test_fig13_reaction_to_change(benchmark, reaction_run):
+    scenario = reaction_run["scenario"]
+    result = reaction_run["result"]
+    remap = scenario.events.remaps[0]
+    watched = remap.prefix
+    switch = remap.start
+
+    trajectory = benchmark.pedantic(
+        range_trajectory, args=(result.snapshots, watched),
+        rounds=1, iterations=1,
+    )
+
+    series = [
+        (f"{p.timestamp / 3600.0:.0f}h",
+         f"{p.ingress}|conf={p.confidence:.2f}|n={int(p.samples)}"
+         if p.classified else "-")
+        for p in trajectory.points[:: max(1, len(trajectory.points) // 40)]
+    ]
+    changes = trajectory.ingress_changes()
+    write_result(
+        "fig13_reaction",
+        f"Fig. 13/14: watched range {watched}, switch at "
+        f"{switch / 3600.0:.0f}h\n"
+        + render_series("state", series)
+        + "\nrouter changes: "
+        + ", ".join(f"{ts / 3600.0:.1f}h {old.router}->{new.router}"
+                    for ts, old, new in changes)
+        + f"\nclassified share: {trajectory.classified_share():.2f}"
+        + (f"\ncounter reset at: "
+           f"{trajectory.counter_monotone_until() / 3600.0:.1f}h"
+           if trajectory.counter_monotone_until() else ""),
+    )
+
+    before = [p for p in trajectory.points
+              if 6 * 3600.0 <= p.timestamp < switch and p.classified]
+    after = [p for p in trajectory.points
+             if p.timestamp >= switch + 3 * 3600.0 and p.classified]
+    assert before, "range classified before the event"
+    assert after, "range re-classified after the event"
+
+    pre_routers = {p.ingress.router for p in before}
+    post_covering = [
+        p for p in after
+        if p.ingress.router == remap.new_ingress.router
+        and remap.new_ingress.interface in p.ingress.interfaces()
+    ]
+    assert post_covering, "new ingress must be classified after the event"
+    assert remap.new_ingress.router not in pre_routers
+
+    # Fig. 14: the counter grows monotonically before the event and is
+    # reset by the reclassification
+    pre_counts = [p.samples for p in before]
+    assert pre_counts[-1] > pre_counts[0]
+    reset_at = trajectory.counter_monotone_until()
+    assert reset_at is not None and reset_at >= switch - 3600.0
+
+    # the event shows up as exactly one router-level change, at the
+    # switch (within IPD's reconvergence window)
+    change_times = [ts for ts, __, __ in trajectory.ingress_changes()]
+    assert change_times
+    assert any(
+        switch <= ts <= switch + 4 * 3600.0 for ts in change_times
+    )

@@ -1,0 +1,67 @@
+"""Fig. 17 / §5.6: potential tier-1 peering-agreement violations.
+
+Paper: ~9 % of tier-1 prefixes entered indirectly over the observation
+window, with a clear upward trend (+50 % from late 2019, doubling by
+2020).  We regenerate the monthly violation counts per monitored AS and
+check the rising trend.
+"""
+
+from repro.analysis.violations import violation_timeseries
+from repro.reporting.tables import render_series
+
+from conftest import write_result
+
+DAY = 86_400.0
+
+
+def test_fig17_violations(benchmark, violations_run):
+    scenario = violations_run["scenario"]
+    result = violations_run["result"]
+    table = scenario.bgp_table()
+    monitored = scenario.tier1_asns()
+
+    # daily 8 PM snapshots only (prime-time windows)
+    daily = {
+        ts: records
+        for ts, records in result.snapshots.items()
+        if abs((ts % DAY) / 3600.0 - 20.75) < 0.05 and records
+    }
+    reports = benchmark.pedantic(
+        violation_timeseries,
+        args=(daily, table, scenario.topology, monitored),
+        rounds=1, iterations=1,
+    )
+    assert reports
+
+    # aggregate into ~10-day periods
+    period_days = 10
+    by_period: dict[int, int] = {}
+    checked_by_period: dict[int, int] = {}
+    for report in reports:
+        period = int(report.timestamp // (period_days * DAY))
+        by_period[period] = by_period.get(period, 0) + len(report.findings)
+        checked_by_period[period] = (
+            checked_by_period.get(period, 0) + sum(report.checked.values())
+        )
+
+    periods = sorted(by_period)
+    series = [(f"P{p}", by_period[p]) for p in periods]
+    overall_share = sum(by_period.values()) / max(
+        1, sum(checked_by_period.values())
+    )
+    write_result(
+        "fig17_violations",
+        "Fig. 17: potential tier-1 peering violations per 10-day period\n"
+        + render_series("violations", series)
+        + f"\noverall violating share of monitored ranges: "
+        f"{overall_share:.3f} (paper: ~0.09)",
+    )
+
+    assert sum(by_period.values()) > 0, "violations must be detected"
+    # rising trend: the last third clearly exceeds the first third
+    third = max(1, len(periods) // 3)
+    early = sum(by_period[p] for p in periods[:third]) / third
+    late = sum(by_period[p] for p in periods[-third:]) / third
+    assert late > early
+    # magnitude: a minority share, same order as the paper's ~9 %
+    assert 0.005 < overall_share < 0.4

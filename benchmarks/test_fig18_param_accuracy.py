@@ -1,0 +1,67 @@
+"""Fig. 18 / Appendix A: parametrization does not move accuracy.
+
+Paper: across all 200 study configurations, accuracy is flat (~90.8 %
+average) — IPD is a partitioner, not a learner, so bad parameters waste
+resources rather than degrading correctness.  We regenerate the effect
+plot (mean accuracy per factor level) and run the ANOVA screening.
+"""
+
+from repro.paramstudy.anova import anova_screening, effect_means
+from repro.reporting.tables import render_table
+
+from conftest import write_result
+
+
+def test_fig18_param_accuracy(benchmark, param_study):
+    results = param_study["results"]
+
+    effects = benchmark.pedantic(
+        anova_screening,
+        args=(results, ["q", "cidr_max", "n_cidr_factor"]),
+        kwargs={"metrics": ["accuracy"]},
+        rounds=1, iterations=1,
+    )
+
+    rows = []
+    for factor in ("q", "cidr_max", "n_cidr_factor"):
+        for level, mean in sorted(
+            effect_means(results, factor, "accuracy").items(), key=str
+        ):
+            rows.append([factor, str(level), f"{mean:.3f}"])
+    effect_rows = [
+        [e.factor, f"{e.f_statistic:.2f}", f"{e.p_value:.3f}",
+         "yes" if e.significant else "no"]
+        for e in effects
+    ]
+    write_result(
+        "fig18_param_accuracy",
+        render_table(["factor", "level", "mean accuracy"], rows,
+                     title="Fig. 18: accuracy effect plot")
+        + "\n"
+        + render_table(["factor", "F", "p", "significant"], effect_rows,
+                       title="ANOVA (accuracy)"),
+    )
+
+    accuracies = [
+        r.metrics.accuracy for r in results if not r.metrics.failed
+    ]
+    assert accuracies
+    # near-flat: the spread across ALL configurations stays bounded (the
+    # paper's deployment-scale study sees an even flatter ~0.001 band;
+    # at 3 simulated hours some warm-up sensitivity remains)
+    spread = max(accuracies) - min(accuracies)
+    assert spread < 0.2
+    # and the mean sits at a high operating point
+    assert sum(accuracies) / len(accuracies) > 0.78
+    # the paper's operative claim: parameters move RESOURCES, not
+    # accuracy — the state-size ratio across configs dwarfs the
+    # accuracy ratio
+    states = [
+        r.metrics.max_state_size for r in results if not r.metrics.failed
+    ]
+
+    def relative_spread(values):
+        mean = sum(values) / len(values)
+        return (max(values) - min(values)) / mean if mean else 0.0
+
+    assert relative_spread(states) > relative_spread(accuracies)

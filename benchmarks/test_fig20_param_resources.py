@@ -1,0 +1,41 @@
+"""Fig. 20 / Appendix A: resource consumption grows with cidr_max.
+
+Paper: both the per-iteration runtime and the memory (state) grow
+roughly exponentially with cidr_max, because finer maximum granularity
+multiplies the number of ranges the sweep must manage.
+"""
+
+from repro.paramstudy.anova import effect_means
+from repro.reporting.tables import render_table
+
+from conftest import write_result
+
+
+def test_fig20_param_resources(benchmark, param_study):
+    results = param_study["results"]
+
+    state_means = benchmark.pedantic(
+        effect_means, args=(results, "cidr_max", "state_size"),
+        rounds=1, iterations=1,
+    )
+    sweep_means = effect_means(results, "cidr_max", "sweep_seconds")
+
+    levels = sorted(state_means)
+    rows = [
+        [str(level), f"{state_means[level]:.0f}",
+         f"{sweep_means[level] * 1000.0:.2f} ms"]
+        for level in levels
+    ]
+    write_result(
+        "fig20_param_resources",
+        render_table(["cidr_max (v4,v6)", "max state entries",
+                      "mean sweep time"], rows,
+                     title="Fig. 20: resource consumption vs cidr_max"),
+    )
+
+    # state grows monotonically with cidr_max
+    ordered_state = [state_means[level] for level in levels]
+    assert ordered_state == sorted(ordered_state)
+    assert ordered_state[-1] > ordered_state[0]
+    # and sweep time does not shrink with finer granularity
+    assert sweep_means[levels[-1]] >= 0.5 * sweep_means[levels[0]]

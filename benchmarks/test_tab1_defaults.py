@@ -1,0 +1,34 @@
+"""Table 1: the default IPD parameterization."""
+
+from repro.core.params import DEFAULT_PARAMS, IPDParams, default_decay
+from repro.reporting.tables import render_table
+
+from conftest import write_result
+
+
+def test_tab1_default_parameters(benchmark):
+    params = benchmark(IPDParams)
+
+    rows = [
+        ["cidr_max", f"/{params.cidr_max_v4}, /{params.cidr_max_v6}",
+         "max. IPD prefix length"],
+        ["n_cidr factor", f"{params.n_cidr_factor_v4:.0f}, "
+         f"{params.n_cidr_factor_v6:.0f}", "minimal sample factor"],
+        ["q", f"{params.q}", "error margin"],
+        ["t", f"{params.t:.0f}", "time bucket length"],
+        ["e", f"{params.e:.0f}", "expiration time"],
+        ["decay", "1 - 0.9/((age/t)+1)", "reduction of outdated ranges"],
+    ]
+    write_result(
+        "tab1_defaults",
+        render_table(["Parameter", "Default", "Meaning"], rows,
+                     title="Table 1: Default IPD parameters"),
+    )
+
+    # paper values
+    assert params == DEFAULT_PARAMS
+    assert (params.cidr_max_v4, params.cidr_max_v6) == (28, 48)
+    assert (params.n_cidr_factor_v4, params.n_cidr_factor_v6) == (64.0, 24.0)
+    assert params.q == 0.95
+    assert (params.t, params.e) == (60.0, 120.0)
+    assert abs(default_decay(0.0, 60.0) - 0.1) < 1e-12

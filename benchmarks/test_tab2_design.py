@@ -1,0 +1,32 @@
+"""Table 2: the full factorial parameter-study design."""
+
+from repro.paramstudy.design import paper_screening_design, paper_study_design
+from repro.reporting.tables import render_table
+
+from conftest import write_result
+
+
+def test_tab2_factorial_design(benchmark):
+    design = benchmark(paper_study_design)
+
+    rows = [
+        [factor.name, ", ".join(str(level) for level in factor.levels)]
+        for factor in design.factors
+    ]
+    write_result(
+        "tab2_design",
+        render_table(["factor", "level(s)"], rows,
+                     title="Table 2: full factorial design")
+        + f"\n-> {design.size} study configurations "
+        f"(+ {paper_screening_design().size} screening points; "
+        "paper: 308 total incl. screening)",
+    )
+
+    by_name = {factor.name: factor for factor in design.factors}
+    assert by_name["q"].levels == (0.501, 0.7, 0.8, 0.95, 0.99)
+    assert [v4 for v4, __ in by_name["cidr_max"].levels] == list(range(20, 29))
+    assert [v4 for v4, __ in by_name["n_cidr_factor"].levels] == [32, 48, 64, 80]
+    assert design.size == 180
+    # every study point must be runnable, screening must contain failures
+    for config in design.configurations():
+        design.params_for(config)

@@ -1,0 +1,104 @@
+#!/usr/bin/env python3
+"""Debugging a CDN mapping problem with IPD (§5.8 of the paper).
+
+"Why is service X slow at home in only one city of an ISP's network?"
+In the paper's deployment, IPD revealed that a CDN mapped one customer
+group to a data center in a *different country* — their traffic entered
+the ISP far away from home, while neighbors in the same city were
+served locally.
+
+This example reproduces that investigation end to end:
+
+1. run a full synthetic ISP workload in which one CDN prefix is
+   mis-mapped into another country for part of the day,
+2. diff consecutive IPD snapshots to spot ingress changes,
+3. use the topology to show that the new ingress is in another country
+   — exactly the evidence an operator needs to call the CDN.
+
+Run:  python examples/cdn_debugging.py
+"""
+
+from collections import Counter
+
+from repro.workloads.scenarios import events_scenario
+
+
+def main() -> None:
+    print("Building the events scenario (24 simulated hours, scripted")
+    print("maintenance + a CDN mapping misalignment) ...")
+    scenario = events_scenario(duration_hours=24.0, flows_per_bucket_peak=2500)
+    topo = scenario.topology
+    remap = scenario.events.remaps[0]
+    print(f"  injected misalignment: {remap.prefix} served via "
+          f"{remap.new_ingress} between "
+          f"{remap.start / 3600:.0f}h and {remap.end / 3600:.0f}h\n")
+
+    print("Replaying through IPD (this takes a moment) ...")
+    __, result = scenario.run(keep_flows=False)
+    times = result.snapshot_times()
+
+    # --- step 2: diff consecutive snapshots for ingress changes -------
+    # Compare by address, not by range identity: after a remap the
+    # algorithm may re-aggregate at a different granularity, so the
+    # "same" space reappears under a new range key.
+    from repro.core.lpm import build_lpm_from_records
+
+    print("\nScanning snapshots for ingress-point changes ...")
+    previous_lpm = None
+    changes: list[tuple[float, str, str, str]] = []
+    for timestamp in times:
+        records = result.snapshots[timestamp]
+        if previous_lpm is not None:
+            for record in records:
+                old = previous_lpm.lookup(record.range.value)
+                if old is not None and old.router != record.ingress.router:
+                    changes.append(
+                        (timestamp, str(record.range), str(old),
+                         str(record.ingress))
+                    )
+        previous_lpm = build_lpm_from_records(records)
+
+    by_range = Counter(range_text for __, range_text, __, __ in changes)
+    print(f"  {len(changes)} ingress changes across "
+          f"{len(by_range)} ranges (churn is normal — see Fig. 2)")
+
+    # --- step 3: find *cross-country* moves: the real red flags --------
+    print("\nCross-country ingress moves (candidate mapping problems):")
+    suspicious = []
+    for timestamp, range_text, old, new in changes:
+        old_router = old.split(".")[0]
+        new_router = new.split(".")[0]
+        if old_router not in topo.routers or new_router not in topo.routers:
+            continue
+        old_country = topo.country_of_router(old_router)
+        new_country = topo.country_of_router(new_router)
+        if old_country != new_country:
+            suspicious.append(
+                (timestamp, range_text, old, old_country, new, new_country)
+            )
+    for ts, range_text, old, oc, new, nc in suspicious[:10]:
+        marker = " <-- injected" if _inside(range_text, str(remap.prefix)) else ""
+        print(f"  {ts / 3600.0:5.1f}h  {range_text:20s} {old} ({oc}) -> "
+              f"{new} ({nc}){marker}")
+    if len(suspicious) > 10:
+        print(f"  ... and {len(suspicious) - 10} more")
+
+    hit = any(
+        _inside(range_text, str(remap.prefix))
+        for __, range_text, *__ in suspicious
+    )
+    print(f"\nInjected CDN misalignment surfaced by the scan: {hit}")
+    print("An operator would now contact the CDN with the affected "
+          "prefix, the observed ingress and the expected one.")
+
+
+def _inside(range_text: str, prefix_text: str) -> bool:
+    from repro.core.iputil import parse_prefix
+
+    inner = parse_prefix(range_text)
+    outer = parse_prefix(prefix_text)
+    return outer.contains(inner) or inner.contains(outer)
+
+
+if __name__ == "__main__":
+    main()

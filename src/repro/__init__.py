@@ -1,0 +1,53 @@
+"""repro — reproduction of "IPD: Detecting Traffic Ingress Points at ISPs".
+
+Public API re-exports the pieces a downstream user needs most: the IPD
+engine and its parameters, the offline driver, the flow/topology models
+and the workload generator.  Analyses, baselines and the parameter study
+live in their subpackages.
+"""
+
+from .archive import SnapshotArchive
+from .steering import SteeringPlan, SteeringPolicy, apply_plan, link_loads
+from .core import (
+    DEFAULT_PARAMS,
+    IPD,
+    IPDParams,
+    IPDRecord,
+    LPMTable,
+    OfflineDriver,
+    Prefix,
+    RunResult,
+    ThreadedIPD,
+    build_lpm_from_records,
+)
+from .netflow import FlowRecord, PacketSampler, StatisticalTime
+from .topology import IngressPoint, ISPTopology, LinkType, TopologySpec, generate_topology
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "DEFAULT_PARAMS",
+    "IPD",
+    "IPDParams",
+    "IPDRecord",
+    "IngressPoint",
+    "ISPTopology",
+    "LPMTable",
+    "LinkType",
+    "OfflineDriver",
+    "PacketSampler",
+    "Prefix",
+    "RunResult",
+    "SnapshotArchive",
+    "SteeringPlan",
+    "SteeringPolicy",
+    "StatisticalTime",
+    "ThreadedIPD",
+    "TopologySpec",
+    "FlowRecord",
+    "apply_plan",
+    "build_lpm_from_records",
+    "generate_topology",
+    "link_loads",
+    "__version__",
+]

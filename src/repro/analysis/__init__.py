@@ -1,0 +1,89 @@
+"""Deployment-experience analyses over IPD output (§5 of the paper)."""
+
+from .accuracy import (
+    UNMAPPED,
+    AccuracyReport,
+    BinAccuracy,
+    MissRecord,
+    asn_lookup_from_blocks,
+    evaluate_accuracy,
+)
+from .asymmetry import (
+    PrefixCorrelation,
+    SymmetryResult,
+    prefix_correlation,
+    symmetry_ratios,
+)
+from .coverage import CoverageReport, mapping_coverage
+from .counters import CounterStudy, counter_overflow_study, flow_byte_correlation
+from .elephants import ElephantProfile, profile_elephants
+from .ranges import (
+    DaytimeProfile,
+    bgp_mask_histogram,
+    bgp_next_hop_counts,
+    daytime_profile,
+    dominant_share_cdf,
+    ingress_counts_from_flows,
+    mask_histogram,
+    simultaneous_ingress_counts,
+)
+from .stability import (
+    LongitudinalPoint,
+    clip_intervals,
+    elephant_ranges,
+    longitudinal_series,
+    longitudinal_traffic_series,
+    matching_and_stable,
+    snapshot_intervals,
+    stability_durations,
+)
+from .trajectory import RangeTrajectory, TrajectoryPoint, range_trajectory
+from .violations import (
+    ViolationFinding,
+    ViolationReport,
+    detect_violations,
+    violation_timeseries,
+)
+
+__all__ = [
+    "UNMAPPED",
+    "AccuracyReport",
+    "BinAccuracy",
+    "CounterStudy",
+    "CoverageReport",
+    "DaytimeProfile",
+    "ElephantProfile",
+    "LongitudinalPoint",
+    "MissRecord",
+    "PrefixCorrelation",
+    "RangeTrajectory",
+    "TrajectoryPoint",
+    "SymmetryResult",
+    "ViolationFinding",
+    "ViolationReport",
+    "asn_lookup_from_blocks",
+    "bgp_mask_histogram",
+    "bgp_next_hop_counts",
+    "counter_overflow_study",
+    "flow_byte_correlation",
+    "daytime_profile",
+    "detect_violations",
+    "dominant_share_cdf",
+    "elephant_ranges",
+    "evaluate_accuracy",
+    "ingress_counts_from_flows",
+    "clip_intervals",
+    "longitudinal_series",
+    "longitudinal_traffic_series",
+    "mapping_coverage",
+    "mask_histogram",
+    "matching_and_stable",
+    "prefix_correlation",
+    "range_trajectory",
+    "profile_elephants",
+    "simultaneous_ingress_counts",
+    "snapshot_intervals",
+    "stability_durations",
+    "symmetry_ratios",
+    "violation_timeseries",
+]

@@ -1,0 +1,98 @@
+"""Mapping-coverage analysis (§3.1, "Focus on high-traffic prefixes").
+
+IPD deliberately does not classify prefixes that hardly carry traffic:
+"Omitting to detect ingress points for prefixes that hardly carry any
+traffic is thus an accepted consequence of our design."  The measurable
+consequence is a *gap* between two coverage numbers:
+
+* **traffic coverage** — the share of flows whose source is inside a
+  classified range (should be high: that is what TE cares about);
+* **space coverage** — the share of (allocated) address space covered
+  by classified ranges (may be much lower: the long tail is skipped).
+
+This module computes both, plus the per-AS breakdown that shows the
+skipped tail is exactly the low-volume tail.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Optional, Sequence
+
+from ..core.iputil import IPV4
+from ..core.lpm import build_lpm_from_records
+from ..core.output import IPDRecord
+from ..netflow.records import FlowRecord
+from .stability import clip_intervals, snapshot_intervals
+
+__all__ = ["CoverageReport", "mapping_coverage"]
+
+
+@dataclass
+class CoverageReport:
+    """Traffic vs space coverage of one snapshot."""
+
+    traffic_coverage: float
+    space_coverage: float
+    flows_total: int
+    #: asn -> (covered flows, total flows)
+    by_asn: dict[int, list[int]] = field(default_factory=dict)
+
+    def asn_coverage(self, asn: int) -> Optional[float]:
+        counts = self.by_asn.get(asn)
+        if not counts or counts[1] == 0:
+            return None
+        return counts[0] / counts[1]
+
+    @property
+    def design_gap(self) -> float:
+        """traffic coverage minus space coverage — §3.1's intended gap."""
+        return self.traffic_coverage - self.space_coverage
+
+
+def mapping_coverage(
+    flows: Iterable[FlowRecord],
+    records: Sequence[IPDRecord],
+    allocated: Optional[Sequence[tuple[int, int]]] = None,
+    asn_of: Optional[Callable[[int], Optional[int]]] = None,
+    version: int = IPV4,
+) -> CoverageReport:
+    """Measure traffic and space coverage of a snapshot.
+
+    *allocated* (sorted (start, end) spans) scopes the space-coverage
+    denominator to allocated space; without it the full 2^32 space is
+    the denominator.
+    """
+    lpm = build_lpm_from_records(records, version)
+
+    covered = total = 0
+    by_asn: dict[int, list[int]] = defaultdict(lambda: [0, 0])
+    for flow in flows:
+        if flow.version != version:
+            continue
+        total += 1
+        hit = lpm.lookup(flow.src_ip) is not None
+        if hit:
+            covered += 1
+        if asn_of is not None:
+            asn = asn_of(flow.src_ip)
+            if asn is not None:
+                by_asn[asn][1] += 1
+                if hit:
+                    by_asn[asn][0] += 1
+
+    intervals = snapshot_intervals(records, version)
+    if allocated is not None:
+        intervals = clip_intervals(intervals, allocated)
+        denominator = sum(end - start for start, end in allocated)
+    else:
+        denominator = 1 << 32 if version == IPV4 else 1 << 128
+    mapped_space = sum(end - start for start, end, __ in intervals)
+
+    return CoverageReport(
+        traffic_coverage=covered / total if total else 0.0,
+        space_coverage=mapped_space / denominator if denominator else 0.0,
+        flows_total=total,
+        by_asn=dict(by_asn),
+    )

@@ -1,0 +1,116 @@
+"""Characterizing elephant ranges (§5.4, Fig. 15).
+
+Some IPD ranges accumulate very large sample counters.  The paper shows
+these are usually not traffic bursts but *long-lived stable ingress
+mappings* — the top 1 % of ranges by counter are stable for months while
+60 % of all ranges hold for under an hour.  This module reproduces that
+characterization: membership, link-class composition, AS composition,
+and the per-bucket new-flow rates that discriminate "stable for long"
+from "suddenly huge".
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from typing import Mapping, Optional, Sequence
+
+from ..core.iputil import IPV4, Prefix
+from ..core.lpm import LPMTable
+from ..core.output import IPDRecord
+from ..topology.elements import LinkType
+from ..topology.network import ISPTopology
+from .stability import elephant_ranges, stability_durations
+
+__all__ = ["ElephantProfile", "profile_elephants"]
+
+
+@dataclass
+class ElephantProfile:
+    """Everything §5.4 reports about the elephant set."""
+
+    elephants: set[Prefix]
+    #: share of elephants whose ingress link is a PNI
+    pni_share: float
+    #: share of elephants inside TOP5 / TOP20 address space
+    top5_share: float
+    top20_share: float
+    #: mask length histogram of elephant ranges
+    mask_histogram: Counter
+    #: stable-phase durations (seconds) for elephants and for all ranges
+    elephant_durations: list[float]
+    all_durations: list[float]
+    #: average per-snapshot increase of the sample counter per range
+    mean_new_samples_per_bucket: float
+
+
+def profile_elephants(
+    snapshots: Mapping[float, Sequence[IPDRecord]],
+    topology: ISPTopology,
+    asn_of_prefix: Optional[LPMTable[int]] = None,
+    top5: Optional[set[int]] = None,
+    top20: Optional[set[int]] = None,
+    top_fraction: float = 0.01,
+    version: int = IPV4,
+) -> ElephantProfile:
+    """Build the §5.4 characterization from a snapshot series."""
+    elephants = elephant_ranges(snapshots, top_fraction, version)
+
+    # Link classes and AS membership from the most recent assignment.
+    latest_ingress: dict[Prefix, str] = {}
+    counter_series: dict[Prefix, list[float]] = {}
+    for timestamp in sorted(snapshots):
+        for record in snapshots[timestamp]:
+            if not record.classified or record.version != version:
+                continue
+            if record.range not in elephants:
+                continue
+            counter_series.setdefault(record.range, []).append(record.s_ipcount)
+            link = topology.link_of_ingress(record.ingress)
+            latest_ingress[record.range] = link.link_id
+
+    pni = sum(
+        1
+        for link_id in latest_ingress.values()
+        if topology.links[link_id].link_type is LinkType.PNI
+    )
+    pni_share = pni / len(latest_ingress) if latest_ingress else 0.0
+
+    top5_count = top20_count = 0
+    if asn_of_prefix is not None:
+        for prefix in elephants:
+            asn = asn_of_prefix.lookup(prefix.value)
+            if top5 and asn in top5:
+                top5_count += 1
+            if top20 and asn in top20:
+                top20_count += 1
+    top5_share = top5_count / len(elephants) if elephants else 0.0
+    top20_share = top20_count / len(elephants) if elephants else 0.0
+
+    increments: list[float] = []
+    for series in counter_series.values():
+        increments.extend(
+            later - earlier
+            for earlier, later in zip(series, series[1:])
+            if later >= earlier
+        )
+    mean_new = sum(increments) / len(increments) if increments else 0.0
+
+    elephant_snapshots = {
+        timestamp: [
+            record
+            for record in records
+            if record.classified and record.range in elephants
+        ]
+        for timestamp, records in snapshots.items()
+    }
+    return ElephantProfile(
+        elephants=elephants,
+        pni_share=pni_share,
+        top5_share=top5_share,
+        top20_share=top20_share,
+        mask_histogram=Counter(prefix.masklen for prefix in elephants),
+        elephant_durations=stability_durations(elephant_snapshots),
+        all_durations=stability_durations(snapshots),
+        mean_new_samples_per_bucket=mean_new,
+    )

@@ -1,0 +1,141 @@
+"""Per-range trajectories over time (the Fig. 13/14 detailed view).
+
+Figures 13 and 14 of the paper follow individual address ranges through
+the snapshot series: which ingress they are classified to, with what
+confidence, how the sample counter grows, and when classification gaps
+occur.  This module turns that inspection into a reusable API: extract
+the trajectory of any watched prefix from a snapshot series and detect
+its change points.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping, Optional, Sequence
+
+from ..core.iputil import Prefix
+from ..core.output import IPDRecord
+from ..topology.elements import IngressPoint
+
+__all__ = ["TrajectoryPoint", "RangeTrajectory", "range_trajectory"]
+
+
+@dataclass(frozen=True)
+class TrajectoryPoint:
+    """The watched prefix's state at one snapshot."""
+
+    timestamp: float
+    #: the most specific classified record covering (or covered by) the
+    #: watched prefix, or None when the space is unclassified
+    range: Optional[Prefix]
+    ingress: Optional[IngressPoint]
+    confidence: float
+    samples: float
+
+    @property
+    def classified(self) -> bool:
+        return self.ingress is not None
+
+
+@dataclass
+class RangeTrajectory:
+    """The full time series for one watched prefix."""
+
+    prefix: Prefix
+    points: list[TrajectoryPoint] = field(default_factory=list)
+
+    def classified_share(self) -> float:
+        """Fraction of snapshots in which the space was classified."""
+        if not self.points:
+            return 0.0
+        return sum(1 for p in self.points if p.classified) / len(self.points)
+
+    def ingress_changes(self) -> list[tuple[float, IngressPoint, IngressPoint]]:
+        """(time, old, new) router-level changes — Fig. 13's color flips.
+
+        Classification gaps between two sightings of the same router do
+        not count as changes (the paper treats reduced-opacity phases as
+        monitoring, not reassignment).
+        """
+        changes = []
+        last: Optional[IngressPoint] = None
+        for point in self.points:
+            if point.ingress is None:
+                continue
+            if last is not None and point.ingress.router != last.router:
+                changes.append((point.timestamp, last, point.ingress))
+            last = point.ingress
+        return changes
+
+    def gaps(self) -> list[tuple[float, float]]:
+        """Contiguous unclassified windows (start, end) — Fig. 13's gaps."""
+        gaps = []
+        gap_start: Optional[float] = None
+        for point in self.points:
+            if point.classified:
+                if gap_start is not None:
+                    gaps.append((gap_start, point.timestamp))
+                    gap_start = None
+            elif gap_start is None:
+                gap_start = point.timestamp
+        if gap_start is not None and self.points:
+            gaps.append((gap_start, self.points[-1].timestamp))
+        return gaps
+
+    def counter_monotone_until(self) -> Optional[float]:
+        """Timestamp up to which the sample counter only ever grew.
+
+        Fig. 14's counter increases monotonically until the maintenance
+        event; this returns the first timestamp where it shrank (reset
+        by a drop/reclassification), or ``None`` if it never did.
+        """
+        previous = None
+        for point in self.points:
+            if not point.classified:
+                continue
+            if previous is not None and point.samples < previous:
+                return point.timestamp
+            previous = point.samples
+        return None
+
+
+def range_trajectory(
+    snapshots: Mapping[float, Sequence[IPDRecord]],
+    prefix: Prefix,
+) -> RangeTrajectory:
+    """Extract the trajectory of *prefix* from a snapshot series.
+
+    At each snapshot the covering classified record is chosen (most
+    specific covering range, else the heaviest classified sub-range if
+    the watched prefix is currently split finer).
+    """
+    trajectory = RangeTrajectory(prefix=prefix)
+    for timestamp in sorted(snapshots):
+        covering: list[IPDRecord] = []
+        inside: list[IPDRecord] = []
+        for record in snapshots[timestamp]:
+            if not record.classified or record.version != prefix.version:
+                continue
+            if record.range.contains(prefix):
+                covering.append(record)
+            elif prefix.contains(record.range):
+                inside.append(record)
+        chosen: Optional[IPDRecord] = None
+        if covering:
+            chosen = max(covering, key=lambda r: r.range.masklen)
+        elif inside:
+            chosen = max(inside, key=lambda r: r.s_ipcount)
+        if chosen is None:
+            trajectory.points.append(TrajectoryPoint(
+                timestamp=timestamp, range=None, ingress=None,
+                confidence=0.0, samples=0.0,
+            ))
+        else:
+            trajectory.points.append(TrajectoryPoint(
+                timestamp=timestamp,
+                range=chosen.range,
+                ingress=chosen.ingress,
+                confidence=chosen.s_ingress,
+                samples=chosen.s_ipcount,
+            ))
+    return trajectory

@@ -1,0 +1,114 @@
+"""Peering-agreement violation monitoring (§5.6, Fig. 17).
+
+Settlement-free peering assumes a peer hands over its traffic on the
+direct peering links.  Traffic sourced from a tier-1 peer's prefixes
+that enters through *someone else's* link may indicate a violation (or
+at least an unexpected detour worth investigating).
+
+The monitor joins three substrates: the BGP table tells us which
+prefixes belong to each monitored tier-1, the IPD output tells us where
+that address space actually enters, and the topology tells us whether
+the observed ingress link terminates at the monitored AS.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Iterable, Mapping, Sequence
+
+from ..bgp.rib import BGPTable
+from ..core.iputil import IPV4
+from ..core.lpm import LPMTable
+from ..core.output import IPDRecord
+from ..topology.network import ISPTopology
+
+__all__ = ["ViolationFinding", "ViolationReport", "detect_violations",
+           "violation_timeseries"]
+
+
+@dataclass(frozen=True)
+class ViolationFinding:
+    """One IPD range of a monitored AS entering via a third party."""
+
+    timestamp: float
+    asn: int
+    range_text: str
+    ingress_router: str
+    ingress_link: str
+    via_asn: int
+
+
+@dataclass
+class ViolationReport:
+    """Aggregate result of one snapshot's violation scan."""
+
+    timestamp: float
+    findings: list[ViolationFinding] = field(default_factory=list)
+    #: asn -> number of monitored ranges checked
+    checked: Counter = field(default_factory=Counter)
+
+    def count_by_asn(self) -> Counter:
+        return Counter(finding.asn for finding in self.findings)
+
+    def violation_share(self, asn: int) -> float:
+        checked = self.checked.get(asn, 0)
+        if checked == 0:
+            return 0.0
+        return self.count_by_asn().get(asn, 0) / checked
+
+
+def detect_violations(
+    records: Iterable[IPDRecord],
+    table: BGPTable,
+    topology: ISPTopology,
+    monitored_asns: Sequence[int],
+    timestamp: float = 0.0,
+    version: int = IPV4,
+) -> ViolationReport:
+    """Scan one IPD snapshot for indirect entry of monitored prefixes."""
+    monitored = set(monitored_asns)
+    origin_lpm: LPMTable[int] = LPMTable(version)
+    for asn in monitored:
+        for prefix in table.prefixes_of_asn(asn):
+            if prefix.version == version:
+                origin_lpm.insert(prefix, asn)
+
+    report = ViolationReport(timestamp=timestamp)
+    for record in records:
+        if not record.classified or record.version != version:
+            continue
+        asn = origin_lpm.lookup(record.range.value)
+        if asn is None:
+            continue
+        report.checked[asn] += 1
+        link = topology.link_of_ingress(record.ingress)
+        if link.neighbor_asn != asn:
+            report.findings.append(
+                ViolationFinding(
+                    timestamp=timestamp,
+                    asn=asn,
+                    range_text=str(record.range),
+                    ingress_router=record.ingress.router,
+                    ingress_link=link.link_id,
+                    via_asn=link.neighbor_asn,
+                )
+            )
+    return report
+
+
+def violation_timeseries(
+    snapshots: Mapping[float, Sequence[IPDRecord]],
+    table: BGPTable,
+    topology: ISPTopology,
+    monitored_asns: Sequence[int],
+    version: int = IPV4,
+) -> list[ViolationReport]:
+    """Fig. 17: one violation scan per snapshot, in time order."""
+    return [
+        detect_violations(
+            snapshots[timestamp], table, topology, monitored_asns,
+            timestamp=timestamp, version=version,
+        )
+        for timestamp in sorted(snapshots)
+    ]

@@ -1,0 +1,13 @@
+"""Baselines IPD is compared against: BGP symmetry, static /24 models."""
+
+from .bgp_baseline import BaselineAccuracy, BGPIngressPredictor, evaluate_bgp_baseline
+from .static24 import StaticPrefixModel, evaluate_static_model, train_static_model
+
+__all__ = [
+    "BGPIngressPredictor",
+    "BaselineAccuracy",
+    "StaticPrefixModel",
+    "evaluate_bgp_baseline",
+    "evaluate_static_model",
+    "train_static_model",
+]

@@ -1,0 +1,60 @@
+"""The BGP symmetry baseline — the practice §5.5 debunks.
+
+"Inferring ingress points is in practice sometimes simplified by taking
+easy to obtain BGP feeds and assuming path symmetry."  This baseline
+does exactly that: for a source address, it predicts that traffic comes
+in where the ISP would send traffic out — the best route's next-hop
+router.  BGP knows nothing about interfaces, so the prediction is
+router-granular at best; the evaluation compares at router level, which
+is *generous* to the baseline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Optional
+
+from ..bgp.rib import BGPTable
+from ..netflow.records import FlowRecord
+
+__all__ = ["BGPIngressPredictor", "BaselineAccuracy", "evaluate_bgp_baseline"]
+
+
+@dataclass
+class BaselineAccuracy:
+    """Router-level accuracy of a baseline predictor."""
+
+    total: int = 0
+    correct: int = 0
+    unpredicted: int = 0
+
+    @property
+    def accuracy(self) -> float:
+        return self.correct / self.total if self.total else 0.0
+
+
+class BGPIngressPredictor:
+    """Predicts the ingress router under the path-symmetry assumption."""
+
+    def __init__(self, table: BGPTable) -> None:
+        self._table = table
+
+    def predict_router(self, src_ip: int, version: int = 4) -> Optional[str]:
+        """The router BGP would egress to — assumed (wrongly) symmetric."""
+        return self._table.egress_router(src_ip, version)
+
+
+def evaluate_bgp_baseline(
+    flows: Iterable[FlowRecord], table: BGPTable
+) -> BaselineAccuracy:
+    """Score the symmetry assumption against ground-truth flows."""
+    predictor = BGPIngressPredictor(table)
+    result = BaselineAccuracy()
+    for flow in flows:
+        result.total += 1
+        predicted = predictor.predict_router(flow.src_ip, flow.version)
+        if predicted is None:
+            result.unpredicted += 1
+        elif predicted == flow.ingress.router:
+            result.correct += 1
+    return result

@@ -1,0 +1,91 @@
+"""A static /24 partitioning baseline in the spirit of TIPSY [22].
+
+TIPSY statistically models ingress per fixed /24 prefix from a training
+period.  The paper contrasts IPD's dynamic, traffic-driven range sizes
+against such static partitioning (§5.2, §6): a static model (i) cannot
+represent mappings finer than /24 (CDN /28 server blocks) or coarser
+aggregates, and (ii) goes stale as ingress points move, because it only
+knows prefixes observed during training.
+
+The implementation is deliberately faithful to that *style* of system,
+not to TIPSY's internals: train on a window of flows, freeze a /24 ->
+dominant-ingress map, predict from the frozen map.
+"""
+
+from __future__ import annotations
+
+from collections import Counter, defaultdict
+from dataclasses import dataclass, field
+from typing import Iterable, Optional
+
+from ..core.iputil import mask_ip
+from ..netflow.records import FlowRecord
+from ..topology.elements import IngressPoint
+from .bgp_baseline import BaselineAccuracy
+
+__all__ = ["StaticPrefixModel", "train_static_model", "evaluate_static_model"]
+
+
+@dataclass
+class StaticPrefixModel:
+    """A frozen prefix -> ingress map learned from a training window."""
+
+    masklen: int = 24
+    #: masked prefix value -> predicted ingress
+    mapping: dict[tuple[int, int], IngressPoint] = field(default_factory=dict)
+
+    def predict(self, src_ip: int, version: int = 4) -> Optional[IngressPoint]:
+        key = (mask_ip(src_ip, self._masklen_for(version), version), version)
+        return self.mapping.get(key)
+
+    def _masklen_for(self, version: int) -> int:
+        # /24 for IPv4; the conventional /48 static granularity for IPv6.
+        return self.masklen if version == 4 else 48
+
+    def __len__(self) -> int:
+        return len(self.mapping)
+
+
+def train_static_model(
+    training_flows: Iterable[FlowRecord],
+    masklen: int = 24,
+    min_samples: int = 10,
+) -> StaticPrefixModel:
+    """Learn the dominant ingress per fixed-size prefix."""
+    model = StaticPrefixModel(masklen=masklen)
+    counters: dict[tuple[int, int], Counter] = defaultdict(Counter)
+    for flow in training_flows:
+        effective = masklen if flow.version == 4 else 48
+        key = (mask_ip(flow.src_ip, effective, flow.version), flow.version)
+        counters[key][flow.ingress] += 1
+    for key, counter in counters.items():
+        if sum(counter.values()) < min_samples:
+            continue
+        ingress, __ = counter.most_common(1)[0]
+        model.mapping[key] = ingress
+    return model
+
+
+def evaluate_static_model(
+    flows: Iterable[FlowRecord],
+    model: StaticPrefixModel,
+    router_level: bool = False,
+) -> BaselineAccuracy:
+    """Score the frozen model on (typically later) flows."""
+    result = BaselineAccuracy()
+    for flow in flows:
+        result.total += 1
+        predicted = model.predict(flow.src_ip, flow.version)
+        if predicted is None:
+            result.unpredicted += 1
+            continue
+        if router_level:
+            correct = predicted.router == flow.ingress.router
+        else:
+            correct = predicted == flow.ingress or (
+                predicted.router == flow.ingress.router
+                and flow.ingress.interface in predicted.interfaces()
+            )
+        if correct:
+            result.correct += 1
+    return result

@@ -1,0 +1,12 @@
+"""BGP substrate: routes, RIB snapshots, synthetic announcements."""
+
+from .announcements import AnnouncementConfig, generate_daily_tables, generate_table
+from .rib import BGPRoute, BGPTable
+
+__all__ = [
+    "AnnouncementConfig",
+    "BGPRoute",
+    "BGPTable",
+    "generate_daily_tables",
+    "generate_table",
+]

@@ -1,0 +1,193 @@
+"""Synthetic BGP announcement generation.
+
+Builds RIB snapshots consistent with the address plan and topology:
+
+* every AS announces each allocation block as an aggregate plus a tail
+  of more-specifics whose mask mix follows the published BGP prefix-size
+  distribution (Fig. 9, gray: >50 % /24, 5-10 % each of /20–/23);
+* each prefix is announced over several candidate next-hop routers —
+  direct links of the origin AS plus transit paths — with a multiplicity
+  distribution matching Fig. 3's dotted curves (≈20 % single next-hop,
+  ≈60 % with more than five);
+* the origin's *home link* (the same one the traffic model anchors on)
+  carries a higher local-pref, so best-path selection prefers it: this
+  ties the egress side of the §5.5 asymmetry study to the ingress side.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Iterable
+
+from ..core.iputil import IPV4, Prefix
+from ..topology.network import ISPTopology
+from ..workloads.address_space import AddressPlan
+from ..workloads.mapping import ASIngressModel
+from .rib import BGPRoute, BGPTable
+
+__all__ = ["AnnouncementConfig", "generate_table", "generate_daily_tables"]
+
+#: mask -> relative frequency among more-specific announcements (Fig. 9)
+_MASK_MIX: tuple[tuple[int, float], ...] = (
+    (24, 0.55),
+    (23, 0.09),
+    (22, 0.08),
+    (21, 0.07),
+    (20, 0.07),
+    (19, 0.05),
+    (18, 0.04),
+    (16, 0.05),
+)
+
+
+@dataclass(frozen=True)
+class AnnouncementConfig:
+    """Knobs for RIB synthesis."""
+
+    more_specifics_per_as: int = 24
+    #: distribution of distinct next-hop routers per prefix, as
+    #: (count, weight) pairs; counts are capped by availability.
+    next_hop_mix: tuple[tuple[int, float], ...] = (
+        (1, 0.20),
+        (2, 0.08),
+        (3, 0.06),
+        (4, 0.03),
+        (5, 0.03),
+        (6, 0.20),
+        (8, 0.20),
+        (10, 0.20),
+    )
+    home_local_pref: int = 200
+    default_local_pref: int = 100
+    seed: int = 31
+
+
+def generate_table(
+    topology: ISPTopology,
+    plan: AddressPlan,
+    models: dict[int, ASIngressModel],
+    config: AnnouncementConfig | None = None,
+    timestamp: float = 0.0,
+) -> BGPTable:
+    """Build one RIB snapshot for the whole synthetic Internet."""
+    config = config or AnnouncementConfig()
+    rng = random.Random(config.seed)
+    table = BGPTable(timestamp=timestamp)
+
+    masks = [mask for mask, __ in _MASK_MIX]
+    mask_weights = [weight for __, weight in _MASK_MIX]
+    hop_counts = [count for count, __ in config.next_hop_mix]
+    hop_weights = [weight for __, weight in config.next_hop_mix]
+
+    for asn, profile in plan.profiles.items():
+        model = models.get(asn)
+        if model is None:
+            continue
+        prefixes: list[Prefix] = []
+        for block in profile.blocks:
+            if block.version != IPV4:
+                continue
+            prefixes.append(block)  # the aggregate
+            prefixes.extend(
+                _more_specifics(block, masks, mask_weights, config, rng)
+            )
+        for prefix in prefixes:
+            table.add_routes(
+                _routes_for_prefix(
+                    topology, model, asn, prefix, hop_counts, hop_weights,
+                    config, rng,
+                )
+            )
+    return table
+
+
+def generate_daily_tables(
+    topology: ISPTopology,
+    plan: AddressPlan,
+    models: dict[int, ASIngressModel],
+    timestamps: Iterable[float],
+    config: AnnouncementConfig | None = None,
+) -> list[BGPTable]:
+    """Periodic table dumps (§4) — one :class:`BGPTable` per timestamp.
+
+    The synthetic RIB is structurally static day over day (real tables
+    are too, compared to traffic); only the timestamp differs.
+    """
+    return [
+        generate_table(topology, plan, models, config, timestamp=timestamp)
+        for timestamp in timestamps
+    ]
+
+
+def _more_specifics(
+    block: Prefix,
+    masks: list[int],
+    weights: list[float],
+    config: AnnouncementConfig,
+    rng: random.Random,
+) -> list[Prefix]:
+    """Draw disjoint more-specific announcements inside *block*."""
+    specifics: list[Prefix] = []
+    cursor = block.value
+    end = block.value + block.num_addresses
+    for __ in range(config.more_specifics_per_as):
+        if cursor >= end:
+            break
+        masklen = rng.choices(masks, weights)[0]
+        masklen = max(masklen, block.masklen)
+        prefix = Prefix.from_ip(cursor, masklen, IPV4)
+        if prefix.value != cursor or prefix.last_value >= end:
+            cursor += 1 << (32 - max(masklen, block.masklen))
+            continue
+        specifics.append(prefix)
+        cursor = prefix.last_value + 1
+    return specifics
+
+
+def _routes_for_prefix(
+    topology: ISPTopology,
+    model: ASIngressModel,
+    asn: int,
+    prefix: Prefix,
+    hop_counts: list[int],
+    hop_weights: list[float],
+    config: AnnouncementConfig,
+    rng: random.Random,
+) -> list[BGPRoute]:
+    """Announce *prefix* over a drawn number of candidate links."""
+    candidates = list(model.candidate_links)
+    target = rng.choices(hop_counts, hop_weights)[0]
+    home = model.home_link
+
+    chosen = [home]
+    others = [link_id for link_id in candidates if link_id != home]
+    rng.shuffle(others)
+    chosen.extend(others[: max(0, target - 1)])
+
+    routes: list[BGPRoute] = []
+    for link_id in chosen:
+        link = topology.links[link_id]
+        direct = link.neighbor_asn == asn
+        if direct:
+            as_path = (asn,)
+        else:
+            # a transit path: neighbor AS, maybe one more hop, then origin
+            middle = (rng.randint(64600, 64700),) if rng.random() < 0.5 else ()
+            as_path = (link.neighbor_asn,) + middle + (asn,)
+        routes.append(
+            BGPRoute(
+                prefix=prefix,
+                origin_asn=asn,
+                neighbor_asn=link.neighbor_asn,
+                next_hop_router=link.router,
+                link_id=link_id,
+                as_path=as_path,
+                local_pref=(
+                    config.home_local_pref
+                    if link_id == home
+                    else config.default_local_pref
+                ),
+            )
+        )
+    return routes

@@ -1,0 +1,143 @@
+"""BGP RIB substrate.
+
+The paper uses periodic BGP table dumps from the ISP (§4) for three
+analyses: the next-hop multiplicity of prefixes (Fig. 3), the
+IPD-vs-BGP prefix-size comparison (§5.2, Fig. 9) and the path-asymmetry
+study that compares IPD ingress routers with BGP egress routers
+(§5.5, Fig. 16).  We therefore model exactly the RIB view those analyses
+need: per-prefix route sets with enough attributes to run standard best
+path selection, plus LPM lookup of the selected egress router.
+
+BGP explicitly does **not** feed the IPD algorithm itself — the paper's
+central argument (§3.1) is that it cannot.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, Optional
+
+from ..core.iputil import IPV4, Prefix
+from ..core.lpm import LPMTable
+
+__all__ = ["BGPRoute", "BGPTable"]
+
+
+@dataclass(frozen=True)
+class BGPRoute:
+    """One path toward a destination prefix, as learned at a border router."""
+
+    prefix: Prefix
+    origin_asn: int
+    neighbor_asn: int
+    next_hop_router: str
+    link_id: str
+    as_path: tuple[int, ...] = ()
+    local_pref: int = 100
+    med: int = 0
+
+    def path_length(self) -> int:
+        return len(self.as_path)
+
+
+def _preference_key(route: BGPRoute) -> tuple:
+    """Standard best-path ordering: higher is better for the first field.
+
+    local-pref desc, AS-path length asc, MED asc, then deterministic
+    tie-breaks (neighbor ASN, router name) standing in for router-id.
+    """
+    return (
+        -route.local_pref,
+        route.path_length(),
+        route.med,
+        route.neighbor_asn,
+        route.next_hop_router,
+        route.link_id,
+    )
+
+
+@dataclass
+class BGPTable:
+    """A RIB snapshot: all routes known at one point in time."""
+
+    timestamp: float = 0.0
+    _routes: dict[Prefix, list[BGPRoute]] = field(default_factory=dict)
+    _best_lpm: dict[int, LPMTable[BGPRoute]] = field(default_factory=dict, repr=False)
+
+    def add_route(self, route: BGPRoute) -> None:
+        self._routes.setdefault(route.prefix, []).append(route)
+        self._best_lpm.clear()  # invalidate derived structures
+
+    def add_routes(self, routes: Iterable[BGPRoute]) -> None:
+        for route in routes:
+            self.add_route(route)
+
+    def prefixes(self) -> Iterator[Prefix]:
+        return iter(self._routes)
+
+    def routes_for(self, prefix: Prefix) -> list[BGPRoute]:
+        return list(self._routes.get(prefix, ()))
+
+    def best_route(self, prefix: Prefix) -> Optional[BGPRoute]:
+        """Best-path selection among the routes for an exact prefix."""
+        routes = self._routes.get(prefix)
+        if not routes:
+            return None
+        return min(routes, key=_preference_key)
+
+    def next_hop_routers(self, prefix: Prefix) -> set[str]:
+        """Distinct candidate next-hop border routers for a prefix.
+
+        This is the quantity plotted as the dotted lines of Fig. 3: how
+        many places BGP *could* deliver (or accept) the prefix's traffic.
+        """
+        return {route.next_hop_router for route in self._routes.get(prefix, ())}
+
+    def lookup(self, ip_value: int, version: int = IPV4) -> Optional[BGPRoute]:
+        """LPM lookup of the best route covering an address."""
+        lpm = self._ensure_lpm(version)
+        return lpm.lookup(ip_value)
+
+    def lookup_prefix(self, ip_value: int, version: int = IPV4) -> Optional[tuple[Prefix, BGPRoute]]:
+        lpm = self._ensure_lpm(version)
+        return lpm.lookup_with_prefix(ip_value)
+
+    def egress_router(self, ip_value: int, version: int = IPV4) -> Optional[str]:
+        """The border router the ISP would *send* traffic for an address to.
+
+        Forward-path (egress) selection is what BGP genuinely controls;
+        the asymmetry analysis compares this against the IPD ingress.
+        """
+        route = self.lookup(ip_value, version)
+        return route.next_hop_router if route is not None else None
+
+    def origin_of(self, prefix: Prefix) -> Optional[int]:
+        route = self.best_route(prefix)
+        return route.origin_asn if route is not None else None
+
+    def prefixes_of_asn(self, asn: int) -> list[Prefix]:
+        """All prefixes originated by an AS (violation monitoring, §5.6)."""
+        return [
+            prefix
+            for prefix, routes in self._routes.items()
+            if any(route.origin_asn == asn for route in routes)
+        ]
+
+    def _ensure_lpm(self, version: int) -> LPMTable[BGPRoute]:
+        lpm = self._best_lpm.get(version)
+        if lpm is None:
+            lpm = LPMTable(version)
+            for prefix in self._routes:
+                if prefix.version != version:
+                    continue
+                best = self.best_route(prefix)
+                if best is not None:
+                    lpm.insert(prefix, best)
+            self._best_lpm[version] = lpm
+        return lpm
+
+    def __len__(self) -> int:
+        return len(self._routes)
+
+    def __contains__(self, prefix: Prefix) -> bool:
+        return prefix in self._routes

@@ -1,0 +1,245 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Thin operational wrappers over the library:
+
+* ``run``       — replay a flow CSV through IPD, write Table-3 records.
+* ``lookup``    — LPM queries against an IPD output CSV.
+* ``simulate``  — generate a synthetic scenario's flow CSV (+ ground truth).
+* ``evaluate``  — score an IPD output CSV against a ground-truth flow CSV.
+* ``archive``   — maintain the longitudinal snapshot archive.
+* ``watch``     — print a prefix's classification trajectory from an
+  archive (the Fig. 13/14 view, with a confidence sparkline).
+
+All file formats are the library's own CSV round-trip formats
+(:mod:`repro.netflow.records`, :mod:`repro.core.output`), so outputs of
+one command feed the next.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+from .core.driver import OfflineDriver
+from .core.iputil import parse_ip
+from .core.lpm import build_lpm_from_records
+from .core.output import read_records_csv, write_records_csv
+from .core.params import IPDParams
+from .netflow.records import read_flows_csv, write_flows_csv
+
+__all__ = ["main"]
+
+
+def _add_param_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--q", type=float, default=0.95,
+                        help="dominance threshold (Table 1: 0.95)")
+    parser.add_argument("--cidr-max", type=int, default=28,
+                        help="max IPv4 range specificity (Table 1: 28)")
+    parser.add_argument("--n-cidr-factor", type=float, default=64.0,
+                        help="minimum-sample factor; scale with your "
+                             "flow volume (deployment: 64 at ~32M flows/min)")
+    parser.add_argument("--t", type=float, default=60.0,
+                        help="sweep interval seconds")
+    parser.add_argument("--e", type=float, default=120.0,
+                        help="expiry seconds")
+
+
+def _params_from(args: argparse.Namespace) -> IPDParams:
+    return IPDParams(
+        q=args.q,
+        cidr_max_v4=args.cidr_max,
+        n_cidr_factor_v4=args.n_cidr_factor,
+        n_cidr_factor_v6=max(args.n_cidr_factor * 0.375, 1e-6),
+        t=args.t,
+        e=args.e,
+    )
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    params = _params_from(args)
+    driver = OfflineDriver(params, snapshot_seconds=args.snapshot_seconds)
+    with open(args.flows) as stream:
+        result = driver.run(read_flows_csv(stream))
+    records = result.final_snapshot()
+    with open(args.output, "w") as stream:
+        count = write_records_csv(records, stream)
+    print(f"processed {result.flows_processed:,} flows, "
+          f"{len(result.sweeps)} sweeps; wrote {count} ranges "
+          f"to {args.output}")
+    return 0
+
+
+def _cmd_lookup(args: argparse.Namespace) -> int:
+    with open(args.records) as stream:
+        records = list(read_records_csv(stream))
+    status = 0
+    for address in args.address:
+        value, version = parse_ip(address)
+        lpm = build_lpm_from_records(records, version)
+        found = lpm.lookup_with_prefix(value)
+        if found is None:
+            print(f"{address}: not mapped")
+            status = 1
+        else:
+            prefix, ingress = found
+            print(f"{address}: {ingress} (via {prefix})")
+    return status
+
+
+def _cmd_simulate(args: argparse.Namespace) -> int:
+    from .workloads.scenarios import default_scenario
+
+    scenario = default_scenario(
+        duration_hours=args.hours,
+        flows_per_bucket_peak=args.flows_per_minute,
+        seed=args.seed,
+    )
+    with open(args.output, "w") as stream:
+        count = write_flows_csv(scenario.generator().flows(), stream)
+    print(f"wrote {count:,} flows ({args.hours}h synthetic tier-1 traffic) "
+          f"to {args.output}")
+    print("suggested IPD scaling for this volume: "
+          f"--n-cidr-factor {0.25 * args.flows_per_minute / 3500.0:.3f}")
+    return 0
+
+
+def _cmd_archive(args: argparse.Namespace) -> int:
+    from .archive import SnapshotArchive
+
+    archive = SnapshotArchive(args.root)
+    if args.action == "ingest":
+        if not args.records:
+            print("ingest requires --records", file=sys.stderr)
+            return 2
+        with open(args.records) as stream:
+            records = list(read_records_csv(stream))
+        by_time: dict[float, list] = {}
+        for record in records:
+            by_time.setdefault(record.timestamp, []).append(record)
+        count = archive.append_run(by_time)
+        print(f"archived {count} snapshot(s), {len(records)} records")
+        return 0
+    stats = archive.stats()
+    print(f"days: {stats.days}  snapshots: {stats.snapshots}  "
+          f"records: {stats.records:,}  "
+          f"compressed: {stats.compressed_bytes:,} bytes")
+    return 0
+
+
+def _cmd_watch(args: argparse.Namespace) -> int:
+    from .analysis.trajectory import range_trajectory
+    from .archive import SnapshotArchive
+    from .core.iputil import parse_prefix
+    from .reporting.sparkline import sparkline
+
+    archive = SnapshotArchive(args.root)
+    prefix = parse_prefix(args.prefix)
+    snapshots = archive.load(start=args.start, end=args.end)
+    if not snapshots:
+        print("no snapshots in range", file=sys.stderr)
+        return 1
+    trajectory = range_trajectory(snapshots, prefix)
+    print(f"{prefix}: {len(trajectory.points)} snapshots, "
+          f"classified {trajectory.classified_share():.0%} of the time")
+    print("confidence: "
+          + sparkline([p.confidence for p in trajectory.points],
+                      minimum=0.0, maximum=1.0))
+    print("samples:    "
+          + sparkline([p.samples for p in trajectory.points]))
+    for ts, old, new in trajectory.ingress_changes():
+        print(f"  change @ {ts:.0f}s: {old} -> {new}")
+    for start, end in trajectory.gaps():
+        print(f"  unclassified {start:.0f}s .. {end:.0f}s")
+    return 0
+
+
+def _cmd_evaluate(args: argparse.Namespace) -> int:
+    with open(args.records) as stream:
+        records = list(read_records_csv(stream))
+    lpm_by_version: dict[int, object] = {}
+    total = correct = unmapped = 0
+    with open(args.flows) as stream:
+        for flow in read_flows_csv(stream):
+            lpm = lpm_by_version.get(flow.version)
+            if lpm is None:
+                lpm = build_lpm_from_records(records, flow.version)
+                lpm_by_version[flow.version] = lpm
+            predicted = lpm.lookup(flow.src_ip)
+            total += 1
+            if predicted is None:
+                unmapped += 1
+            elif predicted == flow.ingress or (
+                predicted.router == flow.ingress.router
+                and flow.ingress.interface in predicted.interfaces()
+            ):
+                correct += 1
+    if total == 0:
+        print("no flows to evaluate")
+        return 1
+    print(f"flows: {total:,}  correct: {correct / total:.3f}  "
+          f"unmapped: {unmapped / total:.3f}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="IPD (SIGCOMM'24 reproduction) command line",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    run = commands.add_parser("run", help="replay a flow CSV through IPD")
+    run.add_argument("flows", help="input flow CSV")
+    run.add_argument("output", help="output IPD record CSV")
+    run.add_argument("--snapshot-seconds", type=float, default=300.0)
+    _add_param_arguments(run)
+    run.set_defaults(handler=_cmd_run)
+
+    lookup = commands.add_parser("lookup", help="query an IPD output CSV")
+    lookup.add_argument("records", help="IPD record CSV")
+    lookup.add_argument("address", nargs="+", help="IP address(es)")
+    lookup.set_defaults(handler=_cmd_lookup)
+
+    simulate = commands.add_parser(
+        "simulate", help="generate a synthetic scenario flow CSV"
+    )
+    simulate.add_argument("output", help="output flow CSV")
+    simulate.add_argument("--hours", type=float, default=2.0)
+    simulate.add_argument("--flows-per-minute", type=int, default=3500)
+    simulate.add_argument("--seed", type=int, default=7)
+    simulate.set_defaults(handler=_cmd_simulate)
+
+    evaluate = commands.add_parser(
+        "evaluate", help="score IPD records against ground-truth flows"
+    )
+    evaluate.add_argument("records", help="IPD record CSV")
+    evaluate.add_argument("flows", help="ground-truth flow CSV")
+    evaluate.set_defaults(handler=_cmd_evaluate)
+
+    archive = commands.add_parser(
+        "archive", help="longitudinal snapshot archive (ingest/stats)"
+    )
+    archive.add_argument("root", help="archive directory")
+    archive.add_argument("action", choices=["ingest", "stats"])
+    archive.add_argument("--records", help="IPD record CSV to ingest")
+    archive.set_defaults(handler=_cmd_archive)
+
+    watch = commands.add_parser(
+        "watch", help="print a prefix's trajectory from an archive"
+    )
+    watch.add_argument("root", help="archive directory")
+    watch.add_argument("prefix", help="CIDR prefix to watch")
+    watch.add_argument("--start", type=float, default=None)
+    watch.add_argument("--end", type=float, default=None)
+    watch.set_defaults(handler=_cmd_watch)
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.handler(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

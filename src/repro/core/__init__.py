@@ -1,0 +1,44 @@
+"""IPD core: parameters, range trie, two-stage algorithm, LPM, output."""
+
+from .algorithm import IPD, SweepReport
+from .bundles import bundle_candidates, dominant_ingress, make_bundle
+from .driver import OfflineDriver, RunResult, ThreadedIPD
+from .lbdetect import LBVerdict, LoadBalanceDetector
+from .iputil import IPV4, IPV6, Prefix, format_ip, mask_ip, parse_ip, parse_prefix
+from .lpm import LPMTable, build_lpm_from_records
+from .output import IPDRecord, read_records_csv, write_records_csv
+from .params import DEFAULT_PARAMS, IPDParams, default_decay
+from .rangetree import RangeNode, RangeTree
+from .state import ClassifiedState, UnclassifiedState
+
+__all__ = [
+    "DEFAULT_PARAMS",
+    "IPD",
+    "IPDParams",
+    "IPDRecord",
+    "IPV4",
+    "IPV6",
+    "LBVerdict",
+    "LoadBalanceDetector",
+    "LPMTable",
+    "OfflineDriver",
+    "Prefix",
+    "RangeNode",
+    "RangeTree",
+    "RunResult",
+    "SweepReport",
+    "ThreadedIPD",
+    "ClassifiedState",
+    "UnclassifiedState",
+    "build_lpm_from_records",
+    "bundle_candidates",
+    "default_decay",
+    "dominant_ingress",
+    "format_ip",
+    "make_bundle",
+    "mask_ip",
+    "parse_ip",
+    "parse_prefix",
+    "read_records_csv",
+    "write_records_csv",
+]

@@ -1,0 +1,352 @@
+"""The IPD algorithm (Algorithm 1 of the paper).
+
+Two stages, mirrored here as two methods:
+
+* :meth:`IPD.ingest` — Stage 1.  Masks a flow's source address to
+  ``cidr_max`` and adds (timestamp, masked source, ingress link) to the
+  covering range of the per-family binary trie.
+* :meth:`IPD.sweep` — Stage 2.  Every ``t`` seconds, walks all ranges:
+  expires stale observations, classifies ranges with a prevalent ingress
+  (``s_ingress >= q`` once ``s_ipcount >= n_cidr``), splits ranges with
+  competing ingresses (until ``cidr_max``), joins sibling ranges that
+  agree, decays idle classified ranges, and drops invalidated ones.
+
+The deployment runs the stages in two threads; behaviourally the
+algorithm is defined by "all ingest before each sweep tick", which the
+event-driven :mod:`repro.core.driver` reproduces deterministically.  A
+thread-backed runner with the deployment layout lives in the same
+driver module.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from ..netflow.records import FlowRecord
+from ..topology.elements import IngressPoint
+from .bundles import dominant_ingress
+from .iputil import IPV4, IPV6, Prefix, mask_ip
+from .output import IPDRecord
+from .params import DEFAULT_PARAMS, IPDParams
+from .rangetree import RangeNode, RangeTree
+from .state import ClassifiedState, UnclassifiedState
+
+__all__ = ["IPD", "SweepReport"]
+
+
+@dataclass
+class SweepReport:
+    """Bookkeeping emitted by one Stage-2 sweep."""
+
+    timestamp: float
+    duration_seconds: float = 0.0
+    leaves: int = 0
+    classified: int = 0
+    classifications: int = 0
+    splits: int = 0
+    joins: int = 0
+    drops: int = 0
+    prunes: int = 0
+    expired_sources: int = 0
+    decayed_ranges: int = 0
+    #: per-family leaf counts after the sweep
+    leaves_by_version: dict[int, int] = field(default_factory=dict)
+
+
+class IPD:
+    """Online ingress point detection over a flow stream.
+
+    An optional :class:`~repro.core.lbdetect.LoadBalanceDetector` can be
+    attached (the §5.8 future-work extension): ranges that keep failing
+    classification at ``cidr_max`` are handed to it for (src, dst) pair
+    tracking, and matching flows are mirrored into it during ingest.
+    """
+
+    def __init__(
+        self,
+        params: IPDParams | None = None,
+        lb_detector: "object | None" = None,
+        lb_patience: int = 3,
+    ) -> None:
+        self.params = params or DEFAULT_PARAMS
+        self.trees: dict[int, RangeTree] = {
+            IPV4: RangeTree(IPV4),
+            IPV6: RangeTree(IPV6),
+        }
+        self.flows_ingested = 0
+        self.bytes_ingested = 0
+        self.last_sweep_at: float | None = None
+        self.lb_detector = lb_detector
+        self.lb_patience = lb_patience
+        self._cidrmax_failures: dict[Prefix, int] = {}
+
+    # ------------------------------------------------------------------ stage 1
+
+    def ingest(self, flow: FlowRecord) -> None:
+        """Add one flow observation (Algorithm 1, lines 1-4)."""
+        params = self.params
+        tree = self.trees[flow.version]
+        masked = mask_ip(flow.src_ip, params.cidr_max(flow.version), flow.version)
+        leaf = tree.lookup_leaf(masked)
+        weight = float(flow.bytes) if params.count_bytes else 1.0
+        state = leaf.state
+        if isinstance(state, UnclassifiedState):
+            state.add(masked, flow.ingress, flow.timestamp, weight)
+        else:
+            assert isinstance(state, ClassifiedState)
+            state.add(flow.ingress, flow.timestamp, weight)
+        self.flows_ingested += 1
+        self.bytes_ingested += flow.bytes
+        if self.lb_detector is not None:
+            self.lb_detector.observe(flow)
+
+    def ingest_many(self, flows) -> int:
+        """Ingest an iterable of flows; returns how many were consumed."""
+        count = 0
+        for flow in flows:
+            self.ingest(flow)
+            count += 1
+        return count
+
+    # ------------------------------------------------------------------ stage 2
+
+    def sweep(self, now: float) -> SweepReport:
+        """Run one Stage-2 pass over all ranges (Algorithm 1, lines 5-19)."""
+        started = time.perf_counter()
+        report = SweepReport(timestamp=now)
+        for tree in self.trees.values():
+            self._sweep_tree(tree, now, report)
+            report.leaves_by_version[tree.version] = tree.leaf_count()
+        report.leaves = sum(report.leaves_by_version.values())
+        report.classified = sum(
+            1 for tree in self.trees.values() for __ in tree.classified_leaves()
+        )
+        report.duration_seconds = time.perf_counter() - started
+        self.last_sweep_at = now
+        return report
+
+    def _sweep_tree(self, tree: RangeTree, now: float, report: SweepReport) -> None:
+        params = self.params
+        version = tree.version
+        cidr_max = params.cidr_max(version)
+        expiry_cutoff = now - params.e
+
+        for leaf in list(tree.leaves()):
+            state = leaf.state
+            if isinstance(state, UnclassifiedState):
+                report.expired_sources += state.expire(expiry_cutoff)
+                self._handle_unclassified(tree, leaf, state, now, cidr_max, report)
+            else:
+                assert isinstance(state, ClassifiedState)
+                self._handle_classified(leaf, state, now, report)
+
+        report.joins += self._join_pass(tree, now)
+        report.prunes += tree.prune(_is_empty_unclassified)
+        tree.clear_cache()
+
+    def _handle_unclassified(
+        self,
+        tree: RangeTree,
+        leaf: RangeNode,
+        state: UnclassifiedState,
+        now: float,
+        cidr_max: int,
+        report: SweepReport,
+    ) -> None:
+        params = self.params
+        masklen = leaf.prefix.masklen
+        if state.sample_count < params.n_cidr(masklen, tree.version):
+            return  # line 8: not enough samples yet
+        found = dominant_ingress(
+            state.ingress_totals(),
+            enable_bundles=params.enable_bundles,
+            min_share=params.bundle_min_share,
+        )
+        if found is None:
+            return
+        ingress, share, __ = found
+        if share >= params.q:
+            # line 10: assign the prevalent ingress; per-IP detail is
+            # discarded ("all state is removed for efficiency reasons").
+            leaf.state = ClassifiedState(
+                ingress=ingress,
+                counters=state.ingress_totals(),
+                last_seen=state.newest_timestamp,
+                classified_at=now,
+            )
+            report.classifications += 1
+            self._cidrmax_failures.pop(leaf.prefix, None)
+        elif masklen < cidr_max:
+            tree.split(leaf)  # line 13
+            report.splits += 1
+        else:
+            # cidr_max reached without dominance (line 15); the join
+            # pass below may still coarsen once siblings agree.  With a
+            # load-balance detector attached, persistent failure here
+            # is the trigger for (src, dst) pair tracking (§5.8).
+            if self.lb_detector is not None:
+                failures = self._cidrmax_failures.get(leaf.prefix, 0) + 1
+                self._cidrmax_failures[leaf.prefix] = failures
+                if failures >= self.lb_patience:
+                    self.lb_detector.watch(leaf.prefix)
+
+    def _handle_classified(
+        self,
+        leaf: RangeNode,
+        state: ClassifiedState,
+        now: float,
+        report: SweepReport,
+    ) -> None:
+        params = self.params
+        age = now - state.last_seen
+        if age > params.t:
+            # No fresh traffic in the last bucket: decay toward removal.
+            # Table 1's ``decay`` is the fraction REMOVED per sweep, so
+            # the keep-factor is ``1 - decay = 0.9/(age/t + 1)``, which
+            # shrinks as the range ages — repeated application collapses
+            # even billion-sample counters within ~10 idle sweeps.
+            # "This ensures that ranges are quickly removed from
+            # classification when no new traffic is received" (§3.2).
+            keep = max(0.0, 1.0 - params.decay(age, params.t))
+            state.decay(keep)
+            report.decayed_ranges += 1
+            if state.total < params.drop_threshold:
+                leaf.state = UnclassifiedState()  # line 19: drop
+                report.drops += 1
+                return
+        share = state.confidence_for(_members_of(state.ingress))
+        if share < params.q:
+            leaf.state = UnclassifiedState()  # line 19: drop
+            report.drops += 1
+
+    def _join_pass(self, tree: RangeTree, now: float) -> int:
+        """Merge sibling leaves classified to the same logical ingress.
+
+        "Adjacent ranges may also be joined if they share the same
+        ingress and meet sample count requirements" (§3.2).  The merged
+        parent must itself satisfy its (larger) ``n_cidr`` threshold.
+        """
+        params = self.params
+        joins = 0
+        for parent in list(tree.internal_nodes_postorder()):
+            left, right = parent.left, parent.right
+            assert left is not None and right is not None
+            if not (left.is_leaf and right.is_leaf):
+                continue
+            left_state, right_state = left.state, right.state
+            if not (
+                isinstance(left_state, ClassifiedState)
+                and isinstance(right_state, ClassifiedState)
+            ):
+                continue
+            if left_state.ingress != right_state.ingress:
+                continue
+            combined_total = left_state.total + right_state.total
+            threshold = params.n_cidr(parent.prefix.masklen, tree.version)
+            if combined_total < threshold:
+                continue
+            counters = dict(left_state.counters)
+            for ingress, weight in right_state.counters.items():
+                counters[ingress] = counters.get(ingress, 0.0) + weight
+            merged = ClassifiedState(
+                ingress=left_state.ingress,
+                counters=counters,
+                last_seen=max(left_state.last_seen, right_state.last_seen),
+                classified_at=min(
+                    left_state.classified_at, right_state.classified_at
+                ),
+            )
+            tree.join(parent, merged)
+            joins += 1
+        return joins
+
+    # ------------------------------------------------------------------ output
+
+    def snapshot(
+        self, now: float, include_unclassified: bool = False
+    ) -> list[IPDRecord]:
+        """Emit the current mapping in the Table-3 raw output format."""
+        params = self.params
+        records: list[IPDRecord] = []
+        for tree in self.trees.values():
+            for leaf in tree.leaves():
+                state = leaf.state
+                n_cidr = params.n_cidr(leaf.prefix.masklen, tree.version)
+                if isinstance(state, ClassifiedState):
+                    candidates = tuple(
+                        sorted(state.counters.items(), key=lambda item: -item[1])
+                    )
+                    total = state.total
+                    share = state.confidence_for(_members_of(state.ingress))
+                    records.append(
+                        IPDRecord(
+                            timestamp=now,
+                            range=leaf.prefix,
+                            ingress=state.ingress,
+                            s_ingress=share,
+                            s_ipcount=total,
+                            n_cidr=n_cidr,
+                            candidates=candidates,
+                            classified=True,
+                        )
+                    )
+                elif include_unclassified and not state.is_empty():
+                    totals = state.ingress_totals()
+                    found = dominant_ingress(
+                        totals,
+                        enable_bundles=params.enable_bundles,
+                        min_share=params.bundle_min_share,
+                    )
+                    if found is None:
+                        continue
+                    ingress, share, __ = found
+                    records.append(
+                        IPDRecord(
+                            timestamp=now,
+                            range=leaf.prefix,
+                            ingress=ingress,
+                            s_ingress=share,
+                            s_ipcount=state.sample_count,
+                            n_cidr=n_cidr,
+                            candidates=tuple(
+                                sorted(totals.items(), key=lambda item: -item[1])
+                            ),
+                            classified=False,
+                        )
+                    )
+        records.sort(key=lambda record: (record.version, record.range.value))
+        return records
+
+    # ------------------------------------------------------------------ metrics
+
+    def state_size(self) -> int:
+        """Total number of tracked (masked IP, ingress) entries + counters.
+
+        A proxy for the RAM footprint used by the parameter study's
+        resource-consumption metric.
+        """
+        size = 0
+        for tree in self.trees.values():
+            for leaf in tree.leaves():
+                state = leaf.state
+                if isinstance(state, UnclassifiedState):
+                    size += sum(len(by_ingress) for by_ingress in state.per_ip.values())
+                else:
+                    assert isinstance(state, ClassifiedState)
+                    size += len(state.counters)
+        return size
+
+    def leaf_count(self) -> int:
+        return sum(tree.leaf_count() for tree in self.trees.values())
+
+
+def _members_of(ingress: IngressPoint) -> tuple[IngressPoint, ...]:
+    """Expand a (possibly bundled) logical ingress into raw interfaces."""
+    return tuple(
+        IngressPoint(ingress.router, name) for name in ingress.interfaces()
+    )
+
+
+def _is_empty_unclassified(node: RangeNode) -> bool:
+    return isinstance(node.state, UnclassifiedState) and node.state.is_empty()

@@ -1,0 +1,207 @@
+"""Drivers that connect flow streams to the IPD engine.
+
+* :class:`OfflineDriver` — deterministic, event-driven replay on flow
+  timestamps ("simulated time"): sweeps fire exactly at ``t``-second
+  boundaries of the trace clock, snapshots are emitted every
+  ``snapshot_seconds`` (the deployment publishes 5-minute bins, §4).
+  All analyses and benchmarks use this driver.
+* :class:`ThreadedIPD` — the deployment layout (§3.2, §5.7): one ingest
+  thread draining a queue, one sweep thread ticking on the wall clock.
+  Provided for completeness and for the quickstart's live mode; results
+  are equivalent but timing-dependent.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Iterator, Optional
+
+from ..netflow.records import FlowRecord
+from .algorithm import IPD, SweepReport
+from .output import IPDRecord
+from .params import IPDParams
+
+__all__ = ["OfflineDriver", "RunResult", "ThreadedIPD"]
+
+
+@dataclass
+class RunResult:
+    """Everything an offline replay produced."""
+
+    #: snapshot timestamp -> records (Table-3 rows) at that time
+    snapshots: dict[float, list[IPDRecord]] = field(default_factory=dict)
+    sweeps: list[SweepReport] = field(default_factory=list)
+    flows_processed: int = 0
+
+    def snapshot_times(self) -> list[float]:
+        return sorted(self.snapshots)
+
+    def final_snapshot(self) -> list[IPDRecord]:
+        if not self.snapshots:
+            return []
+        return self.snapshots[max(self.snapshots)]
+
+
+class OfflineDriver:
+    """Replays a time-ordered flow stream through an :class:`IPD` engine."""
+
+    def __init__(
+        self,
+        params: IPDParams | None = None,
+        snapshot_seconds: float = 300.0,
+        include_unclassified: bool = False,
+        on_sweep: Optional[Callable[[SweepReport, IPD], None]] = None,
+    ) -> None:
+        if snapshot_seconds <= 0:
+            raise ValueError("snapshot_seconds must be positive")
+        self.ipd = IPD(params)
+        self.snapshot_seconds = snapshot_seconds
+        self.include_unclassified = include_unclassified
+        self.on_sweep = on_sweep
+
+    def run(self, flows: Iterable[FlowRecord]) -> RunResult:
+        """Replay *flows* (non-decreasing timestamps) to completion."""
+        result = RunResult()
+        for __ in self.run_incremental(flows, result):
+            pass
+        return result
+
+    def run_incremental(
+        self, flows: Iterable[FlowRecord], result: RunResult | None = None
+    ) -> Iterator[tuple[float, list[IPDRecord]]]:
+        """Like :meth:`run` but yields ``(time, records)`` per snapshot."""
+        ipd = self.ipd
+        t = ipd.params.t
+        result = result if result is not None else RunResult()
+        next_sweep: float | None = None
+        next_snapshot: float | None = None
+        last_time: float | None = None
+
+        for flow in flows:
+            if last_time is not None and flow.timestamp < last_time - 1e-9:
+                raise ValueError(
+                    "flow stream is not time-ordered: "
+                    f"{flow.timestamp} after {last_time}"
+                )
+            last_time = flow.timestamp
+            if next_sweep is None:
+                # Align sweep/snapshot grids to the trace start.
+                next_sweep = (int(flow.timestamp // t) + 1) * t
+                next_snapshot = (
+                    int(flow.timestamp // self.snapshot_seconds) + 1
+                ) * self.snapshot_seconds
+            while flow.timestamp >= next_sweep:
+                yield from self._tick(next_sweep, result)
+                if next_snapshot is not None and next_sweep >= next_snapshot:
+                    records = ipd.snapshot(
+                        next_sweep, include_unclassified=self.include_unclassified
+                    )
+                    result.snapshots[next_sweep] = records
+                    yield next_sweep, records
+                    next_snapshot += self.snapshot_seconds
+                next_sweep += t
+            ipd.ingest(flow)
+            result.flows_processed += 1
+
+        if last_time is not None and next_sweep is not None:
+            # Close the final bucket.
+            yield from self._tick(next_sweep, result)
+            records = ipd.snapshot(
+                next_sweep, include_unclassified=self.include_unclassified
+            )
+            result.snapshots[next_sweep] = records
+            yield next_sweep, records
+
+    def _tick(
+        self, when: float, result: RunResult
+    ) -> Iterator[tuple[float, list[IPDRecord]]]:
+        report = self.ipd.sweep(when)
+        result.sweeps.append(report)
+        if self.on_sweep is not None:
+            self.on_sweep(report, self.ipd)
+        return iter(())
+
+
+class ThreadedIPD:
+    """The two-thread deployment layout: ingest queue + periodic sweeps.
+
+    Stage 1 runs in a consumer thread fed through :meth:`submit`; Stage 2
+    runs in a timer thread every ``sweep_interval`` wall-clock seconds
+    (scaled down from the trace's ``t`` for interactive use).  A single
+    lock serializes trie access — the deployment similarly runs Stage 2
+    single-threaded (§3.2).
+    """
+
+    def __init__(
+        self,
+        params: IPDParams | None = None,
+        sweep_interval: float = 1.0,
+        clock: Callable[[], float] | None = None,
+    ) -> None:
+        import time as _time
+
+        self.ipd = IPD(params)
+        self.sweep_interval = sweep_interval
+        self._clock = clock or _time.monotonic
+        self._queue: "queue.Queue[FlowRecord | None]" = queue.Queue(maxsize=100_000)
+        self._lock = threading.Lock()
+        self._stop = threading.Event()
+        self._ingest_thread: threading.Thread | None = None
+        self._sweep_thread: threading.Thread | None = None
+        self.sweep_reports: list[SweepReport] = []
+
+    def start(self) -> None:
+        if self._ingest_thread is not None:
+            raise RuntimeError("already started")
+        self._ingest_thread = threading.Thread(
+            target=self._ingest_loop, name="ipd-stage1", daemon=True
+        )
+        self._sweep_thread = threading.Thread(
+            target=self._sweep_loop, name="ipd-stage2", daemon=True
+        )
+        self._ingest_thread.start()
+        self._sweep_thread.start()
+
+    def submit(self, flow: FlowRecord, restamp: bool = True) -> None:
+        """Enqueue one flow for Stage-1 ingestion.
+
+        By default the flow is re-stamped with the live clock so that
+        expiry and decay operate on a single time base (the trace clock
+        of a replayed file would otherwise disagree with the sweep
+        thread's wall clock).
+        """
+        if restamp:
+            flow = flow.with_timestamp(self._clock())
+        self._queue.put(flow)
+
+    def stop(self) -> None:
+        """Drain the queue, stop both threads, run one final sweep."""
+        self._queue.put(None)
+        if self._ingest_thread is not None:
+            self._ingest_thread.join()
+        self._stop.set()
+        if self._sweep_thread is not None:
+            self._sweep_thread.join()
+        with self._lock:
+            self.sweep_reports.append(self.ipd.sweep(self._clock()))
+
+    def snapshot(self, include_unclassified: bool = False) -> list[IPDRecord]:
+        with self._lock:
+            return self.ipd.snapshot(
+                self._clock(), include_unclassified=include_unclassified
+            )
+
+    def _ingest_loop(self) -> None:
+        while True:
+            flow = self._queue.get()
+            if flow is None:
+                return
+            with self._lock:
+                self.ipd.ingest(flow)
+
+    def _sweep_loop(self) -> None:
+        while not self._stop.wait(self.sweep_interval):
+            with self._lock:
+                self.sweep_reports.append(self.ipd.sweep(self._clock()))

@@ -1,0 +1,142 @@
+"""Longest-prefix-match table over IPD output.
+
+The paper's validation pipeline (§5.1) builds an LPM lookup table from
+each 5-minute IPD output bin, then replays the raw flow trace against it
+to compare predicted with actual ingress points.  The same structure
+serves operational queries ("which ingress serves 198.51.100.17 right
+now?") and the longitudinal matching/stability analyses of §5.3.
+
+The table is a static binary trie built once per snapshot; lookups walk
+at most ``masklen`` bits and return the most specific covering entry.
+"""
+
+from __future__ import annotations
+
+from typing import Generic, Iterable, Iterator, Optional, TypeVar
+
+from ..topology.elements import IngressPoint
+from .iputil import IPV4, IPV6, Prefix
+from .output import IPDRecord
+
+__all__ = ["LPMTable", "build_lpm_from_records"]
+
+V = TypeVar("V")
+
+
+class _LPMNode(Generic[V]):
+    __slots__ = ("children", "value", "has_value")
+
+    def __init__(self) -> None:
+        self.children: list[Optional["_LPMNode[V]"]] = [None, None]
+        self.value: Optional[V] = None
+        self.has_value = False
+
+
+class LPMTable(Generic[V]):
+    """A longest-prefix-match dictionary keyed by :class:`Prefix`.
+
+    Values are arbitrary; IPD uses :class:`IngressPoint` payloads, the
+    BGP substrate reuses the same structure for route lookup.
+    """
+
+    def __init__(self, version: int) -> None:
+        if version not in (IPV4, IPV6):
+            raise ValueError(f"unknown IP version: {version!r}")
+        self.version = version
+        self._bits = 32 if version == IPV4 else 128
+        self._root: _LPMNode[V] = _LPMNode()
+        self._size = 0
+
+    def insert(self, prefix: Prefix, value: V) -> None:
+        """Insert or replace the entry for *prefix*."""
+        if prefix.version != self.version:
+            raise ValueError(
+                f"prefix family v{prefix.version} does not match table v{self.version}"
+            )
+        node = self._root
+        for depth in range(prefix.masklen):
+            bit = (prefix.value >> (self._bits - depth - 1)) & 1
+            child = node.children[bit]
+            if child is None:
+                child = _LPMNode()
+                node.children[bit] = child
+            node = child
+        if not node.has_value:
+            self._size += 1
+        node.value = value
+        node.has_value = True
+
+    def lookup(self, ip_value: int) -> Optional[V]:
+        """Most specific entry covering *ip_value*, or ``None``."""
+        found = self.lookup_with_prefix(ip_value)
+        return found[1] if found is not None else None
+
+    def lookup_with_prefix(self, ip_value: int) -> Optional[tuple[Prefix, V]]:
+        """Like :meth:`lookup` but also returns the matching prefix."""
+        node = self._root
+        best: Optional[tuple[int, V]] = None
+        if node.has_value:
+            best = (0, node.value)  # type: ignore[arg-type]
+        for depth in range(self._bits):
+            bit = (ip_value >> (self._bits - depth - 1)) & 1
+            child = node.children[bit]
+            if child is None:
+                break
+            node = child
+            if node.has_value:
+                best = (depth + 1, node.value)  # type: ignore[arg-type]
+        if best is None:
+            return None
+        masklen, value = best
+        return Prefix.from_ip(ip_value, masklen, self.version), value
+
+    def lookup_prefix(self, prefix: Prefix) -> Optional[V]:
+        """Exact-match lookup of a prefix entry."""
+        node = self._root
+        for depth in range(prefix.masklen):
+            bit = (prefix.value >> (self._bits - depth - 1)) & 1
+            child = node.children[bit]
+            if child is None:
+                return None
+            node = child
+        return node.value if node.has_value else None
+
+    def items(self) -> Iterator[tuple[Prefix, V]]:
+        """Yield all entries in address order."""
+        stack: list[tuple[_LPMNode[V], int, int]] = [(self._root, 0, 0)]
+        while stack:
+            node, value_bits, depth = stack.pop()
+            if node.has_value:
+                yield (
+                    Prefix(value_bits << (self._bits - depth) if depth else 0,
+                           depth, self.version),
+                    node.value,  # type: ignore[misc]
+                )
+            right = node.children[1]
+            left = node.children[0]
+            if right is not None:
+                stack.append((right, (value_bits << 1) | 1, depth + 1))
+            if left is not None:
+                stack.append((left, value_bits << 1, depth + 1))
+
+    def __len__(self) -> int:
+        return self._size
+
+    def __contains__(self, prefix: Prefix) -> bool:
+        return self.lookup_prefix(prefix) is not None
+
+
+def build_lpm_from_records(
+    records: Iterable[IPDRecord],
+    version: int = IPV4,
+    classified_only: bool = True,
+) -> LPMTable[IngressPoint]:
+    """Build the §5.1 validation LPM table from one output snapshot."""
+    table: LPMTable[IngressPoint] = LPMTable(version)
+    for record in records:
+        if record.version != version:
+            continue
+        if classified_only and not record.classified:
+            continue
+        table.insert(record.range, record.ingress)
+    return table

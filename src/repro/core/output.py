@@ -1,0 +1,138 @@
+"""IPD output records — the raw trace format of Table 3.
+
+Each sweep, the algorithm can emit one record per range carrying the
+range, the most prevalent ingress candidate, its confidence
+(``s_ingress``), the sample count (``s_ipcount``), the applicable
+minimum-sample threshold (``n_cidr``) and *all* ingress candidates with
+their counters.  Six years of this format are the paper's primary data
+set; all longitudinal analyses in :mod:`repro.analysis` consume it.
+"""
+
+from __future__ import annotations
+
+import csv
+from dataclasses import dataclass
+from typing import IO, Iterable, Iterator, Mapping
+
+from ..topology.elements import IngressPoint
+from .iputil import Prefix
+
+__all__ = ["IPDRecord", "format_ingress_field", "parse_ingress_field",
+           "write_records_csv", "read_records_csv"]
+
+
+@dataclass(frozen=True)
+class IPDRecord:
+    """One row of raw IPD output (Table 3 of the paper)."""
+
+    timestamp: float
+    range: Prefix
+    ingress: IngressPoint
+    s_ingress: float
+    s_ipcount: float
+    n_cidr: float
+    #: all candidate ingress points with their current counters
+    candidates: tuple[tuple[IngressPoint, float], ...]
+    #: True when the range currently has an assigned prevalent ingress
+    classified: bool = True
+
+    @property
+    def version(self) -> int:
+        return self.range.version
+
+    def ingress_field(self) -> str:
+        """Render the paper's combined ingress column.
+
+        Example: ``C2-R2.4(C2-R2.4=4798963,C2-R3.54=12220)``.
+        """
+        return format_ingress_field(self.ingress, dict(self.candidates))
+
+
+def format_ingress_field(
+    ingress: IngressPoint, candidates: Mapping[IngressPoint, float]
+) -> str:
+    """Render the Table-3 ingress column: prevalent point + candidates."""
+    ordered = sorted(candidates.items(), key=lambda item: (-item[1], str(item[0])))
+    inner = ",".join(f"{point}={int(round(weight))}" for point, weight in ordered)
+    return f"{ingress}({inner})"
+
+
+def parse_ingress_field(text: str) -> tuple[IngressPoint, dict[IngressPoint, float]]:
+    """Inverse of :func:`format_ingress_field`."""
+    head, paren, body = text.partition("(")
+    if not paren or not body.endswith(")"):
+        raise ValueError(f"malformed ingress field: {text!r}")
+    ingress = _parse_ingress_point(head)
+    candidates: dict[IngressPoint, float] = {}
+    inner = body[:-1]
+    if inner:
+        for item in inner.split(","):
+            point_text, equals, weight_text = item.partition("=")
+            if not equals:
+                raise ValueError(f"malformed ingress candidate: {item!r}")
+            candidates[_parse_ingress_point(point_text)] = float(weight_text)
+    return ingress, candidates
+
+
+def _parse_ingress_point(text: str) -> IngressPoint:
+    router, dot, interface = text.partition(".")
+    if not dot:
+        raise ValueError(f"malformed ingress point: {text!r}")
+    return IngressPoint(router, interface)
+
+
+_CSV_FIELDS = (
+    "timestamp",
+    "ip",
+    "s_ingress",
+    "s_ipcount",
+    "n_cidr",
+    "range",
+    "ingress",
+    "classified",
+)
+
+
+def write_records_csv(records: Iterable[IPDRecord], stream: IO[str]) -> int:
+    """Serialize records in the Table-3 column layout; returns row count."""
+    writer = csv.writer(stream)
+    writer.writerow(_CSV_FIELDS)
+    count = 0
+    for record in records:
+        writer.writerow(
+            (
+                f"{record.timestamp:.0f}",
+                record.version,
+                f"{record.s_ingress:.3f}",
+                f"{record.s_ipcount:.0f}",
+                f"{record.n_cidr:.0f}",
+                str(record.range),
+                record.ingress_field(),
+                int(record.classified),
+            )
+        )
+        count += 1
+    return count
+
+
+def read_records_csv(stream: IO[str]) -> Iterator[IPDRecord]:
+    """Parse records written by :func:`write_records_csv`."""
+    reader = csv.reader(stream)
+    header = next(reader, None)
+    if header is not None and tuple(header) != _CSV_FIELDS:
+        raise ValueError(f"unexpected IPD record header: {header!r}")
+    for row in reader:
+        if not row:
+            continue
+        timestamp, __, s_ingress, s_ipcount, n_cidr, range_text, ingress_text, classified = row
+        ingress, candidates = parse_ingress_field(ingress_text)
+        yield IPDRecord(
+            timestamp=float(timestamp),
+            range=Prefix.from_string(range_text),
+            ingress=ingress,
+            s_ingress=float(s_ingress),
+            s_ipcount=float(s_ipcount),
+            n_cidr=float(n_cidr),
+            candidates=tuple(sorted(candidates.items(), key=lambda i: -i[1])),
+            classified=bool(int(classified)),
+        )

@@ -1,0 +1,125 @@
+"""IPD configuration parameters (Table 1 of the paper).
+
+The algorithm is controlled by a small parameter set: the maximum range
+specificity ``cidr_max``, the minimum-sample factor ``n_cidr_factor``, the
+dominance threshold ``q``, the sweep interval ``t``, the expiry horizon
+``e`` and a decay function for idle classified ranges.  The defaults below
+are the values the paper's tier-1 deployment uses.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field, replace
+from typing import Callable
+
+from .iputil import IPV4, IPV6
+
+__all__ = ["IPDParams", "default_decay", "DEFAULT_PARAMS"]
+
+# IPv6 hosts live in /64 subnets, so sample requirements are anchored at
+# the /64 boundary rather than the full 128-bit width (see DESIGN.md §5).
+_IPV6_NCIDR_ANCHOR = 64
+
+
+def default_decay(age: float, t: float) -> float:
+    """The paper's decay ``1 - 0.9 / (age/t + 1)`` (Table 1).
+
+    This is the fraction of an idle classified range's counters that is
+    *removed* per sweep; the engine multiplies counters by the
+    complementary keep-factor ``0.9 / (age/t + 1)``.  The removed share
+    grows with the range's age, so repeated application collapses stale
+    counters super-exponentially — "ranges are quickly removed from
+    classification when no new traffic is received" (§3.2).
+    """
+    if t <= 0:
+        raise ValueError("t must be positive")
+    if age < 0:
+        raise ValueError("age must be non-negative")
+    return 1.0 - 0.9 / (age / t + 1.0)
+
+
+@dataclass(frozen=True)
+class IPDParams:
+    """Tunable parameters of the IPD algorithm.
+
+    Attributes mirror Table 1 of the paper; the ``*_v6`` variants carry
+    the IPv6 column of the dual defaults ("/28, /48" and "64, 24").
+    """
+
+    cidr_max_v4: int = 28
+    cidr_max_v6: int = 48
+    n_cidr_factor_v4: float = 64.0
+    n_cidr_factor_v6: float = 24.0
+    q: float = 0.95
+    t: float = 60.0
+    e: float = 120.0
+    decay: Callable[[float, float], float] = field(default=default_decay)
+    #: Counter floor below which a decayed classified range is dropped.
+    drop_threshold: float = 1.0
+    #: Weight samples by bytes instead of flows.  The deployment uses
+    #: flow counts (§3.1's overflow-avoidance simplification); byte mode
+    #: is the "direct implementation" the paper describes as the default
+    #: for users without that constraint.
+    count_bytes: bool = False
+    #: Enable grouping of same-router interfaces into logical bundles.
+    enable_bundles: bool = True
+    #: Two interfaces are bundled when each holds at least this share of
+    #: the router's traffic for the range (an "even" split).
+    bundle_min_share: float = 0.20
+
+    def __post_init__(self) -> None:
+        if not 0.5 < self.q <= 1.0:
+            # q <= 0.5 allows two ingresses to both qualify (Appendix A.1).
+            raise ValueError(f"q must be in (0.5, 1.0], got {self.q}")
+        if not 0 < self.cidr_max_v4 <= 32:
+            raise ValueError(f"cidr_max_v4 out of range: {self.cidr_max_v4}")
+        if not 0 < self.cidr_max_v6 <= 128:
+            raise ValueError(f"cidr_max_v6 out of range: {self.cidr_max_v6}")
+        if self.t <= 0:
+            raise ValueError("t must be positive")
+        if self.e <= 0:
+            raise ValueError("e must be positive")
+        if self.n_cidr_factor_v4 <= 0 or self.n_cidr_factor_v6 <= 0:
+            raise ValueError("n_cidr factors must be positive")
+
+    def cidr_max(self, version: int) -> int:
+        """Maximum IPD prefix length for an address family."""
+        if version == IPV4:
+            return self.cidr_max_v4
+        if version == IPV6:
+            return self.cidr_max_v6
+        raise ValueError(f"unknown IP version: {version!r}")
+
+    def n_cidr_factor(self, version: int) -> float:
+        """Minimum-sample factor for an address family."""
+        if version == IPV4:
+            return self.n_cidr_factor_v4
+        if version == IPV6:
+            return self.n_cidr_factor_v6
+        raise ValueError(f"unknown IP version: {version!r}")
+
+    def n_cidr(self, masklen: int, version: int) -> float:
+        """Minimum sample count to act on a range (Table 1 formula).
+
+        ``n_cidr = factor * sqrt(2^(32 - masklen))`` for IPv4.  Larger
+        (shorter-mask) ranges need more samples before a classification
+        or split decision is trusted.  For IPv6 the exponent is anchored
+        at /64 — beyond it the requirement stays at the factor itself.
+        """
+        if version == IPV4:
+            exponent = 32 - masklen
+        elif version == IPV6:
+            exponent = _IPV6_NCIDR_ANCHOR - masklen
+        else:
+            raise ValueError(f"unknown IP version: {version!r}")
+        exponent = max(exponent, 0)
+        return self.n_cidr_factor(version) * math.sqrt(2.0 ** exponent)
+
+    def with_overrides(self, **changes: object) -> "IPDParams":
+        """Return a copy with selected fields replaced (study sweeps)."""
+        return replace(self, **changes)  # type: ignore[arg-type]
+
+
+#: The production parameterization of the paper's tier-1 deployment.
+DEFAULT_PARAMS = IPDParams()

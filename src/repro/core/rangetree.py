@@ -1,0 +1,198 @@
+"""The binary trie of IPD ranges.
+
+"This method treats the Internet's address space as a binary tree, with
+each node representing a CIDR range" (§3.1).  The trie starts as a single
+/0 leaf and is refined by splits and coarsened by joins as traffic
+dictates.  Leaves carry range state; internal nodes only route lookups.
+
+A small masked-IP → leaf cache accelerates ingest: source prefixes repeat
+heavily in real traffic, and a cache hit replaces the 28-step bit walk
+with one dictionary probe.  Cache entries self-invalidate — a split turns
+the cached node into an internal node, and joins mark detached nodes dead.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterator, Optional, Union
+
+from .iputil import Prefix
+from .state import ClassifiedState, UnclassifiedState
+
+__all__ = ["RangeNode", "RangeTree"]
+
+RangeState = Union[UnclassifiedState, ClassifiedState]
+
+
+class RangeNode:
+    """One node of the trie: a CIDR range, either leaf or internal."""
+
+    __slots__ = ("prefix", "left", "right", "state", "dead")
+
+    def __init__(self, prefix: Prefix, state: Optional[RangeState] = None) -> None:
+        self.prefix = prefix
+        self.left: Optional[RangeNode] = None
+        self.right: Optional[RangeNode] = None
+        self.state: Optional[RangeState] = state if state is not None else UnclassifiedState()
+        self.dead = False
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.left is None
+
+    @property
+    def is_classified(self) -> bool:
+        return isinstance(self.state, ClassifiedState)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        kind = "leaf" if self.is_leaf else "node"
+        return f"<RangeNode {self.prefix} {kind}>"
+
+
+class RangeTree:
+    """Binary trie over one address family, rooted at /0."""
+
+    def __init__(self, version: int) -> None:
+        self.version = version
+        self.root = RangeNode(Prefix.root(version))
+        self._bits = self.root.prefix.bits
+        self._cache: dict[int, RangeNode] = {}
+        #: number of splits/joins performed (resource-metric bookkeeping)
+        self.split_count = 0
+        self.join_count = 0
+
+    # -- lookup -------------------------------------------------------------
+
+    def lookup_leaf(self, ip_value: int) -> RangeNode:
+        """Return the unique leaf whose range contains *ip_value*."""
+        cached = self._cache.get(ip_value)
+        if cached is not None and cached.left is None and not cached.dead:
+            return cached
+        node = self.root
+        bits = self._bits
+        while node.left is not None:
+            bit_index = bits - node.prefix.masklen - 1
+            if (ip_value >> bit_index) & 1:
+                node = node.right  # type: ignore[assignment]
+            else:
+                node = node.left
+        self._cache[ip_value] = node
+        return node
+
+    # -- structure changes ----------------------------------------------------
+
+    def split(self, node: RangeNode) -> tuple[RangeNode, RangeNode]:
+        """Split a leaf into its two halves, redistributing per-IP state.
+
+        Only unclassified leaves are split (a classified range has no
+        per-IP detail left to redistribute, and the algorithm never needs
+        to split one: it drops the classification first).
+        """
+        if not node.is_leaf:
+            raise ValueError(f"cannot split internal node {node.prefix}")
+        state = node.state
+        if not isinstance(state, UnclassifiedState):
+            raise ValueError(f"cannot split classified range {node.prefix}")
+        left_prefix, right_prefix = node.prefix.children()
+        left = RangeNode(left_prefix)
+        right = RangeNode(right_prefix)
+        boundary = right_prefix.value
+        for masked_ip, by_ingress in state.per_ip.items():
+            child = right if masked_ip >= boundary else left
+            child_state = child.state
+            assert isinstance(child_state, UnclassifiedState)
+            child_state.per_ip[masked_ip] = by_ingress
+            child_state.last_seen[masked_ip] = state.last_seen[masked_ip]
+            child_state.total += sum(by_ingress.values())
+        node.left = left
+        node.right = right
+        node.state = None
+        self.split_count += 1
+        return left, right
+
+    def join(self, parent: RangeNode, state: RangeState) -> RangeNode:
+        """Collapse an internal node's two leaf children into one leaf.
+
+        The caller supplies the merged *state* (the classifier decides
+        how counters combine).  The detached children are marked dead so
+        stale cache entries cannot resurrect them.
+        """
+        if parent.is_leaf:
+            raise ValueError(f"cannot join leaf {parent.prefix}")
+        left, right = parent.left, parent.right
+        assert left is not None and right is not None
+        if not (left.is_leaf and right.is_leaf):
+            raise ValueError(f"children of {parent.prefix} are not both leaves")
+        left.dead = True
+        right.dead = True
+        parent.left = None
+        parent.right = None
+        parent.state = state
+        self.join_count += 1
+        return parent
+
+    # -- iteration -------------------------------------------------------------
+
+    def leaves(self) -> Iterator[RangeNode]:
+        """Yield all leaves in address order (iterative DFS)."""
+        stack = [self.root]
+        while stack:
+            node = stack.pop()
+            if node.left is None:
+                yield node
+            else:
+                # push right first so left pops first (address order)
+                stack.append(node.right)  # type: ignore[arg-type]
+                stack.append(node.left)
+
+    def internal_nodes_postorder(self) -> Iterator[RangeNode]:
+        """Yield internal nodes children-first (for bottom-up joins)."""
+        stack: list[tuple[RangeNode, bool]] = [(self.root, False)]
+        while stack:
+            node, expanded = stack.pop()
+            if node.left is None:
+                continue
+            if expanded:
+                yield node
+            else:
+                stack.append((node, True))
+                stack.append((node.right, False))  # type: ignore[arg-type]
+                stack.append((node.left, False))
+
+    def leaf_count(self) -> int:
+        return sum(1 for __ in self.leaves())
+
+    def classified_leaves(self) -> Iterator[RangeNode]:
+        return (leaf for leaf in self.leaves() if leaf.is_classified)
+
+    # -- maintenance -------------------------------------------------------------
+
+    def prune(self, removable: Callable[[RangeNode], bool]) -> int:
+        """Collapse sibling leaves that are both *removable*.
+
+        Used to reclaim trie structure left behind by expired ranges:
+        when both children of a node are removable leaves, the node
+        reverts to a single empty unclassified leaf.  Returns the number
+        of collapses performed (cascades bottom-up in one call).
+        """
+        collapsed = 0
+        for parent in list(self.internal_nodes_postorder()):
+            left, right = parent.left, parent.right
+            if left is None or right is None:
+                continue
+            if not (left.is_leaf and right.is_leaf):
+                continue
+            if removable(left) and removable(right):
+                left.dead = True
+                right.dead = True
+                parent.left = None
+                parent.right = None
+                parent.state = UnclassifiedState()
+                collapsed += 1
+        return collapsed
+
+    def clear_cache(self) -> None:
+        """Drop the masked-IP lookup cache (e.g. between time buckets)."""
+        self._cache.clear()
+
+    def cache_size(self) -> int:
+        return len(self._cache)

@@ -1,0 +1,143 @@
+"""Per-range state kept by the IPD algorithm.
+
+A range is either *unclassified* — still being observed — or
+*classified* — assigned a prevalent ingress point.  The paper (§3.2)
+prescribes asymmetric state for the two:
+
+* Unclassified ranges must remember, per masked source IP, which ingress
+  each sample arrived on and when: this is what lets a split redistribute
+  its samples to the two child ranges without data loss, and what lets
+  expiry remove exactly the stale sources.
+* Classified ranges keep only aggregate per-ingress counters, the total
+  sample count and the last-seen timestamp ("all state is removed for
+  efficiency reasons").
+
+Counters are floats because the decay function scales them down
+multiplicatively while a classified range is idle.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from ..topology.elements import IngressPoint
+
+__all__ = ["UnclassifiedState", "ClassifiedState"]
+
+
+@dataclass
+class UnclassifiedState:
+    """Observation state for a range without a prevalent ingress yet."""
+
+    #: masked source IP -> ingress -> sample weight
+    per_ip: dict[int, dict[IngressPoint, float]] = field(default_factory=dict)
+    #: masked source IP -> timestamp of its newest sample
+    last_seen: dict[int, float] = field(default_factory=dict)
+    #: running total of all weights in :attr:`per_ip`
+    total: float = 0.0
+
+    def add(
+        self,
+        masked_ip: int,
+        ingress: IngressPoint,
+        timestamp: float,
+        weight: float = 1.0,
+    ) -> None:
+        """Record one sample."""
+        by_ingress = self.per_ip.get(masked_ip)
+        if by_ingress is None:
+            by_ingress = {}
+            self.per_ip[masked_ip] = by_ingress
+        by_ingress[ingress] = by_ingress.get(ingress, 0.0) + weight
+        previous = self.last_seen.get(masked_ip)
+        if previous is None or timestamp > previous:
+            self.last_seen[masked_ip] = timestamp
+        self.total += weight
+
+    def expire(self, cutoff: float) -> int:
+        """Drop all sources last seen strictly before *cutoff*.
+
+        Returns the number of masked IPs removed.
+        """
+        stale = [ip for ip, seen in self.last_seen.items() if seen < cutoff]
+        for ip in stale:
+            removed = self.per_ip.pop(ip, None)
+            if removed:
+                self.total -= sum(removed.values())
+            del self.last_seen[ip]
+        if not self.per_ip:
+            self.total = 0.0
+        return len(stale)
+
+    def ingress_totals(self) -> dict[IngressPoint, float]:
+        """Aggregate weights per ingress across all sources."""
+        totals: dict[IngressPoint, float] = {}
+        for by_ingress in self.per_ip.values():
+            for ingress, weight in by_ingress.items():
+                totals[ingress] = totals.get(ingress, 0.0) + weight
+        return totals
+
+    @property
+    def sample_count(self) -> float:
+        """The paper's ``s_ipcount`` for this range."""
+        return self.total
+
+    @property
+    def newest_timestamp(self) -> float:
+        return max(self.last_seen.values(), default=float("-inf"))
+
+    def is_empty(self) -> bool:
+        return not self.per_ip
+
+
+@dataclass
+class ClassifiedState:
+    """Aggregate state for a range with an assigned prevalent ingress."""
+
+    #: the prevalent logical ingress (may be a bundle)
+    ingress: IngressPoint
+    #: per raw (single-interface) ingress counters
+    counters: dict[IngressPoint, float]
+    last_seen: float
+    #: timestamp at which the range was first classified
+    classified_at: float
+
+    def add(self, ingress: IngressPoint, timestamp: float, weight: float = 1.0) -> None:
+        """Record one sample against its raw ingress interface."""
+        self.counters[ingress] = self.counters.get(ingress, 0.0) + weight
+        if timestamp > self.last_seen:
+            self.last_seen = timestamp
+
+    def decay(self, factor: float, floor: float = 1e-9) -> None:
+        """Scale all counters down; counters below *floor* are removed."""
+        if not 0.0 <= factor <= 1.0:
+            raise ValueError(f"decay factor out of range: {factor}")
+        decayed = {
+            ingress: weight * factor
+            for ingress, weight in self.counters.items()
+            if weight * factor >= floor
+        }
+        self.counters = decayed
+
+    @property
+    def total(self) -> float:
+        return sum(self.counters.values())
+
+    @property
+    def sample_count(self) -> float:
+        """The paper's ``s_ipcount`` for this range."""
+        return self.total
+
+    def confidence_for(self, member_ingresses: Iterable[IngressPoint]) -> float:
+        """Share of samples that entered via the given logical ingress.
+
+        For a bundle, *member_ingresses* enumerates the bundled raw
+        interfaces; for a plain ingress it is a single-element iterable.
+        This is the paper's ``s_ingress``.
+        """
+        total = self.total
+        if total <= 0.0:
+            return 0.0
+        matched = sum(self.counters.get(member, 0.0) for member in member_ingresses)
+        return matched / total

@@ -1,0 +1,24 @@
+"""Flow-level trace substrate: records, codecs, sampling, statistical time."""
+
+from .codec import InterfaceIndexMap, NetflowV5Exporter, NetflowV5Reader
+from .collector import FlowCollector, merge_streams
+from .ipfix import IPFIXCollector, IPFIXExporter
+from .records import FlowRecord, read_flows_csv, write_flows_csv
+from .sampling import PacketSampler
+from .statstime import StatisticalTime, TimeBucket
+
+__all__ = [
+    "FlowCollector",
+    "FlowRecord",
+    "IPFIXCollector",
+    "IPFIXExporter",
+    "InterfaceIndexMap",
+    "NetflowV5Exporter",
+    "NetflowV5Reader",
+    "PacketSampler",
+    "StatisticalTime",
+    "TimeBucket",
+    "merge_streams",
+    "read_flows_csv",
+    "write_flows_csv",
+]

@@ -1,0 +1,122 @@
+"""Flow record model.
+
+IPD consumes sampled flow-level traces (Netflow/IPFIX) exported by the
+border routers.  After the ISP's anonymization step (§4) a record retains
+only what the algorithm needs: a timestamp, the source address, the
+ingress point the exporter observed it on, and size counters.  We keep an
+optional destination address because the router-level load-balancing
+extension discussed in §5.8 needs (src, dst) pairs.
+
+Records are plain ``NamedTuple`` values: millions of them flow through
+the engine per simulated run, so they must be cheap to allocate and hash.
+"""
+
+from __future__ import annotations
+
+import csv
+from typing import IO, Iterable, Iterator, NamedTuple, Optional
+
+from ..core.iputil import IPV4, format_ip, parse_ip
+from ..topology.elements import IngressPoint
+
+__all__ = ["FlowRecord", "write_flows_csv", "read_flows_csv"]
+
+
+class FlowRecord(NamedTuple):
+    """One sampled flow observation from a border router."""
+
+    timestamp: float
+    src_ip: int
+    version: int
+    ingress: IngressPoint
+    packets: int = 1
+    bytes: int = 1500
+    dst_ip: Optional[int] = None
+
+    def with_timestamp(self, timestamp: float) -> "FlowRecord":
+        return self._replace(timestamp=timestamp)
+
+    def src_text(self) -> str:
+        """Source address in textual form (diagnostics, CSV export)."""
+        return format_ip(self.src_ip, self.version)
+
+
+_CSV_FIELDS = (
+    "timestamp",
+    "src_ip",
+    "router",
+    "interface",
+    "packets",
+    "bytes",
+    "dst_ip",
+)
+
+
+def write_flows_csv(flows: Iterable[FlowRecord], stream: IO[str]) -> int:
+    """Serialize flows as CSV; returns the number of rows written."""
+    writer = csv.writer(stream)
+    writer.writerow(_CSV_FIELDS)
+    count = 0
+    for flow in flows:
+        dst_text = (
+            format_ip(flow.dst_ip, flow.version) if flow.dst_ip is not None else ""
+        )
+        writer.writerow(
+            (
+                f"{flow.timestamp:.3f}",
+                flow.src_text(),
+                flow.ingress.router,
+                flow.ingress.interface,
+                flow.packets,
+                flow.bytes,
+                dst_text,
+            )
+        )
+        count += 1
+    return count
+
+
+def read_flows_csv(stream: IO[str]) -> Iterator[FlowRecord]:
+    """Parse flows written by :func:`write_flows_csv`."""
+    reader = csv.reader(stream)
+    header = next(reader, None)
+    if header is not None and tuple(header) != _CSV_FIELDS:
+        raise ValueError(f"unexpected flow CSV header: {header!r}")
+    for row in reader:
+        if not row:
+            continue
+        timestamp, src_text, router, interface, packets, byte_count, dst_text = row
+        src_value, version = parse_ip(src_text)
+        dst_value: Optional[int] = None
+        if dst_text:
+            dst_value, dst_version = parse_ip(dst_text)
+            if dst_version != version:
+                raise ValueError(f"mixed address families in row: {row!r}")
+        yield FlowRecord(
+            timestamp=float(timestamp),
+            src_ip=src_value,
+            version=version,
+            ingress=IngressPoint(router, interface),
+            packets=int(packets),
+            bytes=int(byte_count),
+            dst_ip=dst_value,
+        )
+
+
+def anonymize_flow(flow: FlowRecord, masklen: int = 28) -> FlowRecord:
+    """Apply the paper's §4 privacy aggregation: mask the source to /28.
+
+    The ISP's validation traces carry only /28-aggregated sources; masking
+    at or below ``cidr_max`` is lossless for the algorithm itself.
+    """
+    from ..core.iputil import mask_ip
+
+    if flow.version != IPV4:
+        # The paper's trace is IPv4 /28; keep IPv6 at /64 equivalently.
+        masklen_effective = min(64, masklen + 36)
+    else:
+        masklen_effective = masklen
+    return flow._replace(
+        src_ip=mask_ip(flow.src_ip, masklen_effective, flow.version),
+        dst_ip=None,
+    )

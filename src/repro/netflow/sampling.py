@@ -1,0 +1,53 @@
+"""Random packet sampling, as performed by the border routers.
+
+Unsampled data is *never* available at the studied ISP (§3.1): routers
+sample 1-out-of-n packets with n between 1,000 and 10,000 depending on
+platform.  IPD is designed to work on such sampled streams, so the
+workload generator routes every synthetic flow through this stage.
+
+We model sampling at flow granularity: a flow of ``p`` packets survives
+with probability ``1 - (1 - 1/n)^p`` and, if it survives, its packet and
+byte counts are scaled down to the expected number of sampled packets
+(at least one).  This matches how flow exporters materialize records
+from sampled packet streams.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Iterable, Iterator
+
+from .records import FlowRecord
+
+__all__ = ["PacketSampler"]
+
+
+@dataclass
+class PacketSampler:
+    """1-out-of-*rate* random packet sampling with a seeded RNG."""
+
+    rate: int = 1000
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.rate < 1:
+            raise ValueError(f"sampling rate must be >= 1, got {self.rate}")
+        self._rng = random.Random(self.seed)
+
+    def sample(self, flows: Iterable[FlowRecord]) -> Iterator[FlowRecord]:
+        """Yield the flows that survive sampling, with scaled counters."""
+        if self.rate == 1:
+            yield from flows
+            return
+        keep_probability = 1.0 / self.rate
+        for flow in flows:
+            survive = 1.0 - (1.0 - keep_probability) ** flow.packets
+            if self._rng.random() >= survive:
+                continue
+            sampled_packets = max(1, round(flow.packets * keep_probability))
+            scale = sampled_packets / flow.packets
+            yield flow._replace(
+                packets=sampled_packets,
+                bytes=max(1, round(flow.bytes * scale)),
+            )

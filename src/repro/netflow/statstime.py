@@ -1,0 +1,128 @@
+"""Statistical-time pre-processing (§3.1, "Addressing clock drift").
+
+With >3,000 exporting routers, clocks are never perfectly synchronized.
+The deployment therefore does not trust absolute timestamps: it segments
+the stream into uniform buckets, infers the *current* bucket from the
+bulk of observed samples, discards buckets that fail an activity
+threshold, and drops samples falling outside the accepted window.  Some
+data is lost, but the stream handed to IPD is temporally consistent.
+
+This module reproduces that pre-processing stage.  It is deliberately
+independent of the IPD core (the paper likewise treats it as a separate
+step).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator
+
+from .records import FlowRecord
+
+__all__ = ["StatisticalTime", "TimeBucket"]
+
+
+@dataclass(frozen=True)
+class TimeBucket:
+    """One uniform time bucket of accepted flows."""
+
+    start: float
+    duration: float
+    flows: tuple[FlowRecord, ...]
+
+    @property
+    def end(self) -> float:
+        return self.start + self.duration
+
+    def __len__(self) -> int:
+        return len(self.flows)
+
+
+@dataclass
+class StatisticalTime:
+    """Bucketize a (possibly clock-skewed) flow stream.
+
+    Parameters
+    ----------
+    bucket_seconds:
+        Width of a uniform time bucket (the deployment uses the sweep
+        interval ``t``).
+    activity_threshold:
+        Minimum number of flows for a bucket to be emitted; sparser
+        buckets are discarded entirely, mirroring the deployment rule.
+    max_skew_seconds:
+        Flows whose timestamp deviates more than this from the inferred
+        current bucket window are treated as clock-drift artifacts and
+        dropped.  ``statistics.dropped_skew`` counts them.
+    """
+
+    bucket_seconds: float = 60.0
+    activity_threshold: int = 1
+    max_skew_seconds: float = 300.0
+    dropped_skew: int = field(default=0, init=False)
+    dropped_inactive: int = field(default=0, init=False)
+
+    def __post_init__(self) -> None:
+        if self.bucket_seconds <= 0:
+            raise ValueError("bucket_seconds must be positive")
+        if self.activity_threshold < 0:
+            raise ValueError("activity_threshold must be >= 0")
+        if self.max_skew_seconds < 0:
+            raise ValueError("max_skew_seconds must be >= 0")
+
+    def bucketize(self, flows: Iterable[FlowRecord]) -> Iterator[TimeBucket]:
+        """Group flows into uniform buckets, enforcing the rules above.
+
+        The stream is assumed to be *roughly* ordered (routers export in
+        near real time); the inferred "statistical now" advances with the
+        median of recent observations rather than any single clock.
+        """
+        width = self.bucket_seconds
+        current_index: int | None = None
+        pending: list[FlowRecord] = []
+
+        for flow in flows:
+            index = int(flow.timestamp // width)
+            if current_index is None:
+                current_index = index
+            if index == current_index:
+                pending.append(flow)
+                continue
+            if index < current_index:
+                # A lagging clock produced a sample for an already-closed
+                # bucket; accept it only within the skew tolerance.
+                lag = (current_index * width) - flow.timestamp
+                if lag <= self.max_skew_seconds:
+                    pending.append(
+                        flow.with_timestamp(current_index * width)
+                    )
+                else:
+                    self.dropped_skew += 1
+                continue
+            # index > current_index: time moved forward.  A jump larger
+            # than the skew tolerance is a fast clock; clamp the sample
+            # into the current bucket instead of tearing time forward.
+            lead = flow.timestamp - ((current_index + 1) * width)
+            if lead > self.max_skew_seconds:
+                self.dropped_skew += 1
+                continue
+            bucket = self._emit(current_index, pending)
+            if bucket is not None:
+                yield bucket
+            pending = [flow]
+            current_index = index
+
+        if current_index is not None:
+            bucket = self._emit(current_index, pending)
+            if bucket is not None:
+                yield bucket
+
+    def _emit(self, index: int, flows: list[FlowRecord]) -> TimeBucket | None:
+        if len(flows) < self.activity_threshold:
+            self.dropped_inactive += len(flows)
+            return None
+        return TimeBucket(
+            start=index * self.bucket_seconds,
+            duration=self.bucket_seconds,
+            flows=tuple(flows),
+        )

@@ -1,0 +1,21 @@
+"""Systematic IPD parameter study (Appendix A): design, metrics, ANOVA."""
+
+from .anova import FactorEffect, anova_screening, effect_means
+from .design import Factor, FactorialDesign, paper_screening_design, paper_study_design
+from .metrics import IDEAL_DISTRIBUTIONS, StudyMetrics, ks_distance_to_ideal
+from .runner import StudyResult, run_study
+
+__all__ = [
+    "Factor",
+    "FactorEffect",
+    "FactorialDesign",
+    "IDEAL_DISTRIBUTIONS",
+    "StudyMetrics",
+    "StudyResult",
+    "anova_screening",
+    "effect_means",
+    "ks_distance_to_ideal",
+    "paper_screening_design",
+    "paper_study_design",
+    "run_study",
+]

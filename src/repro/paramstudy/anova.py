@@ -1,0 +1,113 @@
+"""ANOVA factor screening over study results (Appendix A.1).
+
+The paper runs an analysis of variance per metric to decide which
+factors systematically move which metric — finding that ``decay`` and
+``e`` do not matter, that accuracy is insensitive to everything, and
+that ``q`` and ``cidr_max`` drive stability and resource consumption.
+
+We use the standard one-way F-test per (factor, metric) pair: group the
+study results by the factor's level and test whether the group means
+differ beyond noise.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+from scipy import stats
+
+from .runner import StudyResult
+
+__all__ = ["FactorEffect", "anova_screening", "effect_means", "METRIC_GETTERS"]
+
+METRIC_GETTERS: dict[str, Callable[[StudyResult], float]] = {
+    "accuracy": lambda result: result.metrics.accuracy,
+    "ks_distance": lambda result: result.metrics.ks_distance,
+    "mean_stability": lambda result: result.metrics.mean_stability_seconds,
+    "sweep_seconds": lambda result: result.metrics.mean_sweep_seconds,
+    "state_size": lambda result: float(result.metrics.max_state_size),
+}
+
+
+@dataclass(frozen=True)
+class FactorEffect:
+    """One (factor, metric) ANOVA outcome."""
+
+    factor: str
+    metric: str
+    f_statistic: float
+    p_value: float
+
+    @property
+    def significant(self) -> bool:
+        """Conventional alpha = 0.05 decision."""
+        return self.p_value < 0.05
+
+
+def _groups_by_level(
+    results: Sequence[StudyResult], factor: str, getter: Callable[[StudyResult], float]
+) -> list[list[float]]:
+    groups: dict[object, list[float]] = {}
+    for result in results:
+        if result.metrics.failed:
+            continue
+        value = getter(result)
+        if value is None or (isinstance(value, float) and math.isnan(value)):
+            continue
+        groups.setdefault(_level_key(result.level(factor)), []).append(value)
+    return [values for values in groups.values() if values]
+
+
+def _level_key(level: object) -> object:
+    return tuple(level) if isinstance(level, (list, tuple)) else level
+
+
+def anova_screening(
+    results: Sequence[StudyResult],
+    factors: Sequence[str],
+    metrics: Sequence[str] = tuple(METRIC_GETTERS),
+) -> list[FactorEffect]:
+    """F-test every requested (factor, metric) pair."""
+    effects: list[FactorEffect] = []
+    for factor in factors:
+        for metric in metrics:
+            getter = METRIC_GETTERS[metric]
+            groups = _groups_by_level(results, factor, getter)
+            if len(groups) < 2 or any(len(group) < 2 for group in groups):
+                continue
+            if _all_identical(groups):
+                # Zero variance everywhere: trivially no effect.
+                effects.append(FactorEffect(factor, metric, 0.0, 1.0))
+                continue
+            f_statistic, p_value = stats.f_oneway(*groups)
+            effects.append(
+                FactorEffect(
+                    factor, metric, float(f_statistic), float(p_value)
+                )
+            )
+    return effects
+
+
+def effect_means(
+    results: Sequence[StudyResult], factor: str, metric: str
+) -> dict[object, float]:
+    """Per-level metric means — the numbers behind effect plots 18-20."""
+    getter = METRIC_GETTERS[metric]
+    sums: dict[object, list[float]] = {}
+    for result in results:
+        if result.metrics.failed:
+            continue
+        value = getter(result)
+        if isinstance(value, float) and math.isnan(value):
+            continue
+        sums.setdefault(_level_key(result.level(factor)), []).append(value)
+    return {
+        level: sum(values) / len(values) for level, values in sums.items()
+    }
+
+
+def _all_identical(groups: list[list[float]]) -> bool:
+    flat = [value for group in groups for value in group]
+    return all(value == flat[0] for value in flat)

@@ -1,0 +1,82 @@
+"""The three parameter-study metrics (Appendix A).
+
+* **Accuracy** — share of flows whose ingress the IPD output predicts
+  correctly (same validation as §5.1).
+* **Stability duration** — Kolmogorov-Smirnov distance between the
+  observed stable-phase duration distribution and a fitted ideal
+  distribution (the paper tries normal, lognormal, Weibull and Pareto,
+  lacking prior art on the true shape), plus the mean stability.
+* **Resource consumption** — sweep runtime and state size, the costs
+  that grow exponentially with ``cidr_max`` (Fig. 20).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+from scipy import stats
+
+__all__ = ["StudyMetrics", "ks_distance_to_ideal", "IDEAL_DISTRIBUTIONS"]
+
+#: candidate "ideal" stability distributions, as in Appendix A
+IDEAL_DISTRIBUTIONS = ("norm", "lognorm", "weibull_min", "pareto")
+
+
+@dataclass(frozen=True)
+class StudyMetrics:
+    """All metrics for one design point."""
+
+    accuracy: float
+    mean_stability_seconds: float
+    ks_distance: float
+    best_fit_distribution: str
+    mean_sweep_seconds: float
+    max_state_size: int
+    max_leaf_count: int
+    failed: bool = False
+    failure_reason: str = ""
+
+    @classmethod
+    def failure(cls, reason: str) -> "StudyMetrics":
+        """A design point the algorithm cannot run with (screening)."""
+        return cls(
+            accuracy=math.nan,
+            mean_stability_seconds=math.nan,
+            ks_distance=math.nan,
+            best_fit_distribution="",
+            mean_sweep_seconds=math.nan,
+            max_state_size=0,
+            max_leaf_count=0,
+            failed=True,
+            failure_reason=reason,
+        )
+
+
+def ks_distance_to_ideal(
+    durations: Sequence[float],
+    distributions: Sequence[str] = IDEAL_DISTRIBUTIONS,
+) -> tuple[float, str]:
+    """Smallest KS distance between the sample and any fitted candidate.
+
+    Fits each candidate distribution to the observed stable-phase
+    durations and returns ``(min KS statistic, winning distribution)``.
+    Smaller means the observed stability behaviour is closer to a
+    clean, predictable distribution — the paper's comparability metric.
+    """
+    cleaned = np.asarray([d for d in durations if d > 0.0], dtype=float)
+    if cleaned.size < 8:
+        return 1.0, ""
+    best_distance, best_name = 1.0, ""
+    for name in distributions:
+        distribution = getattr(stats, name)
+        try:
+            params = distribution.fit(cleaned)
+            statistic, __ = stats.kstest(cleaned, name, args=params)
+        except Exception:  # fit can fail on degenerate samples
+            continue
+        if statistic < best_distance:
+            best_distance, best_name = float(statistic), name
+    return best_distance, best_name

@@ -1,0 +1,19 @@
+"""Reporting helpers: empirical CDFs, plain-text tables, ops dashboard."""
+
+from .cdf import ECDF, fraction_below, quantile
+from .dashboard import DashboardData, build_dashboard, render_dashboard
+from .sparkline import bar_chart, sparkline
+from .tables import render_series, render_table
+
+__all__ = [
+    "DashboardData",
+    "ECDF",
+    "build_dashboard",
+    "fraction_below",
+    "quantile",
+    "render_dashboard",
+    "render_series",
+    "render_table",
+    "bar_chart",
+    "sparkline",
+]

@@ -1,0 +1,59 @@
+"""Empirical distribution helpers used across analyses and benchmarks.
+
+The paper communicates most results as CDFs (Figs. 2, 3, 4, 15) or
+binned time series.  These helpers compute the underlying numbers so a
+benchmark can print the same series and assert its shape.
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+__all__ = ["ECDF", "fraction_below", "quantile"]
+
+
+@dataclass
+class ECDF:
+    """An empirical CDF over a finite sample."""
+
+    values: list[float]
+
+    def __init__(self, values: Iterable[float]) -> None:
+        self.values = sorted(values)
+        if not self.values:
+            raise ValueError("ECDF needs at least one sample")
+
+    def at(self, x: float) -> float:
+        """P(X <= x)."""
+        return bisect.bisect_right(self.values, x) / len(self.values)
+
+    def quantile(self, q: float) -> float:
+        """Inverse CDF at q in [0, 1]."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError("q must be within [0, 1]")
+        if q == 1.0:
+            return self.values[-1]
+        index = int(q * len(self.values))
+        return self.values[min(index, len(self.values) - 1)]
+
+    def series(self, points: Sequence[float]) -> list[tuple[float, float]]:
+        """(x, P(X <= x)) pairs for plotting/printing."""
+        return [(x, self.at(x)) for x in points]
+
+    def __len__(self) -> int:
+        return len(self.values)
+
+
+def fraction_below(values: Iterable[float], threshold: float) -> float:
+    """Share of samples strictly below *threshold*."""
+    values = list(values)
+    if not values:
+        raise ValueError("no samples")
+    return sum(1 for value in values if value < threshold) / len(values)
+
+
+def quantile(values: Iterable[float], q: float) -> float:
+    """Convenience one-shot quantile."""
+    return ECDF(values).quantile(q)

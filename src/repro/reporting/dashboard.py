@@ -1,0 +1,141 @@
+"""Operational dashboard over IPD output (§5.8).
+
+"IPD further helps to display non-optimal routes, e.g., CDN traffic
+that enters the ISPs' network via non-direct links ... Yet, IPD can
+easily reveal their existence, e.g., via dashboards."
+
+This module renders the text dashboard an operator would keep open:
+mapping summary, the heaviest ranges, ingress changes since the last
+snapshot, and — the §5.8 headline — directly connected networks whose
+traffic is entering over indirect links (overflow events / mapping
+problems).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+from ..core.iputil import IPV4, IPV6
+from ..core.lpm import build_lpm_from_records
+from ..core.output import IPDRecord
+from ..topology.network import ISPTopology
+from ..workloads.address_space import AddressPlan
+from .tables import render_table
+
+__all__ = ["DashboardData", "build_dashboard", "render_dashboard"]
+
+
+@dataclass
+class DashboardData:
+    """Everything the dashboard displays, as data (render separately)."""
+
+    timestamp: float
+    classified_v4: int = 0
+    classified_v6: int = 0
+    mapped_space_v4: int = 0
+    #: (range, ingress, samples) heaviest first
+    top_ranges: list[tuple[str, str, float]] = field(default_factory=list)
+    #: (range, old ingress, new ingress)
+    changes: list[tuple[str, str, str]] = field(default_factory=list)
+    #: (range, asn, ingress link, link class) — direct network entering
+    #: via a non-direct link
+    non_optimal: list[tuple[str, int, str, str]] = field(default_factory=list)
+
+
+def build_dashboard(
+    records: Sequence[IPDRecord],
+    topology: ISPTopology,
+    previous: Optional[Sequence[IPDRecord]] = None,
+    plan: Optional[AddressPlan] = None,
+    top_n: int = 10,
+) -> DashboardData:
+    """Compute one dashboard refresh from the newest snapshot.
+
+    *previous* enables the ingress-change panel; *plan* (or any object
+    with ``owner_of``/``profiles``) enables the non-optimal-entry panel
+    for directly connected ASes.
+    """
+    data = DashboardData(
+        timestamp=max((r.timestamp for r in records), default=0.0)
+    )
+    classified = [r for r in records if r.classified]
+    data.classified_v4 = sum(1 for r in classified if r.version == IPV4)
+    data.classified_v6 = sum(1 for r in classified if r.version == IPV6)
+    data.mapped_space_v4 = sum(
+        r.range.num_addresses for r in classified if r.version == IPV4
+    )
+    data.top_ranges = [
+        (str(r.range), str(r.ingress), r.s_ipcount)
+        for r in sorted(classified, key=lambda r: -r.s_ipcount)[:top_n]
+    ]
+
+    if previous is not None:
+        for version in (IPV4, IPV6):
+            old_lpm = build_lpm_from_records(previous, version)
+            for record in classified:
+                if record.version != version:
+                    continue
+                old = old_lpm.lookup(record.range.value)
+                if old is not None and old.router != record.ingress.router:
+                    data.changes.append(
+                        (str(record.range), str(old), str(record.ingress))
+                    )
+
+    if plan is not None:
+        for record in classified:
+            owner = plan.owner_of(record.range.value, record.version)
+            if owner is None:
+                continue
+            direct_links = topology.links_to_asn(owner)
+            if not direct_links:
+                continue  # no direct presence: indirect entry is normal
+            try:
+                link = topology.link_of_ingress(record.ingress)
+            except KeyError:
+                continue
+            if link.neighbor_asn != owner:
+                data.non_optimal.append(
+                    (str(record.range), owner, link.link_id,
+                     link.link_type.value)
+                )
+    return data
+
+
+def render_dashboard(data: DashboardData) -> str:
+    """Render the dashboard as the text an operator's terminal shows."""
+    lines = [
+        f"IPD dashboard @ t={data.timestamp:.0f}s",
+        f"  classified ranges: {data.classified_v4} IPv4, "
+        f"{data.classified_v6} IPv6",
+        f"  mapped IPv4 space: {data.mapped_space_v4:,} addresses",
+        "",
+        render_table(
+            ["range", "ingress", "samples"],
+            [[r, i, f"{s:,.0f}"] for r, i, s in data.top_ranges],
+            title="Top ranges by sample counter",
+        ),
+    ]
+    if data.changes:
+        lines += [
+            "",
+            render_table(
+                ["range", "was", "now"],
+                data.changes[:15],
+                title=f"Ingress changes since last refresh "
+                      f"({len(data.changes)} total)",
+            ),
+        ]
+    if data.non_optimal:
+        lines += [
+            "",
+            render_table(
+                ["range", "AS", "entering via", "link class"],
+                [[r, f"AS{a}", l, c] for r, a, l, c in data.non_optimal[:15]],
+                title=f"NON-OPTIMAL ENTRIES — direct networks arriving "
+                      f"indirectly ({len(data.non_optimal)} total)",
+            ),
+        ]
+    else:
+        lines += ["", "No non-optimal entries detected."]
+    return "\n".join(lines)

@@ -1,0 +1,71 @@
+"""Terminal sparklines and bar charts for series output.
+
+The bench harness and the §5.8 dashboard print time series (accuracy
+over the day, violations per period, diurnal prefix counts).  A one-line
+sparkline makes those shapes visible in a terminal without any plotting
+dependency.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Sequence
+
+__all__ = ["sparkline", "bar_chart"]
+
+_TICKS = "▁▂▃▄▅▆▇█"
+
+
+def sparkline(
+    values: Iterable[float],
+    minimum: Optional[float] = None,
+    maximum: Optional[float] = None,
+) -> str:
+    """Render values as a unicode sparkline, e.g. ``▁▂▅█▆▃``.
+
+    The scale defaults to the data's own min/max; pass explicit bounds
+    to compare several sparklines on one scale.
+    """
+    data = [float(v) for v in values]
+    if not data:
+        return ""
+    low = min(data) if minimum is None else minimum
+    high = max(data) if maximum is None else maximum
+    if high <= low:
+        return _TICKS[0] * len(data)
+    span = high - low
+    result = []
+    for value in data:
+        clamped = min(max(value, low), high)
+        index = int((clamped - low) / span * (len(_TICKS) - 1))
+        result.append(_TICKS[index])
+    return "".join(result)
+
+
+def bar_chart(
+    items: Sequence[tuple[str, float]],
+    width: int = 40,
+    show_values: bool = True,
+) -> str:
+    """Render labeled horizontal bars, longest label padded.
+
+    >>> print(bar_chart([("a", 2.0), ("bb", 4.0)], width=4))
+    a   ██    2
+    bb  ████  4
+    """
+    if not items:
+        return ""
+    label_width = max(len(label) for label, __ in items)
+    peak = max(value for __, value in items)
+    lines = []
+    for label, value in items:
+        length = 0 if peak <= 0 else int(round(value / peak * width))
+        bar = "█" * max(length, 0)
+        if show_values:
+            value_text = (
+                f"{value:,.0f}" if value == int(value) else f"{value:,.2f}"
+            )
+            lines.append(f"{label.ljust(label_width)}  {bar.ljust(width)}  "
+                         f"{value_text}")
+        else:
+            lines.append(f"{label.ljust(label_width)}  {bar}")
+    return "\n".join(lines)

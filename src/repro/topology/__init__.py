@@ -1,0 +1,29 @@
+"""ISP topology substrate: countries, PoPs, routers, interfaces, links."""
+
+from .elements import Country, IngressPoint, Interface, Link, LinkType, PoP, Router
+from .generator import TopologySpec, generate_topology
+from .network import ISPTopology, MissKind
+from .serialize import (
+    load_topology,
+    save_topology,
+    topology_from_dict,
+    topology_to_dict,
+)
+
+__all__ = [
+    "Country",
+    "IngressPoint",
+    "Interface",
+    "ISPTopology",
+    "Link",
+    "LinkType",
+    "MissKind",
+    "PoP",
+    "Router",
+    "TopologySpec",
+    "generate_topology",
+    "load_topology",
+    "save_topology",
+    "topology_from_dict",
+    "topology_to_dict",
+]

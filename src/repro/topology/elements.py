@@ -1,0 +1,121 @@
+"""Topology building blocks of the simulated ISP.
+
+The paper's deployment spans an international tier-1 network: countries
+contain points of presence (PoPs), PoPs contain border routers, routers
+expose interfaces, and each interface terminates a link to a neighboring
+AS.  The miss taxonomy of §5.1.2 (interface / router / PoP miss) and the
+link classes of §5.6 (PNI vs. transit, used to detect peering violations)
+need exactly this hierarchy, so we model it explicitly.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import NamedTuple
+
+__all__ = [
+    "LinkType",
+    "IngressPoint",
+    "Interface",
+    "Router",
+    "PoP",
+    "Country",
+    "Link",
+]
+
+
+class LinkType(enum.Enum):
+    """Commercial classification of an interconnection link."""
+
+    PNI = "pni"                # private network interconnect (direct peering)
+    PUBLIC_PEERING = "public"  # settlement-free peering at an IXP
+    TRANSIT = "transit"        # paid upstream transit
+    CUSTOMER = "customer"      # paying downstream customer
+
+
+class IngressPoint(NamedTuple):
+    """The identity IPD assigns to a range: a router plus an interface.
+
+    ``interface`` names a single physical interface, or — for bundles —
+    a ``+``-joined, sorted list of interface names on the same router
+    (see :mod:`repro.core.bundles`).
+    """
+
+    router: str
+    interface: str
+
+    @property
+    def is_bundle(self) -> bool:
+        """True when this logical ingress groups several interfaces."""
+        return "+" in self.interface
+
+    def interfaces(self) -> tuple[str, ...]:
+        """Member interface names (one element for plain ingresses)."""
+        return tuple(self.interface.split("+"))
+
+    def __str__(self) -> str:
+        return f"{self.router}.{self.interface}"
+
+
+@dataclass(frozen=True)
+class Interface:
+    """A physical border interface, attached to one inter-AS link."""
+
+    name: str
+    router: str
+    link_id: str
+
+    def ingress_point(self) -> IngressPoint:
+        return IngressPoint(self.router, self.name)
+
+
+@dataclass(frozen=True)
+class Router:
+    """A border router located in a PoP."""
+
+    name: str
+    pop: str
+
+
+@dataclass(frozen=True)
+class PoP:
+    """A point of presence — one physical site in one country."""
+
+    name: str
+    country: str
+
+
+@dataclass(frozen=True)
+class Country:
+    """A country/region the ISP has presence in."""
+
+    name: str
+
+
+@dataclass(frozen=True)
+class Link:
+    """An interconnection link to a neighboring AS.
+
+    A link terminates on one or more interfaces (LAGs span several
+    physical interfaces on the same router).
+    """
+
+    link_id: str
+    neighbor_asn: int
+    link_type: LinkType
+    interfaces: tuple[Interface, ...] = field(default_factory=tuple)
+
+    def __post_init__(self) -> None:
+        routers = {iface.router for iface in self.interfaces}
+        if len(routers) > 1:
+            raise ValueError(
+                f"link {self.link_id} spans routers {sorted(routers)}; "
+                "a link must terminate on a single router"
+            )
+
+    @property
+    def router(self) -> str:
+        if not self.interfaces:
+            raise ValueError(f"link {self.link_id} has no interfaces")
+        return self.interfaces[0].router

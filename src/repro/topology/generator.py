@@ -1,0 +1,107 @@
+"""Synthetic tier-1 ISP topology generation.
+
+The paper's ISP operates ~3,000 border routers across an international
+footprint.  We generate a structurally identical network at configurable
+(much smaller) scale: several countries, a few PoPs per country, a few
+border routers per PoP, and inter-AS links of all commercial classes.
+Large neighbor ASes (the hypergiants of §2) get PNI links in several
+countries — exactly the situation that makes ingress detection hard,
+since their traffic may legitimately enter anywhere.
+
+Generation is deterministic per seed.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from .elements import LinkType
+from .network import ISPTopology
+
+__all__ = ["TopologySpec", "generate_topology"]
+
+
+@dataclass(frozen=True)
+class TopologySpec:
+    """Knobs for the synthetic footprint."""
+
+    asn: int = 65000
+    n_countries: int = 4
+    pops_per_country: int = 3
+    routers_per_pop: int = 2
+    #: neighbor ASNs that get a PNI in every country (hypergiants).
+    hypergiant_asns: tuple[int, ...] = (15169, 16509, 32934, 2906, 20940)
+    #: neighbor ASNs with a single public-peering link each.
+    peer_asns: tuple[int, ...] = tuple(range(64500, 64520))
+    #: upstream/transit neighbor ASNs (tier-1 peers of our tier-1).
+    transit_asns: tuple[int, ...] = (174, 3356, 1299, 2914, 6762, 3257)
+    #: probability that a hypergiant PNI is a LAG of 2-4 interfaces.
+    lag_probability: float = 0.5
+    seed: int = 7
+
+
+def generate_topology(spec: TopologySpec | None = None) -> ISPTopology:
+    """Build a deterministic synthetic tier-1 footprint from *spec*."""
+    spec = spec or TopologySpec()
+    rng = random.Random(spec.seed)
+    topo = ISPTopology(asn=spec.asn)
+
+    routers_by_country: dict[str, list[str]] = {}
+    for country_index in range(spec.n_countries):
+        country = f"C{country_index + 1}"
+        topo.add_country(country)
+        routers_by_country[country] = []
+        for pop_index in range(spec.pops_per_country):
+            pop = f"{country}-POP{pop_index + 1}"
+            topo.add_pop(pop, country)
+            for router_index in range(spec.routers_per_pop):
+                router = (
+                    f"{country}-R{pop_index * spec.routers_per_pop + router_index + 1}"
+                )
+                topo.add_router(router, pop)
+                routers_by_country[country].append(router)
+
+    link_counter = 0
+    iface_counter: dict[str, int] = {}
+
+    def next_link_id() -> str:
+        nonlocal link_counter
+        link_counter += 1
+        return f"L{link_counter:04d}"
+
+    def alloc_interfaces(router: str, media: str, count: int) -> list[str]:
+        """Allocate *count* collision-free interface names on *router*."""
+        start = iface_counter.get(router, 0)
+        iface_counter[router] = start + count
+        return [f"{media}{start + offset}" for offset in range(count)]
+
+    # Hypergiants: one PNI per country, sometimes a LAG (feeds the bundle
+    # logic and the maintenance-event experiments).
+    for asn in spec.hypergiant_asns:
+        for country, routers in routers_by_country.items():
+            router = rng.choice(routers)
+            if rng.random() < spec.lag_probability:
+                n_ifaces = rng.randint(2, 4)
+            else:
+                n_ifaces = 1
+            names = alloc_interfaces(router, "et", n_ifaces)
+            topo.add_link(next_link_id(), asn, LinkType.PNI, router, names)
+
+    # Public peers: a single-interface link on a random router.
+    for asn in spec.peer_asns:
+        country = rng.choice(list(routers_by_country))
+        router = rng.choice(routers_by_country[country])
+        names = alloc_interfaces(router, "xe", 1)
+        topo.add_link(next_link_id(), asn, LinkType.PUBLIC_PEERING, router, names)
+
+    # Transit / tier-1 interconnects: links in two distinct countries each.
+    for asn in spec.transit_asns:
+        countries = rng.sample(list(routers_by_country), k=min(2, spec.n_countries))
+        for country in countries:
+            router = rng.choice(routers_by_country[country])
+            names = alloc_interfaces(router, "hu", 1)
+            topo.add_link(next_link_id(), asn, LinkType.TRANSIT, router, names)
+
+    topo.validate()
+    return topo

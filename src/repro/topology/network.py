@@ -1,0 +1,189 @@
+"""The ISP topology container and lookup helpers.
+
+:class:`ISPTopology` holds the country → PoP → router → interface
+hierarchy plus the inter-AS links, and answers the queries the rest of
+the system needs:
+
+* IPD ingest: which :class:`~repro.topology.elements.IngressPoint` does a
+  flow arriving on interface X of router Y map to?
+* Miss taxonomy (§5.1.2): are two ingress points on the same router?  the
+  same PoP?  the same country?
+* Peering-violation detection (§5.6): is a given link a direct peering
+  link (PNI / public peering) to a given neighbor AS?
+
+A :mod:`networkx` graph view is exposed for users who want to run graph
+algorithms over the footprint (and for the examples).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator
+
+import networkx as nx
+
+from .elements import Country, IngressPoint, Interface, Link, LinkType, PoP, Router
+
+__all__ = ["ISPTopology", "MissKind"]
+
+
+class MissKind:
+    """Miss classification labels (§5.1.2), least to most severe."""
+
+    CORRECT = "correct"
+    INTERFACE = "interface_miss"
+    ROUTER = "router_miss"
+    POP = "pop_miss"
+
+
+@dataclass
+class ISPTopology:
+    """An ISP footprint: sites, routers, interfaces and inter-AS links."""
+
+    asn: int
+    countries: dict[str, Country] = field(default_factory=dict)
+    pops: dict[str, PoP] = field(default_factory=dict)
+    routers: dict[str, Router] = field(default_factory=dict)
+    links: dict[str, Link] = field(default_factory=dict)
+    _interfaces: dict[tuple[str, str], Interface] = field(default_factory=dict)
+
+    # -- construction -----------------------------------------------------
+
+    def add_country(self, name: str) -> Country:
+        country = Country(name)
+        self.countries[name] = country
+        return country
+
+    def add_pop(self, name: str, country: str) -> PoP:
+        if country not in self.countries:
+            raise KeyError(f"unknown country: {country!r}")
+        pop = PoP(name, country)
+        self.pops[name] = pop
+        return pop
+
+    def add_router(self, name: str, pop: str) -> Router:
+        if pop not in self.pops:
+            raise KeyError(f"unknown PoP: {pop!r}")
+        router = Router(name, pop)
+        self.routers[name] = router
+        return router
+
+    def add_link(
+        self,
+        link_id: str,
+        neighbor_asn: int,
+        link_type: LinkType,
+        router: str,
+        interface_names: Iterable[str],
+    ) -> Link:
+        """Attach a link to *router* via one or more interfaces."""
+        if router not in self.routers:
+            raise KeyError(f"unknown router: {router!r}")
+        interfaces = tuple(
+            Interface(name=name, router=router, link_id=link_id)
+            for name in interface_names
+        )
+        if not interfaces:
+            raise ValueError(f"link {link_id!r} needs at least one interface")
+        link = Link(link_id, neighbor_asn, link_type, interfaces)
+        self.links[link_id] = link
+        for iface in interfaces:
+            key = (router, iface.name)
+            if key in self._interfaces:
+                raise ValueError(f"duplicate interface {iface.name!r} on {router!r}")
+            self._interfaces[key] = iface
+        return link
+
+    # -- lookups ----------------------------------------------------------
+
+    def interface(self, router: str, name: str) -> Interface:
+        return self._interfaces[(router, name)]
+
+    def interfaces(self) -> Iterator[Interface]:
+        return iter(self._interfaces.values())
+
+    def ingress_points(self) -> list[IngressPoint]:
+        """All single-interface ingress points of the network."""
+        return [iface.ingress_point() for iface in self._interfaces.values()]
+
+    def pop_of_router(self, router: str) -> str:
+        return self.routers[router].pop
+
+    def country_of_router(self, router: str) -> str:
+        return self.pops[self.routers[router].pop].country
+
+    def links_to_asn(self, neighbor_asn: int) -> list[Link]:
+        return [
+            link for link in self.links.values() if link.neighbor_asn == neighbor_asn
+        ]
+
+    def peering_links_to_asn(self, neighbor_asn: int) -> list[Link]:
+        """Direct (PNI or public peering) links toward a neighbor AS."""
+        return [
+            link
+            for link in self.links_to_asn(neighbor_asn)
+            if link.link_type in (LinkType.PNI, LinkType.PUBLIC_PEERING)
+        ]
+
+    def link_of_ingress(self, ingress: IngressPoint) -> Link:
+        """The inter-AS link behind an ingress point (first member for bundles)."""
+        first_iface = ingress.interfaces()[0]
+        iface = self._interfaces[(ingress.router, first_iface)]
+        return self.links[iface.link_id]
+
+    # -- miss taxonomy (§5.1.2) --------------------------------------------
+
+    def classify_miss(self, predicted: IngressPoint, actual: IngressPoint) -> str:
+        """Categorize a misprediction as interface / router / PoP miss.
+
+        A bundle prediction counts as correct when the actual interface
+        is one of its members (the bundle *is* the logical ingress).
+        """
+        if predicted == actual:
+            return MissKind.CORRECT
+        if predicted.router == actual.router:
+            if set(actual.interfaces()) <= set(predicted.interfaces()):
+                return MissKind.CORRECT
+            return MissKind.INTERFACE
+        if self.pop_of_router(predicted.router) == self.pop_of_router(actual.router):
+            return MissKind.ROUTER
+        return MissKind.POP
+
+    # -- graph view ---------------------------------------------------------
+
+    def to_graph(self) -> nx.Graph:
+        """A networkx graph: ISP routers plus neighbor-AS nodes."""
+        graph = nx.Graph()
+        for router in self.routers.values():
+            graph.add_node(
+                router.name,
+                kind="router",
+                pop=router.pop,
+                country=self.pops[router.pop].country,
+            )
+        for link in self.links.values():
+            asn_node = f"AS{link.neighbor_asn}"
+            graph.add_node(asn_node, kind="neighbor_as", asn=link.neighbor_asn)
+            graph.add_edge(
+                link.router,
+                asn_node,
+                link_id=link.link_id,
+                link_type=link.link_type.value,
+                interfaces=len(link.interfaces),
+            )
+        return graph
+
+    def validate(self) -> None:
+        """Check structural invariants; raises ``ValueError`` on breakage."""
+        for pop in self.pops.values():
+            if pop.country not in self.countries:
+                raise ValueError(f"PoP {pop.name} references unknown country")
+        for router in self.routers.values():
+            if router.pop not in self.pops:
+                raise ValueError(f"router {router.name} references unknown PoP")
+        for link in self.links.values():
+            for iface in link.interfaces:
+                if iface.router not in self.routers:
+                    raise ValueError(
+                        f"link {link.link_id} interface on unknown router"
+                    )

@@ -1,0 +1,111 @@
+"""Topology inventory import/export (JSON).
+
+Real deployments feed IPD's miss taxonomy and link classification from
+an inventory system (which router is in which PoP, which link belongs
+to which neighbor AS).  This module round-trips an
+:class:`~repro.topology.network.ISPTopology` through a plain JSON
+document so users can load their own footprint instead of the synthetic
+generator:
+
+```json
+{
+  "asn": 65000,
+  "countries": ["C1"],
+  "pops": [{"name": "C1-POP1", "country": "C1"}],
+  "routers": [{"name": "R1", "pop": "C1-POP1"}],
+  "links": [{"id": "L1", "neighbor_asn": 15169, "type": "pni",
+             "router": "R1", "interfaces": ["et0", "et1"]}]
+}
+```
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+from typing import IO, Union
+
+from .elements import LinkType
+from .network import ISPTopology
+
+__all__ = ["topology_to_dict", "topology_from_dict", "save_topology",
+           "load_topology"]
+
+
+def topology_to_dict(topology: ISPTopology) -> dict:
+    """Serialize a topology to a JSON-compatible dict."""
+    return {
+        "asn": topology.asn,
+        "countries": sorted(topology.countries),
+        "pops": [
+            {"name": pop.name, "country": pop.country}
+            for pop in sorted(topology.pops.values(), key=lambda p: p.name)
+        ],
+        "routers": [
+            {"name": router.name, "pop": router.pop}
+            for router in sorted(
+                topology.routers.values(), key=lambda r: r.name
+            )
+        ],
+        "links": [
+            {
+                "id": link.link_id,
+                "neighbor_asn": link.neighbor_asn,
+                "type": link.link_type.value,
+                "router": link.router,
+                "interfaces": [iface.name for iface in link.interfaces],
+            }
+            for link in sorted(
+                topology.links.values(), key=lambda l: l.link_id
+            )
+        ],
+    }
+
+
+def topology_from_dict(data: dict) -> ISPTopology:
+    """Build and validate a topology from the dict layout above."""
+    if "asn" not in data:
+        raise ValueError("missing topology field: 'asn'")
+
+    def field(mapping: dict, key: str) -> object:
+        if key not in mapping:
+            raise ValueError(f"missing topology field: {key!r}")
+        return mapping[key]
+
+    topology = ISPTopology(asn=int(data["asn"]))
+    for country in data.get("countries", []):
+        topology.add_country(country)
+    for pop in data.get("pops", []):
+        topology.add_pop(field(pop, "name"), field(pop, "country"))
+    for router in data.get("routers", []):
+        topology.add_router(field(router, "name"), field(router, "pop"))
+    for link in data.get("links", []):
+        topology.add_link(
+            field(link, "id"),
+            int(field(link, "neighbor_asn")),
+            LinkType(field(link, "type")),
+            field(link, "router"),
+            field(link, "interfaces"),
+        )
+    topology.validate()
+    return topology
+
+
+def save_topology(
+    topology: ISPTopology, target: Union[str, pathlib.Path, IO[str]]
+) -> None:
+    """Write a topology to a JSON file or stream."""
+    payload = json.dumps(topology_to_dict(topology), indent=2)
+    if hasattr(target, "write"):
+        target.write(payload)
+    else:
+        pathlib.Path(target).write_text(payload)
+
+
+def load_topology(source: Union[str, pathlib.Path, IO[str]]) -> ISPTopology:
+    """Read a topology from a JSON file or stream."""
+    if hasattr(source, "read"):
+        data = json.load(source)
+    else:
+        data = json.loads(pathlib.Path(source).read_text())
+    return topology_from_dict(data)

@@ -1,0 +1,54 @@
+"""Synthetic workload substrate: address plan, mapping units, traffic, events."""
+
+from .address_space import AddressPlan, ASProfile, calibrate_zipf_exponent, zipf_weights
+from .diurnal import DiurnalModel, hour_of_day
+from .events import (
+    EventSchedule,
+    LoadBalanceEvent,
+    MaintenanceEvent,
+    RemapEvent,
+    same_pop_fallback,
+)
+from .mapping import ASIngressModel, MappingUnit, UnitConfig, build_units, candidate_links_for
+from .scenarios import (
+    SCALED_PARAMS,
+    Scenario,
+    default_scenario,
+    dualstack_scenario,
+    events_scenario,
+    load_balancing_scenario,
+    longitudinal_scenario,
+    reaction_scenario,
+    violations_scenario,
+)
+from .traffic import TrafficConfig, TrafficGenerator
+
+__all__ = [
+    "ASIngressModel",
+    "ASProfile",
+    "AddressPlan",
+    "DiurnalModel",
+    "EventSchedule",
+    "LoadBalanceEvent",
+    "MaintenanceEvent",
+    "MappingUnit",
+    "RemapEvent",
+    "SCALED_PARAMS",
+    "Scenario",
+    "TrafficConfig",
+    "TrafficGenerator",
+    "UnitConfig",
+    "build_units",
+    "calibrate_zipf_exponent",
+    "default_scenario",
+    "dualstack_scenario",
+    "events_scenario",
+    "load_balancing_scenario",
+    "longitudinal_scenario",
+    "reaction_scenario",
+    "violations_scenario",
+    "candidate_links_for",
+    "hour_of_day",
+    "same_pop_fallback",
+    "zipf_weights",
+]

@@ -1,0 +1,175 @@
+"""Address-space allocation for the synthetic Internet.
+
+The paper's traffic is dominated by a handful of hypergiants: the top 5
+ASes carry 52 % of the ingress volume and the top 20 carry 80 % (§5.1).
+This module allocates disjoint IPv4 (and optionally IPv6) blocks to a
+population of source ASes and assigns them Zipf-like traffic weights
+calibrated to those two published anchor points.
+
+The allocation is the ground truth the whole evaluation pivots on:
+BGP announcements, traffic generation and the violation monitor all
+derive from the same :class:`AddressPlan`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, Optional
+
+from ..core.iputil import IPV4, IPV6, Prefix
+
+__all__ = ["ASProfile", "AddressPlan", "zipf_weights", "calibrate_zipf_exponent"]
+
+
+@dataclass(frozen=True)
+class ASProfile:
+    """One source AS: identity, address blocks and behavioural class."""
+
+    asn: int
+    name: str
+    #: address blocks originated by this AS
+    blocks: tuple[Prefix, ...]
+    #: relative traffic weight (normalized by :class:`AddressPlan`)
+    weight: float
+    #: CDNs remap users to servers on demand -> diurnal ingress churn
+    is_cdn: bool = False
+    #: tier-1 networks are subject to the §5.6 peering-agreement monitor
+    is_tier1: bool = False
+    #: hypergiants hold direct PNIs into the ISP
+    is_hypergiant: bool = False
+
+    def total_addresses(self) -> int:
+        return sum(block.num_addresses for block in self.blocks)
+
+
+def zipf_weights(count: int, exponent: float) -> list[float]:
+    """Normalized Zipf weights ``i^-exponent`` for ranks 1..count."""
+    if count <= 0:
+        raise ValueError("count must be positive")
+    raw = [1.0 / (rank ** exponent) for rank in range(1, count + 1)]
+    total = sum(raw)
+    return [weight / total for weight in raw]
+
+
+def calibrate_zipf_exponent(
+    count: int,
+    top_n: int = 5,
+    target_share: float = 0.52,
+    tolerance: float = 1e-4,
+) -> float:
+    """Find the Zipf exponent whose top-*n* share hits *target_share*.
+
+    Used to anchor the synthetic AS popularity at the paper's "TOP5 =
+    52 % of volume" observation.  Solved by bisection; the share is
+    monotone in the exponent.
+    """
+    if not 0 < target_share < 1:
+        raise ValueError("target_share must be in (0, 1)")
+    if top_n >= count:
+        raise ValueError("top_n must be smaller than count")
+    low, high = 0.01, 10.0
+    for __ in range(200):
+        mid = (low + high) / 2.0
+        weights = zipf_weights(count, mid)
+        share = sum(weights[:top_n])
+        if abs(share - target_share) < tolerance:
+            return mid
+        if share < target_share:
+            low = mid
+        else:
+            high = mid
+    return (low + high) / 2.0
+
+
+@dataclass
+class AddressPlan:
+    """Disjoint block allocation plus traffic weights for all source ASes."""
+
+    profiles: dict[int, ASProfile] = field(default_factory=dict)
+
+    @classmethod
+    def build(
+        cls,
+        hypergiant_asns: tuple[int, ...],
+        peer_asns: tuple[int, ...],
+        tier1_asns: tuple[int, ...] = (),
+        cdn_asns: tuple[int, ...] = (),
+        block_masklen: int = 12,
+        blocks_per_hypergiant: int = 2,
+        top5_share: float = 0.52,
+        include_ipv6: bool = False,
+    ) -> "AddressPlan":
+        """Carve sequential IPv4 blocks and calibrate Zipf weights.
+
+        ASes are ranked hypergiants first (they are the top talkers by
+        construction), then tier-1s, then peers; IPv4 blocks are carved
+        sequentially from 11.0.0.0 upward so all allocations are
+        disjoint by construction.
+        """
+        ordered = list(dict.fromkeys(
+            tuple(hypergiant_asns) + tuple(tier1_asns) + tuple(peer_asns)
+        ))
+        exponent = calibrate_zipf_exponent(
+            len(ordered), top_n=min(5, len(ordered) - 1), target_share=top5_share
+        )
+        weights = zipf_weights(len(ordered), exponent)
+
+        plan = cls()
+        cursor = 11 << 24  # start at 11.0.0.0, clear of special-use space
+        cdn_set = set(cdn_asns) or set(hypergiant_asns[:2])
+        for rank, asn in enumerate(ordered):
+            is_hyper = asn in set(hypergiant_asns)
+            n_blocks = blocks_per_hypergiant if is_hyper else 1
+            blocks = []
+            for __ in range(n_blocks):
+                block = Prefix.from_ip(cursor, block_masklen, IPV4)
+                if block.value != cursor:
+                    raise AssertionError("allocation cursor misaligned")
+                blocks.append(block)
+                cursor += block.num_addresses
+            if include_ipv6:
+                # one /40 per AS under a documentation-style /24 super-block
+                v6_value = (0x2A << 120) | (rank << 88)
+                blocks.append(Prefix.from_ip(v6_value, 40, IPV6))
+            plan.profiles[asn] = ASProfile(
+                asn=asn,
+                name=f"AS{asn}",
+                blocks=tuple(blocks),
+                weight=weights[rank],
+                is_cdn=asn in cdn_set,
+                is_tier1=asn in set(tier1_asns),
+                is_hypergiant=is_hyper,
+            )
+        return plan
+
+    # -- queries ------------------------------------------------------------
+
+    def asns_by_weight(self) -> list[int]:
+        """ASNs ordered by descending traffic weight."""
+        return sorted(
+            self.profiles, key=lambda asn: -self.profiles[asn].weight
+        )
+
+    def top_asns(self, count: int) -> list[int]:
+        return self.asns_by_weight()[:count]
+
+    def top_share(self, count: int) -> float:
+        """Combined traffic share of the top-*count* ASes."""
+        ordered = self.asns_by_weight()
+        total = sum(profile.weight for profile in self.profiles.values())
+        return sum(self.profiles[asn].weight for asn in ordered[:count]) / total
+
+    def owner_of(self, ip_value: int, version: int = IPV4) -> Optional[int]:
+        """The AS whose allocation contains an address (linear scan)."""
+        for profile in self.profiles.values():
+            for block in profile.blocks:
+                if block.version == version and block.contains_ip(ip_value):
+                    return profile.asn
+        return None
+
+    def blocks(self, version: int = IPV4) -> Iterator[tuple[int, Prefix]]:
+        """Yield ``(asn, block)`` pairs of one family."""
+        for profile in self.profiles.values():
+            for block in profile.blocks:
+                if block.version == version:
+                    yield profile.asn, block

@@ -1,0 +1,168 @@
+"""Operational events injected into the synthetic traffic.
+
+The paper traces most IPD misclassifications back to concrete
+operational causes (§5.1.2):
+
+* **Maintenance** on a router moves traffic to other interfaces of the
+  same router (AS1's interface misses) or to a different site entirely.
+* **CDN mapping misalignment** makes traffic enter in another country —
+  the PoP misses of AS3 and the §5.8 "slow in one city" debugging story.
+* **Router-level load balancing** splits a prefix evenly over two
+  routers — the one scenario IPD deliberately does not handle (§5.8).
+
+Each event rewrites the ingress of matching flows during its active
+window; the *rewritten* ingress is the ground truth (the traffic really
+does enter there), which is exactly why IPD sees "misses" around event
+boundaries until it reconverges.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+from ..core.iputil import Prefix
+from ..topology.elements import IngressPoint
+from ..topology.network import ISPTopology
+
+__all__ = [
+    "MaintenanceEvent",
+    "RemapEvent",
+    "LoadBalanceEvent",
+    "EventSchedule",
+]
+
+
+@dataclass(frozen=True)
+class MaintenanceEvent:
+    """A router (or one interface) is serviced during [start, end).
+
+    Affected traffic is diverted to *fallback* — typically another
+    interface on the same router (interface miss) or another router in
+    the same PoP (router miss).
+    """
+
+    router: str
+    start: float
+    end: float
+    fallback: IngressPoint
+    #: limit the event to one interface; ``None`` drains the whole router
+    interface: Optional[str] = None
+
+    def applies(self, timestamp: float, ingress: IngressPoint) -> bool:
+        if not self.start <= timestamp < self.end:
+            return False
+        if ingress.router != self.router:
+            return False
+        if self.interface is not None and ingress.interface != self.interface:
+            return False
+        return True
+
+
+@dataclass(frozen=True)
+class RemapEvent:
+    """A CDN maps the users of an address range to a different site.
+
+    All traffic sourced from *prefix* enters via *new_ingress* during
+    the window — entering in a "different, further away country" is the
+    §5.8 FTTH-vs-ADSL debugging case.
+    """
+
+    prefix: Prefix
+    start: float
+    end: float
+    new_ingress: IngressPoint
+
+    def applies(self, timestamp: float, src_ip: int, version: int) -> bool:
+        return (
+            self.start <= timestamp < self.end
+            and version == self.prefix.version
+            and self.prefix.contains_ip(src_ip)
+        )
+
+
+@dataclass(frozen=True)
+class LoadBalanceEvent:
+    """Traffic of *prefix* is split ~50/50 across two routers.
+
+    This reproduces the operational incident of §5.8: a directly
+    connected hypergiant balanced over two routers, which IPD cannot
+    classify (by design).
+    """
+
+    prefix: Prefix
+    start: float
+    end: float
+    choices: tuple[IngressPoint, ...]
+
+    def applies(self, timestamp: float, src_ip: int, version: int) -> bool:
+        return (
+            self.start <= timestamp < self.end
+            and version == self.prefix.version
+            and self.prefix.contains_ip(src_ip)
+        )
+
+
+@dataclass
+class EventSchedule:
+    """The ordered set of events active during a generator run."""
+
+    maintenance: list[MaintenanceEvent] = field(default_factory=list)
+    remaps: list[RemapEvent] = field(default_factory=list)
+    load_balancing: list[LoadBalanceEvent] = field(default_factory=list)
+
+    def add(self, event: object) -> None:
+        if isinstance(event, MaintenanceEvent):
+            self.maintenance.append(event)
+        elif isinstance(event, RemapEvent):
+            self.remaps.append(event)
+        elif isinstance(event, LoadBalanceEvent):
+            self.load_balancing.append(event)
+        else:
+            raise TypeError(f"unknown event type: {type(event).__name__}")
+
+    def rewrite(
+        self,
+        timestamp: float,
+        src_ip: int,
+        version: int,
+        ingress: IngressPoint,
+        rng: random.Random,
+    ) -> IngressPoint:
+        """Apply all matching events to a flow's planned ingress.
+
+        Load balancing wins over remaps wins over maintenance: a prefix
+        being balanced is balanced regardless of where it would have
+        entered, while maintenance only matters if the traffic would
+        actually have used the serviced equipment.
+        """
+        for lb_event in self.load_balancing:
+            if lb_event.applies(timestamp, src_ip, version):
+                return rng.choice(lb_event.choices)
+        for remap in self.remaps:
+            if remap.applies(timestamp, src_ip, version):
+                return remap.new_ingress
+        for maintenance in self.maintenance:
+            if maintenance.applies(timestamp, ingress):
+                return maintenance.fallback
+        return ingress
+
+    def is_empty(self) -> bool:
+        return not (self.maintenance or self.remaps or self.load_balancing)
+
+
+def same_pop_fallback(
+    topology: ISPTopology, router: str, exclude: Sequence[str] = ()
+) -> Optional[IngressPoint]:
+    """A fallback ingress on another router in the same PoP (router miss)."""
+    pop = topology.pop_of_router(router)
+    for other in topology.routers.values():
+        if other.name == router or other.name in exclude:
+            continue
+        if other.pop != pop:
+            continue
+        for iface in topology.interfaces():
+            if iface.router == other.name:
+                return iface.ingress_point()
+    return None

@@ -1,0 +1,278 @@
+"""The mapping-unit model: how source ranges pick their ingress point.
+
+Hypergiant traffic enters where the sending network decides — the CDN's
+user→server mapping, not the ISP's BGP, picks the site and hence the
+ingress link (§2).  We model each source AS's address space as a set of
+*mapping units*: contiguous sub-ranges (of varied size, /20–/26 by
+default) that share one primary ingress link at any moment and get
+remapped over time.
+
+Units are the knob behind nearly every evaluation result:
+
+* remap rates control the stability distribution (Fig. 2, Fig. 15);
+* secondary links with partial shares create multi-ingress prefixes
+  (Fig. 3, Fig. 4);
+* the choice between a "home" link (the one BGP prefers) and other
+  candidate links sets the path-symmetry ratio (Fig. 16);
+* CDN units consolidate onto few sites at night and fan out at peak,
+  which drives the diurnal prefix-count swing (Fig. 11, Fig. 12);
+* tier-1 units occasionally mapped onto *another* neighbor's link are
+  the §5.6 peering-agreement violations.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..core.iputil import IPV4, IPV6, Prefix
+from ..topology.elements import Link, LinkType
+from ..topology.network import ISPTopology
+from .address_space import ASProfile
+
+__all__ = ["MappingUnit", "ASIngressModel", "build_units", "UnitConfig"]
+
+
+@dataclass
+class MappingUnit:
+    """One contiguous source range with a common ingress assignment."""
+
+    prefix: Prefix
+    asn: int
+    #: relative traffic weight within the AS
+    weight: float
+    #: current primary link (key into the topology's link table)
+    primary_link: str
+    #: optional secondary ingress and the share of flows it receives
+    secondary_link: Optional[str] = None
+    secondary_share: float = 0.0
+    #: per-bucket remap probability; 0 makes the unit an "elephant"
+    remap_probability: float = 0.0
+    #: distinct sub-blocks that actually source traffic (/28s for IPv4,
+    #: /48s for IPv6 — the respective ``cidr_max`` granularity)
+    active_slots: tuple[int, ...] = ()
+    #: address span of one slot (16 for IPv4 /28s, 2^80 for IPv6 /48s)
+    slot_size: int = 16
+    #: probability that a remap lands back on the AS home link; since a
+    #: remap redraws the target independently of the current state, the
+    #: long-run fraction of time on the home link equals this value —
+    #: which is how the Fig. 16 per-group symmetry targets are anchored
+    home_affinity: float = 0.6
+    #: timestamp of the unit's last remap (stability bookkeeping)
+    last_remap: float = 0.0
+
+    def pick_source(self, rng: random.Random) -> int:
+        """Draw a source address from one of the unit's active slots."""
+        slot = rng.choice(self.active_slots)
+        host_span = min(self.slot_size, 1 << 20)
+        return self.prefix.value + slot * self.slot_size + rng.randrange(
+            host_span
+        )
+
+
+@dataclass(frozen=True)
+class UnitConfig:
+    """Knobs for carving an AS's blocks into mapping units."""
+
+    min_masklen: int = 20
+    max_masklen: int = 26
+    #: relative frequency of each unit mask (indexed from min_masklen);
+    #: most real blocks are /22-/24 datacenter allocations, finer units
+    #: (the CDN /25-/26 mappings) are a minority
+    mask_weights: tuple[float, ...] = (2.0, 2.0, 3.0, 3.0, 4.0, 2.0, 1.0)
+    max_units_per_as: int = 32
+    #: probability that a unit starts on the same link as its
+    #: predecessor in address order — neighboring subnets are usually
+    #: served by the same site, so /24s rarely mix ingresses (Fig. 3)
+    spatial_coherence: float = 0.85
+    #: fraction of units that get a secondary ingress link
+    multi_ingress_fraction: float = 0.25
+    #: secondary-share range (uniform)
+    secondary_share_range: tuple[float, float] = (0.05, 0.45)
+    #: per-bucket remap probability range for "churny" units
+    churny_remap_range: tuple[float, float] = (0.008, 0.05)
+    #: fraction of units that are long-term stable elephants
+    elephant_fraction: float = 0.10
+    #: number of active /28 source slots per unit
+    slots_per_unit: tuple[int, int] = (2, 6)
+    #: probability that a unit's primary is the AS's BGP-preferred link
+    symmetry_probability: float = 0.62
+    #: probability that a tier-1 unit enters via a third party (§5.6)
+    violation_probability: float = 0.0
+    #: IPv6 unit mask bounds (units inside each AS's /40 allocation)
+    v6_min_masklen: int = 44
+    v6_max_masklen: int = 47
+
+
+@dataclass
+class ASIngressModel:
+    """Per-AS view: candidate links plus the BGP-preferred home link."""
+
+    profile: ASProfile
+    #: direct + indirect links this AS's traffic may use
+    candidate_links: list[str]
+    #: the link BGP best-path selection prefers (egress symmetry anchor)
+    home_link: str
+    units: list[MappingUnit] = field(default_factory=list)
+
+    def links_of(self, topology: ISPTopology) -> list[Link]:
+        return [topology.links[link_id] for link_id in self.candidate_links]
+
+
+def candidate_links_for(
+    topology: ISPTopology, profile: ASProfile
+) -> list[str]:
+    """Which ISP links can carry this AS's traffic inbound.
+
+    Directly connected ASes use their own links; everyone can addition-
+    ally arrive over transit interconnects (that is what makes indirect
+    entry — and §5.6 violations — possible at all).
+    """
+    direct = [link.link_id for link in topology.links_to_asn(profile.asn)]
+    transit = [
+        link.link_id
+        for link in topology.links.values()
+        if link.link_type is LinkType.TRANSIT and link.neighbor_asn != profile.asn
+    ]
+    if direct:
+        return direct + transit
+    return transit
+
+
+def build_units(
+    topology: ISPTopology,
+    profiles: dict[int, ASProfile],
+    config: UnitConfig | None = None,
+    overrides: dict[int, UnitConfig] | None = None,
+    seed: int = 11,
+) -> dict[int, ASIngressModel]:
+    """Carve every AS's blocks into mapping units with initial state.
+
+    *overrides* supplies per-ASN :class:`UnitConfig` replacements — the
+    scenarios use this to give tier-1, TOP5 and tail ASes the distinct
+    symmetry/violation behaviour the paper reports per group.
+    """
+    base_config = config or UnitConfig()
+    overrides = overrides or {}
+    rng = random.Random(seed)
+    models: dict[int, ASIngressModel] = {}
+
+    for asn, profile in profiles.items():
+        config = overrides.get(asn, base_config)
+        candidates = candidate_links_for(topology, profile)
+        if not candidates:
+            raise ValueError(f"AS{asn} has no possible ingress links")
+        direct = [link.link_id for link in topology.links_to_asn(asn)]
+        home = direct[0] if direct else candidates[0]
+        model = ASIngressModel(
+            profile=profile, candidate_links=candidates, home_link=home
+        )
+
+        for version in (IPV4, IPV6):
+            family_units: list[MappingUnit] = []
+            for block in profile.blocks:
+                if block.version != version:
+                    continue
+                family_units.extend(
+                    _carve_block(block, asn, candidates, home, config, rng)
+                )
+                if len(family_units) >= config.max_units_per_as:
+                    family_units = family_units[: config.max_units_per_as]
+                    break
+            model.units.extend(family_units)
+
+        total_weight = sum(unit.weight for unit in model.units)
+        if total_weight > 0:
+            for unit in model.units:
+                unit.weight /= total_weight
+        models[asn] = model
+    return models
+
+
+def _carve_block(
+    block: Prefix,
+    asn: int,
+    candidates: list[str],
+    home: str,
+    config: UnitConfig,
+    rng: random.Random,
+) -> list[MappingUnit]:
+    """Cut one allocation block into units of mixed sizes.
+
+    IPv4 blocks carve into /20-/26 units with /28 source slots; IPv6
+    blocks carve into /40-/46 units with /48 slots — each family's slot
+    matches its ``cidr_max`` masking granularity.
+    """
+    units: list[MappingUnit] = []
+    cursor = block.value
+    end = block.value + block.num_addresses
+    if block.version == IPV4:
+        masks = list(range(config.min_masklen, config.max_masklen + 1))
+        weights = list(config.mask_weights[: len(masks)])
+        weights += [1.0] * (len(masks) - len(weights))
+        slot_size = 16  # /28 slots
+    else:
+        masks = list(range(config.v6_min_masklen, config.v6_max_masklen + 1))
+        weights = [1.0] * len(masks)
+        slot_size = 1 << 80  # /48 slots
+    previous_primary: Optional[str] = None
+    while cursor < end and len(units) < config.max_units_per_as:
+        masklen = rng.choices(masks, weights)[0]
+        masklen = max(masklen, block.masklen)
+        unit_prefix = Prefix.from_ip(cursor, masklen, block.version)
+        if unit_prefix.value != cursor:
+            # Align the cursor to this mask size by shrinking the unit.
+            masklen = masks[-1]
+            unit_prefix = Prefix.from_ip(cursor, masklen, block.version)
+        if unit_prefix.last_value >= end:
+            break
+        if (
+            previous_primary is not None
+            and rng.random() < config.spatial_coherence
+        ):
+            primary = previous_primary
+        elif rng.random() < config.symmetry_probability:
+            primary = home
+        else:
+            primary = rng.choice(candidates)
+        previous_primary = primary
+        is_elephant = rng.random() < config.elephant_fraction
+        if is_elephant:
+            remap_probability = 0.0
+            weight = rng.uniform(4.0, 12.0)
+        else:
+            remap_probability = rng.uniform(*config.churny_remap_range)
+            weight = rng.lognormvariate(0.0, 1.0)
+            if masklen >= 25:
+                # fine units are CDN server blocks pinned to a site;
+                # they move far less often than whole datacenter blocks,
+                # so /24s rarely end up mixing ingresses (Fig. 3)
+                remap_probability *= 0.15
+        secondary_link = None
+        secondary_share = 0.0
+        if len(candidates) > 1 and rng.random() < config.multi_ingress_fraction:
+            others = [link for link in candidates if link != primary]
+            secondary_link = rng.choice(others)
+            secondary_share = rng.uniform(*config.secondary_share_range)
+        n_slots = rng.randint(*config.slots_per_unit)
+        max_slot = unit_prefix.num_addresses // slot_size
+        slots = tuple(
+            sorted(rng.sample(range(max_slot), k=min(n_slots, max_slot)))
+        )
+        units.append(
+            MappingUnit(
+                prefix=unit_prefix,
+                asn=asn,
+                weight=weight,
+                primary_link=primary,
+                secondary_link=secondary_link,
+                secondary_share=secondary_share,
+                remap_probability=remap_probability,
+                active_slots=slots,
+                slot_size=slot_size,
+                home_affinity=config.symmetry_probability,
+            )
+        )
+        cursor = unit_prefix.last_value + 1
+    return units

@@ -1,0 +1,132 @@
+"""Tests for prefix correlation (§5.2) and symmetry ratios (Fig. 16)."""
+
+import pytest
+
+from repro.analysis.asymmetry import prefix_correlation, symmetry_ratios
+from repro.bgp.rib import BGPRoute, BGPTable
+from repro.core.iputil import Prefix
+from repro.core.output import IPDRecord
+from repro.topology.elements import IngressPoint
+
+A = IngressPoint("R1", "et0")
+B = IngressPoint("R2", "xe0")
+
+
+def record(range_text: str, ingress: IngressPoint = A,
+           s_ipcount: float = 10.0, classified: bool = True) -> IPDRecord:
+    return IPDRecord(
+        timestamp=0.0, range=Prefix.from_string(range_text), ingress=ingress,
+        s_ingress=1.0, s_ipcount=s_ipcount, n_cidr=2.0,
+        candidates=((ingress, s_ipcount),), classified=classified,
+    )
+
+
+def route(prefix: str, router: str = "R1", origin: int = 100) -> BGPRoute:
+    return BGPRoute(
+        prefix=Prefix.from_string(prefix), origin_asn=origin,
+        neighbor_asn=origin, next_hop_router=router, link_id="L1",
+    )
+
+
+class TestPrefixCorrelation:
+    def test_classification_buckets(self):
+        table = BGPTable()
+        table.add_route(route("10.0.0.0/16"))
+        table.add_route(route("20.0.0.0/24"))
+        records = [
+            record("10.0.0.0/24"),   # more specific than /16
+            record("10.0.0.0/16"),   # exact
+            record("20.0.0.0/20"),   # less specific: base addr covered by /24
+            record("99.0.0.0/24"),   # uncovered
+        ]
+        result = prefix_correlation(records, table)
+        assert result.more_specific == 1
+        assert result.exact == 1
+        assert result.less_specific == 1
+        assert result.uncovered == 1
+
+    def test_shares_sum_to_one(self):
+        table = BGPTable()
+        table.add_route(route("10.0.0.0/16"))
+        records = [record("10.0.0.0/24"), record("10.0.0.0/16")]
+        shares = prefix_correlation(records, table).shares()
+        assert sum(shares.values()) == pytest.approx(1.0)
+
+    def test_empty(self):
+        shares = prefix_correlation([], BGPTable()).shares()
+        assert shares == {"exact": 0.0, "more_specific": 0.0, "less_specific": 0.0}
+
+    def test_unclassified_skipped(self):
+        table = BGPTable()
+        table.add_route(route("10.0.0.0/16"))
+        result = prefix_correlation(
+            [record("10.0.0.0/24", classified=False)], table
+        )
+        assert result.total_covered == 0
+
+
+class TestSymmetryRatios:
+    def build_table(self) -> BGPTable:
+        table = BGPTable()
+        table.add_route(route("10.0.0.0/16", router="R1", origin=100))
+        table.add_route(route("20.0.0.0/16", router="R1", origin=200))
+        return table
+
+    def test_symmetric_when_routers_match(self):
+        table = self.build_table()
+        records = [record("10.0.0.0/24", A)]  # A is on R1 == egress R1
+        result = symmetry_ratios(records, table, groups={"ALL": None})
+        assert result.ratio("ALL") == 1.0
+
+    def test_asymmetric_when_routers_differ(self):
+        table = self.build_table()
+        records = [record("10.0.0.0/24", B)]
+        result = symmetry_ratios(records, table, groups={"ALL": None})
+        assert result.ratio("ALL") == 0.0
+
+    def test_groups_filter_by_origin(self):
+        table = self.build_table()
+        records = [
+            record("10.0.0.0/24", A),  # origin 100, symmetric
+            record("20.0.0.0/24", B),  # origin 200, asymmetric
+        ]
+        result = symmetry_ratios(
+            records, table,
+            groups={"ALL": None, "TOP5": {100}, "TIER1": {200}},
+        )
+        assert result.ratio("TOP5") == 1.0
+        assert result.ratio("TIER1") == 0.0
+        assert result.ratio("ALL") == 0.5
+
+    def test_weighting_by_samples(self):
+        table = self.build_table()
+        records = [
+            record("10.0.0.0/24", A, s_ipcount=90.0),
+            record("10.0.1.0/24", B, s_ipcount=10.0),
+        ]
+        result = symmetry_ratios(records, table, groups={"ALL": None})
+        assert result.ratio("ALL") == pytest.approx(0.9)
+
+    def test_unweighted(self):
+        table = self.build_table()
+        records = [
+            record("10.0.0.0/24", A, s_ipcount=90.0),
+            record("10.0.1.0/24", B, s_ipcount=10.0),
+        ]
+        result = symmetry_ratios(
+            records, table, groups={"ALL": None}, weight_by_samples=False
+        )
+        assert result.ratio("ALL") == pytest.approx(0.5)
+
+    def test_uncovered_records_skipped(self):
+        table = self.build_table()
+        result = symmetry_ratios(
+            [record("99.0.0.0/24", A)], table, groups={"ALL": None}
+        )
+        assert result.ratio("ALL") is None
+
+    def test_ratios_dict(self):
+        table = self.build_table()
+        records = [record("10.0.0.0/24", A)]
+        ratios = symmetry_ratios(records, table, groups={"ALL": None}).ratios()
+        assert ratios == {"ALL": 1.0}

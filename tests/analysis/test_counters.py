@@ -1,0 +1,69 @@
+"""Tests for the §3.1 counter-design analyses."""
+
+import pytest
+
+from repro.analysis.counters import (
+    counter_overflow_study,
+    flow_byte_correlation,
+)
+from repro.core.iputil import IPV4, parse_ip
+from repro.netflow.records import FlowRecord
+from repro.topology.elements import IngressPoint
+
+A = IngressPoint("R1", "et0")
+
+
+def flow(src: str, nbytes: int = 1500) -> FlowRecord:
+    return FlowRecord(timestamp=0.0, src_ip=parse_ip(src)[0], version=IPV4,
+                      ingress=A, bytes=nbytes)
+
+
+class TestFlowByteCorrelation:
+    def test_proportional_traffic_correlates_perfectly(self):
+        flows = []
+        for index, count in enumerate((10, 20, 40, 80)):
+            flows += [flow(f"10.0.{index}.1")] * count
+        correlation, n = flow_byte_correlation(flows, min_flows=5)
+        assert n == 4
+        assert correlation == pytest.approx(1.0)
+
+    def test_anticorrelated_sizes(self):
+        """Few huge flows vs many tiny flows -> weak/negative correlation."""
+        flows = [flow("10.0.0.1", nbytes=10_000_000)] * 5
+        flows += [flow(f"10.0.1.{i % 200}", nbytes=64) for i in range(500)]
+        flows += [flow(f"10.0.2.{i % 200}", nbytes=64) for i in range(400)]
+        correlation, __ = flow_byte_correlation(flows, min_flows=5)
+        assert correlation < 0.5
+
+    def test_min_flows_filter(self):
+        flows = [flow("10.0.0.1")] * 2
+        correlation, n = flow_byte_correlation(flows, min_flows=5)
+        assert n == 0
+        assert correlation == 0.0
+
+    def test_realistic_workload_correlates(self):
+        """The synthetic traffic reproduces a strong flow/byte link
+        (paper: 0.82)."""
+        from repro.workloads.scenarios import default_scenario
+
+        scenario = default_scenario(duration_hours=0.5,
+                                    flows_per_bucket_peak=1500)
+        flows = list(scenario.generator().flows())
+        correlation, n = flow_byte_correlation(flows, min_flows=10)
+        assert n > 50
+        assert correlation > 0.6
+
+
+class TestOverflowStudy:
+    def test_bytes_have_less_headroom(self):
+        flows = [flow(f"10.0.0.{i % 100}", nbytes=100_000) for i in range(5000)]
+        study = counter_overflow_study(flows)
+        assert study.flows_safer
+        assert study.max_byte_count == 5000 * 100_000
+        assert study.max_flow_count == 5000
+        assert study.byte_headroom_doublings < study.flow_headroom_doublings
+
+    def test_empty_stream(self):
+        study = counter_overflow_study([])
+        assert study.prefixes == 0
+        assert study.flow_headroom_doublings == float("inf")

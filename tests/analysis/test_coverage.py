@@ -1,0 +1,68 @@
+"""Tests for the §3.1 coverage analysis."""
+
+import pytest
+
+from repro.analysis.coverage import mapping_coverage
+from repro.core.iputil import IPV4, Prefix, parse_ip
+from repro.core.output import IPDRecord
+from repro.netflow.records import FlowRecord
+from repro.topology.elements import IngressPoint
+
+A = IngressPoint("R1", "et0")
+
+
+def record(range_text: str) -> IPDRecord:
+    prefix = Prefix.from_string(range_text)
+    return IPDRecord(
+        timestamp=0.0, range=prefix, ingress=A, s_ingress=1.0,
+        s_ipcount=10.0, n_cidr=2.0, candidates=((A, 10.0),),
+    )
+
+
+def flow(src: str) -> FlowRecord:
+    return FlowRecord(timestamp=0.0, src_ip=parse_ip(src)[0],
+                      version=IPV4, ingress=A)
+
+
+class TestMappingCoverage:
+    def test_traffic_coverage(self):
+        records = [record("10.0.0.0/24")]
+        flows = [flow("10.0.0.1"), flow("10.0.0.2"), flow("99.0.0.1")]
+        report = mapping_coverage(flows, records)
+        assert report.traffic_coverage == pytest.approx(2 / 3)
+        assert report.flows_total == 3
+
+    def test_space_coverage_with_allocation(self):
+        records = [record("10.0.0.0/25")]
+        allocated = [(parse_ip("10.0.0.0")[0], parse_ip("10.0.0.0")[0] + 256)]
+        report = mapping_coverage([], records, allocated=allocated)
+        assert report.space_coverage == pytest.approx(0.5)
+
+    def test_space_coverage_without_allocation_is_tiny(self):
+        records = [record("10.0.0.0/24")]
+        report = mapping_coverage([], records)
+        assert report.space_coverage == pytest.approx(256 / 2**32)
+
+    def test_design_gap(self):
+        """High-traffic prefixes mapped, tail skipped -> positive gap."""
+        records = [record("10.0.0.0/24")]
+        allocated = [(parse_ip("10.0.0.0")[0], parse_ip("10.0.0.0")[0] + 4096)]
+        flows = [flow("10.0.0.1")] * 9 + [flow("10.0.8.1")]
+        report = mapping_coverage(flows, records, allocated=allocated)
+        assert report.traffic_coverage == pytest.approx(0.9)
+        assert report.space_coverage == pytest.approx(256 / 4096)
+        assert report.design_gap > 0.8
+
+    def test_per_asn_breakdown(self):
+        records = [record("10.0.0.0/24")]
+        asn_of = lambda ip: 100 if ip < parse_ip("50.0.0.0")[0] else 200  # noqa: E731
+        flows = [flow("10.0.0.1"), flow("99.0.0.1")]
+        report = mapping_coverage(flows, records, asn_of=asn_of)
+        assert report.asn_coverage(100) == 1.0
+        assert report.asn_coverage(200) == 0.0
+        assert report.asn_coverage(999) is None
+
+    def test_empty(self):
+        report = mapping_coverage([], [])
+        assert report.traffic_coverage == 0.0
+        assert report.flows_total == 0

@@ -1,0 +1,84 @@
+"""Tests for elephant-range characterization (§5.4)."""
+
+import pytest
+
+from repro.analysis.elephants import profile_elephants
+from repro.core.iputil import Prefix
+from repro.core.lpm import LPMTable
+from repro.core.output import IPDRecord
+from repro.topology.elements import IngressPoint
+
+PNI_INGRESS = IngressPoint("R1", "et0")      # L1 is a PNI in small_topology
+TRANSIT_INGRESS = IngressPoint("R3", "hu0")  # L4 is transit
+
+
+def record(range_text: str, ingress: IngressPoint, ts: float,
+           s_ipcount: float) -> IPDRecord:
+    return IPDRecord(
+        timestamp=ts, range=Prefix.from_string(range_text), ingress=ingress,
+        s_ingress=1.0, s_ipcount=s_ipcount, n_cidr=2.0,
+        candidates=((ingress, s_ipcount),),
+    )
+
+
+@pytest.fixture
+def snapshots():
+    """One huge stable PNI range and nine small transit ranges."""
+    result = {}
+    for step in range(4):
+        ts = step * 300.0
+        records = [record("10.0.0.0/16", PNI_INGRESS, ts, 1e6 + step * 1000)]
+        records += [
+            record(f"20.0.{i}.0/24", TRANSIT_INGRESS, ts, 10.0 + step)
+            for i in range(9)
+        ]
+        result[ts] = records
+    return result
+
+
+class TestProfileElephants:
+    def test_elephant_membership(self, small_topology, snapshots):
+        profile = profile_elephants(snapshots, small_topology, top_fraction=0.1)
+        assert profile.elephants == {Prefix.from_string("10.0.0.0/16")}
+
+    def test_pni_share(self, small_topology, snapshots):
+        profile = profile_elephants(snapshots, small_topology, top_fraction=0.1)
+        assert profile.pni_share == 1.0
+
+    def test_as_membership_shares(self, small_topology, snapshots):
+        asn_lpm: LPMTable[int] = LPMTable(4)
+        asn_lpm.insert(Prefix.from_string("10.0.0.0/8"), 100)
+        profile = profile_elephants(
+            snapshots, small_topology, asn_of_prefix=asn_lpm,
+            top5={100}, top20={100}, top_fraction=0.1,
+        )
+        assert profile.top5_share == 1.0
+        assert profile.top20_share == 1.0
+
+    def test_mask_histogram(self, small_topology, snapshots):
+        profile = profile_elephants(snapshots, small_topology, top_fraction=0.1)
+        assert profile.mask_histogram[16] == 1
+
+    def test_elephants_more_stable_than_all(self, small_topology):
+        """Elephants hold their ingress; the tail churns (Fig. 15)."""
+        snapshots = {}
+        for step in range(6):
+            ts = step * 300.0
+            churn_ingress = PNI_INGRESS if step % 2 == 0 else TRANSIT_INGRESS
+            snapshots[ts] = [
+                record("10.0.0.0/16", PNI_INGRESS, ts, 1e6),
+                record("20.0.0.0/24", churn_ingress, ts, 5.0),
+            ]
+        profile = profile_elephants(snapshots, small_topology, top_fraction=0.5)
+        assert max(profile.elephant_durations) > max(
+            d for d in profile.all_durations if d < 1500.0
+        )
+
+    def test_mean_new_samples(self, small_topology, snapshots):
+        profile = profile_elephants(snapshots, small_topology, top_fraction=0.1)
+        assert profile.mean_new_samples_per_bucket == pytest.approx(1000.0)
+
+    def test_empty_snapshots(self, small_topology):
+        profile = profile_elephants({0.0: []}, small_topology)
+        assert profile.elephants == set()
+        assert profile.pni_share == 0.0

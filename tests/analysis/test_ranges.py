@@ -1,0 +1,216 @@
+"""Tests for range-structure analyses (Figs. 3, 4, 9, 11, 12)."""
+
+from collections import Counter
+
+import pytest
+
+from repro.analysis.ranges import (
+    bgp_mask_histogram,
+    bgp_next_hop_counts,
+    daytime_profile,
+    dominant_share_cdf,
+    ingress_counts_from_flows,
+    mask_histogram,
+)
+from repro.bgp.rib import BGPRoute, BGPTable
+from repro.core.iputil import IPV4, Prefix, parse_ip
+from repro.core.output import IPDRecord
+from repro.netflow.records import FlowRecord
+from repro.topology.elements import IngressPoint
+
+A = IngressPoint("R1", "et0")
+B = IngressPoint("R2", "xe0")
+
+
+def flow(src: str, ingress: IngressPoint) -> FlowRecord:
+    return FlowRecord(
+        timestamp=0.0, src_ip=parse_ip(src)[0], version=IPV4, ingress=ingress
+    )
+
+
+def record(range_text: str, ts: float = 0.0, classified: bool = True) -> IPDRecord:
+    return IPDRecord(
+        timestamp=ts, range=Prefix.from_string(range_text), ingress=A,
+        s_ingress=1.0, s_ipcount=10.0, n_cidr=2.0, candidates=((A, 10.0),),
+        classified=classified,
+    )
+
+
+class TestIngressCountsFromFlows:
+    def test_groups_by_24_and_counts_routers(self):
+        flows = [
+            flow("10.0.0.1", A),
+            flow("10.0.0.2", A),
+            flow("10.0.0.3", B),
+            flow("10.0.1.1", A),
+            flow("10.0.1.2", A),
+        ]
+        counters = ingress_counts_from_flows(flows)
+        p1 = Prefix.from_string("10.0.0.0/24")
+        p2 = Prefix.from_string("10.0.1.0/24")
+        assert counters[p1] == Counter({"R1": 2, "R2": 1})
+        assert counters[p2] == Counter({"R1": 2})
+
+    def test_min_flows_filter(self):
+        counters = ingress_counts_from_flows([flow("10.0.0.1", A)], min_flows=2)
+        assert counters == {}
+
+    def test_custom_masklen(self):
+        flows = [flow("10.0.0.1", A), flow("10.0.255.1", B)]
+        counters = ingress_counts_from_flows(flows, prefix_masklen=16)
+        assert len(counters) == 1
+
+
+class TestBGPNextHopCounts:
+    def test_counts_distinct_routers(self):
+        table = BGPTable()
+        prefix = Prefix.from_string("10.0.0.0/8")
+        for router in ("R1", "R2", "R3"):
+            table.add_route(BGPRoute(
+                prefix=prefix, origin_asn=1, neighbor_asn=1,
+                next_hop_router=router, link_id=router,
+            ))
+        assert bgp_next_hop_counts(table) == [3]
+
+    def test_prefix_subset(self):
+        table = BGPTable()
+        p1 = Prefix.from_string("10.0.0.0/8")
+        p2 = Prefix.from_string("20.0.0.0/8")
+        for prefix in (p1, p2):
+            table.add_route(BGPRoute(
+                prefix=prefix, origin_asn=1, neighbor_asn=1,
+                next_hop_router="R1", link_id="L1",
+            ))
+        assert bgp_next_hop_counts(table, [p1]) == [1]
+
+
+class TestDominantShare:
+    def test_only_multi_ingress_by_default(self):
+        counters = {
+            Prefix.from_string("10.0.0.0/24"): Counter({"R1": 10}),
+            Prefix.from_string("10.0.1.0/24"): Counter({"R1": 8, "R2": 2}),
+        }
+        shares = dominant_share_cdf(counters)
+        assert shares == [pytest.approx(0.8)]
+
+    def test_include_single(self):
+        counters = {Prefix.from_string("10.0.0.0/24"): Counter({"R1": 10})}
+        shares = dominant_share_cdf(counters, multi_ingress_only=False)
+        assert shares == [1.0]
+
+
+class TestMaskHistogram:
+    def test_counts_by_mask(self):
+        records = [record("10.0.0.0/24"), record("10.1.0.0/24"),
+                   record("10.2.0.0/20")]
+        histogram = mask_histogram(records)
+        assert histogram[24] == 2
+        assert histogram[20] == 1
+
+    def test_weight_by_addresses(self):
+        records = [record("10.0.0.0/24"), record("10.2.0.0/23")]
+        histogram = mask_histogram(records, weight_by="addresses")
+        assert histogram[24] == 256
+        assert histogram[23] == 512
+
+    def test_skips_unclassified(self):
+        histogram = mask_histogram([record("10.0.0.0/24", classified=False)])
+        assert histogram == Counter()
+
+    def test_invalid_weight_mode(self):
+        with pytest.raises(ValueError):
+            mask_histogram([], weight_by="volume")
+
+    def test_bgp_mask_histogram(self):
+        table = BGPTable()
+        for text in ("10.0.0.0/24", "10.0.1.0/24", "10.0.0.0/8"):
+            table.add_route(BGPRoute(
+                prefix=Prefix.from_string(text), origin_asn=1,
+                neighbor_asn=1, next_hop_router="R1", link_id="L1",
+            ))
+        histogram = bgp_mask_histogram(table)
+        assert histogram[24] == 2
+        assert histogram[8] == 1
+
+
+class TestDaytimeProfile:
+    def test_aggregates_by_hour(self):
+        snapshots = {
+            10 * 3600.0: [record("10.0.0.0/24"), record("10.0.1.0/24")],
+            10 * 3600.0 + 86_400.0: [record("10.0.0.0/24")],  # next day 10:00
+            20 * 3600.0: [record("10.0.0.0/20")],
+        }
+        profile = daytime_profile(snapshots)
+        assert profile.prefix_count[10] == pytest.approx(1.5)  # (2+1)/2 days
+        assert profile.prefix_count[20] == 1.0
+        assert profile.mapped_addresses[20] == 4096
+
+    def test_filter_restricts_records(self):
+        target = Prefix.from_string("10.0.0.0/24")
+        snapshots = {0.0: [record("10.0.0.0/24"), record("99.0.0.0/24")]}
+        profile = daytime_profile(
+            snapshots, record_filter=lambda r: r.range == target
+        )
+        assert profile.prefix_count[0] == 1.0
+
+    def test_normalization(self):
+        snapshots = {
+            0.0: [record("10.0.0.0/24")],
+            3600.0: [record("10.0.0.0/24"), record("10.0.1.0/24")],
+        }
+        profile = daytime_profile(snapshots)
+        normalized = profile.normalized_prefix_count()
+        assert normalized[1] == 1.0
+        assert normalized[0] == pytest.approx(0.5)
+
+    def test_masks_by_hour(self):
+        snapshots = {0.0: [record("10.0.0.0/24"), record("10.0.0.0/20")]}
+        profile = daytime_profile(snapshots)
+        assert profile.masks_by_hour[0][24] == 1
+        assert profile.masks_by_hour[0][20] == 1
+
+
+class TestSimultaneousIngressCounts:
+    def test_single_ingress_prefix(self):
+        from repro.analysis.ranges import simultaneous_ingress_counts
+
+        flows = [flow("10.0.0.1", A) for __ in range(20)]
+        counts = simultaneous_ingress_counts(flows, min_flows=5)
+        assert counts[Prefix.from_string("10.0.0.0/24")] == 1
+
+    def test_balanced_prefix_counts_two(self):
+        from repro.analysis.ranges import simultaneous_ingress_counts
+
+        flows = []
+        for index in range(40):
+            flows.append(flow("10.0.0.1", A if index % 2 else B))
+        counts = simultaneous_ingress_counts(flows, min_flows=5)
+        assert counts[Prefix.from_string("10.0.0.0/24")] == 2
+
+    def test_noise_below_share_ignored(self):
+        from repro.analysis.ranges import simultaneous_ingress_counts
+
+        flows = [flow("10.0.0.1", A) for __ in range(99)]
+        flows.append(flow("10.0.0.1", B))  # 1% noise
+        counts = simultaneous_ingress_counts(flows, min_share=0.05)
+        assert counts[Prefix.from_string("10.0.0.0/24")] == 1
+
+    def test_sequential_remap_is_still_single(self):
+        """A remap across bins must not look like multi-homing."""
+        from repro.analysis.ranges import simultaneous_ingress_counts
+
+        flows = []
+        for index in range(30):  # bin 0: all A
+            flows.append(flow("10.0.0.1", A)._replace(timestamp=10.0))
+        for index in range(30):  # bin 2: all B
+            flows.append(flow("10.0.0.1", B)._replace(timestamp=700.0))
+        counts = simultaneous_ingress_counts(flows, bin_seconds=300.0)
+        assert counts[Prefix.from_string("10.0.0.0/24")] == 1
+
+    def test_sparse_bins_dropped(self):
+        from repro.analysis.ranges import simultaneous_ingress_counts
+
+        counts = simultaneous_ingress_counts(
+            [flow("10.0.0.1", A)], min_flows=5
+        )
+        assert counts == {}

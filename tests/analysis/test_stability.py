@@ -1,0 +1,297 @@
+"""Tests for stability analyses (Figs. 2, 10, 15)."""
+
+import pytest
+
+from repro.analysis.stability import (
+    elephant_ranges,
+    longitudinal_series,
+    matching_and_stable,
+    snapshot_intervals,
+    stability_durations,
+)
+from repro.core.iputil import Prefix
+from repro.core.output import IPDRecord
+from repro.topology.elements import IngressPoint
+
+A = IngressPoint("R1", "et0")
+B = IngressPoint("R2", "xe0")
+
+
+def record(range_text: str, ingress: IngressPoint, ts: float = 0.0,
+           s_ipcount: float = 100.0, classified: bool = True) -> IPDRecord:
+    return IPDRecord(
+        timestamp=ts, range=Prefix.from_string(range_text), ingress=ingress,
+        s_ingress=1.0, s_ipcount=s_ipcount, n_cidr=4.0,
+        candidates=((ingress, s_ipcount),), classified=classified,
+    )
+
+
+class TestStabilityDurations:
+    def test_stable_range_spans_run(self):
+        snapshots = {
+            t: [record("10.0.0.0/24", A, t)] for t in (0.0, 300.0, 600.0)
+        }
+        durations = stability_durations(snapshots)
+        assert durations == [600.0]
+
+    def test_ingress_change_splits_phase(self):
+        snapshots = {
+            0.0: [record("10.0.0.0/24", A)],
+            300.0: [record("10.0.0.0/24", A)],
+            600.0: [record("10.0.0.0/24", B)],
+            900.0: [record("10.0.0.0/24", B)],
+        }
+        durations = sorted(stability_durations(snapshots))
+        assert durations == [300.0, 300.0]
+
+    def test_disappearing_range_closes_phase(self):
+        snapshots = {
+            0.0: [record("10.0.0.0/24", A)],
+            300.0: [record("10.0.0.0/24", A)],
+            600.0: [],
+            900.0: [record("10.0.0.0/24", A)],
+        }
+        durations = sorted(stability_durations(snapshots))
+        assert durations == [0.0, 300.0]
+
+    def test_unclassified_ignored_by_default(self):
+        snapshots = {
+            0.0: [record("10.0.0.0/24", A, classified=False)],
+            300.0: [record("10.0.0.0/24", A, classified=False)],
+        }
+        assert stability_durations(snapshots) == []
+
+    def test_needs_two_snapshots(self):
+        assert stability_durations({0.0: [record("10.0.0.0/24", A)]}) == []
+
+
+class TestSnapshotIntervals:
+    def test_sorted_disjoint(self):
+        records = [
+            record("10.0.1.0/24", A),
+            record("10.0.0.0/24", B),
+        ]
+        intervals = snapshot_intervals(records)
+        assert intervals[0][0] < intervals[1][0]
+        assert intervals[0][1] <= intervals[1][0]
+
+    def test_skips_unclassified(self):
+        records = [record("10.0.0.0/24", A, classified=False)]
+        assert snapshot_intervals(records) == []
+
+
+class TestMatchingAndStable:
+    def test_identical_snapshots(self):
+        reference = [record("10.0.0.0/24", A)]
+        matching, stable = matching_and_stable(reference, reference)
+        assert matching == 1.0
+        assert stable == 1.0
+
+    def test_ingress_moved(self):
+        matching, stable = matching_and_stable(
+            [record("10.0.0.0/24", A)], [record("10.0.0.0/24", B)]
+        )
+        assert matching == 1.0
+        assert stable == 0.0
+
+    def test_space_gone(self):
+        matching, stable = matching_and_stable(
+            [record("10.0.0.0/24", A)], [record("99.0.0.0/24", A)]
+        )
+        assert matching == 0.0
+        assert stable == 0.0
+
+    def test_partial_overlap_finer_later(self):
+        """Later snapshot maps only half the reference /24, same ingress."""
+        matching, stable = matching_and_stable(
+            [record("10.0.0.0/24", A)], [record("10.0.0.0/25", A)]
+        )
+        assert matching == pytest.approx(0.5)
+        assert stable == pytest.approx(0.5)
+
+    def test_coarser_later_still_matches(self):
+        matching, stable = matching_and_stable(
+            [record("10.0.0.0/25", A)], [record("10.0.0.0/8", A)]
+        )
+        assert matching == 1.0
+        assert stable == 1.0
+
+    def test_mixed_ingress_split(self):
+        later = [record("10.0.0.0/25", A), record("10.0.0.128/25", B)]
+        matching, stable = matching_and_stable(
+            [record("10.0.0.0/24", A)], later
+        )
+        assert matching == pytest.approx(1.0)
+        assert stable == pytest.approx(0.5)
+
+    def test_empty_reference(self):
+        assert matching_and_stable([], [record("10.0.0.0/24", A)]) == (0.0, 0.0)
+
+
+class TestLongitudinalSeries:
+    def test_series_excludes_reference_and_earlier(self):
+        snapshots = {
+            0.0: [record("10.0.0.0/24", A)],
+            86_400.0: [record("10.0.0.0/24", A)],
+            172_800.0: [record("10.0.0.0/24", B)],
+        }
+        points = longitudinal_series(snapshots, reference_time=0.0)
+        assert [p.timestamp for p in points] == [86_400.0, 172_800.0]
+        assert points[0].stable == 1.0
+        assert points[1].stable == 0.0
+
+    def test_unknown_reference_rejected(self):
+        with pytest.raises(KeyError):
+            longitudinal_series({0.0: []}, reference_time=5.0)
+
+
+class TestElephantRanges:
+    def test_top_fraction_by_counter(self):
+        snapshots = {
+            0.0: [
+                record(f"10.0.{i}.0/24", A, s_ipcount=float(i)) for i in range(100)
+            ]
+        }
+        elephants = elephant_ranges(snapshots, top_fraction=0.01)
+        assert elephants == {Prefix.from_string("10.0.99.0/24")}
+
+    def test_peak_across_snapshots(self):
+        snapshots = {
+            0.0: [record("10.0.0.0/24", A, s_ipcount=1.0),
+                  record("10.0.1.0/24", A, s_ipcount=50.0)],
+            300.0: [record("10.0.0.0/24", A, s_ipcount=99.0)],
+        }
+        elephants = elephant_ranges(snapshots, top_fraction=0.5)
+        assert Prefix.from_string("10.0.0.0/24") in elephants
+
+    def test_empty(self):
+        assert elephant_ranges({0.0: []}) == set()
+
+    def test_invalid_fraction(self):
+        with pytest.raises(ValueError):
+            elephant_ranges({}, top_fraction=0.0)
+
+
+class TestGapTolerance:
+    def test_single_gap_bridged(self):
+        snapshots = {
+            0.0: [record("10.0.0.0/24", A)],
+            300.0: [record("10.0.0.0/24", A)],
+            600.0: [],  # classification flap
+            900.0: [record("10.0.0.0/24", A)],
+        }
+        tolerant = stability_durations(snapshots, gap_tolerance=1)
+        strict = stability_durations(snapshots, gap_tolerance=0)
+        assert tolerant == [900.0]
+        assert sorted(strict) == [0.0, 300.0]
+
+    def test_long_gap_still_breaks(self):
+        snapshots = {
+            0.0: [record("10.0.0.0/24", A)],
+            300.0: [],
+            600.0: [],
+            900.0: [record("10.0.0.0/24", A)],
+        }
+        durations = stability_durations(snapshots, gap_tolerance=1)
+        assert sorted(durations) == [0.0, 0.0]
+
+    def test_gap_with_ingress_change_not_bridged(self):
+        snapshots = {
+            0.0: [record("10.0.0.0/24", A)],
+            300.0: [],
+            600.0: [record("10.0.0.0/24", B)],
+            900.0: [record("10.0.0.0/24", B)],
+        }
+        durations = stability_durations(snapshots, gap_tolerance=1)
+        assert sorted(durations) == [0.0, 300.0]
+
+
+class TestClipIntervals:
+    def test_clips_to_allocation(self):
+        from repro.analysis.stability import clip_intervals
+
+        intervals = [(0, 1000, A)]
+        allowed = [(100, 200), (500, 600)]
+        clipped = clip_intervals(intervals, allowed)
+        assert clipped == [(100, 200, A), (500, 600, A)]
+
+    def test_disjoint_passthrough(self):
+        from repro.analysis.stability import clip_intervals
+
+        intervals = [(100, 200, A), (300, 400, B)]
+        allowed = [(0, 1000)]
+        assert clip_intervals(intervals, allowed) == intervals
+
+    def test_no_overlap(self):
+        from repro.analysis.stability import clip_intervals
+
+        assert clip_intervals([(0, 10, A)], [(50, 60)]) == []
+
+    def test_clipping_changes_matching_weights(self):
+        """A sparse giant range stops dominating once clipped."""
+        giant = record("0.0.0.0/4", A)       # 268M addresses
+        fine = record("32.0.0.0/24", B)
+        reference = [giant, fine]
+        later = [record("32.0.0.0/24", A)]   # fine space moved to A
+        unclipped_m, __ = matching_and_stable(reference, later)
+        allocated = [(0x20000000, 0x20000100)]  # only the /24 allocated
+        clipped_m, clipped_s = matching_and_stable(
+            reference, later, clip_to=allocated
+        )
+        assert unclipped_m < 0.01     # giant empty space dominates
+        assert clipped_m == 1.0       # allocated space fully matched
+        assert clipped_s == 0.0       # but the ingress moved
+
+
+class TestLongitudinalTrafficSeries:
+    def test_weighted_by_sample_counters(self):
+        from repro.analysis.stability import longitudinal_traffic_series
+
+        snapshots = {
+            0.0: [record("10.0.0.0/24", A, s_ipcount=90.0),
+                  record("10.0.1.0/24", B, s_ipcount=10.0)],
+            86_400.0: [record("10.0.0.0/24", A, s_ipcount=50.0)],
+        }
+        points = longitudinal_traffic_series(snapshots, 0.0)
+        assert len(points) == 1
+        assert points[0].matching == 0.9   # heavy range still mapped
+        assert points[0].stable == 0.9
+
+    def test_ingress_move_counts_matching_not_stable(self):
+        from repro.analysis.stability import longitudinal_traffic_series
+
+        snapshots = {
+            0.0: [record("10.0.0.0/24", A, s_ipcount=10.0)],
+            86_400.0: [record("10.0.0.0/24", B, s_ipcount=10.0)],
+        }
+        points = longitudinal_traffic_series(snapshots, 0.0)
+        assert points[0].matching == 1.0
+        assert points[0].stable == 0.0
+
+    def test_bundle_membership_is_stable(self):
+        from repro.analysis.stability import longitudinal_traffic_series
+
+        bundle = IngressPoint("R1", "et0+et1")
+        snapshots = {
+            0.0: [record("10.0.0.0/24", A, s_ipcount=10.0)],   # R1.et0
+            86_400.0: [record("10.0.0.0/24", bundle, s_ipcount=10.0)],
+        }
+        points = longitudinal_traffic_series(snapshots, 0.0)
+        assert points[0].stable == 1.0
+
+    def test_coarser_covering_range_matches(self):
+        from repro.analysis.stability import longitudinal_traffic_series
+
+        snapshots = {
+            0.0: [record("10.0.0.0/24", A, s_ipcount=10.0)],
+            86_400.0: [record("10.0.0.0/8", A, s_ipcount=10.0)],
+        }
+        points = longitudinal_traffic_series(snapshots, 0.0)
+        assert points[0].matching == 1.0
+        assert points[0].stable == 1.0
+
+    def test_unknown_reference_rejected(self):
+        from repro.analysis.stability import longitudinal_traffic_series
+
+        with pytest.raises(KeyError):
+            longitudinal_traffic_series({0.0: []}, 99.0)

@@ -1,0 +1,104 @@
+"""Tests for per-range trajectories (the Fig. 13/14 view)."""
+
+import pytest
+
+from repro.analysis.trajectory import range_trajectory
+from repro.core.iputil import Prefix
+from repro.core.output import IPDRecord
+from repro.topology.elements import IngressPoint
+
+A = IngressPoint("R1", "et0")
+B = IngressPoint("R4", "et0")
+WATCHED = Prefix.from_string("10.0.0.0/23")
+
+
+def record(range_text: str, ingress: IngressPoint, ts: float,
+           samples: float = 100.0, conf: float = 0.99) -> IPDRecord:
+    return IPDRecord(
+        timestamp=ts, range=Prefix.from_string(range_text), ingress=ingress,
+        s_ingress=conf, s_ipcount=samples, n_cidr=4.0,
+        candidates=((ingress, samples),),
+    )
+
+
+class TestExtraction:
+    def test_covering_range_chosen(self):
+        snapshots = {0.0: [record("10.0.0.0/16", A, 0.0)]}
+        trajectory = range_trajectory(snapshots, WATCHED)
+        assert trajectory.points[0].ingress == A
+        assert str(trajectory.points[0].range) == "10.0.0.0/16"
+
+    def test_most_specific_covering_wins(self):
+        snapshots = {0.0: [
+            record("10.0.0.0/16", A, 0.0),
+            record("10.0.0.0/22", B, 0.0),
+        ]}
+        trajectory = range_trajectory(snapshots, WATCHED)
+        assert trajectory.points[0].ingress == B
+
+    def test_heaviest_subrange_when_split(self):
+        snapshots = {0.0: [
+            record("10.0.0.0/24", A, 0.0, samples=10.0),
+            record("10.0.1.0/24", B, 0.0, samples=90.0),
+        ]}
+        trajectory = range_trajectory(snapshots, WATCHED)
+        assert trajectory.points[0].ingress == B
+        assert trajectory.points[0].samples == 90.0
+
+    def test_unclassified_gap(self):
+        snapshots = {0.0: [], 300.0: [record("10.0.0.0/23", A, 300.0)]}
+        trajectory = range_trajectory(snapshots, WATCHED)
+        assert not trajectory.points[0].classified
+        assert trajectory.points[1].classified
+
+
+class TestDerivedViews:
+    def build(self):
+        snapshots = {
+            0.0: [record("10.0.0.0/23", A, 0.0, samples=100.0)],
+            300.0: [record("10.0.0.0/23", A, 300.0, samples=200.0)],
+            600.0: [],  # drop during the event
+            900.0: [record("10.0.0.0/23", B, 900.0, samples=50.0)],
+            1200.0: [record("10.0.0.0/23", B, 1200.0, samples=120.0)],
+        }
+        return range_trajectory(snapshots, WATCHED)
+
+    def test_classified_share(self):
+        assert self.build().classified_share() == pytest.approx(0.8)
+
+    def test_ingress_changes_skip_gaps(self):
+        changes = self.build().ingress_changes()
+        assert len(changes) == 1
+        ts, old, new = changes[0]
+        assert ts == 900.0
+        assert old == A
+        assert new == B
+
+    def test_same_router_interface_change_not_counted(self):
+        snapshots = {
+            0.0: [record("10.0.0.0/23", A, 0.0)],
+            300.0: [record("10.0.0.0/23", IngressPoint("R1", "et9"), 300.0)],
+        }
+        trajectory = range_trajectory(snapshots, WATCHED)
+        assert trajectory.ingress_changes() == []
+
+    def test_gaps(self):
+        gaps = self.build().gaps()
+        assert gaps == [(600.0, 900.0)]
+
+    def test_counter_monotone_until_reset(self):
+        assert self.build().counter_monotone_until() == 900.0
+
+    def test_counter_monotone_forever(self):
+        snapshots = {
+            0.0: [record("10.0.0.0/23", A, 0.0, samples=10.0)],
+            300.0: [record("10.0.0.0/23", A, 300.0, samples=20.0)],
+        }
+        trajectory = range_trajectory(snapshots, WATCHED)
+        assert trajectory.counter_monotone_until() is None
+
+    def test_empty_snapshots(self):
+        trajectory = range_trajectory({}, WATCHED)
+        assert trajectory.points == []
+        assert trajectory.classified_share() == 0.0
+        assert trajectory.gaps() == []

@@ -1,0 +1,99 @@
+"""Tests for peering-violation monitoring (§5.6)."""
+
+import pytest
+
+from repro.analysis.violations import detect_violations, violation_timeseries
+from repro.bgp.rib import BGPRoute, BGPTable
+from repro.core.iputil import Prefix
+from repro.core.output import IPDRecord
+from repro.topology.elements import IngressPoint
+
+# small_topology link map: L1 (PNI, AS100, R1), L2 (PNI, AS100, R4),
+# L3 (peering, AS200, R2), L4 (transit, AS300, R3), L5 (transit, AS400, R4)
+DIRECT = IngressPoint("R2", "xe0")      # AS200's own link (L3)
+INDIRECT = IngressPoint("R3", "hu0")    # AS300's transit link (L4)
+
+
+def record(range_text: str, ingress: IngressPoint) -> IPDRecord:
+    return IPDRecord(
+        timestamp=0.0, range=Prefix.from_string(range_text), ingress=ingress,
+        s_ingress=1.0, s_ipcount=10.0, n_cidr=2.0,
+        candidates=((ingress, 10.0),),
+    )
+
+
+def table_with(prefix: str, origin: int) -> BGPTable:
+    table = BGPTable()
+    table.add_route(BGPRoute(
+        prefix=Prefix.from_string(prefix), origin_asn=origin,
+        neighbor_asn=origin, next_hop_router="R2", link_id="L3",
+    ))
+    return table
+
+
+class TestDetectViolations:
+    def test_direct_entry_clean(self, small_topology):
+        table = table_with("40.0.0.0/8", origin=200)
+        report = detect_violations(
+            [record("40.0.0.0/16", DIRECT)], table, small_topology, [200]
+        )
+        assert report.findings == []
+        assert report.checked[200] == 1
+
+    def test_indirect_entry_flagged(self, small_topology):
+        table = table_with("40.0.0.0/8", origin=200)
+        report = detect_violations(
+            [record("40.0.0.0/16", INDIRECT)], table, small_topology, [200]
+        )
+        assert len(report.findings) == 1
+        finding = report.findings[0]
+        assert finding.asn == 200
+        assert finding.via_asn == 300
+        assert finding.ingress_router == "R3"
+
+    def test_unmonitored_as_ignored(self, small_topology):
+        table = table_with("40.0.0.0/8", origin=999)
+        report = detect_violations(
+            [record("40.0.0.0/16", INDIRECT)], table, small_topology, [200]
+        )
+        assert report.findings == []
+        assert report.checked == {}
+
+    def test_ranges_outside_monitored_space_ignored(self, small_topology):
+        table = table_with("40.0.0.0/8", origin=200)
+        report = detect_violations(
+            [record("50.0.0.0/16", INDIRECT)], table, small_topology, [200]
+        )
+        assert report.findings == []
+
+    def test_violation_share(self, small_topology):
+        table = table_with("40.0.0.0/8", origin=200)
+        records = [
+            record("40.0.0.0/16", DIRECT),
+            record("40.1.0.0/16", INDIRECT),
+        ]
+        report = detect_violations(records, table, small_topology, [200])
+        assert report.violation_share(200) == pytest.approx(0.5)
+        assert report.violation_share(999) == 0.0
+
+    def test_count_by_asn(self, small_topology):
+        table = table_with("40.0.0.0/8", origin=200)
+        records = [record("40.0.0.0/16", INDIRECT),
+                   record("40.1.0.0/16", INDIRECT)]
+        report = detect_violations(records, table, small_topology, [200])
+        assert report.count_by_asn()[200] == 2
+
+
+class TestTimeseries:
+    def test_one_report_per_snapshot(self, small_topology):
+        table = table_with("40.0.0.0/8", origin=200)
+        snapshots = {
+            0.0: [record("40.0.0.0/16", DIRECT)],
+            300.0: [record("40.0.0.0/16", INDIRECT)],
+        }
+        reports = violation_timeseries(
+            snapshots, table, small_topology, [200]
+        )
+        assert [r.timestamp for r in reports] == [0.0, 300.0]
+        assert len(reports[0].findings) == 0
+        assert len(reports[1].findings) == 1

@@ -1,0 +1,111 @@
+"""Tests for the BGP-symmetry and static-/24 baselines."""
+
+import pytest
+
+from repro.baselines.bgp_baseline import BGPIngressPredictor, evaluate_bgp_baseline
+from repro.baselines.static24 import (
+    evaluate_static_model,
+    train_static_model,
+)
+from repro.bgp.rib import BGPRoute, BGPTable
+from repro.core.iputil import IPV4, Prefix, parse_ip
+from repro.netflow.records import FlowRecord
+from repro.topology.elements import IngressPoint
+
+A = IngressPoint("R1", "et0")
+B = IngressPoint("R2", "xe0")
+
+
+def ip(text: str) -> int:
+    return parse_ip(text)[0]
+
+
+def flow(src: str, ingress: IngressPoint) -> FlowRecord:
+    return FlowRecord(timestamp=0.0, src_ip=ip(src), version=IPV4, ingress=ingress)
+
+
+def table_with_route(prefix: str, router: str) -> BGPTable:
+    table = BGPTable()
+    table.add_route(BGPRoute(
+        prefix=Prefix.from_string(prefix), origin_asn=1, neighbor_asn=1,
+        next_hop_router=router, link_id="L1",
+    ))
+    return table
+
+
+class TestBGPBaseline:
+    def test_predicts_best_route_router(self):
+        predictor = BGPIngressPredictor(table_with_route("10.0.0.0/8", "R1"))
+        assert predictor.predict_router(ip("10.1.2.3")) == "R1"
+        assert predictor.predict_router(ip("99.0.0.1")) is None
+
+    def test_accuracy_counts_router_matches(self):
+        table = table_with_route("10.0.0.0/8", "R1")
+        flows = [flow("10.0.0.1", A), flow("10.0.0.2", B)]
+        result = evaluate_bgp_baseline(flows, table)
+        assert result.total == 2
+        assert result.correct == 1
+        assert result.accuracy == pytest.approx(0.5)
+
+    def test_unpredicted_counted(self):
+        result = evaluate_bgp_baseline([flow("99.0.0.1", A)], BGPTable())
+        assert result.unpredicted == 1
+        assert result.accuracy == 0.0
+
+    def test_symmetry_assumption_fails_on_asymmetric_traffic(self):
+        """The §5.5 point: egress-based prediction breaks with asymmetry."""
+        table = table_with_route("10.0.0.0/8", "R1")
+        asymmetric = [flow(f"10.0.{i}.1", B) for i in range(10)]
+        result = evaluate_bgp_baseline(asymmetric, table)
+        assert result.accuracy == 0.0
+
+
+class TestStaticModel:
+    def test_learns_dominant_ingress(self):
+        training = [flow("10.0.0.1", A)] * 8 + [flow("10.0.0.2", B)] * 2
+        model = train_static_model(training, min_samples=5)
+        assert model.predict(ip("10.0.0.99")) == A
+
+    def test_min_samples_filter(self):
+        model = train_static_model([flow("10.0.0.1", A)], min_samples=10)
+        assert model.predict(ip("10.0.0.1")) is None
+        assert len(model) == 0
+
+    def test_fixed_24_granularity(self):
+        """A /24 with two halves on different ingresses collapses to one."""
+        training = (
+            [flow("10.0.0.1", A)] * 10 + [flow("10.0.0.200", B)] * 6
+        )
+        model = train_static_model(training, min_samples=1)
+        assert model.predict(ip("10.0.0.200")) == A  # wrong: static /24
+
+    def test_evaluation_interface_level(self):
+        training = [flow("10.0.0.1", A)] * 10
+        model = train_static_model(training, min_samples=1)
+        result = evaluate_static_model(
+            [flow("10.0.0.2", A), flow("10.0.0.3", B)], model
+        )
+        assert result.correct == 1
+        assert result.total == 2
+
+    def test_evaluation_router_level(self):
+        training = [flow("10.0.0.1", A)] * 10
+        model = train_static_model(training, min_samples=1)
+        other_iface = IngressPoint("R1", "et9")
+        result = evaluate_static_model(
+            [flow("10.0.0.2", other_iface)], model, router_level=True
+        )
+        assert result.correct == 1
+
+    def test_goes_stale_after_ingress_move(self):
+        """TIPSY-style models cannot track dynamics without retraining."""
+        training = [flow(f"10.0.{i}.1", A) for i in range(20)] * 3
+        model = train_static_model(training, min_samples=1)
+        moved = [flow(f"10.0.{i}.1", B) for i in range(20)]
+        result = evaluate_static_model(moved, model)
+        assert result.accuracy == 0.0
+
+    def test_unknown_prefix_unpredicted(self):
+        model = train_static_model([flow("10.0.0.1", A)] * 5, min_samples=1)
+        result = evaluate_static_model([flow("99.0.0.1", A)], model)
+        assert result.unpredicted == 1

@@ -1,0 +1,103 @@
+"""Tests for synthetic BGP announcement generation."""
+
+from collections import Counter
+
+import pytest
+
+from repro.bgp.announcements import AnnouncementConfig, generate_daily_tables, generate_table
+from repro.topology.generator import TopologySpec, generate_topology
+from repro.workloads.address_space import AddressPlan
+from repro.workloads.mapping import build_units
+
+
+@pytest.fixture(scope="module")
+def setup():
+    spec = TopologySpec(seed=5)
+    topology = generate_topology(spec)
+    plan = AddressPlan.build(
+        hypergiant_asns=spec.hypergiant_asns,
+        peer_asns=spec.peer_asns,
+        tier1_asns=spec.transit_asns,
+    )
+    models = build_units(topology, plan.profiles, seed=5)
+    return spec, topology, plan, models
+
+
+class TestGenerateTable:
+    def test_every_as_announced(self, setup):
+        __, topology, plan, models = setup
+        table = generate_table(topology, plan, models)
+        origins = {table.origin_of(p) for p in table.prefixes()}
+        assert set(plan.profiles) <= origins
+
+    def test_aggregates_present(self, setup):
+        __, topology, plan, models = setup
+        table = generate_table(topology, plan, models)
+        for profile in plan.profiles.values():
+            for block in profile.blocks:
+                if block.version == 4:
+                    assert block in table
+
+    def test_home_link_is_best_path(self, setup):
+        """The traffic model's home link must win best-path selection."""
+        __, topology, plan, models = setup
+        table = generate_table(topology, plan, models)
+        for asn, model in models.items():
+            home_router = topology.links[model.home_link].router
+            for block in plan.profiles[asn].blocks:
+                if block.version != 4:
+                    continue
+                best = table.best_route(block)
+                assert best.next_hop_router == home_router
+
+    def test_more_specifics_inside_blocks(self, setup):
+        __, topology, plan, models = setup
+        table = generate_table(topology, plan, models)
+        for prefix in table.prefixes():
+            owner = plan.owner_of(prefix.value)
+            assert owner is not None
+            route = table.best_route(prefix)
+            assert route.origin_asn == owner
+
+    def test_mask_mix_dominated_by_24(self, setup):
+        __, topology, plan, models = setup
+        table = generate_table(topology, plan, models)
+        masks = Counter(
+            p.masklen for p in table.prefixes() if p.masklen > 12
+        )
+        assert masks[24] == max(masks.values())
+
+    def test_next_hop_multiplicity_shape(self, setup):
+        """Fig. 3 dotted-line shape: some single-homed, many multi-homed."""
+        __, topology, plan, models = setup
+        table = generate_table(topology, plan, models)
+        counts = [len(table.next_hop_routers(p)) for p in table.prefixes()]
+        single = sum(1 for c in counts if c == 1) / len(counts)
+        many = sum(1 for c in counts if c > 5) / len(counts)
+        assert 0.05 < single < 0.45
+        assert many > 0.25
+
+    def test_deterministic(self, setup):
+        __, topology, plan, models = setup
+        config = AnnouncementConfig(seed=77)
+        first = generate_table(topology, plan, models, config)
+        second = generate_table(topology, plan, models, config)
+        assert set(first.prefixes()) == set(second.prefixes())
+
+    def test_as_paths_end_at_origin(self, setup):
+        __, topology, plan, models = setup
+        table = generate_table(topology, plan, models)
+        for prefix in table.prefixes():
+            for r in table.routes_for(prefix):
+                assert r.as_path[-1] == r.origin_asn
+                assert r.as_path[0] == r.neighbor_asn
+
+
+class TestDailyTables:
+    def test_one_table_per_timestamp(self, setup):
+        __, topology, plan, models = setup
+        tables = generate_daily_tables(
+            topology, plan, models, timestamps=[0.0, 86_400.0]
+        )
+        assert [t.timestamp for t in tables] == [0.0, 86_400.0]
+        assert set(tables[0].prefixes()) == set(tables[1].prefixes())

@@ -1,0 +1,107 @@
+"""Tests for the BGP RIB substrate."""
+
+import pytest
+
+from repro.bgp.rib import BGPRoute, BGPTable
+from repro.core.iputil import IPV4, Prefix, parse_ip
+
+
+def ip(text: str) -> int:
+    return parse_ip(text)[0]
+
+
+def route(prefix: str, router: str, **kwargs) -> BGPRoute:
+    defaults = dict(
+        origin_asn=100,
+        neighbor_asn=100,
+        link_id="L1",
+        as_path=(100,),
+        local_pref=100,
+    )
+    defaults.update(kwargs)
+    return BGPRoute(prefix=Prefix.from_string(prefix), next_hop_router=router,
+                    **defaults)
+
+
+class TestBestPath:
+    def test_local_pref_wins(self):
+        table = BGPTable()
+        table.add_route(route("10.0.0.0/8", "R1", local_pref=100))
+        table.add_route(route("10.0.0.0/8", "R2", local_pref=200, link_id="L2"))
+        best = table.best_route(Prefix.from_string("10.0.0.0/8"))
+        assert best.next_hop_router == "R2"
+
+    def test_shorter_as_path_wins(self):
+        table = BGPTable()
+        table.add_route(route("10.0.0.0/8", "R1", as_path=(1, 2, 100)))
+        table.add_route(route("10.0.0.0/8", "R2", as_path=(2, 100), link_id="L2"))
+        assert table.best_route(Prefix.from_string("10.0.0.0/8")).next_hop_router == "R2"
+
+    def test_med_tiebreak(self):
+        table = BGPTable()
+        table.add_route(route("10.0.0.0/8", "R1", med=20))
+        table.add_route(route("10.0.0.0/8", "R2", med=10, link_id="L2"))
+        assert table.best_route(Prefix.from_string("10.0.0.0/8")).next_hop_router == "R2"
+
+    def test_deterministic_final_tiebreak(self):
+        table = BGPTable()
+        table.add_route(route("10.0.0.0/8", "R2", link_id="L2"))
+        table.add_route(route("10.0.0.0/8", "R1"))
+        assert table.best_route(Prefix.from_string("10.0.0.0/8")).next_hop_router == "R1"
+
+    def test_missing_prefix(self):
+        assert BGPTable().best_route(Prefix.from_string("10.0.0.0/8")) is None
+
+
+class TestLookups:
+    def build(self) -> BGPTable:
+        table = BGPTable()
+        table.add_route(route("10.0.0.0/8", "R1"))
+        table.add_route(route("10.1.0.0/16", "R2", link_id="L2"))
+        return table
+
+    def test_lpm_most_specific(self):
+        table = self.build()
+        assert table.lookup(ip("10.1.2.3")).next_hop_router == "R2"
+        assert table.lookup(ip("10.9.2.3")).next_hop_router == "R1"
+        assert table.lookup(ip("11.0.0.1")) is None
+
+    def test_lookup_prefix_returns_covering(self):
+        table = self.build()
+        prefix, __ = table.lookup_prefix(ip("10.1.2.3"))
+        assert prefix == Prefix.from_string("10.1.0.0/16")
+
+    def test_egress_router(self):
+        table = self.build()
+        assert table.egress_router(ip("10.1.2.3")) == "R2"
+        assert table.egress_router(ip("99.0.0.1")) is None
+
+    def test_lpm_cache_invalidated_on_add(self):
+        table = self.build()
+        assert table.lookup(ip("10.1.2.3")).next_hop_router == "R2"
+        table.add_route(route("10.1.2.0/24", "R3", link_id="L3"))
+        assert table.lookup(ip("10.1.2.3")).next_hop_router == "R3"
+
+    def test_next_hop_routers(self):
+        table = BGPTable()
+        table.add_route(route("10.0.0.0/8", "R1"))
+        table.add_route(route("10.0.0.0/8", "R2", link_id="L2"))
+        table.add_route(route("10.0.0.0/8", "R2", link_id="L3"))
+        assert table.next_hop_routers(Prefix.from_string("10.0.0.0/8")) == {"R1", "R2"}
+
+    def test_prefixes_of_asn(self):
+        table = BGPTable()
+        table.add_route(route("10.0.0.0/8", "R1", origin_asn=100))
+        table.add_route(route("20.0.0.0/8", "R1", origin_asn=200))
+        assert table.prefixes_of_asn(100) == [Prefix.from_string("10.0.0.0/8")]
+
+    def test_origin_of(self):
+        table = self.build()
+        assert table.origin_of(Prefix.from_string("10.0.0.0/8")) == 100
+        assert table.origin_of(Prefix.from_string("99.0.0.0/8")) is None
+
+    def test_len_and_contains(self):
+        table = self.build()
+        assert len(table) == 2
+        assert Prefix.from_string("10.0.0.0/8") in table
+        assert Prefix.from_string("10.2.0.0/16") not in table

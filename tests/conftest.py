@@ -1,0 +1,52 @@
+"""Shared fixtures: a small deterministic topology and quick scenarios."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.iputil import Prefix
+from repro.core.params import IPDParams
+from repro.topology.elements import IngressPoint, LinkType
+from repro.topology.network import ISPTopology
+
+
+@pytest.fixture
+def small_topology() -> ISPTopology:
+    """Two countries, two PoPs each country-1, four routers, mixed links."""
+    topo = ISPTopology(asn=65000)
+    topo.add_country("C1")
+    topo.add_country("C2")
+    topo.add_pop("C1-POP1", "C1")
+    topo.add_pop("C1-POP2", "C1")
+    topo.add_pop("C2-POP1", "C2")
+    topo.add_router("R1", "C1-POP1")
+    topo.add_router("R2", "C1-POP1")
+    topo.add_router("R3", "C1-POP2")
+    topo.add_router("R4", "C2-POP1")
+    topo.add_link("L1", 100, LinkType.PNI, "R1", ["et0", "et1"])  # LAG
+    topo.add_link("L2", 100, LinkType.PNI, "R4", ["et0"])
+    topo.add_link("L3", 200, LinkType.PUBLIC_PEERING, "R2", ["xe0"])
+    topo.add_link("L4", 300, LinkType.TRANSIT, "R3", ["hu0"])
+    topo.add_link("L5", 400, LinkType.TRANSIT, "R4", ["hu1"])
+    topo.validate()
+    return topo
+
+
+@pytest.fixture
+def tiny_params() -> IPDParams:
+    """Thresholds small enough that a handful of flows classifies."""
+    return IPDParams(n_cidr_factor_v4=0.01, n_cidr_factor_v6=0.01)
+
+
+@pytest.fixture
+def ingress_a() -> IngressPoint:
+    return IngressPoint("R1", "et0")
+
+
+@pytest.fixture
+def ingress_b() -> IngressPoint:
+    return IngressPoint("R4", "et0")
+
+
+def make_prefix(text: str) -> Prefix:
+    return Prefix.from_string(text)

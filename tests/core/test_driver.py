@@ -1,0 +1,138 @@
+"""Tests for the offline (event-driven) and threaded drivers."""
+
+import time
+
+import pytest
+
+from repro.core.driver import OfflineDriver, ThreadedIPD
+from repro.core.iputil import IPV4, parse_ip
+from repro.core.params import IPDParams
+from repro.netflow.records import FlowRecord
+from repro.topology.elements import IngressPoint
+
+A = IngressPoint("R1", "et0")
+B = IngressPoint("R2", "xe0")
+
+
+def params(**kwargs) -> IPDParams:
+    defaults = dict(n_cidr_factor_v4=0.001, n_cidr_factor_v6=0.001)
+    defaults.update(kwargs)
+    return IPDParams(**defaults)
+
+
+def stream(n_buckets: int, per_bucket: int = 50, start: float = 0.0):
+    base = parse_ip("10.0.0.0")[0]
+    for bucket in range(n_buckets):
+        for index in range(per_bucket):
+            yield FlowRecord(
+                timestamp=start + bucket * 60.0 + index * (60.0 / per_bucket),
+                src_ip=base + index * 16,
+                version=IPV4,
+                ingress=A,
+            )
+
+
+class TestOfflineDriver:
+    def test_sweeps_fire_per_bucket(self):
+        driver = OfflineDriver(params(), snapshot_seconds=300.0)
+        result = driver.run(stream(10))
+        # one sweep per 60s bucket boundary crossed, plus the closing one
+        assert len(result.sweeps) == 10
+        assert result.flows_processed == 500
+
+    def test_snapshots_every_five_minutes(self):
+        driver = OfflineDriver(params(), snapshot_seconds=300.0)
+        result = driver.run(stream(11))
+        times = result.snapshot_times()
+        assert 300.0 in times
+        assert 600.0 in times
+
+    def test_final_snapshot_closes_run(self):
+        driver = OfflineDriver(params(), snapshot_seconds=300.0)
+        result = driver.run(stream(3))
+        assert result.snapshot_times()[-1] == pytest.approx(180.0)
+        assert result.final_snapshot()  # classified by then
+
+    def test_records_are_classified(self):
+        driver = OfflineDriver(params())
+        result = driver.run(stream(5))
+        final = result.final_snapshot()
+        assert len(final) == 1
+        assert final[0].ingress == A
+
+    def test_unordered_stream_rejected(self):
+        driver = OfflineDriver(params())
+        flows = [
+            FlowRecord(timestamp=100.0, src_ip=1, version=IPV4, ingress=A),
+            FlowRecord(timestamp=10.0, src_ip=2, version=IPV4, ingress=A),
+        ]
+        with pytest.raises(ValueError):
+            driver.run(flows)
+
+    def test_empty_stream(self):
+        driver = OfflineDriver(params())
+        result = driver.run([])
+        assert result.flows_processed == 0
+        assert result.snapshots == {}
+
+    def test_on_sweep_callback(self):
+        seen = []
+        driver = OfflineDriver(
+            params(), on_sweep=lambda report, ipd: seen.append(report.timestamp)
+        )
+        driver.run(stream(4))
+        assert len(seen) == 4
+
+    def test_incremental_yields_snapshots(self):
+        driver = OfflineDriver(params(), snapshot_seconds=300.0)
+        emitted = list(driver.run_incremental(stream(11)))
+        assert emitted[0][0] == pytest.approx(300.0)
+        assert all(isinstance(records, list) for __, records in emitted)
+
+    def test_grid_aligned_to_trace_start(self):
+        """A trace starting at noon sweeps at noon+60s, not at epoch."""
+        driver = OfflineDriver(params())
+        result = driver.run(stream(3, start=43_200.0))
+        assert result.sweeps[0].timestamp == pytest.approx(43_260.0)
+
+    def test_invalid_snapshot_interval(self):
+        with pytest.raises(ValueError):
+            OfflineDriver(params(), snapshot_seconds=0.0)
+
+
+class TestThreadedIPD:
+    def test_live_pipeline_classifies(self):
+        runner = ThreadedIPD(params(), sweep_interval=0.05)
+        runner.start()
+        base = parse_ip("10.0.0.0")[0]
+        for index in range(200):
+            runner.submit(
+                FlowRecord(timestamp=0.0, src_ip=base + index * 16,
+                           version=IPV4, ingress=A)
+            )
+        time.sleep(0.3)
+        runner.stop()
+        snapshot = runner.snapshot()
+        assert len(snapshot) >= 1
+        assert snapshot[0].ingress == A
+        assert runner.sweep_reports
+
+    def test_double_start_rejected(self):
+        runner = ThreadedIPD(params(), sweep_interval=10.0)
+        runner.start()
+        with pytest.raises(RuntimeError):
+            runner.start()
+        runner.stop()
+
+    def test_restamping_uses_live_clock(self):
+        clock_value = [1000.0]
+        runner = ThreadedIPD(
+            params(), sweep_interval=100.0, clock=lambda: clock_value[0]
+        )
+        flow = FlowRecord(timestamp=5.0, src_ip=1, version=IPV4, ingress=A)
+        runner.start()
+        runner.submit(flow)
+        runner.stop()
+        state = runner.ipd.trees[IPV4].root.state
+        # the ingested sample carries the live clock, not the trace time
+        assert state.newest_timestamp == pytest.approx(1000.0)

@@ -1,0 +1,167 @@
+"""Edge-case tests for the IPD engine beyond the main algorithm suite."""
+
+import pytest
+
+from repro.core.algorithm import IPD
+from repro.core.iputil import IPV4, IPV6, parse_ip
+from repro.core.params import IPDParams
+from repro.core.state import ClassifiedState, UnclassifiedState
+from repro.netflow.records import FlowRecord
+from repro.topology.elements import IngressPoint
+
+A = IngressPoint("R1", "et0")
+B = IngressPoint("R2", "et0")
+
+
+def ip(text: str) -> int:
+    return parse_ip(text)[0]
+
+
+def params(**kwargs) -> IPDParams:
+    defaults = dict(n_cidr_factor_v4=0.001, n_cidr_factor_v6=1e-9)
+    defaults.update(kwargs)
+    return IPDParams(**defaults)
+
+
+class TestSweepWithoutTraffic:
+    def test_sweep_on_empty_engine(self):
+        ipd = IPD(params())
+        report = ipd.sweep(60.0)
+        assert report.leaves == 2
+        assert report.classifications == 0
+        assert ipd.snapshot(60.0) == []
+
+    def test_many_idle_sweeps_stay_clean(self):
+        ipd = IPD(params())
+        for index in range(50):
+            ipd.sweep(60.0 * (index + 1))
+        assert ipd.leaf_count() == 2
+        assert ipd.state_size() == 0
+
+
+class TestExpiryBehaviour:
+    def test_unclassified_state_expires_completely(self):
+        ipd = IPD(params(n_cidr_factor_v4=100.0))  # never classify
+        for index in range(50):
+            ipd.ingest(FlowRecord(timestamp=0.0, src_ip=ip("10.0.0.0") + index * 16,
+                                  version=IPV4, ingress=A))
+        ipd.sweep(60.0)
+        assert ipd.state_size() > 0
+        ipd.sweep(400.0)  # past e=120
+        assert ipd.state_size() == 0
+
+    def test_refreshing_sources_never_expire(self):
+        ipd = IPD(params(n_cidr_factor_v4=100.0))
+        now = 0.0
+        for __ in range(10):
+            ipd.ingest(FlowRecord(timestamp=now, src_ip=ip("10.0.0.0"),
+                                  version=IPV4, ingress=A))
+            now += 60.0
+            ipd.sweep(now)
+        state = ipd.trees[IPV4].root.state
+        assert isinstance(state, UnclassifiedState)
+        assert state.sample_count == 10.0
+
+
+class TestSnapshotModes:
+    def test_unclassified_snapshot_has_candidates(self):
+        ipd = IPD(params(n_cidr_factor_v4=100.0))
+        ipd.ingest(FlowRecord(timestamp=0.0, src_ip=ip("10.0.0.1"),
+                              version=IPV4, ingress=A))
+        ipd.ingest(FlowRecord(timestamp=0.0, src_ip=ip("10.0.0.1"),
+                              version=IPV4, ingress=B))
+        records = ipd.snapshot(60.0, include_unclassified=True)
+        assert len(records) == 1
+        record = records[0]
+        assert not record.classified
+        assert record.s_ingress == pytest.approx(0.5)
+        assert len(record.candidates) == 2
+
+    def test_snapshot_n_cidr_matches_params(self):
+        ipd = IPD(params())
+        for index in range(100):
+            ipd.ingest(FlowRecord(timestamp=0.0, src_ip=ip("10.0.0.0") + index * 16,
+                                  version=IPV4, ingress=A))
+        ipd.sweep(60.0)
+        record = ipd.snapshot(60.0)[0]
+        expected = ipd.params.n_cidr(record.range.masklen, IPV4)
+        assert record.n_cidr == pytest.approx(expected)
+
+
+class TestMixedFamilies:
+    def test_independent_family_lifecycles(self):
+        ipd = IPD(params())
+        now = 0.0
+        for __ in range(3):
+            for index in range(60):
+                ipd.ingest(FlowRecord(timestamp=now + index, version=IPV4,
+                                      src_ip=ip("10.0.0.0") + index * 16,
+                                      ingress=A))
+                ipd.ingest(FlowRecord(timestamp=now + index, version=IPV6,
+                                      src_ip=ip("2001:db8::") + index,
+                                      ingress=B))
+            now += 60.0
+            ipd.sweep(now)
+        records = ipd.snapshot(now)
+        by_version = {r.version: r for r in records}
+        assert by_version[IPV4].ingress == A
+        assert by_version[IPV6].ingress == B
+
+    def test_v6_only_traffic_leaves_v4_untouched(self):
+        ipd = IPD(params())
+        for index in range(80):
+            ipd.ingest(FlowRecord(timestamp=0.0, version=IPV6,
+                                  src_ip=ip("2001:db8::") + index, ingress=A))
+        ipd.sweep(60.0)
+        assert isinstance(ipd.trees[IPV4].root.state, UnclassifiedState)
+        assert ipd.trees[IPV4].root.state.is_empty()
+
+
+class TestReclassificationCycles:
+    def test_flapping_ingress_never_wrongly_stable(self):
+        """Alternating ingress every bucket: no classification survives
+        two consecutive sweeps with >= q confidence for the same point."""
+        ipd = IPD(params(q=0.95))
+        now = 0.0
+        consecutive = 0
+        last = None
+        for bucket in range(30):
+            ingress = A if bucket % 2 == 0 else B
+            for index in range(60):
+                ipd.ingest(FlowRecord(timestamp=now + index,
+                                      src_ip=ip("10.0.0.0") + (index % 8) * 16,
+                                      version=IPV4, ingress=ingress))
+            now += 60.0
+            ipd.sweep(now)
+            state = ipd.trees[IPV4].root.state
+            current = (
+                state.ingress if isinstance(state, ClassifiedState) else None
+            )
+            if current is not None and current == last:
+                consecutive += 1
+            else:
+                consecutive = 0
+            last = current
+            assert consecutive <= 2
+
+    def test_burst_noise_does_not_displace_classification(self):
+        """§5.1.2 AS1 story: a bounded burst on another interface only
+        dents the confidence while steady traffic keeps flowing."""
+        ipd = IPD(params(q=0.95))
+        other = IngressPoint("R1", "et9")
+        now = 0.0
+        for bucket in range(20):
+            for index in range(100):
+                ipd.ingest(FlowRecord(timestamp=now + index * 0.5,
+                                      src_ip=ip("10.0.0.0") + (index % 8) * 16,
+                                      version=IPV4, ingress=A))
+            if bucket == 10:  # one burst of 30 misrouted flows
+                for index in range(30):
+                    ipd.ingest(FlowRecord(timestamp=now + index,
+                                          src_ip=ip("10.0.0.0"),
+                                          version=IPV4, ingress=other))
+            now += 60.0
+            ipd.sweep(now)
+        state = ipd.trees[IPV4].root.state
+        assert isinstance(state, ClassifiedState)
+        assert state.ingress == A

@@ -1,0 +1,107 @@
+"""Tests for the Table-3 output record format and serialization."""
+
+import io
+
+import pytest
+
+from repro.core.iputil import Prefix
+from repro.core.output import (
+    IPDRecord,
+    format_ingress_field,
+    parse_ingress_field,
+    read_records_csv,
+    write_records_csv,
+)
+from repro.topology.elements import IngressPoint
+
+A = IngressPoint("C2-R2", "4")
+B = IngressPoint("C2-R3", "54")
+
+
+def make_record(**kwargs) -> IPDRecord:
+    defaults = dict(
+        timestamp=1605571200.0,
+        range=Prefix.from_string("10.2.0.0/16"),
+        ingress=A,
+        s_ingress=0.997,
+        s_ipcount=4812701.0,
+        n_cidr=6144.0,
+        candidates=((A, 4798963.0), (B, 12220.0)),
+        classified=True,
+    )
+    defaults.update(kwargs)
+    return IPDRecord(**defaults)
+
+
+class TestIngressField:
+    def test_format_matches_paper_layout(self):
+        text = format_ingress_field(A, {A: 4798963.0, B: 12220.0})
+        assert text == "C2-R2.4(C2-R2.4=4798963,C2-R3.54=12220)"
+
+    def test_candidates_sorted_by_weight(self):
+        text = format_ingress_field(A, {B: 999.0, A: 1.0})
+        assert text.startswith("C2-R2.4(C2-R3.54=999,")
+
+    def test_roundtrip(self):
+        ingress, candidates = parse_ingress_field(
+            "C2-R2.4(C2-R2.4=4798963,C2-R3.54=12220)"
+        )
+        assert ingress == A
+        assert candidates == {A: 4798963.0, B: 12220.0}
+
+    def test_bundle_ingress_roundtrip(self):
+        bundle = IngressPoint("R1", "et0+et1")
+        text = format_ingress_field(bundle, {bundle: 10.0})
+        parsed, __ = parse_ingress_field(text)
+        assert parsed == bundle
+        assert parsed.is_bundle
+
+    @pytest.mark.parametrize("bad", ["R1.x", "R1.x(", "noparens", "R1.x(a=1"])
+    def test_malformed_rejected(self, bad):
+        with pytest.raises(ValueError):
+            parse_ingress_field(bad)
+
+
+class TestRecord:
+    def test_version_from_range(self):
+        assert make_record().version == 4
+
+    def test_ingress_field_method(self):
+        assert make_record().ingress_field().startswith("C2-R2.4(")
+
+
+class TestCSV:
+    def test_roundtrip(self):
+        records = [
+            make_record(),
+            make_record(
+                range=Prefix.from_string("10.2.104.0/23"),
+                s_ingress=1.0,
+                candidates=((A, 1503296.0),),
+            ),
+        ]
+        buffer = io.StringIO()
+        assert write_records_csv(records, buffer) == 2
+        buffer.seek(0)
+        parsed = list(read_records_csv(buffer))
+        assert len(parsed) == 2
+        assert parsed[0].range == records[0].range
+        assert parsed[0].ingress == A
+        assert parsed[0].classified
+        assert parsed[0].s_ipcount == pytest.approx(4812701.0)
+        assert dict(parsed[0].candidates)[B] == pytest.approx(12220.0)
+
+    def test_unclassified_flag_roundtrip(self):
+        buffer = io.StringIO()
+        write_records_csv([make_record(classified=False)], buffer)
+        buffer.seek(0)
+        parsed = next(read_records_csv(buffer))
+        assert not parsed.classified
+
+    def test_bad_header_rejected(self):
+        buffer = io.StringIO("a,b,c\n")
+        with pytest.raises(ValueError):
+            list(read_records_csv(buffer))
+
+    def test_empty_stream(self):
+        assert list(read_records_csv(io.StringIO(""))) == []

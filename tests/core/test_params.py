@@ -1,0 +1,127 @@
+"""Tests for IPD parameters (Table 1) and the n_cidr/decay formulas."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.iputil import IPV4, IPV6
+from repro.core.params import DEFAULT_PARAMS, IPDParams, default_decay
+
+
+class TestDefaults:
+    def test_table1_values(self):
+        assert DEFAULT_PARAMS.cidr_max_v4 == 28
+        assert DEFAULT_PARAMS.cidr_max_v6 == 48
+        assert DEFAULT_PARAMS.n_cidr_factor_v4 == 64.0
+        assert DEFAULT_PARAMS.n_cidr_factor_v6 == 24.0
+        assert DEFAULT_PARAMS.q == 0.95
+        assert DEFAULT_PARAMS.t == 60.0
+        assert DEFAULT_PARAMS.e == 120.0
+
+    def test_per_family_accessors(self):
+        assert DEFAULT_PARAMS.cidr_max(IPV4) == 28
+        assert DEFAULT_PARAMS.cidr_max(IPV6) == 48
+        assert DEFAULT_PARAMS.n_cidr_factor(IPV4) == 64.0
+        assert DEFAULT_PARAMS.n_cidr_factor(IPV6) == 24.0
+
+    def test_unknown_version_rejected(self):
+        with pytest.raises(ValueError):
+            DEFAULT_PARAMS.cidr_max(5)
+        with pytest.raises(ValueError):
+            DEFAULT_PARAMS.n_cidr_factor(5)
+
+
+class TestValidation:
+    def test_q_below_half_rejected(self):
+        """Appendix A: q <= 0.5 allows ambiguous classification."""
+        with pytest.raises(ValueError):
+            IPDParams(q=0.5)
+        with pytest.raises(ValueError):
+            IPDParams(q=0.4)
+
+    def test_q_one_allowed(self):
+        assert IPDParams(q=1.0).q == 1.0
+
+    @pytest.mark.parametrize("field,value", [
+        ("cidr_max_v4", 0), ("cidr_max_v4", 33),
+        ("cidr_max_v6", 0), ("cidr_max_v6", 129),
+        ("t", 0.0), ("e", -1.0),
+        ("n_cidr_factor_v4", 0.0), ("n_cidr_factor_v6", -2.0),
+    ])
+    def test_invalid_fields_rejected(self, field, value):
+        with pytest.raises(ValueError):
+            IPDParams(**{field: value})
+
+
+class TestNCidr:
+    def test_formula_v4(self):
+        """Table 1: n_cidr = factor * sqrt(2^(32 - masklen))."""
+        expected = 64.0 * math.sqrt(2.0 ** (32 - 24))
+        assert DEFAULT_PARAMS.n_cidr(24, IPV4) == pytest.approx(expected)
+
+    def test_host_route_requires_factor_only(self):
+        assert DEFAULT_PARAMS.n_cidr(32, IPV4) == pytest.approx(64.0)
+
+    def test_monotone_decreasing_in_masklen(self):
+        values = [DEFAULT_PARAMS.n_cidr(m, IPV4) for m in range(0, 33)]
+        assert values == sorted(values, reverse=True)
+
+    def test_larger_ranges_need_more_samples(self):
+        assert DEFAULT_PARAMS.n_cidr(8, IPV4) > DEFAULT_PARAMS.n_cidr(24, IPV4)
+
+    def test_v6_anchored_at_64(self):
+        assert DEFAULT_PARAMS.n_cidr(64, IPV6) == pytest.approx(24.0)
+        assert DEFAULT_PARAMS.n_cidr(128, IPV6) == pytest.approx(24.0)
+        assert DEFAULT_PARAMS.n_cidr(48, IPV6) == pytest.approx(
+            24.0 * math.sqrt(2.0 ** 16)
+        )
+
+    @given(st.integers(min_value=0, max_value=31))
+    def test_each_split_halves_requirement_ratio(self, masklen):
+        ratio = DEFAULT_PARAMS.n_cidr(masklen, IPV4) / DEFAULT_PARAMS.n_cidr(
+            masklen + 1, IPV4
+        )
+        assert ratio == pytest.approx(math.sqrt(2.0))
+
+
+class TestDecay:
+    def test_fresh_age_decays_hard(self):
+        assert default_decay(0.0, 60.0) == pytest.approx(0.1)
+
+    def test_one_bucket_age(self):
+        assert default_decay(60.0, 60.0) == pytest.approx(0.55)
+
+    def test_approaches_one_with_age(self):
+        assert default_decay(6000.0, 60.0) > 0.99
+
+    def test_monotone_in_age(self):
+        samples = [default_decay(age, 60.0) for age in range(0, 1000, 10)]
+        assert samples == sorted(samples)
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            default_decay(-1.0, 60.0)
+        with pytest.raises(ValueError):
+            default_decay(10.0, 0.0)
+
+    @given(st.floats(min_value=0.0, max_value=1e6, allow_nan=False))
+    def test_always_a_valid_factor(self, age):
+        factor = default_decay(age, 60.0)
+        assert 0.0 < factor <= 1.0
+
+
+class TestOverrides:
+    def test_with_overrides_returns_copy(self):
+        changed = DEFAULT_PARAMS.with_overrides(q=0.8)
+        assert changed.q == 0.8
+        assert DEFAULT_PARAMS.q == 0.95
+
+    def test_with_overrides_validates(self):
+        with pytest.raises(ValueError):
+            DEFAULT_PARAMS.with_overrides(q=0.3)
+
+    def test_frozen(self):
+        with pytest.raises(Exception):
+            DEFAULT_PARAMS.q = 0.5  # type: ignore[misc]

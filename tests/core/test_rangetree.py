@@ -1,0 +1,232 @@
+"""Tests for the binary range trie."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.iputil import IPV4, IPV6, Prefix, parse_ip
+from repro.core.rangetree import RangeTree
+from repro.core.state import ClassifiedState, UnclassifiedState
+from repro.topology.elements import IngressPoint
+
+A = IngressPoint("R1", "et0")
+
+
+def ip(text: str) -> int:
+    return parse_ip(text)[0]
+
+
+class TestLookup:
+    def test_root_covers_everything(self):
+        tree = RangeTree(IPV4)
+        leaf = tree.lookup_leaf(ip("1.2.3.4"))
+        assert leaf is tree.root
+
+    def test_lookup_after_split(self):
+        tree = RangeTree(IPV4)
+        state = tree.root.state
+        state.add(ip("10.0.0.0"), A, 0.0)
+        state.add(ip("200.0.0.0"), A, 0.0)
+        left, right = tree.split(tree.root)
+        assert tree.lookup_leaf(ip("10.0.0.1")) is left
+        assert tree.lookup_leaf(ip("200.0.0.1")) is right
+
+    def test_cache_invalidated_by_split(self):
+        tree = RangeTree(IPV4)
+        address = ip("10.0.0.0")
+        first = tree.lookup_leaf(address)
+        assert first is tree.root
+        tree.root.state.add(address, A, 0.0)
+        tree.split(tree.root)
+        second = tree.lookup_leaf(address)
+        assert second is not tree.root
+        assert second.prefix.contains_ip(address)
+
+    def test_cache_hit_returns_same_leaf(self):
+        tree = RangeTree(IPV4)
+        address = ip("10.0.0.0")
+        assert tree.lookup_leaf(address) is tree.lookup_leaf(address)
+        assert tree.cache_size() == 1
+        tree.clear_cache()
+        assert tree.cache_size() == 0
+
+
+class TestSplit:
+    def test_split_redistributes_per_ip_state(self):
+        tree = RangeTree(IPV4)
+        state = tree.root.state
+        state.add(ip("10.0.0.0"), A, 1.0, weight=3.0)
+        state.add(ip("200.0.0.0"), A, 2.0, weight=5.0)
+        left, right = tree.split(tree.root)
+        assert left.state.sample_count == 3.0
+        assert right.state.sample_count == 5.0
+        assert left.state.last_seen[ip("10.0.0.0")] == 1.0
+        assert right.state.last_seen[ip("200.0.0.0")] == 2.0
+
+    def test_split_conserves_total(self):
+        tree = RangeTree(IPV4)
+        state = tree.root.state
+        for offset in range(50):
+            state.add((offset * 77_000_000) % (1 << 32), A, 0.0)
+        total = state.sample_count
+        left, right = tree.split(tree.root)
+        assert left.state.sample_count + right.state.sample_count == total
+
+    def test_split_internal_rejected(self):
+        tree = RangeTree(IPV4)
+        tree.split(tree.root)
+        with pytest.raises(ValueError):
+            tree.split(tree.root)
+
+    def test_split_classified_rejected(self):
+        tree = RangeTree(IPV4)
+        tree.root.state = ClassifiedState(A, {A: 5.0}, 0.0, 0.0)
+        with pytest.raises(ValueError):
+            tree.split(tree.root)
+
+    def test_split_counter(self):
+        tree = RangeTree(IPV4)
+        tree.split(tree.root)
+        assert tree.split_count == 1
+
+
+class TestJoin:
+    def test_join_collapses_children(self):
+        tree = RangeTree(IPV4)
+        tree.split(tree.root)
+        merged = ClassifiedState(A, {A: 10.0}, 0.0, 0.0)
+        node = tree.join(tree.root, merged)
+        assert node.is_leaf
+        assert node.state is merged
+        assert tree.join_count == 1
+
+    def test_join_marks_children_dead(self):
+        tree = RangeTree(IPV4)
+        left, right = tree.split(tree.root)
+        tree.lookup_leaf(ip("10.0.0.0"))  # populate cache pointing at left
+        tree.join(tree.root, UnclassifiedState())
+        assert left.dead and right.dead
+        assert tree.lookup_leaf(ip("10.0.0.0")) is tree.root
+
+    def test_join_leaf_rejected(self):
+        tree = RangeTree(IPV4)
+        with pytest.raises(ValueError):
+            tree.join(tree.root, UnclassifiedState())
+
+    def test_join_with_grandchildren_rejected(self):
+        tree = RangeTree(IPV4)
+        left, __ = tree.split(tree.root)
+        tree.split(left)
+        with pytest.raises(ValueError):
+            tree.join(tree.root, UnclassifiedState())
+
+
+class TestIteration:
+    def test_leaves_in_address_order(self):
+        tree = RangeTree(IPV4)
+        left, right = tree.split(tree.root)
+        tree.split(right)
+        prefixes = [leaf.prefix for leaf in tree.leaves()]
+        values = [prefix.value for prefix in prefixes]
+        assert values == sorted(values)
+        assert len(prefixes) == 3
+
+    def test_leaves_partition_space(self):
+        tree = RangeTree(IPV4)
+        left, right = tree.split(tree.root)
+        tree.split(left)
+        total = sum(leaf.prefix.num_addresses for leaf in tree.leaves())
+        assert total == 1 << 32
+
+    def test_postorder_children_before_parents(self):
+        tree = RangeTree(IPV4)
+        left, __ = tree.split(tree.root)
+        tree.split(left)
+        order = [node.prefix.masklen for node in tree.internal_nodes_postorder()]
+        assert order == [1, 0]  # the /1 internal node first, root last
+
+    def test_leaf_count(self):
+        tree = RangeTree(IPV4)
+        assert tree.leaf_count() == 1
+        tree.split(tree.root)
+        assert tree.leaf_count() == 2
+
+    def test_classified_leaves_filter(self):
+        tree = RangeTree(IPV4)
+        left, right = tree.split(tree.root)
+        left.state = ClassifiedState(A, {A: 1.0}, 0.0, 0.0)
+        classified = list(tree.classified_leaves())
+        assert classified == [left]
+
+
+class TestPrune:
+    def test_prune_collapses_empty_siblings(self):
+        tree = RangeTree(IPV4)
+        tree.split(tree.root)
+        removed = tree.prune(
+            lambda node: isinstance(node.state, UnclassifiedState)
+            and node.state.is_empty()
+        )
+        assert removed == 1
+        assert tree.root.is_leaf
+
+    def test_prune_cascades(self):
+        tree = RangeTree(IPV4)
+        left, __ = tree.split(tree.root)
+        tree.split(left)
+        removed = tree.prune(lambda node: True)
+        assert removed == 2
+        assert tree.root.is_leaf
+
+    def test_prune_keeps_nonempty(self):
+        tree = RangeTree(IPV4)
+        left, right = tree.split(tree.root)
+        left.state.add(ip("1.0.0.0"), A, 0.0)
+        removed = tree.prune(
+            lambda node: isinstance(node.state, UnclassifiedState)
+            and node.state.is_empty()
+        )
+        assert removed == 0
+        assert not tree.root.is_leaf
+
+
+class TestIPv6:
+    def test_v6_tree_lookup_and_split(self):
+        tree = RangeTree(IPV6)
+        value = parse_ip("2001:db8::1")[0]
+        tree.root.state.add(value, A, 0.0)
+        left, right = tree.split(tree.root)
+        found = tree.lookup_leaf(value)
+        assert found.prefix.masklen == 1
+        assert found.prefix.contains_ip(value)
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    st.lists(
+        st.integers(min_value=0, max_value=(1 << 32) - 1),
+        min_size=1,
+        max_size=60,
+    ),
+    st.lists(st.integers(min_value=0, max_value=200), min_size=1, max_size=30),
+)
+def test_property_lookup_always_contains(addresses, split_choices):
+    """However the trie is split, lookups land in a covering leaf and
+    the leaves always partition the full address space."""
+    tree = RangeTree(IPV4)
+    for address in addresses:
+        tree.root.state.add(address, A, 0.0) if tree.root.is_leaf else None
+    for choice in split_choices:
+        leaves = [
+            leaf
+            for leaf in tree.leaves()
+            if isinstance(leaf.state, UnclassifiedState)
+            and leaf.prefix.masklen < 28
+        ]
+        if not leaves:
+            break
+        tree.split(leaves[choice % len(leaves)])
+    for address in addresses:
+        leaf = tree.lookup_leaf(address)
+        assert leaf.prefix.contains_ip(address)
+    assert sum(leaf.prefix.num_addresses for leaf in tree.leaves()) == 1 << 32

@@ -1,0 +1,121 @@
+"""Tests for per-range state (unclassified and classified)."""
+
+import pytest
+
+from repro.core.state import ClassifiedState, UnclassifiedState
+from repro.topology.elements import IngressPoint
+
+A = IngressPoint("R1", "et0")
+B = IngressPoint("R2", "et0")
+
+
+class TestUnclassifiedState:
+    def test_add_accumulates_total(self):
+        state = UnclassifiedState()
+        state.add(10, A, timestamp=1.0)
+        state.add(10, A, timestamp=2.0)
+        state.add(20, B, timestamp=3.0)
+        assert state.sample_count == 3.0
+
+    def test_add_with_weight(self):
+        state = UnclassifiedState()
+        state.add(10, A, timestamp=1.0, weight=5.0)
+        assert state.sample_count == 5.0
+
+    def test_last_seen_keeps_newest(self):
+        state = UnclassifiedState()
+        state.add(10, A, timestamp=5.0)
+        state.add(10, A, timestamp=3.0)  # late sample, earlier clock
+        assert state.last_seen[10] == 5.0
+
+    def test_ingress_totals(self):
+        state = UnclassifiedState()
+        state.add(10, A, 1.0)
+        state.add(11, A, 1.0)
+        state.add(12, B, 1.0, weight=2.0)
+        totals = state.ingress_totals()
+        assert totals[A] == 2.0
+        assert totals[B] == 2.0
+
+    def test_expire_removes_stale_sources(self):
+        state = UnclassifiedState()
+        state.add(10, A, timestamp=0.0)
+        state.add(20, A, timestamp=100.0)
+        removed = state.expire(cutoff=50.0)
+        assert removed == 1
+        assert 10 not in state.per_ip
+        assert 20 in state.per_ip
+        assert state.sample_count == 1.0
+
+    def test_expire_everything_resets_total(self):
+        state = UnclassifiedState()
+        state.add(10, A, 0.0)
+        state.expire(cutoff=1000.0)
+        assert state.is_empty()
+        assert state.sample_count == 0.0
+
+    def test_expire_keeps_boundary(self):
+        state = UnclassifiedState()
+        state.add(10, A, timestamp=50.0)
+        assert state.expire(cutoff=50.0) == 0  # strictly-before semantics
+
+    def test_newest_timestamp(self):
+        state = UnclassifiedState()
+        assert state.newest_timestamp == float("-inf")
+        state.add(10, A, 7.0)
+        state.add(11, A, 9.0)
+        assert state.newest_timestamp == 9.0
+
+
+class TestClassifiedState:
+    def make(self) -> ClassifiedState:
+        return ClassifiedState(
+            ingress=A, counters={A: 90.0, B: 10.0}, last_seen=0.0, classified_at=0.0
+        )
+
+    def test_add_updates_counters_and_last_seen(self):
+        state = self.make()
+        state.add(A, timestamp=5.0, weight=10.0)
+        assert state.counters[A] == 100.0
+        assert state.last_seen == 5.0
+
+    def test_add_does_not_rewind_last_seen(self):
+        state = self.make()
+        state.add(A, timestamp=5.0)
+        state.add(B, timestamp=2.0)
+        assert state.last_seen == 5.0
+
+    def test_total(self):
+        assert self.make().total == 100.0
+
+    def test_confidence_for_single(self):
+        state = self.make()
+        assert state.confidence_for([A]) == pytest.approx(0.9)
+        assert state.confidence_for([B]) == pytest.approx(0.1)
+
+    def test_confidence_for_bundle_members(self):
+        state = self.make()
+        assert state.confidence_for([A, B]) == pytest.approx(1.0)
+
+    def test_confidence_empty_counters(self):
+        state = ClassifiedState(A, {}, 0.0, 0.0)
+        assert state.confidence_for([A]) == 0.0
+
+    def test_decay_scales_all(self):
+        state = self.make()
+        state.decay(0.5)
+        assert state.counters[A] == pytest.approx(45.0)
+        assert state.total == pytest.approx(50.0)
+
+    def test_decay_drops_dust(self):
+        state = ClassifiedState(A, {A: 1e-6, B: 100.0}, 0.0, 0.0)
+        state.decay(0.5, floor=1e-4)
+        assert A not in state.counters
+        assert B in state.counters
+
+    def test_decay_validates_factor(self):
+        state = self.make()
+        with pytest.raises(ValueError):
+            state.decay(1.5)
+        with pytest.raises(ValueError):
+            state.decay(-0.1)

@@ -1,0 +1,120 @@
+"""Property-based invariants of the IPD engine under random traffic.
+
+Whatever flow stream the engine sees, the following must hold after any
+number of sweeps — these are the structural guarantees everything else
+(LPM validation, snapshot analyses) relies on:
+
+* the leaves of each trie partition the address space exactly;
+* every classified range satisfies the q threshold on its counters;
+* no leaf is deeper than cidr_max;
+* snapshot records are disjoint and sorted;
+* total retained sample weight never exceeds what was ingested.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.algorithm import IPD
+from repro.core.iputil import IPV4
+from repro.core.params import IPDParams
+from repro.core.state import ClassifiedState, UnclassifiedState
+from repro.netflow.records import FlowRecord
+from repro.topology.elements import IngressPoint
+
+INGRESSES = [
+    IngressPoint("R1", "et0"),
+    IngressPoint("R1", "et1"),
+    IngressPoint("R2", "et0"),
+    IngressPoint("R3", "hu0"),
+]
+
+flow_strategy = st.tuples(
+    st.integers(min_value=0, max_value=(1 << 32) - 1),   # src ip
+    st.integers(min_value=0, max_value=3),               # ingress index
+    st.integers(min_value=0, max_value=5),               # bucket offset
+)
+
+
+def run_engine(raw_flows, q=0.95, cidr_max=12):
+    params = IPDParams(
+        n_cidr_factor_v4=0.0005,
+        n_cidr_factor_v6=0.0005,
+        q=q,
+        cidr_max_v4=cidr_max,
+    )
+    ipd = IPD(params)
+    now = 0.0
+    for chunk_start in range(0, len(raw_flows), 25):
+        for src, ingress_index, offset in raw_flows[chunk_start:chunk_start + 25]:
+            ipd.ingest(FlowRecord(
+                timestamp=now + offset * 10.0,
+                src_ip=src,
+                version=IPV4,
+                ingress=INGRESSES[ingress_index],
+            ))
+        now += 60.0
+        ipd.sweep(now)
+    return ipd, now
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.lists(flow_strategy, min_size=1, max_size=200))
+def test_leaves_partition_space(raw_flows):
+    ipd, __ = run_engine(raw_flows)
+    tree = ipd.trees[IPV4]
+    leaves = list(tree.leaves())
+    total = sum(leaf.prefix.num_addresses for leaf in leaves)
+    assert total == 1 << 32
+    values = [leaf.prefix.value for leaf in leaves]
+    assert values == sorted(values)
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.lists(flow_strategy, min_size=1, max_size=200))
+def test_classified_ranges_respect_q(raw_flows):
+    ipd, __ = run_engine(raw_flows)
+    params = ipd.params
+    for leaf in ipd.trees[IPV4].leaves():
+        state = leaf.state
+        if not isinstance(state, ClassifiedState):
+            continue
+        members = [
+            IngressPoint(state.ingress.router, name)
+            for name in state.ingress.interfaces()
+        ]
+        assert state.confidence_for(members) >= params.q - 1e-9
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.lists(flow_strategy, min_size=1, max_size=200))
+def test_depth_bounded_by_cidr_max(raw_flows):
+    ipd, __ = run_engine(raw_flows, cidr_max=10)
+    for leaf in ipd.trees[IPV4].leaves():
+        assert leaf.prefix.masklen <= 10
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.lists(flow_strategy, min_size=1, max_size=200))
+def test_snapshot_disjoint_and_sorted(raw_flows):
+    ipd, now = run_engine(raw_flows)
+    records = ipd.snapshot(now, include_unclassified=True)
+    v4 = [r for r in records if r.version == IPV4]
+    for first, second in zip(v4, v4[1:]):
+        assert (
+            first.range.value + first.range.num_addresses
+            <= second.range.value
+        )
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.lists(flow_strategy, min_size=1, max_size=200))
+def test_retained_weight_bounded_by_ingested(raw_flows):
+    ipd, __ = run_engine(raw_flows)
+    retained = 0.0
+    for leaf in ipd.trees[IPV4].leaves():
+        state = leaf.state
+        if isinstance(state, UnclassifiedState):
+            retained += state.sample_count
+        else:
+            retained += state.total
+    assert retained <= len(raw_flows) + 1e-6

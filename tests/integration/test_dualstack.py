@@ -1,0 +1,98 @@
+"""Integration: dual-stack (IPv4 + IPv6) operation end to end.
+
+The paper's parameters are dual: cidr_max /28 + /48, n_cidr factors
+64 + 24 (Table 1).  These tests exercise the IPv6 half of every stage —
+unit carving, flow generation, trie cascade, classification at /48
+granularity — on a reduced dual-stack scenario.
+"""
+
+import pytest
+
+from repro.analysis.accuracy import evaluate_accuracy
+from repro.core.iputil import IPV4, IPV6
+from repro.workloads.scenarios import dualstack_scenario
+
+
+@pytest.fixture(scope="module")
+def run():
+    scenario = dualstack_scenario(
+        duration_hours=2.5, flows_per_bucket_peak=2200, v6_flow_share=0.25
+    )
+    flows, result = scenario.run()
+    return scenario, flows, result
+
+
+class TestDualStackWorkload:
+    def test_v6_share_of_flows(self, run):
+        __, flows, __ = run
+        v6 = sum(1 for f in flows if f.version == IPV6)
+        assert v6 / len(flows) == pytest.approx(0.25, abs=0.03)
+
+    def test_v6_sources_inside_allocations(self, run):
+        scenario, flows, __ = run
+        blocks = [b for __, b in scenario.plan.blocks(IPV6)]
+        assert blocks
+        for flow in flows[:5000]:
+            if flow.version != IPV6:
+                continue
+            assert any(b.contains_ip(flow.src_ip) for b in blocks)
+
+    def test_v6_units_carved(self, run):
+        scenario, __, __ = run
+        models = scenario.build_models()
+        v6_units = [
+            u for m in models.values() for u in m.units
+            if u.prefix.version == IPV6
+        ]
+        assert v6_units
+        assert all(44 <= u.prefix.masklen <= 47 for u in v6_units)
+        assert all(u.slot_size == 1 << 80 for u in v6_units)
+
+
+class TestDualStackClassification:
+    def test_both_families_classified(self, run):
+        __, __, result = run
+        final = result.final_snapshot()
+        versions = {record.version for record in final}
+        assert versions == {IPV4, IPV6}
+
+    def test_v6_masks_within_cidr_max(self, run):
+        scenario, __, result = run
+        for record in result.final_snapshot():
+            if record.version == IPV6:
+                assert record.range.masklen <= scenario.params.cidr_max_v6
+
+    def test_v6_ranges_disjoint(self, run):
+        __, __, result = run
+        v6 = sorted(
+            (r for r in result.final_snapshot() if r.version == IPV6),
+            key=lambda r: r.range.value,
+        )
+        for first, second in zip(v6, v6[1:]):
+            assert (
+                first.range.value + first.range.num_addresses
+                <= second.range.value
+            )
+
+    def test_v6_accuracy_reasonable(self, run):
+        """The /48-granular IPv6 path classifies most of its traffic."""
+        scenario, flows, result = run
+        warm = [
+            f for f in flows
+            if f.version == IPV6 and f.timestamp >= 13.5 * 3600.0
+        ]
+        assert warm
+        report = evaluate_accuracy(
+            warm, result.snapshots, scenario.topology, keep_misses=False
+        )
+        assert report.mean_accuracy() > 0.6
+
+    def test_families_do_not_leak(self, run):
+        """IPv4 lookups never hit IPv6 ranges and vice versa."""
+        from repro.core.lpm import build_lpm_from_records
+
+        __, flows, result = run
+        final = result.final_snapshot()
+        v4_lpm = build_lpm_from_records(final, IPV4)
+        v6_lpm = build_lpm_from_records(final, IPV6)
+        assert len(v4_lpm) + len(v6_lpm) == len(final)

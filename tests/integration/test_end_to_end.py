@@ -1,0 +1,178 @@
+"""End-to-end integration: generator -> IPD -> analyses -> baselines.
+
+These tests run a reduced-scale scenario once (module-scoped fixture)
+and verify cross-module properties the paper reports qualitatively.
+"""
+
+import pytest
+
+from repro.analysis.accuracy import evaluate_accuracy
+from repro.analysis.asymmetry import prefix_correlation, symmetry_ratios
+from repro.analysis.ranges import bgp_mask_histogram, mask_histogram
+from repro.analysis.stability import stability_durations
+from repro.baselines.bgp_baseline import evaluate_bgp_baseline
+from repro.baselines.static24 import evaluate_static_model, train_static_model
+from repro.core.params import IPDParams
+from repro.workloads.scenarios import default_scenario
+
+#: reduced-scale params matched to the reduced test traffic volume
+TEST_PARAMS = IPDParams(n_cidr_factor_v4=0.05, n_cidr_factor_v6=0.05)
+
+
+@pytest.fixture(scope="module")
+def run():
+    scenario = default_scenario(
+        duration_hours=3.0,
+        flows_per_bucket_peak=1200,
+        params=TEST_PARAMS,
+        seed=17,
+    )
+    flows, result = scenario.run()
+    return scenario, flows, result
+
+
+@pytest.fixture(scope="module")
+def report(run):
+    scenario, flows, result = run
+    return evaluate_accuracy(
+        flows, result.snapshots, scenario.topology,
+        asn_of=scenario.asn_of(), groups=scenario.groups(),
+    )
+
+
+class TestPipeline:
+    def test_flows_processed(self, run):
+        __, flows, result = run
+        assert result.flows_processed == len(flows) > 50_000
+
+    def test_snapshots_emitted_every_5_minutes(self, run):
+        __, __, result = run
+        times = result.snapshot_times()
+        deltas = {round(b - a) for a, b in zip(times, times[1:])}
+        assert deltas == {300}
+
+    def test_substantial_space_classified(self, run):
+        __, __, result = run
+        final = result.final_snapshot()
+        assert len(final) > 50
+
+    def test_ranges_disjoint_in_snapshot(self, run):
+        __, __, result = run
+        final = sorted(
+            result.final_snapshot(), key=lambda r: r.range.value
+        )
+        for first, second in zip(final, final[1:]):
+            assert first.range.value + first.range.num_addresses <= second.range.value
+
+    def test_all_classified_meet_q(self, run):
+        scenario, __, result = run
+        for records in result.snapshots.values():
+            for record in records:
+                assert record.s_ingress >= scenario.params.q - 1e-9
+
+    def test_range_masks_within_cidr_max(self, run):
+        scenario, __, result = run
+        for record in result.final_snapshot():
+            assert record.range.masklen <= scenario.params.cidr_max_v4
+
+
+class TestPaperProperties:
+    def test_accuracy_ordering_top5_top20_all(self, report):
+        """Fig. 6 ordering: TOP5 >= TOP20 >= ALL (within tolerance)."""
+        warm = [b for b in report.bins if b.start >= 13 * 3600.0]
+        def accuracy(group=None):
+            total = sum(
+                (b.by_group.get(group, (0, 0))[1] if group else b.total)
+                for b in warm
+            )
+            correct = sum(
+                (b.by_group.get(group, (0, 0))[0] if group else b.correct)
+                for b in warm
+            )
+            return correct / total if total else 0.0
+        all_acc = accuracy()
+        top20 = accuracy("TOP20")
+        top5 = accuracy("TOP5")
+        assert all_acc > 0.5
+        assert top5 >= all_acc - 0.03
+        assert top20 >= all_acc - 0.03
+
+    def test_ipd_precision_beats_bgp_baseline(self, run, report):
+        """§5.5: where IPD maps traffic, it beats the BGP guess.
+
+        At this deliberately reduced scale (3 h, ~1 % of the benchmark
+        volume) IPD has not yet mapped the long tail, so we compare
+        *precision*: among the flows IPD does map, its interface-level
+        prediction must beat BGP's generous router-level one.  The
+        full-scale benchmark (sec55) shows IPD winning outright on all
+        flows, as in the paper (91 % vs ~62 %).
+        """
+        from repro.analysis.accuracy import UNMAPPED
+
+        scenario, flows, __ = run
+        cut = 14 * 3600.0  # final hour only: IPD fully warmed
+        warm_flows = [f for f in flows if f.timestamp >= cut]
+        baseline = evaluate_bgp_baseline(warm_flows, scenario.bgp_table())
+        warm = [b for b in report.bins if b.start >= cut]
+        total = sum(b.total for b in warm)
+        correct = sum(b.correct for b in warm)
+        unmapped = sum(
+            1 for m in report.misses
+            if m.timestamp >= cut and m.kind == UNMAPPED
+        )
+        mapped = total - unmapped
+        assert mapped > 0
+        ipd_precision = correct / mapped
+        assert ipd_precision > baseline.accuracy
+
+    def test_ipd_beats_stale_static_model(self, run):
+        """A frozen /24 model trained on the first hour goes stale."""
+        scenario, flows, result = run
+        cut = 13 * 3600.0
+        training = [f for f in flows if f.timestamp < cut]
+        evaluation = [f for f in flows if f.timestamp >= cut + 3600.0]
+        model = train_static_model(training, min_samples=3)
+        static = evaluate_static_model(evaluation, model)
+        report = evaluate_accuracy(
+            evaluation, result.snapshots, scenario.topology, keep_misses=False
+        )
+        assert report.mean_accuracy() > static.accuracy
+
+    def test_ipd_ranges_mostly_more_specific_than_bgp(self, run):
+        """§5.2: the bulk of IPD ranges are finer than BGP prefixes."""
+        scenario, __, result = run
+        correlation = prefix_correlation(
+            result.final_snapshot(), scenario.bgp_table()
+        )
+        shares = correlation.shares()
+        assert shares["more_specific"] > 0.5
+        assert shares["more_specific"] > shares["exact"]
+
+    def test_symmetry_below_one(self, run):
+        """Fig. 16: substantial asymmetry exists."""
+        scenario, __, result = run
+        ratios = symmetry_ratios(
+            result.final_snapshot(), scenario.bgp_table(),
+            groups={"ALL": None},
+        )
+        ratio = ratios.ratio("ALL")
+        assert ratio is not None
+        assert 0.2 < ratio < 0.98
+
+    def test_stability_has_short_and_long_phases(self, run):
+        __, __, result = run
+        durations = stability_durations(result.snapshots)
+        assert durations
+        assert min(durations) < 1800.0
+        assert max(durations) > 3600.0
+
+    def test_ipd_masks_differ_from_bgp(self, run):
+        """Fig. 9: the two distributions are markedly different."""
+        scenario, __, result = run
+        ipd_masks = mask_histogram(result.final_snapshot())
+        bgp_masks = bgp_mask_histogram(scenario.bgp_table())
+        # BGP peaks at /24; IPD must populate masks BGP hardly uses
+        ipd_only = set(ipd_masks) - set(bgp_masks)
+        assert ipd_masks
+        assert bgp_masks[24] == max(bgp_masks.values())
+        assert ipd_only or ipd_masks.most_common(1)[0][0] != 24

@@ -1,0 +1,68 @@
+"""Tests for per-router stream merging and the export collector."""
+
+from repro.core.iputil import IPV4
+from repro.netflow.collector import FlowCollector, merge_streams
+from repro.netflow.records import FlowRecord
+from repro.topology.elements import IngressPoint
+
+A = IngressPoint("R1", "et0")
+B = IngressPoint("R2", "xe0")
+
+
+def flow(ts: float, ingress=A) -> FlowRecord:
+    return FlowRecord(timestamp=ts, src_ip=int(ts), version=IPV4, ingress=ingress)
+
+
+class TestMergeStreams:
+    def test_merges_in_time_order(self):
+        router_1 = [flow(1), flow(4), flow(9)]
+        router_2 = [flow(2, B), flow(3, B), flow(10, B)]
+        merged = list(merge_streams([router_1, router_2]))
+        assert [f.timestamp for f in merged] == [1, 2, 3, 4, 9, 10]
+
+    def test_single_stream_passthrough(self):
+        stream = [flow(1), flow(2)]
+        assert list(merge_streams([stream])) == stream
+
+    def test_empty_inputs(self):
+        assert list(merge_streams([])) == []
+        assert list(merge_streams([[], []])) == []
+
+    def test_many_streams(self):
+        streams = [[flow(base + offset * 10) for offset in range(5)]
+                   for base in range(8)]
+        merged = [f.timestamp for f in merge_streams(streams)]
+        assert merged == sorted(merged)
+        assert len(merged) == 40
+
+
+class TestFlowCollector:
+    def test_drain_orders_unordered_pushes(self):
+        collector = FlowCollector()
+        for ts in (5.0, 1.0, 3.0, 2.0, 4.0):
+            collector.push(flow(ts))
+        drained = [f.timestamp for f in collector.drain()]
+        assert drained == [1.0, 2.0, 3.0, 4.0, 5.0]
+        assert len(collector) == 0
+
+    def test_drain_until_keeps_newer(self):
+        collector = FlowCollector()
+        collector.extend([flow(1), flow(2), flow(3)])
+        early = list(collector.drain_until(2.5))
+        assert [f.timestamp for f in early] == [1.0, 2.0]
+        assert len(collector) == 1
+
+    def test_stable_for_equal_timestamps(self):
+        collector = FlowCollector()
+        first = flow(1.0, A)
+        second = flow(1.0, B)
+        collector.push(first)
+        collector.push(second)
+        assert list(collector.drain()) == [first, second]
+
+    def test_received_counter(self):
+        collector = FlowCollector()
+        collector.extend([flow(1), flow(2)])
+        list(collector.drain())
+        collector.push(flow(3))
+        assert collector.received == 3

@@ -1,0 +1,97 @@
+"""Tests for flow records and their CSV serialization."""
+
+import io
+
+import pytest
+
+from repro.core.iputil import IPV4, IPV6, mask_ip, parse_ip
+from repro.netflow.records import (
+    FlowRecord,
+    anonymize_flow,
+    read_flows_csv,
+    write_flows_csv,
+)
+from repro.topology.elements import IngressPoint
+
+A = IngressPoint("R1", "et0")
+
+
+def make_flow(**kwargs) -> FlowRecord:
+    defaults = dict(
+        timestamp=123.456,
+        src_ip=parse_ip("198.51.100.7")[0],
+        version=IPV4,
+        ingress=A,
+        packets=3,
+        bytes=4500,
+    )
+    defaults.update(kwargs)
+    return FlowRecord(**defaults)
+
+
+class TestFlowRecord:
+    def test_defaults(self):
+        flow = FlowRecord(timestamp=0.0, src_ip=1, version=IPV4, ingress=A)
+        assert flow.packets == 1
+        assert flow.bytes == 1500
+        assert flow.dst_ip is None
+
+    def test_src_text(self):
+        assert make_flow().src_text() == "198.51.100.7"
+
+    def test_with_timestamp(self):
+        assert make_flow().with_timestamp(99.0).timestamp == 99.0
+
+    def test_is_lightweight_tuple(self):
+        flow = make_flow()
+        assert isinstance(flow, tuple)
+
+
+class TestCSV:
+    def test_roundtrip(self):
+        flows = [
+            make_flow(),
+            make_flow(src_ip=parse_ip("2001:db8::9")[0], version=IPV6),
+            make_flow(dst_ip=parse_ip("203.0.113.9")[0]),
+        ]
+        buffer = io.StringIO()
+        assert write_flows_csv(flows, buffer) == 3
+        buffer.seek(0)
+        parsed = list(read_flows_csv(buffer))
+        assert len(parsed) == 3
+        assert parsed[0].src_ip == flows[0].src_ip
+        assert parsed[0].ingress == A
+        assert parsed[1].version == IPV6
+        assert parsed[2].dst_ip == flows[2].dst_ip
+
+    def test_timestamps_millisecond_precision(self):
+        buffer = io.StringIO()
+        write_flows_csv([make_flow(timestamp=1.2345)], buffer)
+        buffer.seek(0)
+        assert next(read_flows_csv(buffer)).timestamp == pytest.approx(1.234, abs=1e-3)
+
+    def test_bad_header_rejected(self):
+        with pytest.raises(ValueError):
+            list(read_flows_csv(io.StringIO("x,y\n1,2\n")))
+
+    def test_empty_file(self):
+        assert list(read_flows_csv(io.StringIO(""))) == []
+
+
+class TestAnonymize:
+    def test_ipv4_masked_to_28(self):
+        flow = make_flow(dst_ip=123)
+        anonymized = anonymize_flow(flow)
+        assert anonymized.src_ip == mask_ip(flow.src_ip, 28, IPV4)
+        assert anonymized.dst_ip is None
+
+    def test_ipv6_masked_to_64(self):
+        flow = make_flow(src_ip=parse_ip("2001:db8::1:2:3")[0], version=IPV6)
+        anonymized = anonymize_flow(flow)
+        assert anonymized.src_ip == mask_ip(flow.src_ip, 64, IPV6)
+
+    def test_preserves_ingress_and_time(self):
+        flow = make_flow()
+        anonymized = anonymize_flow(flow)
+        assert anonymized.ingress == flow.ingress
+        assert anonymized.timestamp == flow.timestamp

@@ -1,0 +1,69 @@
+"""Tests for 1-out-of-n packet sampling."""
+
+import pytest
+
+from repro.core.iputil import IPV4
+from repro.netflow.records import FlowRecord
+from repro.netflow.sampling import PacketSampler
+from repro.topology.elements import IngressPoint
+
+A = IngressPoint("R1", "et0")
+
+
+def flows(count: int, packets: int = 1):
+    return [
+        FlowRecord(timestamp=float(i), src_ip=i, version=IPV4, ingress=A,
+                   packets=packets, bytes=packets * 1000)
+        for i in range(count)
+    ]
+
+
+class TestPacketSampler:
+    def test_rate_one_passthrough(self):
+        sampler = PacketSampler(rate=1)
+        original = flows(100)
+        assert list(sampler.sample(original)) == original
+
+    def test_invalid_rate(self):
+        with pytest.raises(ValueError):
+            PacketSampler(rate=0)
+
+    def test_sampling_reduces_volume(self):
+        sampler = PacketSampler(rate=100, seed=1)
+        kept = list(sampler.sample(flows(20_000)))
+        # single-packet flows survive with p = 1/100
+        assert 100 <= len(kept) <= 320
+
+    def test_expected_rate_single_packet(self):
+        sampler = PacketSampler(rate=10, seed=2)
+        kept = list(sampler.sample(flows(50_000)))
+        assert len(kept) / 50_000 == pytest.approx(0.1, rel=0.12)
+
+    def test_large_flows_more_likely_sampled(self):
+        small = list(PacketSampler(rate=100, seed=3).sample(flows(5000, packets=1)))
+        large = list(PacketSampler(rate=100, seed=3).sample(flows(5000, packets=50)))
+        assert len(large) > len(small) * 5
+
+    def test_sampled_counters_scaled(self):
+        sampler = PacketSampler(rate=10, seed=4)
+        kept = list(sampler.sample(flows(5000, packets=100)))
+        assert kept
+        for flow in kept:
+            assert flow.packets == 10  # 100 packets / rate 10
+            assert flow.bytes == 10_000  # 100,000 bytes scaled by 1/10
+
+    def test_minimum_one_packet(self):
+        sampler = PacketSampler(rate=1000, seed=5)
+        kept = list(sampler.sample(flows(200_000, packets=3)))
+        assert kept
+        assert all(flow.packets >= 1 for flow in kept)
+
+    def test_deterministic_per_seed(self):
+        first = list(PacketSampler(rate=10, seed=9).sample(flows(1000)))
+        second = list(PacketSampler(rate=10, seed=9).sample(flows(1000)))
+        assert first == second
+
+    def test_different_seeds_differ(self):
+        first = list(PacketSampler(rate=10, seed=1).sample(flows(1000)))
+        second = list(PacketSampler(rate=10, seed=2).sample(flows(1000)))
+        assert first != second

@@ -1,0 +1,77 @@
+"""Tests for statistical-time bucketing (clock-drift pre-processing)."""
+
+import pytest
+
+from repro.core.iputil import IPV4
+from repro.netflow.records import FlowRecord
+from repro.netflow.statstime import StatisticalTime
+from repro.topology.elements import IngressPoint
+
+A = IngressPoint("R1", "et0")
+
+
+def flow(ts: float) -> FlowRecord:
+    return FlowRecord(timestamp=ts, src_ip=1, version=IPV4, ingress=A)
+
+
+class TestBucketing:
+    def test_groups_by_bucket(self):
+        stt = StatisticalTime(bucket_seconds=60.0)
+        buckets = list(stt.bucketize([flow(1), flow(2), flow(61), flow(62)]))
+        assert len(buckets) == 2
+        assert buckets[0].start == 0.0
+        assert len(buckets[0]) == 2
+        assert buckets[1].start == 60.0
+
+    def test_bucket_bounds(self):
+        stt = StatisticalTime(bucket_seconds=60.0)
+        bucket = next(iter(stt.bucketize([flow(65.0)])))
+        assert bucket.start == 60.0
+        assert bucket.end == 120.0
+
+    def test_activity_threshold_drops_sparse_buckets(self):
+        stt = StatisticalTime(bucket_seconds=60.0, activity_threshold=3)
+        buckets = list(
+            stt.bucketize([flow(1), flow(2), flow(3), flow(61)])
+        )
+        assert len(buckets) == 1  # second bucket has 1 < 3 flows
+        assert stt.dropped_inactive == 1
+
+    def test_small_lag_clamped_into_current_bucket(self):
+        """A slightly slow clock's sample is pulled into the open bucket."""
+        stt = StatisticalTime(bucket_seconds=60.0, max_skew_seconds=300.0)
+        buckets = list(stt.bucketize([flow(65), flow(66), flow(40), flow(70)]))
+        assert len(buckets) == 1
+        assert len(buckets[0]) == 4
+        assert all(f.timestamp >= 60.0 for f in buckets[0].flows)
+
+    def test_large_lag_dropped(self):
+        stt = StatisticalTime(bucket_seconds=60.0, max_skew_seconds=100.0)
+        buckets = list(stt.bucketize([flow(1000), flow(1001), flow(10)]))
+        assert stt.dropped_skew == 1
+        assert sum(len(b) for b in buckets) == 2
+
+    def test_large_forward_jump_dropped(self):
+        """A fast clock far ahead of statistical now is discarded."""
+        stt = StatisticalTime(bucket_seconds=60.0, max_skew_seconds=100.0)
+        buckets = list(stt.bucketize([flow(10), flow(11), flow(9999), flow(12)]))
+        assert stt.dropped_skew == 1
+        assert len(buckets) == 1
+        assert len(buckets[0]) == 3
+
+    def test_moderate_forward_jump_advances_time(self):
+        stt = StatisticalTime(bucket_seconds=60.0, max_skew_seconds=300.0)
+        buckets = list(stt.bucketize([flow(10), flow(70)]))
+        assert [b.start for b in buckets] == [0.0, 60.0]
+
+    def test_empty_stream(self):
+        stt = StatisticalTime()
+        assert list(stt.bucketize([])) == []
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            StatisticalTime(bucket_seconds=0.0)
+        with pytest.raises(ValueError):
+            StatisticalTime(activity_threshold=-1)
+        with pytest.raises(ValueError):
+            StatisticalTime(max_skew_seconds=-1.0)

@@ -1,0 +1,90 @@
+"""Tests for the factorial design (Table 2)."""
+
+import pytest
+
+from repro.core.params import IPDParams
+from repro.paramstudy.design import (
+    Factor,
+    FactorialDesign,
+    paper_screening_design,
+    paper_study_design,
+)
+
+
+class TestFactor:
+    def test_needs_levels(self):
+        with pytest.raises(ValueError):
+            Factor("q")
+
+
+class TestFactorialDesign:
+    def test_size_is_product(self):
+        design = FactorialDesign()
+        design.add_factor("a", [1, 2]).add_factor("b", [1, 2, 3])
+        assert design.size == 6
+
+    def test_configurations_cover_cross_product(self):
+        design = FactorialDesign()
+        design.add_factor("a", [1, 2]).add_factor("b", ["x", "y"])
+        configs = list(design.configurations())
+        assert len(configs) == 4
+        assert {(c["a"], c["b"]) for c in configs} == {
+            (1, "x"), (1, "y"), (2, "x"), (2, "y")
+        }
+
+    def test_params_for_scalar_factors(self):
+        design = FactorialDesign()
+        design.add_factor("q", [0.8])
+        config = next(design.configurations())
+        params = design.params_for(config)
+        assert params.q == 0.8
+
+    def test_params_for_paired_factors(self):
+        design = FactorialDesign()
+        design.add_factor("cidr_max", [(24, 40)])
+        design.add_factor("n_cidr_factor", [(32.0, 12.0)])
+        params = design.params_for(next(design.configurations()))
+        assert params.cidr_max_v4 == 24
+        assert params.cidr_max_v6 == 40
+        assert params.n_cidr_factor_v4 == 32.0
+        assert params.n_cidr_factor_v6 == 12.0
+
+    def test_params_for_respects_base(self):
+        design = FactorialDesign()
+        design.add_factor("q", [0.7])
+        base = IPDParams(n_cidr_factor_v4=0.5)
+        params = design.params_for(next(design.configurations()), base)
+        assert params.n_cidr_factor_v4 == 0.5
+        assert params.q == 0.7
+
+    def test_invalid_level_raises_at_translation(self):
+        design = FactorialDesign()
+        design.add_factor("q", [0.4])
+        with pytest.raises(ValueError):
+            design.params_for(next(design.configurations()))
+
+
+class TestPaperDesigns:
+    def test_study_matches_table2_levels(self):
+        design = paper_study_design()
+        by_name = {factor.name: factor for factor in design.factors}
+        assert by_name["q"].levels == (0.501, 0.7, 0.8, 0.95, 0.99)
+        assert len(by_name["n_cidr_factor"].levels) == 4
+        assert len(by_name["cidr_max"].levels) == 9
+        assert design.size == 5 * 4 * 9
+
+    def test_study_design_all_valid(self):
+        design = paper_study_design()
+        for config in design.configurations():
+            design.params_for(config)  # should never raise
+
+    def test_screening_contains_failure_zone(self):
+        """The screening stage includes q <= 0.5 points that must fail."""
+        design = paper_screening_design()
+        failures = 0
+        for config in design.configurations():
+            try:
+                design.params_for(config)
+            except ValueError:
+                failures += 1
+        assert failures > 0

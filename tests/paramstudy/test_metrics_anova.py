@@ -1,0 +1,120 @@
+"""Tests for study metrics (KS distance) and ANOVA screening."""
+
+import math
+import random
+
+import pytest
+
+from repro.paramstudy.anova import anova_screening, effect_means
+from repro.paramstudy.metrics import StudyMetrics, ks_distance_to_ideal
+from repro.paramstudy.runner import StudyResult
+
+
+def metrics(accuracy=0.9, ks=0.1, stability=100.0, sweep=0.01, state=100):
+    return StudyMetrics(
+        accuracy=accuracy,
+        mean_stability_seconds=stability,
+        ks_distance=ks,
+        best_fit_distribution="lognorm",
+        mean_sweep_seconds=sweep,
+        max_state_size=state,
+        max_leaf_count=10,
+    )
+
+
+class TestKSDistance:
+    def test_lognormal_sample_fits_well(self):
+        rng = random.Random(1)
+        sample = [rng.lognormvariate(5.0, 1.0) for __ in range(400)]
+        distance, best = ks_distance_to_ideal(sample)
+        assert distance < 0.08
+        assert best  # one of the candidates fit
+
+    def test_small_sample_returns_max_distance(self):
+        assert ks_distance_to_ideal([1.0, 2.0]) == (1.0, "")
+
+    def test_nonpositive_durations_dropped(self):
+        rng = random.Random(2)
+        sample = [0.0] * 10 + [rng.lognormvariate(4.0, 0.5) for __ in range(200)]
+        distance, __ = ks_distance_to_ideal(sample)
+        assert distance < 0.1
+
+    def test_restricted_candidates(self):
+        rng = random.Random(3)
+        sample = [rng.gauss(100.0, 5.0) for __ in range(300)]
+        distance, best = ks_distance_to_ideal(sample, distributions=("norm",))
+        assert best == "norm"
+        assert distance < 0.06
+
+
+class TestStudyMetricsFailure:
+    def test_failure_record(self):
+        failed = StudyMetrics.failure("q out of range")
+        assert failed.failed
+        assert math.isnan(failed.accuracy)
+        assert failed.failure_reason == "q out of range"
+
+
+class TestANOVA:
+    def build_results(self):
+        """q strongly drives ks_distance; accuracy is flat noise."""
+        rng = random.Random(4)
+        results = []
+        for q in (0.7, 0.95):
+            for repeat in range(8):
+                results.append(
+                    StudyResult(
+                        configuration={"q": q, "cidr_max": (24, 40)},
+                        metrics=metrics(
+                            accuracy=0.9 + rng.gauss(0, 0.002),
+                            ks=(0.1 if q == 0.7 else 0.4) + rng.gauss(0, 0.01),
+                        ),
+                    )
+                )
+        return results
+
+    def test_detects_real_effect(self):
+        effects = anova_screening(self.build_results(), factors=["q"],
+                                  metrics=["ks_distance"])
+        assert len(effects) == 1
+        assert effects[0].significant
+
+    def test_flat_metric_not_significant(self):
+        effects = anova_screening(self.build_results(), factors=["q"],
+                                  metrics=["accuracy"])
+        assert not effects[0].significant
+
+    def test_failed_results_excluded(self):
+        results = self.build_results()
+        results.append(
+            StudyResult({"q": 0.4}, StudyMetrics.failure("invalid"))
+        )
+        effects = anova_screening(results, factors=["q"],
+                                  metrics=["ks_distance"])
+        assert effects  # does not crash, failure filtered
+
+    def test_single_level_skipped(self):
+        results = [
+            StudyResult({"q": 0.95}, metrics()) for __ in range(4)
+        ]
+        effects = anova_screening(results, factors=["q"])
+        assert effects == []
+
+    def test_identical_groups_trivially_insignificant(self):
+        results = [
+            StudyResult({"q": q}, metrics(accuracy=0.9))
+            for q in (0.7, 0.7, 0.95, 0.95)
+        ]
+        effects = anova_screening(results, factors=["q"], metrics=["accuracy"])
+        assert effects[0].p_value == 1.0
+
+    def test_effect_means(self):
+        results = self.build_results()
+        means = effect_means(results, "q", "ks_distance")
+        assert means[0.7] == pytest.approx(0.1, abs=0.05)
+        assert means[0.95] == pytest.approx(0.4, abs=0.05)
+
+    def test_effect_means_tuple_levels(self):
+        results = self.build_results()
+        means = effect_means(results, "cidr_max", "accuracy")
+        assert (24, 40) in means

@@ -1,0 +1,100 @@
+"""Tests for the parameter-study runner."""
+
+import pytest
+
+from repro.core.iputil import IPV4, parse_ip
+from repro.core.params import IPDParams
+from repro.netflow.records import FlowRecord
+from repro.paramstudy.design import FactorialDesign
+from repro.paramstudy.runner import run_study
+from repro.topology.elements import IngressPoint
+
+A = IngressPoint("R1", "et0")
+
+
+def flow_source():
+    base = parse_ip("10.0.0.0")[0]
+
+    def build():
+        flows = []
+        for bucket in range(8):
+            for index in range(60):
+                flows.append(FlowRecord(
+                    timestamp=bucket * 60.0 + index,
+                    src_ip=base + index * 16,
+                    version=IPV4,
+                    ingress=A,
+                ))
+        return flows
+
+    return build
+
+
+@pytest.fixture
+def design():
+    d = FactorialDesign()
+    d.add_factor("q", [0.8, 0.95])
+    return d
+
+
+class TestRunStudy:
+    def test_runs_every_configuration(self, design, small_topology):
+        results = run_study(
+            design,
+            flow_source(),
+            small_topology,
+            base_params=IPDParams(n_cidr_factor_v4=0.001),
+            snapshot_seconds=120.0,
+        )
+        assert len(results) == 2
+        assert {r.configuration["q"] for r in results} == {0.8, 0.95}
+
+    def test_metrics_populated(self, design, small_topology):
+        results = run_study(
+            design,
+            flow_source(),
+            small_topology,
+            base_params=IPDParams(n_cidr_factor_v4=0.001),
+            snapshot_seconds=120.0,
+        )
+        for result in results:
+            assert not result.metrics.failed
+            assert result.metrics.accuracy > 0.5
+            assert result.metrics.max_state_size > 0
+            assert result.metrics.mean_sweep_seconds >= 0.0
+
+    def test_invalid_configuration_recorded_as_failure(self, small_topology):
+        design = FactorialDesign()
+        design.add_factor("q", [0.4, 0.95])  # 0.4 must fail validation
+        results = run_study(
+            design,
+            flow_source(),
+            small_topology,
+            base_params=IPDParams(n_cidr_factor_v4=0.001),
+        )
+        failed = [r for r in results if r.metrics.failed]
+        assert len(failed) == 1
+        assert failed[0].configuration["q"] == 0.4
+
+    def test_progress_callback(self, design, small_topology):
+        seen = []
+        run_study(
+            design,
+            flow_source(),
+            small_topology,
+            base_params=IPDParams(n_cidr_factor_v4=0.001),
+            progress=lambda i, total, config: seen.append((i, total)),
+        )
+        assert seen == [(0, 2), (1, 2)]
+
+    def test_accuracy_insensitive_to_q(self, design, small_topology):
+        """The paper's headline study finding, in miniature."""
+        results = run_study(
+            design,
+            flow_source(),
+            small_topology,
+            base_params=IPDParams(n_cidr_factor_v4=0.001),
+            snapshot_seconds=120.0,
+        )
+        accuracies = [r.metrics.accuracy for r in results]
+        assert max(accuracies) - min(accuracies) < 0.05

@@ -1,0 +1,109 @@
+"""Tests for the §5.8 operational dashboard."""
+
+import pytest
+
+from repro.core.iputil import Prefix
+from repro.core.output import IPDRecord
+from repro.reporting.dashboard import build_dashboard, render_dashboard
+from repro.topology.elements import IngressPoint
+from repro.workloads.address_space import AddressPlan
+
+A = IngressPoint("R1", "et0")       # PNI of AS100 in small_topology
+TRANSIT = IngressPoint("R3", "hu0")  # transit link of AS300
+PEER = IngressPoint("R2", "xe0")     # peering link of AS200
+
+
+def record(range_text: str, ingress: IngressPoint, ts: float = 600.0,
+           s_ipcount: float = 50.0, classified: bool = True) -> IPDRecord:
+    return IPDRecord(
+        timestamp=ts, range=Prefix.from_string(range_text), ingress=ingress,
+        s_ingress=1.0, s_ipcount=s_ipcount, n_cidr=2.0,
+        candidates=((ingress, s_ipcount),), classified=classified,
+    )
+
+
+@pytest.fixture
+def plan():
+    """AS100 owns 11.0.0.0/12 (has direct PNIs in small_topology)."""
+    return AddressPlan.build(
+        hypergiant_asns=(100,), peer_asns=(200, 300), tier1_asns=()
+    )
+
+
+class TestBuildDashboard:
+    def test_summary_counts(self, small_topology):
+        records = [
+            record("10.0.0.0/24", A),
+            record("10.0.1.0/24", A),
+            record("10.0.2.0/24", A, classified=False),
+        ]
+        data = build_dashboard(records, small_topology)
+        assert data.classified_v4 == 2
+        assert data.classified_v6 == 0
+        assert data.mapped_space_v4 == 512
+
+    def test_top_ranges_ordered(self, small_topology):
+        records = [
+            record("10.0.0.0/24", A, s_ipcount=10.0),
+            record("10.0.1.0/24", A, s_ipcount=99.0),
+        ]
+        data = build_dashboard(records, small_topology, top_n=1)
+        assert data.top_ranges == [("10.0.1.0/24", "R1.et0", 99.0)]
+
+    def test_changes_against_previous(self, small_topology):
+        previous = [record("10.0.0.0/24", A)]
+        current = [record("10.0.0.0/24", TRANSIT)]
+        data = build_dashboard(current, small_topology, previous=previous)
+        assert data.changes == [("10.0.0.0/24", "R1.et0", "R3.hu0")]
+
+    def test_same_router_not_a_change(self, small_topology):
+        previous = [record("10.0.0.0/24", A)]
+        current = [record("10.0.0.0/24", IngressPoint("R1", "et1"))]
+        data = build_dashboard(current, small_topology, previous=previous)
+        assert data.changes == []
+
+    def test_non_optimal_entry_flagged(self, small_topology, plan):
+        # AS100 has PNIs (L1/L2) but its space arrives on AS300's transit
+        inside = plan.profiles[100].blocks[0]
+        records = [record(f"{inside}", TRANSIT)]
+        data = build_dashboard(records, small_topology, plan=plan)
+        assert len(data.non_optimal) == 1
+        range_text, asn, link, link_class = data.non_optimal[0]
+        assert asn == 100
+        assert link_class == "transit"
+
+    def test_direct_entry_not_flagged(self, small_topology, plan):
+        inside = plan.profiles[100].blocks[0]
+        records = [record(f"{inside}", A)]
+        data = build_dashboard(records, small_topology, plan=plan)
+        assert data.non_optimal == []
+
+    def test_unconnected_as_never_flagged(self, small_topology):
+        plan = AddressPlan.build(
+            hypergiant_asns=(999,), peer_asns=(998,), tier1_asns=()
+        )
+        inside = plan.profiles[999].blocks[0]
+        records = [record(f"{inside}", TRANSIT)]
+        data = build_dashboard(records, small_topology, plan=plan)
+        assert data.non_optimal == []
+
+
+class TestRenderDashboard:
+    def test_render_contains_sections(self, small_topology, plan):
+        inside = plan.profiles[100].blocks[0]
+        previous = [record(f"{inside}", A)]
+        current = [record(f"{inside}", TRANSIT, s_ipcount=123.0)]
+        data = build_dashboard(
+            current, small_topology, previous=previous, plan=plan
+        )
+        text = render_dashboard(data)
+        assert "IPD dashboard" in text
+        assert "Top ranges" in text
+        assert "Ingress changes" in text
+        assert "NON-OPTIMAL ENTRIES" in text
+        assert "AS100" in text
+
+    def test_render_clean_network(self, small_topology):
+        data = build_dashboard([record("10.0.0.0/24", A)], small_topology)
+        text = render_dashboard(data)
+        assert "No non-optimal entries detected." in text

@@ -1,0 +1,67 @@
+"""Tests for reporting helpers (ECDF, tables)."""
+
+import pytest
+
+from repro.reporting.cdf import ECDF, fraction_below, quantile
+from repro.reporting.tables import render_series, render_table
+
+
+class TestECDF:
+    def test_at(self):
+        cdf = ECDF([1.0, 2.0, 3.0, 4.0])
+        assert cdf.at(0.5) == 0.0
+        assert cdf.at(2.0) == 0.5
+        assert cdf.at(10.0) == 1.0
+
+    def test_quantile(self):
+        cdf = ECDF(range(100))
+        assert cdf.quantile(0.0) == 0
+        assert cdf.quantile(0.5) == 50
+        assert cdf.quantile(1.0) == 99
+
+    def test_quantile_bounds(self):
+        with pytest.raises(ValueError):
+            ECDF([1.0]).quantile(1.5)
+
+    def test_series(self):
+        cdf = ECDF([1.0, 2.0, 3.0])
+        assert cdf.series([1.5, 2.5]) == [(1.5, pytest.approx(1 / 3)),
+                                          (2.5, pytest.approx(2 / 3))]
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            ECDF([])
+
+    def test_len(self):
+        assert len(ECDF([1, 2, 3])) == 3
+
+    def test_fraction_below(self):
+        assert fraction_below([1, 2, 3, 4], 3) == 0.5
+        with pytest.raises(ValueError):
+            fraction_below([], 1)
+
+    def test_quantile_helper(self):
+        assert quantile([5.0, 1.0, 3.0], 0.5) == 3.0
+
+
+class TestRenderTable:
+    def test_alignment_and_title(self):
+        text = render_table(
+            ["name", "value"],
+            [["alpha", 1], ["b", 22.5]],
+            title="Table X",
+        )
+        lines = text.splitlines()
+        assert lines[0] == "Table X"
+        assert "name" in lines[1]
+        assert "alpha" in lines[3]
+        assert "22.500" in lines[4]
+
+    def test_mismatched_row_rejected(self):
+        with pytest.raises(ValueError):
+            render_table(["a", "b"], [[1]])
+
+    def test_render_series(self):
+        text = render_series("accuracy", [(1, 0.9), (2, 0.95)], unit="%")
+        assert text.startswith("accuracy:")
+        assert "1=0.900 %" in text

@@ -1,0 +1,47 @@
+"""Tests for sparklines and bar charts."""
+
+from repro.reporting.sparkline import bar_chart, sparkline
+
+
+class TestSparkline:
+    def test_monotone_series(self):
+        line = sparkline([0, 1, 2, 3, 4, 5, 6, 7])
+        assert line == "▁▂▃▄▅▆▇█"
+
+    def test_flat_series(self):
+        assert sparkline([5, 5, 5]) == "▁▁▁"
+
+    def test_empty(self):
+        assert sparkline([]) == ""
+
+    def test_explicit_bounds(self):
+        half = sparkline([0.5], minimum=0.0, maximum=1.0)
+        assert half in "▃▄▅"
+
+    def test_values_clamped_to_bounds(self):
+        line = sparkline([-10, 100], minimum=0.0, maximum=1.0)
+        assert line == "▁█"
+
+    def test_length_matches_input(self):
+        assert len(sparkline(range(17))) == 17
+
+
+class TestBarChart:
+    def test_alignment_and_scaling(self):
+        chart = bar_chart([("a", 2.0), ("bb", 4.0)], width=4)
+        lines = chart.splitlines()
+        assert lines[0].startswith("a ")
+        assert "████" in lines[1]
+        assert "██" in lines[0]
+        assert lines[1].endswith("4")
+
+    def test_zero_peak(self):
+        chart = bar_chart([("a", 0.0)], width=10)
+        assert "█" not in chart
+
+    def test_empty(self):
+        assert bar_chart([]) == ""
+
+    def test_without_values(self):
+        chart = bar_chart([("x", 1.0)], width=3, show_values=False)
+        assert chart == "x  ███"

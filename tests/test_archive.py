@@ -1,0 +1,158 @@
+"""Tests for the longitudinal snapshot archive."""
+
+import gzip
+
+import pytest
+
+from repro.archive import SnapshotArchive
+from repro.core.iputil import Prefix
+from repro.core.output import IPDRecord
+from repro.topology.elements import IngressPoint
+
+A = IngressPoint("R1", "et0")
+B = IngressPoint("R2", "xe0")
+
+
+def record(range_text: str, ingress: IngressPoint = A,
+           ts: float = 0.0) -> IPDRecord:
+    return IPDRecord(
+        timestamp=ts, range=Prefix.from_string(range_text), ingress=ingress,
+        s_ingress=1.0, s_ipcount=10.0, n_cidr=2.0,
+        candidates=((ingress, 10.0),),
+    )
+
+
+class TestAppendAndLoad:
+    def test_roundtrip_single_snapshot(self, tmp_path):
+        archive = SnapshotArchive(tmp_path / "arch")
+        archive.append(300.0, [record("10.0.0.0/24")])
+        loaded = archive.load()
+        assert list(loaded) == [300.0]
+        assert str(loaded[300.0][0].range) == "10.0.0.0/24"
+        assert loaded[300.0][0].timestamp == 300.0
+
+    def test_restamps_records(self, tmp_path):
+        archive = SnapshotArchive(tmp_path / "arch")
+        archive.append(600.0, [record("10.0.0.0/24", ts=0.0)])
+        loaded = archive.load()
+        assert loaded[600.0][0].timestamp == 600.0
+
+    def test_multiple_snapshots_same_day(self, tmp_path):
+        archive = SnapshotArchive(tmp_path / "arch")
+        archive.append(300.0, [record("10.0.0.0/24")])
+        archive.append(600.0, [record("10.0.0.0/24", B),
+                               record("10.0.1.0/24")])
+        loaded = archive.load()
+        assert sorted(loaded) == [300.0, 600.0]
+        assert len(loaded[600.0]) == 2
+        assert loaded[600.0][0].ingress in (A, B)
+
+    def test_partitions_by_day(self, tmp_path):
+        archive = SnapshotArchive(tmp_path / "arch")
+        archive.append(300.0, [record("10.0.0.0/24")])
+        archive.append(90_000.0, [record("10.0.0.0/24")])  # next day
+        partitions = list((tmp_path / "arch").glob("day-*.csv.gz"))
+        assert len(partitions) == 2
+
+    def test_out_of_order_append_rejected(self, tmp_path):
+        archive = SnapshotArchive(tmp_path / "arch")
+        archive.append(600.0, [record("10.0.0.0/24")])
+        with pytest.raises(ValueError):
+            archive.append(300.0, [record("10.0.0.0/24")])
+
+    def test_append_run(self, tmp_path):
+        archive = SnapshotArchive(tmp_path / "arch")
+        run = {
+            300.0: [record("10.0.0.0/24")],
+            600.0: [record("10.0.1.0/24")],
+        }
+        assert archive.append_run(run) == 2
+        assert archive.snapshot_times() == [300.0, 600.0]
+
+
+class TestQueries:
+    @pytest.fixture
+    def archive(self, tmp_path):
+        archive = SnapshotArchive(tmp_path / "arch")
+        for index in range(6):
+            archive.append(
+                index * 43_200.0 + 300.0,  # two snapshots per day
+                [record("10.0.0.0/24"), record("20.0.0.0/16", B)],
+            )
+        return archive
+
+    def test_time_range_query(self, archive):
+        loaded = archive.load(start=43_200.0, end=130_000.0)
+        assert sorted(loaded) == [43_500.0, 86_700.0, 129_900.0]
+
+    def test_prefix_filter(self, archive):
+        results = list(archive.snapshots(
+            prefix_filter=Prefix.from_string("20.0.0.0/8")
+        ))
+        assert results
+        for __, records in results:
+            assert all(str(r.range) == "20.0.0.0/16" for r in records)
+
+    def test_prefix_filter_matches_finer_query(self, archive):
+        results = list(archive.snapshots(
+            prefix_filter=Prefix.from_string("20.0.5.0/24")
+        ))
+        assert all(
+            str(r.range) == "20.0.0.0/16" for __, records in results
+            for r in records
+        )
+
+    def test_stats(self, archive):
+        stats = archive.stats()
+        assert stats.snapshots == 6
+        assert stats.records == 12
+        assert stats.days == 3
+        assert stats.compressed_bytes > 0
+
+
+class TestPersistence:
+    def test_reopen_preserves_index(self, tmp_path):
+        root = tmp_path / "arch"
+        first = SnapshotArchive(root)
+        first.append(300.0, [record("10.0.0.0/24")])
+        second = SnapshotArchive(root)
+        assert second.snapshot_times() == [300.0]
+        second.append(600.0, [record("10.0.1.0/24")])
+        assert len(second.load()) == 2
+
+    def test_partition_is_valid_gzip_csv(self, tmp_path):
+        root = tmp_path / "arch"
+        archive = SnapshotArchive(root)
+        archive.append(300.0, [record("10.0.0.0/24")])
+        archive.append(600.0, [record("10.0.1.0/24")])
+        partition = next(root.glob("day-*.csv.gz"))
+        with gzip.open(partition, "rt") as stream:
+            lines = stream.read().strip().splitlines()
+        assert lines[0].startswith("timestamp,")
+        assert len(lines) == 3  # header + 2 records
+
+
+class TestEndToEnd:
+    def test_run_archive_analyze(self, tmp_path):
+        """IPD run -> archive -> reload -> stability analysis."""
+        from repro.analysis.stability import stability_durations
+        from repro.core.driver import OfflineDriver
+        from repro.core.iputil import parse_ip
+        from repro.core.params import IPDParams
+        from repro.netflow.records import FlowRecord
+
+        base = parse_ip("10.0.0.0")[0]
+        flows = [
+            FlowRecord(timestamp=bucket * 60.0 + i, src_ip=base + i * 16,
+                       version=4, ingress=A)
+            for bucket in range(20) for i in range(40)
+        ]
+        result = OfflineDriver(
+            IPDParams(n_cidr_factor_v4=0.001, n_cidr_factor_v6=0.001)
+        ).run(flows)
+        archive = SnapshotArchive(tmp_path / "arch")
+        archive.append_run(result.snapshots)
+        reloaded = archive.load()
+        durations = stability_durations(reloaded)
+        assert durations
+        assert max(durations) > 0

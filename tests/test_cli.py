@@ -1,0 +1,146 @@
+"""Tests for the command-line interface."""
+
+import io
+import contextlib
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.core.iputil import IPV4, parse_ip
+from repro.netflow.records import FlowRecord, write_flows_csv
+from repro.topology.elements import IngressPoint
+
+A = IngressPoint("R1", "et0")
+B = IngressPoint("R2", "et0")
+
+
+@pytest.fixture
+def flow_csv(tmp_path):
+    """A small two-ingress trace: 20 minutes, two regions.
+
+    Two distinct ingresses force the trie to split, so address space
+    without traffic (e.g. 203.0.113.0/24) stays unmapped.
+    """
+    flows = []
+    for bucket in range(20):
+        for index in range(50):
+            ts = bucket * 60.0 + index
+            flows.append(FlowRecord(
+                timestamp=ts,
+                src_ip=parse_ip("10.0.0.0")[0] + (index % 32) * 16,
+                version=IPV4,
+                ingress=A,
+            ))
+            flows.append(FlowRecord(
+                timestamp=ts,
+                src_ip=parse_ip("100.0.0.0")[0] + (index % 32) * 16,
+                version=IPV4,
+                ingress=B,
+            ))
+    path = tmp_path / "flows.csv"
+    with open(path, "w") as stream:
+        write_flows_csv(flows, stream)
+    return path
+
+
+def run_cli(*argv) -> tuple[int, str]:
+    buffer = io.StringIO()
+    with contextlib.redirect_stdout(buffer):
+        status = main([str(arg) for arg in argv])
+    return status, buffer.getvalue()
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_known_commands(self):
+        parser = build_parser()
+        for command in ("run", "lookup", "simulate", "evaluate"):
+            assert command in parser.format_help()
+
+
+class TestRunCommand:
+    def test_run_produces_records(self, flow_csv, tmp_path):
+        output = tmp_path / "records.csv"
+        status, text = run_cli(
+            "run", flow_csv, output, "--n-cidr-factor", "0.01"
+        )
+        assert status == 0
+        assert "processed 2,000 flows" in text
+        content = output.read_text()
+        assert "R1.et0" in content
+
+    def test_lookup_after_run(self, flow_csv, tmp_path):
+        output = tmp_path / "records.csv"
+        run_cli("run", flow_csv, output, "--n-cidr-factor", "0.01")
+        status, text = run_cli("lookup", output, "10.0.0.5")
+        assert status == 0
+        assert "R1.et0" in text
+
+    def test_lookup_unmapped_sets_status(self, flow_csv, tmp_path):
+        output = tmp_path / "records.csv"
+        run_cli("run", flow_csv, output, "--n-cidr-factor", "0.01")
+        status, text = run_cli("lookup", output, "203.0.113.9")
+        assert status == 1
+        assert "not mapped" in text
+
+    def test_evaluate_roundtrip(self, flow_csv, tmp_path):
+        output = tmp_path / "records.csv"
+        run_cli("run", flow_csv, output, "--n-cidr-factor", "0.01")
+        status, text = run_cli("evaluate", output, flow_csv)
+        assert status == 0
+        assert "correct:" in text
+
+    def test_evaluate_empty_flows(self, tmp_path, flow_csv):
+        records = tmp_path / "records.csv"
+        run_cli("run", flow_csv, records, "--n-cidr-factor", "0.01")
+        empty = tmp_path / "empty.csv"
+        empty.write_text("")
+        status, __ = run_cli("evaluate", records, empty)
+        assert status == 1
+
+
+class TestSimulateCommand:
+    def test_simulate_writes_flows(self, tmp_path):
+        output = tmp_path / "sim.csv"
+        status, text = run_cli(
+            "simulate", output, "--hours", "0.05", "--flows-per-minute", "300"
+        )
+        assert status == 0
+        assert output.exists()
+        assert "suggested IPD scaling" in text
+
+
+class TestArchiveCommand:
+    def test_ingest_and_stats(self, flow_csv, tmp_path):
+        records = tmp_path / "records.csv"
+        run_cli("run", flow_csv, records, "--n-cidr-factor", "0.01")
+        root = tmp_path / "arch"
+        status, text = run_cli("archive", root, "ingest", "--records", records)
+        assert status == 0
+        assert "archived" in text
+        status, text = run_cli("archive", root, "stats")
+        assert status == 0
+        assert "snapshots: 1" in text
+
+    def test_ingest_requires_records(self, tmp_path):
+        status, __ = run_cli("archive", tmp_path / "arch", "ingest")
+        assert status == 2
+
+
+class TestWatchCommand:
+    def test_watch_prints_trajectory(self, flow_csv, tmp_path):
+        records = tmp_path / "records.csv"
+        run_cli("run", flow_csv, records, "--n-cidr-factor", "0.01")
+        root = tmp_path / "arch"
+        run_cli("archive", root, "ingest", "--records", records)
+        status, text = run_cli("watch", root, "10.0.0.0/24")
+        assert status == 0
+        assert "classified" in text
+        assert "confidence:" in text
+
+    def test_watch_empty_archive(self, tmp_path):
+        status, __ = run_cli("watch", tmp_path / "empty", "10.0.0.0/24")
+        assert status == 1

@@ -1,0 +1,78 @@
+"""Tests for the synthetic tier-1 topology generator."""
+
+from repro.topology.elements import LinkType
+from repro.topology.generator import TopologySpec, generate_topology
+
+
+class TestGenerateTopology:
+    def test_structure_counts(self):
+        spec = TopologySpec(n_countries=3, pops_per_country=2, routers_per_pop=2)
+        topo = generate_topology(spec)
+        assert len(topo.countries) == 3
+        assert len(topo.pops) == 6
+        assert len(topo.routers) == 12
+
+    def test_deterministic_per_seed(self):
+        first = generate_topology(TopologySpec(seed=42))
+        second = generate_topology(TopologySpec(seed=42))
+        assert set(first.links) == set(second.links)
+        assert {
+            (l.link_id, l.neighbor_asn, l.router) for l in first.links.values()
+        } == {
+            (l.link_id, l.neighbor_asn, l.router) for l in second.links.values()
+        }
+
+    def test_different_seeds_differ(self):
+        first = generate_topology(TopologySpec(seed=1))
+        second = generate_topology(TopologySpec(seed=2))
+        fingerprint = lambda topo: {  # noqa: E731
+            (l.link_id, l.router) for l in topo.links.values()
+        }
+        assert fingerprint(first) != fingerprint(second)
+
+    def test_hypergiants_have_pni_per_country(self):
+        spec = TopologySpec()
+        topo = generate_topology(spec)
+        for asn in spec.hypergiant_asns:
+            links = topo.links_to_asn(asn)
+            assert len(links) == spec.n_countries
+            assert all(link.link_type is LinkType.PNI for link in links)
+            countries = {topo.country_of_router(link.router) for link in links}
+            assert len(countries) == spec.n_countries
+
+    def test_some_hypergiant_links_are_lags(self):
+        spec = TopologySpec(lag_probability=1.0, seed=3)
+        topo = generate_topology(spec)
+        for asn in spec.hypergiant_asns:
+            assert all(
+                len(link.interfaces) >= 2 for link in topo.links_to_asn(asn)
+            )
+
+    def test_peers_single_link(self):
+        spec = TopologySpec()
+        topo = generate_topology(spec)
+        for asn in spec.peer_asns:
+            links = topo.links_to_asn(asn)
+            assert len(links) == 1
+            assert links[0].link_type is LinkType.PUBLIC_PEERING
+
+    def test_transit_in_two_countries(self):
+        spec = TopologySpec()
+        topo = generate_topology(spec)
+        for asn in spec.transit_asns:
+            links = topo.links_to_asn(asn)
+            assert len(links) == 2
+            countries = {topo.country_of_router(link.router) for link in links}
+            assert len(countries) == 2
+
+    def test_validates_clean(self):
+        generate_topology(TopologySpec()).validate()
+
+    def test_no_interface_collisions(self):
+        topo = generate_topology(TopologySpec(seed=99))
+        seen = set()
+        for link in topo.links.values():
+            for iface in link.interfaces:
+                key = (iface.router, iface.name)
+                assert key not in seen
+                seen.add(key)

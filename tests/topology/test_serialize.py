@@ -1,0 +1,77 @@
+"""Tests for topology JSON import/export."""
+
+import io
+
+import pytest
+
+from repro.topology.elements import LinkType
+from repro.topology.generator import TopologySpec, generate_topology
+from repro.topology.serialize import (
+    load_topology,
+    save_topology,
+    topology_from_dict,
+    topology_to_dict,
+)
+
+
+class TestRoundTrip:
+    def test_small_topology_roundtrip(self, small_topology):
+        data = topology_to_dict(small_topology)
+        rebuilt = topology_from_dict(data)
+        assert rebuilt.asn == small_topology.asn
+        assert set(rebuilt.routers) == set(small_topology.routers)
+        assert set(rebuilt.links) == set(small_topology.links)
+        original_link = small_topology.links["L1"]
+        rebuilt_link = rebuilt.links["L1"]
+        assert rebuilt_link.link_type is original_link.link_type
+        assert [i.name for i in rebuilt_link.interfaces] == [
+            i.name for i in original_link.interfaces
+        ]
+
+    def test_generated_topology_roundtrip(self):
+        original = generate_topology(TopologySpec(seed=3))
+        rebuilt = topology_from_dict(topology_to_dict(original))
+        assert set(rebuilt.links) == set(original.links)
+        assert {
+            (r.name, r.pop) for r in rebuilt.routers.values()
+        } == {(r.name, r.pop) for r in original.routers.values()}
+
+    def test_file_roundtrip(self, small_topology, tmp_path):
+        path = tmp_path / "topology.json"
+        save_topology(small_topology, path)
+        rebuilt = load_topology(path)
+        assert set(rebuilt.routers) == set(small_topology.routers)
+
+    def test_stream_roundtrip(self, small_topology):
+        buffer = io.StringIO()
+        save_topology(small_topology, buffer)
+        buffer.seek(0)
+        rebuilt = load_topology(buffer)
+        assert rebuilt.asn == small_topology.asn
+
+
+class TestValidation:
+    def test_missing_field_rejected(self):
+        with pytest.raises(ValueError):
+            topology_from_dict({"countries": []})
+
+    def test_unknown_link_type_rejected(self, small_topology):
+        data = topology_to_dict(small_topology)
+        data["links"][0]["type"] = "quantum"
+        with pytest.raises(ValueError):
+            topology_from_dict(data)
+
+    def test_dangling_router_rejected(self, small_topology):
+        data = topology_to_dict(small_topology)
+        data["routers"][0]["pop"] = "nowhere"
+        with pytest.raises(KeyError):
+            topology_from_dict(data)
+
+    def test_miss_taxonomy_survives_roundtrip(self, small_topology):
+        from repro.topology.elements import IngressPoint
+        from repro.topology.network import MissKind
+
+        rebuilt = topology_from_dict(topology_to_dict(small_topology))
+        predicted = IngressPoint("R1", "et0")
+        actual = IngressPoint("R4", "et0")
+        assert rebuilt.classify_miss(predicted, actual) == MissKind.POP

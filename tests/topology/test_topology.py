@@ -1,0 +1,147 @@
+"""Tests for topology elements, the ISP container and miss taxonomy."""
+
+import pytest
+
+from repro.topology.elements import IngressPoint, Interface, Link, LinkType
+from repro.topology.network import ISPTopology, MissKind
+
+
+class TestIngressPoint:
+    def test_plain(self):
+        point = IngressPoint("R1", "et0")
+        assert not point.is_bundle
+        assert point.interfaces() == ("et0",)
+        assert str(point) == "R1.et0"
+
+    def test_bundle(self):
+        point = IngressPoint("R1", "et0+et1")
+        assert point.is_bundle
+        assert point.interfaces() == ("et0", "et1")
+
+    def test_hashable(self):
+        assert len({IngressPoint("R1", "et0"), IngressPoint("R1", "et0")}) == 1
+
+
+class TestLink:
+    def test_link_must_stay_on_one_router(self):
+        interfaces = (
+            Interface("et0", "R1", "L1"),
+            Interface("et1", "R2", "L1"),
+        )
+        with pytest.raises(ValueError):
+            Link("L1", 100, LinkType.PNI, interfaces)
+
+    def test_router_property(self):
+        link = Link("L1", 100, LinkType.PNI, (Interface("et0", "R1", "L1"),))
+        assert link.router == "R1"
+
+    def test_empty_link_router_raises(self):
+        link = Link("L1", 100, LinkType.PNI, ())
+        with pytest.raises(ValueError):
+            __ = link.router
+
+
+class TestTopologyConstruction:
+    def test_hierarchy_validation(self, small_topology):
+        small_topology.validate()
+
+    def test_unknown_country_rejected(self):
+        topo = ISPTopology(asn=1)
+        with pytest.raises(KeyError):
+            topo.add_pop("P1", "nowhere")
+
+    def test_unknown_pop_rejected(self):
+        topo = ISPTopology(asn=1)
+        with pytest.raises(KeyError):
+            topo.add_router("R1", "nowhere")
+
+    def test_unknown_router_rejected(self):
+        topo = ISPTopology(asn=1)
+        with pytest.raises(KeyError):
+            topo.add_link("L1", 100, LinkType.PNI, "R1", ["et0"])
+
+    def test_duplicate_interface_rejected(self, small_topology):
+        with pytest.raises(ValueError):
+            small_topology.add_link("L9", 1, LinkType.PNI, "R1", ["et0"])
+
+    def test_link_needs_interfaces(self, small_topology):
+        with pytest.raises(ValueError):
+            small_topology.add_link("L9", 1, LinkType.PNI, "R1", [])
+
+
+class TestTopologyQueries:
+    def test_interface_lookup(self, small_topology):
+        iface = small_topology.interface("R1", "et0")
+        assert iface.link_id == "L1"
+
+    def test_ingress_points(self, small_topology):
+        points = small_topology.ingress_points()
+        assert IngressPoint("R1", "et0") in points
+        assert len(points) == 6
+
+    def test_pop_and_country_of_router(self, small_topology):
+        assert small_topology.pop_of_router("R1") == "C1-POP1"
+        assert small_topology.country_of_router("R4") == "C2"
+
+    def test_links_to_asn(self, small_topology):
+        links = small_topology.links_to_asn(100)
+        assert {link.link_id for link in links} == {"L1", "L2"}
+
+    def test_peering_links_filter(self, small_topology):
+        peering = small_topology.peering_links_to_asn(200)
+        assert [link.link_id for link in peering] == ["L3"]
+        assert small_topology.peering_links_to_asn(300) == []
+
+    def test_link_of_ingress(self, small_topology):
+        link = small_topology.link_of_ingress(IngressPoint("R1", "et1"))
+        assert link.link_id == "L1"
+
+    def test_link_of_bundle_ingress(self, small_topology):
+        link = small_topology.link_of_ingress(IngressPoint("R1", "et0+et1"))
+        assert link.link_id == "L1"
+
+
+class TestMissTaxonomy:
+    def test_exact_match_correct(self, small_topology):
+        point = IngressPoint("R1", "et0")
+        assert small_topology.classify_miss(point, point) == MissKind.CORRECT
+
+    def test_bundle_member_correct(self, small_topology):
+        bundle = IngressPoint("R1", "et0+et1")
+        actual = IngressPoint("R1", "et1")
+        assert small_topology.classify_miss(bundle, actual) == MissKind.CORRECT
+
+    def test_interface_miss(self, small_topology):
+        predicted = IngressPoint("R1", "et0")
+        actual = IngressPoint("R1", "et1")
+        assert small_topology.classify_miss(predicted, actual) == MissKind.INTERFACE
+
+    def test_router_miss_same_pop(self, small_topology):
+        predicted = IngressPoint("R1", "et0")
+        actual = IngressPoint("R2", "xe0")
+        assert small_topology.classify_miss(predicted, actual) == MissKind.ROUTER
+
+    def test_pop_miss_other_site(self, small_topology):
+        predicted = IngressPoint("R1", "et0")
+        actual = IngressPoint("R3", "hu0")
+        assert small_topology.classify_miss(predicted, actual) == MissKind.POP
+
+    def test_pop_miss_other_country(self, small_topology):
+        predicted = IngressPoint("R1", "et0")
+        actual = IngressPoint("R4", "et0")
+        assert small_topology.classify_miss(predicted, actual) == MissKind.POP
+
+
+class TestGraphView:
+    def test_graph_nodes_and_edges(self, small_topology):
+        graph = small_topology.to_graph()
+        assert graph.nodes["R1"]["kind"] == "router"
+        assert graph.nodes["AS100"]["kind"] == "neighbor_as"
+        assert graph.has_edge("R1", "AS100")
+        edge = graph.edges["R1", "AS100"]
+        assert edge["link_type"] == "pni"
+        assert edge["interfaces"] == 2
+
+    def test_router_attributes(self, small_topology):
+        graph = small_topology.to_graph()
+        assert graph.nodes["R4"]["country"] == "C2"

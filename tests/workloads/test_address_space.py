@@ -1,0 +1,106 @@
+"""Tests for address-plan allocation and Zipf calibration."""
+
+import pytest
+
+from repro.core.iputil import IPV4
+from repro.workloads.address_space import (
+    AddressPlan,
+    calibrate_zipf_exponent,
+    zipf_weights,
+)
+
+HYPERGIANTS = (15169, 16509, 32934, 2906, 20940)
+PEERS = tuple(range(64500, 64520))
+TIER1 = (174, 3356, 1299)
+
+
+class TestZipf:
+    def test_weights_normalized(self):
+        weights = zipf_weights(10, 1.0)
+        assert sum(weights) == pytest.approx(1.0)
+
+    def test_weights_decreasing(self):
+        weights = zipf_weights(10, 1.2)
+        assert weights == sorted(weights, reverse=True)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            zipf_weights(0, 1.0)
+
+    def test_calibration_hits_target(self):
+        exponent = calibrate_zipf_exponent(30, top_n=5, target_share=0.52)
+        weights = zipf_weights(30, exponent)
+        assert sum(weights[:5]) == pytest.approx(0.52, abs=0.01)
+
+    def test_calibration_validates(self):
+        with pytest.raises(ValueError):
+            calibrate_zipf_exponent(10, top_n=10)
+        with pytest.raises(ValueError):
+            calibrate_zipf_exponent(10, target_share=1.5)
+
+
+class TestAddressPlan:
+    @pytest.fixture(scope="class")
+    def plan(self) -> AddressPlan:
+        return AddressPlan.build(
+            hypergiant_asns=HYPERGIANTS, peer_asns=PEERS, tier1_asns=TIER1
+        )
+
+    def test_all_ases_present(self, plan):
+        assert set(HYPERGIANTS) <= set(plan.profiles)
+        assert set(PEERS) <= set(plan.profiles)
+        assert set(TIER1) <= set(plan.profiles)
+
+    def test_blocks_disjoint(self, plan):
+        blocks = [block for __, block in plan.blocks(IPV4)]
+        intervals = sorted(
+            (block.value, block.value + block.num_addresses) for block in blocks
+        )
+        for (__, end), (start, __) in zip(intervals, intervals[1:]):
+            assert end <= start
+
+    def test_top5_share_calibrated(self, plan):
+        assert plan.top_share(5) == pytest.approx(0.52, abs=0.01)
+
+    def test_hypergiants_are_top_ranked(self, plan):
+        assert set(plan.top_asns(5)) == set(HYPERGIANTS)
+
+    def test_hypergiants_get_more_blocks(self, plan):
+        hyper_blocks = len(plan.profiles[HYPERGIANTS[0]].blocks)
+        peer_blocks = len(plan.profiles[PEERS[0]].blocks)
+        assert hyper_blocks > peer_blocks
+
+    def test_flags(self, plan):
+        assert plan.profiles[HYPERGIANTS[0]].is_hypergiant
+        assert plan.profiles[TIER1[0]].is_tier1
+        assert not plan.profiles[PEERS[0]].is_tier1
+        # first two hypergiants default to CDN behaviour
+        assert plan.profiles[HYPERGIANTS[0]].is_cdn
+
+    def test_owner_of(self, plan):
+        profile = plan.profiles[HYPERGIANTS[0]]
+        inside = profile.blocks[0].value + 5
+        assert plan.owner_of(inside) == HYPERGIANTS[0]
+        assert plan.owner_of(1) is None  # 0.0.0.1 unallocated
+
+    def test_total_addresses(self, plan):
+        profile = plan.profiles[PEERS[0]]
+        assert profile.total_addresses() == sum(
+            block.num_addresses for block in profile.blocks
+        )
+
+    def test_ipv6_opt_in(self):
+        plan = AddressPlan.build(
+            hypergiant_asns=HYPERGIANTS[:2],
+            peer_asns=PEERS[:2],
+            include_ipv6=True,
+        )
+        v6_blocks = [b for __, b in plan.blocks(6)]
+        assert len(v6_blocks) == 4
+        assert all(block.masklen == 40 for block in v6_blocks)
+        # disjoint /40s
+        spans = sorted(
+            (b.value, b.value + b.num_addresses) for b in v6_blocks
+        )
+        for (__, end), (start, __) in zip(spans, spans[1:]):
+            assert end <= start

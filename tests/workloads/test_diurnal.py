@@ -1,0 +1,49 @@
+"""Tests for the diurnal load model."""
+
+import pytest
+
+from repro.workloads.diurnal import DiurnalModel, hour_of_day
+
+
+class TestHourOfDay:
+    def test_midnight(self):
+        assert hour_of_day(0.0) == 0.0
+
+    def test_evening(self):
+        assert hour_of_day(20 * 3600.0) == 20.0
+
+    def test_wraps_across_days(self):
+        assert hour_of_day(86_400.0 + 3 * 3600.0) == 3.0
+
+
+class TestDiurnalModel:
+    def test_peak_at_peak_hour(self):
+        model = DiurnalModel(peak_hour=20.0, trough_ratio=0.25)
+        assert model.factor(20 * 3600.0) == pytest.approx(1.0)
+
+    def test_trough_opposite_peak(self):
+        model = DiurnalModel(peak_hour=20.0, trough_ratio=0.25)
+        assert model.factor(8 * 3600.0) == pytest.approx(0.25)
+
+    def test_bounded(self):
+        model = DiurnalModel(trough_ratio=0.3)
+        for hour in range(24):
+            factor = model.factor(hour * 3600.0)
+            assert 0.3 <= factor <= 1.0 + 1e-9
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DiurnalModel(trough_ratio=1.5)
+        with pytest.raises(ValueError):
+            DiurnalModel(peak_hour=24.0)
+
+    def test_change_rate_zero_at_extremes(self):
+        model = DiurnalModel(peak_hour=20.0)
+        assert model.change_rate(20 * 3600.0) == pytest.approx(0.0, abs=1e-9)
+        assert model.change_rate(8 * 3600.0) == pytest.approx(0.0, abs=1e-9)
+
+    def test_change_rate_maximal_between(self):
+        model = DiurnalModel(peak_hour=20.0)
+        mid_ramp = model.change_rate(14 * 3600.0)
+        near_peak = model.change_rate(19 * 3600.0)
+        assert mid_ramp > near_peak

@@ -1,0 +1,126 @@
+"""Tests for operational event injection."""
+
+import random
+
+import pytest
+
+from repro.core.iputil import IPV4, Prefix, parse_ip
+from repro.topology.elements import IngressPoint
+from repro.workloads.events import (
+    EventSchedule,
+    LoadBalanceEvent,
+    MaintenanceEvent,
+    RemapEvent,
+    same_pop_fallback,
+)
+
+A = IngressPoint("R1", "et0")
+A2 = IngressPoint("R1", "et1")
+B = IngressPoint("R4", "et0")
+
+
+def ip(text: str) -> int:
+    return parse_ip(text)[0]
+
+
+class TestMaintenanceEvent:
+    def make(self, interface=None) -> MaintenanceEvent:
+        return MaintenanceEvent(
+            router="R1", start=100.0, end=200.0, fallback=A2, interface=interface
+        )
+
+    def test_applies_in_window_on_router(self):
+        event = self.make()
+        assert event.applies(150.0, A)
+        assert not event.applies(99.0, A)
+        assert not event.applies(200.0, A)  # end exclusive
+        assert not event.applies(150.0, B)
+
+    def test_interface_scoping(self):
+        event = self.make(interface="et0")
+        assert event.applies(150.0, A)
+        assert not event.applies(150.0, A2)
+
+
+class TestRemapEvent:
+    def test_prefix_and_window(self):
+        event = RemapEvent(
+            prefix=Prefix.from_string("10.0.0.0/8"),
+            start=0.0, end=100.0, new_ingress=B,
+        )
+        assert event.applies(50.0, ip("10.1.2.3"), IPV4)
+        assert not event.applies(150.0, ip("10.1.2.3"), IPV4)
+        assert not event.applies(50.0, ip("11.0.0.1"), IPV4)
+        assert not event.applies(50.0, ip("10.1.2.3"), 6)
+
+
+class TestSchedule:
+    def test_rewrite_applies_maintenance(self):
+        schedule = EventSchedule()
+        schedule.add(MaintenanceEvent("R1", 0.0, 100.0, fallback=A2))
+        rng = random.Random(1)
+        assert schedule.rewrite(50.0, ip("10.0.0.1"), IPV4, A, rng) == A2
+        assert schedule.rewrite(150.0, ip("10.0.0.1"), IPV4, A, rng) == A
+
+    def test_rewrite_applies_remap(self):
+        schedule = EventSchedule()
+        schedule.add(
+            RemapEvent(Prefix.from_string("10.0.0.0/8"), 0.0, 100.0, B)
+        )
+        rng = random.Random(1)
+        assert schedule.rewrite(10.0, ip("10.5.5.5"), IPV4, A, rng) == B
+        assert schedule.rewrite(10.0, ip("11.5.5.5"), IPV4, A, rng) == A
+
+    def test_load_balancing_wins(self):
+        schedule = EventSchedule()
+        schedule.add(
+            RemapEvent(Prefix.from_string("10.0.0.0/8"), 0.0, 100.0, B)
+        )
+        schedule.add(
+            LoadBalanceEvent(
+                Prefix.from_string("10.0.0.0/8"), 0.0, 100.0, choices=(A, A2)
+            )
+        )
+        rng = random.Random(1)
+        results = {
+            schedule.rewrite(10.0, ip("10.5.5.5"), IPV4, B, rng)
+            for __ in range(50)
+        }
+        assert results == {A, A2}
+
+    def test_load_balance_splits_roughly_evenly(self):
+        schedule = EventSchedule()
+        schedule.add(
+            LoadBalanceEvent(
+                Prefix.from_string("10.0.0.0/8"), 0.0, 1e9, choices=(A, B)
+            )
+        )
+        rng = random.Random(2)
+        picks = [
+            schedule.rewrite(1.0, ip("10.0.0.1"), IPV4, A, rng) for __ in range(2000)
+        ]
+        share = picks.count(A) / len(picks)
+        assert 0.45 < share < 0.55
+
+    def test_unknown_event_type_rejected(self):
+        with pytest.raises(TypeError):
+            EventSchedule().add("not an event")
+
+    def test_is_empty(self):
+        schedule = EventSchedule()
+        assert schedule.is_empty()
+        schedule.add(MaintenanceEvent("R1", 0.0, 1.0, fallback=A2))
+        assert not schedule.is_empty()
+
+
+class TestSamePopFallback:
+    def test_finds_other_router_in_pop(self, small_topology):
+        fallback = same_pop_fallback(small_topology, "R1")
+        assert fallback is not None
+        assert fallback.router == "R2"
+
+    def test_none_when_isolated(self, small_topology):
+        assert same_pop_fallback(small_topology, "R3") is None
+
+    def test_respects_exclusions(self, small_topology):
+        assert same_pop_fallback(small_topology, "R1", exclude=["R2"]) is None

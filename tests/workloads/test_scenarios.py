@@ -1,0 +1,184 @@
+"""Tests for the canned experiment scenarios."""
+
+import pytest
+
+from repro.core.params import IPDParams
+from repro.workloads.scenarios import (
+    SCALED_PARAMS,
+    default_scenario,
+    events_scenario,
+    load_balancing_scenario,
+    longitudinal_scenario,
+    reaction_scenario,
+    violations_scenario,
+)
+
+
+class TestDefaultScenario:
+    @pytest.fixture(scope="class")
+    def scenario(self):
+        # thresholds scaled down with the reduced test traffic volume
+        return default_scenario(
+            duration_hours=1.0,
+            flows_per_bucket_peak=500,
+            params=IPDParams(n_cidr_factor_v4=0.01, n_cidr_factor_v6=0.01),
+        )
+
+    def test_reproducible_flows(self, scenario):
+        first = list(scenario.generator().flows())
+        second = list(scenario.generator().flows())
+        assert first == second
+
+    def test_groups_definition(self, scenario):
+        groups = scenario.groups()
+        assert len(groups["TOP5"]) == 5
+        assert groups["TOP5"] <= groups["TOP20"]
+
+    def test_tier1_asns_present(self, scenario):
+        assert len(scenario.tier1_asns()) >= 3
+
+    def test_bgp_table_consistent(self, scenario):
+        table = scenario.bgp_table()
+        asn_of = scenario.asn_of()
+        for prefix in list(table.prefixes())[:50]:
+            assert table.origin_of(prefix) == asn_of(prefix.value)
+
+    def test_run_produces_snapshots(self, scenario):
+        flows, result = scenario.run()
+        assert result.flows_processed == len(flows)
+        assert result.snapshots
+        assert result.final_snapshot()
+
+    def test_scaled_params_default(self):
+        assert default_scenario(duration_hours=1.0).params == SCALED_PARAMS
+
+
+class TestEventScenarios:
+    def test_events_scenario_has_all_three_causes(self):
+        scenario = events_scenario(duration_hours=24.0)
+        assert scenario.events.maintenance
+        assert scenario.events.remaps
+
+    def test_reaction_scenario_schedules_switch(self):
+        scenario = reaction_scenario()
+        assert len(scenario.events.remaps) == 1
+        remap = scenario.events.remaps[0]
+        assert remap.start == pytest.approx(36.0 * 3600.0)
+
+    def test_load_balancing_scenario_splits_prefix(self):
+        scenario = load_balancing_scenario(duration_hours=0.5)
+        event = scenario.events.load_balancing[0]
+        routers = {point.router for point in event.choices}
+        assert len(routers) == 2
+
+
+class TestLongitudinalScenarios:
+    def test_longitudinal_restricted_to_window(self):
+        scenario = longitudinal_scenario(days=2, flows_per_bucket_peak=300)
+        for flow in scenario.generator().flows():
+            hour = (flow.timestamp % 86_400.0) / 3600.0
+            assert 19.0 <= hour < 21.1
+
+    def test_violations_scenario_has_trend(self):
+        scenario = violations_scenario(days=3, flows_per_bucket_peak=300)
+        assert scenario.traffic_config.violation_base > 0
+        assert scenario.traffic_config.violation_growth_per_day > 0
+
+
+class TestLoadBalancingFailure:
+    def test_balanced_prefix_never_classified(self):
+        """§5.8: router-level load balancing defeats classification.
+
+        A prefix whose flows split ~50/50 over two *routers* must stay
+        unclassified at every granularity (bundling only merges
+        interfaces of one router).
+        """
+        import random
+
+        from repro.core.algorithm import IPD
+        from repro.core.iputil import parse_ip
+        from repro.netflow.records import FlowRecord
+        from repro.topology.elements import IngressPoint
+
+        ipd = IPD(IPDParams(n_cidr_factor_v4=0.05, n_cidr_factor_v6=0.05))
+        routers = (IngressPoint("R1", "et0"), IngressPoint("R2", "et0"))
+        rng = random.Random(3)
+        base = parse_ip("10.0.0.0")[0]
+        now = 0.0
+        for __ in range(40):
+            for index in range(120):
+                ipd.ingest(
+                    FlowRecord(
+                        timestamp=now + index * 0.5,
+                        src_ip=base + (index % 32) * 16,  # one /23 of /28s
+                        version=4,
+                        ingress=rng.choice(routers),
+                    )
+                )
+            now += 60.0
+            ipd.sweep(now)
+            for record in ipd.snapshot(now):
+                assert record.s_ingress < 0.95, (
+                    f"balanced range {record.range} classified to "
+                    f"{record.ingress}"
+                )
+
+    def test_scenario_event_spans_two_routers(self):
+        scenario = load_balancing_scenario(duration_hours=0.5)
+        event = scenario.events.load_balancing[0]
+        assert len({point.router for point in event.choices}) == 2
+        assert event.end > event.start
+
+
+class TestEventScenarioRoles:
+    def test_maintenance_as_has_lag_home(self):
+        """The maintenance role goes to an AS whose home link is a LAG,
+        so the classification survives the partial diversion (the
+        paper's AS1 bundle story)."""
+        scenario = events_scenario(duration_hours=1.0)
+        models = scenario.build_models()
+        asn = scenario.notes["maintenance_asn"]
+        home = scenario.topology.links[models[asn].home_link]
+        assert len(home.interfaces) >= 2
+
+    def test_maintenance_windows_match_notes(self):
+        scenario = events_scenario(duration_hours=24.0)
+        hours = {
+            event.start / 3600.0 for event in scenario.events.maintenance
+        }
+        assert hours == set(scenario.notes["maintenance_hours"])
+
+    def test_remap_rotates_across_units(self):
+        """The misalignment rotates across several heavy units so IPD
+        keeps chasing it (sustained Fig. 8 misses)."""
+        scenario = events_scenario(duration_hours=24.0)
+        remapped = {str(event.prefix) for event in scenario.events.remaps}
+        assert len(remapped) >= 4
+
+    def test_remap_targets_other_country(self):
+        scenario = events_scenario(duration_hours=24.0)
+        topo = scenario.topology
+        models = scenario.build_models()
+        asn = scenario.notes["remap_asn"]
+        home_country = topo.country_of_router(
+            topo.links[models[asn].home_link].router
+        )
+        for event in scenario.events.remaps:
+            assert topo.country_of_router(event.new_ingress.router) != (
+                home_country
+            )
+
+    def test_remap_prefixes_carry_real_weight(self):
+        scenario = events_scenario(duration_hours=24.0)
+        models = scenario.build_models()
+        asn = scenario.notes["remap_asn"]
+        weights = {
+            str(u.prefix): u.weight for u in models[asn].units
+        }
+        remapped = {str(e.prefix) for e in scenario.events.remaps}
+        mean_weight = sum(weights.values()) / len(weights)
+        remapped_weights = [
+            weights[p] for p in remapped if p in weights
+        ]
+        assert remapped_weights
+        assert max(remapped_weights) > mean_weight

@@ -1,0 +1,180 @@
+"""Tests for the synthetic traffic generator."""
+
+from collections import Counter
+
+import pytest
+
+from repro.core.iputil import IPV4
+from repro.topology.generator import TopologySpec, generate_topology
+from repro.workloads.address_space import AddressPlan
+from repro.workloads.diurnal import DiurnalModel
+from repro.workloads.mapping import UnitConfig, build_units
+from repro.workloads.traffic import TrafficConfig, TrafficGenerator
+
+
+@pytest.fixture(scope="module")
+def base():
+    spec = TopologySpec(seed=21)
+    topology = generate_topology(spec)
+    plan = AddressPlan.build(
+        hypergiant_asns=spec.hypergiant_asns,
+        peer_asns=spec.peer_asns,
+        tier1_asns=spec.transit_asns,
+    )
+    return spec, topology, plan
+
+
+def make_generator(base, config=None, unit_config=None, seed=1):
+    spec, topology, plan = base
+    models = build_units(topology, plan.profiles, config=unit_config, seed=seed)
+    config = config or TrafficConfig(
+        duration_seconds=600.0, flows_per_bucket_peak=800, seed=seed
+    )
+    return TrafficGenerator(topology, models, config), plan
+
+
+class TestStream:
+    def test_time_ordered(self, base):
+        generator, __ = make_generator(base)
+        timestamps = [flow.timestamp for flow in generator.flows()]
+        assert timestamps == sorted(timestamps)
+        assert timestamps
+
+    def test_all_sources_allocated(self, base):
+        generator, plan = make_generator(base)
+        for flow in generator.flows():
+            assert plan.owner_of(flow.src_ip) is not None
+
+    def test_ingress_points_exist_in_topology(self, base):
+        generator, __ = make_generator(base)
+        spec, topology, __ = base
+        valid = set()
+        for iface in topology.interfaces():
+            valid.add(iface.ingress_point())
+        for flow in generator.flows():
+            assert flow.ingress in valid
+
+    def test_deterministic_per_seed(self, base):
+        first, __ = make_generator(base, seed=5)
+        second, __ = make_generator(base, seed=5)
+        assert list(first.flows()) == list(second.flows())
+
+    def test_volume_tracks_peak_setting(self, base):
+        config = TrafficConfig(
+            start_time=20 * 3600.0,  # at the diurnal peak
+            duration_seconds=600.0,
+            flows_per_bucket_peak=1000,
+            seed=2,
+        )
+        generator, __ = make_generator(base, config=config)
+        flows = list(generator.flows())
+        per_bucket = len(flows) / 10.0
+        assert per_bucket == pytest.approx(1000, rel=0.15)
+
+    def test_diurnal_modulation(self, base):
+        peak_config = TrafficConfig(
+            start_time=20 * 3600.0, duration_seconds=600.0,
+            flows_per_bucket_peak=1000, seed=2,
+        )
+        trough_config = TrafficConfig(
+            start_time=8 * 3600.0, duration_seconds=600.0,
+            flows_per_bucket_peak=1000, seed=2,
+        )
+        peak, __ = make_generator(base, config=peak_config)
+        trough, __ = make_generator(base, config=trough_config)
+        assert len(list(trough.flows())) < 0.5 * len(list(peak.flows()))
+
+    def test_top5_dominate_volume(self, base):
+        generator, plan = make_generator(base)
+        top5 = set(plan.top_asns(5))
+        counts = Counter()
+        for flow in generator.flows():
+            counts[plan.owner_of(flow.src_ip) in top5] += 1
+        share = counts[True] / (counts[True] + counts[False])
+        assert share == pytest.approx(0.52, abs=0.08)
+
+
+class TestUnitDynamics:
+    def test_elephants_never_remap(self, base):
+        unit_config = UnitConfig(elephant_fraction=1.0)
+        generator, __ = make_generator(base, unit_config=unit_config)
+        list(generator.flows())
+        assert generator.remap_log == []
+
+    def test_churny_units_remap(self, base):
+        unit_config = UnitConfig(
+            elephant_fraction=0.0, churny_remap_range=(0.2, 0.5)
+        )
+        generator, __ = make_generator(base, unit_config=unit_config)
+        list(generator.flows())
+        assert len(generator.remap_log) > 10
+
+    def test_remap_log_is_time_ordered(self, base):
+        unit_config = UnitConfig(
+            elephant_fraction=0.0, churny_remap_range=(0.2, 0.5)
+        )
+        generator, __ = make_generator(base, unit_config=unit_config)
+        list(generator.flows())
+        times = [ts for ts, __ in generator.remap_log]
+        assert times == sorted(times)
+
+
+class TestActiveWindow:
+    def test_flows_only_in_window(self, base):
+        config = TrafficConfig(
+            start_time=0.0,
+            duration_seconds=86_400.0,
+            flows_per_bucket_peak=200,
+            active_hours=(19.5, 20.5),
+            seed=3,
+        )
+        generator, __ = make_generator(base, config=config)
+        for flow in generator.flows():
+            hour = (flow.timestamp % 86_400.0) / 3600.0
+            assert 19.5 <= hour < 20.6
+
+    def test_wrapping_window(self, base):
+        config = TrafficConfig(
+            start_time=0.0,
+            duration_seconds=86_400.0,
+            flows_per_bucket_peak=100,
+            active_hours=(23.0, 1.0),
+            seed=3,
+        )
+        generator, __ = make_generator(base, config=config)
+        hours = {
+            int((flow.timestamp % 86_400.0) / 3600.0)
+            for flow in generator.flows()
+        }
+        assert hours <= {23, 0}
+
+    def test_violations_require_rate(self, base):
+        spec, topology, plan = base
+        models = build_units(
+            topology, plan.profiles,
+            config=UnitConfig(elephant_fraction=0.0,
+                              churny_remap_range=(0.1, 0.3)),
+            seed=4,
+        )
+        config = TrafficConfig(
+            duration_seconds=3600.0, flows_per_bucket_peak=500,
+            violation_base=0.9, violation_growth_per_day=0.0, seed=4,
+        )
+        generator = TrafficGenerator(topology, models, config)
+        tier1 = [p.asn for p in plan.profiles.values() if p.is_tier1]
+        indirect = 0
+        for flow in generator.flows():
+            owner = plan.owner_of(flow.src_ip)
+            if owner in tier1:
+                link = topology.link_of_ingress(flow.ingress)
+                if link.neighbor_asn != owner:
+                    indirect += 1
+        assert indirect > 0
+
+
+class TestValidation:
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            TrafficConfig(duration_seconds=0.0)
+        with pytest.raises(ValueError):
+            TrafficConfig(noise_share=1.0)

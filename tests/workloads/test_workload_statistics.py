@@ -1,0 +1,151 @@
+"""Statistical guarantees of the workload model's calibration knobs.
+
+The scenarios anchor published aggregates (symmetry shares, diurnal
+consolidation, remap stationarity); these tests verify the underlying
+stochastic processes actually converge to their targets.
+"""
+
+from collections import Counter
+
+import pytest
+
+from repro.core.iputil import IPV4
+from repro.topology.generator import TopologySpec, generate_topology
+from repro.workloads.address_space import AddressPlan
+from repro.workloads.mapping import UnitConfig, build_units
+from repro.workloads.traffic import TrafficConfig, TrafficGenerator
+
+
+@pytest.fixture(scope="module")
+def base():
+    spec = TopologySpec(seed=29)
+    topology = generate_topology(spec)
+    plan = AddressPlan.build(
+        hypergiant_asns=spec.hypergiant_asns,
+        peer_asns=spec.peer_asns,
+        tier1_asns=spec.transit_asns,
+    )
+    return topology, plan
+
+
+class TestHomeAffinityStationarity:
+    def test_long_run_home_share_matches_affinity(self, base):
+        """Remaps redraw their target, so the long-run share of units on
+        the home link equals the configured affinity — the mechanism
+        anchoring Fig. 16's symmetry groups."""
+        topology, plan = base
+        affinity = 0.75
+        config = UnitConfig(
+            symmetry_probability=affinity,
+            elephant_fraction=0.0,
+            multi_ingress_fraction=0.0,
+            churny_remap_range=(0.2, 0.4),  # fast mixing
+        )
+        models = build_units(topology, plan.profiles, config=config, seed=5)
+        generator = TrafficGenerator(
+            topology, models,
+            TrafficConfig(duration_seconds=4 * 3600.0,
+                          flows_per_bucket_peak=50, seed=5),
+        )
+        on_home_samples = []
+        for bucket in range(240):
+            generator.bucket_flows(bucket * 60.0)
+            if bucket >= 120:  # after mixing
+                total = on_home = 0
+                for model in models.values():
+                    for unit in model.units:
+                        total += 1
+                        on_home += unit.primary_link == model.home_link
+                on_home_samples.append(on_home / total)
+        mean_share = sum(on_home_samples) / len(on_home_samples)
+        assert mean_share == pytest.approx(affinity, abs=0.06)
+
+
+class TestCdnConsolidation:
+    def test_low_demand_consolidates_high_demand_spreads(self, base):
+        """CDN units sit on fewer links at low demand than at high."""
+        topology, plan = base
+        config = UnitConfig(
+            elephant_fraction=0.0,
+            multi_ingress_fraction=0.0,
+            churny_remap_range=(0.15, 0.3),
+        )
+
+        def distinct_links_at(start_hour):
+            models = build_units(topology, plan.profiles, config=config,
+                                 seed=7)
+            generator = TrafficGenerator(
+                topology, models,
+                TrafficConfig(start_time=start_hour * 3600.0,
+                              duration_seconds=3 * 3600.0,
+                              flows_per_bucket_peak=50, seed=7),
+            )
+            list(generator.flows())
+            cdn_models = [
+                m for m in models.values() if m.profile.is_cdn
+            ]
+            return sum(
+                len({u.primary_link for u in m.units}) for m in cdn_models
+            ) / len(cdn_models)
+
+        low_demand = distinct_links_at(5.0)    # trough hours (8 AM ± 3)
+        high_demand = distinct_links_at(17.0)  # evening ramp/peak
+        assert low_demand < high_demand
+
+
+class TestViolationGrowth:
+    def test_violation_rate_grows_with_time(self, base):
+        topology, plan = base
+        config = UnitConfig(elephant_fraction=0.0,
+                            churny_remap_range=(0.1, 0.2))
+        models = build_units(topology, plan.profiles, config=config, seed=9)
+        generator = TrafficGenerator(
+            topology, models,
+            TrafficConfig(duration_seconds=6 * 86_400.0,
+                          flows_per_bucket_peak=20,
+                          violation_base=0.05,
+                          violation_growth_per_day=0.15,
+                          active_hours=(19.5, 20.5),
+                          seed=9),
+        )
+        tier1 = {p.asn for p in plan.profiles.values() if p.is_tier1}
+        indirect_by_day = Counter()
+        seen_by_day = Counter()
+        for flow in generator.flows():
+            owner = plan.owner_of(flow.src_ip)
+            if owner not in tier1:
+                continue
+            day = int(flow.timestamp // 86_400.0)
+            seen_by_day[day] += 1
+            link = topology.link_of_ingress(flow.ingress)
+            if link.neighbor_asn != owner:
+                indirect_by_day[day] += 1
+        days = sorted(seen_by_day)
+        assert len(days) >= 5
+        early = sum(indirect_by_day[d] for d in days[:2]) / max(
+            1, sum(seen_by_day[d] for d in days[:2])
+        )
+        late = sum(indirect_by_day[d] for d in days[-2:]) / max(
+            1, sum(seen_by_day[d] for d in days[-2:])
+        )
+        assert late > early
+
+
+class TestVolumeCalibration:
+    def test_as_shares_match_plan_weights(self, base):
+        topology, plan = base
+        models = build_units(topology, plan.profiles, seed=3)
+        generator = TrafficGenerator(
+            topology, models,
+            TrafficConfig(duration_seconds=3600.0,
+                          flows_per_bucket_peak=2000, seed=3),
+        )
+        counts = Counter()
+        for flow in generator.flows():
+            counts[plan.owner_of(flow.src_ip)] += 1
+        total = sum(counts.values())
+        top1 = plan.top_asns(1)[0]
+        expected = plan.profiles[top1].weight / sum(
+            p.weight for p in plan.profiles.values()
+        )
+        assert counts[top1] / total == pytest.approx(expected, rel=0.15)
