@@ -1,0 +1,292 @@
+"""Hot-path microbenchmarks for the IPD substrate.
+
+Run from the repo root:
+
+    PYTHONPATH=src python benchmarks/perf/run_all.py --output benchmarks/perf/results.json
+
+Three groups of measurements, all on the §5.7 workload (4096 distinct
+/28 sources, 8 ingresses, monotone timestamps):
+
+* ``ingest``   — Stage-1 throughput through the three ingest paths:
+  per-flow ``ingest()``, the fused ``ingest_many()`` record loop, and
+  ``ingest_batch()`` over prebuilt columnar batches.  Each is compared
+  against the committed seed rate (427,637 flows/s, per-flow era).
+* ``batch_size_scaling`` — ``ingest_batch()`` throughput as the batch
+  size grows, showing where per-batch amortisation saturates.
+* ``sweep``    — Stage-2 latency for an *active* sweep (every leaf
+  dirty) vs subsequent *idle* sweeps, at growing state sizes.  With
+  dirty-range sweeps the idle cost tracks the classified-leaf count,
+  not the total state size.
+
+``--check BASELINE`` re-runs the ingest group and fails (exit 1) if any
+path regresses more than ``--tolerance`` (default 30%) against the
+baseline JSON.  Rates are normalised by a small pure-Python calibration
+loop so the gate compares algorithmic speed, not machine speed.
+"""
+
+from __future__ import annotations
+
+import argparse
+import gc
+import json
+import pathlib
+import statistics
+import sys
+import time
+
+try:
+    from repro.core.algorithm import IPD
+except ImportError:  # allow running without PYTHONPATH=src
+    sys.path.insert(0, str(pathlib.Path(__file__).resolve().parents[2] / "src"))
+    from repro.core.algorithm import IPD
+
+from repro.core.iputil import IPV4, parse_ip
+from repro.core.params import IPDParams
+from repro.netflow.records import FlowRecord, iter_flow_batches
+from repro.topology.elements import IngressPoint
+
+#: the committed single-core rate of the pre-batching substrate
+SEED_FLOWS_PER_SECOND = 427_637
+
+INGRESSES = [IngressPoint(f"R{i}", "et0") for i in range(8)]
+
+BATCH_SIZES = (256, 1024, 4096, 16384, 65536)
+SWEEP_FLOW_COUNTS = (10_000, 50_000, 200_000)
+IDLE_SWEEPS = 10
+
+
+def sec57_params() -> IPDParams:
+    return IPDParams(n_cidr_factor_v4=0.05, n_cidr_factor_v6=0.05)
+
+
+def build_flows(count: int, sources: int = 4096) -> list[FlowRecord]:
+    """The §5.7 workload: ``sources`` distinct /28s, 8 rotating ingresses."""
+    base = parse_ip("11.0.0.0")[0]
+    return [
+        FlowRecord(
+            timestamp=index * 0.001,
+            src_ip=base + (index % sources) * 16,
+            version=IPV4,
+            ingress=INGRESSES[(index // 512) % len(INGRESSES)],
+        )
+        for index in range(count)
+    ]
+
+
+def best_of(func, repeats: int) -> float:
+    """Run ``func`` ``repeats`` times, return the fastest wall time."""
+    best = float("inf")
+    for _ in range(repeats):
+        gc.collect()
+        start = time.perf_counter()
+        func()
+        elapsed = time.perf_counter() - start
+        if elapsed < best:
+            best = elapsed
+    return best
+
+
+def calibrate() -> float:
+    """Machine-speed reference: a fixed mask-and-group loop (ops/s).
+
+    The regression gate divides measured rates by this so a slower CI
+    runner does not read as an algorithmic regression.
+    """
+    ops = 300_000
+
+    def loop():
+        grouped: dict[int, float] = {}
+        get = grouped.get
+        for value in range(ops):
+            key = (value * 2654435761) & 0xFFFFFFF0
+            grouped[key] = get(key, 0.0) + 1.0
+
+    return ops / best_of(loop, repeats=3)
+
+
+def bench_ingest(flows: list[FlowRecord], repeats: int) -> dict:
+    batches = list(iter_flow_batches(flows, batch_size=65536))
+
+    def per_flow():
+        ipd = IPD(sec57_params())
+        ingest = ipd.ingest
+        for flow in flows:
+            ingest(flow)
+
+    def ingest_many():
+        IPD(sec57_params()).ingest_many(flows)
+
+    def ingest_batch():
+        ipd = IPD(sec57_params())
+        for batch in batches:
+            ipd.ingest_batch(batch)
+
+    results = {}
+    for name, func in (
+        ("per_flow", per_flow),
+        ("ingest_many", ingest_many),
+        ("ingest_batch_prebuilt", ingest_batch),
+    ):
+        rate = len(flows) / best_of(func, repeats)
+        results[name] = {
+            "flows_per_second": round(rate),
+            "speedup_vs_seed": round(rate / SEED_FLOWS_PER_SECOND, 2),
+        }
+        print(f"  ingest/{name:<22} {rate:>12,.0f} flows/s "
+              f"({rate / SEED_FLOWS_PER_SECOND:.2f}x seed)")
+    return results
+
+
+def bench_batch_sizes(flows: list[FlowRecord], repeats: int) -> list[dict]:
+    results = []
+    for size in BATCH_SIZES:
+        batches = list(iter_flow_batches(flows, batch_size=size))
+
+        def ingest_all():
+            ipd = IPD(sec57_params())
+            for batch in batches:
+                ipd.ingest_batch(batch)
+
+        rate = len(flows) / best_of(ingest_all, repeats)
+        results.append({"batch_size": size, "flows_per_second": round(rate)})
+        print(f"  batch_size={size:<6} {rate:>12,.0f} flows/s")
+    return results
+
+
+def bench_sweep() -> list[dict]:
+    results = []
+    for count in SWEEP_FLOW_COUNTS:
+        flows = build_flows(count, sources=50_000)
+        ipd = IPD(sec57_params())
+        ipd.ingest_many(flows)
+        now = flows[-1].timestamp + 0.001
+
+        start = time.perf_counter()
+        active = ipd.sweep(now)
+        active_ms = (time.perf_counter() - start) * 1000.0
+
+        # Let the split cascade settle: contested ranges keep splitting
+        # (real Stage-2 work) until they hit cidr_max and go quiet.
+        settle_sweeps = 0
+        step = 0
+        report = active
+        while report.splits or report.joins or report.prunes:
+            step += 1
+            settle_sweeps += 1
+            report = ipd.sweep(now + step * 0.01)
+            if settle_sweeps >= 100:
+                break
+
+        idle_times = []
+        visited = 0
+        for _ in range(IDLE_SWEEPS):
+            step += 1
+            start = time.perf_counter()
+            report = ipd.sweep(now + step * 0.01)
+            idle_times.append((time.perf_counter() - start) * 1000.0)
+            visited = report.visited
+        idle_ms = statistics.median(idle_times)
+
+        results.append({
+            "flows": count,
+            "state_size": ipd.state_size(),
+            "leaf_count": ipd.leaf_count(),
+            "active_sweep_ms": round(active_ms, 3),
+            "active_visited": active.visited,
+            "settle_sweeps": settle_sweeps,
+            "idle_sweep_ms": round(idle_ms, 4),
+            "idle_visited": visited,
+        })
+        print(f"  sweep flows={count:<7} state={ipd.state_size():<6} "
+              f"leaves={ipd.leaf_count():<5} active={active_ms:.2f} ms "
+              f"settle={settle_sweeps} idle={idle_ms:.4f} ms "
+              f"(visited {visited})")
+    return results
+
+
+def run_benchmarks(flow_count: int, repeats: int) -> dict:
+    print(f"sec57 workload: {flow_count:,} flows, best of {repeats}")
+    flows = build_flows(flow_count)
+    print("calibrating machine speed...")
+    calibration = calibrate()
+    print(f"  calibration {calibration:,.0f} ops/s")
+    results = {
+        "meta": {
+            "workload": "sec57",
+            "flows": flow_count,
+            "repeats": repeats,
+            "python": sys.version.split()[0],
+        },
+        "calibration_ops_per_second": round(calibration),
+        "seed_flows_per_second": SEED_FLOWS_PER_SECOND,
+        "ingest": bench_ingest(flows, repeats),
+        "batch_size_scaling": bench_batch_sizes(flows, repeats),
+        "sweep": bench_sweep(),
+    }
+    return results
+
+
+def check_against_baseline(results: dict, baseline: dict,
+                           tolerance: float) -> int:
+    """Exit status 0 if no ingest path regressed beyond ``tolerance``."""
+    scale = (results["calibration_ops_per_second"]
+             / baseline["calibration_ops_per_second"])
+    print(f"\nregression check (tolerance {tolerance:.0%}, "
+          f"machine-speed scale {scale:.2f}):")
+    if results["meta"]["flows"] != baseline["meta"]["flows"]:
+        print(f"  note: flow budgets differ "
+              f"({results['meta']['flows']:,} vs baseline "
+              f"{baseline['meta']['flows']:,})")
+    failures = 0
+    for name, measured in results["ingest"].items():
+        base = baseline["ingest"].get(name)
+        if base is None:
+            print(f"  {name}: not in baseline, skipped")
+            continue
+        floor = (1.0 - tolerance) * base["flows_per_second"] * scale
+        rate = measured["flows_per_second"]
+        status = "ok" if rate >= floor else "REGRESSED"
+        print(f"  {name:<22} {rate:>12,.0f} flows/s  "
+              f"(floor {floor:,.0f})  {status}")
+        if rate < floor:
+            failures += 1
+    return 1 if failures else 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--flows", type=int, default=100_000,
+                        help="sec57 workload size (default 100000)")
+    parser.add_argument("--repeats", type=int, default=3,
+                        help="timing repeats per bench, fastest kept")
+    parser.add_argument("--output", type=pathlib.Path, default=None,
+                        help="write machine-readable JSON results here")
+    parser.add_argument("--check", type=pathlib.Path, default=None,
+                        help="baseline JSON to gate against (exit 1 on "
+                             "regression)")
+    parser.add_argument("--tolerance", type=float, default=0.30,
+                        help="allowed fractional regression vs baseline "
+                             "(default 0.30)")
+    args = parser.parse_args(argv)
+
+    results = run_benchmarks(args.flows, args.repeats)
+    if args.output is not None:
+        args.output.parent.mkdir(parents=True, exist_ok=True)
+        args.output.write_text(json.dumps(results, indent=2) + "\n")
+        print(f"\nwrote {args.output}")
+
+    if args.check is not None:
+        try:
+            baseline = json.loads(args.check.read_text())
+        except FileNotFoundError:
+            print(f"error: baseline not found: {args.check}", file=sys.stderr)
+            return 2
+        except json.JSONDecodeError as exc:
+            print(f"error: baseline is not valid JSON: {exc}", file=sys.stderr)
+            return 2
+        return check_against_baseline(results, baseline, args.tolerance)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -26,7 +26,11 @@ from .core.iputil import parse_ip
 from .core.lpm import build_lpm_from_records
 from .core.output import read_records_csv, write_records_csv
 from .core.params import IPDParams
-from .netflow.records import read_flows_csv, write_flows_csv
+from .netflow.records import (
+    read_flows_csv,
+    read_flows_csv_batched,
+    write_flows_csv,
+)
 
 __all__ = ["main"]
 
@@ -60,7 +64,10 @@ def _cmd_run(args: argparse.Namespace) -> int:
     params = _params_from(args)
     driver = OfflineDriver(params, snapshot_seconds=args.snapshot_seconds)
     with open(args.flows) as stream:
-        result = driver.run(read_flows_csv(stream))
+        if args.batch_size > 0:
+            result = driver.run(read_flows_csv_batched(stream, args.batch_size))
+        else:
+            result = driver.run(read_flows_csv(stream))
     records = result.final_snapshot()
     with open(args.output, "w") as stream:
         count = write_records_csv(records, stream)
@@ -193,6 +200,9 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("flows", help="input flow CSV")
     run.add_argument("output", help="output IPD record CSV")
     run.add_argument("--snapshot-seconds", type=float, default=300.0)
+    run.add_argument("--batch-size", type=int, default=8192,
+                     help="flows per columnar ingest batch "
+                          "(0 = per-flow ingest)")
     _add_param_arguments(run)
     run.set_defaults(handler=_cmd_run)
 

@@ -2,14 +2,28 @@
 
 Two stages, mirrored here as two methods:
 
-* :meth:`IPD.ingest` — Stage 1.  Masks a flow's source address to
-  ``cidr_max`` and adds (timestamp, masked source, ingress link) to the
-  covering range of the per-family binary trie.
-* :meth:`IPD.sweep` — Stage 2.  Every ``t`` seconds, walks all ranges:
-  expires stale observations, classifies ranges with a prevalent ingress
+* :meth:`IPD.ingest` / :meth:`IPD.ingest_batch` — Stage 1.  Masks a
+  flow's source address to ``cidr_max`` and adds (timestamp, masked
+  source, ingress link) to the covering range of the per-family binary
+  trie.  The batch entry point amortizes the per-flow costs: one pass
+  masks the whole batch, flows are grouped by masked source, and each
+  distinct source resolves its leaf once.
+* :meth:`IPD.sweep` — Stage 2.  Every ``t`` seconds: expires stale
+  observations, classifies ranges with a prevalent ingress
   (``s_ingress >= q`` once ``s_ipcount >= n_cidr``), splits ranges with
   competing ingresses (until ``cidr_max``), joins sibling ranges that
   agree, decays idle classified ranges, and drops invalidated ones.
+
+Sweeps are *dirty-range* sweeps: instead of walking every leaf, the
+sweep visits (a) leaves touched by ingest since the last sweep, (b)
+leaves whose expiry bound fell due (from the trie's expiry heap), and
+(c) all classified leaves (their decay depends on ``now``).  Idle
+unclassified leaves are skipped — safe because the Stage-2 decision for
+a leaf is a pure function of its state, so an unchanged leaf repeats
+last sweep's no-op.  The one exception is the §5.8 load-balance
+extension, whose per-sweep failure counting observes *every* sweep a
+leaf stays unclassified at ``cidr_max``; with a detector attached the
+sweep falls back to the full walk.
 
 The deployment runs the stages in two threads; behaviourally the
 algorithm is defined by "all ingest before each sweep tick", which the
@@ -23,7 +37,7 @@ from __future__ import annotations
 import time
 from dataclasses import dataclass, field
 
-from ..netflow.records import FlowRecord
+from ..netflow.records import FlowBatch, FlowRecord
 from ..topology.elements import IngressPoint
 from .bundles import dominant_ingress
 from .iputil import IPV4, IPV6, Prefix, mask_ip
@@ -33,6 +47,11 @@ from .rangetree import RangeNode, RangeTree
 from .state import ClassifiedState, UnclassifiedState
 
 __all__ = ["IPD", "SweepReport"]
+
+#: flows accumulated per internal batch by :meth:`IPD.ingest_many`;
+#: large enough that grouping amortizes leaf resolution even when the
+#: stream cycles through tens of thousands of distinct sources
+_INGEST_CHUNK = 65536
 
 
 @dataclass
@@ -50,8 +69,21 @@ class SweepReport:
     prunes: int = 0
     expired_sources: int = 0
     decayed_ranges: int = 0
+    #: leaves actually visited by this sweep (dirty + expiry-due +
+    #: classified); the gap to ``leaves`` is the idle set skipped
+    visited: int = 0
+    #: lookup-cache totals across families (cumulative since start)
+    cache_size: int = 0
+    cache_hits: int = 0
+    cache_misses: int = 0
+    cache_evictions: int = 0
     #: per-family leaf counts after the sweep
     leaves_by_version: dict[int, int] = field(default_factory=dict)
+
+    @property
+    def cache_hit_rate(self) -> float:
+        probes = self.cache_hits + self.cache_misses
+        return self.cache_hits / probes if probes else 0.0
 
 
 class IPD:
@@ -90,9 +122,12 @@ class IPD:
         masked = mask_ip(flow.src_ip, params.cidr_max(flow.version), flow.version)
         leaf = tree.lookup_leaf(masked)
         weight = float(flow.bytes) if params.count_bytes else 1.0
-        state = leaf.state
+        state = leaf._state
         if isinstance(state, UnclassifiedState):
             state.add(masked, flow.ingress, flow.timestamp, weight)
+            tree.dirty.add(leaf)
+            if state.heap_bound != state.oldest_seen:
+                tree.schedule_expiry(leaf)
         else:
             assert isinstance(state, ClassifiedState)
             state.add(flow.ingress, flow.timestamp, weight)
@@ -101,26 +136,151 @@ class IPD:
         if self.lb_detector is not None:
             self.lb_detector.observe(flow)
 
+    def ingest_batch(self, batch: FlowBatch) -> int:
+        """Add a columnar batch of flows; returns how many were consumed.
+
+        Equivalent to ingesting the batch's flows one by one (weights are
+        integer-valued, so the regrouped float sums are exact), but the
+        per-flow costs are amortized: a single pass masks every source
+        and accumulates per-(masked source, ingress) weights, then each
+        *distinct* masked source resolves its leaf once and folds its
+        whole group in one state update.
+        """
+        count = len(batch.timestamps)
+        if count == 0:
+            return 0
+        params = self.params
+        tree = self.trees[batch.version]
+        shift = tree.root.prefix.bits - params.cidr_max(batch.version)
+        count_bytes = params.count_bytes
+
+        # pass 1: mask + group.  groups: masked -> [by_ingress, newest, oldest]
+        groups: dict[int, list] = {}
+        get_group = groups.get
+        for src, ingress, ts, nbytes in zip(
+            batch.src_ips, batch.ingresses, batch.timestamps, batch.byte_counts
+        ):
+            masked = (src >> shift) << shift
+            weight = float(nbytes) if count_bytes else 1.0
+            group = get_group(masked)
+            if group is None:
+                groups[masked] = [{ingress: weight}, ts, ts]
+            else:
+                by_ingress = group[0]
+                previous = by_ingress.get(ingress)
+                by_ingress[ingress] = (
+                    weight if previous is None else previous + weight
+                )
+                if ts > group[1]:
+                    group[1] = ts
+                elif ts < group[2]:
+                    group[2] = ts
+
+        # pass 2: one leaf resolution + one state fold per distinct source
+        self._apply_groups(tree, groups)
+
+        self.flows_ingested += count
+        self.bytes_ingested += sum(batch.byte_counts)
+        if self.lb_detector is not None:
+            for flow in batch.iter_flows():
+                self.lb_detector.observe(flow)
+        return count
+
+    def _apply_groups(self, tree: RangeTree, groups: dict[int, list]) -> None:
+        """Fold accumulated per-source groups into their covering leaves."""
+        lookup = tree.lookup_leaf
+        dirty_add = tree.dirty.add
+        for masked, (by_ingress, newest, oldest) in groups.items():
+            leaf = lookup(masked)
+            state = leaf._state
+            if isinstance(state, UnclassifiedState):
+                state.add_batch(masked, by_ingress, newest, oldest)
+                dirty_add(leaf)
+                if state.heap_bound != state.oldest_seen:
+                    tree.schedule_expiry(leaf)
+            else:
+                assert isinstance(state, ClassifiedState)
+                state.add_batch(by_ingress, newest)
+
     def ingest_many(self, flows) -> int:
-        """Ingest an iterable of flows; returns how many were consumed."""
+        """Ingest an iterable of flows; returns how many were consumed.
+
+        Flows are chunked into columnar :class:`FlowBatch` runs per
+        address family and fed through :meth:`ingest_batch`, so bulk
+        callers get the amortized hot path without building batches
+        themselves.
+        """
+        if isinstance(flows, FlowBatch):
+            return self.ingest_batch(flows)
+        params = self.params
+        trees = self.trees
+        count_bytes = params.count_bytes
+        lb_detector = self.lb_detector
+        shifts = {
+            version: tree.root.prefix.bits - params.cidr_max(version)
+            for version, tree in trees.items()
+        }
+        groups_by_version: dict[int, dict[int, list]] = {
+            version: {} for version in trees
+        }
         count = 0
+        pending = 0
+        total_bytes = 0
         for flow in flows:
-            self.ingest(flow)
+            version = flow.version
+            shift = shifts[version]
+            masked = (flow.src_ip >> shift) << shift
+            timestamp = flow.timestamp
+            weight = float(flow.bytes) if count_bytes else 1.0
+            groups = groups_by_version[version]
+            group = groups.get(masked)
+            if group is None:
+                groups[masked] = [{flow.ingress: weight}, timestamp, timestamp]
+            else:
+                by_ingress = group[0]
+                ingress = flow.ingress
+                previous = by_ingress.get(ingress)
+                by_ingress[ingress] = (
+                    weight if previous is None else previous + weight
+                )
+                if timestamp > group[1]:
+                    group[1] = timestamp
+                elif timestamp < group[2]:
+                    group[2] = timestamp
+            total_bytes += flow.bytes
             count += 1
+            pending += 1
+            if lb_detector is not None:
+                lb_detector.observe(flow)
+            if pending >= _INGEST_CHUNK:
+                for version, groups in groups_by_version.items():
+                    if groups:
+                        self._apply_groups(trees[version], groups)
+                groups_by_version = {version: {} for version in trees}
+                pending = 0
+        for version, groups in groups_by_version.items():
+            if groups:
+                self._apply_groups(trees[version], groups)
+        self.flows_ingested += count
+        self.bytes_ingested += total_bytes
         return count
 
     # ------------------------------------------------------------------ stage 2
 
     def sweep(self, now: float) -> SweepReport:
-        """Run one Stage-2 pass over all ranges (Algorithm 1, lines 5-19)."""
+        """Run one Stage-2 pass over the active ranges (Algorithm 1, lines 5-19)."""
         started = time.perf_counter()
         report = SweepReport(timestamp=now)
         for tree in self.trees.values():
             self._sweep_tree(tree, now, report)
             report.leaves_by_version[tree.version] = tree.leaf_count()
+            report.cache_size += tree.cache_size()
+            report.cache_hits += tree.cache_hits
+            report.cache_misses += tree.cache_misses
+            report.cache_evictions += tree.cache_evictions
         report.leaves = sum(report.leaves_by_version.values())
         report.classified = sum(
-            1 for tree in self.trees.values() for __ in tree.classified_leaves()
+            tree.classified_count() for tree in self.trees.values()
         )
         report.duration_seconds = time.perf_counter() - started
         self.last_sweep_at = now
@@ -132,18 +292,54 @@ class IPD:
         cidr_max = params.cidr_max(version)
         expiry_cutoff = now - params.e
 
-        for leaf in list(tree.leaves()):
-            state = leaf.state
+        if self.lb_detector is not None:
+            # The detector's failure counter ticks every sweep a leaf
+            # sits unclassified at cidr_max — only a full walk sees that.
+            tree.drain_dirty()
+            tree.pop_expiry_due(expiry_cutoff)
+            to_visit = list(tree.leaves())
+        else:
+            candidates = tree.drain_dirty()
+            candidates.update(tree.pop_expiry_due(expiry_cutoff))
+            candidates.update(tree._classified)
+            to_visit = sorted(candidates, key=lambda node: node.prefix.value)
+
+        prune_candidates: list[RangeNode] = []
+        for leaf in to_visit:
+            if leaf.dead or leaf.left is not None:
+                continue  # went away since it was marked (join/split)
+            report.visited += 1
+            state = leaf._state
             if isinstance(state, UnclassifiedState):
-                report.expired_sources += state.expire(expiry_cutoff)
-                self._handle_unclassified(tree, leaf, state, now, cidr_max, report)
+                if state.oldest_seen < expiry_cutoff:
+                    report.expired_sources += state.expire(expiry_cutoff)
+                if state.per_ip:
+                    self._handle_unclassified(
+                        tree, leaf, state, now, cidr_max, report
+                    )
+                    # still the same unclassified leaf? re-arm its expiry
+                    if (
+                        leaf._state is state
+                        and leaf.left is None
+                        and state.heap_bound != state.oldest_seen
+                    ):
+                        tree.schedule_expiry(leaf)
+                else:
+                    prune_candidates.append(leaf)
             else:
                 assert isinstance(state, ClassifiedState)
                 self._handle_classified(leaf, state, now, report)
+                if isinstance(leaf._state, UnclassifiedState):
+                    prune_candidates.append(leaf)  # just dropped to empty
 
         report.joins += self._join_pass(tree, now)
-        report.prunes += tree.prune(_is_empty_unclassified)
-        tree.clear_cache()
+        report.prunes += tree.prune_upward(
+            prune_candidates, _is_empty_unclassified, on_remove=self._forget_prefix
+        )
+
+    def _forget_prefix(self, node: RangeNode) -> None:
+        """Drop per-prefix side state when a leaf leaves the trie."""
+        self._cidrmax_failures.pop(node.prefix, None)
 
     def _handle_unclassified(
         self,
@@ -214,11 +410,13 @@ class IPD:
             if state.total < params.drop_threshold:
                 leaf.state = UnclassifiedState()  # line 19: drop
                 report.drops += 1
+                self._cidrmax_failures.pop(leaf.prefix, None)
                 return
         share = state.confidence_for(_members_of(state.ingress))
         if share < params.q:
             leaf.state = UnclassifiedState()  # line 19: drop
             report.drops += 1
+            self._cidrmax_failures.pop(leaf.prefix, None)
 
     def _join_pass(self, tree: RangeTree, now: float) -> int:
         """Merge sibling leaves classified to the same logical ingress.
@@ -226,39 +424,52 @@ class IPD:
         "Adjacent ranges may also be joined if they share the same
         ingress and meet sample count requirements" (§3.2).  The merged
         parent must itself satisfy its (larger) ``n_cidr`` threshold.
+
+        Every joinable pair has classified children, so starting from
+        the classified leaves and cascading upward visits exactly the
+        pairs the seed's full postorder walk would — without touching
+        the rest of the trie.
         """
         params = self.params
         joins = 0
-        for parent in list(tree.internal_nodes_postorder()):
-            left, right = parent.left, parent.right
-            assert left is not None and right is not None
-            if not (left.is_leaf and right.is_leaf):
-                continue
-            left_state, right_state = left.state, right.state
-            if not (
-                isinstance(left_state, ClassifiedState)
-                and isinstance(right_state, ClassifiedState)
-            ):
-                continue
-            if left_state.ingress != right_state.ingress:
-                continue
-            combined_total = left_state.total + right_state.total
-            threshold = params.n_cidr(parent.prefix.masklen, tree.version)
-            if combined_total < threshold:
-                continue
-            counters = dict(left_state.counters)
-            for ingress, weight in right_state.counters.items():
-                counters[ingress] = counters.get(ingress, 0.0) + weight
-            merged = ClassifiedState(
-                ingress=left_state.ingress,
-                counters=counters,
-                last_seen=max(left_state.last_seen, right_state.last_seen),
-                classified_at=min(
-                    left_state.classified_at, right_state.classified_at
-                ),
-            )
-            tree.join(parent, merged)
-            joins += 1
+        for leaf in tree.classified_leaves():
+            if leaf.dead:
+                continue  # merged away by an earlier candidate's cascade
+            parent = leaf.parent
+            while parent is not None:
+                left, right = parent.left, parent.right
+                if left is None or right is None:
+                    break
+                if not (left.is_leaf and right.is_leaf):
+                    break
+                left_state, right_state = left._state, right._state
+                if not (
+                    isinstance(left_state, ClassifiedState)
+                    and isinstance(right_state, ClassifiedState)
+                ):
+                    break
+                if left_state.ingress != right_state.ingress:
+                    break
+                combined_total = left_state.total + right_state.total
+                threshold = params.n_cidr(parent.prefix.masklen, tree.version)
+                if combined_total < threshold:
+                    break
+                counters = dict(left_state.counters)
+                for ingress, weight in right_state.counters.items():
+                    counters[ingress] = counters.get(ingress, 0.0) + weight
+                merged = ClassifiedState(
+                    ingress=left_state.ingress,
+                    counters=counters,
+                    last_seen=max(left_state.last_seen, right_state.last_seen),
+                    classified_at=min(
+                        left_state.classified_at, right_state.classified_at
+                    ),
+                )
+                self._cidrmax_failures.pop(left.prefix, None)
+                self._cidrmax_failures.pop(right.prefix, None)
+                tree.join(parent, merged)
+                joins += 1
+                parent = parent.parent
         return joins
 
     # ------------------------------------------------------------------ output
@@ -275,7 +486,10 @@ class IPD:
                 n_cidr = params.n_cidr(leaf.prefix.masklen, tree.version)
                 if isinstance(state, ClassifiedState):
                     candidates = tuple(
-                        sorted(state.counters.items(), key=lambda item: -item[1])
+                        sorted(
+                            state.counters.items(),
+                            key=lambda item: (-item[1], str(item[0])),
+                        )
                     )
                     total = state.total
                     share = state.confidence_for(_members_of(state.ingress))
@@ -310,7 +524,10 @@ class IPD:
                             s_ipcount=state.sample_count,
                             n_cidr=n_cidr,
                             candidates=tuple(
-                                sorted(totals.items(), key=lambda item: -item[1])
+                                sorted(
+                                    totals.items(),
+                                    key=lambda item: (-item[1], str(item[0])),
+                                )
                             ),
                             classified=False,
                         )
@@ -324,18 +541,14 @@ class IPD:
         """Total number of tracked (masked IP, ingress) entries + counters.
 
         A proxy for the RAM footprint used by the parameter study's
-        resource-consumption metric.
+        resource-consumption metric.  O(leaves): each state keeps its
+        own entry count incrementally.
         """
-        size = 0
-        for tree in self.trees.values():
-            for leaf in tree.leaves():
-                state = leaf.state
-                if isinstance(state, UnclassifiedState):
-                    size += sum(len(by_ingress) for by_ingress in state.per_ip.values())
-                else:
-                    assert isinstance(state, ClassifiedState)
-                    size += len(state.counters)
-        return size
+        return sum(
+            leaf._state.entry_count()
+            for tree in self.trees.values()
+            for leaf in tree.leaves()
+        )
 
     def leaf_count(self) -> int:
         return sum(tree.leaf_count() for tree in self.trees.values())

@@ -15,10 +15,11 @@ from __future__ import annotations
 
 import queue
 import threading
+from bisect import bisect_left
 from dataclasses import dataclass, field
-from typing import Callable, Iterable, Iterator, Optional
+from typing import Callable, Iterable, Iterator, Optional, Union
 
-from ..netflow.records import FlowRecord
+from ..netflow.records import FlowBatch, FlowRecord
 from .algorithm import IPD, SweepReport
 from .output import IPDRecord
 from .params import IPDParams
@@ -61,7 +62,7 @@ class OfflineDriver:
         self.include_unclassified = include_unclassified
         self.on_sweep = on_sweep
 
-    def run(self, flows: Iterable[FlowRecord]) -> RunResult:
+    def run(self, flows: "Iterable[Union[FlowRecord, FlowBatch]]") -> RunResult:
         """Replay *flows* (non-decreasing timestamps) to completion."""
         result = RunResult()
         for __ in self.run_incremental(flows, result):
@@ -69,9 +70,19 @@ class OfflineDriver:
         return result
 
     def run_incremental(
-        self, flows: Iterable[FlowRecord], result: RunResult | None = None
+        self,
+        flows: "Iterable[Union[FlowRecord, FlowBatch]]",
+        result: RunResult | None = None,
     ) -> Iterator[tuple[float, list[IPDRecord]]]:
-        """Like :meth:`run` but yields ``(time, records)`` per snapshot."""
+        """Like :meth:`run` but yields ``(time, records)`` per snapshot.
+
+        The stream may mix :class:`FlowRecord` items and columnar
+        :class:`FlowBatch` runs; timestamps must be non-decreasing
+        across and within items.  A batch spanning a sweep boundary is
+        cut at the boundary (binary search on its timestamp column) so
+        "all ingest before each sweep tick" holds exactly as in the
+        per-flow replay.
+        """
         ipd = self.ipd
         t = ipd.params.t
         result = result if result is not None else RunResult()
@@ -79,7 +90,55 @@ class OfflineDriver:
         next_snapshot: float | None = None
         last_time: float | None = None
 
-        for flow in flows:
+        def _boundary(when: float) -> Iterator[tuple[float, list[IPDRecord]]]:
+            # advance sweep/snapshot grids up to (and including) `when`
+            nonlocal next_sweep, next_snapshot
+            while when >= next_sweep:  # type: ignore[operator]
+                yield from self._tick(next_sweep, result)
+                if next_snapshot is not None and next_sweep >= next_snapshot:
+                    records = ipd.snapshot(
+                        next_sweep, include_unclassified=self.include_unclassified
+                    )
+                    result.snapshots[next_sweep] = records
+                    yield next_sweep, records
+                    next_snapshot += self.snapshot_seconds
+                next_sweep += t
+
+        for item in flows:
+            if isinstance(item, FlowBatch):
+                timestamps = item.timestamps
+                if not timestamps:
+                    continue
+                first_time = timestamps[0]
+                if last_time is not None and first_time < last_time - 1e-9:
+                    raise ValueError(
+                        "flow stream is not time-ordered: "
+                        f"{first_time} after {last_time}"
+                    )
+                if any(
+                    timestamps[i] > timestamps[i + 1]
+                    for i in range(len(timestamps) - 1)
+                ):
+                    raise ValueError("FlowBatch is not time-ordered internally")
+                last_time = timestamps[-1]
+                if next_sweep is None:
+                    next_sweep = (int(first_time // t) + 1) * t
+                    next_snapshot = (
+                        int(first_time // self.snapshot_seconds) + 1
+                    ) * self.snapshot_seconds
+                start = 0
+                total = len(timestamps)
+                while start < total:
+                    yield from _boundary(timestamps[start])
+                    end = bisect_left(timestamps, next_sweep, start)
+                    if start == 0 and end == total:
+                        ipd.ingest_batch(item)
+                    else:
+                        ipd.ingest_batch(item.slice(start, end))
+                    result.flows_processed += end - start
+                    start = end
+                continue
+            flow = item
             if last_time is not None and flow.timestamp < last_time - 1e-9:
                 raise ValueError(
                     "flow stream is not time-ordered: "
@@ -92,16 +151,7 @@ class OfflineDriver:
                 next_snapshot = (
                     int(flow.timestamp // self.snapshot_seconds) + 1
                 ) * self.snapshot_seconds
-            while flow.timestamp >= next_sweep:
-                yield from self._tick(next_sweep, result)
-                if next_snapshot is not None and next_sweep >= next_snapshot:
-                    records = ipd.snapshot(
-                        next_sweep, include_unclassified=self.include_unclassified
-                    )
-                    result.snapshots[next_sweep] = records
-                    yield next_sweep, records
-                    next_snapshot += self.snapshot_seconds
-                next_sweep += t
+            yield from _boundary(flow.timestamp)
             ipd.ingest(flow)
             result.flows_processed += 1
 
@@ -145,7 +195,9 @@ class ThreadedIPD:
         self.ipd = IPD(params)
         self.sweep_interval = sweep_interval
         self._clock = clock or _time.monotonic
-        self._queue: "queue.Queue[FlowRecord | None]" = queue.Queue(maxsize=100_000)
+        self._queue: "queue.Queue[FlowRecord | FlowBatch | None]" = queue.Queue(
+            maxsize=100_000
+        )
         self._lock = threading.Lock()
         self._stop = threading.Event()
         self._ingest_thread: threading.Thread | None = None
@@ -176,6 +228,26 @@ class ThreadedIPD:
             flow = flow.with_timestamp(self._clock())
         self._queue.put(flow)
 
+    def submit_batch(self, batch: FlowBatch, restamp: bool = True) -> None:
+        """Enqueue a columnar batch for Stage-1 ingestion.
+
+        One queue item per batch: the consumer drains it through the
+        amortized ``ingest_batch`` path under a single lock acquisition,
+        which is where the deployment layout gains its throughput.
+        """
+        if restamp:
+            now = self._clock()
+            batch = FlowBatch(
+                batch.version,
+                [now] * len(batch.timestamps),
+                batch.src_ips,
+                batch.ingresses,
+                batch.packet_counts,
+                batch.byte_counts,
+                batch.dst_ips,
+            )
+        self._queue.put(batch)
+
     def stop(self) -> None:
         """Drain the queue, stop both threads, run one final sweep."""
         self._queue.put(None)
@@ -195,11 +267,14 @@ class ThreadedIPD:
 
     def _ingest_loop(self) -> None:
         while True:
-            flow = self._queue.get()
-            if flow is None:
+            item = self._queue.get()
+            if item is None:
                 return
             with self._lock:
-                self.ipd.ingest(flow)
+                if isinstance(item, FlowBatch):
+                    self.ipd.ingest_batch(item)
+                else:
+                    self.ipd.ingest(item)
 
     def _sweep_loop(self) -> None:
         while not self._stop.wait(self.sweep_interval):

@@ -5,35 +5,88 @@ each node representing a CIDR range" (§3.1).  The trie starts as a single
 /0 leaf and is refined by splits and coarsened by joins as traffic
 dictates.  Leaves carry range state; internal nodes only route lookups.
 
-A small masked-IP → leaf cache accelerates ingest: source prefixes repeat
-heavily in real traffic, and a cache hit replaces the 28-step bit walk
-with one dictionary probe.  Cache entries self-invalidate — a split turns
-the cached node into an internal node, and joins mark detached nodes dead.
+A bounded masked-IP → leaf LRU cache accelerates ingest: source prefixes
+repeat heavily in real traffic, and a cache hit replaces the 28-step bit
+walk with one dictionary probe.  Cache entries self-invalidate — a split
+turns the cached node into an internal node, and joins mark detached
+nodes dead — so the cache survives across sweeps and only sheds entries
+by LRU eviction once ``cache_capacity`` is reached (an unbounded cache
+is a memory blow-up under address-scan workloads: one entry per distinct
+masked source).
+
+The tree also keeps the incremental bookkeeping the sweep machinery
+needs to avoid full-trie walks:
+
+* ``leaf_count()`` / ``classified_count()`` are O(1) counters maintained
+  by split/join/prune and by state assignment.
+* ``dirty`` is the set of leaves whose state changed since the last
+  :meth:`drain_dirty` — the sweep visits those instead of every leaf.
+* an expiry min-heap orders unclassified leaves by ``oldest_seen`` so a
+  sweep can find the leaves that may hold expirable sources without
+  touching idle ones.  Heap entries are lazy: each records the bound it
+  was pushed at, and entries whose node died, split, or was re-pushed at
+  a different bound are skipped on pop.
+
+Every mutation of a node's state — including direct assignment like
+``leaf.state = ClassifiedState(...)`` — funnels through the ``state``
+property setter, which notifies the owning tree so the counters and
+dirty set can never go stale.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Iterator, Optional, Union
+import heapq
+from collections import OrderedDict
+from typing import Callable, Iterable, Iterator, Optional, Union
 
 from .iputil import Prefix
 from .state import ClassifiedState, UnclassifiedState
 
-__all__ = ["RangeNode", "RangeTree"]
+__all__ = ["RangeNode", "RangeTree", "DEFAULT_CACHE_CAPACITY"]
 
 RangeState = Union[UnclassifiedState, ClassifiedState]
+
+#: default bound on the masked-IP → leaf cache (entries, not bytes);
+#: at ~100 B/entry this caps the cache near 25 MB per family
+DEFAULT_CACHE_CAPACITY = 1 << 18
+
+_INF = float("inf")
 
 
 class RangeNode:
     """One node of the trie: a CIDR range, either leaf or internal."""
 
-    __slots__ = ("prefix", "left", "right", "state", "dead")
+    __slots__ = ("prefix", "left", "right", "_state", "dead", "tree", "parent")
 
-    def __init__(self, prefix: Prefix, state: Optional[RangeState] = None) -> None:
+    def __init__(
+        self,
+        prefix: Prefix,
+        state: Optional[RangeState] = None,
+        tree: "Optional[RangeTree]" = None,
+        parent: "Optional[RangeNode]" = None,
+    ) -> None:
         self.prefix = prefix
         self.left: Optional[RangeNode] = None
         self.right: Optional[RangeNode] = None
-        self.state: Optional[RangeState] = state if state is not None else UnclassifiedState()
+        self.tree = tree
+        self.parent = parent
         self.dead = False
+        self._state: Optional[RangeState] = (
+            state if state is not None else UnclassifiedState()
+        )
+        if tree is not None:
+            tree._note_state_change(self, None, self._state)
+
+    @property
+    def state(self) -> Optional[RangeState]:
+        return self._state
+
+    @state.setter
+    def state(self, value: Optional[RangeState]) -> None:
+        old = self._state
+        self._state = value
+        if self.tree is not None:
+            self.tree._note_state_change(self, old, value)
 
     @property
     def is_leaf(self) -> bool:
@@ -41,7 +94,7 @@ class RangeNode:
 
     @property
     def is_classified(self) -> bool:
-        return isinstance(self.state, ClassifiedState)
+        return isinstance(self._state, ClassifiedState)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         kind = "leaf" if self.is_leaf else "node"
@@ -51,11 +104,24 @@ class RangeNode:
 class RangeTree:
     """Binary trie over one address family, rooted at /0."""
 
-    def __init__(self, version: int) -> None:
+    def __init__(
+        self, version: int, cache_capacity: int = DEFAULT_CACHE_CAPACITY
+    ) -> None:
         self.version = version
-        self.root = RangeNode(Prefix.root(version))
+        self._leaf_count = 0
+        self._classified: set[RangeNode] = set()
+        #: leaves whose state changed since the last :meth:`drain_dirty`
+        self.dirty: set[RangeNode] = set()
+        self._expiry_heap: list[tuple[float, int, RangeNode]] = []
+        self._heap_seq = 0
+        self.root = RangeNode(Prefix.root(version), tree=self)
+        self._leaf_count = 1
         self._bits = self.root.prefix.bits
-        self._cache: dict[int, RangeNode] = {}
+        self.cache_capacity = cache_capacity
+        self._cache: OrderedDict[int, RangeNode] = OrderedDict()
+        self.cache_hits = 0
+        self.cache_misses = 0
+        self.cache_evictions = 0
         #: number of splits/joins performed (resource-metric bookkeeping)
         self.split_count = 0
         self.join_count = 0
@@ -64,9 +130,15 @@ class RangeTree:
 
     def lookup_leaf(self, ip_value: int) -> RangeNode:
         """Return the unique leaf whose range contains *ip_value*."""
-        cached = self._cache.get(ip_value)
-        if cached is not None and cached.left is None and not cached.dead:
-            return cached
+        cache = self._cache
+        cached = cache.get(ip_value)
+        if cached is not None:
+            if cached.left is None and not cached.dead:
+                self.cache_hits += 1
+                cache.move_to_end(ip_value)
+                return cached
+            del cache[ip_value]
+        self.cache_misses += 1
         node = self.root
         bits = self._bits
         while node.left is not None:
@@ -75,8 +147,92 @@ class RangeTree:
                 node = node.right  # type: ignore[assignment]
             else:
                 node = node.left
-        self._cache[ip_value] = node
+        cache[ip_value] = node
+        if len(cache) > self.cache_capacity:
+            cache.popitem(last=False)
+            self.cache_evictions += 1
         return node
+
+    # -- incremental bookkeeping ------------------------------------------------
+
+    def _note_state_change(
+        self,
+        node: RangeNode,
+        old: Optional[RangeState],
+        new: Optional[RangeState],
+    ) -> None:
+        """Keep counters, the dirty set and the expiry heap in sync.
+
+        Called by the ``RangeNode.state`` setter on every assignment, so
+        even tests that classify a leaf directly keep the tree honest.
+        """
+        if isinstance(old, ClassifiedState):
+            self._classified.discard(node)
+        if new is None:
+            # the node became internal (split) — it is no longer a leaf
+            self.dirty.discard(node)
+            return
+        if node.dead:
+            return
+        if isinstance(new, ClassifiedState):
+            self._classified.add(node)
+            self.dirty.add(node)
+        else:
+            self.dirty.add(node)
+            if new.oldest_seen != _INF:
+                self.schedule_expiry(node)
+
+    def _detach(self, node: RangeNode) -> None:
+        """Mark a removed (joined/pruned) leaf dead and forget it."""
+        node.dead = True
+        self.dirty.discard(node)
+        self._classified.discard(node)
+
+    def schedule_expiry(self, node: RangeNode) -> None:
+        """(Re-)register a leaf on the expiry heap at its current bound.
+
+        No-op when the leaf is already scheduled at the same bound, so
+        repeated ingest into a warm leaf costs one comparison.
+        """
+        state = node._state
+        if not isinstance(state, UnclassifiedState):
+            return
+        bound = state.oldest_seen
+        if bound == _INF or state.heap_bound == bound:
+            return
+        state.heap_bound = bound
+        self._heap_seq += 1
+        heapq.heappush(self._expiry_heap, (bound, self._heap_seq, node))
+
+    def pop_expiry_due(self, cutoff: float) -> list[RangeNode]:
+        """Pop every leaf whose oldest sample may predate *cutoff*.
+
+        Stale heap entries (dead/split nodes, superseded bounds) are
+        discarded lazily.  Popped leaves are unscheduled; the sweep
+        re-schedules the survivors after expiry re-tightens their bound.
+        """
+        heap = self._expiry_heap
+        due: list[RangeNode] = []
+        while heap and heap[0][0] < cutoff:
+            bound, __, node = heapq.heappop(heap)
+            state = node._state
+            if (
+                node.dead
+                or node.left is not None
+                or not isinstance(state, UnclassifiedState)
+                or state.heap_bound != bound
+                or not state.per_ip
+            ):
+                continue
+            state.heap_bound = _INF
+            due.append(node)
+        return due
+
+    def drain_dirty(self) -> set[RangeNode]:
+        """Return the leaves touched since the last drain and reset the set."""
+        dirty = self.dirty
+        self.dirty = set()
+        return dirty
 
     # -- structure changes ----------------------------------------------------
 
@@ -89,23 +245,34 @@ class RangeTree:
         """
         if not node.is_leaf:
             raise ValueError(f"cannot split internal node {node.prefix}")
-        state = node.state
+        state = node._state
         if not isinstance(state, UnclassifiedState):
             raise ValueError(f"cannot split classified range {node.prefix}")
         left_prefix, right_prefix = node.prefix.children()
-        left = RangeNode(left_prefix)
-        right = RangeNode(right_prefix)
+        left = RangeNode(left_prefix, tree=self, parent=node)
+        right = RangeNode(right_prefix, tree=self, parent=node)
         boundary = right_prefix.value
+        last_seen = state.last_seen
         for masked_ip, by_ingress in state.per_ip.items():
-            child = right if masked_ip >= boundary else left
-            child_state = child.state
+            child_state = (right if masked_ip >= boundary else left)._state
             assert isinstance(child_state, UnclassifiedState)
             child_state.per_ip[masked_ip] = by_ingress
-            child_state.last_seen[masked_ip] = state.last_seen[masked_ip]
+            seen = last_seen[masked_ip]
+            child_state.last_seen[masked_ip] = seen
             child_state.total += sum(by_ingress.values())
+            child_state.entries += len(by_ingress)
+            if seen < child_state.oldest_seen:
+                child_state.oldest_seen = seen
         node.left = left
         node.right = right
         node.state = None
+        for child in (left, right):
+            child_state = child._state
+            assert isinstance(child_state, UnclassifiedState)
+            self.dirty.add(child)
+            if child_state.oldest_seen != _INF:
+                self.schedule_expiry(child)
+        self._leaf_count += 1
         self.split_count += 1
         return left, right
 
@@ -122,11 +289,12 @@ class RangeTree:
         assert left is not None and right is not None
         if not (left.is_leaf and right.is_leaf):
             raise ValueError(f"children of {parent.prefix} are not both leaves")
-        left.dead = True
-        right.dead = True
+        self._detach(left)
+        self._detach(right)
         parent.left = None
         parent.right = None
         parent.state = state
+        self._leaf_count -= 1
         self.join_count += 1
         return parent
 
@@ -159,20 +327,31 @@ class RangeTree:
                 stack.append((node.left, False))
 
     def leaf_count(self) -> int:
-        return sum(1 for __ in self.leaves())
+        """Number of leaves — O(1), maintained by split/join/prune."""
+        return self._leaf_count
 
-    def classified_leaves(self) -> Iterator[RangeNode]:
-        return (leaf for leaf in self.leaves() if leaf.is_classified)
+    def classified_count(self) -> int:
+        """Number of classified leaves — O(1)."""
+        return len(self._classified)
+
+    def classified_leaves(self) -> list[RangeNode]:
+        """The classified leaves in address order."""
+        return sorted(self._classified, key=lambda node: node.prefix.value)
 
     # -- maintenance -------------------------------------------------------------
 
-    def prune(self, removable: Callable[[RangeNode], bool]) -> int:
-        """Collapse sibling leaves that are both *removable*.
+    def prune(
+        self,
+        removable: Callable[[RangeNode], bool],
+        on_remove: Optional[Callable[[RangeNode], None]] = None,
+    ) -> int:
+        """Collapse sibling leaves that are both *removable* (full walk).
 
-        Used to reclaim trie structure left behind by expired ranges:
-        when both children of a node are removable leaves, the node
+        When both children of a node are removable leaves, the node
         reverts to a single empty unclassified leaf.  Returns the number
         of collapses performed (cascades bottom-up in one call).
+        *on_remove* is invoked for each detached child so callers can
+        clean up per-prefix side tables.
         """
         collapsed = 0
         for parent in list(self.internal_nodes_postorder()):
@@ -182,13 +361,59 @@ class RangeTree:
             if not (left.is_leaf and right.is_leaf):
                 continue
             if removable(left) and removable(right):
-                left.dead = True
-                right.dead = True
-                parent.left = None
-                parent.right = None
-                parent.state = UnclassifiedState()
+                self._collapse(parent, on_remove)
                 collapsed += 1
         return collapsed
+
+    def prune_upward(
+        self,
+        candidates: Iterable[RangeNode],
+        removable: Callable[[RangeNode], bool],
+        on_remove: Optional[Callable[[RangeNode], None]] = None,
+    ) -> int:
+        """Collapse removable sibling pairs reachable from *candidates*.
+
+        The incremental counterpart of :meth:`prune`: instead of walking
+        the whole trie, start from the leaves known to have just become
+        removable and cascade upward through their ancestors.  Produces
+        the same collapses as a full walk, because a pair can only become
+        collapsible when one of its members changes — and every change
+        puts that member in the candidate set.
+        """
+        collapsed = 0
+        for leaf in candidates:
+            if leaf.dead:
+                continue  # already collapsed via an earlier candidate
+            parent = leaf.parent
+            while parent is not None:
+                left, right = parent.left, parent.right
+                if left is None or right is None:
+                    break
+                if not (left.is_leaf and right.is_leaf):
+                    break
+                if not (removable(left) and removable(right)):
+                    break
+                self._collapse(parent, on_remove)
+                collapsed += 1
+                parent = parent.parent
+        return collapsed
+
+    def _collapse(
+        self,
+        parent: RangeNode,
+        on_remove: Optional[Callable[[RangeNode], None]] = None,
+    ) -> None:
+        """Turn *parent* back into a single empty unclassified leaf."""
+        left, right = parent.left, parent.right
+        assert left is not None and right is not None
+        for child in (left, right):
+            self._detach(child)
+            if on_remove is not None:
+                on_remove(child)
+        parent.left = None
+        parent.right = None
+        parent.state = UnclassifiedState()
+        self._leaf_count -= 1
 
     def clear_cache(self) -> None:
         """Drop the masked-IP lookup cache (e.g. between time buckets)."""

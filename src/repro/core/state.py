@@ -14,16 +14,29 @@ prescribes asymmetric state for the two:
 
 Counters are floats because the decay function scales them down
 multiplicatively while a classified range is idle.
+
+Both kinds of state expose constant-time bookkeeping used by the
+incremental sweep machinery:
+
+* ``entry_count()`` — the number of (source, ingress) counter cells,
+  maintained on every mutation so the engine's ``state_size()`` costs
+  O(leaves) instead of O(entries).
+* ``oldest_seen`` (unclassified only) — a lower bound on the oldest
+  ``last_seen`` timestamp in the range, used to schedule expiry visits:
+  a range cannot contain anything expirable before ``oldest_seen``
+  crosses the expiry cutoff.  ``expire`` re-tightens the bound exactly.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterable
+from typing import Iterable, Mapping
 
 from ..topology.elements import IngressPoint
 
 __all__ = ["UnclassifiedState", "ClassifiedState"]
+
+_INF = float("inf")
 
 
 @dataclass
@@ -34,8 +47,18 @@ class UnclassifiedState:
     per_ip: dict[int, dict[IngressPoint, float]] = field(default_factory=dict)
     #: masked source IP -> timestamp of its newest sample
     last_seen: dict[int, float] = field(default_factory=dict)
-    #: running total of all weights in :attr:`per_ip`
+    #: running total of all weights in :attr:`per_ip`; re-derived exactly
+    #: from the map whenever :meth:`expire` removes anything, so float
+    #: drift from incremental updates never accumulates across sweeps
     total: float = 0.0
+    #: number of (source, ingress) counter cells in :attr:`per_ip`
+    entries: int = 0
+    #: lower bound on ``min(last_seen.values())`` (``inf`` when empty);
+    #: used by the expiry scheduler, re-tightened exactly by ``expire``
+    oldest_seen: float = _INF
+    #: bound at which this range was last pushed onto the expiry heap
+    #: (scheduler-private; ``inf`` means "not currently scheduled")
+    heap_bound: float = field(default=_INF, repr=False, compare=False)
 
     def add(
         self,
@@ -47,27 +70,92 @@ class UnclassifiedState:
         """Record one sample."""
         by_ingress = self.per_ip.get(masked_ip)
         if by_ingress is None:
-            by_ingress = {}
-            self.per_ip[masked_ip] = by_ingress
-        by_ingress[ingress] = by_ingress.get(ingress, 0.0) + weight
-        previous = self.last_seen.get(masked_ip)
-        if previous is None or timestamp > previous:
+            self.per_ip[masked_ip] = {ingress: weight}
             self.last_seen[masked_ip] = timestamp
+            self.entries += 1
+        else:
+            previous_weight = by_ingress.get(ingress)
+            if previous_weight is None:
+                by_ingress[ingress] = weight
+                self.entries += 1
+            else:
+                by_ingress[ingress] = previous_weight + weight
+            if timestamp > self.last_seen[masked_ip]:
+                self.last_seen[masked_ip] = timestamp
         self.total += weight
+        if timestamp < self.oldest_seen:
+            self.oldest_seen = timestamp
+
+    def add_batch(
+        self,
+        masked_ip: int,
+        by_ingress: dict[IngressPoint, float],
+        newest: float,
+        oldest: float,
+    ) -> None:
+        """Fold a pre-aggregated group of samples for one masked source.
+
+        *by_ingress* carries the summed weight per ingress for the group
+        (ownership is taken when the source is new — callers must pass a
+        fresh dict); *newest*/*oldest* are the extreme timestamps of the
+        group.  Equivalent to calling :meth:`add` per sample whenever the
+        weights are exactly representable (flow counts and byte counts
+        are integers, so in practice always).
+        """
+        existing = self.per_ip.get(masked_ip)
+        if existing is None:
+            self.per_ip[masked_ip] = by_ingress
+            self.last_seen[masked_ip] = newest
+            self.entries += len(by_ingress)
+            self.total += sum(by_ingress.values())
+        else:
+            get = existing.get
+            entries = 0
+            total = 0.0
+            for ingress, weight in by_ingress.items():
+                previous_weight = get(ingress)
+                if previous_weight is None:
+                    existing[ingress] = weight
+                    entries += 1
+                else:
+                    existing[ingress] = previous_weight + weight
+                total += weight
+            self.entries += entries
+            self.total += total
+            if newest > self.last_seen[masked_ip]:
+                self.last_seen[masked_ip] = newest
+        if oldest < self.oldest_seen:
+            self.oldest_seen = oldest
 
     def expire(self, cutoff: float) -> int:
         """Drop all sources last seen strictly before *cutoff*.
 
-        Returns the number of masked IPs removed.
+        Returns the number of masked IPs removed.  Whenever anything is
+        removed, ``total`` is recomputed exactly from the surviving map
+        (the scan is already O(sources), so the resync is free) and
+        ``oldest_seen`` is re-tightened to the true minimum.
         """
         stale = [ip for ip, seen in self.last_seen.items() if seen < cutoff]
+        if not stale:
+            return 0
+        per_ip = self.per_ip
+        last_seen = self.last_seen
         for ip in stale:
-            removed = self.per_ip.pop(ip, None)
+            removed = per_ip.pop(ip, None)
             if removed:
-                self.total -= sum(removed.values())
-            del self.last_seen[ip]
-        if not self.per_ip:
+                self.entries -= len(removed)
+            del last_seen[ip]
+        if per_ip:
+            self.total = sum(
+                weight
+                for by_ingress in per_ip.values()
+                for weight in by_ingress.values()
+            )
+            self.oldest_seen = min(last_seen.values())
+        else:
             self.total = 0.0
+            self.entries = 0
+            self.oldest_seen = _INF
         return len(stale)
 
     def ingress_totals(self) -> dict[IngressPoint, float]:
@@ -77,6 +165,10 @@ class UnclassifiedState:
             for ingress, weight in by_ingress.items():
                 totals[ingress] = totals.get(ingress, 0.0) + weight
         return totals
+
+    def entry_count(self) -> int:
+        """Number of (source, ingress) counter cells — O(1)."""
+        return self.entries
 
     @property
     def sample_count(self) -> float:
@@ -109,6 +201,21 @@ class ClassifiedState:
         if timestamp > self.last_seen:
             self.last_seen = timestamp
 
+    def add_batch(
+        self, by_ingress: Mapping[IngressPoint, float], newest: float
+    ) -> None:
+        """Fold pre-aggregated per-ingress weight sums into the counters."""
+        counters = self.counters
+        get = counters.get
+        for ingress, weight in by_ingress.items():
+            previous_weight = get(ingress)
+            if previous_weight is None:
+                counters[ingress] = weight
+            else:
+                counters[ingress] = previous_weight + weight
+        if newest > self.last_seen:
+            self.last_seen = newest
+
     def decay(self, factor: float, floor: float = 1e-9) -> None:
         """Scale all counters down; counters below *floor* are removed."""
         if not 0.0 <= factor <= 1.0:
@@ -119,6 +226,10 @@ class ClassifiedState:
             if weight * factor >= floor
         }
         self.counters = decayed
+
+    def entry_count(self) -> int:
+        """Number of per-ingress counter cells — O(1)."""
+        return len(self.counters)
 
     @property
     def total(self) -> float:

@@ -19,7 +19,7 @@ from dataclasses import dataclass, field
 from typing import Iterator, Optional
 
 from ..core.iputil import IPV4, IPV6
-from ..netflow.records import FlowRecord
+from ..netflow.records import FlowBatch, FlowRecord, iter_flow_batches
 from ..topology.elements import IngressPoint, Link
 from ..topology.network import ISPTopology
 from .diurnal import DiurnalModel
@@ -128,6 +128,41 @@ class TrafficGenerator:
                 yield from self.bucket_flows(bucket_start, drift_buckets=skipped + 1)
                 skipped = 0
             bucket_start += config.bucket_seconds
+
+    def batches(self, batch_size: int = 0) -> Iterator[FlowBatch]:
+        """Yield the run as columnar batches for the engine's batched ingest.
+
+        One batch per maximal same-family run within each bucket (whole
+        buckets, in the common single-family case), so concatenating the
+        batches reproduces :meth:`flows` exactly.  A positive
+        *batch_size* additionally caps rows per batch.
+        """
+        config = self.config
+        bucket_start = config.start_time
+        end_time = config.start_time + config.duration_seconds
+        skipped = 0
+        while bucket_start < end_time:
+            if not self._is_active(bucket_start):
+                skipped += 1
+            else:
+                yield from self.bucket_batches(
+                    bucket_start, drift_buckets=skipped + 1, batch_size=batch_size
+                )
+                skipped = 0
+            bucket_start += config.bucket_seconds
+
+    def bucket_batches(
+        self,
+        bucket_start: float,
+        drift_buckets: int = 1,
+        batch_size: int = 0,
+    ) -> Iterator[FlowBatch]:
+        """One bucket of traffic as columnar same-family batches."""
+        flows = self.bucket_flows(bucket_start, drift_buckets)
+        if not flows:
+            return iter(())
+        limit = batch_size if batch_size > 0 else max(1, len(flows))
+        return iter_flow_batches(flows, limit)
 
     def _is_active(self, bucket_start: float) -> bool:
         window = self.config.active_hours

@@ -1,0 +1,97 @@
+"""Tests for the columnar FlowBatch record and the batched readers."""
+
+import io
+
+import pytest
+
+from repro.core.iputil import IPV4, IPV6, parse_ip
+from repro.netflow.records import (
+    FlowBatch,
+    FlowRecord,
+    iter_flow_batches,
+    read_flows_csv_batched,
+    write_flows_csv,
+)
+from repro.topology.elements import IngressPoint
+
+A = IngressPoint("R1", "et0")
+B = IngressPoint("R2", "xe0")
+
+
+def v4_flow(ts: float, src: str, ingress: IngressPoint = A, **kwargs) -> FlowRecord:
+    value, version = parse_ip(src)
+    return FlowRecord(timestamp=ts, src_ip=value, version=version,
+                      ingress=ingress, **kwargs)
+
+
+class TestFlowBatch:
+    def test_round_trip_via_iter_flows(self):
+        flows = [
+            v4_flow(1.0, "10.0.0.1", A, packets=3, bytes=4500),
+            v4_flow(2.0, "10.0.0.2", B, dst_ip=parse_ip("8.8.8.8")[0]),
+        ]
+        batch = FlowBatch.from_flows(flows)
+        assert len(batch) == 2
+        assert list(batch.iter_flows()) == flows
+
+    def test_mixed_families_rejected(self):
+        flows = [v4_flow(1.0, "10.0.0.1"), v4_flow(2.0, "2001:db8::1")]
+        with pytest.raises(ValueError):
+            FlowBatch.from_flows(flows)
+        batch = FlowBatch.empty(IPV4)
+        with pytest.raises(ValueError):
+            batch.append(v4_flow(0.0, "::1"))
+
+    def test_column_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            FlowBatch(IPV4, timestamps=[1.0], src_ips=[])
+
+    def test_slice_copies_rows(self):
+        flows = [v4_flow(float(i), f"10.0.0.{i}") for i in range(5)]
+        batch = FlowBatch.from_flows(flows)
+        cut = batch.slice(1, 3)
+        assert list(cut.iter_flows()) == flows[1:3]
+        cut.timestamps[0] = 99.0
+        assert batch.timestamps[1] == 1.0  # copy, not a view
+
+    def test_empty_from_flows(self):
+        batch = FlowBatch.from_flows([])
+        assert len(batch) == 0
+
+
+class TestIterFlowBatches:
+    def test_cuts_at_size(self):
+        flows = [v4_flow(float(i), f"10.0.0.{i}") for i in range(10)]
+        batches = list(iter_flow_batches(flows, batch_size=4))
+        assert [len(b) for b in batches] == [4, 4, 2]
+        rebuilt = [flow for b in batches for flow in b.iter_flows()]
+        assert rebuilt == flows
+
+    def test_cuts_at_family_change(self):
+        flows = [
+            v4_flow(0.0, "10.0.0.1"),
+            v4_flow(1.0, "2001:db8::1"),
+            v4_flow(2.0, "10.0.0.2"),
+        ]
+        batches = list(iter_flow_batches(flows, batch_size=100))
+        assert [b.version for b in batches] == [IPV4, IPV6, IPV4]
+        rebuilt = [flow for b in batches for flow in b.iter_flows()]
+        assert rebuilt == flows
+
+    def test_invalid_batch_size(self):
+        with pytest.raises(ValueError):
+            list(iter_flow_batches([], batch_size=0))
+
+
+class TestCSVBatched:
+    def test_csv_round_trip_batched(self):
+        flows = [v4_flow(float(i), f"10.0.{i}.1", A if i % 2 else B,
+                         packets=i + 1, bytes=100 * (i + 1))
+                 for i in range(7)]
+        buffer = io.StringIO()
+        write_flows_csv(flows, buffer)
+        buffer.seek(0)
+        batches = list(read_flows_csv_batched(buffer, batch_size=3))
+        rebuilt = [flow for b in batches for flow in b.iter_flows()]
+        assert rebuilt == flows
+        assert [len(b) for b in batches] == [3, 3, 1]

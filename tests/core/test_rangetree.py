@@ -159,6 +159,114 @@ class TestIteration:
         assert classified == [left]
 
 
+class TestCacheBound:
+    def test_lru_eviction_caps_size(self):
+        tree = RangeTree(IPV4, cache_capacity=4)
+        for offset in range(10):
+            tree.lookup_leaf(offset)
+        assert tree.cache_size() == 4
+        assert tree.cache_evictions == 6
+        # oldest entries (0..5) were evicted, newest (6..9) survive
+        hits_before = tree.cache_hits
+        tree.lookup_leaf(9)
+        assert tree.cache_hits == hits_before + 1
+        misses_before = tree.cache_misses
+        tree.lookup_leaf(0)
+        assert tree.cache_misses == misses_before + 1
+
+    def test_lru_recency_updated_on_hit(self):
+        tree = RangeTree(IPV4, cache_capacity=2)
+        tree.lookup_leaf(1)
+        tree.lookup_leaf(2)
+        tree.lookup_leaf(1)  # refresh 1 → 2 becomes the LRU victim
+        tree.lookup_leaf(3)
+        assert 1 in tree._cache and 3 in tree._cache
+        assert 2 not in tree._cache
+
+    def test_hit_and_miss_counters(self):
+        tree = RangeTree(IPV4)
+        tree.lookup_leaf(7)
+        tree.lookup_leaf(7)
+        tree.lookup_leaf(8)
+        assert tree.cache_hits == 1
+        assert tree.cache_misses == 2
+
+
+class TestIncrementalCounters:
+    def walked_leaf_count(self, tree: RangeTree) -> int:
+        return sum(1 for __ in tree.leaves())
+
+    def test_leaf_count_tracks_split_join_prune(self):
+        tree = RangeTree(IPV4)
+        assert tree.leaf_count() == self.walked_leaf_count(tree) == 1
+        left, right = tree.split(tree.root)
+        tree.split(left)
+        assert tree.leaf_count() == self.walked_leaf_count(tree) == 3
+        tree.prune(lambda node: True)
+        assert tree.leaf_count() == self.walked_leaf_count(tree) == 1
+        tree.split(tree.root)
+        tree.join(tree.root, UnclassifiedState())
+        assert tree.leaf_count() == self.walked_leaf_count(tree) == 1
+
+    def test_classified_count_tracks_state_assignment(self):
+        tree = RangeTree(IPV4)
+        left, right = tree.split(tree.root)
+        assert tree.classified_count() == 0
+        left.state = ClassifiedState(A, {A: 1.0}, 0.0, 0.0)
+        right.state = ClassifiedState(A, {A: 1.0}, 0.0, 0.0)
+        assert tree.classified_count() == 2
+        right.state = UnclassifiedState()  # drop
+        assert tree.classified_count() == 1
+        assert tree.classified_leaves() == [left]
+        tree.join(tree.root, ClassifiedState(A, {A: 2.0}, 0.0, 0.0))
+        assert tree.classified_count() == 1
+        assert tree.classified_leaves() == [tree.root]
+
+    def test_dirty_tracks_touched_leaves(self):
+        tree = RangeTree(IPV4)
+        tree.drain_dirty()  # root registers at construction
+        left, right = tree.split(tree.root)
+        assert tree.drain_dirty() == {left, right}
+        assert tree.drain_dirty() == set()
+        left.state.add(ip("1.2.3.4"), A, 0.0)
+        # direct state mutation is invisible; assignment is tracked
+        right.state = ClassifiedState(A, {A: 1.0}, 0.0, 0.0)
+        assert right in tree.drain_dirty()
+
+
+class TestExpiryHeap:
+    def test_pop_due_returns_old_leaves_once(self):
+        tree = RangeTree(IPV4)
+        left, right = tree.split(tree.root)
+        left.state.add(ip("1.0.0.0"), A, 10.0)
+        tree.schedule_expiry(left)
+        right.state.add(ip("200.0.0.0"), A, 500.0)
+        tree.schedule_expiry(right)
+        assert tree.pop_expiry_due(100.0) == [left]
+        assert tree.pop_expiry_due(100.0) == []  # popped = unscheduled
+        assert tree.pop_expiry_due(1000.0) == [right]
+
+    def test_stale_entries_skipped_after_split(self):
+        tree = RangeTree(IPV4)
+        root_state = tree.root.state
+        root_state.add(ip("10.0.0.0"), A, 1.0)
+        tree.schedule_expiry(tree.root)
+        left, __ = tree.split(tree.root)  # root is internal now
+        due = tree.pop_expiry_due(1e9)
+        assert tree.root not in due
+        assert due == [left]  # split re-scheduled the inheriting child
+
+    def test_rearming_at_lower_bound_supersedes(self):
+        tree = RangeTree(IPV4)
+        state = tree.root.state
+        state.add(ip("1.0.0.0"), A, 100.0)
+        tree.schedule_expiry(tree.root)
+        state.add(ip("2.0.0.0"), A, 20.0)  # older sample lowers the bound
+        tree.schedule_expiry(tree.root)
+        assert tree.pop_expiry_due(50.0) == [tree.root]
+        assert tree.pop_expiry_due(500.0) == []  # stale 100.0 entry skipped
+
+
 class TestPrune:
     def test_prune_collapses_empty_siblings(self):
         tree = RangeTree(IPV4)
@@ -177,6 +285,33 @@ class TestPrune:
         removed = tree.prune(lambda node: True)
         assert removed == 2
         assert tree.root.is_leaf
+
+    def test_prune_upward_matches_full_prune(self):
+        tree = RangeTree(IPV4)
+        left, __ = tree.split(tree.root)
+        leftleft, __ = tree.split(left)
+        removed_prefixes = []
+        removed = tree.prune_upward(
+            [leftleft],
+            lambda node: True,
+            on_remove=lambda node: removed_prefixes.append(node.prefix),
+        )
+        assert removed == 2  # cascades: /2 pair, then /1 pair
+        assert tree.root.is_leaf
+        assert tree.leaf_count() == 1
+        assert len(removed_prefixes) == 4
+
+    def test_prune_upward_stops_at_nonremovable_sibling(self):
+        tree = RangeTree(IPV4)
+        left, right = tree.split(tree.root)
+        right.state.add(ip("200.0.0.0"), A, 0.0)
+        removed = tree.prune_upward(
+            [left],
+            lambda node: isinstance(node.state, UnclassifiedState)
+            and node.state.is_empty(),
+        )
+        assert removed == 0
+        assert not tree.root.is_leaf
 
     def test_prune_keeps_nonempty(self):
         tree = RangeTree(IPV4)

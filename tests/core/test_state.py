@@ -1,12 +1,36 @@
 """Tests for per-range state (unclassified and classified)."""
 
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
+from repro.core.iputil import IPV4
+from repro.core.rangetree import RangeTree
 from repro.core.state import ClassifiedState, UnclassifiedState
 from repro.topology.elements import IngressPoint
 
 A = IngressPoint("R1", "et0")
 B = IngressPoint("R2", "et0")
+C = IngressPoint("R3", "et0")
+INGRESSES = (A, B, C)
+
+INF = float("inf")
+
+
+def check_invariants(state: UnclassifiedState) -> None:
+    """total/entries/oldest_seen must track per_ip exactly, always."""
+    weights = [
+        weight
+        for by_ingress in state.per_ip.values()
+        for weight in by_ingress.values()
+    ]
+    assert state.total == sum(weights)  # exact, not approx: no drift
+    assert state.entries == len(weights)
+    assert set(state.per_ip) == set(state.last_seen)
+    if state.last_seen:
+        assert state.oldest_seen <= min(state.last_seen.values())
+    else:
+        assert state.oldest_seen == INF
 
 
 class TestUnclassifiedState:
@@ -65,6 +89,88 @@ class TestUnclassifiedState:
         state.add(10, A, 7.0)
         state.add(11, A, 9.0)
         assert state.newest_timestamp == 9.0
+
+
+class TestUnclassifiedBatch:
+    def test_add_batch_new_source_takes_ownership(self):
+        state = UnclassifiedState()
+        group = {A: 2.0, B: 1.0}
+        state.add_batch(10, group, newest=5.0, oldest=3.0)
+        assert state.per_ip[10] is group
+        assert state.total == 3.0
+        assert state.entries == 2
+        assert state.last_seen[10] == 5.0
+        assert state.oldest_seen == 3.0
+
+    def test_add_batch_merges_existing_source(self):
+        state = UnclassifiedState()
+        state.add(10, A, timestamp=4.0, weight=1.0)
+        state.add_batch(10, {A: 2.0, B: 3.0}, newest=6.0, oldest=2.0)
+        assert state.per_ip[10] == {A: 3.0, B: 3.0}
+        assert state.total == 6.0
+        assert state.entries == 2
+        assert state.last_seen[10] == 6.0
+        assert state.oldest_seen == 2.0
+        check_invariants(state)
+
+    def test_add_batch_equals_per_sample_adds(self):
+        samples = [(10, A, 4.0), (10, B, 2.0), (10, A, 6.0)]
+        one_by_one = UnclassifiedState()
+        for ip, ingress, ts in samples:
+            one_by_one.add(ip, ingress, ts)
+        grouped = UnclassifiedState()
+        by_ingress: dict = {}
+        for __, ingress, ___ in samples:
+            by_ingress[ingress] = by_ingress.get(ingress, 0.0) + 1.0
+        grouped.add_batch(
+            10, by_ingress,
+            newest=max(ts for *__, ts in samples),
+            oldest=min(ts for *__, ts in samples),
+        )
+        assert one_by_one == grouped
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    st.lists(
+        st.tuples(
+            st.integers(min_value=0, max_value=5),     # 0-2 add / 3 expire / 4 split / 5 batch
+            st.integers(min_value=0, max_value=(1 << 32) - 1),
+            st.integers(min_value=0, max_value=600),   # timestamp
+            st.integers(min_value=1, max_value=9),     # weight
+        ),
+        min_size=1,
+        max_size=80,
+    )
+)
+def test_property_total_never_drifts(operations):
+    """After any add/expire/split/add_batch sequence, ``total`` equals the
+    exact sum of per_ip weights — the incremental counters cannot drift."""
+    tree = RangeTree(IPV4)
+    for opcode, address, timestamp, weight in operations:
+        leaves = [
+            leaf for leaf in tree.leaves()
+            if isinstance(leaf.state, UnclassifiedState)
+        ]
+        target = leaves[address % len(leaves)]
+        state = target.state
+        if opcode <= 2:
+            state.add(address, INGRESSES[opcode], float(timestamp),
+                      float(weight))
+        elif opcode == 3:
+            state.expire(cutoff=float(timestamp))
+        elif opcode == 4 and target.prefix.masklen < 24:
+            tree.split(target)
+        else:
+            state.add_batch(
+                address,
+                {INGRESSES[weight % 3]: float(weight)},
+                newest=float(timestamp),
+                oldest=float(max(0, timestamp - weight)),
+            )
+        for leaf in tree.leaves():
+            if isinstance(leaf.state, UnclassifiedState):
+                check_invariants(leaf.state)
 
 
 class TestClassifiedState:

@@ -1,0 +1,173 @@
+"""Batched ingest must be indistinguishable from per-flow ingest.
+
+The columnar hot path regroups flows by masked source before touching
+the trie, so these tests pin the core guarantee: for integer-valued
+weights, `ingest_batch()` over a stream chopped into arbitrary batches
+produces *byte-identical* snapshots, state sizes and trie shapes to
+feeding the same stream through `ingest()` one flow at a time — on the
+fig05-style algorithm example and on a dual-stack synthetic scenario,
+through splits, classifications, joins, expiry and drops.
+"""
+
+import random
+
+from repro.core.algorithm import IPD
+from repro.core.driver import OfflineDriver
+from repro.core.iputil import IPV4, IPV6, parse_ip
+from repro.core.params import IPDParams
+from repro.netflow.records import FlowRecord, iter_flow_batches
+from repro.topology.elements import IngressPoint
+
+NORTH = IngressPoint("R1", "et0")
+EAST = IngressPoint("R2", "et0")
+SOUTH = IngressPoint("R3", "et0")
+WEST = IngressPoint("R4", "et0")
+CORNERS = (NORTH, EAST, SOUTH, WEST)
+
+
+def fig05_trace() -> list[FlowRecord]:
+    """The algorithm example: four ingresses own four corners of v4 space.
+
+    Twelve 60 s rounds of 40 flows per corner — enough to drive the
+    split cascade from /0 down and classify each quarter, with one
+    corner going quiet halfway (expiry + decay + drop coverage).
+    """
+    flows: list[FlowRecord] = []
+    corner_bases = [
+        parse_ip("10.0.0.0")[0],
+        parse_ip("80.0.0.0")[0],
+        parse_ip("140.0.0.0")[0],
+        parse_ip("200.0.0.0")[0],
+    ]
+    for round_index in range(12):
+        round_start = round_index * 60.0
+        for corner, base in zip(CORNERS, corner_bases):
+            if corner is WEST and round_index >= 6:
+                continue  # west goes dark: expiry/decay/drop path
+            for flow_index in range(40):
+                flows.append(
+                    FlowRecord(
+                        timestamp=round_start + flow_index * 1.4,
+                        src_ip=base + (flow_index % 16) * 16,
+                        version=IPV4,
+                        ingress=corner,
+                    )
+                )
+    flows.sort(key=lambda flow: flow.timestamp)
+    return flows
+
+
+def dualstack_trace(seed: int = 11) -> list[FlowRecord]:
+    """Interleaved v4+v6 flows with churn: remaps, noise, idle gaps."""
+    rng = random.Random(seed)
+    v4_bases = [parse_ip(f"{10 + 40 * i}.0.0.0")[0] for i in range(4)]
+    v6_bases = [parse_ip(f"2001:db8:{i:x}::")[0] for i in range(4)]
+    flows: list[FlowRecord] = []
+    for round_index in range(10):
+        round_start = round_index * 60.0
+        for slot in range(120):
+            ts = round_start + slot * 0.5
+            zone = rng.randrange(4)
+            # owner remaps halfway through; 5% noise from a random ingress
+            owner = CORNERS[zone] if round_index < 5 else CORNERS[(zone + 1) % 4]
+            ingress = rng.choice(CORNERS) if rng.random() < 0.05 else owner
+            if rng.random() < 0.3:
+                base = v6_bases[zone]
+                version = IPV6
+                src = base + rng.randrange(64) * (1 << 64)
+            else:
+                base = v4_bases[zone]
+                version = IPV4
+                src = base + rng.randrange(64) * 16
+            flows.append(
+                FlowRecord(timestamp=ts, src_ip=src, version=version,
+                           ingress=ingress, bytes=rng.choice((64, 576, 1500)))
+            )
+    flows.sort(key=lambda flow: flow.timestamp)
+    return flows
+
+
+def random_batches(flows, rng):
+    """Chop the stream into randomly sized runs (family cuts automatic)."""
+    index = 0
+    while index < len(flows):
+        size = rng.randrange(1, 97)
+        chunk = flows[index:index + size]
+        yield from iter_flow_batches(chunk, batch_size=len(chunk))
+        index += size
+
+
+def engine_states(ipd: IPD, now: float):
+    return (
+        ipd.snapshot(now, include_unclassified=True),
+        ipd.state_size(),
+        ipd.leaf_count(),
+        ipd.flows_ingested,
+        ipd.bytes_ingested,
+        {version: tree.classified_count() for version, tree in ipd.trees.items()},
+    )
+
+
+def run_equivalence(flows, params, seed):
+    """Drive per-flow vs batched engines sweep-by-sweep, comparing state."""
+    rng = random.Random(seed)
+    reference = IPD(params)
+    batched = IPD(params)
+    sweep_at = 60.0
+    pending: list[FlowRecord] = []
+
+    def flush_and_sweep(now):
+        nonlocal pending
+        for flow in pending:
+            reference.ingest(flow)
+        for batch in random_batches(pending, rng):
+            batched.ingest_batch(batch)
+        pending = []
+        reference.sweep(now)
+        batched.sweep(now)
+        assert engine_states(reference, now) == engine_states(batched, now)
+
+    for flow in flows:
+        while flow.timestamp >= sweep_at:
+            flush_and_sweep(sweep_at)
+            sweep_at += 60.0
+        pending.append(flow)
+    # a few trailing idle sweeps exercise expiry/decay/drop on both paths
+    for __ in range(6):
+        flush_and_sweep(sweep_at)
+        sweep_at += 60.0
+
+
+class TestBatchEquivalence:
+    def test_fig05_algorithm_example(self):
+        params = IPDParams(n_cidr_factor_v4=0.005, n_cidr_factor_v6=0.005)
+        run_equivalence(fig05_trace(), params, seed=3)
+
+    def test_dualstack_synthetic(self):
+        params = IPDParams(
+            n_cidr_factor_v4=0.002, n_cidr_factor_v6=0.002, count_bytes=True
+        )
+        run_equivalence(dualstack_trace(), params, seed=5)
+
+    def test_offline_driver_batch_stream_matches_per_flow(self):
+        """The driver cuts batches at sweep boundaries exactly."""
+        flows = fig05_trace()
+        params = IPDParams(n_cidr_factor_v4=0.005, n_cidr_factor_v6=0.005)
+        per_flow = OfflineDriver(params, snapshot_seconds=120.0).run(flows)
+        batched = OfflineDriver(params, snapshot_seconds=120.0).run(
+            iter_flow_batches(flows, batch_size=97)
+        )
+        assert per_flow.flows_processed == batched.flows_processed
+        assert per_flow.snapshots == batched.snapshots
+
+    def test_ingest_many_matches_per_flow(self):
+        flows = dualstack_trace(seed=29)
+        params = IPDParams(n_cidr_factor_v4=0.002, n_cidr_factor_v6=0.002)
+        reference = IPD(params)
+        for flow in flows:
+            reference.ingest(flow)
+        bulk = IPD(params)
+        bulk.ingest_many(flows)
+        reference.sweep(600.0)
+        bulk.sweep(600.0)
+        assert engine_states(reference, 600.0) == engine_states(bulk, 600.0)
