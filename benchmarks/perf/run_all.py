@@ -17,6 +17,12 @@ Three groups of measurements, all on the §5.7 workload (4096 distinct
   dirty) vs subsequent *idle* sweeps, at growing state sizes.  With
   dirty-range sweeps the idle cost tracks the classified-leaf count,
   not the total state size.
+* ``sharded_mp`` — steady-state ``ingest_batch()`` through the sharded
+  runtime's multiprocessing executor vs a single warm engine, on a
+  source-spread variant of the workload (the §5.7 sources sit in one
+  /16, which a depth-3 shard split cannot spread).  Recorded, not
+  gated: the ratio depends on the core count, which is captured
+  alongside.  The target is ≥ 2x single-engine on ≥ 4 cores.
 
 ``--check BASELINE`` re-runs the ingest group and fails (exit 1) if any
 path regresses more than ``--tolerance`` (default 30%) against the
@@ -204,6 +210,87 @@ def bench_sweep() -> list[dict]:
     return results
 
 
+def build_spread_flows(count: int) -> list[FlowRecord]:
+    """The sec57 workload with sources spread over the whole v4 space.
+
+    Knuth-hash the index so every depth-3 subtree carries ~1/8 of the
+    traffic — the shape address-space sharding is designed for.
+    """
+    return [
+        FlowRecord(
+            timestamp=index * 0.001,
+            src_ip=(index * 2654435761) & 0xFFFFFFF0,
+            version=IPV4,
+            ingress=INGRESSES[(index // 512) % len(INGRESSES)],
+        )
+        for index in range(count)
+    ]
+
+
+def bench_sharded_mp(flow_count: int, repeats: int,
+                     shards: int = 8) -> dict:
+    import os
+
+    from repro.runtime import ShardedIPD
+
+    cores = os.cpu_count() or 1
+    workers = min(4, cores)
+    # thresholds low enough that the split cascade reaches the shard
+    # depth with this flow budget (sec57's 0.05 would keep /0 whole)
+    params = IPDParams(n_cidr_factor_v4=1e-5, n_cidr_factor_v6=1e-5)
+    flows = build_spread_flows(flow_count)
+    batches = list(iter_flow_batches(flows, batch_size=8192))
+    sweep_at = flows[-1].timestamp + 0.001
+
+    def warm(engine) -> None:
+        # steady state: leaves exist, the shard split is fully delegated
+        for batch in batches:
+            engine.ingest_batch(batch)
+        for step in range(6):
+            engine.sweep(sweep_at + step * 0.01)
+
+    single = IPD(params)
+    warm(single)
+
+    def run_single():
+        for batch in batches:
+            single.ingest_batch(batch)
+
+    single_rate = len(flows) / best_of(run_single, repeats)
+
+    engine = ShardedIPD(params, shards=shards, executor="mp", workers=workers)
+    warm(engine)
+    engine.state_size()  # metrics round trip: workers fully drained
+
+    def run_mp():
+        for batch in batches:
+            engine.ingest_batch(batch)
+        # FIFO barrier: the metrics reply implies every feed was applied
+        engine.state_size()
+
+    mp_rate = len(flows) / best_of(run_mp, repeats)
+    delegated = sum(len(indices) for indices in engine._delegated.values())
+    engine.close()
+
+    ratio = mp_rate / single_rate if single_rate else 0.0
+    result = {
+        "cores": cores,
+        "workers": workers,
+        "shards": shards,
+        "delegated_shards": delegated,
+        "single_engine_flows_per_second": round(single_rate),
+        "mp_flows_per_second": round(mp_rate),
+        "mp_vs_single_ratio": round(ratio, 2),
+        "target": "mp >= 2x single-engine ingest_batch on >= 4 cores",
+        "target_applicable": cores >= 4,
+        "target_met": cores >= 4 and ratio >= 2.0,
+    }
+    print(f"  sharded_mp cores={cores} workers={workers} shards={shards} "
+          f"single={single_rate:,.0f} mp={mp_rate:,.0f} flows/s "
+          f"({ratio:.2f}x; target applies on >= 4 cores)")
+    return result
+
+
 def run_benchmarks(flow_count: int, repeats: int) -> dict:
     print(f"sec57 workload: {flow_count:,} flows, best of {repeats}")
     flows = build_flows(flow_count)
@@ -222,6 +309,7 @@ def run_benchmarks(flow_count: int, repeats: int) -> dict:
         "ingest": bench_ingest(flows, repeats),
         "batch_size_scaling": bench_batch_sizes(flows, repeats),
         "sweep": bench_sweep(),
+        "sharded_mp": bench_sharded_mp(flow_count, repeats),
     }
     return results
 

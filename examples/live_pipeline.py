@@ -6,14 +6,18 @@ single central IPD process in two threads (ingest + periodic sweep).
 This example wires the same pipeline with real threads and wall-clock
 sweeps, at interactive speed:
 
-  per-router streams -> PacketSampler -> StatisticalTime -> ThreadedIPD
+  per-router streams -> PacketSampler -> StatisticalTime -> LivePipeline
+
+(``LivePipeline`` replaced the old ``ThreadedIPD``, which remains as a
+deprecated alias; the live runtime can also shard the address space with
+``shards=N, executor="threaded"|"mp"``.)
 
 Run:  python examples/live_pipeline.py
 """
 
 import time
 
-from repro import IPDParams, ThreadedIPD
+from repro import IPDParams, LivePipeline
 from repro.core.iputil import parse_ip
 from repro.netflow.collector import merge_streams
 from repro.netflow.records import FlowRecord
@@ -37,7 +41,7 @@ def router_stream(router: str, base_text: str, count: int, skew: float):
 
 def main() -> None:
     params = IPDParams(n_cidr_factor_v4=0.02, n_cidr_factor_v6=0.02)
-    runner = ThreadedIPD(params, sweep_interval=0.25)
+    runner = LivePipeline(params, sweep_interval=0.25)
     runner.start()
     print("central IPD process started (sweeps every 0.25 s wall clock)")
 

@@ -1,9 +1,10 @@
 """repro — reproduction of "IPD: Detecting Traffic Ingress Points at ISPs".
 
 Public API re-exports the pieces a downstream user needs most: the IPD
-engine and its parameters, the offline driver, the flow/topology models
-and the workload generator.  Analyses, baselines and the parameter study
-live in their subpackages.
+engine and its parameters, the pipeline runtime (offline replay, live
+wall-clock, address-space sharding), the flow/topology models and the
+workload generator.  Analyses, baselines and the parameter study live in
+their subpackages.
 """
 
 from .archive import SnapshotArchive
@@ -21,6 +22,7 @@ from .core import (
     build_lpm_from_records,
 )
 from .netflow import FlowRecord, PacketSampler, StatisticalTime
+from .runtime import LivePipeline, Pipeline, ShardedIPD
 from .topology import IngressPoint, ISPTopology, LinkType, TopologySpec, generate_topology
 
 __version__ = "1.0.0"
@@ -34,10 +36,13 @@ __all__ = [
     "ISPTopology",
     "LPMTable",
     "LinkType",
+    "LivePipeline",
     "OfflineDriver",
     "PacketSampler",
+    "Pipeline",
     "Prefix",
     "RunResult",
+    "ShardedIPD",
     "SnapshotArchive",
     "SteeringPlan",
     "SteeringPolicy",

@@ -21,7 +21,6 @@ import argparse
 import sys
 from typing import Optional, Sequence
 
-from .core.driver import OfflineDriver
 from .core.iputil import parse_ip
 from .core.lpm import build_lpm_from_records
 from .core.output import read_records_csv, write_records_csv
@@ -31,6 +30,7 @@ from .netflow.records import (
     read_flows_csv_batched,
     write_flows_csv,
 )
+from .runtime import EXECUTOR_KINDS, Pipeline
 
 __all__ = ["main"]
 
@@ -62,17 +62,30 @@ def _params_from(args: argparse.Namespace) -> IPDParams:
 
 def _cmd_run(args: argparse.Namespace) -> int:
     params = _params_from(args)
-    driver = OfflineDriver(params, snapshot_seconds=args.snapshot_seconds)
-    with open(args.flows) as stream:
-        if args.batch_size > 0:
-            result = driver.run(read_flows_csv_batched(stream, args.batch_size))
-        else:
-            result = driver.run(read_flows_csv(stream))
+    with Pipeline(
+        params,
+        shards=args.shards,
+        executor=args.executor,
+        workers=args.workers,
+        snapshot_seconds=args.snapshot_seconds,
+    ) as pipeline:
+        with open(args.flows) as stream:
+            if args.batch_size > 0:
+                result = pipeline.run(
+                    read_flows_csv_batched(stream, args.batch_size)
+                )
+            else:
+                result = pipeline.run(read_flows_csv(stream))
     records = result.final_snapshot()
     with open(args.output, "w") as stream:
         count = write_records_csv(records, stream)
+    engine = (
+        f"{args.shards} shard(s), {args.executor} executor"
+        if args.shards > 1 or args.executor != "serial"
+        else "single engine"
+    )
     print(f"processed {result.flows_processed:,} flows, "
-          f"{len(result.sweeps)} sweeps; wrote {count} ranges "
+          f"{len(result.sweeps)} sweeps ({engine}); wrote {count} ranges "
           f"to {args.output}")
     return 0
 
@@ -203,6 +216,13 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--batch-size", type=int, default=8192,
                      help="flows per columnar ingest batch "
                           "(0 = per-flow ingest)")
+    run.add_argument("--executor", choices=EXECUTOR_KINDS, default="serial",
+                     help="runtime executor driving the engine shards")
+    run.add_argument("--shards", type=int, default=1,
+                     help="address-space shards (power of two); output is "
+                          "identical to --shards 1, only throughput changes")
+    run.add_argument("--workers", type=int, default=None,
+                     help="worker threads/processes for threaded/mp executors")
     _add_param_arguments(run)
     run.set_defaults(handler=_cmd_run)
 

@@ -44,7 +44,7 @@ from .iputil import IPV4, IPV6, Prefix, mask_ip
 from .output import IPDRecord
 from .params import DEFAULT_PARAMS, IPDParams
 from .rangetree import RangeNode, RangeTree
-from .state import ClassifiedState, UnclassifiedState
+from .state import ClassifiedState, DelegatedState, UnclassifiedState
 
 __all__ = ["IPD", "SweepReport"]
 
@@ -100,11 +100,17 @@ class IPD:
         params: IPDParams | None = None,
         lb_detector: "object | None" = None,
         lb_patience: int = 3,
+        roots: "dict[int, Prefix] | None" = None,
     ) -> None:
         self.params = params or DEFAULT_PARAMS
+        #: per-family root prefixes; defaults to /0 (the whole space).
+        #: The sharded runtime roots one engine per depth-k subtree.
         self.trees: dict[int, RangeTree] = {
-            IPV4: RangeTree(IPV4),
-            IPV6: RangeTree(IPV6),
+            version: RangeTree(
+                version,
+                root_prefix=roots.get(version) if roots is not None else None,
+            )
+            for version in (IPV4, IPV6)
         }
         self.flows_ingested = 0
         self.bytes_ingested = 0
@@ -308,8 +314,10 @@ class IPD:
         for leaf in to_visit:
             if leaf.dead or leaf.left is not None:
                 continue  # went away since it was marked (join/split)
-            report.visited += 1
             state = leaf._state
+            if isinstance(state, DelegatedState):
+                continue  # owned by another engine; inert here
+            report.visited += 1
             if isinstance(state, UnclassifiedState):
                 if state.oldest_seen < expiry_cutoff:
                     report.expired_sources += state.expire(expiry_cutoff)
@@ -430,46 +438,47 @@ class IPD:
         pairs the seed's full postorder walk would — without touching
         the rest of the trie.
         """
-        params = self.params
         joins = 0
         for leaf in tree.classified_leaves():
             if leaf.dead:
                 continue  # merged away by an earlier candidate's cascade
-            parent = leaf.parent
-            while parent is not None:
-                left, right = parent.left, parent.right
-                if left is None or right is None:
-                    break
-                if not (left.is_leaf and right.is_leaf):
-                    break
-                left_state, right_state = left._state, right._state
-                if not (
-                    isinstance(left_state, ClassifiedState)
-                    and isinstance(right_state, ClassifiedState)
-                ):
-                    break
-                if left_state.ingress != right_state.ingress:
-                    break
-                combined_total = left_state.total + right_state.total
-                threshold = params.n_cidr(parent.prefix.masklen, tree.version)
-                if combined_total < threshold:
-                    break
-                counters = dict(left_state.counters)
-                for ingress, weight in right_state.counters.items():
-                    counters[ingress] = counters.get(ingress, 0.0) + weight
-                merged = ClassifiedState(
-                    ingress=left_state.ingress,
-                    counters=counters,
-                    last_seen=max(left_state.last_seen, right_state.last_seen),
-                    classified_at=min(
-                        left_state.classified_at, right_state.classified_at
-                    ),
-                )
-                self._cidrmax_failures.pop(left.prefix, None)
-                self._cidrmax_failures.pop(right.prefix, None)
-                tree.join(parent, merged)
-                joins += 1
-                parent = parent.parent
+            joins += self._join_cascade(tree, leaf)
+        return joins
+
+    def _join_cascade(self, tree: RangeTree, leaf: RangeNode) -> int:
+        """Cascade joins upward from one classified leaf.
+
+        Shared by the per-tree join pass and by the sharded runtime's
+        cross-boundary reconciliation (which joins two shard roots into
+        an aggregator leaf and must then continue the cascade exactly as
+        a single engine would).
+        """
+        params = self.params
+        joins = 0
+        parent = leaf.parent
+        while parent is not None:
+            left, right = parent.left, parent.right
+            if left is None or right is None:
+                break
+            if not (left.is_leaf and right.is_leaf):
+                break
+            left_state, right_state = left._state, right._state
+            if not (
+                isinstance(left_state, ClassifiedState)
+                and isinstance(right_state, ClassifiedState)
+            ):
+                break
+            if left_state.ingress != right_state.ingress:
+                break
+            combined_total = left_state.total + right_state.total
+            threshold = params.n_cidr(parent.prefix.masklen, tree.version)
+            if combined_total < threshold:
+                break
+            self._cidrmax_failures.pop(left.prefix, None)
+            self._cidrmax_failures.pop(right.prefix, None)
+            tree.join(parent, left_state.merged_with(right_state))
+            joins += 1
+            parent = parent.parent
         return joins
 
     # ------------------------------------------------------------------ output

@@ -1,52 +1,41 @@
-"""Drivers that connect flow streams to the IPD engine.
+"""Compatibility façades over the pipeline runtime.
 
-* :class:`OfflineDriver` — deterministic, event-driven replay on flow
-  timestamps ("simulated time"): sweeps fire exactly at ``t``-second
-  boundaries of the trace clock, snapshots are emitted every
-  ``snapshot_seconds`` (the deployment publishes 5-minute bins, §4).
-  All analyses and benchmarks use this driver.
-* :class:`ThreadedIPD` — the deployment layout (§3.2, §5.7): one ingest
-  thread draining a queue, one sweep thread ticking on the wall clock.
-  Provided for completeness and for the quickstart's live mode; results
-  are equivalent but timing-dependent.
+The replay and deployment loops moved to :mod:`repro.runtime`:
+
+* :class:`OfflineDriver` is now a thin façade over
+  :class:`~repro.runtime.pipeline.Pipeline` — same constructor, same
+  ``run`` / ``run_incremental`` semantics, same event-driven grid
+  (sweeps at ``t``-second boundaries of the trace clock, snapshots every
+  ``snapshot_seconds``).  New code should construct a ``Pipeline``
+  directly; it adds address-space sharding (``shards=N``) and a choice
+  of executors (``serial`` / ``threaded`` / ``mp``).
+* :class:`ThreadedIPD` is a deprecated alias of
+  :class:`~repro.runtime.live.LivePipeline`, the deployment's two-thread
+  layout (§3.2, §5.7).  It additionally gained the queue-drain guarantee
+  on ``stop()``: no submitted flow is lost to the stop race.
+* :class:`RunResult` is re-exported from :mod:`repro.runtime.result`.
 """
 
 from __future__ import annotations
 
-import queue
-import threading
-from bisect import bisect_left
-from dataclasses import dataclass, field
-from typing import Callable, Iterable, Iterator, Optional, Union
+from typing import Callable, Optional
 
-from ..netflow.records import FlowBatch, FlowRecord
+from ..runtime.live import LivePipeline
+from ..runtime.pipeline import Pipeline
+from ..runtime.result import RunResult
 from .algorithm import IPD, SweepReport
-from .output import IPDRecord
 from .params import IPDParams
 
 __all__ = ["OfflineDriver", "RunResult", "ThreadedIPD"]
 
 
-@dataclass
-class RunResult:
-    """Everything an offline replay produced."""
+class OfflineDriver(Pipeline):
+    """Single-engine offline replay (façade over :class:`Pipeline`).
 
-    #: snapshot timestamp -> records (Table-3 rows) at that time
-    snapshots: dict[float, list[IPDRecord]] = field(default_factory=dict)
-    sweeps: list[SweepReport] = field(default_factory=list)
-    flows_processed: int = 0
-
-    def snapshot_times(self) -> list[float]:
-        return sorted(self.snapshots)
-
-    def final_snapshot(self) -> list[IPDRecord]:
-        if not self.snapshots:
-            return []
-        return self.snapshots[max(self.snapshots)]
-
-
-class OfflineDriver:
-    """Replays a time-ordered flow stream through an :class:`IPD` engine."""
+    Kept with its original constructor signature; ``driver.ipd`` still
+    names the engine.  Equivalent to
+    ``Pipeline(params, shards=1, executor="serial", ...)``.
+    """
 
     def __init__(
         self,
@@ -55,133 +44,26 @@ class OfflineDriver:
         include_unclassified: bool = False,
         on_sweep: Optional[Callable[[SweepReport, IPD], None]] = None,
     ) -> None:
-        if snapshot_seconds <= 0:
-            raise ValueError("snapshot_seconds must be positive")
-        self.ipd = IPD(params)
-        self.snapshot_seconds = snapshot_seconds
-        self.include_unclassified = include_unclassified
-        self.on_sweep = on_sweep
+        super().__init__(
+            params=params,
+            snapshot_seconds=snapshot_seconds,
+            include_unclassified=include_unclassified,
+            on_sweep=on_sweep,
+        )
 
-    def run(self, flows: "Iterable[Union[FlowRecord, FlowBatch]]") -> RunResult:
-        """Replay *flows* (non-decreasing timestamps) to completion."""
-        result = RunResult()
-        for __ in self.run_incremental(flows, result):
-            pass
-        return result
-
-    def run_incremental(
-        self,
-        flows: "Iterable[Union[FlowRecord, FlowBatch]]",
-        result: RunResult | None = None,
-    ) -> Iterator[tuple[float, list[IPDRecord]]]:
-        """Like :meth:`run` but yields ``(time, records)`` per snapshot.
-
-        The stream may mix :class:`FlowRecord` items and columnar
-        :class:`FlowBatch` runs; timestamps must be non-decreasing
-        across and within items.  A batch spanning a sweep boundary is
-        cut at the boundary (binary search on its timestamp column) so
-        "all ingest before each sweep tick" holds exactly as in the
-        per-flow replay.
-        """
-        ipd = self.ipd
-        t = ipd.params.t
-        result = result if result is not None else RunResult()
-        next_sweep: float | None = None
-        next_snapshot: float | None = None
-        last_time: float | None = None
-
-        def _boundary(when: float) -> Iterator[tuple[float, list[IPDRecord]]]:
-            # advance sweep/snapshot grids up to (and including) `when`
-            nonlocal next_sweep, next_snapshot
-            while when >= next_sweep:  # type: ignore[operator]
-                yield from self._tick(next_sweep, result)
-                if next_snapshot is not None and next_sweep >= next_snapshot:
-                    records = ipd.snapshot(
-                        next_sweep, include_unclassified=self.include_unclassified
-                    )
-                    result.snapshots[next_sweep] = records
-                    yield next_sweep, records
-                    next_snapshot += self.snapshot_seconds
-                next_sweep += t
-
-        for item in flows:
-            if isinstance(item, FlowBatch):
-                timestamps = item.timestamps
-                if not timestamps:
-                    continue
-                first_time = timestamps[0]
-                if last_time is not None and first_time < last_time - 1e-9:
-                    raise ValueError(
-                        "flow stream is not time-ordered: "
-                        f"{first_time} after {last_time}"
-                    )
-                if any(
-                    timestamps[i] > timestamps[i + 1]
-                    for i in range(len(timestamps) - 1)
-                ):
-                    raise ValueError("FlowBatch is not time-ordered internally")
-                last_time = timestamps[-1]
-                if next_sweep is None:
-                    next_sweep = (int(first_time // t) + 1) * t
-                    next_snapshot = (
-                        int(first_time // self.snapshot_seconds) + 1
-                    ) * self.snapshot_seconds
-                start = 0
-                total = len(timestamps)
-                while start < total:
-                    yield from _boundary(timestamps[start])
-                    end = bisect_left(timestamps, next_sweep, start)
-                    if start == 0 and end == total:
-                        ipd.ingest_batch(item)
-                    else:
-                        ipd.ingest_batch(item.slice(start, end))
-                    result.flows_processed += end - start
-                    start = end
-                continue
-            flow = item
-            if last_time is not None and flow.timestamp < last_time - 1e-9:
-                raise ValueError(
-                    "flow stream is not time-ordered: "
-                    f"{flow.timestamp} after {last_time}"
-                )
-            last_time = flow.timestamp
-            if next_sweep is None:
-                # Align sweep/snapshot grids to the trace start.
-                next_sweep = (int(flow.timestamp // t) + 1) * t
-                next_snapshot = (
-                    int(flow.timestamp // self.snapshot_seconds) + 1
-                ) * self.snapshot_seconds
-            yield from _boundary(flow.timestamp)
-            ipd.ingest(flow)
-            result.flows_processed += 1
-
-        if last_time is not None and next_sweep is not None:
-            # Close the final bucket.
-            yield from self._tick(next_sweep, result)
-            records = ipd.snapshot(
-                next_sweep, include_unclassified=self.include_unclassified
-            )
-            result.snapshots[next_sweep] = records
-            yield next_sweep, records
-
-    def _tick(
-        self, when: float, result: RunResult
-    ) -> Iterator[tuple[float, list[IPDRecord]]]:
-        report = self.ipd.sweep(when)
-        result.sweeps.append(report)
-        if self.on_sweep is not None:
-            self.on_sweep(report, self.ipd)
-        return iter(())
+    @property
+    def ipd(self) -> IPD:
+        """The underlying engine (compatibility alias for ``engine``)."""
+        return self.engine
 
 
-class ThreadedIPD:
-    """The two-thread deployment layout: ingest queue + periodic sweeps.
+class ThreadedIPD(LivePipeline):
+    """Deprecated alias of :class:`~repro.runtime.live.LivePipeline`.
 
-    Stage 1 runs in a consumer thread fed through :meth:`submit`; Stage 2
-    runs in a timer thread every ``sweep_interval`` wall-clock seconds
-    (scaled down from the trace's ``t`` for interactive use).  A single
-    lock serializes trie access — the deployment similarly runs Stage 2
-    single-threaded (§3.2).
+    The two-thread deployment layout lives in the runtime package now;
+    this name is kept so existing imports and subclasses keep working.
+    Use ``LivePipeline`` in new code — it accepts the same arguments
+    plus the ``shards`` / ``executor`` / ``workers`` knobs.
     """
 
     def __init__(
@@ -190,93 +72,4 @@ class ThreadedIPD:
         sweep_interval: float = 1.0,
         clock: Callable[[], float] | None = None,
     ) -> None:
-        import time as _time
-
-        self.ipd = IPD(params)
-        self.sweep_interval = sweep_interval
-        self._clock = clock or _time.monotonic
-        self._queue: "queue.Queue[FlowRecord | FlowBatch | None]" = queue.Queue(
-            maxsize=100_000
-        )
-        self._lock = threading.Lock()
-        self._stop = threading.Event()
-        self._ingest_thread: threading.Thread | None = None
-        self._sweep_thread: threading.Thread | None = None
-        self.sweep_reports: list[SweepReport] = []
-
-    def start(self) -> None:
-        if self._ingest_thread is not None:
-            raise RuntimeError("already started")
-        self._ingest_thread = threading.Thread(
-            target=self._ingest_loop, name="ipd-stage1", daemon=True
-        )
-        self._sweep_thread = threading.Thread(
-            target=self._sweep_loop, name="ipd-stage2", daemon=True
-        )
-        self._ingest_thread.start()
-        self._sweep_thread.start()
-
-    def submit(self, flow: FlowRecord, restamp: bool = True) -> None:
-        """Enqueue one flow for Stage-1 ingestion.
-
-        By default the flow is re-stamped with the live clock so that
-        expiry and decay operate on a single time base (the trace clock
-        of a replayed file would otherwise disagree with the sweep
-        thread's wall clock).
-        """
-        if restamp:
-            flow = flow.with_timestamp(self._clock())
-        self._queue.put(flow)
-
-    def submit_batch(self, batch: FlowBatch, restamp: bool = True) -> None:
-        """Enqueue a columnar batch for Stage-1 ingestion.
-
-        One queue item per batch: the consumer drains it through the
-        amortized ``ingest_batch`` path under a single lock acquisition,
-        which is where the deployment layout gains its throughput.
-        """
-        if restamp:
-            now = self._clock()
-            batch = FlowBatch(
-                batch.version,
-                [now] * len(batch.timestamps),
-                batch.src_ips,
-                batch.ingresses,
-                batch.packet_counts,
-                batch.byte_counts,
-                batch.dst_ips,
-            )
-        self._queue.put(batch)
-
-    def stop(self) -> None:
-        """Drain the queue, stop both threads, run one final sweep."""
-        self._queue.put(None)
-        if self._ingest_thread is not None:
-            self._ingest_thread.join()
-        self._stop.set()
-        if self._sweep_thread is not None:
-            self._sweep_thread.join()
-        with self._lock:
-            self.sweep_reports.append(self.ipd.sweep(self._clock()))
-
-    def snapshot(self, include_unclassified: bool = False) -> list[IPDRecord]:
-        with self._lock:
-            return self.ipd.snapshot(
-                self._clock(), include_unclassified=include_unclassified
-            )
-
-    def _ingest_loop(self) -> None:
-        while True:
-            item = self._queue.get()
-            if item is None:
-                return
-            with self._lock:
-                if isinstance(item, FlowBatch):
-                    self.ipd.ingest_batch(item)
-                else:
-                    self.ipd.ingest(item)
-
-    def _sweep_loop(self) -> None:
-        while not self._stop.wait(self.sweep_interval):
-            with self._lock:
-                self.sweep_reports.append(self.ipd.sweep(self._clock()))
+        super().__init__(params=params, sweep_interval=sweep_interval, clock=clock)

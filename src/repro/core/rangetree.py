@@ -40,11 +40,11 @@ from collections import OrderedDict
 from typing import Callable, Iterable, Iterator, Optional, Union
 
 from .iputil import Prefix
-from .state import ClassifiedState, UnclassifiedState
+from .state import ClassifiedState, DelegatedState, UnclassifiedState
 
 __all__ = ["RangeNode", "RangeTree", "DEFAULT_CACHE_CAPACITY"]
 
-RangeState = Union[UnclassifiedState, ClassifiedState]
+RangeState = Union[UnclassifiedState, ClassifiedState, DelegatedState]
 
 #: default bound on the masked-IP → leaf cache (entries, not bytes);
 #: at ~100 B/entry this caps the cache near 25 MB per family
@@ -102,19 +102,38 @@ class RangeNode:
 
 
 class RangeTree:
-    """Binary trie over one address family, rooted at /0."""
+    """Binary trie over one address family, rooted at /0.
+
+    The sharded runtime roots shard tries at a depth-``k`` subtree
+    instead: pass *root_prefix* to cover only that CIDR range.  All
+    operations (lookup, split, join, prune) are relative to the root, so
+    a rooted tree behaves exactly like the corresponding subtree of a
+    /0 tree.
+    """
 
     def __init__(
-        self, version: int, cache_capacity: int = DEFAULT_CACHE_CAPACITY
+        self,
+        version: int,
+        cache_capacity: int = DEFAULT_CACHE_CAPACITY,
+        root_prefix: Optional[Prefix] = None,
     ) -> None:
+        if root_prefix is not None and root_prefix.version != version:
+            raise ValueError(
+                f"root prefix {root_prefix} does not match IPv{version}"
+            )
         self.version = version
         self._leaf_count = 0
+        #: leaves currently owned by another engine (DelegatedState)
+        self._delegated_count = 0
         self._classified: set[RangeNode] = set()
         #: leaves whose state changed since the last :meth:`drain_dirty`
         self.dirty: set[RangeNode] = set()
         self._expiry_heap: list[tuple[float, int, RangeNode]] = []
         self._heap_seq = 0
-        self.root = RangeNode(Prefix.root(version), tree=self)
+        self.root = RangeNode(
+            root_prefix if root_prefix is not None else Prefix.root(version),
+            tree=self,
+        )
         self._leaf_count = 1
         self._bits = self.root.prefix.bits
         self.cache_capacity = cache_capacity
@@ -168,11 +187,18 @@ class RangeTree:
         """
         if isinstance(old, ClassifiedState):
             self._classified.discard(node)
+        elif isinstance(old, DelegatedState):
+            self._delegated_count -= 1
         if new is None:
             # the node became internal (split) — it is no longer a leaf
             self.dirty.discard(node)
             return
         if node.dead:
+            return
+        if isinstance(new, DelegatedState):
+            # the leaf's state now lives in another engine: inert here
+            self._delegated_count += 1
+            self.dirty.discard(node)
             return
         if isinstance(new, ClassifiedState):
             self._classified.add(node)
@@ -187,6 +213,8 @@ class RangeTree:
         node.dead = True
         self.dirty.discard(node)
         self._classified.discard(node)
+        if isinstance(node._state, DelegatedState):
+            self._delegated_count -= 1
 
     def schedule_expiry(self, node: RangeNode) -> None:
         """(Re-)register a leaf on the expiry heap at its current bound.
@@ -298,6 +326,39 @@ class RangeTree:
         self.join_count += 1
         return parent
 
+    def delegate(self, node: RangeNode) -> UnclassifiedState:
+        """Hand an unclassified leaf's state off to another engine.
+
+        Replaces the leaf's state with a :class:`DelegatedState` marker
+        and returns the detached observation state so the caller can
+        seed the owning engine with it.  Only unclassified leaves are
+        delegated (the sharded runtime hands ranges down the moment the
+        split cascade reaches the shard depth, before they can classify).
+        """
+        if not node.is_leaf:
+            raise ValueError(f"cannot delegate internal node {node.prefix}")
+        state = node._state
+        if not isinstance(state, UnclassifiedState):
+            raise ValueError(f"cannot delegate {node.prefix}: not unclassified")
+        node.state = DelegatedState()
+        return state
+
+    def collapse(self, parent: RangeNode,
+                 on_remove: Optional[Callable[[RangeNode], None]] = None) -> RangeNode:
+        """Public form of the prune collapse for cross-engine callers.
+
+        Turns *parent* (whose children must both be leaves) back into a
+        single empty unclassified leaf and returns it.
+        """
+        if parent.is_leaf:
+            raise ValueError(f"cannot collapse leaf {parent.prefix}")
+        left, right = parent.left, parent.right
+        assert left is not None and right is not None
+        if not (left.is_leaf and right.is_leaf):
+            raise ValueError(f"children of {parent.prefix} are not both leaves")
+        self._collapse(parent, on_remove)
+        return parent
+
     # -- iteration -------------------------------------------------------------
 
     def leaves(self) -> Iterator[RangeNode]:
@@ -327,8 +388,17 @@ class RangeTree:
                 stack.append((node.left, False))
 
     def leaf_count(self) -> int:
-        """Number of leaves — O(1), maintained by split/join/prune."""
-        return self._leaf_count
+        """Number of *visible* leaves — O(1), maintained incrementally.
+
+        Delegated leaves (ranges owned by another engine) are excluded,
+        so the visible leaves of a sharded deployment's aggregator plus
+        its shard trees sum to exactly the single-engine count.
+        """
+        return self._leaf_count - self._delegated_count
+
+    def delegated_count(self) -> int:
+        """Number of leaves currently delegated to another engine — O(1)."""
+        return self._delegated_count
 
     def classified_count(self) -> int:
         """Number of classified leaves — O(1)."""

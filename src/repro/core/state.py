@@ -34,7 +34,7 @@ from typing import Iterable, Mapping
 
 from ..topology.elements import IngressPoint
 
-__all__ = ["UnclassifiedState", "ClassifiedState"]
+__all__ = ["UnclassifiedState", "ClassifiedState", "DelegatedState"]
 
 _INF = float("inf")
 
@@ -240,6 +240,24 @@ class ClassifiedState:
         """The paper's ``s_ipcount`` for this range."""
         return self.total
 
+    def merged_with(self, other: "ClassifiedState") -> "ClassifiedState":
+        """Combine two same-ingress classified states (the join rule).
+
+        Counters add, ``last_seen`` is the newer of the two, and the
+        merged range counts as classified since the *earlier* of the two
+        classifications — joining refines an existing decision rather
+        than making a new one.
+        """
+        counters = dict(self.counters)
+        for ingress, weight in other.counters.items():
+            counters[ingress] = counters.get(ingress, 0.0) + weight
+        return ClassifiedState(
+            ingress=self.ingress,
+            counters=counters,
+            last_seen=max(self.last_seen, other.last_seen),
+            classified_at=min(self.classified_at, other.classified_at),
+        )
+
     def confidence_for(self, member_ingresses: Iterable[IngressPoint]) -> float:
         """Share of samples that entered via the given logical ingress.
 
@@ -252,3 +270,30 @@ class ClassifiedState:
             return 0.0
         matched = sum(self.counters.get(member, 0.0) for member in member_ingresses)
         return matched / total
+
+
+@dataclass
+class DelegatedState:
+    """Marker for a range whose state lives in *another* engine.
+
+    The sharded runtime (:mod:`repro.runtime`) splits the trie at a
+    fixed depth ``k``: the aggregator trie owns every range coarser than
+    ``/k`` and plants a ``DelegatedState`` at each depth-``k`` leaf it
+    has handed to a shard engine; conversely each shard engine's
+    ``/k``-rooted trie carries a ``DelegatedState`` at its root while
+    the range is still owned by the aggregator.  A delegated leaf is
+    inert: it holds no samples, is never visited by sweeps, contributes
+    nothing to snapshots or ``state_size()``, and is excluded from
+    ``leaf_count()`` so the visible leaves of aggregator + shards
+    partition the address space exactly like a single engine's trie.
+    """
+
+    def entry_count(self) -> int:
+        return 0
+
+    def is_empty(self) -> bool:
+        return True
+
+    @property
+    def sample_count(self) -> float:
+        return 0.0

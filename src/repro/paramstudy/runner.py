@@ -15,8 +15,8 @@ from typing import Callable, Iterable, Mapping, Optional
 
 from ..analysis.accuracy import evaluate_accuracy
 from ..analysis.stability import stability_durations
-from ..core.driver import OfflineDriver
 from ..core.params import IPDParams
+from ..runtime.pipeline import Pipeline
 from ..netflow.records import FlowRecord
 from ..topology.network import ISPTopology
 from .design import FactorialDesign
@@ -71,16 +71,16 @@ def run_study(
         max_state = 0
         max_leaves = 0
 
-        def track(report, ipd) -> None:
+        def track(report, engine) -> None:
             nonlocal max_state, max_leaves
-            max_state = max(max_state, ipd.state_size())
+            max_state = max(max_state, engine.state_size())
             max_leaves = max(max_leaves, report.leaves)
 
-        driver = OfflineDriver(
+        pipeline = Pipeline(
             params, snapshot_seconds=snapshot_seconds, on_sweep=track
         )
         flows = list(flow_source())
-        run = driver.run(flows)
+        run = pipeline.run(flows)
 
         first_time = flows[0].timestamp if flows else 0.0
         warm_flows = [

@@ -1,0 +1,48 @@
+"""The pipeline runtime: Source → Router → engine shards → Merger → Sinks.
+
+One execution surface for every way of running IPD:
+
+* :class:`~repro.runtime.pipeline.Pipeline` — deterministic offline
+  replay (simulated time), single-engine or address-space-sharded.
+* :class:`~repro.runtime.live.LivePipeline` — the deployment's
+  wall-clock two-thread layout over the same engines.
+* :class:`~repro.runtime.sharding.ShardedIPD` — the shard coordinator
+  itself, usable directly wherever an :class:`~repro.core.algorithm.IPD`
+  is expected.
+* executors (``serial`` / ``threaded`` / ``mp``) — interchangeable
+  backends driving the shard engines.
+
+``repro.core.driver``'s ``OfflineDriver`` and ``ThreadedIPD`` are thin
+façades over this package, kept for compatibility.
+"""
+
+from .executors import (
+    EXECUTOR_KINDS,
+    MultiprocessExecutor,
+    SerialExecutor,
+    ThreadedExecutor,
+    make_executor,
+)
+from .live import LivePipeline
+from .pipeline import Pipeline
+from .result import RunResult
+from .sharding import ShardedIPD
+from .shards import ShardEngine
+from .sinks import CallbackSink, CSVSink, MemorySink, Sink
+
+__all__ = [
+    "Pipeline",
+    "LivePipeline",
+    "ShardedIPD",
+    "ShardEngine",
+    "RunResult",
+    "Sink",
+    "MemorySink",
+    "CallbackSink",
+    "CSVSink",
+    "SerialExecutor",
+    "ThreadedExecutor",
+    "MultiprocessExecutor",
+    "make_executor",
+    "EXECUTOR_KINDS",
+]

@@ -1,0 +1,340 @@
+"""Interchangeable executors for the sharded runtime.
+
+The coordinator (:class:`~repro.runtime.sharding.ShardedIPD`) speaks one
+small protocol — ``feed`` batches to a shard, ``tick`` all shards,
+``apply`` seed/reset ops, ``snapshot``, ``metrics``, ``close`` — and the
+three executors implement it with different parallelism:
+
+* :class:`SerialExecutor` — everything in the calling thread, fully
+  deterministic; the reference implementation the equivalence suite
+  pins the others against.
+* :class:`ThreadedExecutor` — one worker thread per slot, command
+  queues in, reply queues out.  Threads share the interpreter (GIL), so
+  this buys overlap with I/O and with the aggregator's own sweep, not
+  raw ingest parallelism; it supersedes the old ``ThreadedIPD`` layout.
+* :class:`MultiprocessExecutor` — one worker process per slot connected
+  by a duplex pipe; :class:`~repro.netflow.records.FlowBatch` columns
+  are pickled across.  This is the executor that actually multiplies
+  single-core ingest throughput.
+
+Shard *index* → worker *slot* is a fixed ``index % workers`` mapping,
+and each worker handles its commands strictly in order (FIFO per pipe /
+queue), so no acknowledgement round-trips are needed for ``feed`` and
+``apply``: a later ``tick``/``snapshot``/``metrics`` reply implies every
+earlier command was applied.  Tick replies are a barrier; state
+evolution is therefore identical across executors — only wall-clock
+interleaving differs.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+from typing import Iterable, Optional
+
+from ..core.output import IPDRecord
+from ..core.params import IPDParams
+from ..netflow.records import FlowBatch
+from .shards import ShardEngine, ShardMetrics, ShardTickResult
+
+__all__ = [
+    "SerialExecutor",
+    "ThreadedExecutor",
+    "MultiprocessExecutor",
+    "make_executor",
+    "EXECUTOR_KINDS",
+]
+
+EXECUTOR_KINDS = ("serial", "threaded", "mp")
+
+
+class ShardWorker:
+    """The engines owned by one worker slot, plus the command dispatcher.
+
+    Shared verbatim by all three executors: the serial executor calls
+    :meth:`handle` inline, the threaded executor from a worker thread,
+    the multiprocessing executor inside a worker process.
+    """
+
+    def __init__(self, params: IPDParams, depth: int) -> None:
+        self.params = params
+        self.depth = depth
+        self.engines: dict[int, ShardEngine] = {}
+
+    def engine(self, index: int) -> ShardEngine:
+        engine = self.engines.get(index)
+        if engine is None:
+            engine = self.engines[index] = ShardEngine(
+                self.params, self.depth, index
+            )
+        return engine
+
+    def handle(self, cmd: tuple):
+        """Process one command; returns the reply or ``None`` (no reply)."""
+        kind = cmd[0]
+        if kind == "feed":
+            self.engine(cmd[1]).ingest_batch(cmd[2])
+            return None
+        if kind == "ops":
+            for op in cmd[1]:
+                self.engine(op[1]).apply_op(op)
+            return None
+        if kind == "tick":
+            now = cmd[1]
+            return {
+                index: engine.tick(now)
+                for index, engine in sorted(self.engines.items())
+            }
+        if kind == "snapshot":
+            records: list[IPDRecord] = []
+            for __, engine in sorted(self.engines.items()):
+                records.extend(engine.snapshot(cmd[1], cmd[2]))
+            return records
+        if kind == "metrics":
+            metrics = ShardMetrics()
+            for engine in self.engines.values():
+                metrics.add(engine.metrics())
+            return metrics
+        raise ValueError(f"unknown executor command: {kind!r}")
+
+
+class SerialExecutor:
+    """All shards in the calling thread — the deterministic reference."""
+
+    kind = "serial"
+
+    def __init__(self, params: IPDParams, depth: int, workers: int = 1) -> None:
+        self._worker = ShardWorker(params, depth)
+        self._tick_results: Optional[dict[int, ShardTickResult]] = None
+
+    def feed(self, index: int, batch: FlowBatch) -> None:
+        self._worker.handle(("feed", index, batch))
+
+    def apply(self, ops: Iterable[tuple]) -> None:
+        self._worker.handle(("ops", list(ops)))
+
+    def tick_begin(self, now: float) -> None:
+        self._tick_results = self._worker.handle(("tick", now))
+
+    def tick_collect(self) -> dict[int, ShardTickResult]:
+        results, self._tick_results = self._tick_results, None
+        assert results is not None
+        return results
+
+    def snapshot(self, now: float, include_unclassified: bool) -> list[IPDRecord]:
+        return self._worker.handle(("snapshot", now, include_unclassified))
+
+    def metrics(self) -> ShardMetrics:
+        return self._worker.handle(("metrics",))
+
+    def close(self) -> None:
+        pass
+
+
+class ThreadedExecutor:
+    """One worker thread per slot; queues in, reply queues out."""
+
+    kind = "threaded"
+
+    def __init__(self, params: IPDParams, depth: int, workers: int = 2) -> None:
+        self.workers = max(1, workers)
+        self._commands: list[queue.SimpleQueue] = []
+        self._replies: list[queue.SimpleQueue] = []
+        self._threads: list[threading.Thread] = []
+        for slot in range(self.workers):
+            commands: queue.SimpleQueue = queue.SimpleQueue()
+            replies: queue.SimpleQueue = queue.SimpleQueue()
+            thread = threading.Thread(
+                target=_thread_worker_loop,
+                args=(params, depth, commands, replies),
+                name=f"ipd-shard-{slot}",
+                daemon=True,
+            )
+            thread.start()
+            self._commands.append(commands)
+            self._replies.append(replies)
+            self._threads.append(thread)
+        self._closed = False
+
+    def _slot(self, index: int) -> int:
+        return index % self.workers
+
+    def feed(self, index: int, batch: FlowBatch) -> None:
+        self._commands[self._slot(index)].put(("feed", index, batch))
+
+    def apply(self, ops: Iterable[tuple]) -> None:
+        by_slot: dict[int, list[tuple]] = {}
+        for op in ops:
+            by_slot.setdefault(self._slot(op[1]), []).append(op)
+        for slot, slot_ops in by_slot.items():
+            self._commands[slot].put(("ops", slot_ops))
+
+    def tick_begin(self, now: float) -> None:
+        for commands in self._commands:
+            commands.put(("tick", now))
+
+    def tick_collect(self) -> dict[int, ShardTickResult]:
+        results: dict[int, ShardTickResult] = {}
+        for replies in self._replies:
+            results.update(replies.get())
+        return results
+
+    def snapshot(self, now: float, include_unclassified: bool) -> list[IPDRecord]:
+        for commands in self._commands:
+            commands.put(("snapshot", now, include_unclassified))
+        records: list[IPDRecord] = []
+        for replies in self._replies:
+            records.extend(replies.get())
+        return records
+
+    def metrics(self) -> ShardMetrics:
+        for commands in self._commands:
+            commands.put(("metrics",))
+        metrics = ShardMetrics()
+        for replies in self._replies:
+            metrics.add(replies.get())
+        return metrics
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        for commands in self._commands:
+            commands.put(("stop",))
+        for thread in self._threads:
+            thread.join(timeout=10.0)
+
+
+def _thread_worker_loop(
+    params: IPDParams,
+    depth: int,
+    commands: queue.SimpleQueue,
+    replies: queue.SimpleQueue,
+) -> None:
+    worker = ShardWorker(params, depth)
+    while True:
+        cmd = commands.get()
+        if cmd[0] == "stop":
+            return
+        reply = worker.handle(cmd)
+        if reply is not None:
+            replies.put(reply)
+
+
+def _mp_worker_main(conn, params: IPDParams, depth: int) -> None:
+    """Worker-process entry point (module-level: must be picklable)."""
+    worker = ShardWorker(params, depth)
+    while True:
+        try:
+            cmd = conn.recv()
+        except EOFError:
+            return
+        if cmd[0] == "stop":
+            conn.close()
+            return
+        reply = worker.handle(cmd)
+        if reply is not None:
+            conn.send(reply)
+
+
+class MultiprocessExecutor:
+    """One worker process per slot, duplex pipes carrying FlowBatch columns."""
+
+    kind = "mp"
+
+    def __init__(self, params: IPDParams, depth: int, workers: int = 2) -> None:
+        import multiprocessing
+
+        try:
+            ctx = multiprocessing.get_context("fork")
+        except ValueError:  # pragma: no cover - non-POSIX fallback
+            ctx = multiprocessing.get_context()
+        self.workers = max(1, workers)
+        self._conns = []
+        self._processes = []
+        for slot in range(self.workers):
+            parent_conn, child_conn = ctx.Pipe(duplex=True)
+            process = ctx.Process(
+                target=_mp_worker_main,
+                args=(child_conn, params, depth),
+                name=f"ipd-shard-{slot}",
+                daemon=True,
+            )
+            process.start()
+            child_conn.close()
+            self._conns.append(parent_conn)
+            self._processes.append(process)
+        self._closed = False
+
+    def _slot(self, index: int) -> int:
+        return index % self.workers
+
+    def feed(self, index: int, batch: FlowBatch) -> None:
+        self._conns[self._slot(index)].send(("feed", index, batch))
+
+    def apply(self, ops: Iterable[tuple]) -> None:
+        by_slot: dict[int, list[tuple]] = {}
+        for op in ops:
+            by_slot.setdefault(self._slot(op[1]), []).append(op)
+        for slot, slot_ops in by_slot.items():
+            self._conns[slot].send(("ops", slot_ops))
+
+    def tick_begin(self, now: float) -> None:
+        for conn in self._conns:
+            conn.send(("tick", now))
+
+    def tick_collect(self) -> dict[int, ShardTickResult]:
+        results: dict[int, ShardTickResult] = {}
+        for conn in self._conns:
+            results.update(conn.recv())
+        return results
+
+    def snapshot(self, now: float, include_unclassified: bool) -> list[IPDRecord]:
+        for conn in self._conns:
+            conn.send(("snapshot", now, include_unclassified))
+        records: list[IPDRecord] = []
+        for conn in self._conns:
+            records.extend(conn.recv())
+        return records
+
+    def metrics(self) -> ShardMetrics:
+        for conn in self._conns:
+            conn.send(("metrics",))
+        metrics = ShardMetrics()
+        for conn in self._conns:
+            metrics.add(conn.recv())
+        return metrics
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        for conn in self._conns:
+            try:
+                conn.send(("stop",))
+            except (BrokenPipeError, OSError):  # worker already gone
+                pass
+        for process in self._processes:
+            process.join(timeout=10.0)
+            if process.is_alive():  # pragma: no cover - defensive
+                process.terminate()
+        for conn in self._conns:
+            conn.close()
+
+
+def make_executor(kind: str, params: IPDParams, depth: int,
+                  workers: Optional[int] = None):
+    """Build an executor by name (``serial`` / ``threaded`` / ``mp``)."""
+    if kind == "serial":
+        return SerialExecutor(params, depth)
+    if kind == "threaded":
+        return ThreadedExecutor(params, depth, workers or 2)
+    if kind == "mp":
+        if workers is None:
+            import os
+
+            workers = min(4, os.cpu_count() or 1)
+        return MultiprocessExecutor(params, depth, workers)
+    raise ValueError(
+        f"unknown executor {kind!r}; expected one of {EXECUTOR_KINDS}"
+    )

@@ -1,0 +1,183 @@
+"""Wall-clock runtime: the deployment's two-thread layout, any engine.
+
+:class:`LivePipeline` generalizes the old ``ThreadedIPD`` (now a thin
+subclass kept for compatibility): Stage 1 runs in a consumer thread fed
+through :meth:`submit` / :meth:`submit_batch`, Stage 2 in a timer thread
+every ``sweep_interval`` wall-clock seconds (§3.2, §5.7).  A single lock
+serializes engine access — the deployment similarly runs Stage 2
+single-threaded.  The engine may be a plain
+:class:`~repro.core.algorithm.IPD` or a sharded coordinator, chosen by
+the same ``shards`` / ``executor`` knobs as the offline
+:class:`~repro.runtime.pipeline.Pipeline`.
+
+``stop()`` guarantees *no submitted flow is lost*: after the worker
+threads exit, anything still sitting in the ingest queue — items that
+raced the stop sentinel, or everything when the runtime was never
+started — is drained into the engine before the final sweep.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+import time
+from typing import Callable, Optional
+
+from ..core.algorithm import IPD, SweepReport
+from ..core.output import IPDRecord
+from ..core.params import IPDParams
+from ..netflow.records import FlowBatch, FlowRecord
+from .executors import EXECUTOR_KINDS
+from .sharding import ShardedIPD
+
+__all__ = ["LivePipeline"]
+
+
+class LivePipeline:
+    """Live (wall-clock) IPD: ingest queue + periodic sweep thread."""
+
+    def __init__(
+        self,
+        params: IPDParams | None = None,
+        sweep_interval: float = 1.0,
+        clock: Callable[[], float] | None = None,
+        shards: int = 1,
+        executor: str = "serial",
+        workers: Optional[int] = None,
+        engine=None,
+    ) -> None:
+        if executor not in EXECUTOR_KINDS:
+            raise ValueError(
+                f"unknown executor {executor!r}; expected one of {EXECUTOR_KINDS}"
+            )
+        if engine is not None:
+            self.engine = engine
+        elif shards == 1 and executor == "serial":
+            self.engine = IPD(params)
+        else:
+            self.engine = ShardedIPD(
+                params, shards=shards, executor=executor, workers=workers
+            )
+        self.sweep_interval = sweep_interval
+        self._clock = clock or time.monotonic
+        self._queue: "queue.Queue[FlowRecord | FlowBatch | None]" = queue.Queue(
+            maxsize=100_000
+        )
+        self._lock = threading.Lock()
+        self._stop = threading.Event()
+        self._ingest_thread: threading.Thread | None = None
+        self._sweep_thread: threading.Thread | None = None
+        self.sweep_reports: list[SweepReport] = []
+
+    @property
+    def ipd(self):
+        """The underlying engine (compatibility alias)."""
+        return self.engine
+
+    # ------------------------------------------------------------------ lifecycle
+
+    def start(self) -> None:
+        if self._ingest_thread is not None:
+            raise RuntimeError("already started")
+        self._ingest_thread = threading.Thread(
+            target=self._ingest_loop, name="ipd-stage1", daemon=True
+        )
+        self._sweep_thread = threading.Thread(
+            target=self._sweep_loop, name="ipd-stage2", daemon=True
+        )
+        self._ingest_thread.start()
+        self._sweep_thread.start()
+
+    def stop(self) -> None:
+        """Drain the queue, stop both threads, run one final sweep.
+
+        Every flow accepted by :meth:`submit` / :meth:`submit_batch` is
+        ingested before the final sweep — including flows that were
+        enqueued after the stop sentinel and flows submitted without
+        :meth:`start` ever being called.
+        """
+        self._queue.put(None)
+        if self._ingest_thread is not None:
+            self._ingest_thread.join()
+        self._stop.set()
+        if self._sweep_thread is not None:
+            self._sweep_thread.join()
+        with self._lock:
+            while True:
+                try:
+                    item = self._queue.get_nowait()
+                except queue.Empty:
+                    break
+                if item is None:
+                    continue  # stop sentinel (ours or a repeated stop's)
+                self._ingest(item)
+            self.sweep_reports.append(self.engine.sweep(self._clock()))
+
+    def close(self) -> None:
+        """Shut down executor workers of a sharded engine (idempotent)."""
+        close = getattr(self.engine, "close", None)
+        if close is not None:
+            close()
+
+    # ------------------------------------------------------------------ stage 1
+
+    def submit(self, flow: FlowRecord, restamp: bool = True) -> None:
+        """Enqueue one flow for Stage-1 ingestion.
+
+        By default the flow is re-stamped with the live clock so that
+        expiry and decay operate on a single time base (the trace clock
+        of a replayed file would otherwise disagree with the sweep
+        thread's wall clock).
+        """
+        if restamp:
+            flow = flow.with_timestamp(self._clock())
+        self._queue.put(flow)
+
+    def submit_batch(self, batch: FlowBatch, restamp: bool = True) -> None:
+        """Enqueue a columnar batch for Stage-1 ingestion.
+
+        One queue item per batch: the consumer drains it through the
+        amortized ``ingest_batch`` path under a single lock acquisition,
+        which is where the deployment layout gains its throughput.
+        """
+        if restamp:
+            now = self._clock()
+            batch = FlowBatch(
+                batch.version,
+                [now] * len(batch.timestamps),
+                batch.src_ips,
+                batch.ingresses,
+                batch.packet_counts,
+                batch.byte_counts,
+                batch.dst_ips,
+            )
+        self._queue.put(batch)
+
+    def _ingest(self, item: "FlowRecord | FlowBatch") -> None:
+        if isinstance(item, FlowBatch):
+            self.engine.ingest_batch(item)
+        else:
+            self.engine.ingest(item)
+
+    # ------------------------------------------------------------------ output
+
+    def snapshot(self, include_unclassified: bool = False) -> list[IPDRecord]:
+        with self._lock:
+            return self.engine.snapshot(
+                self._clock(), include_unclassified=include_unclassified
+            )
+
+    # ------------------------------------------------------------------ threads
+
+    def _ingest_loop(self) -> None:
+        while True:
+            item = self._queue.get()
+            if item is None:
+                return
+            with self._lock:
+                self._ingest(item)
+
+    def _sweep_loop(self) -> None:
+        while not self._stop.wait(self.sweep_interval):
+            with self._lock:
+                self.sweep_reports.append(self.engine.sweep(self._clock()))

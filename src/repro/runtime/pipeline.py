@@ -1,0 +1,210 @@
+"""The unified replay pipeline: Source → Router → engines → Merger → Sinks.
+
+:class:`Pipeline` is the one offline entry point for running IPD over a
+flow stream.  It generalizes the old ``OfflineDriver`` replay loop (which
+is now a thin façade over it) across engine shapes:
+
+* ``shards=1, executor="serial"`` — a single plain
+  :class:`~repro.core.algorithm.IPD`; zero coordination overhead, the
+  exact seed behaviour.
+* anything else — a :class:`~repro.runtime.sharding.ShardedIPD`
+  coordinator routing flows over ``shards`` address-space shards driven
+  by the chosen executor (``serial`` / ``threaded`` / ``mp``).  Merged
+  snapshots are byte-identical to the single-engine ones by design (the
+  equivalence suite in ``tests/runtime`` pins this).
+
+Event-driven replay semantics are unchanged: sweeps fire exactly at
+``t``-second boundaries of the trace clock, snapshots every
+``snapshot_seconds``, and a batch spanning a boundary is cut at the
+boundary so "all ingest before each sweep tick" holds exactly.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from typing import Callable, Iterable, Iterator, Optional, Sequence, Union
+
+from ..core.algorithm import IPD, SweepReport
+from ..core.output import IPDRecord
+from ..core.params import IPDParams
+from ..netflow.records import FlowBatch, FlowRecord
+from .executors import EXECUTOR_KINDS
+from .result import RunResult
+from .sharding import ShardedIPD
+from .sinks import Sink
+
+__all__ = ["Pipeline"]
+
+#: engines a Pipeline can drive (anything with ingest/ingest_batch/
+#: sweep/snapshot/state_size)
+Engine = Union[IPD, ShardedIPD]
+
+
+class Pipeline:
+    """Deterministic offline replay over a single or sharded IPD engine."""
+
+    def __init__(
+        self,
+        params: IPDParams | None = None,
+        shards: int = 1,
+        executor: str = "serial",
+        workers: Optional[int] = None,
+        snapshot_seconds: float = 300.0,
+        include_unclassified: bool = False,
+        on_sweep: Optional[Callable[[SweepReport, Engine], None]] = None,
+        sinks: Optional[Sequence[Sink]] = None,
+        engine: Optional[Engine] = None,
+    ) -> None:
+        if snapshot_seconds <= 0:
+            raise ValueError("snapshot_seconds must be positive")
+        if executor not in EXECUTOR_KINDS:
+            raise ValueError(
+                f"unknown executor {executor!r}; expected one of {EXECUTOR_KINDS}"
+            )
+        if engine is not None:
+            self.engine: Engine = engine
+        elif shards == 1 and executor == "serial":
+            # The degenerate topology needs no router or merger: run the
+            # plain engine and the pipeline adds zero per-flow overhead.
+            self.engine = IPD(params)
+        else:
+            self.engine = ShardedIPD(
+                params, shards=shards, executor=executor, workers=workers
+            )
+        self.snapshot_seconds = snapshot_seconds
+        self.include_unclassified = include_unclassified
+        self.on_sweep = on_sweep
+        self.sinks: list[Sink] = list(sinks) if sinks is not None else []
+
+    @property
+    def params(self) -> IPDParams:
+        return self.engine.params
+
+    # ------------------------------------------------------------------ replay
+
+    def run(self, flows: "Iterable[Union[FlowRecord, FlowBatch]]") -> RunResult:
+        """Replay *flows* (non-decreasing timestamps) to completion."""
+        result = RunResult()
+        for __ in self.run_incremental(flows, result):
+            pass
+        return result
+
+    def run_incremental(
+        self,
+        flows: "Iterable[Union[FlowRecord, FlowBatch]]",
+        result: RunResult | None = None,
+    ) -> Iterator[tuple[float, list[IPDRecord]]]:
+        """Like :meth:`run` but yields ``(time, records)`` per snapshot.
+
+        The stream may mix :class:`FlowRecord` items and columnar
+        :class:`FlowBatch` runs; timestamps must be non-decreasing
+        across and within items.  A batch spanning a sweep boundary is
+        cut at the boundary (binary search on its timestamp column) so
+        "all ingest before each sweep tick" holds exactly as in the
+        per-flow replay.
+        """
+        engine = self.engine
+        t = engine.params.t
+        result = result if result is not None else RunResult()
+        next_sweep: float | None = None
+        next_snapshot: float | None = None
+        last_time: float | None = None
+
+        def _boundary(when: float) -> Iterator[tuple[float, list[IPDRecord]]]:
+            # advance sweep/snapshot grids up to (and including) `when`
+            nonlocal next_sweep, next_snapshot
+            while when >= next_sweep:  # type: ignore[operator]
+                self._tick(next_sweep, result)
+                if next_snapshot is not None and next_sweep >= next_snapshot:
+                    yield self._emit(next_sweep, result)
+                    next_snapshot += self.snapshot_seconds
+                next_sweep += t
+
+        for item in flows:
+            if isinstance(item, FlowBatch):
+                timestamps = item.timestamps
+                if not timestamps:
+                    continue
+                first_time = timestamps[0]
+                if last_time is not None and first_time < last_time - 1e-9:
+                    raise ValueError(
+                        "flow stream is not time-ordered: "
+                        f"{first_time} after {last_time}"
+                    )
+                if any(
+                    timestamps[i] > timestamps[i + 1]
+                    for i in range(len(timestamps) - 1)
+                ):
+                    raise ValueError("FlowBatch is not time-ordered internally")
+                last_time = timestamps[-1]
+                if next_sweep is None:
+                    next_sweep = (int(first_time // t) + 1) * t
+                    next_snapshot = (
+                        int(first_time // self.snapshot_seconds) + 1
+                    ) * self.snapshot_seconds
+                start = 0
+                total = len(timestamps)
+                while start < total:
+                    yield from _boundary(timestamps[start])
+                    end = bisect_left(timestamps, next_sweep, start)
+                    if start == 0 and end == total:
+                        engine.ingest_batch(item)
+                    else:
+                        engine.ingest_batch(item.slice(start, end))
+                    result.flows_processed += end - start
+                    start = end
+                continue
+            flow = item
+            if last_time is not None and flow.timestamp < last_time - 1e-9:
+                raise ValueError(
+                    "flow stream is not time-ordered: "
+                    f"{flow.timestamp} after {last_time}"
+                )
+            last_time = flow.timestamp
+            if next_sweep is None:
+                # Align sweep/snapshot grids to the trace start.
+                next_sweep = (int(flow.timestamp // t) + 1) * t
+                next_snapshot = (
+                    int(flow.timestamp // self.snapshot_seconds) + 1
+                ) * self.snapshot_seconds
+            yield from _boundary(flow.timestamp)
+            engine.ingest(flow)
+            result.flows_processed += 1
+
+        if last_time is not None and next_sweep is not None:
+            # Close the final bucket.
+            self._tick(next_sweep, result)
+            yield self._emit(next_sweep, result)
+
+    def _tick(self, when: float, result: RunResult) -> None:
+        report = self.engine.sweep(when)
+        result.sweeps.append(report)
+        if self.on_sweep is not None:
+            self.on_sweep(report, self.engine)
+
+    def _emit(
+        self, when: float, result: RunResult
+    ) -> tuple[float, list[IPDRecord]]:
+        records = self.engine.snapshot(
+            when, include_unclassified=self.include_unclassified
+        )
+        result.snapshots[when] = records
+        for sink in self.sinks:
+            sink.emit(when, records)
+        return when, records
+
+    # ------------------------------------------------------------------ lifecycle
+
+    def close(self) -> None:
+        """Flush sinks and shut down executor workers (idempotent)."""
+        for sink in self.sinks:
+            sink.close()
+        close = getattr(self.engine, "close", None)
+        if close is not None:
+            close()
+
+    def __enter__(self) -> "Pipeline":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

@@ -1,0 +1,428 @@
+"""Address-space-sharded IPD: the coordinator.
+
+:class:`ShardedIPD` presents the single-engine surface — ``ingest``,
+``ingest_batch``, ``sweep``, ``snapshot``, ``state_size`` — while the
+work is split across ``2^k`` shard engines (one per depth-``k`` subtree,
+routed on the masked source's top ``k`` bits) plus a small *aggregator*
+engine that owns every range coarser than ``/k``.
+
+The design invariant is **byte-identical output**: the visible leaves of
+aggregator + shards partition the address space exactly like one
+engine's trie, and every Stage-2 decision is made by the same code on
+the same per-range state.  Three properties make that hold:
+
+* *Stable routing between ticks.*  Trie shape only changes inside
+  :meth:`sweep`, so the delegation map (which depth-``k`` subtrees are
+  shard-owned) is frozen while flows are routed; a flow lands in the
+  same leaf state a single engine would have put it in.
+* *Pure per-leaf decisions.*  Classification, split, expiry and decay
+  depend only on (leaf state, ``now``, params) — never on other leaves —
+  so running them inside a shard is indistinguishable from running them
+  inside one big trie.
+* *Confluent closures.*  Joins and prunes are applied to pairwise-
+  independent sibling pairs and cascaded; the sharded sweep performs the
+  shard-local pairs, then the cross-boundary pairs at ``/k`` (both shard
+  roots reduced to a single agreeing leaf), then cascades upward through
+  the aggregator — reaching the same fixed point as the single engine's
+  one-pass closure.
+
+Handoffs move ranges across the ``/k`` boundary: after each sweep the
+aggregator delegates any visible unclassified leaf that reached depth
+``k`` down to its shard (a ``seed`` op carrying the observation state),
+and the reconciliation above pulls ranges back up (``reset`` ops).  Both
+sides mark the vacated leaf with a
+:class:`~repro.core.state.DelegatedState` so exactly one engine owns any
+address at any time.
+
+The §5.8 load-balance detector needs full-trie walks and is not
+supported in sharded mode — attach it to a plain :class:`IPD`.
+"""
+
+from __future__ import annotations
+
+import operator
+import time
+from typing import Optional
+
+from ..core.algorithm import IPD, SweepReport, _is_empty_unclassified
+from ..core.iputil import IPV4, IPV6, Prefix
+from ..core.output import IPDRecord
+from ..core.params import DEFAULT_PARAMS, IPDParams
+from ..core.rangetree import RangeNode
+from ..core.state import UnclassifiedState
+from ..netflow.records import FlowBatch, FlowRecord, iter_flow_batches
+from .executors import make_executor
+from .shards import ShardTickResult
+
+__all__ = ["ShardedIPD"]
+
+_INF = float("inf")
+
+#: buffered per-flow rows are flushed to the executor at this many rows
+_PENDING_FLUSH_ROWS = 8192
+
+
+class ShardedIPD:
+    """A drop-in IPD engine that fans ingest out over ``2^k`` shards."""
+
+    def __init__(
+        self,
+        params: IPDParams | None = None,
+        shards: int = 4,
+        executor: str = "serial",
+        workers: Optional[int] = None,
+    ) -> None:
+        params = params or DEFAULT_PARAMS
+        if shards < 1 or shards & (shards - 1):
+            raise ValueError(f"shards must be a power of two, got {shards}")
+        depth = shards.bit_length() - 1
+        max_depth = min(params.cidr_max(IPV4), params.cidr_max(IPV6))
+        if depth > max_depth:
+            raise ValueError(
+                f"split depth {depth} (shards={shards}) exceeds "
+                f"cidr_max {max_depth}"
+            )
+        self.params = params
+        self.shards = shards
+        self.split_depth = depth
+        self.executor_kind = executor
+        #: ranges coarser than /k live here, in a plain single engine
+        self.aggregator = IPD(params)
+        self._executor = make_executor(executor, params, depth, workers)
+        #: family version -> shard indices currently delegated down
+        self._delegated: dict[int, set[int]] = {IPV4: set(), IPV6: set()}
+        #: family version -> shard index -> the aggregator's placeholder leaf
+        self._portals: dict[int, dict[int, RangeNode]] = {IPV4: {}, IPV6: {}}
+        self._shifts = {
+            version: Prefix.root(version).bits - depth
+            for version in (IPV4, IPV6)
+        }
+        #: (version, index) -> FlowBatch accumulating per-flow submissions
+        self._pending: dict[tuple[int, int], FlowBatch] = {}
+        self._pending_rows = 0
+        self.flows_ingested = 0
+        self.bytes_ingested = 0
+        self.last_sweep_at: float | None = None
+        self._closed = False
+        if depth == 0:
+            # A single shard owns the whole space; the aggregator is a
+            # permanently inert /0 placeholder per family.
+            ops: list[tuple] = []
+            for version, tree in self.aggregator.trees.items():
+                self._delegate(version, tree.root, ops)
+            self._executor.apply(ops)
+
+    # ------------------------------------------------------------------ stage 1
+
+    def ingest(self, flow: FlowRecord) -> None:
+        """Route one flow to its owning engine (buffered for shards)."""
+        version = flow.version
+        if self.split_depth and (
+            flow.src_ip >> self._shifts[version]
+        ) not in self._delegated[version]:
+            self.aggregator.ingest(flow)
+        else:
+            index = (
+                flow.src_ip >> self._shifts[version] if self.split_depth else 0
+            )
+            pending = self._pending.get((version, index))
+            if pending is None:
+                pending = self._pending[(version, index)] = FlowBatch(version)
+            pending.append(flow)
+            self._pending_rows += 1
+            if self._pending_rows >= _PENDING_FLUSH_ROWS:
+                self._flush_pending()
+        self.flows_ingested += 1
+        self.bytes_ingested += flow.bytes
+
+    def ingest_batch(self, batch: FlowBatch) -> int:
+        """Route a columnar batch: aggregator rows inline, shard rows fed out."""
+        count = len(batch.timestamps)
+        if count == 0:
+            return 0
+        self.flows_ingested += count
+        self.bytes_ingested += sum(batch.byte_counts)
+        version = batch.version
+        if self.split_depth == 0:
+            self._executor.feed(0, batch)
+            return count
+        delegated = self._delegated[version]
+        if not delegated:
+            self.aggregator.ingest_batch(batch)
+            return count
+        shift = self._shifts[version]
+        src_ips = batch.src_ips
+        buckets: dict[int, list[int]] = {}
+        if len(delegated) == self.shards:
+            aggregator_rows: list[int] = []
+            for row, src in enumerate(src_ips):
+                index = src >> shift
+                rows = buckets.get(index)
+                if rows is None:
+                    buckets[index] = [row]
+                else:
+                    rows.append(row)
+        else:
+            aggregator_rows = []
+            for row, src in enumerate(src_ips):
+                index = src >> shift
+                if index in delegated:
+                    rows = buckets.get(index)
+                    if rows is None:
+                        buckets[index] = [row]
+                    else:
+                        rows.append(row)
+                else:
+                    aggregator_rows.append(row)
+        if aggregator_rows:
+            self.aggregator.ingest_batch(_gather(batch, aggregator_rows))
+        for index, rows in buckets.items():
+            self._executor.feed(index, _gather(batch, rows))
+        return count
+
+    def ingest_many(self, flows) -> int:
+        """Batched routing for an iterable of flows."""
+        if isinstance(flows, FlowBatch):
+            return self.ingest_batch(flows)
+        count = 0
+        for batch in iter_flow_batches(flows):
+            count += self.ingest_batch(batch)
+        return count
+
+    def _flush_pending(self) -> None:
+        if not self._pending:
+            return
+        pending, self._pending = self._pending, {}
+        self._pending_rows = 0
+        for (__, index), batch in pending.items():
+            self._executor.feed(index, batch)
+
+    # ------------------------------------------------------------------ stage 2
+
+    def sweep(self, now: float) -> SweepReport:
+        """One coordinated Stage-2 tick across aggregator and shards."""
+        started = time.perf_counter()
+        self._flush_pending()
+        # Shards sweep concurrently with the aggregator (disjoint state).
+        self._executor.tick_begin(now)
+        aggregator_report = self.aggregator.sweep(now)
+        results = self._executor.tick_collect()
+
+        ops: list[tuple] = []
+        boundary_joins, boundary_prunes = self._reconcile(results, ops)
+        self._handoff(ops)
+        if ops:
+            self._executor.apply(ops)
+
+        report = self._merge_reports(
+            now, aggregator_report, results, boundary_joins, boundary_prunes
+        )
+        report.duration_seconds = time.perf_counter() - started
+        self.last_sweep_at = now
+        return report
+
+    def _reconcile(
+        self, results: dict[int, ShardTickResult], ops: list[tuple]
+    ) -> tuple[int, int]:
+        """Cross-boundary closure: joins and prunes spanning the /k cut.
+
+        A sibling pair of shard roots that a single engine would have
+        merged (both single classified leaves, same ingress, combined
+        samples above the parent's ``n_cidr``) is joined into the
+        aggregator's parent leaf, and the join cascade continues upward
+        exactly as in :meth:`IPD._join_pass`.  Likewise a pair of empty
+        roots collapses back into an (unclassified, empty) aggregator
+        leaf and cascades through ``prune_upward``.  Joins run before
+        prunes, matching the single engine's per-sweep order.
+        """
+        if self.split_depth == 0:
+            return 0, 0
+        joins = 0
+        prunes = 0
+        params = self.params
+        for version in (IPV4, IPV6):
+            tree = self.aggregator.trees[version]
+            delegated = self._delegated[version]
+            portals = self._portals[version]
+            new_classified: list[RangeNode] = []
+            new_empty: list[RangeNode] = []
+            for index in sorted(delegated):
+                if index & 1 or (index + 1) not in delegated:
+                    continue
+                sibling = index + 1
+                left = results[index].roots[version]
+                right = results[sibling].roots[version]
+                if left.kind == "classified" and right.kind == "classified":
+                    if left.ingress != right.ingress:
+                        continue
+                    parent = portals[index].parent
+                    assert parent is not None
+                    threshold = params.n_cidr(parent.prefix.masklen, version)
+                    if left.total + right.total < threshold:
+                        continue
+                    merged = left.as_classified_state().merged_with(
+                        right.as_classified_state()
+                    )
+                    tree.join(parent, merged)
+                    joins += 1
+                    self._undelegate(version, index, ops)
+                    self._undelegate(version, sibling, ops)
+                    new_classified.append(parent)
+                elif left.kind == "empty" and right.kind == "empty":
+                    parent = portals[index].parent
+                    assert parent is not None
+                    tree.collapse(parent)
+                    prunes += 1
+                    self._undelegate(version, index, ops)
+                    self._undelegate(version, sibling, ops)
+                    new_empty.append(parent)
+            for leaf in new_classified:
+                if not leaf.dead:
+                    joins += self.aggregator._join_cascade(tree, leaf)
+            prunes += tree.prune_upward(
+                new_empty,
+                _is_empty_unclassified,
+                on_remove=self.aggregator._forget_prefix,
+            )
+        return joins, prunes
+
+    def _handoff(self, ops: list[tuple]) -> None:
+        """Delegate aggregator leaves that reached the shard depth.
+
+        The aggregator's split cascade descends one level per sweep;
+        any visible unclassified leaf now sitting exactly at depth
+        ``k`` is handed to its shard, so between ticks the aggregator
+        only ever owns ranges coarser than ``/k``.  The walk is over
+        the aggregator trie only — at most ``2^(k+1)`` nodes.
+        """
+        depth = self.split_depth
+        if depth == 0:
+            return
+        for version, tree in self.aggregator.trees.items():
+            for leaf in list(tree.leaves()):
+                if leaf.prefix.masklen == depth and isinstance(
+                    leaf._state, UnclassifiedState
+                ):
+                    self._delegate(version, leaf, ops)
+
+    def _delegate(
+        self, version: int, leaf: RangeNode, ops: list[tuple]
+    ) -> None:
+        tree = self.aggregator.trees[version]
+        state = tree.delegate(leaf)
+        state.heap_bound = _INF
+        index = (
+            leaf.prefix.value >> self._shifts[version]
+            if self.split_depth
+            else 0
+        )
+        self._delegated[version].add(index)
+        self._portals[version][index] = leaf
+        ops.append(("seed", index, version, state))
+
+    def _undelegate(self, version: int, index: int, ops: list[tuple]) -> None:
+        self._delegated[version].discard(index)
+        self._portals[version].pop(index, None)
+        ops.append(("reset", index, version))
+
+    def _merge_reports(
+        self,
+        now: float,
+        aggregator_report: SweepReport,
+        results: dict[int, ShardTickResult],
+        boundary_joins: int,
+        boundary_prunes: int,
+    ) -> SweepReport:
+        report = SweepReport(timestamp=now)
+        for part in [aggregator_report] + [r.report for r in results.values()]:
+            report.classifications += part.classifications
+            report.splits += part.splits
+            report.joins += part.joins
+            report.drops += part.drops
+            report.prunes += part.prunes
+            report.expired_sources += part.expired_sources
+            report.decayed_ranges += part.decayed_ranges
+            report.visited += part.visited
+            report.cache_size += part.cache_size
+            report.cache_hits += part.cache_hits
+            report.cache_misses += part.cache_misses
+            report.cache_evictions += part.cache_evictions
+        report.joins += boundary_joins
+        report.prunes += boundary_prunes
+        # Leaf/classified totals reflect the post-reconcile state (the
+        # single engine likewise counts after its join/prune passes).
+        metrics = self._executor.metrics()
+        for version, tree in self.aggregator.trees.items():
+            report.leaves_by_version[version] = tree.leaf_count() + (
+                metrics.leaves_by_version.get(version, 0)
+            )
+        report.leaves = sum(report.leaves_by_version.values())
+        report.classified = sum(
+            tree.classified_count() for tree in self.aggregator.trees.values()
+        ) + sum(metrics.classified_by_version.values())
+        return report
+
+    # ------------------------------------------------------------------ output
+
+    def snapshot(
+        self, now: float, include_unclassified: bool = False
+    ) -> list[IPDRecord]:
+        """The merged Table-3 view — byte-identical to a single engine's."""
+        self._flush_pending()
+        records = self.aggregator.snapshot(
+            now, include_unclassified=include_unclassified
+        )
+        records.extend(self._executor.snapshot(now, include_unclassified))
+        records.sort(key=lambda record: (record.version, record.range.value))
+        return records
+
+    # ------------------------------------------------------------------ metrics
+
+    def state_size(self) -> int:
+        self._flush_pending()
+        return self.aggregator.state_size() + self._executor.metrics().state_size
+
+    def leaf_count(self) -> int:
+        self._flush_pending()
+        return (
+            self.aggregator.leaf_count() + self._executor.metrics().leaf_count()
+        )
+
+    def close(self) -> None:
+        """Shut down executor workers (idempotent)."""
+        if not self._closed:
+            self._closed = True
+            self._executor.close()
+
+    def __enter__(self) -> "ShardedIPD":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+def _gather(batch: FlowBatch, rows: list[int]) -> FlowBatch:
+    """Select *rows* of a batch into a new batch (order-preserving)."""
+    if len(rows) == len(batch.timestamps):
+        return batch
+    if len(rows) == 1:
+        row = rows[0]
+        return FlowBatch(
+            batch.version,
+            [batch.timestamps[row]],
+            [batch.src_ips[row]],
+            [batch.ingresses[row]],
+            [batch.packet_counts[row]],
+            [batch.byte_counts[row]],
+            [batch.dst_ips[row]],
+        )
+    get = operator.itemgetter(*rows)
+    return FlowBatch(
+        batch.version,
+        list(get(batch.timestamps)),
+        list(get(batch.src_ips)),
+        list(get(batch.ingresses)),
+        list(get(batch.packet_counts)),
+        list(get(batch.byte_counts)),
+        list(get(batch.dst_ips)),
+    )

@@ -1,0 +1,198 @@
+"""The engine side of address-space sharding.
+
+One :class:`ShardEngine` owns the depth-``k`` subtree at its shard
+index: a full :class:`~repro.core.algorithm.IPD` whose per-family tries
+are *rooted* at the shard's ``/k`` prefix instead of ``/0``.  A tree
+whose root carries a :class:`~repro.core.state.DelegatedState` is
+*inactive* — the aggregator still owns that range as a coarse leaf.
+The coordinator activates a shard by shipping the aggregator leaf's
+observation state down (a ``seed`` op) and deactivates it when a
+cross-boundary join or prune pulls the range back up (a ``reset`` op).
+
+Everything in this module is executor-agnostic: the serial executor
+calls it in-process, the threaded executor from worker threads, and the
+multiprocessing executor inside worker processes (all types here are
+picklable for that reason).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..core.algorithm import IPD, SweepReport
+from ..core.iputil import IPV4, IPV6, Prefix
+from ..core.params import IPDParams
+from ..core.state import ClassifiedState, DelegatedState, UnclassifiedState
+from ..netflow.records import FlowBatch
+from ..topology.elements import IngressPoint
+
+__all__ = ["ShardEngine", "ShardTickResult", "RootSummary", "ShardMetrics"]
+
+_INF = float("inf")
+
+#: shard-op tuples exchanged between coordinator and executors:
+#: ``("seed", index, version, state)`` activates a shard's family tree
+#: with the aggregator leaf's observation state; ``("reset", index,
+#: version)`` deactivates it after a cross-boundary join/prune.
+ShardOp = tuple
+
+
+@dataclass
+class RootSummary:
+    """What the coordinator needs to know about one shard-family root.
+
+    ``kind`` is one of:
+
+    * ``"inactive"``   — the root is delegated (aggregator owns the range)
+    * ``"busy"``       — the shard holds structure or samples under it
+    * ``"empty"``      — single empty unclassified leaf (prunable)
+    * ``"classified"`` — single classified leaf (joinable with its sibling)
+    """
+
+    kind: str
+    ingress: Optional[IngressPoint] = None
+    counters: Optional[dict[IngressPoint, float]] = None
+    last_seen: float = 0.0
+    classified_at: float = 0.0
+    total: float = 0.0
+
+    def as_classified_state(self) -> ClassifiedState:
+        assert self.kind == "classified"
+        assert self.ingress is not None and self.counters is not None
+        return ClassifiedState(
+            ingress=self.ingress,
+            counters=dict(self.counters),
+            last_seen=self.last_seen,
+            classified_at=self.classified_at,
+        )
+
+
+@dataclass
+class ShardTickResult:
+    """One shard engine's contribution to a coordinated sweep tick."""
+
+    index: int
+    report: SweepReport
+    #: family version -> post-sweep root summary
+    roots: dict[int, RootSummary] = field(default_factory=dict)
+
+
+@dataclass
+class ShardMetrics:
+    """Exact post-hoc counters for one or more shard engines."""
+
+    state_size: int = 0
+    leaves_by_version: dict[int, int] = field(default_factory=dict)
+    classified_by_version: dict[int, int] = field(default_factory=dict)
+
+    def add(self, other: "ShardMetrics") -> None:
+        self.state_size += other.state_size
+        for version, count in other.leaves_by_version.items():
+            self.leaves_by_version[version] = (
+                self.leaves_by_version.get(version, 0) + count
+            )
+        for version, count in other.classified_by_version.items():
+            self.classified_by_version[version] = (
+                self.classified_by_version.get(version, 0) + count
+            )
+
+    def leaf_count(self) -> int:
+        return sum(self.leaves_by_version.values())
+
+
+class ShardEngine:
+    """One depth-``k`` subtree of the address space, run as a full IPD."""
+
+    def __init__(self, params: IPDParams, depth: int, index: int) -> None:
+        self.index = index
+        self.depth = depth
+        roots = {
+            version: Prefix(index << (Prefix.root(version).bits - depth),
+                            depth, version)
+            for version in (IPV4, IPV6)
+        }
+        self.ipd = IPD(params, roots=roots)
+        # Both family trees start inactive: the aggregator owns the whole
+        # space until its split cascade reaches the shard depth.
+        for tree in self.ipd.trees.values():
+            tree.root.state = DelegatedState()
+
+    # -- ops ----------------------------------------------------------------
+
+    def apply_op(self, op: ShardOp) -> None:
+        kind = op[0]
+        if kind == "seed":
+            self.seed(op[2], op[3])
+        elif kind == "reset":
+            self.reset(op[2])
+        else:  # pragma: no cover - defensive
+            raise ValueError(f"unknown shard op: {op[0]!r}")
+
+    def seed(self, version: int, state: UnclassifiedState) -> None:
+        """Activate one family tree with the handed-down observation state."""
+        root = self.ipd.trees[version].root
+        assert root.left is None and isinstance(root._state, DelegatedState)
+        # The transplanted state carries the *aggregator* tree's heap
+        # bound; reset it so this tree's expiry scheduler re-registers it.
+        state.heap_bound = _INF
+        root.state = state
+
+    def reset(self, version: int) -> None:
+        """Deactivate one family tree (range pulled back into the aggregator)."""
+        root = self.ipd.trees[version].root
+        assert root.left is None
+        root.state = DelegatedState()
+
+    # -- data path ----------------------------------------------------------
+
+    def ingest_batch(self, batch: FlowBatch) -> int:
+        return self.ipd.ingest_batch(batch)
+
+    def tick(self, now: float) -> ShardTickResult:
+        """Sweep and summarize the roots for boundary reconciliation."""
+        report = self.ipd.sweep(now)
+        return ShardTickResult(
+            index=self.index,
+            report=report,
+            roots={
+                version: self._summarize_root(tree)
+                for version, tree in self.ipd.trees.items()
+            },
+        )
+
+    @staticmethod
+    def _summarize_root(tree) -> RootSummary:
+        root = tree.root
+        state = root._state
+        if isinstance(state, DelegatedState):
+            return RootSummary("inactive")
+        if root.left is not None:
+            return RootSummary("busy")
+        if isinstance(state, ClassifiedState):
+            return RootSummary(
+                "classified",
+                ingress=state.ingress,
+                counters=dict(state.counters),
+                last_seen=state.last_seen,
+                classified_at=state.classified_at,
+                total=state.total,
+            )
+        assert isinstance(state, UnclassifiedState)
+        return RootSummary("empty" if state.is_empty() else "busy")
+
+    def snapshot(self, now: float, include_unclassified: bool = False):
+        return self.ipd.snapshot(now, include_unclassified=include_unclassified)
+
+    def metrics(self) -> ShardMetrics:
+        return ShardMetrics(
+            state_size=self.ipd.state_size(),
+            leaves_by_version={
+                version: tree.leaf_count()
+                for version, tree in self.ipd.trees.items()
+            },
+            classified_by_version={
+                version: tree.classified_count()
+                for version, tree in self.ipd.trees.items()
+            },
+        )

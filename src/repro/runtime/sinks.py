@@ -1,0 +1,79 @@
+"""Pipeline output sinks.
+
+A sink receives every snapshot a :class:`~repro.runtime.pipeline.Pipeline`
+emits — ``(snapshot time, Table-3 records)`` pairs — and does something
+with it: keep it in memory, hand it to a callback, or append it to a
+Table-3 CSV file.  Sinks are deliberately tiny; anything stateful or
+format-specific belongs behind the :class:`CallbackSink`.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from ..core.output import IPDRecord, write_records_csv
+
+__all__ = ["Sink", "MemorySink", "CallbackSink", "CSVSink"]
+
+
+class Sink:
+    """Interface: ``emit`` per snapshot, ``close`` once at end of run."""
+
+    def emit(self, when: float, records: list[IPDRecord]) -> None:
+        raise NotImplementedError
+
+    def close(self) -> None:
+        pass
+
+
+class MemorySink(Sink):
+    """Keep every snapshot in memory (time -> records)."""
+
+    def __init__(self) -> None:
+        self.snapshots: dict[float, list[IPDRecord]] = {}
+
+    def emit(self, when: float, records: list[IPDRecord]) -> None:
+        self.snapshots[when] = records
+
+    def final_snapshot(self) -> list[IPDRecord]:
+        if not self.snapshots:
+            return []
+        return self.snapshots[max(self.snapshots)]
+
+
+class CallbackSink(Sink):
+    """Forward each snapshot to a user callback."""
+
+    def __init__(self, callback: Callable[[float, list[IPDRecord]], None]) -> None:
+        self.callback = callback
+
+    def emit(self, when: float, records: list[IPDRecord]) -> None:
+        self.callback(when, records)
+
+
+class CSVSink(Sink):
+    """Write snapshots to a Table-3 CSV file.
+
+    With ``final_only=True`` (the default) only the last snapshot is
+    written — the common "give me the final mapping" case; otherwise
+    every snapshot's rows land in the file in emission order under one
+    header (each row carries its timestamp, so the concatenation stays
+    unambiguous).  The file is written on :meth:`close`.
+    """
+
+    def __init__(self, path: str, final_only: bool = True) -> None:
+        self.path = path
+        self.final_only = final_only
+        self.rows_written = 0
+        self._pending: list[IPDRecord] = []
+
+    def emit(self, when: float, records: list[IPDRecord]) -> None:
+        if self.final_only:
+            self._pending = list(records)
+        else:
+            self._pending.extend(records)
+
+    def close(self) -> None:
+        with open(self.path, "w", newline="") as stream:
+            self.rows_written = write_records_csv(self._pending, stream)
+        self._pending = []

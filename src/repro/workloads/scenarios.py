@@ -22,8 +22,9 @@ from typing import Callable, Iterable, Optional
 
 from typing import TYPE_CHECKING
 
-from ..core.driver import OfflineDriver, RunResult
 from ..core.params import IPDParams
+from ..runtime.pipeline import Pipeline
+from ..runtime.result import RunResult
 from ..netflow.records import FlowRecord
 from ..topology.elements import IngressPoint
 from ..topology.generator import TopologySpec, generate_topology
@@ -135,24 +136,32 @@ class Scenario:
         snapshot_seconds: float = 300.0,
         include_unclassified: bool = False,
         keep_flows: bool = True,
+        shards: int = 1,
+        executor: str = "serial",
+        workers: Optional[int] = None,
     ) -> tuple[list[FlowRecord], RunResult]:
         """Replay the scenario through IPD; returns (flows, results).
 
         With ``keep_flows=False`` the stream is not materialized (for
         long runs where only snapshots matter) and the first element is
-        an empty list.
+        an empty list.  ``shards`` / ``executor`` / ``workers`` select
+        the runtime topology — results are identical for every choice,
+        only throughput changes.
         """
-        driver = OfflineDriver(
+        with Pipeline(
             self.params,
+            shards=shards,
+            executor=executor,
+            workers=workers,
             snapshot_seconds=snapshot_seconds,
             include_unclassified=include_unclassified,
-        )
-        if keep_flows:
-            flows = list(self.generator().flows())
-            result = driver.run(flows)
-            return flows, result
-        result = driver.run(self.generator().flows())
-        return [], result
+        ) as pipeline:
+            if keep_flows:
+                flows = list(self.generator().flows())
+                result = pipeline.run(flows)
+                return flows, result
+            result = pipeline.run(self.generator().flows())
+            return [], result
 
 
 def _base_topology_and_plan(

@@ -124,6 +124,39 @@ class TestThreadedIPD:
             runner.start()
         runner.stop()
 
+    def test_stop_ingests_unstarted_queue(self):
+        """No submitted flow may be lost to the stop/queue race.
+
+        Without ``start()`` every submission sits in the queue when
+        ``stop()`` runs — the deterministic worst case of the race where
+        flows are enqueued after the stop sentinel.  All of them must be
+        ingested before the final sweep.
+        """
+        runner = ThreadedIPD(params(), sweep_interval=100.0,
+                             clock=lambda: 10.0)
+        base = parse_ip("10.0.0.0")[0]
+        for index in range(500):
+            runner.submit(
+                FlowRecord(timestamp=0.0, src_ip=base + index * 16,
+                           version=IPV4, ingress=A)
+            )
+        runner.stop()
+        assert runner.ipd.flows_ingested == 500
+        assert runner.sweep_reports  # the final sweep saw them
+
+    def test_stop_drains_running_queue(self):
+        """With live threads, stop() still accounts for every submission."""
+        runner = ThreadedIPD(params(), sweep_interval=50.0)
+        runner.start()
+        base = parse_ip("10.0.0.0")[0]
+        for index in range(2000):
+            runner.submit(
+                FlowRecord(timestamp=0.0, src_ip=base + (index % 64) * 16,
+                           version=IPV4, ingress=A)
+            )
+        runner.stop()
+        assert runner.ipd.flows_ingested == 2000
+
     def test_restamping_uses_live_clock(self):
         clock_value = [1000.0]
         runner = ThreadedIPD(

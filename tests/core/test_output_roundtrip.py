@@ -1,0 +1,102 @@
+"""Property-based round-trip of the Table-3 record CSV format.
+
+``write_records_csv`` → ``read_records_csv`` must reproduce records
+exactly for every value the format can represent.  The format is lossy
+by design in known ways — timestamps and sample counts print as ``%.0f``,
+confidences as ``%.3f``, candidate weights as rounded integers — so the
+strategies generate exactly representable values and the test then
+demands *exact* equality, which pins both directions of the codec (and
+the ingress-field mini-grammar) at once.
+"""
+
+import io
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.iputil import IPV4, IPV6, Prefix
+from repro.core.output import (
+    IPDRecord,
+    format_ingress_field,
+    parse_ingress_field,
+    read_records_csv,
+    write_records_csv,
+)
+from repro.topology.elements import IngressPoint
+
+# Router/interface names: anything without the grammar's reserved
+# characters ("." splits router from interface; "," "=" "(" ")" delimit
+# the candidate list).  "+" is allowed — bundles use it.
+_name = st.text(
+    alphabet=st.sampled_from("abcdefgh0123456789-_+"), min_size=1, max_size=8
+)
+_ingress = st.builds(IngressPoint, router=_name, interface=_name)
+
+# Exactly representable numerics for each column's format.
+_timestamp = st.integers(min_value=0, max_value=2_000_000_000).map(float)
+_share = st.integers(min_value=0, max_value=1000).map(lambda n: n / 1000.0)
+_count = st.integers(min_value=0, max_value=10**12).map(float)
+_weight = st.integers(min_value=0, max_value=10**9).map(float)
+
+
+@st.composite
+def _prefix(draw):
+    version = draw(st.sampled_from([IPV4, IPV6]))
+    bits = 32 if version == IPV4 else 128
+    masklen = draw(st.integers(min_value=0, max_value=bits))
+    value = draw(st.integers(min_value=0, max_value=(1 << bits) - 1))
+    if masklen < bits:
+        value = (value >> (bits - masklen)) << (bits - masklen)
+    return Prefix(value, masklen, version)
+
+
+@st.composite
+def _candidates(draw):
+    """Candidate tuples in the canonical written order: (-weight, str)."""
+    entries = draw(
+        st.dictionaries(_ingress, _weight, min_size=0, max_size=5)
+    )
+    return tuple(
+        sorted(entries.items(), key=lambda item: (-item[1], str(item[0])))
+    )
+
+
+@st.composite
+def _record(draw):
+    return IPDRecord(
+        timestamp=draw(_timestamp),
+        range=draw(_prefix()),
+        ingress=draw(_ingress),
+        s_ingress=draw(_share),
+        s_ipcount=draw(_count),
+        n_cidr=draw(_count),
+        candidates=draw(_candidates()),
+        classified=draw(st.booleans()),
+    )
+
+
+class TestRecordsCSVRoundTrip:
+    @settings(max_examples=200, deadline=None)
+    @given(records=st.lists(_record(), min_size=0, max_size=8))
+    def test_write_read_identity(self, records):
+        buffer = io.StringIO()
+        count = write_records_csv(records, buffer)
+        assert count == len(records)
+        buffer.seek(0)
+        assert list(read_records_csv(buffer)) == records
+
+    @settings(max_examples=200, deadline=None)
+    @given(ingress=_ingress, candidates=_candidates())
+    def test_ingress_field_identity(self, ingress, candidates):
+        text = format_ingress_field(ingress, dict(candidates))
+        parsed_ingress, parsed_candidates = parse_ingress_field(text)
+        assert parsed_ingress == ingress
+        assert (
+            tuple(
+                sorted(
+                    parsed_candidates.items(),
+                    key=lambda item: (-item[1], str(item[0])),
+                )
+            )
+            == candidates
+        )

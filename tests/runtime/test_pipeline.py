@@ -1,0 +1,162 @@
+"""The Pipeline / LivePipeline API surface and the output sinks."""
+
+import io
+
+import pytest
+
+from repro.core.driver import OfflineDriver
+from repro.core.iputil import IPV4, parse_ip
+from repro.core.output import read_records_csv
+from repro.core.params import IPDParams
+from repro.netflow.records import FlowRecord
+from repro.runtime import (
+    CallbackSink,
+    CSVSink,
+    LivePipeline,
+    MemorySink,
+    Pipeline,
+    ShardedIPD,
+)
+from repro.topology.elements import IngressPoint
+
+A = IngressPoint("R1", "et0")
+
+
+def params(**kwargs) -> IPDParams:
+    defaults = dict(n_cidr_factor_v4=0.001, n_cidr_factor_v6=0.001)
+    defaults.update(kwargs)
+    return IPDParams(**defaults)
+
+
+def stream(n_buckets: int, per_bucket: int = 50, start: float = 0.0):
+    base = parse_ip("10.0.0.0")[0]
+    for bucket in range(n_buckets):
+        for index in range(per_bucket):
+            yield FlowRecord(
+                timestamp=start + bucket * 60.0 + index * (60.0 / per_bucket),
+                src_ip=base + index * 16,
+                version=IPV4,
+                ingress=A,
+            )
+
+
+class TestPipeline:
+    def test_default_engine_is_plain_ipd(self):
+        from repro.core.algorithm import IPD
+
+        assert isinstance(Pipeline(params()).engine, IPD)
+
+    def test_sharded_engine_selected(self):
+        pipeline = Pipeline(params(), shards=4)
+        assert isinstance(pipeline.engine, ShardedIPD)
+        pipeline.close()
+
+    def test_matches_offline_driver(self):
+        flows = list(stream(10))
+        reference = OfflineDriver(params(), snapshot_seconds=300.0).run(flows)
+        result = Pipeline(params(), snapshot_seconds=300.0).run(flows)
+        assert result.snapshots == reference.snapshots
+        assert result.flows_processed == reference.flows_processed
+
+    def test_invalid_snapshot_interval(self):
+        with pytest.raises(ValueError):
+            Pipeline(params(), snapshot_seconds=0.0)
+
+    def test_invalid_executor(self):
+        with pytest.raises(ValueError):
+            Pipeline(params(), executor="quantum")
+
+    def test_on_sweep_receives_engine(self):
+        seen = []
+        pipeline = Pipeline(
+            params(),
+            on_sweep=lambda report, engine: seen.append(engine.state_size()),
+        )
+        pipeline.run(stream(4))
+        assert len(seen) == 4
+
+    def test_context_manager_closes_engine(self):
+        with Pipeline(params(), shards=4, executor="threaded") as pipeline:
+            pipeline.run(stream(3))
+        # a second close must be harmless
+        pipeline.close()
+
+
+class TestSinks:
+    def test_memory_sink(self):
+        sink = MemorySink()
+        pipeline = Pipeline(params(), snapshot_seconds=300.0, sinks=[sink])
+        result = pipeline.run(stream(11))
+        pipeline.close()
+        assert sink.snapshots == result.snapshots
+        assert sink.final_snapshot() == result.final_snapshot()
+
+    def test_callback_sink(self):
+        times = []
+        sink = CallbackSink(lambda when, records: times.append(when))
+        pipeline = Pipeline(params(), snapshot_seconds=300.0, sinks=[sink])
+        result = pipeline.run(stream(11))
+        pipeline.close()
+        assert times == result.snapshot_times()
+
+    def test_csv_sink_final_only(self, tmp_path):
+        path = tmp_path / "final.csv"
+        sink = CSVSink(str(path))
+        pipeline = Pipeline(params(), snapshot_seconds=300.0, sinks=[sink])
+        result = pipeline.run(stream(11))
+        pipeline.close()
+        with open(path) as handle:
+            records = list(read_records_csv(handle))
+        final = result.final_snapshot()
+        assert sink.rows_written == len(final)
+        assert [r.range for r in records] == [r.range for r in final]
+
+    def test_csv_sink_every_snapshot(self, tmp_path):
+        path = tmp_path / "all.csv"
+        sink = CSVSink(str(path), final_only=False)
+        pipeline = Pipeline(params(), snapshot_seconds=300.0, sinks=[sink])
+        result = pipeline.run(stream(11))
+        pipeline.close()
+        with open(path) as handle:
+            records = list(read_records_csv(handle))
+        expected = [
+            record
+            for when in result.snapshot_times()
+            for record in result.snapshots[when]
+        ]
+        assert len(records) == len(expected)
+        assert [r.timestamp for r in records] == [r.timestamp for r in expected]
+
+
+class TestLivePipeline:
+    def test_classifies_with_sharded_engine(self):
+        runner = LivePipeline(
+            params(), sweep_interval=0.05, shards=4, executor="threaded"
+        )
+        runner.start()
+        base = parse_ip("10.0.0.0")[0]
+        for index in range(200):
+            runner.submit(
+                FlowRecord(timestamp=0.0, src_ip=base + index * 16,
+                           version=IPV4, ingress=A)
+            )
+        import time
+
+        time.sleep(0.3)
+        runner.stop()
+        snapshot = runner.snapshot()
+        runner.close()
+        assert snapshot
+        assert snapshot[0].ingress == A
+
+    def test_stop_without_start_ingests_everything(self):
+        """No submitted flow may be lost, even without a running thread."""
+        runner = LivePipeline(params(), sweep_interval=100.0,
+                              clock=lambda: 50.0)
+        for index in range(25):
+            runner.submit(
+                FlowRecord(timestamp=0.0, src_ip=index * 16, version=IPV4,
+                           ingress=A)
+            )
+        runner.stop()
+        assert runner.engine.flows_ingested == 25
