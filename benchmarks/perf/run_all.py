@@ -23,6 +23,11 @@ Three groups of measurements, all on the §5.7 workload (4096 distinct
   /16, which a depth-3 shard split cannot spread).  Recorded, not
   gated: the ratio depends on the core count, which is captured
   alongside.  The target is ≥ 2x single-engine on ≥ 4 cores.
+* ``checkpoint`` — state externalization cost on a settled
+  source-spread engine: encode+save and load+restore throughput
+  (leaves/s) through ``CheckpointStore``, and the wire-format density
+  (bytes per leaf on disk).  Recorded, not gated — it bounds the sweep
+  budget a checkpoint barrier consumes.
 
 ``--check BASELINE`` re-runs the ingest group and fails (exit 1) if any
 path regresses more than ``--tolerance`` (default 30%) against the
@@ -291,6 +296,63 @@ def bench_sharded_mp(flow_count: int, repeats: int,
     return result
 
 
+def bench_checkpoint(flow_count: int, repeats: int) -> dict:
+    import tempfile
+
+    from repro.core.algorithm import IPD as _IPD
+    from repro.runtime import Checkpoint, CheckpointStore
+
+    params = IPDParams(n_cidr_factor_v4=1e-5, n_cidr_factor_v6=1e-5)
+    flows = build_spread_flows(flow_count)
+    engine = _IPD(params)
+    engine.ingest_many(flows)
+    now = flows[-1].timestamp + 0.001
+    for step in range(6):  # settle the split cascade
+        engine.sweep(now + step * 0.01)
+    leaves = engine.leaf_count()
+    blob = engine.to_bytes()
+
+    with tempfile.TemporaryDirectory() as tmp:
+        store = CheckpointStore(tmp, retain=1)
+
+        def save():
+            store.save(Checkpoint(
+                when=now, flows_processed=len(flows), next_sweep=now + 60.0,
+                next_snapshot=None, sweep_count=1,
+                engine_blob=engine.to_bytes(),
+            ))
+
+        save_seconds = best_of(save, repeats)
+        on_disk = store.list()[-1].stat().st_size
+
+        path = store.list()[-1]
+
+        def restore():
+            _IPD.from_bytes(store.load(path).engine_blob)
+
+        restore_seconds = best_of(restore, repeats)
+
+    result = {
+        "leaves": leaves,
+        "state_size": engine.state_size(),
+        "blob_bytes": len(blob),
+        "on_disk_bytes": on_disk,
+        "bytes_per_leaf": round(on_disk / leaves, 1) if leaves else 0.0,
+        "bytes_per_source": (
+            round(on_disk / engine.state_size(), 1)
+            if engine.state_size() else 0.0
+        ),
+        "save_ms": round(save_seconds * 1000.0, 2),
+        "restore_ms": round(restore_seconds * 1000.0, 2),
+        "save_leaves_per_second": round(leaves / save_seconds),
+        "restore_leaves_per_second": round(leaves / restore_seconds),
+    }
+    print(f"  checkpoint leaves={leaves:,} disk={on_disk:,} B "
+          f"({result['bytes_per_leaf']} B/leaf) "
+          f"save={result['save_ms']} ms restore={result['restore_ms']} ms")
+    return result
+
+
 def run_benchmarks(flow_count: int, repeats: int) -> dict:
     print(f"sec57 workload: {flow_count:,} flows, best of {repeats}")
     flows = build_flows(flow_count)
@@ -310,6 +372,7 @@ def run_benchmarks(flow_count: int, repeats: int) -> dict:
         "batch_size_scaling": bench_batch_sizes(flows, repeats),
         "sweep": bench_sweep(),
         "sharded_mp": bench_sharded_mp(flow_count, repeats),
+        "checkpoint": bench_checkpoint(flow_count, repeats),
     }
     return results
 

@@ -22,12 +22,22 @@ from .core import (
     build_lpm_from_records,
 )
 from .netflow import FlowRecord, PacketSampler, StatisticalTime
-from .runtime import LivePipeline, Pipeline, ShardedIPD
+from .runtime import (
+    Checkpoint,
+    CheckpointStore,
+    LivePipeline,
+    Pipeline,
+    ShardedIPD,
+    WorkerCrashError,
+    restore_engine,
+)
 from .topology import IngressPoint, ISPTopology, LinkType, TopologySpec, generate_topology
 
 __version__ = "1.0.0"
 
 __all__ = [
+    "Checkpoint",
+    "CheckpointStore",
     "DEFAULT_PARAMS",
     "IPD",
     "IPDParams",
@@ -50,9 +60,11 @@ __all__ = [
     "ThreadedIPD",
     "TopologySpec",
     "FlowRecord",
+    "WorkerCrashError",
     "apply_plan",
     "build_lpm_from_records",
     "generate_topology",
     "link_loads",
+    "restore_engine",
     "__version__",
 ]

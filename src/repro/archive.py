@@ -16,10 +16,18 @@ Layout::
 Each partition holds the standard record CSV (one header, records of
 many snapshots distinguished by their ``timestamp`` column), so a
 partition can also be inspected with ordinary command-line tools.
+
+Partition keys are UTC dates of the snapshot timestamp (treated as
+seconds since the Unix epoch).  Archives written by earlier versions
+used opaque ``day-NNNNNN`` keys (days since epoch); those partitions
+keep their original key — the index, not the filename scheme, is
+authoritative — so both generations coexist in one archive and reads
+remain time-ordered across them.
 """
 
 from __future__ import annotations
 
+import datetime
 import gzip
 import io
 import json
@@ -36,7 +44,13 @@ _DAY = 86_400.0
 
 
 def _day_key(timestamp: float) -> str:
-    """Partition key: days since epoch, rendered sortably."""
+    """Partition key: the snapshot's UTC date (``YYYY-MM-DD``)."""
+    when = datetime.datetime.fromtimestamp(timestamp, datetime.timezone.utc)
+    return when.strftime("%Y-%m-%d")
+
+
+def _legacy_day_key(timestamp: float) -> str:
+    """Pre-date-key partition key: days since epoch, rendered sortably."""
     return f"day-{int(timestamp // _DAY):06d}"
 
 
@@ -63,9 +77,18 @@ class SnapshotArchive:
 
     # ------------------------------------------------------------------ write
 
+    def _partition_key(self, timestamp: float) -> str:
+        """Date key for new partitions; an existing legacy (``day-NNNNNN``)
+        partition for the same day keeps receiving appends under its old
+        key so a day is never split across two files."""
+        legacy = _legacy_day_key(timestamp)
+        if legacy in self._index:
+            return legacy
+        return _day_key(timestamp)
+
     def append(self, timestamp: float, records: Sequence[IPDRecord]) -> None:
         """Append one snapshot; snapshots must arrive in time order."""
-        key = _day_key(timestamp)
+        key = self._partition_key(timestamp)
         newest = self.newest_timestamp()
         if newest is not None and timestamp <= newest:
             raise ValueError(
@@ -119,8 +142,13 @@ class SnapshotArchive:
         without decompressing irrelevant columns into objects you then
         throw away.
         """
-        for key in sorted(self._index):
-            entry = self._index[key]
+        # Order partitions by time, not key text: date keys and legacy
+        # day-NNNNNN keys interleave arbitrarily under lexicographic sort.
+        entries = sorted(
+            self._index.values(),
+            key=lambda entry: entry["snapshots"][0] if entry["snapshots"] else 0.0,
+        )
+        for entry in entries:
             times = [
                 t for t in entry["snapshots"]
                 if (start is None or t >= start) and (end is None or t < end)

@@ -30,7 +30,7 @@ from .netflow.records import (
     read_flows_csv_batched,
     write_flows_csv,
 )
-from .runtime import EXECUTOR_KINDS, Pipeline
+from .runtime import EXECUTOR_KINDS, CheckpointStore, Pipeline
 
 __all__ = ["main"]
 
@@ -62,20 +62,52 @@ def _params_from(args: argparse.Namespace) -> IPDParams:
 
 def _cmd_run(args: argparse.Namespace) -> int:
     params = _params_from(args)
-    with Pipeline(
-        params,
-        shards=args.shards,
-        executor=args.executor,
-        workers=args.workers,
-        snapshot_seconds=args.snapshot_seconds,
-    ) as pipeline:
+
+    def flow_source():
+        # A fresh file handle per (re)start: checkpoint resume and
+        # worker-crash recovery both re-open the CSV and replay forward.
         with open(args.flows) as stream:
             if args.batch_size > 0:
-                result = pipeline.run(
-                    read_flows_csv_batched(stream, args.batch_size)
-                )
+                yield from read_flows_csv_batched(stream, args.batch_size)
             else:
-                result = pipeline.run(read_flows_csv(stream))
+                yield from read_flows_csv(stream)
+
+    resumed = False
+    if args.resume:
+        if args.checkpoint_dir is None:
+            print("--resume requires --checkpoint-dir", file=sys.stderr)
+            return 2
+        store = CheckpointStore(args.checkpoint_dir, retain=args.checkpoint_retain)
+        if store.latest() is not None:
+            pipeline = Pipeline.resume(
+                store,
+                params=params,
+                shards=args.shards,
+                executor=args.executor,
+                workers=args.workers,
+                snapshot_seconds=args.snapshot_seconds,
+                checkpoint_every=args.checkpoint_every,
+            )
+            resumed = True
+        else:
+            print(f"no checkpoint in {args.checkpoint_dir}; starting fresh")
+    if not resumed:
+        store = (
+            CheckpointStore(args.checkpoint_dir, retain=args.checkpoint_retain)
+            if args.checkpoint_dir is not None
+            else None
+        )
+        pipeline = Pipeline(
+            params,
+            shards=args.shards,
+            executor=args.executor,
+            workers=args.workers,
+            snapshot_seconds=args.snapshot_seconds,
+            checkpoint_store=store,
+            checkpoint_every=args.checkpoint_every,
+        )
+    with pipeline:
+        result = pipeline.run(flow_source)
     records = result.final_snapshot()
     with open(args.output, "w") as stream:
         count = write_records_csv(records, stream)
@@ -84,9 +116,10 @@ def _cmd_run(args: argparse.Namespace) -> int:
         if args.shards > 1 or args.executor != "serial"
         else "single engine"
     )
+    note = " (resumed from checkpoint)" if resumed else ""
     print(f"processed {result.flows_processed:,} flows, "
-          f"{len(result.sweeps)} sweeps ({engine}); wrote {count} ranges "
-          f"to {args.output}")
+          f"{len(result.sweeps)} sweeps ({engine}){note}; wrote {count} "
+          f"ranges to {args.output}")
     return 0
 
 
@@ -223,6 +256,18 @@ def build_parser() -> argparse.ArgumentParser:
                           "identical to --shards 1, only throughput changes")
     run.add_argument("--workers", type=int, default=None,
                      help="worker threads/processes for threaded/mp executors")
+    run.add_argument("--checkpoint-dir", default=None,
+                     help="directory for periodic engine checkpoints "
+                          "(enables crash recovery and --resume)")
+    run.add_argument("--checkpoint-every", type=float, default=300.0,
+                     help="trace seconds between checkpoints (taken at "
+                          "sweep ticks)")
+    run.add_argument("--checkpoint-retain", type=int, default=3,
+                     help="newest checkpoints kept on disk")
+    run.add_argument("--resume", action="store_true",
+                     help="continue from the latest checkpoint in "
+                          "--checkpoint-dir (replays the same flow CSV, "
+                          "skipping already-processed rows)")
     _add_param_arguments(run)
     run.set_defaults(handler=_cmd_run)
 

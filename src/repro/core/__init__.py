@@ -3,21 +3,35 @@
 from .algorithm import IPD, SweepReport
 from .bundles import bundle_candidates, dominant_ingress, make_bundle
 from .driver import OfflineDriver, RunResult, ThreadedIPD
-from .lbdetect import LBVerdict, LoadBalanceDetector
+from .lbdetect import LBDetectorLike, LBVerdict, LoadBalanceDetector
 from .iputil import IPV4, IPV6, Prefix, format_ip, mask_ip, parse_ip, parse_prefix
 from .lpm import LPMTable, build_lpm_from_records
 from .output import IPDRecord, read_records_csv, write_records_csv
 from .params import DEFAULT_PARAMS, IPDParams, default_decay
 from .rangetree import RangeNode, RangeTree
 from .state import ClassifiedState, UnclassifiedState
+from .statecodec import (
+    CODEC_VERSION,
+    EngineImage,
+    IncompatibleStateError,
+    StateCodecError,
+    decode_engine,
+    decode_subtree,
+    encode_engine,
+    encode_subtree,
+)
 
 __all__ = [
+    "CODEC_VERSION",
     "DEFAULT_PARAMS",
+    "EngineImage",
     "IPD",
     "IPDParams",
     "IPDRecord",
     "IPV4",
     "IPV6",
+    "IncompatibleStateError",
+    "LBDetectorLike",
     "LBVerdict",
     "LoadBalanceDetector",
     "LPMTable",
@@ -26,14 +40,19 @@ __all__ = [
     "RangeNode",
     "RangeTree",
     "RunResult",
+    "StateCodecError",
     "SweepReport",
     "ThreadedIPD",
     "ClassifiedState",
     "UnclassifiedState",
     "build_lpm_from_records",
     "bundle_candidates",
+    "decode_engine",
+    "decode_subtree",
     "default_decay",
     "dominant_ingress",
+    "encode_engine",
+    "encode_subtree",
     "format_ip",
     "make_bundle",
     "mask_ip",

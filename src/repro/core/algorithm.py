@@ -41,10 +41,19 @@ from ..netflow.records import FlowBatch, FlowRecord
 from ..topology.elements import IngressPoint
 from .bundles import dominant_ingress
 from .iputil import IPV4, IPV6, Prefix, mask_ip
+from .lbdetect import LBDetectorLike
 from .output import IPDRecord
 from .params import DEFAULT_PARAMS, IPDParams
 from .rangetree import RangeNode, RangeTree
 from .state import ClassifiedState, DelegatedState, UnclassifiedState
+from .statecodec import (
+    EngineImage,
+    StateCodecError,
+    decode_engine,
+    encode_engine,
+    engine_to_image,
+    restore_tree,
+)
 
 __all__ = ["IPD", "SweepReport"]
 
@@ -98,7 +107,7 @@ class IPD:
     def __init__(
         self,
         params: IPDParams | None = None,
-        lb_detector: "object | None" = None,
+        lb_detector: LBDetectorLike | None = None,
         lb_patience: int = 3,
         roots: "dict[int, Prefix] | None" = None,
     ) -> None:
@@ -115,9 +124,74 @@ class IPD:
         self.flows_ingested = 0
         self.bytes_ingested = 0
         self.last_sweep_at: float | None = None
-        self.lb_detector = lb_detector
+        self.lb_detector: LBDetectorLike | None = lb_detector
         self.lb_patience = lb_patience
         self._cidrmax_failures: dict[Prefix, int] = {}
+
+    # ------------------------------------------------------------------ state io
+
+    def to_image(self) -> EngineImage:
+        """Snapshot the full engine state as a codec-neutral image."""
+        return engine_to_image(self)
+
+    def to_bytes(self) -> bytes:
+        """Serialize the full engine state to one versioned blob.
+
+        The blob captures everything a future :meth:`from_bytes` needs
+        to continue *exactly* where this engine stands: trie topology,
+        per-range payloads, params, counters, and the dirty/expiry
+        bookkeeping — the restored engine's next sweep visits the same
+        leaves and produces the same report this engine's would have.
+        """
+        return encode_engine(self.to_image())
+
+    @classmethod
+    def from_image(
+        cls,
+        image: EngineImage,
+        lb_detector: LBDetectorLike | None = None,
+        lb_patience: int = 3,
+    ) -> "IPD":
+        """Rebuild an engine from an image produced by :meth:`to_image`."""
+        roots = {
+            version: tree.root_prefix for version, tree in image.trees.items()
+        }
+        engine = cls(
+            params=image.params,
+            lb_detector=lb_detector,
+            lb_patience=lb_patience,
+            roots=roots,
+        )
+        for version, tree_image in image.trees.items():
+            tree = engine.trees.get(version)
+            if tree is None:
+                raise StateCodecError(
+                    f"image contains unsupported address family {version}"
+                )
+            restore_tree(tree, tree_image)
+        engine.flows_ingested = image.flows_ingested
+        engine.bytes_ingested = image.bytes_ingested
+        engine.last_sweep_at = image.last_sweep_at
+        engine._cidrmax_failures = dict(image.cidrmax_failures)
+        return engine
+
+    @classmethod
+    def from_bytes(
+        cls,
+        data: bytes,
+        params: IPDParams | None = None,
+        lb_detector: LBDetectorLike | None = None,
+        lb_patience: int = 3,
+    ) -> "IPD":
+        """Rebuild an engine from a :meth:`to_bytes` blob.
+
+        *params* must be supplied when the blob was written with a
+        custom decay function (callables do not serialize).
+        """
+        image = decode_engine(data, params=params)
+        return cls.from_image(
+            image, lb_detector=lb_detector, lb_patience=lb_patience
+        )
 
     # ------------------------------------------------------------------ stage 1
 

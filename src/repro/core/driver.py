@@ -18,6 +18,7 @@ The replay and deployment loops moved to :mod:`repro.runtime`:
 
 from __future__ import annotations
 
+import warnings
 from typing import Callable, Optional
 
 from ..runtime.live import LivePipeline
@@ -72,4 +73,9 @@ class ThreadedIPD(LivePipeline):
         sweep_interval: float = 1.0,
         clock: Callable[[], float] | None = None,
     ) -> None:
+        warnings.warn(
+            "ThreadedIPD is deprecated; use repro.runtime.LivePipeline",
+            DeprecationWarning,
+            stacklevel=2,
+        )
         super().__init__(params=params, sweep_interval=sweep_interval, clock=clock)

@@ -28,13 +28,33 @@ from __future__ import annotations
 
 from collections import Counter
 from dataclasses import dataclass, field
-from typing import Optional
+from typing import Optional, Protocol, runtime_checkable
 
 from ..core.iputil import Prefix, mask_ip
 from ..netflow.records import FlowRecord
 from ..topology.elements import IngressPoint
 
-__all__ = ["LBVerdict", "LBSuspect", "LoadBalanceDetector"]
+__all__ = ["LBDetectorLike", "LBVerdict", "LBSuspect", "LoadBalanceDetector"]
+
+
+@runtime_checkable
+class LBDetectorLike(Protocol):
+    """What the engine requires of an attached load-balance detector.
+
+    :class:`~repro.core.algorithm.IPD` mirrors every ingested flow into
+    :meth:`observe` and calls :meth:`watch` when a range keeps failing
+    classification at ``cidr_max``.  Any object with these two methods
+    can stand in — :class:`LoadBalanceDetector` is the reference
+    implementation.
+    """
+
+    def observe(self, flow: FlowRecord) -> bool:
+        """Feed one flow; True if a watched range consumed it."""
+        ...
+
+    def watch(self, prefix: Prefix) -> None:
+        """Start (src, dst) pair tracking for a suspect range."""
+        ...
 
 
 @dataclass(frozen=True)

@@ -326,6 +326,25 @@ class RangeTree:
         self.join_count += 1
         return parent
 
+    def sprout(self, node: RangeNode) -> tuple[RangeNode, RangeNode]:
+        """Turn a leaf into an internal node with two fresh empty children.
+
+        Pure structure growth for state restoration: unlike :meth:`split`
+        it does not redistribute any observation state and does not count
+        as an algorithmic split.  The caller (the state codec's planting
+        pass) assigns each child's state afterwards.
+        """
+        if not node.is_leaf:
+            raise ValueError(f"cannot sprout internal node {node.prefix}")
+        left_prefix, right_prefix = node.prefix.children()
+        left = RangeNode(left_prefix, tree=self, parent=node)
+        right = RangeNode(right_prefix, tree=self, parent=node)
+        node.left = left
+        node.right = right
+        node.state = None
+        self._leaf_count += 1
+        return left, right
+
     def delegate(self, node: RangeNode) -> UnclassifiedState:
         """Hand an unclassified leaf's state off to another engine.
 

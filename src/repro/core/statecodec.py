@@ -1,0 +1,734 @@
+"""Versioned wire codec for externalized engine state.
+
+Everything an :class:`~repro.core.algorithm.IPD` engine knows — trie
+topology, per-range observation state, parameters, counters, and the
+expiry/dirty bookkeeping the incremental sweep machinery depends on —
+round-trips through this module.  The same encoding serves three jobs:
+
+* **Checkpoints** — :mod:`repro.runtime.checkpoint` persists a whole
+  engine as one blob and restores it after a restart or worker crash.
+* **Shard handoff** — the sharded runtime moves depth-``k`` subtrees
+  between the aggregator and shard engines as encoded subtree blobs
+  (the generalization of the old in-memory ``seed`` op).
+* **Resharding** — a checkpoint taken at one shard count can be carved
+  at a different split depth on resume, because the blob is always the
+  *merged* single-engine-equivalent image.
+
+Format
+------
+
+Compact binary, explicitly versioned::
+
+    magic "IPDS" | u8 blob kind (E=engine, T=subtree) | u16 codec version
+    ... kind-specific payload ...
+
+Integers are unsigned LEB128 varints; floats are 8-byte IEEE-754
+(big-endian) so every timestamp and counter round-trips bit-exactly —
+the engine's float sums are insertion-order dependent, and the codec
+preserves both the bits and the dict insertion order.  Ingress points
+are interned per blob (a string table built on first use).  Trie nodes
+are encoded preorder with a tag byte carrying the node kind and the
+leaf's dirty flag.
+
+Decoding a blob whose codec version is newer than this module raises
+:class:`IncompatibleStateError`; any structural damage raises
+:class:`StateCodecError`.
+
+Layering: this module deliberately does not import the engine.  It
+converts between trees and neutral *images* (:class:`NodeImage` /
+:class:`TreeImage` / :class:`EngineImage`); :meth:`IPD.from_image`
+lives in :mod:`repro.core.algorithm` on top of it.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..topology.elements import IngressPoint
+from .iputil import Prefix
+from .params import IPDParams, default_decay
+from .rangetree import RangeNode, RangeTree
+from .state import ClassifiedState, DelegatedState, UnclassifiedState
+
+__all__ = [
+    "CODEC_VERSION",
+    "StateCodecError",
+    "IncompatibleStateError",
+    "NodeImage",
+    "TreeImage",
+    "SubtreeImage",
+    "EngineImage",
+    "subtree_to_image",
+    "tree_to_image",
+    "engine_to_image",
+    "unclassified_image",
+    "plant_image",
+    "restore_tree",
+    "encode_engine",
+    "decode_engine",
+    "encode_subtree",
+    "decode_subtree",
+]
+
+#: bump when the wire format changes; decoders reject newer versions
+CODEC_VERSION = 1
+
+_MAGIC = b"IPDS"
+_KIND_ENGINE = 0x45  # 'E'
+_KIND_SUBTREE = 0x54  # 'T'
+
+_TAG_INTERNAL = 0
+_TAG_UNCLASSIFIED = 1
+_TAG_CLASSIFIED = 2
+_TAG_DELEGATED = 3
+_TAG_DIRTY = 0x10
+
+_FLAG_COUNT_BYTES = 1
+_FLAG_ENABLE_BUNDLES = 2
+_FLAG_DEFAULT_DECAY = 4
+
+_INF = float("inf")
+
+_pack_float = struct.Struct(">d").pack
+_unpack_float = struct.Struct(">d").unpack_from
+
+
+class StateCodecError(ValueError):
+    """A blob could not be encoded or decoded."""
+
+
+class IncompatibleStateError(StateCodecError):
+    """The blob was written by a newer codec than this build understands."""
+
+
+# ---------------------------------------------------------------------------
+# neutral images
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class NodeImage:
+    """One trie node, detached from any tree (picklable, codec-neutral).
+
+    ``kind`` is ``"internal"``, ``"unclassified"``, ``"classified"`` or
+    ``"delegated"``; only the fields of the matching kind are meaningful.
+    ``sources`` keeps the unclassified per-IP maps as ordered item lists
+    because the engine's float sums depend on dict insertion order.
+    """
+
+    kind: str
+    dirty: bool = False
+    left: Optional["NodeImage"] = None
+    right: Optional["NodeImage"] = None
+    #: unclassified: [(masked_ip, last_seen, [(ingress, weight), ...]), ...]
+    sources: Optional[list] = None
+    total: float = 0.0
+    oldest_seen: float = _INF
+    #: classified payload
+    ingress: Optional[IngressPoint] = None
+    counters: Optional[list] = None
+    last_seen: float = 0.0
+    classified_at: float = 0.0
+
+
+@dataclass
+class TreeImage:
+    """One address family's full trie plus its per-tree counters."""
+
+    version: int
+    root_prefix: Prefix
+    split_count: int
+    join_count: int
+    root: NodeImage
+
+
+@dataclass
+class SubtreeImage:
+    """A detached subtree, as moved between engines by seed/export ops."""
+
+    prefix: Prefix
+    version: int
+    split_count: int
+    join_count: int
+    root: NodeImage
+
+
+@dataclass
+class EngineImage:
+    """A whole engine: params, engine counters and every family tree."""
+
+    params: IPDParams
+    flows_ingested: int
+    bytes_ingested: int
+    last_sweep_at: Optional[float]
+    cidrmax_failures: dict = field(default_factory=dict)
+    trees: dict = field(default_factory=dict)
+
+
+# ---------------------------------------------------------------------------
+# tree -> image
+# ---------------------------------------------------------------------------
+
+
+def _state_image(state, dirty: bool) -> NodeImage:
+    if isinstance(state, UnclassifiedState):
+        return unclassified_image(state, dirty)
+    if isinstance(state, ClassifiedState):
+        return NodeImage(
+            kind="classified",
+            dirty=dirty,
+            ingress=state.ingress,
+            counters=list(state.counters.items()),
+            last_seen=state.last_seen,
+            classified_at=state.classified_at,
+        )
+    if isinstance(state, DelegatedState):
+        return NodeImage(kind="delegated")
+    raise StateCodecError(f"cannot image state of type {type(state).__name__}")
+
+
+def unclassified_image(state: UnclassifiedState, dirty: bool) -> NodeImage:
+    """Image one unclassified payload (used directly by shard handoff)."""
+    last_seen = state.last_seen
+    return NodeImage(
+        kind="unclassified",
+        dirty=dirty,
+        sources=[
+            (ip, last_seen[ip], list(by_ingress.items()))
+            for ip, by_ingress in state.per_ip.items()
+        ],
+        total=state.total,
+        oldest_seen=state.oldest_seen,
+    )
+
+
+def subtree_to_image(
+    tree: RangeTree,
+    node: RangeNode,
+    grafts: Optional[dict] = None,
+) -> NodeImage:
+    """Convert the subtree rooted at *node* into a detached image.
+
+    *grafts* maps a :class:`Prefix` to a replacement :class:`NodeImage`:
+    a delegated leaf at such a prefix is replaced by the graft, which is
+    how the sharded coordinator splices shard exports into its portals
+    to produce the merged single-engine-equivalent image.
+    """
+    dirty = tree.dirty
+
+    def convert(current: RangeNode) -> NodeImage:
+        if current.left is not None:
+            return NodeImage(
+                kind="internal",
+                left=convert(current.left),
+                right=convert(current.right),
+            )
+        state = current._state
+        if (
+            grafts is not None
+            and isinstance(state, DelegatedState)
+            and current.prefix in grafts
+        ):
+            return grafts[current.prefix]
+        return _state_image(state, current in dirty)
+
+    return convert(node)
+
+
+def tree_to_image(tree: RangeTree, grafts: Optional[dict] = None) -> TreeImage:
+    """Image a whole family tree including its split/join counters."""
+    return TreeImage(
+        version=tree.version,
+        root_prefix=tree.root.prefix,
+        split_count=tree.split_count,
+        join_count=tree.join_count,
+        root=subtree_to_image(tree, tree.root, grafts),
+    )
+
+
+def engine_to_image(engine) -> EngineImage:
+    """Image a plain engine (anything with ``trees`` and the counters)."""
+    return EngineImage(
+        params=engine.params,
+        flows_ingested=engine.flows_ingested,
+        bytes_ingested=engine.bytes_ingested,
+        last_sweep_at=engine.last_sweep_at,
+        cidrmax_failures=dict(engine._cidrmax_failures),
+        trees={
+            version: tree_to_image(tree)
+            for version, tree in engine.trees.items()
+        },
+    )
+
+
+# ---------------------------------------------------------------------------
+# image -> tree (planting)
+# ---------------------------------------------------------------------------
+
+
+def _state_from_image(image: NodeImage):
+    if image.kind == "unclassified":
+        state = UnclassifiedState()
+        entries = 0
+        for masked_ip, seen, by_ingress in image.sources:
+            state.per_ip[masked_ip] = dict(by_ingress)
+            state.last_seen[masked_ip] = seen
+            entries += len(by_ingress)
+        state.entries = entries
+        # the stored float, not a recomputed sum: incremental totals are
+        # insertion-order dependent and must restore bit-exactly
+        state.total = image.total
+        state.oldest_seen = image.oldest_seen
+        return state
+    if image.kind == "classified":
+        return ClassifiedState(
+            ingress=image.ingress,
+            counters=dict(image.counters),
+            last_seen=image.last_seen,
+            classified_at=image.classified_at,
+        )
+    if image.kind == "delegated":
+        return DelegatedState()
+    raise StateCodecError(f"cannot plant node kind {image.kind!r}")
+
+
+def plant_image(tree: RangeTree, node: RangeNode, image: NodeImage) -> None:
+    """Materialize *image* at the leaf *node* of *tree*.
+
+    Structure grows through :meth:`RangeTree.sprout` (no split-count
+    side effects) and every leaf state is assigned through the ``state``
+    property setter, so leaf/classified counters and expiry scheduling
+    rebuild themselves.  The per-leaf dirty flags recorded in the image
+    are then applied exactly — a restored engine's next sweep visits
+    precisely the leaves the original engine's next sweep would have.
+    """
+    if node.left is not None:
+        raise StateCodecError(f"cannot plant onto internal node {node.prefix}")
+
+    def plant(target: RangeNode, img: NodeImage) -> None:
+        if img.kind == "internal":
+            left, right = tree.sprout(target)
+            plant(left, img.left)
+            plant(right, img.right)
+            return
+        target.state = _state_from_image(img)
+        if not img.dirty:
+            tree.dirty.discard(target)
+
+    plant(node, image)
+
+
+def restore_tree(tree: RangeTree, image: TreeImage) -> None:
+    """Rebuild a (fresh) family tree from its image, counters included."""
+    if tree.root.prefix != image.root_prefix:
+        raise StateCodecError(
+            f"tree rooted at {tree.root.prefix} cannot restore an image "
+            f"rooted at {image.root_prefix}"
+        )
+    if tree.root.left is not None:
+        raise StateCodecError("can only restore into an unsplit tree")
+    plant_image(tree, tree.root, image.root)
+    tree.split_count = image.split_count
+    tree.join_count = image.join_count
+
+
+# ---------------------------------------------------------------------------
+# low-level wire helpers
+# ---------------------------------------------------------------------------
+
+
+class _Writer:
+    """Byte-stream writer with per-blob ingress interning."""
+
+    def __init__(self) -> None:
+        self.buffer = bytearray()
+        self._ingress_table: dict[IngressPoint, int] = {}
+
+    def uvarint(self, value: int) -> None:
+        if value < 0:
+            raise StateCodecError(f"cannot encode negative varint: {value}")
+        buffer = self.buffer
+        while True:
+            byte = value & 0x7F
+            value >>= 7
+            if value:
+                buffer.append(byte | 0x80)
+            else:
+                buffer.append(byte)
+                return
+
+    def float(self, value: float) -> None:
+        self.buffer += _pack_float(value)
+
+    def string(self, text: str) -> None:
+        raw = text.encode("utf-8")
+        self.uvarint(len(raw))
+        self.buffer += raw
+
+    def ingress(self, ingress: IngressPoint) -> None:
+        index = self._ingress_table.get(ingress)
+        if index is not None:
+            self.uvarint(index + 1)
+            return
+        self.uvarint(0)
+        self.string(ingress.router)
+        self.string(ingress.interface)
+        self._ingress_table[ingress] = len(self._ingress_table)
+
+    def prefix(self, prefix: Prefix) -> None:
+        self.buffer.append(prefix.version)
+        self.uvarint(prefix.masklen)
+        self.uvarint(prefix.value)
+
+
+class _Reader:
+    """Mirror of :class:`_Writer`; raises on truncated or damaged input."""
+
+    def __init__(self, data: bytes) -> None:
+        self.data = data
+        self.offset = 0
+        self._ingress_table: list[IngressPoint] = []
+
+    def byte(self) -> int:
+        if self.offset >= len(self.data):
+            raise StateCodecError("truncated blob")
+        value = self.data[self.offset]
+        self.offset += 1
+        return value
+
+    def uvarint(self) -> int:
+        value = 0
+        shift = 0
+        while True:
+            byte = self.byte()
+            value |= (byte & 0x7F) << shift
+            if not byte & 0x80:
+                return value
+            shift += 7
+            if shift > 140:
+                raise StateCodecError("varint too long")
+
+    def float(self) -> float:
+        if self.offset + 8 > len(self.data):
+            raise StateCodecError("truncated blob")
+        (value,) = _unpack_float(self.data, self.offset)
+        self.offset += 8
+        return value
+
+    def string(self) -> str:
+        length = self.uvarint()
+        end = self.offset + length
+        if end > len(self.data):
+            raise StateCodecError("truncated blob")
+        text = self.data[self.offset:end].decode("utf-8")
+        self.offset = end
+        return text
+
+    def ingress(self) -> IngressPoint:
+        ref = self.uvarint()
+        if ref == 0:
+            ingress = IngressPoint(self.string(), self.string())
+            self._ingress_table.append(ingress)
+            return ingress
+        index = ref - 1
+        if index >= len(self._ingress_table):
+            raise StateCodecError(f"dangling ingress reference {index}")
+        return self._ingress_table[index]
+
+    def prefix(self) -> Prefix:
+        version = self.byte()
+        masklen = self.uvarint()
+        value = self.uvarint()
+        try:
+            return Prefix(value, masklen, version)
+        except ValueError as exc:  # pragma: no cover - defensive
+            raise StateCodecError(f"invalid prefix in blob: {exc}") from exc
+
+
+def _write_header(writer: _Writer, kind: int) -> None:
+    writer.buffer += _MAGIC
+    writer.buffer.append(kind)
+    writer.buffer += struct.pack(">H", CODEC_VERSION)
+
+
+def _read_header(reader: _Reader, expected_kind: int) -> None:
+    if len(reader.data) < 4 or reader.data[:4] != _MAGIC:
+        raise StateCodecError("not an IPD state blob (bad magic)")
+    reader.offset = 4
+    kind = reader.byte()
+    if reader.offset + 2 > len(reader.data):
+        raise StateCodecError("truncated blob")
+    (version,) = struct.unpack_from(">H", reader.data, reader.offset)
+    reader.offset += 2
+    if version > CODEC_VERSION:
+        raise IncompatibleStateError(
+            f"blob uses codec version {version}; this build reads "
+            f"up to {CODEC_VERSION}"
+        )
+    if kind != expected_kind:
+        raise StateCodecError(
+            f"unexpected blob kind {chr(kind)!r}; "
+            f"expected {chr(expected_kind)!r}"
+        )
+
+
+# ---------------------------------------------------------------------------
+# node stream
+# ---------------------------------------------------------------------------
+
+_KIND_TO_TAG = {
+    "internal": _TAG_INTERNAL,
+    "unclassified": _TAG_UNCLASSIFIED,
+    "classified": _TAG_CLASSIFIED,
+    "delegated": _TAG_DELEGATED,
+}
+_TAG_TO_KIND = {tag: kind for kind, tag in _KIND_TO_TAG.items()}
+
+
+def _write_node(writer: _Writer, image: NodeImage) -> None:
+    tag = _KIND_TO_TAG.get(image.kind)
+    if tag is None:
+        raise StateCodecError(f"unknown node kind {image.kind!r}")
+    writer.buffer.append(tag | (_TAG_DIRTY if image.dirty else 0))
+    if image.kind == "internal":
+        _write_node(writer, image.left)
+        _write_node(writer, image.right)
+    elif image.kind == "unclassified":
+        writer.float(image.total)
+        writer.float(image.oldest_seen)
+        writer.uvarint(len(image.sources))
+        for masked_ip, seen, by_ingress in image.sources:
+            writer.uvarint(masked_ip)
+            writer.float(seen)
+            writer.uvarint(len(by_ingress))
+            for ingress, weight in by_ingress:
+                writer.ingress(ingress)
+                writer.float(weight)
+    elif image.kind == "classified":
+        writer.ingress(image.ingress)
+        writer.float(image.last_seen)
+        writer.float(image.classified_at)
+        writer.uvarint(len(image.counters))
+        for ingress, weight in image.counters:
+            writer.ingress(ingress)
+            writer.float(weight)
+    # delegated: tag only
+
+
+def _read_node(reader: _Reader) -> NodeImage:
+    tag = reader.byte()
+    dirty = bool(tag & _TAG_DIRTY)
+    kind = _TAG_TO_KIND.get(tag & 0x0F)
+    if kind is None:
+        raise StateCodecError(f"unknown node tag {tag:#x}")
+    if kind == "internal":
+        left = _read_node(reader)
+        right = _read_node(reader)
+        return NodeImage(kind="internal", left=left, right=right)
+    if kind == "unclassified":
+        total = reader.float()
+        oldest_seen = reader.float()
+        sources = []
+        for __ in range(reader.uvarint()):
+            masked_ip = reader.uvarint()
+            seen = reader.float()
+            by_ingress = [
+                (reader.ingress(), reader.float())
+                for __ in range(reader.uvarint())
+            ]
+            sources.append((masked_ip, seen, by_ingress))
+        return NodeImage(
+            kind="unclassified",
+            dirty=dirty,
+            sources=sources,
+            total=total,
+            oldest_seen=oldest_seen,
+        )
+    if kind == "classified":
+        ingress = reader.ingress()
+        last_seen = reader.float()
+        classified_at = reader.float()
+        counters = [
+            (reader.ingress(), reader.float())
+            for __ in range(reader.uvarint())
+        ]
+        return NodeImage(
+            kind="classified",
+            dirty=dirty,
+            ingress=ingress,
+            counters=counters,
+            last_seen=last_seen,
+            classified_at=classified_at,
+        )
+    return NodeImage(kind="delegated")
+
+
+# ---------------------------------------------------------------------------
+# params
+# ---------------------------------------------------------------------------
+
+
+def _write_params(writer: _Writer, params: IPDParams) -> None:
+    writer.uvarint(params.cidr_max_v4)
+    writer.uvarint(params.cidr_max_v6)
+    writer.float(params.n_cidr_factor_v4)
+    writer.float(params.n_cidr_factor_v6)
+    writer.float(params.q)
+    writer.float(params.t)
+    writer.float(params.e)
+    writer.float(params.drop_threshold)
+    writer.float(params.bundle_min_share)
+    flags = 0
+    if params.count_bytes:
+        flags |= _FLAG_COUNT_BYTES
+    if params.enable_bundles:
+        flags |= _FLAG_ENABLE_BUNDLES
+    if params.decay is default_decay:
+        flags |= _FLAG_DEFAULT_DECAY
+    writer.buffer.append(flags)
+
+
+def _read_params(reader: _Reader, override: Optional[IPDParams]) -> IPDParams:
+    cidr_max_v4 = reader.uvarint()
+    cidr_max_v6 = reader.uvarint()
+    n_cidr_factor_v4 = reader.float()
+    n_cidr_factor_v6 = reader.float()
+    q = reader.float()
+    t = reader.float()
+    e = reader.float()
+    drop_threshold = reader.float()
+    bundle_min_share = reader.float()
+    flags = reader.byte()
+    if override is not None:
+        return override
+    if not flags & _FLAG_DEFAULT_DECAY:
+        raise StateCodecError(
+            "blob was written with a custom decay function, which is not "
+            "serializable; pass params= with the matching decay on restore"
+        )
+    return IPDParams(
+        cidr_max_v4=cidr_max_v4,
+        cidr_max_v6=cidr_max_v6,
+        n_cidr_factor_v4=n_cidr_factor_v4,
+        n_cidr_factor_v6=n_cidr_factor_v6,
+        q=q,
+        t=t,
+        e=e,
+        drop_threshold=drop_threshold,
+        bundle_min_share=bundle_min_share,
+        count_bytes=bool(flags & _FLAG_COUNT_BYTES),
+        enable_bundles=bool(flags & _FLAG_ENABLE_BUNDLES),
+    )
+
+
+# ---------------------------------------------------------------------------
+# engine blobs
+# ---------------------------------------------------------------------------
+
+
+def encode_engine(image: EngineImage) -> bytes:
+    """Serialize a whole-engine image to one versioned blob."""
+    writer = _Writer()
+    _write_header(writer, _KIND_ENGINE)
+    _write_params(writer, image.params)
+    writer.uvarint(image.flows_ingested)
+    writer.uvarint(image.bytes_ingested)
+    if image.last_sweep_at is None:
+        writer.buffer.append(0)
+    else:
+        writer.buffer.append(1)
+        writer.float(image.last_sweep_at)
+    writer.uvarint(len(image.cidrmax_failures))
+    for prefix, failures in image.cidrmax_failures.items():
+        writer.prefix(prefix)
+        writer.uvarint(failures)
+    writer.uvarint(len(image.trees))
+    for version in sorted(image.trees):
+        tree = image.trees[version]
+        writer.buffer.append(version)
+        writer.prefix(tree.root_prefix)
+        writer.uvarint(tree.split_count)
+        writer.uvarint(tree.join_count)
+        _write_node(writer, tree.root)
+    return bytes(writer.buffer)
+
+
+def decode_engine(data: bytes, params: Optional[IPDParams] = None) -> EngineImage:
+    """Parse an engine blob back into an :class:`EngineImage`.
+
+    *params* overrides the encoded parameters — required when the blob
+    was written with a custom (non-serializable) decay function.
+    """
+    reader = _Reader(data)
+    _read_header(reader, _KIND_ENGINE)
+    decoded_params = _read_params(reader, params)
+    flows_ingested = reader.uvarint()
+    bytes_ingested = reader.uvarint()
+    last_sweep_at = reader.float() if reader.byte() else None
+    cidrmax_failures = {}
+    for __ in range(reader.uvarint()):
+        prefix = reader.prefix()
+        cidrmax_failures[prefix] = reader.uvarint()
+    trees = {}
+    for __ in range(reader.uvarint()):
+        version = reader.byte()
+        root_prefix = reader.prefix()
+        split_count = reader.uvarint()
+        join_count = reader.uvarint()
+        trees[version] = TreeImage(
+            version=version,
+            root_prefix=root_prefix,
+            split_count=split_count,
+            join_count=join_count,
+            root=_read_node(reader),
+        )
+    return EngineImage(
+        params=decoded_params,
+        flows_ingested=flows_ingested,
+        bytes_ingested=bytes_ingested,
+        last_sweep_at=last_sweep_at,
+        cidrmax_failures=cidrmax_failures,
+        trees=trees,
+    )
+
+
+# ---------------------------------------------------------------------------
+# subtree blobs (shard handoff / export)
+# ---------------------------------------------------------------------------
+
+
+def encode_subtree(
+    prefix: Prefix,
+    version: int,
+    root: NodeImage,
+    split_count: int = 0,
+    join_count: int = 0,
+) -> bytes:
+    """Serialize one detached subtree (a seed payload or shard export)."""
+    writer = _Writer()
+    _write_header(writer, _KIND_SUBTREE)
+    writer.buffer.append(version)
+    writer.prefix(prefix)
+    writer.uvarint(split_count)
+    writer.uvarint(join_count)
+    _write_node(writer, root)
+    return bytes(writer.buffer)
+
+
+def decode_subtree(data: bytes) -> SubtreeImage:
+    """Parse a subtree blob back into a :class:`SubtreeImage`."""
+    reader = _Reader(data)
+    _read_header(reader, _KIND_SUBTREE)
+    version = reader.byte()
+    prefix = reader.prefix()
+    split_count = reader.uvarint()
+    join_count = reader.uvarint()
+    return SubtreeImage(
+        prefix=prefix,
+        version=version,
+        split_count=split_count,
+        join_count=join_count,
+        root=_read_node(reader),
+    )

@@ -16,11 +16,18 @@ One execution surface for every way of running IPD:
 façades over this package, kept for compatibility.
 """
 
+from .checkpoint import (
+    CHECKPOINT_VERSION,
+    Checkpoint,
+    CheckpointStore,
+    restore_engine,
+)
 from .executors import (
     EXECUTOR_KINDS,
     MultiprocessExecutor,
     SerialExecutor,
     ThreadedExecutor,
+    WorkerCrashError,
     make_executor,
 )
 from .live import LivePipeline
@@ -36,6 +43,10 @@ __all__ = [
     "ShardedIPD",
     "ShardEngine",
     "RunResult",
+    "Checkpoint",
+    "CheckpointStore",
+    "CHECKPOINT_VERSION",
+    "restore_engine",
     "Sink",
     "MemorySink",
     "CallbackSink",
@@ -43,6 +54,7 @@ __all__ = [
     "SerialExecutor",
     "ThreadedExecutor",
     "MultiprocessExecutor",
+    "WorkerCrashError",
     "make_executor",
     "EXECUTOR_KINDS",
 ]

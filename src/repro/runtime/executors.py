@@ -41,11 +41,22 @@ __all__ = [
     "SerialExecutor",
     "ThreadedExecutor",
     "MultiprocessExecutor",
+    "WorkerCrashError",
     "make_executor",
     "EXECUTOR_KINDS",
 ]
 
 EXECUTOR_KINDS = ("serial", "threaded", "mp")
+
+
+class WorkerCrashError(RuntimeError):
+    """A shard worker process died mid-run (pipe broken or closed).
+
+    Raised by :class:`MultiprocessExecutor` instead of the raw OS-level
+    error so the pipeline's recovery path can catch one well-known type,
+    tear the executor down, and rebuild the engine from its last
+    checkpoint.
+    """
 
 
 class ShardWorker:
@@ -95,6 +106,11 @@ class ShardWorker:
             for engine in self.engines.values():
                 metrics.add(engine.metrics())
             return metrics
+        if kind == "export":
+            return {
+                index: engine.export()
+                for index, engine in sorted(self.engines.items())
+            }
         raise ValueError(f"unknown executor command: {kind!r}")
 
 
@@ -126,6 +142,9 @@ class SerialExecutor:
 
     def metrics(self) -> ShardMetrics:
         return self._worker.handle(("metrics",))
+
+    def export(self) -> dict[int, dict[int, bytes]]:
+        return self._worker.handle(("export",))
 
     def close(self) -> None:
         pass
@@ -194,6 +213,14 @@ class ThreadedExecutor:
         for replies in self._replies:
             metrics.add(replies.get())
         return metrics
+
+    def export(self) -> dict[int, dict[int, bytes]]:
+        for commands in self._commands:
+            commands.put(("export",))
+        exports: dict[int, dict[int, bytes]] = {}
+        for replies in self._replies:
+            exports.update(replies.get())
+        return exports
 
     def close(self) -> None:
         if self._closed:
@@ -269,41 +296,65 @@ class MultiprocessExecutor:
     def _slot(self, index: int) -> int:
         return index % self.workers
 
+    def _send(self, slot: int, cmd: tuple) -> None:
+        try:
+            self._conns[slot].send(cmd)
+        except (BrokenPipeError, ConnectionResetError, OSError) as exc:
+            raise WorkerCrashError(
+                f"shard worker {slot} is gone ({exc!r})"
+            ) from exc
+
+    def _recv(self, slot: int):
+        try:
+            return self._conns[slot].recv()
+        except (EOFError, ConnectionResetError, OSError) as exc:
+            raise WorkerCrashError(
+                f"shard worker {slot} died before replying ({exc!r})"
+            ) from exc
+
     def feed(self, index: int, batch: FlowBatch) -> None:
-        self._conns[self._slot(index)].send(("feed", index, batch))
+        self._send(self._slot(index), ("feed", index, batch))
 
     def apply(self, ops: Iterable[tuple]) -> None:
         by_slot: dict[int, list[tuple]] = {}
         for op in ops:
             by_slot.setdefault(self._slot(op[1]), []).append(op)
         for slot, slot_ops in by_slot.items():
-            self._conns[slot].send(("ops", slot_ops))
+            self._send(slot, ("ops", slot_ops))
 
     def tick_begin(self, now: float) -> None:
-        for conn in self._conns:
-            conn.send(("tick", now))
+        for slot in range(self.workers):
+            self._send(slot, ("tick", now))
 
     def tick_collect(self) -> dict[int, ShardTickResult]:
         results: dict[int, ShardTickResult] = {}
-        for conn in self._conns:
-            results.update(conn.recv())
+        for slot in range(self.workers):
+            results.update(self._recv(slot))
         return results
 
     def snapshot(self, now: float, include_unclassified: bool) -> list[IPDRecord]:
-        for conn in self._conns:
-            conn.send(("snapshot", now, include_unclassified))
+        for slot in range(self.workers):
+            self._send(slot, ("snapshot", now, include_unclassified))
         records: list[IPDRecord] = []
-        for conn in self._conns:
-            records.extend(conn.recv())
+        for slot in range(self.workers):
+            records.extend(self._recv(slot))
         return records
 
     def metrics(self) -> ShardMetrics:
-        for conn in self._conns:
-            conn.send(("metrics",))
+        for slot in range(self.workers):
+            self._send(slot, ("metrics",))
         metrics = ShardMetrics()
-        for conn in self._conns:
-            metrics.add(conn.recv())
+        for slot in range(self.workers):
+            metrics.add(self._recv(slot))
         return metrics
+
+    def export(self) -> dict[int, dict[int, bytes]]:
+        for slot in range(self.workers):
+            self._send(slot, ("export",))
+        exports: dict[int, dict[int, bytes]] = {}
+        for slot in range(self.workers):
+            exports.update(self._recv(slot))
+        return exports
 
     def close(self) -> None:
         if self._closed:

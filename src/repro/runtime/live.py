@@ -14,6 +14,14 @@ the same ``shards`` / ``executor`` knobs as the offline
 threads exit, anything still sitting in the ingest queue — items that
 raced the stop sentinel, or everything when the runtime was never
 started — is drained into the engine before the final sweep.
+
+With a checkpoint store attached, the sweep thread persists the engine
+image after a sweep every ``checkpoint_every`` wall-clock seconds, and
+``stop()`` saves a final image after the closing sweep — the live
+analogue of the offline pipeline's sweep-tick barrier (state is only
+ever saved under the lock, right after a sweep, so the image is a
+consistent post-sweep one).  :meth:`LivePipeline.resume` restores the
+latest image into a fresh runtime.
 """
 
 from __future__ import annotations
@@ -21,12 +29,14 @@ from __future__ import annotations
 import queue
 import threading
 import time
-from typing import Callable, Optional
+from pathlib import Path
+from typing import Callable, Optional, Union
 
 from ..core.algorithm import IPD, SweepReport
 from ..core.output import IPDRecord
 from ..core.params import IPDParams
 from ..netflow.records import FlowBatch, FlowRecord
+from .checkpoint import Checkpoint, CheckpointStore, restore_engine
 from .executors import EXECUTOR_KINDS
 from .sharding import ShardedIPD
 
@@ -45,6 +55,8 @@ class LivePipeline:
         executor: str = "serial",
         workers: Optional[int] = None,
         engine=None,
+        checkpoint_store: "CheckpointStore | str | Path | None" = None,
+        checkpoint_every: Optional[float] = None,
     ) -> None:
         if executor not in EXECUTOR_KINDS:
             raise ValueError(
@@ -59,7 +71,17 @@ class LivePipeline:
                 params, shards=shards, executor=executor, workers=workers
             )
         self.sweep_interval = sweep_interval
+        if checkpoint_store is not None and not isinstance(
+            checkpoint_store, CheckpointStore
+        ):
+            checkpoint_store = CheckpointStore(checkpoint_store)
+        self.checkpoint_store = checkpoint_store
+        if checkpoint_every is not None and checkpoint_every <= 0:
+            raise ValueError("checkpoint_every must be positive")
+        #: wall-clock seconds between periodic saves; None saves only on stop
+        self.checkpoint_every = checkpoint_every
         self._clock = clock or time.monotonic
+        self._next_checkpoint: float | None = None
         self._queue: "queue.Queue[FlowRecord | FlowBatch | None]" = queue.Queue(
             maxsize=100_000
         )
@@ -68,6 +90,38 @@ class LivePipeline:
         self._ingest_thread: threading.Thread | None = None
         self._sweep_thread: threading.Thread | None = None
         self.sweep_reports: list[SweepReport] = []
+
+    @classmethod
+    def resume(
+        cls,
+        checkpoint_store: "CheckpointStore | str | Path",
+        params: IPDParams | None = None,
+        shards: int = 1,
+        executor: str = "serial",
+        workers: Optional[int] = None,
+        **kwargs,
+    ) -> "LivePipeline":
+        """Restore the latest checkpoint into a fresh live runtime.
+
+        The engine continues with the saved trie warm instead of paying
+        a cold re-convergence; ``shards``/``executor`` may differ from
+        the run that saved the image.
+        """
+        if not isinstance(checkpoint_store, CheckpointStore):
+            checkpoint_store = CheckpointStore(checkpoint_store)
+        checkpoint = checkpoint_store.latest()
+        if checkpoint is None:
+            raise FileNotFoundError(
+                f"no checkpoint found in {checkpoint_store.directory}"
+            )
+        engine = restore_engine(
+            checkpoint.engine_blob,
+            params=params,
+            shards=shards,
+            executor=executor,
+            workers=workers,
+        )
+        return cls(engine=engine, checkpoint_store=checkpoint_store, **kwargs)
 
     @property
     def ipd(self):
@@ -111,7 +165,10 @@ class LivePipeline:
                 if item is None:
                     continue  # stop sentinel (ours or a repeated stop's)
                 self._ingest(item)
-            self.sweep_reports.append(self.engine.sweep(self._clock()))
+            now = self._clock()
+            self.sweep_reports.append(self.engine.sweep(now))
+            if self.checkpoint_store is not None:
+                self._save_checkpoint(now)
 
     def close(self) -> None:
         """Shut down executor workers of a sharded engine (idempotent)."""
@@ -180,4 +237,28 @@ class LivePipeline:
     def _sweep_loop(self) -> None:
         while not self._stop.wait(self.sweep_interval):
             with self._lock:
-                self.sweep_reports.append(self.engine.sweep(self._clock()))
+                now = self._clock()
+                self.sweep_reports.append(self.engine.sweep(now))
+                if (
+                    self.checkpoint_store is not None
+                    and self.checkpoint_every is not None
+                ):
+                    if self._next_checkpoint is None:
+                        self._next_checkpoint = now + self.checkpoint_every
+                    elif now >= self._next_checkpoint:
+                        self._save_checkpoint(now)
+                        self._next_checkpoint = now + self.checkpoint_every
+
+    def _save_checkpoint(self, now: float) -> None:
+        """Persist a post-sweep image (caller holds the engine lock)."""
+        assert self.checkpoint_store is not None
+        self.checkpoint_store.save(
+            Checkpoint(
+                when=now,
+                flows_processed=self.engine.flows_ingested,
+                next_sweep=now + self.sweep_interval,
+                next_snapshot=None,
+                sweep_count=len(self.sweep_reports),
+                engine_blob=self.engine.to_bytes(),
+            )
+        )

@@ -17,23 +17,43 @@ Event-driven replay semantics are unchanged: sweeps fire exactly at
 ``t``-second boundaries of the trace clock, snapshots every
 ``snapshot_seconds``, and a batch spanning a boundary is cut at the
 boundary so "all ingest before each sweep tick" holds exactly.
+
+With a checkpoint store attached, the pipeline also saves the engine
+state at sweep ticks (every ``checkpoint_every`` trace seconds): each
+checkpoint is a consistent post-sweep image plus the replay cursor, so
+:meth:`Pipeline.resume` continues an interrupted run — and when the flow
+source is re-openable (a zero-argument callable), a crashed mp worker is
+recovered *inside* :meth:`run` by rebuilding the engine from the last
+checkpoint and replaying forward, instead of failing the run.
 """
 
 from __future__ import annotations
 
 from bisect import bisect_left
+from dataclasses import dataclass
+from pathlib import Path
 from typing import Callable, Iterable, Iterator, Optional, Sequence, Union
 
 from ..core.algorithm import IPD, SweepReport
 from ..core.output import IPDRecord
 from ..core.params import IPDParams
 from ..netflow.records import FlowBatch, FlowRecord
-from .executors import EXECUTOR_KINDS
+from .checkpoint import Checkpoint, CheckpointStore
+from .executors import EXECUTOR_KINDS, WorkerCrashError
 from .result import RunResult
 from .sharding import ShardedIPD
 from .sinks import Sink
 
 __all__ = ["Pipeline"]
+
+
+@dataclass
+class _ResumeState:
+    """Replay cursor restored from a checkpoint (consumed by one run)."""
+
+    flows_processed: int
+    next_sweep: float
+    next_snapshot: Optional[float]
 
 #: engines a Pipeline can drive (anything with ingest/ingest_batch/
 #: sweep/snapshot/state_size)
@@ -54,6 +74,8 @@ class Pipeline:
         on_sweep: Optional[Callable[[SweepReport, Engine], None]] = None,
         sinks: Optional[Sequence[Sink]] = None,
         engine: Optional[Engine] = None,
+        checkpoint_store: "CheckpointStore | str | Path | None" = None,
+        checkpoint_every: Optional[float] = None,
     ) -> None:
         if snapshot_seconds <= 0:
             raise ValueError("snapshot_seconds must be positive")
@@ -63,31 +85,174 @@ class Pipeline:
             )
         if engine is not None:
             self.engine: Engine = engine
+            #: topology to rebuild after a worker crash; None means the
+            #: engine is caller-owned and recovery must re-raise
+            self._rebuild: Optional[tuple[int, str, Optional[int]]] = None
         elif shards == 1 and executor == "serial":
             # The degenerate topology needs no router or merger: run the
             # plain engine and the pipeline adds zero per-flow overhead.
             self.engine = IPD(params)
+            self._rebuild = (1, "serial", None)
         else:
             self.engine = ShardedIPD(
                 params, shards=shards, executor=executor, workers=workers
             )
+            self._rebuild = (shards, executor, workers)
         self.snapshot_seconds = snapshot_seconds
         self.include_unclassified = include_unclassified
         self.on_sweep = on_sweep
         self.sinks: list[Sink] = list(sinks) if sinks is not None else []
+        if checkpoint_store is not None and not isinstance(
+            checkpoint_store, CheckpointStore
+        ):
+            checkpoint_store = CheckpointStore(checkpoint_store)
+        self.checkpoint_store = checkpoint_store
+        if checkpoint_every is not None and checkpoint_every <= 0:
+            raise ValueError("checkpoint_every must be positive")
+        self.checkpoint_every = (
+            checkpoint_every if checkpoint_every is not None else snapshot_seconds
+        )
+        self._resume: Optional[_ResumeState] = None
 
     @property
     def params(self) -> IPDParams:
         return self.engine.params
 
+    # ------------------------------------------------------------------ resume
+
+    @classmethod
+    def resume(
+        cls,
+        checkpoint_store: "CheckpointStore | str | Path",
+        checkpoint: Optional[Checkpoint] = None,
+        params: IPDParams | None = None,
+        shards: int = 1,
+        executor: str = "serial",
+        workers: Optional[int] = None,
+        **kwargs,
+    ) -> "Pipeline":
+        """Continue from a checkpoint (the latest one, unless given).
+
+        The restored pipeline expects :meth:`run` to be fed the *same*
+        flow stream the checkpointing run consumed, from the beginning —
+        the replay cursor skips everything the checkpoint already
+        covers.  ``shards``/``executor`` may differ from the original
+        run's topology: the checkpoint holds the merged single-engine
+        image, re-carved at this deployment's split depth.
+
+        ``params`` is only required when the original run used a custom
+        (non-serializable) decay function.
+        """
+        if not isinstance(checkpoint_store, CheckpointStore):
+            checkpoint_store = CheckpointStore(checkpoint_store)
+        if checkpoint is None:
+            checkpoint = checkpoint_store.latest()
+        if checkpoint is None:
+            raise FileNotFoundError(
+                f"no checkpoint found in {checkpoint_store.directory}"
+            )
+        from .checkpoint import restore_engine
+
+        engine = restore_engine(
+            checkpoint.engine_blob,
+            params=params,
+            shards=shards,
+            executor=executor,
+            workers=workers,
+        )
+        pipeline = cls(
+            engine=engine, checkpoint_store=checkpoint_store, **kwargs
+        )
+        pipeline._rebuild = (shards, executor, workers)
+        pipeline._resume = _ResumeState(
+            flows_processed=checkpoint.flows_processed,
+            next_sweep=checkpoint.next_sweep,
+            next_snapshot=checkpoint.next_snapshot,
+        )
+        return pipeline
+
     # ------------------------------------------------------------------ replay
 
-    def run(self, flows: "Iterable[Union[FlowRecord, FlowBatch]]") -> RunResult:
-        """Replay *flows* (non-decreasing timestamps) to completion."""
+    def run(self, flows) -> RunResult:
+        """Replay *flows* (non-decreasing timestamps) to completion.
+
+        *flows* may also be a zero-argument callable returning the
+        stream (e.g. a function re-opening a CSV).  With a checkpoint
+        store attached and a pipeline-owned engine, a re-openable source
+        enables crash recovery: if a shard worker process dies mid-run,
+        the engine is rebuilt from the last checkpoint and the stream is
+        replayed forward instead of the run failing.
+        """
+        if callable(flows) and not isinstance(flows, Iterable):
+            if self.checkpoint_store is not None and self._rebuild is not None:
+                return self._run_with_recovery(flows)
+            flows = flows()
         result = RunResult()
         for __ in self.run_incremental(flows, result):
             pass
         return result
+
+    def _run_with_recovery(
+        self,
+        flow_source: Callable[[], "Iterable[Union[FlowRecord, FlowBatch]]"],
+        max_recoveries: int = 3,
+    ) -> RunResult:
+        result = RunResult()
+        recoveries = 0
+        while True:
+            try:
+                for __ in self.run_incremental(flow_source(), result):
+                    pass
+                return result
+            except WorkerCrashError:
+                recoveries += 1
+                if recoveries > max_recoveries:
+                    raise
+                self._recover(result)
+
+    def _recover(self, result: RunResult) -> None:
+        """Rebuild the engine from the last checkpoint after a crash."""
+        assert self._rebuild is not None
+        params = self.engine.params
+        try:
+            self.engine.close()  # type: ignore[union-attr]
+        except Exception:
+            pass  # the dead executor may fail teardown; state is gone anyway
+        shards, executor, workers = self._rebuild
+        checkpoint = self.checkpoint_store.latest() if self.checkpoint_store else None
+        if checkpoint is None:
+            # crashed before the first checkpoint: restart from scratch
+            if shards == 1 and executor == "serial":
+                self.engine = IPD(params)
+            else:
+                self.engine = ShardedIPD(
+                    params, shards=shards, executor=executor, workers=workers
+                )
+            result.sweeps.clear()
+            result.snapshots.clear()
+            result.flows_processed = 0
+            self._resume = None
+            return
+        from .checkpoint import restore_engine
+
+        self.engine = restore_engine(
+            checkpoint.engine_blob,
+            params=params,
+            shards=shards,
+            executor=executor,
+            workers=workers,
+        )
+        # roll the result back to the checkpoint: later sweeps/snapshots
+        # will be reproduced exactly by the replay
+        del result.sweeps[checkpoint.sweep_count:]
+        for when in [ts for ts in result.snapshots if ts > checkpoint.when]:
+            del result.snapshots[when]
+        result.flows_processed = checkpoint.flows_processed
+        self._resume = _ResumeState(
+            flows_processed=checkpoint.flows_processed,
+            next_sweep=checkpoint.next_sweep,
+            next_snapshot=checkpoint.next_snapshot,
+        )
 
     def run_incremental(
         self,
@@ -102,22 +267,49 @@ class Pipeline:
         cut at the boundary (binary search on its timestamp column) so
         "all ingest before each sweep tick" holds exactly as in the
         per-flow replay.
+
+        When this pipeline was built by :meth:`resume` (or is replaying
+        after crash recovery), the restored cursor takes over: the first
+        ``flows_processed`` rows of the stream are skipped and the
+        sweep/snapshot grids continue where the checkpoint left them.
         """
         engine = self.engine
         t = engine.params.t
+        every = self.checkpoint_every
+        store = self.checkpoint_store
         result = result if result is not None else RunResult()
         next_sweep: float | None = None
         next_snapshot: float | None = None
+        next_checkpoint: float | None = None
         last_time: float | None = None
+        resume, self._resume = self._resume, None
+        skip = 0
+        if resume is not None:
+            skip = resume.flows_processed
+            next_sweep = resume.next_sweep
+            next_snapshot = resume.next_snapshot
+            result.flows_processed = resume.flows_processed
+            if store is not None:
+                # the checkpointed tick was next_sweep - t; continue the
+                # grid strictly after it (that tick is already on disk)
+                next_checkpoint = (int((resume.next_sweep - t) // every) + 1) * every
 
         def _boundary(when: float) -> Iterator[tuple[float, list[IPDRecord]]]:
-            # advance sweep/snapshot grids up to (and including) `when`
-            nonlocal next_sweep, next_snapshot
+            # advance sweep/snapshot/checkpoint grids up to `when`
+            nonlocal next_sweep, next_snapshot, next_checkpoint
             while when >= next_sweep:  # type: ignore[operator]
                 self._tick(next_sweep, result)
                 if next_snapshot is not None and next_sweep >= next_snapshot:
                     yield self._emit(next_sweep, result)
                     next_snapshot += self.snapshot_seconds
+                if next_checkpoint is not None and next_sweep >= next_checkpoint:
+                    # post-sweep barrier: the image is consistent (all
+                    # ingest before the tick applied, the sweep settled)
+                    self._save_checkpoint(
+                        next_sweep, result, next_sweep + t, next_snapshot
+                    )
+                    while next_checkpoint <= next_sweep:
+                        next_checkpoint += every
                 next_sweep += t
 
         for item in flows:
@@ -125,6 +317,14 @@ class Pipeline:
                 timestamps = item.timestamps
                 if not timestamps:
                     continue
+                if skip:
+                    rows = len(timestamps)
+                    if rows <= skip:
+                        skip -= rows
+                        continue
+                    item = item.slice(skip, rows)
+                    timestamps = item.timestamps
+                    skip = 0
                 first_time = timestamps[0]
                 if last_time is not None and first_time < last_time - 1e-9:
                     raise ValueError(
@@ -142,6 +342,8 @@ class Pipeline:
                     next_snapshot = (
                         int(first_time // self.snapshot_seconds) + 1
                     ) * self.snapshot_seconds
+                    if store is not None:
+                        next_checkpoint = (int(first_time // every) + 1) * every
                 start = 0
                 total = len(timestamps)
                 while start < total:
@@ -155,6 +357,9 @@ class Pipeline:
                     start = end
                 continue
             flow = item
+            if skip:
+                skip -= 1
+                continue
             if last_time is not None and flow.timestamp < last_time - 1e-9:
                 raise ValueError(
                     "flow stream is not time-ordered: "
@@ -167,6 +372,8 @@ class Pipeline:
                 next_snapshot = (
                     int(flow.timestamp // self.snapshot_seconds) + 1
                 ) * self.snapshot_seconds
+                if store is not None:
+                    next_checkpoint = (int(flow.timestamp // every) + 1) * every
             yield from _boundary(flow.timestamp)
             engine.ingest(flow)
             result.flows_processed += 1
@@ -175,12 +382,41 @@ class Pipeline:
             # Close the final bucket.
             self._tick(next_sweep, result)
             yield self._emit(next_sweep, result)
+            if store is not None:
+                self._save_checkpoint(
+                    next_sweep, result, next_sweep + t, next_snapshot
+                )
+        elif resume is not None:
+            # The checkpoint already covers the entire stream (it was
+            # saved at the closing tick): nothing to replay, but the
+            # resumed run still yields the final mapping.  No sweep —
+            # the checkpointed image is already post-final-sweep.
+            yield self._emit(resume.next_sweep - t, result)
 
     def _tick(self, when: float, result: RunResult) -> None:
         report = self.engine.sweep(when)
         result.sweeps.append(report)
         if self.on_sweep is not None:
             self.on_sweep(report, self.engine)
+
+    def _save_checkpoint(
+        self,
+        when: float,
+        result: RunResult,
+        next_sweep: float,
+        next_snapshot: Optional[float],
+    ) -> None:
+        assert self.checkpoint_store is not None
+        self.checkpoint_store.save(
+            Checkpoint(
+                when=when,
+                flows_processed=result.flows_processed,
+                next_sweep=next_sweep,
+                next_snapshot=next_snapshot,
+                sweep_count=len(result.sweeps),
+                engine_blob=self.engine.to_bytes(),
+            )
+        )
 
     def _emit(
         self, when: float, result: RunResult

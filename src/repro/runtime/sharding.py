@@ -50,13 +50,22 @@ from ..core.output import IPDRecord
 from ..core.params import DEFAULT_PARAMS, IPDParams
 from ..core.rangetree import RangeNode
 from ..core.state import UnclassifiedState
+from ..core.statecodec import (
+    EngineImage,
+    NodeImage,
+    decode_engine,
+    decode_subtree,
+    encode_engine,
+    encode_subtree,
+    plant_image,
+    tree_to_image,
+    unclassified_image,
+)
 from ..netflow.records import FlowBatch, FlowRecord, iter_flow_batches
 from .executors import make_executor
 from .shards import ShardTickResult
 
 __all__ = ["ShardedIPD"]
-
-_INF = float("inf")
 
 #: buffered per-flow rows are flushed to the executor at this many rows
 _PENDING_FLUSH_ROWS = 8192
@@ -309,8 +318,8 @@ class ShardedIPD:
         self, version: int, leaf: RangeNode, ops: list[tuple]
     ) -> None:
         tree = self.aggregator.trees[version]
+        was_dirty = leaf in tree.dirty
         state = tree.delegate(leaf)
-        state.heap_bound = _INF
         index = (
             leaf.prefix.value >> self._shifts[version]
             if self.split_depth
@@ -318,7 +327,14 @@ class ShardedIPD:
         )
         self._delegated[version].add(index)
         self._portals[version][index] = leaf
-        ops.append(("seed", index, version, state))
+        # Handoff is state *transfer*, not state sharing: the leaf's
+        # observation state crosses the boundary as an encoded subtree
+        # blob (exactly what checkpoint resume sends), so aggregator and
+        # shard never alias one state object even in-process.
+        payload = encode_subtree(
+            leaf.prefix, version, unclassified_image(state, was_dirty)
+        )
+        ops.append(("seed", index, version, payload))
 
     def _undelegate(self, version: int, index: int, ops: list[tuple]) -> None:
         self._delegated[version].discard(index)
@@ -362,6 +378,142 @@ class ShardedIPD:
         ) + sum(metrics.classified_by_version.values())
         return report
 
+    # ------------------------------------------------------------------ state io
+
+    def to_image(self) -> EngineImage:
+        """The merged single-engine-equivalent image of the whole deployment.
+
+        Shard engines export their active subtrees as encoded blobs;
+        each is grafted into the aggregator trie at its portal (the
+        delegated placeholder leaf), and shard split/join counts fold
+        into the per-family totals.  The result contains no delegated
+        nodes: it is exactly the image a plain :class:`IPD` holding the
+        same state would produce, which is what makes a checkpoint
+        restorable at *any* legal shard count.
+        """
+        self._flush_pending()
+        exports = self._executor.export()
+        trees = {}
+        for version, tree in self.aggregator.trees.items():
+            grafts: dict[Prefix, NodeImage] = {}
+            shard_splits = 0
+            shard_joins = 0
+            for index in sorted(exports):
+                payload = exports[index].get(version)
+                if payload is None:
+                    continue
+                subtree = decode_subtree(payload)
+                grafts[subtree.prefix] = subtree.root
+                shard_splits += subtree.split_count
+                shard_joins += subtree.join_count
+            image = tree_to_image(tree, grafts)
+            image.split_count += shard_splits
+            image.join_count += shard_joins
+            trees[version] = image
+        return EngineImage(
+            params=self.params,
+            flows_ingested=self.flows_ingested,
+            bytes_ingested=self.bytes_ingested,
+            last_sweep_at=self.last_sweep_at,
+            cidrmax_failures=dict(self.aggregator._cidrmax_failures),
+            trees=trees,
+        )
+
+    def to_bytes(self) -> bytes:
+        """Serialize the merged deployment state to one engine blob."""
+        return encode_engine(self.to_image())
+
+    @classmethod
+    def from_image(
+        cls,
+        image: EngineImage,
+        shards: int = 4,
+        executor: str = "serial",
+        workers: Optional[int] = None,
+    ) -> "ShardedIPD":
+        """Rebuild a sharded deployment from a merged engine image.
+
+        The image need not come from the same shard count — it is the
+        merged single-engine view, so it is re-carved at this
+        deployment's split depth: every node at exactly depth ``k``
+        becomes a shard seed (subtree blob), everything coarser stays in
+        the aggregator, and the carved positions become delegated
+        portals.  Resuming a 4-shard checkpoint on 16 shards (or on a
+        plain engine via :meth:`IPD.from_image`) is therefore legal and
+        produces identical future behavior.
+        """
+        engine = cls(
+            params=image.params,
+            shards=shards,
+            executor=executor,
+            workers=workers,
+        )
+        depth = engine.split_depth
+        ops: list[tuple] = []
+        for version, tree_image in image.trees.items():
+            tree = engine.aggregator.trees[version]
+            if depth == 0:
+                # The constructor already delegated the /0 root and
+                # seeded the single shard with an empty tree; replace
+                # that seed with the checkpointed one wholesale.
+                ops.append(("reset", 0, version))
+                ops.append(
+                    (
+                        "seed",
+                        0,
+                        version,
+                        encode_subtree(
+                            tree.root.prefix,
+                            version,
+                            tree_image.root,
+                            tree_image.split_count,
+                            tree_image.join_count,
+                        ),
+                    )
+                )
+                continue
+            seeds: list[tuple[Prefix, NodeImage]] = []
+            aggregator_root = _carve(
+                tree_image.root, tree.root.prefix, depth, seeds
+            )
+            plant_image(tree, tree.root, aggregator_root)
+            # the aggregator's merged counters carry the whole family's
+            # totals; seeds ship zero so the sum is preserved
+            tree.split_count = tree_image.split_count
+            tree.join_count = tree_image.join_count
+            for prefix, node_image in seeds:
+                index = prefix.value >> engine._shifts[version]
+                leaf = tree.lookup_leaf(prefix.value)
+                assert leaf.prefix == prefix
+                engine._delegated[version].add(index)
+                engine._portals[version][index] = leaf
+                ops.append(
+                    ("seed", index, version,
+                     encode_subtree(prefix, version, node_image))
+                )
+        if ops:
+            engine._executor.apply(ops)
+        engine.flows_ingested = image.flows_ingested
+        engine.bytes_ingested = image.bytes_ingested
+        engine.last_sweep_at = image.last_sweep_at
+        engine.aggregator._cidrmax_failures = dict(image.cidrmax_failures)
+        return engine
+
+    @classmethod
+    def from_bytes(
+        cls,
+        data: bytes,
+        params: IPDParams | None = None,
+        shards: int = 4,
+        executor: str = "serial",
+        workers: Optional[int] = None,
+    ) -> "ShardedIPD":
+        """Rebuild a sharded deployment from a :meth:`to_bytes` blob."""
+        image = decode_engine(data, params=params)
+        return cls.from_image(
+            image, shards=shards, executor=executor, workers=workers
+        )
+
     # ------------------------------------------------------------------ output
 
     def snapshot(
@@ -399,6 +551,37 @@ class ShardedIPD:
 
     def __exit__(self, *exc) -> None:
         self.close()
+
+
+def _carve(
+    image: NodeImage,
+    prefix: Prefix,
+    depth: int,
+    seeds: list[tuple[Prefix, NodeImage]],
+) -> NodeImage:
+    """Split a merged tree image at the shard depth.
+
+    Every node sitting at exactly ``/depth`` — an entire subtree, a
+    classified leaf, or an (even empty) unclassified leaf — is recorded
+    as a shard seed and replaced by a delegated placeholder; everything
+    coarser stays with the aggregator.  This reproduces exactly the
+    ownership split a live sharded run maintains: post-sweep the
+    aggregator never retains a visible leaf at depth ``>= k`` (the
+    handoff delegates them the moment the split cascade arrives), and
+    cross-boundary joins/prunes only ever create leaves coarser than
+    ``/k``.
+    """
+    if prefix.masklen == depth:
+        seeds.append((prefix, image))
+        return NodeImage(kind="delegated")
+    if image.kind != "internal":
+        return image
+    left_prefix, right_prefix = prefix.children()
+    return NodeImage(
+        kind="internal",
+        left=_carve(image.left, left_prefix, depth, seeds),
+        right=_carve(image.right, right_prefix, depth, seeds),
+    )
 
 
 def _gather(batch: FlowBatch, rows: list[int]) -> FlowBatch:

@@ -24,16 +24,22 @@ from ..core.algorithm import IPD, SweepReport
 from ..core.iputil import IPV4, IPV6, Prefix
 from ..core.params import IPDParams
 from ..core.state import ClassifiedState, DelegatedState, UnclassifiedState
+from ..core.statecodec import (
+    StateCodecError,
+    decode_subtree,
+    encode_subtree,
+    plant_image,
+    subtree_to_image,
+)
 from ..netflow.records import FlowBatch
 from ..topology.elements import IngressPoint
 
 __all__ = ["ShardEngine", "ShardTickResult", "RootSummary", "ShardMetrics"]
 
-_INF = float("inf")
-
 #: shard-op tuples exchanged between coordinator and executors:
-#: ``("seed", index, version, state)`` activates a shard's family tree
-#: with the aggregator leaf's observation state; ``("reset", index,
+#: ``("seed", index, version, payload)`` activates a shard's family tree
+#: by planting an encoded subtree blob (a handed-down aggregator leaf,
+#: or a whole carved subtree on checkpoint resume); ``("reset", index,
 #: version)`` deactivates it after a cross-boundary join/prune.
 ShardOp = tuple
 
@@ -129,20 +135,55 @@ class ShardEngine:
         else:  # pragma: no cover - defensive
             raise ValueError(f"unknown shard op: {op[0]!r}")
 
-    def seed(self, version: int, state: UnclassifiedState) -> None:
-        """Activate one family tree with the handed-down observation state."""
-        root = self.ipd.trees[version].root
+    def seed(self, version: int, payload: bytes) -> None:
+        """Activate one family tree by planting an encoded subtree blob.
+
+        The blob is either a single handed-down aggregator leaf (the
+        per-sweep handoff) or a whole subtree carved out of a merged
+        checkpoint image on resume.  Planting through the state codec
+        rebuilds the tree's dirty/expiry bookkeeping, so the shard's
+        next sweep behaves exactly as the source engine's would have.
+        """
+        image = decode_subtree(payload)
+        tree = self.ipd.trees[version]
+        root = tree.root
         assert root.left is None and isinstance(root._state, DelegatedState)
-        # The transplanted state carries the *aggregator* tree's heap
-        # bound; reset it so this tree's expiry scheduler re-registers it.
-        state.heap_bound = _INF
-        root.state = state
+        if image.version != version or image.prefix != root.prefix:
+            raise StateCodecError(
+                f"seed for {image.prefix} (IPv{image.version}) does not "
+                f"match shard root {root.prefix} (IPv{version})"
+            )
+        plant_image(tree, root, image.root)
+        tree.split_count += image.split_count
+        tree.join_count += image.join_count
 
     def reset(self, version: int) -> None:
         """Deactivate one family tree (range pulled back into the aggregator)."""
         root = self.ipd.trees[version].root
         assert root.left is None
         root.state = DelegatedState()
+
+    def export(self) -> dict[int, bytes]:
+        """Serialize every *active* family tree as a subtree blob.
+
+        Inactive trees (root still delegated — the aggregator owns the
+        range) are omitted.  The coordinator grafts these blobs into its
+        aggregator image to form the merged single-engine-equivalent
+        checkpoint.
+        """
+        payloads: dict[int, bytes] = {}
+        for version, tree in self.ipd.trees.items():
+            root = tree.root
+            if root.left is None and isinstance(root._state, DelegatedState):
+                continue
+            payloads[version] = encode_subtree(
+                root.prefix,
+                version,
+                subtree_to_image(tree, root),
+                tree.split_count,
+                tree.join_count,
+            )
+        return payloads
 
     # -- data path ----------------------------------------------------------
 

@@ -100,6 +100,37 @@ class TestOfflineDriver:
             OfflineDriver(params(), snapshot_seconds=0.0)
 
 
+class TestThreadedIPDDeprecation:
+    def test_construction_warns(self):
+        with pytest.warns(DeprecationWarning, match="ThreadedIPD is deprecated"):
+            ThreadedIPD(params(), sweep_interval=10.0)
+
+    def test_live_pipeline_does_not_warn(self, recwarn):
+        from repro.runtime import LivePipeline
+
+        LivePipeline(params(), sweep_interval=10.0)
+        assert not [
+            w for w in recwarn if issubclass(w.category, DeprecationWarning)
+        ]
+
+    def test_deprecated_alias_keeps_drain_semantics(self):
+        """The alias must stay behavior-identical while it warns: stop()
+        still drains every queued submission into the final sweep."""
+        with pytest.warns(DeprecationWarning):
+            runner = ThreadedIPD(params(), sweep_interval=100.0,
+                                 clock=lambda: 10.0)
+        base = parse_ip("10.0.0.0")[0]
+        for index in range(100):
+            runner.submit(
+                FlowRecord(timestamp=0.0, src_ip=base + index * 16,
+                           version=IPV4, ingress=A)
+            )
+        runner.stop()
+        assert runner.ipd.flows_ingested == 100
+        assert runner.sweep_reports
+
+
+@pytest.mark.filterwarnings("ignore::DeprecationWarning")
 class TestThreadedIPD:
     def test_live_pipeline_classifies(self):
         runner = ThreadedIPD(params(), sweep_interval=0.05)

@@ -1,0 +1,275 @@
+"""Tests for the versioned engine-state codec (repro.core.statecodec).
+
+The contract under test is *behavioral equivalence*, not just field
+equality: an engine restored from its blob must produce byte-identical
+sweeps, snapshots and re-encoded blobs when the run continues — which
+means exact floats, preserved dict insertion order, preserved dirty
+membership and reconstructed expiry scheduling.
+"""
+
+import struct
+
+import pytest
+
+from repro.core.algorithm import IPD
+from repro.core.iputil import IPV4, Prefix, parse_ip
+from repro.core.params import IPDParams
+from repro.core.statecodec import (
+    CODEC_VERSION,
+    IncompatibleStateError,
+    NodeImage,
+    StateCodecError,
+    decode_engine,
+    decode_subtree,
+    encode_engine,
+    encode_subtree,
+)
+from repro.netflow.records import FlowRecord
+from repro.topology.elements import IngressPoint
+
+from tests.integration.test_batch_equivalence import dualstack_trace, fig05_trace
+
+FIG05_PARAMS = IPDParams(n_cidr_factor_v4=0.005, n_cidr_factor_v6=0.005)
+DUALSTACK_PARAMS = IPDParams(
+    n_cidr_factor_v4=0.002, n_cidr_factor_v6=0.002, count_bytes=True
+)
+
+A = IngressPoint("R1", "et0")
+
+
+def drive(engine, flows, next_sweep=None):
+    """Ingest *flows*, sweeping at every t-second boundary crossed.
+
+    Returns (sweep_reports, next_sweep) so a run can be split at an
+    arbitrary cut and continued on a restored engine.
+    """
+    t = engine.params.t
+    reports = []
+    for flow in flows:
+        if next_sweep is None:
+            next_sweep = (int(flow.timestamp // t) + 1) * t
+        while flow.timestamp >= next_sweep:
+            reports.append(engine.sweep(next_sweep))
+            next_sweep += t
+        engine.ingest(flow)
+    return reports, next_sweep
+
+
+def split_at(flows, cut):
+    return ([f for f in flows if f.timestamp < cut],
+            [f for f in flows if f.timestamp >= cut])
+
+
+def report_fields(report):
+    return (
+        report.timestamp, report.visited, report.leaves,
+        dict(report.leaves_by_version), report.classified,
+        report.classifications, report.splits, report.joins, report.drops,
+        report.prunes, report.expired_sources, report.decayed_ranges,
+    )
+
+
+class TestEngineRoundTrip:
+    @pytest.mark.parametrize(
+        "trace,params",
+        [(fig05_trace, FIG05_PARAMS), (dualstack_trace, DUALSTACK_PARAMS)],
+        ids=["fig05", "dualstack"],
+    )
+    def test_blob_is_byte_stable(self, trace, params):
+        engine = IPD(params)
+        drive(engine, trace())
+        blob = engine.to_bytes()
+        assert IPD.from_bytes(blob).to_bytes() == blob
+
+    @pytest.mark.parametrize(
+        "trace,params",
+        [(fig05_trace, FIG05_PARAMS), (dualstack_trace, DUALSTACK_PARAMS)],
+        ids=["fig05", "dualstack"],
+    )
+    def test_continued_run_is_equivalent(self, trace, params):
+        """Cut mid-trace; the restored engine must replay the remainder
+        exactly — sweep counters, snapshots and final blob all match."""
+        flows = trace()
+        cut = 360.0
+        early, late = split_at(flows, cut)
+
+        original = IPD(params)
+        __, next_sweep = drive(original, early)
+        blob = original.to_bytes()
+        restored = IPD.from_bytes(blob)
+
+        ref_reports, ref_next = drive(original, late, next_sweep)
+        res_reports, res_next = drive(restored, late, next_sweep)
+        ref_reports.append(original.sweep(ref_next))
+        res_reports.append(restored.sweep(res_next))
+
+        assert [report_fields(r) for r in res_reports] == [
+            report_fields(r) for r in ref_reports
+        ]
+        assert restored.snapshot(
+            ref_next, include_unclassified=True
+        ) == original.snapshot(ref_next, include_unclassified=True)
+        assert restored.to_bytes() == original.to_bytes()
+
+    def test_counters_and_structure_restored(self):
+        engine = IPD(FIG05_PARAMS)
+        drive(engine, fig05_trace())
+        restored = IPD.from_bytes(engine.to_bytes())
+        assert restored.flows_ingested == engine.flows_ingested
+        assert restored.bytes_ingested == engine.bytes_ingested
+        for version, tree in engine.trees.items():
+            other = restored.trees[version]
+            assert other.split_count == tree.split_count
+            assert other.join_count == tree.join_count
+            assert other.leaf_count() == tree.leaf_count()
+            assert {leaf.prefix for leaf in other.dirty} == {
+                leaf.prefix for leaf in tree.dirty
+            }
+
+    def test_params_round_trip(self):
+        params = IPDParams(
+            q=0.9, cidr_max_v4=24, cidr_max_v6=40,
+            n_cidr_factor_v4=0.25, n_cidr_factor_v6=0.125,
+            t=30.0, e=90.0, drop_threshold=0.125,
+            count_bytes=True, enable_bundles=True, bundle_min_share=0.2,
+        )
+        engine = IPD(params)
+        restored = IPD.from_bytes(engine.to_bytes())
+        for name in ("q", "cidr_max_v4", "cidr_max_v6", "n_cidr_factor_v4",
+                     "n_cidr_factor_v6", "t", "e", "drop_threshold",
+                     "count_bytes", "enable_bundles", "bundle_min_share"):
+            assert getattr(restored.params, name) == getattr(params, name)
+
+    def test_custom_decay_requires_params_override(self):
+        params = IPDParams(
+            n_cidr_factor_v4=0.005, n_cidr_factor_v6=0.005,
+            decay=lambda count, age, p: count * 0.5,
+        )
+        engine = IPD(params)
+        drive(engine, fig05_trace()[:100])
+        blob = engine.to_bytes()
+        with pytest.raises(StateCodecError, match="decay"):
+            IPD.from_bytes(blob)
+        restored = IPD.from_bytes(blob, params=params)
+        assert restored.params.decay is params.decay
+
+    def test_empty_engine_round_trips(self):
+        engine = IPD(FIG05_PARAMS)
+        restored = IPD.from_bytes(engine.to_bytes())
+        assert restored.flows_ingested == 0
+        assert restored.to_bytes() == engine.to_bytes()
+
+
+class TestExactPreservation:
+    def test_float_payloads_are_bit_exact(self):
+        """Counts that are sums of decayed floats must survive verbatim
+        (recomputing them in a different order would drift)."""
+        engine = IPD(DUALSTACK_PARAMS)
+        drive(engine, dualstack_trace())
+        image = decode_engine(engine.to_bytes())
+
+        def walk(node, ref):
+            if node.kind == "internal":
+                walk(node.left, ref.left)
+                walk(node.right, ref.right)
+                return
+            assert node.total == ref.total
+            assert node.oldest_seen == ref.oldest_seen
+            if node.sources is not None:
+                assert node.sources == ref.sources
+
+        ref_image = decode_engine(engine.to_bytes())
+        for version, tree in image.trees.items():
+            walk(tree.root, ref_image.trees[version].root)
+
+    def test_source_order_preserved(self):
+        """Per-IP map insertion order is behavior (float-sum order)."""
+        engine = IPD(FIG05_PARAMS)
+        base = parse_ip("10.0.0.0")[0]
+        for index in (5, 1, 9, 2):  # deliberately non-sorted arrival order
+            engine.ingest(FlowRecord(
+                timestamp=float(index), src_ip=base + index * 16,
+                version=IPV4, ingress=A,
+            ))
+        image = decode_engine(engine.to_bytes())
+        ips = [ip for ip, __, __ in image.trees[IPV4].root.sources]
+        state = engine.trees[IPV4].root.state
+        assert ips == list(state.per_ip)
+
+    def test_next_sweep_visits_same_leaves(self):
+        """Dirty membership and expiry scheduling must reconstruct so the
+        first post-restore sweep touches exactly the same work set."""
+        engine = IPD(FIG05_PARAMS)
+        __, next_sweep = drive(engine, fig05_trace())
+        restored = IPD.from_bytes(engine.to_bytes())
+        ref = engine.sweep(next_sweep)
+        got = restored.sweep(next_sweep)
+        assert report_fields(got) == report_fields(ref)
+        assert got.visited == ref.visited
+
+
+class TestSubtreeBlobs:
+    def test_subtree_round_trip(self):
+        prefix = Prefix.from_string("10.0.0.0/8")
+        root = NodeImage(
+            kind="internal",
+            left=NodeImage(
+                kind="unclassified", dirty=True,
+                sources=[(167772160, 42.0, [(A, 3.0)])],
+                total=3.0, oldest_seen=42.0,
+            ),
+            right=NodeImage(
+                kind="classified", ingress=A, counters=[(A, 7.5)],
+                last_seen=100.0, classified_at=60.0,
+            ),
+        )
+        blob = encode_subtree(prefix, IPV4, root, split_count=2, join_count=1)
+        image = decode_subtree(blob)
+        assert image.prefix == prefix
+        assert image.version == IPV4
+        assert image.split_count == 2
+        assert image.join_count == 1
+        assert image.root == root
+
+    def test_kind_mismatch_rejected(self):
+        """An engine blob is not a subtree blob and vice versa."""
+        engine_blob = IPD(FIG05_PARAMS).to_bytes()
+        with pytest.raises(StateCodecError, match="kind"):
+            decode_subtree(engine_blob)
+        subtree_blob = encode_subtree(
+            Prefix.from_string("0.0.0.0/0"), IPV4,
+            NodeImage(kind="unclassified", sources=[]),
+        )
+        with pytest.raises(StateCodecError, match="kind"):
+            decode_engine(subtree_blob)
+
+
+class TestWireFormatErrors:
+    def blob(self):
+        engine = IPD(FIG05_PARAMS)
+        drive(engine, fig05_trace()[:200])
+        return engine.to_bytes()
+
+    def test_bad_magic(self):
+        blob = self.blob()
+        with pytest.raises(StateCodecError, match="magic"):
+            decode_engine(b"XXXX" + blob[4:])
+
+    def test_truncation(self):
+        blob = self.blob()
+        for cut in (0, 3, 6, len(blob) // 2, len(blob) - 1):
+            with pytest.raises(StateCodecError):
+                decode_engine(blob[:cut])
+
+    def test_newer_codec_version_refused(self):
+        blob = bytearray(self.blob())
+        # header layout: magic[4] | kind[1] | version u16 BE
+        blob[5:7] = struct.pack(">H", CODEC_VERSION + 1)
+        with pytest.raises(IncompatibleStateError):
+            decode_engine(bytes(blob))
+
+    def test_garbage_rejected(self):
+        with pytest.raises(StateCodecError):
+            decode_engine(b"")
+        with pytest.raises(StateCodecError):
+            decode_subtree(b"IP")

@@ -1,0 +1,296 @@
+"""Checkpoint/resume must be invisible in the output.
+
+The acceptance bar for state externalization: interrupting a replay at
+any sweep tick and resuming from the checkpoint yields a final merged
+snapshot and SweepReport counter stream identical to the uninterrupted
+run — for a single engine, a sharded engine, and a resume that changes
+the shard count (the checkpoint holds the merged image, re-carved at the
+new deployment's split depth).  A crashed mp shard worker is recovered
+from the last checkpoint inside ``Pipeline.run`` without failing the
+pipeline.
+"""
+
+import pytest
+
+from repro.runtime import Checkpoint, CheckpointStore, Pipeline
+
+from tests.integration.test_batch_equivalence import dualstack_trace, fig05_trace
+from tests.runtime.test_shard_equivalence import (
+    DUALSTACK_PARAMS,
+    FIG05_PARAMS,
+    assert_equivalent,
+    reference_run,
+    run_csv,
+)
+
+RETAIN = 100  # keep every tick's checkpoint so any of them can seed a resume
+
+COUNTERS = (
+    "timestamp", "leaves", "leaves_by_version", "classified",
+    "classifications", "splits", "joins", "drops", "prunes",
+    "expired_sources", "decayed_ranges",
+)
+
+
+def counter_rows(sweeps):
+    return [tuple(getattr(s, name) for name in COUNTERS) for s in sweeps]
+
+
+def checkpointing_run(flows, params, store, shards=1, **kwargs):
+    with Pipeline(
+        params,
+        shards=shards,
+        snapshot_seconds=120.0,
+        include_unclassified=True,
+        checkpoint_store=store,
+        checkpoint_every=params.t,  # a checkpoint at every sweep tick
+        **kwargs,
+    ) as pipeline:
+        return pipeline.run(flows)
+
+
+def resume_run(flows, checkpoint, resume_dir, params=None, shards=1,
+               executor="serial", workers=None):
+    with Pipeline.resume(
+        CheckpointStore(resume_dir, retain=RETAIN),
+        checkpoint=checkpoint,
+        params=params,
+        shards=shards,
+        executor=executor,
+        workers=workers,
+        snapshot_seconds=120.0,
+        include_unclassified=True,
+    ) as pipeline:
+        return pipeline.run(flows)
+
+
+def assert_resumed_equivalent(reference, checkpoint, resumed):
+    """The stitched run (prefix up to the checkpoint + resumed remainder)
+    must reproduce the uninterrupted reference exactly."""
+    stitched = reference.sweeps[:checkpoint.sweep_count] + resumed.sweeps
+    assert counter_rows(stitched) == counter_rows(reference.sweeps)
+    assert resumed.flows_processed == reference.flows_processed
+    for when, records in resumed.snapshots.items():
+        assert records == reference.snapshots[when], f"snapshot @ {when}"
+    # the resumed run always reproduces the closing snapshot
+    final = reference.snapshot_times()[-1]
+    assert final in resumed.snapshots
+
+
+def all_checkpoints(store):
+    checkpoints = [store.load(path) for path in store.list()]
+    assert checkpoints, "run saved no checkpoints"
+    return checkpoints
+
+
+class TestSingleEngineResume:
+    def test_fig05_resume_at_every_tick(self, tmp_path):
+        flows = fig05_trace()
+        store = CheckpointStore(tmp_path / "ckpt", retain=RETAIN)
+        reference = checkpointing_run(flows, FIG05_PARAMS, store)
+        assert_equivalent(reference_run(flows, FIG05_PARAMS), reference)
+        checkpoints = all_checkpoints(store)
+        # every sweep tick left a checkpoint (incl. the closing tick)
+        assert len(checkpoints) == len(reference.sweeps)
+        for index, checkpoint in enumerate(checkpoints):
+            resumed = resume_run(
+                flows, checkpoint, tmp_path / f"resume-{index}"
+            )
+            assert_resumed_equivalent(reference, checkpoint, resumed)
+
+    def test_dualstack_resume_at_every_tick(self, tmp_path):
+        flows = dualstack_trace()
+        store = CheckpointStore(tmp_path / "ckpt", retain=RETAIN)
+        reference = checkpointing_run(flows, DUALSTACK_PARAMS, store)
+        for index, checkpoint in enumerate(all_checkpoints(store)):
+            resumed = resume_run(
+                flows, checkpoint, tmp_path / f"resume-{index}"
+            )
+            assert_resumed_equivalent(reference, checkpoint, resumed)
+
+    def test_checkpointing_does_not_change_the_run(self, tmp_path):
+        """Attaching a store is observation only."""
+        flows = fig05_trace()
+        store = CheckpointStore(tmp_path / "ckpt", retain=RETAIN)
+        assert_equivalent(
+            reference_run(flows, FIG05_PARAMS),
+            checkpointing_run(flows, FIG05_PARAMS, store),
+        )
+
+
+class TestShardedResume:
+    def test_sharded_resume_same_topology(self, tmp_path):
+        flows = fig05_trace()
+        store = CheckpointStore(tmp_path / "ckpt", retain=RETAIN)
+        reference = checkpointing_run(flows, FIG05_PARAMS, store, shards=4)
+        assert_equivalent(reference_run(flows, FIG05_PARAMS), reference)
+        checkpoints = all_checkpoints(store)
+        for index, checkpoint in enumerate(checkpoints[::2]):
+            resumed = resume_run(
+                flows, checkpoint, tmp_path / f"resume-{index}", shards=4
+            )
+            assert_resumed_equivalent(reference, checkpoint, resumed)
+
+    @pytest.mark.parametrize("resume_shards", [1, 16])
+    def test_reshard_on_resume(self, tmp_path, resume_shards):
+        """A 4-shard checkpoint legally resumes on 1 or 16 shards; the
+        output stays byte-identical (merged image, re-carved)."""
+        flows = fig05_trace()
+        store = CheckpointStore(tmp_path / "ckpt", retain=RETAIN)
+        reference = checkpointing_run(flows, FIG05_PARAMS, store, shards=4)
+        checkpoints = all_checkpoints(store)
+        middle = checkpoints[len(checkpoints) // 2]
+        resumed = resume_run(
+            flows, middle, tmp_path / "resume", shards=resume_shards
+        )
+        assert_resumed_equivalent(reference, middle, resumed)
+
+    def test_reshard_dualstack(self, tmp_path):
+        flows = dualstack_trace()
+        store = CheckpointStore(tmp_path / "ckpt", retain=RETAIN)
+        reference = checkpointing_run(flows, DUALSTACK_PARAMS, store, shards=4)
+        checkpoints = all_checkpoints(store)
+        middle = checkpoints[len(checkpoints) // 2]
+        resumed = resume_run(
+            flows, middle, tmp_path / "resume", shards=16
+        )
+        assert_resumed_equivalent(reference, middle, resumed)
+
+
+class TestCrashRecovery:
+    def test_mp_worker_kill_recovers_from_checkpoint(self, tmp_path):
+        """Killing a shard worker mid-run must not fail the pipeline:
+        run() rebuilds the engine from the last checkpoint, replays
+        forward, and the output matches the undisturbed reference."""
+        flows = fig05_trace()
+        reference = reference_run(flows, FIG05_PARAMS)
+
+        killed = []
+
+        def sabotage(report, engine):
+            if not killed and report.timestamp >= 300.0:
+                process = engine._executor._processes[0]
+                process.kill()
+                process.join()
+                killed.append(report.timestamp)
+
+        engines = []
+
+        def flow_source():
+            return iter(list(flows))
+
+        with Pipeline(
+            FIG05_PARAMS,
+            shards=4,
+            executor="mp",
+            workers=2,
+            snapshot_seconds=120.0,
+            include_unclassified=True,
+            checkpoint_store=CheckpointStore(tmp_path / "ckpt", retain=RETAIN),
+            checkpoint_every=FIG05_PARAMS.t,
+            on_sweep=lambda report, engine: (
+                engines.append(engine), sabotage(report, engine)
+            ),
+        ) as pipeline:
+            result = pipeline.run(flow_source)
+
+        assert killed, "sabotage never fired"
+        # the engine was rebuilt at least once
+        assert len({id(engine) for engine in engines}) > 1
+        assert_equivalent(reference, result)
+
+    def test_crash_without_checkpoint_restarts_fresh(self, tmp_path):
+        """A crash before the first checkpoint replays from scratch."""
+        flows = fig05_trace()
+        reference = reference_run(flows, FIG05_PARAMS)
+        killed = []
+
+        def sabotage(report, engine):
+            if not killed:
+                process = engine._executor._processes[0]
+                process.kill()
+                process.join()
+                killed.append(report.timestamp)
+
+        with Pipeline(
+            FIG05_PARAMS,
+            shards=4,
+            executor="mp",
+            workers=2,
+            snapshot_seconds=120.0,
+            include_unclassified=True,
+            checkpoint_store=CheckpointStore(tmp_path / "ckpt", retain=RETAIN),
+            checkpoint_every=10_000.0,  # grid never fires mid-run
+            on_sweep=sabotage,
+        ) as pipeline:
+            result = pipeline.run(lambda: iter(list(flows)))
+
+        assert killed
+        assert_equivalent(reference, result)
+
+    def test_exhausted_recoveries_reraise(self, tmp_path):
+        from repro.runtime import WorkerCrashError
+
+        flows = fig05_trace()
+
+        def sabotage(report, engine):
+            process = engine._executor._processes[0]
+            process.kill()
+            process.join()
+
+        with Pipeline(
+            FIG05_PARAMS,
+            shards=4,
+            executor="mp",
+            workers=2,
+            snapshot_seconds=120.0,
+            checkpoint_store=CheckpointStore(tmp_path / "ckpt", retain=RETAIN),
+            checkpoint_every=FIG05_PARAMS.t,
+            on_sweep=sabotage,  # kills a worker on *every* sweep
+        ) as pipeline:
+            with pytest.raises(WorkerCrashError):
+                pipeline.run(lambda: iter(list(flows)))
+
+
+class TestStoreBehavior:
+    def test_retention_prunes_oldest(self, tmp_path):
+        flows = fig05_trace()
+        store = CheckpointStore(tmp_path / "ckpt", retain=3)
+        checkpointing_run(flows, FIG05_PARAMS, store)
+        assert len(store.list()) == 3
+        # the survivors are the newest ticks
+        whens = [store.load(path).when for path in store.list()]
+        assert whens == sorted(whens)
+
+    def test_latest_returns_newest(self, tmp_path):
+        flows = fig05_trace()
+        store = CheckpointStore(tmp_path / "ckpt", retain=RETAIN)
+        checkpointing_run(flows, FIG05_PARAMS, store)
+        newest = store.latest()
+        assert newest.when == max(store.load(p).when for p in store.list())
+
+    def test_resume_without_checkpoint_raises(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            Pipeline.resume(CheckpointStore(tmp_path / "empty"))
+
+    def test_checkpoint_container_round_trip(self):
+        checkpoint = Checkpoint(
+            when=360.0, flows_processed=1234, next_sweep=420.0,
+            next_snapshot=480.0, sweep_count=6, engine_blob=b"\x00\x01binary",
+        )
+        assert Checkpoint.from_bytes(checkpoint.to_bytes()) == checkpoint
+
+    def test_checkpoint_version_gate(self):
+        import struct
+
+        from repro.core.statecodec import IncompatibleStateError
+        from repro.runtime.checkpoint import CHECKPOINT_VERSION
+
+        checkpoint = Checkpoint(
+            when=60.0, flows_processed=1, next_sweep=120.0,
+            next_snapshot=None, sweep_count=1, engine_blob=b"x",
+        )
+        blob = bytearray(checkpoint.to_bytes())
+        blob[4:6] = struct.pack(">H", CHECKPOINT_VERSION + 1)
+        with pytest.raises(IncompatibleStateError):
+            Checkpoint.from_bytes(bytes(blob))

@@ -51,8 +51,10 @@ class TestAppendAndLoad:
         archive = SnapshotArchive(tmp_path / "arch")
         archive.append(300.0, [record("10.0.0.0/24")])
         archive.append(90_000.0, [record("10.0.0.0/24")])  # next day
-        partitions = list((tmp_path / "arch").glob("day-*.csv.gz"))
-        assert len(partitions) == 2
+        partitions = sorted(
+            p.name for p in (tmp_path / "arch").glob("*.csv.gz")
+        )
+        assert partitions == ["1970-01-01.csv.gz", "1970-01-02.csv.gz"]
 
     def test_out_of_order_append_rejected(self, tmp_path):
         archive = SnapshotArchive(tmp_path / "arch")
@@ -125,11 +127,53 @@ class TestPersistence:
         archive = SnapshotArchive(root)
         archive.append(300.0, [record("10.0.0.0/24")])
         archive.append(600.0, [record("10.0.1.0/24")])
-        partition = next(root.glob("day-*.csv.gz"))
+        partition = next(root.glob("*.csv.gz"))
         with gzip.open(partition, "rt") as stream:
             lines = stream.read().strip().splitlines()
         assert lines[0].startswith("timestamp,")
         assert len(lines) == 3  # header + 2 records
+
+
+class TestLegacyPartitions:
+    """Archives written with the old ``day-NNNNNN`` keys stay readable
+    and appendable; new days get date-named partitions alongside."""
+
+    @pytest.fixture
+    def legacy_root(self, tmp_path):
+        import json
+
+        root = tmp_path / "arch"
+        archive = SnapshotArchive(root)
+        archive.append(300.0, [record("10.0.0.0/24")])
+        # Rewrite the partition + index the way the old code laid them out.
+        (root / "1970-01-01.csv.gz").rename(root / "day-000000.csv.gz")
+        index = json.loads((root / "index.json").read_text())
+        entry = index.pop("1970-01-01")
+        entry["file"] = "day-000000.csv.gz"
+        index["day-000000"] = entry
+        (root / "index.json").write_text(json.dumps(index))
+        return root
+
+    def test_reads_legacy_archive(self, legacy_root):
+        archive = SnapshotArchive(legacy_root)
+        loaded = archive.load()
+        assert list(loaded) == [300.0]
+        assert str(loaded[300.0][0].range) == "10.0.0.0/24"
+
+    def test_same_day_append_goes_to_legacy_partition(self, legacy_root):
+        archive = SnapshotArchive(legacy_root)
+        archive.append(600.0, [record("10.0.1.0/24")])
+        assert not (legacy_root / "1970-01-01.csv.gz").exists()
+        loaded = archive.load()
+        assert sorted(loaded) == [300.0, 600.0]
+
+    def test_next_day_append_gets_date_partition(self, legacy_root):
+        archive = SnapshotArchive(legacy_root)
+        archive.append(90_000.0, [record("10.0.1.0/24")])
+        assert (legacy_root / "1970-01-02.csv.gz").exists()
+        # time-ordered iteration across mixed key generations
+        times = [t for t, __ in archive.snapshots()]
+        assert times == [300.0, 90_000.0]
 
 
 class TestEndToEnd:

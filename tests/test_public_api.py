@@ -24,6 +24,8 @@ class TestTopLevelExports:
         "IPD", "IPDParams", "IPDRecord", "OfflineDriver", "ThreadedIPD",
         "LPMTable", "Prefix", "FlowRecord", "IngressPoint", "ISPTopology",
         "SnapshotArchive", "SteeringPolicy",
+        "Pipeline", "LivePipeline", "ShardedIPD",
+        "Checkpoint", "CheckpointStore", "WorkerCrashError", "restore_engine",
     ])
     def test_core_types_exported(self, name):
         assert hasattr(repro, name)
@@ -34,7 +36,7 @@ class TestSubpackageSurfaces:
         "repro.core", "repro.netflow", "repro.topology", "repro.bgp",
         "repro.workloads", "repro.analysis", "repro.baselines",
         "repro.paramstudy", "repro.reporting", "repro.cli",
-        "repro.archive", "repro.steering",
+        "repro.archive", "repro.steering", "repro.runtime",
     ])
     def test_imports_cleanly(self, module):
         imported = importlib.import_module(module)
@@ -43,12 +45,50 @@ class TestSubpackageSurfaces:
     @pytest.mark.parametrize("module", [
         "repro.core", "repro.netflow", "repro.topology", "repro.bgp",
         "repro.workloads", "repro.analysis", "repro.baselines",
-        "repro.paramstudy", "repro.reporting",
+        "repro.paramstudy", "repro.reporting", "repro.runtime",
     ])
     def test_all_lists_resolve(self, module):
         imported = importlib.import_module(module)
         for name in imported.__all__:
             assert hasattr(imported, name), f"{module}.{name} missing"
+
+
+class TestStateExternalizationSurface:
+    """The checkpoint/codec symbols added with state externalization."""
+
+    @pytest.mark.parametrize("name", [
+        "Checkpoint", "CheckpointStore", "CHECKPOINT_VERSION",
+        "restore_engine", "WorkerCrashError",
+    ])
+    def test_runtime_exports(self, name):
+        import repro.runtime
+
+        assert name in repro.runtime.__all__
+        assert hasattr(repro.runtime, name)
+
+    @pytest.mark.parametrize("name", [
+        "CODEC_VERSION", "EngineImage", "StateCodecError",
+        "IncompatibleStateError", "LBDetectorLike",
+        "encode_engine", "decode_engine", "encode_subtree", "decode_subtree",
+    ])
+    def test_core_codec_exports(self, name):
+        import repro.core
+
+        assert name in repro.core.__all__
+        assert hasattr(repro.core, name)
+
+    def test_engine_state_io_methods(self):
+        from repro import IPD, ShardedIPD
+
+        for cls in (IPD, ShardedIPD):
+            for method in ("to_bytes", "from_bytes", "to_image", "from_image"):
+                assert hasattr(cls, method), f"{cls.__name__}.{method}"
+
+    def test_resume_classmethods(self):
+        from repro import LivePipeline, Pipeline
+
+        assert callable(Pipeline.resume)
+        assert callable(LivePipeline.resume)
 
 
 class TestMinimalUserJourney:
