@@ -33,6 +33,13 @@ Three groups of measurements, all on the §5.7 workload (4096 distinct
 path regresses more than ``--tolerance`` (default 30%) against the
 baseline JSON.  Rates are normalised by a small pure-Python calibration
 loop so the gate compares algorithmic speed, not machine speed.
+
+The testkit's fault-injection seams (``fault_hook`` on the executors,
+``Pipeline`` and ``CheckpointStore``) sit on the measured paths but
+default to ``None``: when no :class:`repro.testkit.FaultPlan` is
+attached, each seam costs one identity check per *tick* (never per
+flow), so these benchmarks — and the CI gate — also pin that the hooks
+stay free.
 """
 
 from __future__ import annotations

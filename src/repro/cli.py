@@ -19,12 +19,14 @@ from __future__ import annotations
 
 import argparse
 import sys
+from pathlib import Path
 from typing import Optional, Sequence
 
 from .core.iputil import parse_ip
 from .core.lpm import build_lpm_from_records
 from .core.output import read_records_csv, write_records_csv
 from .core.params import IPDParams
+from .core.statecodec import IncompatibleStateError, StateCodecError
 from .netflow.records import (
     read_flows_csv,
     read_flows_csv_batched,
@@ -77,17 +79,56 @@ def _cmd_run(args: argparse.Namespace) -> int:
         if args.checkpoint_dir is None:
             print("--resume requires --checkpoint-dir", file=sys.stderr)
             return 2
-        store = CheckpointStore(args.checkpoint_dir, retain=args.checkpoint_retain)
-        if store.latest() is not None:
-            pipeline = Pipeline.resume(
-                store,
-                params=params,
-                shards=args.shards,
-                executor=args.executor,
-                workers=args.workers,
-                snapshot_seconds=args.snapshot_seconds,
-                checkpoint_every=args.checkpoint_every,
+        if not Path(args.checkpoint_dir).is_dir():
+            # an explicit resume against nothing is an operator mistake,
+            # not a fresh start: fail instead of silently recomputing
+            print(
+                f"--resume: checkpoint directory {args.checkpoint_dir} "
+                "does not exist",
+                file=sys.stderr,
             )
+            return 2
+        store = CheckpointStore(args.checkpoint_dir, retain=args.checkpoint_retain)
+        try:
+            checkpoint = store.latest()
+        except IncompatibleStateError as exc:
+            print(
+                f"cannot resume: checkpoint in {args.checkpoint_dir} was "
+                f"written by a newer build ({exc})",
+                file=sys.stderr,
+            )
+            return 2
+        except StateCodecError as exc:
+            # CheckpointCorruptError: damaged file — refuse loudly rather
+            # than silently rewinding to an older image
+            print(f"cannot resume: {exc}", file=sys.stderr)
+            return 2
+        if checkpoint is not None:
+            try:
+                pipeline = Pipeline.resume(
+                    store,
+                    checkpoint=checkpoint,
+                    params=params,
+                    shards=args.shards,
+                    executor=args.executor,
+                    workers=args.workers,
+                    snapshot_seconds=args.snapshot_seconds,
+                    checkpoint_every=args.checkpoint_every,
+                )
+            except IncompatibleStateError as exc:
+                print(
+                    f"cannot resume: engine state in {args.checkpoint_dir} "
+                    f"needs a newer build ({exc})",
+                    file=sys.stderr,
+                )
+                return 2
+            except StateCodecError as exc:
+                print(f"cannot resume: {exc}", file=sys.stderr)
+                return 2
+            except ValueError as exc:
+                # e.g. an illegal shard topology for the restored image
+                print(f"cannot resume with this topology: {exc}", file=sys.stderr)
+                return 2
             resumed = True
         else:
             print(f"no checkpoint in {args.checkpoint_dir}; starting fresh")

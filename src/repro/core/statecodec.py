@@ -43,6 +43,7 @@ lives in :mod:`repro.core.algorithm` on top of it.
 from __future__ import annotations
 
 import struct
+from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import Optional
 
@@ -96,7 +97,17 @@ _unpack_float = struct.Struct(">d").unpack_from
 
 
 class StateCodecError(ValueError):
-    """A blob could not be encoded or decoded."""
+    """A blob could not be encoded or decoded.
+
+    ``offset`` carries the byte position the decoder had reached when
+    the damage was detected (``None`` when unknown or not applicable),
+    so callers like :class:`~repro.runtime.checkpoint.CheckpointStore`
+    can report *where* a blob is corrupt, not just that it is.
+    """
+
+    def __init__(self, message: str, offset: "int | None" = None) -> None:
+        super().__init__(message)
+        self.offset = offset
 
 
 class IncompatibleStateError(StateCodecError):
@@ -662,36 +673,37 @@ def decode_engine(data: bytes, params: Optional[IPDParams] = None) -> EngineImag
     was written with a custom (non-serializable) decay function.
     """
     reader = _Reader(data)
-    _read_header(reader, _KIND_ENGINE)
-    decoded_params = _read_params(reader, params)
-    flows_ingested = reader.uvarint()
-    bytes_ingested = reader.uvarint()
-    last_sweep_at = reader.float() if reader.byte() else None
-    cidrmax_failures = {}
-    for __ in range(reader.uvarint()):
-        prefix = reader.prefix()
-        cidrmax_failures[prefix] = reader.uvarint()
-    trees = {}
-    for __ in range(reader.uvarint()):
-        version = reader.byte()
-        root_prefix = reader.prefix()
-        split_count = reader.uvarint()
-        join_count = reader.uvarint()
-        trees[version] = TreeImage(
-            version=version,
-            root_prefix=root_prefix,
-            split_count=split_count,
-            join_count=join_count,
-            root=_read_node(reader),
+    with _damage_reported(reader):
+        _read_header(reader, _KIND_ENGINE)
+        decoded_params = _read_params(reader, params)
+        flows_ingested = reader.uvarint()
+        bytes_ingested = reader.uvarint()
+        last_sweep_at = reader.float() if reader.byte() else None
+        cidrmax_failures = {}
+        for __ in range(reader.uvarint()):
+            prefix = reader.prefix()
+            cidrmax_failures[prefix] = reader.uvarint()
+        trees = {}
+        for __ in range(reader.uvarint()):
+            version = reader.byte()
+            root_prefix = reader.prefix()
+            split_count = reader.uvarint()
+            join_count = reader.uvarint()
+            trees[version] = TreeImage(
+                version=version,
+                root_prefix=root_prefix,
+                split_count=split_count,
+                join_count=join_count,
+                root=_read_node(reader),
+            )
+        return EngineImage(
+            params=decoded_params,
+            flows_ingested=flows_ingested,
+            bytes_ingested=bytes_ingested,
+            last_sweep_at=last_sweep_at,
+            cidrmax_failures=cidrmax_failures,
+            trees=trees,
         )
-    return EngineImage(
-        params=decoded_params,
-        flows_ingested=flows_ingested,
-        bytes_ingested=bytes_ingested,
-        last_sweep_at=last_sweep_at,
-        cidrmax_failures=cidrmax_failures,
-        trees=trees,
-    )
 
 
 # ---------------------------------------------------------------------------
@@ -720,15 +732,44 @@ def encode_subtree(
 def decode_subtree(data: bytes) -> SubtreeImage:
     """Parse a subtree blob back into a :class:`SubtreeImage`."""
     reader = _Reader(data)
-    _read_header(reader, _KIND_SUBTREE)
-    version = reader.byte()
-    prefix = reader.prefix()
-    split_count = reader.uvarint()
-    join_count = reader.uvarint()
-    return SubtreeImage(
-        prefix=prefix,
-        version=version,
-        split_count=split_count,
-        join_count=join_count,
-        root=_read_node(reader),
-    )
+    with _damage_reported(reader):
+        _read_header(reader, _KIND_SUBTREE)
+        version = reader.byte()
+        prefix = reader.prefix()
+        split_count = reader.uvarint()
+        join_count = reader.uvarint()
+        return SubtreeImage(
+            prefix=prefix,
+            version=version,
+            split_count=split_count,
+            join_count=join_count,
+            root=_read_node(reader),
+        )
+
+
+@contextmanager
+def _damage_reported(reader: "_Reader"):
+    """Normalize decoder failures into offset-carrying codec errors.
+
+    Structural damage surfaces in many shapes — truncation (already a
+    :class:`StateCodecError`), a corrupted varint blowing up a ``range``,
+    invalid UTF-8 in an interned ingress name, out-of-range prefix
+    fields rejected by :class:`~repro.core.iputil.Prefix`, parameter
+    values rejected by ``IPDParams.__post_init__``.  All of them exit
+    here as a :class:`StateCodecError` whose ``offset`` pins where in
+    the blob the decoder gave up; only version incompatibility keeps its
+    dedicated type.
+    """
+    try:
+        yield
+    except IncompatibleStateError:
+        raise
+    except StateCodecError as exc:
+        if exc.offset is None:
+            exc.offset = reader.offset
+        raise
+    except (ValueError, KeyError, IndexError, OverflowError, struct.error) as exc:
+        raise StateCodecError(
+            f"damaged blob at offset {reader.offset}: {exc!r}",
+            offset=reader.offset,
+        ) from exc

@@ -19,6 +19,7 @@ façades over this package, kept for compatibility.
 from .checkpoint import (
     CHECKPOINT_VERSION,
     Checkpoint,
+    CheckpointCorruptError,
     CheckpointStore,
     restore_engine,
 )
@@ -44,6 +45,7 @@ __all__ = [
     "ShardEngine",
     "RunResult",
     "Checkpoint",
+    "CheckpointCorruptError",
     "CheckpointStore",
     "CHECKPOINT_VERSION",
     "restore_engine",

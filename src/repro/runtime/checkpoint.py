@@ -18,11 +18,16 @@ byte-for-byte — including, for a sharded engine, restoring at a
 A checkpoint file is::
 
     magic "IPDC" | u16 container version | u32 metadata length
-    | metadata (JSON: replay cursor) | engine blob (statecodec)
+    | u32 CRC-32 of payload | metadata (JSON: replay cursor)
+    | engine blob (statecodec)
 
-:class:`CheckpointStore` writes atomically (temp file + ``os.replace``)
-and keeps the newest ``retain`` files, so a crash mid-write can never
-corrupt the latest restorable state.
+The CRC (container version 2; version-1 files without it still load)
+makes *any* at-rest corruption — truncation, bit rot, partial writes on
+exotic filesystems — fail loudly as :class:`CheckpointCorruptError`
+instead of depending on the damage happening to break the codec's
+structure.  :class:`CheckpointStore` writes atomically (temp file +
+``os.replace``) and keeps the newest ``retain`` files, so a crash
+mid-write can never corrupt the latest restorable state.
 """
 
 from __future__ import annotations
@@ -30,7 +35,8 @@ from __future__ import annotations
 import json
 import os
 import struct
-from dataclasses import dataclass
+import zlib
+from dataclasses import dataclass, field, replace
 from pathlib import Path
 from typing import Optional, Union
 
@@ -42,15 +48,48 @@ from .sharding import ShardedIPD
 __all__ = [
     "CHECKPOINT_VERSION",
     "Checkpoint",
+    "CheckpointCorruptError",
     "CheckpointStore",
     "restore_engine",
 ]
 
-#: bump when the checkpoint container layout changes
-CHECKPOINT_VERSION = 1
+#: bump when the checkpoint container layout changes; version 2 added
+#: the payload CRC (version-1 files remain readable)
+CHECKPOINT_VERSION = 2
 
 _MAGIC = b"IPDC"
 _HEADER = struct.Struct(">HI")
+_CRC = struct.Struct(">I")
+
+
+class CheckpointCorruptError(StateCodecError):
+    """A checkpoint file is damaged (truncated, bit-flipped, garbled).
+
+    Carries the ``path`` of the offending file and, when the decoder got
+    far enough to know, the byte ``offset`` within the *engine blob*
+    where parsing gave up — enough for an operator to tell a torn write
+    (offset near the end) from wholesale corruption.  Distinct from
+    :class:`~repro.core.statecodec.IncompatibleStateError`, which marks
+    a *healthy* file this build is too old to read.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        path: "Path | None" = None,
+        offset: "int | None" = None,
+    ) -> None:
+        super().__init__(message, offset=offset)
+        self.path = path
+
+    def __str__(self) -> str:  # noqa: D105 - compose location suffix
+        base = super().__str__()
+        details = []
+        if self.path is not None:
+            details.append(f"file={self.path}")
+        if self.offset is not None:
+            details.append(f"blob offset={self.offset}")
+        return f"{base} [{', '.join(details)}]" if details else base
 
 
 @dataclass(frozen=True)
@@ -62,7 +101,8 @@ class Checkpoint:
     doubles as the skip count when the same stream is replayed on
     resume.  ``next_sweep`` / ``next_snapshot`` restore the pipeline's
     time grids and ``sweep_count`` lets a recovery stitch sweep reports
-    without duplicates.
+    without duplicates.  ``path`` is set by :meth:`CheckpointStore.load`
+    (purely informational; not serialized, not part of equality).
     """
 
     when: float
@@ -71,6 +111,7 @@ class Checkpoint:
     next_snapshot: Optional[float]
     sweep_count: int
     engine_blob: bytes
+    path: Optional[Path] = field(default=None, compare=False, repr=False)
 
     def to_bytes(self) -> bytes:
         meta = json.dumps(
@@ -83,9 +124,11 @@ class Checkpoint:
             },
             sort_keys=True,
         ).encode("utf-8")
+        crc = zlib.crc32(meta + self.engine_blob) & 0xFFFFFFFF
         return (
             _MAGIC
             + _HEADER.pack(CHECKPOINT_VERSION, len(meta))
+            + _CRC.pack(crc)
             + meta
             + self.engine_blob
         )
@@ -102,11 +145,26 @@ class Checkpoint:
                 f"checkpoint container version {version}; this build reads "
                 f"up to {CHECKPOINT_VERSION}"
             )
-        meta_end = 4 + _HEADER.size + meta_len
+        meta_start = 4 + _HEADER.size
+        expected_crc: Optional[int] = None
+        if version >= 2:
+            if len(data) < meta_start + _CRC.size:
+                raise StateCodecError("truncated checkpoint header")
+            (expected_crc,) = _CRC.unpack_from(data, meta_start)
+            meta_start += _CRC.size
+        meta_end = meta_start + meta_len
         if len(data) < meta_end:
             raise StateCodecError("truncated checkpoint metadata")
+        payload = data[meta_start:]
+        if expected_crc is not None:
+            actual_crc = zlib.crc32(payload) & 0xFFFFFFFF
+            if actual_crc != expected_crc:
+                raise StateCodecError(
+                    f"checkpoint payload CRC mismatch "
+                    f"(stored {expected_crc:#010x}, computed {actual_crc:#010x})"
+                )
         try:
-            meta = json.loads(data[4 + _HEADER.size:meta_end])
+            meta = json.loads(data[meta_start:meta_end])
         except ValueError as exc:
             raise StateCodecError(f"damaged checkpoint metadata: {exc}") from exc
         return cls(
@@ -124,13 +182,26 @@ class Checkpoint:
 
 
 class CheckpointStore:
-    """A directory of checkpoint files with atomic writes and retention."""
+    """A directory of checkpoint files with atomic writes and retention.
 
-    def __init__(self, directory: Union[str, Path], retain: int = 3) -> None:
+    ``fault_hook`` is the testkit's chaos seam
+    (:class:`~repro.testkit.faults.FaultPlan`): when set, the serialized
+    bytes pass through ``hook.on_checkpoint_save(when, data)`` before
+    touching disk, letting the chaos suite persist deliberately damaged
+    files.  Unset (the default), the save path is unchanged.
+    """
+
+    def __init__(
+        self,
+        directory: Union[str, Path],
+        retain: int = 3,
+        fault_hook=None,
+    ) -> None:
         if retain < 1:
             raise ValueError("retain must be at least 1")
         self.directory = Path(directory)
         self.retain = retain
+        self.fault_hook = fault_hook
         self.directory.mkdir(parents=True, exist_ok=True)
 
     def _path_for(self, when: float) -> Path:
@@ -146,6 +217,8 @@ class CheckpointStore:
         path = self._path_for(checkpoint.when)
         tmp = path.with_suffix(".ckpt.tmp")
         data = checkpoint.to_bytes()
+        if self.fault_hook is not None:
+            data = self.fault_hook.on_checkpoint_save(checkpoint.when, data)
         with open(tmp, "wb") as handle:
             handle.write(data)
             handle.flush()
@@ -156,12 +229,79 @@ class CheckpointStore:
         return path
 
     def load(self, path: Union[str, Path]) -> Checkpoint:
-        return Checkpoint.from_bytes(Path(path).read_bytes())
+        """Parse one checkpoint file.
+
+        Damage of any kind — bad magic, torn header, CRC mismatch,
+        garbled metadata — raises :class:`CheckpointCorruptError` with
+        the file's path; a healthy-but-newer container still raises
+        :class:`~repro.core.statecodec.IncompatibleStateError`.
+        """
+        path = Path(path)
+        try:
+            checkpoint = Checkpoint.from_bytes(path.read_bytes())
+        except IncompatibleStateError:
+            raise
+        except StateCodecError as exc:
+            raise CheckpointCorruptError(
+                str(exc), path=path, offset=exc.offset
+            ) from exc
+        return replace(checkpoint, path=path)
 
     def latest(self) -> Optional[Checkpoint]:
-        """The newest checkpoint, or ``None`` when the store is empty."""
+        """The newest checkpoint, or ``None`` when the store is empty.
+
+        Raises :class:`CheckpointCorruptError` if the newest file is
+        damaged — explicit resumes should fail loudly rather than
+        silently rewind; crash recovery uses :meth:`latest_valid`.
+        """
         paths = self.list()
         return self.load(paths[-1]) if paths else None
+
+    def latest_valid(self) -> Optional[Checkpoint]:
+        """The newest *loadable* checkpoint, skipping corrupt files.
+
+        The crash-recovery fallback: a damaged newer file costs replay
+        time (recovery rewinds one more tick) but never correctness —
+        the replay from the older image reproduces the same output.
+        Returns ``None`` when no file loads (including incompatible
+        ones); recovery then restarts from scratch.
+        """
+        for path in reversed(self.list()):
+            try:
+                return self.load(path)
+            except StateCodecError:
+                continue
+        return None
+
+    def restore_engine(
+        self,
+        checkpoint: Checkpoint,
+        params: Optional[IPDParams] = None,
+        shards: int = 1,
+        executor: str = "serial",
+        workers: Optional[int] = None,
+    ):
+        """Rebuild an engine from *checkpoint* (see :func:`restore_engine`).
+
+        A truncated or corrupt engine blob raises
+        :class:`CheckpointCorruptError` carrying the checkpoint's path
+        and the blob offset where decoding failed, instead of whatever
+        low-level struct/LEB128 error the codec hit.
+        """
+        try:
+            return restore_engine(
+                checkpoint.engine_blob,
+                params=params,
+                shards=shards,
+                executor=executor,
+                workers=workers,
+            )
+        except IncompatibleStateError:
+            raise
+        except StateCodecError as exc:
+            raise CheckpointCorruptError(
+                str(exc), path=checkpoint.path, offset=exc.offset
+            ) from exc
 
 
 def restore_engine(

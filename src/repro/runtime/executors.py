@@ -17,6 +17,14 @@ three executors implement it with different parallelism:
   are pickled across.  This is the executor that actually multiplies
   single-core ingest throughput.
 
+Every executor carries a ``fault_hook`` attribute (default ``None``)
+— the testkit's chaos seam.  When set to a
+:class:`~repro.testkit.faults.FaultPlan`, the hook is consulted at two
+named injection sites: ``feed`` (a batch may be dropped or delivered
+twice) and ``tick_begin`` (a worker crash may be injected).  Unset, each
+site costs a single identity check on paths that are already dominated
+by queue/pipe traffic, so production behaviour is unchanged.
+
 Shard *index* → worker *slot* is a fixed ``index % workers`` mapping,
 and each worker handles its commands strictly in order (FIFO per pipe /
 queue), so no acknowledgement round-trips are needed for ``feed`` and
@@ -122,14 +130,23 @@ class SerialExecutor:
     def __init__(self, params: IPDParams, depth: int, workers: int = 1) -> None:
         self._worker = ShardWorker(params, depth)
         self._tick_results: Optional[dict[int, ShardTickResult]] = None
+        self.fault_hook = None
 
     def feed(self, index: int, batch: FlowBatch) -> None:
+        if self.fault_hook is not None:
+            action = self.fault_hook.on_feed(index, batch)
+            if action == "drop":
+                return
+            if action == "duplicate":
+                self._worker.handle(("feed", index, batch))
         self._worker.handle(("feed", index, batch))
 
     def apply(self, ops: Iterable[tuple]) -> None:
         self._worker.handle(("ops", list(ops)))
 
     def tick_begin(self, now: float) -> None:
+        if self.fault_hook is not None:
+            self.fault_hook.before_tick(self, now)
         self._tick_results = self._worker.handle(("tick", now))
 
     def tick_collect(self) -> dict[int, ShardTickResult]:
@@ -174,11 +191,18 @@ class ThreadedExecutor:
             self._replies.append(replies)
             self._threads.append(thread)
         self._closed = False
+        self.fault_hook = None
 
     def _slot(self, index: int) -> int:
         return index % self.workers
 
     def feed(self, index: int, batch: FlowBatch) -> None:
+        if self.fault_hook is not None:
+            action = self.fault_hook.on_feed(index, batch)
+            if action == "drop":
+                return
+            if action == "duplicate":
+                self._commands[self._slot(index)].put(("feed", index, batch))
         self._commands[self._slot(index)].put(("feed", index, batch))
 
     def apply(self, ops: Iterable[tuple]) -> None:
@@ -189,6 +213,8 @@ class ThreadedExecutor:
             self._commands[slot].put(("ops", slot_ops))
 
     def tick_begin(self, now: float) -> None:
+        if self.fault_hook is not None:
+            self.fault_hook.before_tick(self, now)
         for commands in self._commands:
             commands.put(("tick", now))
 
@@ -292,6 +318,7 @@ class MultiprocessExecutor:
             self._conns.append(parent_conn)
             self._processes.append(process)
         self._closed = False
+        self.fault_hook = None
 
     def _slot(self, index: int) -> int:
         return index % self.workers
@@ -313,6 +340,12 @@ class MultiprocessExecutor:
             ) from exc
 
     def feed(self, index: int, batch: FlowBatch) -> None:
+        if self.fault_hook is not None:
+            action = self.fault_hook.on_feed(index, batch)
+            if action == "drop":
+                return
+            if action == "duplicate":
+                self._send(self._slot(index), ("feed", index, batch))
         self._send(self._slot(index), ("feed", index, batch))
 
     def apply(self, ops: Iterable[tuple]) -> None:
@@ -323,6 +356,8 @@ class MultiprocessExecutor:
             self._send(slot, ("ops", slot_ops))
 
     def tick_begin(self, now: float) -> None:
+        if self.fault_hook is not None:
+            self.fault_hook.before_tick(self, now)
         for slot in range(self.workers):
             self._send(slot, ("tick", now))
 

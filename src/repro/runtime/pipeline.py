@@ -76,6 +76,7 @@ class Pipeline:
         engine: Optional[Engine] = None,
         checkpoint_store: "CheckpointStore | str | Path | None" = None,
         checkpoint_every: Optional[float] = None,
+        fault_hook=None,
     ) -> None:
         if snapshot_seconds <= 0:
             raise ValueError("snapshot_seconds must be positive")
@@ -112,7 +113,21 @@ class Pipeline:
         self.checkpoint_every = (
             checkpoint_every if checkpoint_every is not None else snapshot_seconds
         )
+        #: testkit chaos seam (:class:`~repro.testkit.faults.FaultPlan`):
+        #: consulted before sweeps (worker-crash site) and before sink
+        #: writes (sink-error site), and propagated to the executor's
+        #: own feed/tick sites — including across crash recoveries,
+        #: which rebuild the engine.  ``None`` (the default) is a no-op.
+        self.fault_hook = fault_hook
+        self._attach_fault_hook()
         self._resume: Optional[_ResumeState] = None
+
+    def _attach_fault_hook(self) -> None:
+        if self.fault_hook is None:
+            return
+        executor = getattr(self.engine, "_executor", None)
+        if executor is not None:
+            executor.fault_hook = self.fault_hook
 
     @property
     def params(self) -> IPDParams:
@@ -151,10 +166,8 @@ class Pipeline:
             raise FileNotFoundError(
                 f"no checkpoint found in {checkpoint_store.directory}"
             )
-        from .checkpoint import restore_engine
-
-        engine = restore_engine(
-            checkpoint.engine_blob,
+        engine = checkpoint_store.restore_engine(
+            checkpoint,
             params=params,
             shards=shards,
             executor=executor,
@@ -219,29 +232,34 @@ class Pipeline:
         except Exception:
             pass  # the dead executor may fail teardown; state is gone anyway
         shards, executor, workers = self._rebuild
-        checkpoint = self.checkpoint_store.latest() if self.checkpoint_store else None
+        # latest_valid: a corrupt newest checkpoint only costs extra
+        # replay (recovery falls back to an older intact image, or to a
+        # from-scratch replay), never a failed or wrong run
+        checkpoint = (
+            self.checkpoint_store.latest_valid() if self.checkpoint_store else None
+        )
         if checkpoint is None:
-            # crashed before the first checkpoint: restart from scratch
+            # crashed before the first (intact) checkpoint: restart fresh
             if shards == 1 and executor == "serial":
                 self.engine = IPD(params)
             else:
                 self.engine = ShardedIPD(
                     params, shards=shards, executor=executor, workers=workers
                 )
+            self._attach_fault_hook()
             result.sweeps.clear()
             result.snapshots.clear()
             result.flows_processed = 0
             self._resume = None
             return
-        from .checkpoint import restore_engine
-
-        self.engine = restore_engine(
-            checkpoint.engine_blob,
+        self.engine = self.checkpoint_store.restore_engine(
+            checkpoint,
             params=params,
             shards=shards,
             executor=executor,
             workers=workers,
         )
+        self._attach_fault_hook()
         # roll the result back to the checkpoint: later sweeps/snapshots
         # will be reproduced exactly by the replay
         del result.sweeps[checkpoint.sweep_count:]
@@ -394,6 +412,13 @@ class Pipeline:
             yield self._emit(resume.next_sweep - t, result)
 
     def _tick(self, when: float, result: RunResult) -> None:
+        if self.fault_hook is not None and getattr(
+            self.engine, "_executor", None
+        ) is None:
+            # a sharded engine's executor consults the hook itself at
+            # tick_begin; cover the executor-less plain engine here so
+            # the worker-crash site exists for every topology
+            self.fault_hook.before_tick(None, when)
         report = self.engine.sweep(when)
         result.sweeps.append(report)
         if self.on_sweep is not None:
@@ -425,6 +450,8 @@ class Pipeline:
             when, include_unclassified=self.include_unclassified
         )
         result.snapshots[when] = records
+        if self.fault_hook is not None:
+            self.fault_hook.on_sink_emit(when)
         for sink in self.sinks:
             sink.emit(when, records)
         return when, records

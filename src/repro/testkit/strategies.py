@@ -1,0 +1,164 @@
+"""Shared hypothesis strategies for IPD property suites.
+
+Every property test in the repository draws flows, traces, parameters
+and shard topologies from here, so the distributions stay consistent
+across suites (and tightening one tightens them all).  The strategies
+are plain functions returning ``SearchStrategy`` objects; import them
+directly::
+
+    from repro.testkit import strategies as ipd_st
+
+    @given(raw_flows=ipd_st.flow_events_list(max_size=250))
+    def test_...(raw_flows): ...
+
+``flow_events`` keeps the historical raw-tuple shape
+``(src_ip, ingress_index, bucket_offset)`` used by the shard-equivalence
+and algorithm-property suites; ``traces`` builds ready-to-ingest
+:class:`~repro.netflow.records.FlowRecord` streams with non-decreasing
+timestamps for the differential-oracle suite.
+"""
+
+from __future__ import annotations
+
+from hypothesis import strategies as st
+
+from ..core.iputil import IPV4
+from ..core.params import IPDParams
+from ..netflow.records import FlowRecord
+from ..topology.elements import IngressPoint
+
+__all__ = [
+    "DEFAULT_INGRESSES",
+    "SMALL_SPACE_PARAMS",
+    "engine_params",
+    "flow_events",
+    "flow_events_list",
+    "shard_counts",
+    "traces",
+]
+
+#: the four-ingress topology the property suites have always used: two
+#: interfaces on one router (exercises §3.2 bundling), two more routers
+DEFAULT_INGRESSES = (
+    IngressPoint("R1", "et0"),
+    IngressPoint("R1", "et1"),
+    IngressPoint("R2", "et0"),
+    IngressPoint("R3", "hu0"),
+)
+
+#: thresholds scaled down so a couple hundred generated flows can drive
+#: classifications, splits and joins inside a /12-bounded IPv4 trie
+SMALL_SPACE_PARAMS = IPDParams(
+    n_cidr_factor_v4=0.0005,
+    n_cidr_factor_v6=0.0005,
+    cidr_max_v4=12,
+)
+
+
+def flow_events(
+    ingress_count: int = len(DEFAULT_INGRESSES),
+    max_offset: int = 5,
+    version: int = IPV4,
+) -> st.SearchStrategy:
+    """Raw ``(src_ip, ingress_index, bucket_offset)`` tuples.
+
+    The offset is in 10-second steps inside a sweep bucket; the driver
+    loops of the property suites add it to the current bucket start.
+    """
+    max_src = (1 << 32) - 1 if version == IPV4 else (1 << 128) - 1
+    return st.tuples(
+        st.integers(min_value=0, max_value=max_src),
+        st.integers(min_value=0, max_value=ingress_count - 1),
+        st.integers(min_value=0, max_value=max_offset),
+    )
+
+
+def flow_events_list(
+    min_size: int = 0,
+    max_size: int = 250,
+    version: int = IPV4,
+) -> st.SearchStrategy:
+    """Lists of :func:`flow_events` tuples (the usual @given input)."""
+    return st.lists(
+        flow_events(version=version), min_size=min_size, max_size=max_size
+    )
+
+
+@st.composite
+def traces(
+    draw,
+    min_buckets: int = 1,
+    max_buckets: int = 8,
+    max_flows_per_bucket: int = 40,
+    t: float = 60.0,
+    versions: tuple[int, ...] = (IPV4,),
+    ingresses: tuple[IngressPoint, ...] = DEFAULT_INGRESSES,
+    max_bytes: int = 1,
+) -> list[FlowRecord]:
+    """Time-ordered :class:`FlowRecord` streams spanning several buckets.
+
+    Each bucket holds a sorted burst of flows with timestamps inside one
+    sweep interval; bucket count, per-bucket volume, sources, families
+    and byte weights are all drawn.  Suitable for feeding the engine and
+    the oracle (or a Pipeline) directly.
+    """
+    flows: list[FlowRecord] = []
+    buckets = draw(st.integers(min_value=min_buckets, max_value=max_buckets))
+    for bucket in range(buckets):
+        start = bucket * t
+        count = draw(st.integers(min_value=0, max_value=max_flows_per_bucket))
+        offsets = sorted(
+            draw(
+                st.lists(
+                    st.floats(
+                        min_value=0.0,
+                        max_value=t - 1e-3,
+                        allow_nan=False,
+                        allow_infinity=False,
+                    ),
+                    min_size=count,
+                    max_size=count,
+                )
+            )
+        )
+        for offset in offsets:
+            version = draw(st.sampled_from(versions))
+            max_src = (1 << 32) - 1 if version == IPV4 else (1 << 128) - 1
+            flows.append(
+                FlowRecord(
+                    timestamp=start + offset,
+                    src_ip=draw(st.integers(min_value=0, max_value=max_src)),
+                    version=version,
+                    ingress=draw(st.sampled_from(ingresses)),
+                    bytes=draw(st.integers(min_value=1, max_value=max_bytes)),
+                )
+            )
+    return flows
+
+
+def engine_params(
+    max_cidr_v4: int = 12,
+    include_byte_counting: bool = True,
+) -> st.SearchStrategy:
+    """Small-space :class:`IPDParams` variations for differential runs.
+
+    Keeps ``n_cidr`` factors tiny (so generated traces can classify) and
+    bounds the IPv4 trie depth; draws the dominance threshold ``q``,
+    bundling on/off and flow-vs-byte weighting.
+    """
+    return st.builds(
+        IPDParams,
+        n_cidr_factor_v4=st.sampled_from([0.0005, 0.005, 0.05]),
+        n_cidr_factor_v6=st.just(0.0005),
+        cidr_max_v4=st.integers(min_value=4, max_value=max_cidr_v4),
+        q=st.sampled_from([0.6, 0.8, 0.95]),
+        enable_bundles=st.booleans(),
+        count_bytes=(
+            st.booleans() if include_byte_counting else st.just(False)
+        ),
+    )
+
+
+def shard_counts(max_depth: int = 8) -> st.SearchStrategy:
+    """Legal ShardedIPD shard counts: powers of two up to 2^max_depth."""
+    return st.sampled_from([1 << depth for depth in range(max_depth + 1)])

@@ -1,0 +1,110 @@
+"""Deterministic fixture traces shared by the correctness suites.
+
+Two canonical workloads, each paired with the parameters that make it
+interesting at test scale:
+
+* :func:`fig05_trace` — the paper's algorithm example (§3.1/Fig. 5
+  shape): four ingresses own four corners of IPv4 space, driving the
+  split cascade from /0 and classifying each quarter; one corner goes
+  dark halfway through to exercise expiry, decay and drop.
+* :func:`dualstack_trace` — seeded pseudo-random interleaved IPv4+IPv6
+  churn: ownership remaps mid-run, 5% ingress noise, byte-weighted
+  flows.  Exercises joins, re-splits and the byte-counting mode.
+
+These were historically private helpers of the batch-equivalence suite;
+they live here so the differential-oracle and chaos suites (and any
+downstream user of :mod:`repro.testkit`) replay the exact same streams.
+"""
+
+from __future__ import annotations
+
+import random
+
+from ..core.iputil import IPV4, IPV6, parse_ip
+from ..core.params import IPDParams
+from ..netflow.records import FlowRecord
+from ..topology.elements import IngressPoint
+
+__all__ = [
+    "CORNERS",
+    "DUALSTACK_PARAMS",
+    "FIG05_PARAMS",
+    "dualstack_trace",
+    "fig05_trace",
+]
+
+NORTH = IngressPoint("R1", "et0")
+EAST = IngressPoint("R2", "et0")
+SOUTH = IngressPoint("R3", "et0")
+WEST = IngressPoint("R4", "et0")
+CORNERS = (NORTH, EAST, SOUTH, WEST)
+
+#: thresholds that let the fig05 corners classify within twelve rounds
+FIG05_PARAMS = IPDParams(n_cidr_factor_v4=0.005, n_cidr_factor_v6=0.005)
+
+#: dual-stack run counts bytes, with factors sized for its flow volume
+DUALSTACK_PARAMS = IPDParams(
+    n_cidr_factor_v4=0.002, n_cidr_factor_v6=0.002, count_bytes=True
+)
+
+
+def fig05_trace() -> list[FlowRecord]:
+    """The algorithm example: four ingresses own four corners of v4 space.
+
+    Twelve 60 s rounds of 40 flows per corner — enough to drive the
+    split cascade from /0 down and classify each quarter, with one
+    corner going quiet halfway (expiry + decay + drop coverage).
+    """
+    flows: list[FlowRecord] = []
+    corner_bases = [
+        parse_ip("10.0.0.0")[0],
+        parse_ip("80.0.0.0")[0],
+        parse_ip("140.0.0.0")[0],
+        parse_ip("200.0.0.0")[0],
+    ]
+    for round_index in range(12):
+        round_start = round_index * 60.0
+        for corner, base in zip(CORNERS, corner_bases):
+            if corner is WEST and round_index >= 6:
+                continue  # west goes dark: expiry/decay/drop path
+            for flow_index in range(40):
+                flows.append(
+                    FlowRecord(
+                        timestamp=round_start + flow_index * 1.4,
+                        src_ip=base + (flow_index % 16) * 16,
+                        version=IPV4,
+                        ingress=corner,
+                    )
+                )
+    flows.sort(key=lambda flow: flow.timestamp)
+    return flows
+
+
+def dualstack_trace(seed: int = 11) -> list[FlowRecord]:
+    """Interleaved v4+v6 flows with churn: remaps, noise, idle gaps."""
+    rng = random.Random(seed)
+    v4_bases = [parse_ip(f"{10 + 40 * i}.0.0.0")[0] for i in range(4)]
+    v6_bases = [parse_ip(f"2001:db8:{i:x}::")[0] for i in range(4)]
+    flows: list[FlowRecord] = []
+    for round_index in range(10):
+        round_start = round_index * 60.0
+        for slot in range(120):
+            ts = round_start + slot * 0.5
+            zone = rng.randrange(4)
+            # owner remaps halfway through; 5% noise from a random ingress
+            owner = CORNERS[zone] if round_index < 5 else CORNERS[(zone + 1) % 4]
+            ingress = rng.choice(CORNERS) if rng.random() < 0.05 else owner
+            if rng.random() < 0.3:
+                base = v6_bases[zone]
+                version = IPV6
+                src = base + rng.randrange(64) * (1 << 64)
+            else:
+                base = v4_bases[zone]
+                version = IPV4
+                src = base + rng.randrange(64) * 16
+            flows.append(
+                FlowRecord(timestamp=ts, src_ip=src, version=version,
+                           ingress=ingress, bytes=rng.choice((64, 576, 1500)))
+            )
+    flows.sort(key=lambda flow: flow.timestamp)
+    return flows

@@ -1,13 +1,44 @@
-"""Shared fixtures: a small deterministic topology and quick scenarios."""
+"""Shared fixtures: a small deterministic topology and quick scenarios.
+
+Also registers the repository's hypothesis settings profiles:
+
+* ``ci`` — derandomized (fixed seed), so CI runs are reproducible and a
+  red CI run replays locally with the same examples:
+  ``HYPOTHESIS_PROFILE=ci pytest ...``
+* ``dev`` — the default; hypothesis's stock behavior with deadlines off
+  (CI boxes and sweep-heavy properties make wall-clock flaky).
+* ``nightly`` — 10x examples for scheduled deep runs.
+
+Select one with ``HYPOTHESIS_PROFILE=<name>``; unset defaults to ``dev``.
+"""
 
 from __future__ import annotations
 
+import os
+
 import pytest
+from hypothesis import HealthCheck, settings
 
 from repro.core.iputil import Prefix
 from repro.core.params import IPDParams
 from repro.topology.elements import IngressPoint, LinkType
 from repro.topology.network import ISPTopology
+
+settings.register_profile(
+    "ci",
+    derandomize=True,
+    deadline=None,
+    print_blob=True,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+settings.register_profile("dev", deadline=None)
+settings.register_profile(
+    "nightly",
+    max_examples=1000,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "dev"))
 
 
 @pytest.fixture

@@ -27,11 +27,11 @@ from repro.core.statecodec import (
 from repro.netflow.records import FlowRecord
 from repro.topology.elements import IngressPoint
 
-from tests.integration.test_batch_equivalence import dualstack_trace, fig05_trace
-
-FIG05_PARAMS = IPDParams(n_cidr_factor_v4=0.005, n_cidr_factor_v6=0.005)
-DUALSTACK_PARAMS = IPDParams(
-    n_cidr_factor_v4=0.002, n_cidr_factor_v6=0.002, count_bytes=True
+from repro.testkit.traces import (
+    DUALSTACK_PARAMS,
+    FIG05_PARAMS,
+    dualstack_trace,
+    fig05_trace,
 )
 
 A = IngressPoint("R1", "et0")

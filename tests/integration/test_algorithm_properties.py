@@ -12,27 +12,15 @@ number of sweeps — these are the structural guarantees everything else
 """
 
 from hypothesis import given, settings
-from hypothesis import strategies as st
 
 from repro.core.algorithm import IPD
 from repro.core.iputil import IPV4
 from repro.core.params import IPDParams
 from repro.core.state import ClassifiedState, UnclassifiedState
 from repro.netflow.records import FlowRecord
+from repro.testkit.strategies import DEFAULT_INGRESSES as INGRESSES
+from repro.testkit.strategies import flow_events_list
 from repro.topology.elements import IngressPoint
-
-INGRESSES = [
-    IngressPoint("R1", "et0"),
-    IngressPoint("R1", "et1"),
-    IngressPoint("R2", "et0"),
-    IngressPoint("R3", "hu0"),
-]
-
-flow_strategy = st.tuples(
-    st.integers(min_value=0, max_value=(1 << 32) - 1),   # src ip
-    st.integers(min_value=0, max_value=3),               # ingress index
-    st.integers(min_value=0, max_value=5),               # bucket offset
-)
 
 
 def run_engine(raw_flows, q=0.95, cidr_max=12):
@@ -58,7 +46,7 @@ def run_engine(raw_flows, q=0.95, cidr_max=12):
 
 
 @settings(max_examples=30, deadline=None)
-@given(st.lists(flow_strategy, min_size=1, max_size=200))
+@given(flow_events_list(min_size=1, max_size=200))
 def test_leaves_partition_space(raw_flows):
     ipd, __ = run_engine(raw_flows)
     tree = ipd.trees[IPV4]
@@ -70,7 +58,7 @@ def test_leaves_partition_space(raw_flows):
 
 
 @settings(max_examples=30, deadline=None)
-@given(st.lists(flow_strategy, min_size=1, max_size=200))
+@given(flow_events_list(min_size=1, max_size=200))
 def test_classified_ranges_respect_q(raw_flows):
     ipd, __ = run_engine(raw_flows)
     params = ipd.params
@@ -86,7 +74,7 @@ def test_classified_ranges_respect_q(raw_flows):
 
 
 @settings(max_examples=30, deadline=None)
-@given(st.lists(flow_strategy, min_size=1, max_size=200))
+@given(flow_events_list(min_size=1, max_size=200))
 def test_depth_bounded_by_cidr_max(raw_flows):
     ipd, __ = run_engine(raw_flows, cidr_max=10)
     for leaf in ipd.trees[IPV4].leaves():
@@ -94,7 +82,7 @@ def test_depth_bounded_by_cidr_max(raw_flows):
 
 
 @settings(max_examples=30, deadline=None)
-@given(st.lists(flow_strategy, min_size=1, max_size=200))
+@given(flow_events_list(min_size=1, max_size=200))
 def test_snapshot_disjoint_and_sorted(raw_flows):
     ipd, now = run_engine(raw_flows)
     records = ipd.snapshot(now, include_unclassified=True)
@@ -107,7 +95,7 @@ def test_snapshot_disjoint_and_sorted(raw_flows):
 
 
 @settings(max_examples=30, deadline=None)
-@given(st.lists(flow_strategy, min_size=1, max_size=200))
+@given(flow_events_list(min_size=1, max_size=200))
 def test_retained_weight_bounded_by_ingested(raw_flows):
     ipd, __ = run_engine(raw_flows)
     retained = 0.0

@@ -13,78 +13,9 @@ import random
 
 from repro.core.algorithm import IPD
 from repro.core.driver import OfflineDriver
-from repro.core.iputil import IPV4, IPV6, parse_ip
 from repro.core.params import IPDParams
 from repro.netflow.records import FlowRecord, iter_flow_batches
-from repro.topology.elements import IngressPoint
-
-NORTH = IngressPoint("R1", "et0")
-EAST = IngressPoint("R2", "et0")
-SOUTH = IngressPoint("R3", "et0")
-WEST = IngressPoint("R4", "et0")
-CORNERS = (NORTH, EAST, SOUTH, WEST)
-
-
-def fig05_trace() -> list[FlowRecord]:
-    """The algorithm example: four ingresses own four corners of v4 space.
-
-    Twelve 60 s rounds of 40 flows per corner — enough to drive the
-    split cascade from /0 down and classify each quarter, with one
-    corner going quiet halfway (expiry + decay + drop coverage).
-    """
-    flows: list[FlowRecord] = []
-    corner_bases = [
-        parse_ip("10.0.0.0")[0],
-        parse_ip("80.0.0.0")[0],
-        parse_ip("140.0.0.0")[0],
-        parse_ip("200.0.0.0")[0],
-    ]
-    for round_index in range(12):
-        round_start = round_index * 60.0
-        for corner, base in zip(CORNERS, corner_bases):
-            if corner is WEST and round_index >= 6:
-                continue  # west goes dark: expiry/decay/drop path
-            for flow_index in range(40):
-                flows.append(
-                    FlowRecord(
-                        timestamp=round_start + flow_index * 1.4,
-                        src_ip=base + (flow_index % 16) * 16,
-                        version=IPV4,
-                        ingress=corner,
-                    )
-                )
-    flows.sort(key=lambda flow: flow.timestamp)
-    return flows
-
-
-def dualstack_trace(seed: int = 11) -> list[FlowRecord]:
-    """Interleaved v4+v6 flows with churn: remaps, noise, idle gaps."""
-    rng = random.Random(seed)
-    v4_bases = [parse_ip(f"{10 + 40 * i}.0.0.0")[0] for i in range(4)]
-    v6_bases = [parse_ip(f"2001:db8:{i:x}::")[0] for i in range(4)]
-    flows: list[FlowRecord] = []
-    for round_index in range(10):
-        round_start = round_index * 60.0
-        for slot in range(120):
-            ts = round_start + slot * 0.5
-            zone = rng.randrange(4)
-            # owner remaps halfway through; 5% noise from a random ingress
-            owner = CORNERS[zone] if round_index < 5 else CORNERS[(zone + 1) % 4]
-            ingress = rng.choice(CORNERS) if rng.random() < 0.05 else owner
-            if rng.random() < 0.3:
-                base = v6_bases[zone]
-                version = IPV6
-                src = base + rng.randrange(64) * (1 << 64)
-            else:
-                base = v4_bases[zone]
-                version = IPV4
-                src = base + rng.randrange(64) * 16
-            flows.append(
-                FlowRecord(timestamp=ts, src_ip=src, version=version,
-                           ingress=ingress, bytes=rng.choice((64, 576, 1500)))
-            )
-    flows.sort(key=lambda flow: flow.timestamp)
-    return flows
+from repro.testkit.traces import dualstack_trace, fig05_trace
 
 
 def random_batches(flows, rng):

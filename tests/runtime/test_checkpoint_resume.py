@@ -14,7 +14,7 @@ import pytest
 
 from repro.runtime import Checkpoint, CheckpointStore, Pipeline
 
-from tests.integration.test_batch_equivalence import dualstack_trace, fig05_trace
+from repro.testkit.traces import dualstack_trace, fig05_trace
 from tests.runtime.test_shard_equivalence import (
     DUALSTACK_PARAMS,
     FIG05_PARAMS,
@@ -294,3 +294,103 @@ class TestStoreBehavior:
         blob[4:6] = struct.pack(">H", CHECKPOINT_VERSION + 1)
         with pytest.raises(IncompatibleStateError):
             Checkpoint.from_bytes(bytes(blob))
+
+
+class TestCorruptCheckpoints:
+    """Damaged files raise the typed error; recovery routes around them."""
+
+    def populated_store(self, tmp_path) -> CheckpointStore:
+        store = CheckpointStore(tmp_path / "ckpt", retain=RETAIN)
+        checkpointing_run(fig05_trace(), FIG05_PARAMS, store)
+        return store
+
+    def test_truncated_file_raises_typed_error(self, tmp_path):
+        from repro.runtime.checkpoint import CheckpointCorruptError
+
+        store = self.populated_store(tmp_path)
+        victim = store.list()[-1]
+        victim.write_bytes(victim.read_bytes()[: 40])
+        with pytest.raises(CheckpointCorruptError) as excinfo:
+            store.load(victim)
+        assert excinfo.value.path == victim
+        assert "file=" in str(excinfo.value)
+
+    def test_bitflip_fails_crc_not_codec(self, tmp_path):
+        """Any single flipped bit is caught by the container CRC — the
+        error cannot depend on the damage breaking codec structure."""
+        from repro.runtime.checkpoint import CheckpointCorruptError
+
+        store = self.populated_store(tmp_path)
+        victim = store.list()[-1]
+        data = bytearray(victim.read_bytes())
+        data[len(data) // 2] ^= 0x10
+        victim.write_bytes(bytes(data))
+        with pytest.raises(CheckpointCorruptError, match="CRC mismatch"):
+            store.load(victim)
+
+    def test_truncated_engine_blob_carries_offset(self, tmp_path):
+        """A valid container around a torn engine blob: restore_engine
+        reports the blob offset the decoder reached, not a struct error."""
+        from repro.runtime.checkpoint import CheckpointCorruptError
+
+        store = self.populated_store(tmp_path)
+        intact = store.latest()
+        torn = Checkpoint(
+            when=intact.when,
+            flows_processed=intact.flows_processed,
+            next_sweep=intact.next_sweep,
+            next_snapshot=intact.next_snapshot,
+            sweep_count=intact.sweep_count,
+            engine_blob=intact.engine_blob[: len(intact.engine_blob) // 3],
+        )
+        path = store.save(torn)
+        loaded = store.load(path)  # container itself is healthy
+        with pytest.raises(CheckpointCorruptError) as excinfo:
+            store.restore_engine(loaded)
+        assert excinfo.value.offset is not None
+        assert excinfo.value.offset <= len(torn.engine_blob)
+        assert excinfo.value.path == path
+
+    def test_latest_raises_latest_valid_skips(self, tmp_path):
+        from repro.runtime.checkpoint import CheckpointCorruptError
+
+        store = self.populated_store(tmp_path)
+        newest = store.list()[-1]
+        second_newest = store.list()[-2]
+        newest.write_bytes(newest.read_bytes()[:40])
+        with pytest.raises(CheckpointCorruptError):
+            store.latest()
+        fallback = store.latest_valid()
+        assert fallback is not None
+        assert fallback.path == second_newest
+
+    def test_latest_valid_empty_when_all_corrupt(self, tmp_path):
+        store = CheckpointStore(tmp_path / "ckpt")
+        checkpoint = Checkpoint(
+            when=60.0, flows_processed=1, next_sweep=120.0,
+            next_snapshot=None, sweep_count=1, engine_blob=b"x",
+        )
+        path = store.save(checkpoint)
+        path.write_bytes(b"not a checkpoint at all")
+        assert store.latest_valid() is None
+
+    def test_version1_container_without_crc_still_loads(self):
+        import json
+        import struct
+
+        checkpoint = Checkpoint(
+            when=360.0, flows_processed=1234, next_sweep=420.0,
+            next_snapshot=480.0, sweep_count=6, engine_blob=b"\x00\x01binary",
+        )
+        meta = json.dumps(
+            {
+                "when": checkpoint.when,
+                "flows_processed": checkpoint.flows_processed,
+                "next_sweep": checkpoint.next_sweep,
+                "next_snapshot": checkpoint.next_snapshot,
+                "sweep_count": checkpoint.sweep_count,
+            },
+            sort_keys=True,
+        ).encode()
+        v1 = b"IPDC" + struct.pack(">HI", 1, len(meta)) + meta + checkpoint.engine_blob
+        assert Checkpoint.from_bytes(v1) == checkpoint

@@ -17,11 +17,11 @@ from repro.core.params import IPDParams
 from repro.netflow.records import iter_flow_batches
 from repro.runtime import Pipeline, ShardedIPD
 
-from tests.integration.test_batch_equivalence import dualstack_trace, fig05_trace
-
-FIG05_PARAMS = IPDParams(n_cidr_factor_v4=0.005, n_cidr_factor_v6=0.005)
-DUALSTACK_PARAMS = IPDParams(
-    n_cidr_factor_v4=0.002, n_cidr_factor_v6=0.002, count_bytes=True
+from repro.testkit.traces import (
+    DUALSTACK_PARAMS,
+    FIG05_PARAMS,
+    dualstack_trace,
+    fig05_trace,
 )
 
 

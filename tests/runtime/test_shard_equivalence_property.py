@@ -11,32 +11,15 @@ final snapshots agree.
 
 import pytest
 from hypothesis import given, settings
-from hypothesis import strategies as st
 
 from repro.core.algorithm import IPD
 from repro.core.iputil import IPV4
-from repro.core.params import IPDParams
 from repro.netflow.records import FlowRecord
 from repro.runtime import ShardedIPD
-from repro.topology.elements import IngressPoint
-
-INGRESSES = [
-    IngressPoint("R1", "et0"),
-    IngressPoint("R1", "et1"),
-    IngressPoint("R2", "et0"),
-    IngressPoint("R3", "hu0"),
-]
-
-PARAMS = IPDParams(
-    n_cidr_factor_v4=0.0005,
-    n_cidr_factor_v6=0.0005,
-    cidr_max_v4=12,
-)
-
-flow_strategy = st.tuples(
-    st.integers(min_value=0, max_value=(1 << 32) - 1),   # src ip
-    st.integers(min_value=0, max_value=3),               # ingress index
-    st.integers(min_value=0, max_value=5),               # bucket offset
+from repro.testkit.strategies import (
+    DEFAULT_INGRESSES as INGRESSES,
+    SMALL_SPACE_PARAMS as PARAMS,
+    flow_events_list,
 )
 
 
@@ -52,7 +35,7 @@ def merged_state(engine, now):
 
 @pytest.mark.parametrize("shards", [1, 4, 16, 256])
 @settings(max_examples=15, deadline=None)
-@given(raw_flows=st.lists(flow_strategy, min_size=0, max_size=250))
+@given(raw_flows=flow_events_list(max_size=250))
 def test_sharded_equals_single_engine(shards, raw_flows):
     reference = IPD(PARAMS)
     sharded = ShardedIPD(PARAMS, shards=shards, executor="serial")

@@ -144,3 +144,95 @@ class TestWatchCommand:
     def test_watch_empty_archive(self, tmp_path):
         status, __ = run_cli("watch", tmp_path / "empty", "10.0.0.0/24")
         assert status == 1
+
+
+def run_cli_with_stderr(*argv) -> tuple[int, str, str]:
+    out, err = io.StringIO(), io.StringIO()
+    with contextlib.redirect_stdout(out), contextlib.redirect_stderr(err):
+        status = main([str(arg) for arg in argv])
+    return status, out.getvalue(), err.getvalue()
+
+
+class TestResumeErrorPaths:
+    """``--resume`` must fail loudly and typed, never silently recompute."""
+
+    def checkpointed_run(self, flow_csv, tmp_path, *extra):
+        ckpt = tmp_path / "ckpt"
+        output = tmp_path / "records.csv"
+        status, __ = run_cli(
+            "run", flow_csv, output, "--n-cidr-factor", "0.01",
+            "--checkpoint-dir", ckpt, "--checkpoint-every", "300", *extra,
+        )
+        assert status == 0
+        return ckpt, output
+
+    def test_resume_requires_checkpoint_dir(self, flow_csv, tmp_path):
+        status, __, err = run_cli_with_stderr(
+            "run", flow_csv, tmp_path / "out.csv", "--resume"
+        )
+        assert status == 2
+        assert "--checkpoint-dir" in err
+
+    def test_resume_missing_directory_fails(self, flow_csv, tmp_path):
+        status, __, err = run_cli_with_stderr(
+            "run", flow_csv, tmp_path / "out.csv",
+            "--resume", "--checkpoint-dir", tmp_path / "never-created",
+        )
+        assert status == 2
+        assert "does not exist" in err
+        # and the CLI did not silently create it
+        assert not (tmp_path / "never-created").exists()
+
+    def test_resume_corrupt_checkpoint_fails(self, flow_csv, tmp_path):
+        ckpt, output = self.checkpointed_run(flow_csv, tmp_path)
+        newest = sorted(ckpt.glob("checkpoint-*.ckpt"))[-1]
+        newest.write_bytes(newest.read_bytes()[:60])
+        status, __, err = run_cli_with_stderr(
+            "run", flow_csv, output, "--n-cidr-factor", "0.01",
+            "--resume", "--checkpoint-dir", ckpt,
+        )
+        assert status == 2
+        assert "cannot resume" in err
+        assert str(newest) in err  # the typed error carries the path
+
+    def test_resume_incompatible_container_version_fails(
+        self, flow_csv, tmp_path
+    ):
+        import struct
+
+        from repro.runtime.checkpoint import CHECKPOINT_VERSION
+
+        ckpt, output = self.checkpointed_run(flow_csv, tmp_path)
+        newest = sorted(ckpt.glob("checkpoint-*.ckpt"))[-1]
+        data = bytearray(newest.read_bytes())
+        data[4:6] = struct.pack(">H", CHECKPOINT_VERSION + 7)
+        newest.write_bytes(bytes(data))
+        status, __, err = run_cli_with_stderr(
+            "run", flow_csv, output, "--n-cidr-factor", "0.01",
+            "--resume", "--checkpoint-dir", ckpt,
+        )
+        assert status == 2
+        assert "newer build" in err
+
+    def test_resume_illegal_shard_count_fails(self, flow_csv, tmp_path):
+        ckpt, output = self.checkpointed_run(flow_csv, tmp_path)
+        status, __, err = run_cli_with_stderr(
+            "run", flow_csv, output, "--n-cidr-factor", "0.01",
+            "--resume", "--checkpoint-dir", ckpt, "--shards", "3",
+        )
+        assert status == 2
+        assert "cannot resume with this topology" in err
+        assert "power of two" in err
+
+    def test_resume_happy_path_and_reshard(self, flow_csv, tmp_path):
+        """Control: a healthy resume works, including a shard-count
+        *change* (legal — the checkpoint is a merged image)."""
+        ckpt, output = self.checkpointed_run(flow_csv, tmp_path)
+        reference = output.read_text()
+        status, text = run_cli(
+            "run", flow_csv, output, "--n-cidr-factor", "0.01",
+            "--resume", "--checkpoint-dir", ckpt, "--shards", "4",
+        )
+        assert status == 0
+        assert "resumed from checkpoint" in text
+        assert output.read_text() == reference

@@ -37,6 +37,7 @@ class TestSubpackageSurfaces:
         "repro.workloads", "repro.analysis", "repro.baselines",
         "repro.paramstudy", "repro.reporting", "repro.cli",
         "repro.archive", "repro.steering", "repro.runtime",
+        "repro.testkit",
     ])
     def test_imports_cleanly(self, module):
         imported = importlib.import_module(module)
@@ -46,6 +47,7 @@ class TestSubpackageSurfaces:
         "repro.core", "repro.netflow", "repro.topology", "repro.bgp",
         "repro.workloads", "repro.analysis", "repro.baselines",
         "repro.paramstudy", "repro.reporting", "repro.runtime",
+        "repro.testkit",
     ])
     def test_all_lists_resolve(self, module):
         imported = importlib.import_module(module)
@@ -57,8 +59,8 @@ class TestStateExternalizationSurface:
     """The checkpoint/codec symbols added with state externalization."""
 
     @pytest.mark.parametrize("name", [
-        "Checkpoint", "CheckpointStore", "CHECKPOINT_VERSION",
-        "restore_engine", "WorkerCrashError",
+        "Checkpoint", "CheckpointStore", "CheckpointCorruptError",
+        "CHECKPOINT_VERSION", "restore_engine", "WorkerCrashError",
     ])
     def test_runtime_exports(self, name):
         import repro.runtime
@@ -89,6 +91,45 @@ class TestStateExternalizationSurface:
 
         assert callable(Pipeline.resume)
         assert callable(LivePipeline.resume)
+
+
+class TestTestkitSurface:
+    """The correctness-testkit symbols shipped for downstream reuse."""
+
+    @pytest.mark.parametrize("name", [
+        "ReferenceIPD", "assert_engines_equivalent", "compare_reports",
+        "Fault", "FaultPlan", "InjectedSinkError",
+        "fig05_trace", "dualstack_trace", "FIG05_PARAMS", "DUALSTACK_PARAMS",
+    ])
+    def test_testkit_exports(self, name):
+        import repro.testkit
+
+        assert name in repro.testkit.__all__
+        assert hasattr(repro.testkit, name)
+
+    def test_strategy_functions(self):
+        from repro.testkit import strategies
+
+        for name in strategies.__all__:
+            assert hasattr(strategies, name)
+
+    def test_fault_hooks_default_off(self):
+        """The chaos seams ship as no-ops on every runtime component."""
+        from repro.runtime import CheckpointStore, Pipeline
+        from repro.runtime.executors import SerialExecutor
+
+        pipeline = Pipeline(shards=2, executor="serial")
+        try:
+            assert pipeline.fault_hook is None
+            executor = pipeline.engine._executor
+            assert isinstance(executor, SerialExecutor)
+            assert executor.fault_hook is None
+        finally:
+            pipeline.close()
+        import tempfile
+
+        with tempfile.TemporaryDirectory() as directory:
+            assert CheckpointStore(directory).fault_hook is None
 
 
 class TestMinimalUserJourney:
