@@ -411,6 +411,28 @@ def check_against_baseline(results: dict, baseline: dict,
     return 1 if failures else 0
 
 
+def _assert_hot_path_is_free() -> None:
+    """Refuse to benchmark if the @hot_path marker grows a wrapper.
+
+    The lint marker on ingest/sweep must stay a zero-cost identity
+    decorator: every number this harness records is measured *through*
+    it, so a wrapper would silently tax the exact paths being gated.
+    """
+    from repro.devtools.markers import hot_path
+
+    def probe() -> None:
+        pass
+
+    assert hot_path(probe) is probe, (
+        "repro.devtools.markers.hot_path must return its argument "
+        "unchanged; a wrapping marker would skew every measurement below"
+    )
+    assert IPD.ingest.__qualname__ == "IPD.ingest", (
+        "IPD.ingest is wrapped; the @hot_path marker (or another "
+        "decorator) is no longer free on the measured hot paths"
+    )
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--flows", type=int, default=100_000,
@@ -427,6 +449,7 @@ def main(argv: list[str] | None = None) -> int:
                              "(default 0.30)")
     args = parser.parse_args(argv)
 
+    _assert_hot_path_is_free()
     results = run_benchmarks(args.flows, args.repeats)
     if args.output is not None:
         args.output.parent.mkdir(parents=True, exist_ok=True)

@@ -36,7 +36,9 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
+from typing import Iterable
 
+from ..devtools.markers import hot_path
 from ..netflow.records import FlowBatch, FlowRecord
 from ..topology.elements import IngressPoint
 from .bundles import dominant_ingress
@@ -195,6 +197,7 @@ class IPD:
 
     # ------------------------------------------------------------------ stage 1
 
+    @hot_path
     def ingest(self, flow: FlowRecord) -> None:
         """Add one flow observation (Algorithm 1, lines 1-4)."""
         params = self.params
@@ -216,6 +219,7 @@ class IPD:
         if self.lb_detector is not None:
             self.lb_detector.observe(flow)
 
+    @hot_path
     def ingest_batch(self, batch: FlowBatch) -> int:
         """Add a columnar batch of flows; returns how many were consumed.
 
@@ -262,10 +266,12 @@ class IPD:
         self.flows_ingested += count
         self.bytes_ingested += sum(batch.byte_counts)
         if self.lb_detector is not None:
+            observe = self.lb_detector.observe
             for flow in batch.iter_flows():
-                self.lb_detector.observe(flow)
+                observe(flow)
         return count
 
+    @hot_path
     def _apply_groups(self, tree: RangeTree, groups: dict[int, list]) -> None:
         """Fold accumulated per-source groups into their covering leaves."""
         lookup = tree.lookup_leaf
@@ -282,7 +288,8 @@ class IPD:
                 assert isinstance(state, ClassifiedState)
                 state.add_batch(by_ingress, newest)
 
-    def ingest_many(self, flows) -> int:
+    @hot_path
+    def ingest_many(self, flows: Iterable[FlowRecord]) -> int:
         """Ingest an iterable of flows; returns how many were consumed.
 
         Flows are chunked into columnar :class:`FlowBatch` runs per
@@ -336,7 +343,9 @@ class IPD:
                 for version, groups in groups_by_version.items():
                     if groups:
                         self._apply_groups(trees[version], groups)
-                groups_by_version = {version: {} for version in trees}
+                # amortized: rebuilt once per _INGEST_CHUNK flows, and the
+                # consumed group dicts must not be reused across chunks
+                groups_by_version = {version: {} for version in trees}  # ipd-lint: disable=IPD005
                 pending = 0
         for version, groups in groups_by_version.items():
             if groups:
@@ -347,6 +356,7 @@ class IPD:
 
     # ------------------------------------------------------------------ stage 2
 
+    @hot_path
     def sweep(self, now: float) -> SweepReport:
         """Run one Stage-2 pass over the active ranges (Algorithm 1, lines 5-19)."""
         started = time.perf_counter()
@@ -366,6 +376,7 @@ class IPD:
         self.last_sweep_at = now
         return report
 
+    @hot_path
     def _sweep_tree(self, tree: RangeTree, now: float, report: SweepReport) -> None:
         params = self.params
         version = tree.version

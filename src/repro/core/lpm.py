@@ -12,7 +12,7 @@ at most ``masklen`` bits and return the most specific covering entry.
 
 from __future__ import annotations
 
-from typing import Generic, Iterable, Iterator, Optional, TypeVar
+from typing import Generic, Iterable, Iterator, Optional, TypeVar, cast
 
 from ..topology.elements import IngressPoint
 from .iputil import IPV4, IPV6, Prefix
@@ -76,7 +76,9 @@ class LPMTable(Generic[V]):
         node = self._root
         best: Optional[tuple[int, V]] = None
         if node.has_value:
-            best = (0, node.value)  # type: ignore[arg-type]
+            # has_value guards the slot: `value` holds a real V (which may
+            # itself be None for Optional payloads, so no None-narrowing)
+            best = (0, cast(V, node.value))
         for depth in range(self._bits):
             bit = (ip_value >> (self._bits - depth - 1)) & 1
             child = node.children[bit]
@@ -84,7 +86,7 @@ class LPMTable(Generic[V]):
                 break
             node = child
             if node.has_value:
-                best = (depth + 1, node.value)  # type: ignore[arg-type]
+                best = (depth + 1, cast(V, node.value))
         if best is None:
             return None
         masklen, value = best
@@ -110,7 +112,7 @@ class LPMTable(Generic[V]):
                 yield (
                     Prefix(value_bits << (self._bits - depth) if depth else 0,
                            depth, self.version),
-                    node.value,  # type: ignore[misc]
+                    cast(V, node.value),
                 )
             right = node.children[1]
             left = node.children[0]

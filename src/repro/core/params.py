@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field, replace
-from typing import Callable
+from typing import Any, Callable
 
 from .iputil import IPV4, IPV6
 
@@ -116,9 +116,9 @@ class IPDParams:
         exponent = max(exponent, 0)
         return self.n_cidr_factor(version) * math.sqrt(2.0 ** exponent)
 
-    def with_overrides(self, **changes: object) -> "IPDParams":
+    def with_overrides(self, **changes: Any) -> "IPDParams":
         """Return a copy with selected fields replaced (study sweeps)."""
-        return replace(self, **changes)  # type: ignore[arg-type]
+        return replace(self, **changes)
 
 
 #: The production parameterization of the paper's tier-1 deployment.

@@ -39,6 +39,7 @@ import heapq
 from collections import OrderedDict
 from typing import Callable, Iterable, Iterator, Optional, Union
 
+from ..devtools.markers import hot_path
 from .iputil import Prefix
 from .state import ClassifiedState, DelegatedState, UnclassifiedState
 
@@ -147,6 +148,7 @@ class RangeTree:
 
     # -- lookup -------------------------------------------------------------
 
+    @hot_path
     def lookup_leaf(self, ip_value: int) -> RangeNode:
         """Return the unique leaf whose range contains *ip_value*."""
         cache = self._cache
@@ -163,6 +165,8 @@ class RangeTree:
         while node.left is not None:
             bit_index = bits - node.prefix.masklen - 1
             if (ip_value >> bit_index) & 1:
+                # internal nodes always have both children; a per-step
+                # assert would tax the hottest loop in the engine
                 node = node.right  # type: ignore[assignment]
             else:
                 node = node.left
@@ -216,6 +220,7 @@ class RangeTree:
         if isinstance(node._state, DelegatedState):
             self._delegated_count -= 1
 
+    @hot_path
     def schedule_expiry(self, node: RangeNode) -> None:
         """(Re-)register a leaf on the expiry heap at its current bound.
 
@@ -232,6 +237,7 @@ class RangeTree:
         self._heap_seq += 1
         heapq.heappush(self._expiry_heap, (bound, self._heap_seq, node))
 
+    @hot_path
     def pop_expiry_due(self, cutoff: float) -> list[RangeNode]:
         """Pop every leaf whose oldest sample may predate *cutoff*.
 
@@ -256,6 +262,7 @@ class RangeTree:
             due.append(node)
         return due
 
+    @hot_path
     def drain_dirty(self) -> set[RangeNode]:
         """Return the leaves touched since the last drain and reset the set."""
         dirty = self.dirty
@@ -385,26 +392,30 @@ class RangeTree:
         stack = [self.root]
         while stack:
             node = stack.pop()
-            if node.left is None:
+            left, right = node.left, node.right
+            if left is None:
                 yield node
             else:
+                assert right is not None  # internal nodes have both children
                 # push right first so left pops first (address order)
-                stack.append(node.right)  # type: ignore[arg-type]
-                stack.append(node.left)
+                stack.append(right)
+                stack.append(left)
 
     def internal_nodes_postorder(self) -> Iterator[RangeNode]:
         """Yield internal nodes children-first (for bottom-up joins)."""
         stack: list[tuple[RangeNode, bool]] = [(self.root, False)]
         while stack:
             node, expanded = stack.pop()
-            if node.left is None:
+            left, right = node.left, node.right
+            if left is None:
                 continue
             if expanded:
                 yield node
             else:
+                assert right is not None  # internal nodes have both children
                 stack.append((node, True))
-                stack.append((node.right, False))  # type: ignore[arg-type]
-                stack.append((node.left, False))
+                stack.append((right, False))
+                stack.append((left, False))
 
     def leaf_count(self) -> int:
         """Number of *visible* leaves — O(1), maintained incrementally.

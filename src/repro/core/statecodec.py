@@ -45,7 +45,7 @@ from __future__ import annotations
 import struct
 from contextlib import contextmanager
 from dataclasses import dataclass, field
-from typing import Optional
+from typing import Iterator, Optional
 
 from ..topology.elements import IngressPoint
 from .iputil import Prefix
@@ -183,7 +183,7 @@ class EngineImage:
 # ---------------------------------------------------------------------------
 
 
-def _state_image(state, dirty: bool) -> NodeImage:
+def _state_image(state: object, dirty: bool) -> NodeImage:
     if isinstance(state, UnclassifiedState):
         return unclassified_image(state, dirty)
     if isinstance(state, ClassifiedState):
@@ -259,7 +259,7 @@ def tree_to_image(tree: RangeTree, grafts: Optional[dict] = None) -> TreeImage:
     )
 
 
-def engine_to_image(engine) -> EngineImage:
+def engine_to_image(engine: object) -> EngineImage:
     """Image a plain engine (anything with ``trees`` and the counters)."""
     return EngineImage(
         params=engine.params,
@@ -279,7 +279,9 @@ def engine_to_image(engine) -> EngineImage:
 # ---------------------------------------------------------------------------
 
 
-def _state_from_image(image: NodeImage):
+def _state_from_image(
+    image: NodeImage,
+) -> "UnclassifiedState | ClassifiedState | DelegatedState":
     if image.kind == "unclassified":
         state = UnclassifiedState()
         entries = 0
@@ -748,7 +750,7 @@ def decode_subtree(data: bytes) -> SubtreeImage:
 
 
 @contextmanager
-def _damage_reported(reader: "_Reader"):
+def _damage_reported(reader: "_Reader") -> Iterator[None]:
     """Normalize decoder failures into offset-carrying codec errors.
 
     Structural damage surfaces in many shapes — truncation (already a

@@ -1,0 +1,6 @@
+"""``python -m repro.devtools`` — alias for ``python -m repro.devtools.lint``."""
+
+from .lint import main
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,460 @@
+"""The repo-specific lint rules (IPD001–IPD006).
+
+Each rule encodes one load-bearing invariant of the reproduction; the
+``invariant`` attribute is the sentence DESIGN.md §10 documents.  Rules
+are registered on import and instantiated per run by
+:func:`repro.devtools.framework.build_rules`.
+"""
+
+from __future__ import annotations
+
+import ast
+from pathlib import Path
+from typing import Iterator, Optional
+
+from .codecguard import (
+    DEFAULT_PIN_PATH,
+    extract_codec_version,
+    load_pins,
+    structural_fingerprint,
+)
+from .framework import (
+    ContextVisitor,
+    Finding,
+    Rule,
+    SourceFile,
+    VisitorRule,
+    register,
+)
+
+__all__ = [
+    "NoWallclockRule",
+    "SeededRngRule",
+    "ExceptionTaxonomyRule",
+    "CodecGuardRule",
+    "HotPathHygieneRule",
+    "FaultSeamRule",
+]
+
+
+# ---------------------------------------------------------------------------
+# IPD001 — no wall-clock in engine code
+# ---------------------------------------------------------------------------
+
+#: wall-clock reads that make replay output depend on the host clock;
+#: ``time.perf_counter`` is *not* listed — duration metrics (sweep
+#: timing) are allowed because no classification decision reads them
+_WALLCLOCK_TIME_ATTRS = {"time", "monotonic", "monotonic_ns", "time_ns"}
+
+
+class _WallclockVisitor(ContextVisitor):
+    def visit_Attribute(self, node: ast.Attribute) -> None:
+        value = node.value
+        if isinstance(value, ast.Name) and value.id == "time":
+            if node.attr in _WALLCLOCK_TIME_ATTRS:
+                self.report(
+                    node,
+                    f"wall-clock read time.{node.attr}: engine code must use "
+                    "trace timestamps or an injected clock",
+                )
+        if node.attr == "utcnow":
+            self.report(
+                node,
+                "datetime.utcnow() reads the wall clock; engine code must "
+                "use trace timestamps or an injected clock",
+            )
+        self.generic_visit(node)
+
+    def visit_Call(self, node: ast.Call) -> None:
+        func = node.func
+        if (
+            isinstance(func, ast.Attribute)
+            and func.attr == "now"
+            and not node.args
+            and not node.keywords
+            and self._mentions_datetime(func.value)
+        ):
+            self.report(
+                node,
+                "argless datetime.now() reads the local wall clock; pass an "
+                "explicit timezone-aware source or inject a clock",
+            )
+        self.generic_visit(node)
+
+    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+        if node.module == "time":
+            for alias in node.names:
+                if alias.name in _WALLCLOCK_TIME_ATTRS:
+                    self.report(
+                        node,
+                        f"importing {alias.name} from time pulls a wall-clock "
+                        "read into engine code",
+                    )
+        self.generic_visit(node)
+
+    @staticmethod
+    def _mentions_datetime(value: ast.expr) -> bool:
+        if isinstance(value, ast.Name):
+            return value.id in ("datetime", "dt")
+        if isinstance(value, ast.Attribute):
+            return value.attr == "datetime"
+        return False
+
+
+@register
+class NoWallclockRule(VisitorRule):
+    code = "IPD001"
+    name = "no-wallclock"
+    invariant = (
+        "Engine code never reads the wall clock: time.time / time.monotonic "
+        "/ argless datetime.now() are banned outside perf_counter timing "
+        "sites and LivePipeline's injectable clock default."
+    )
+    visitor_class = _WallclockVisitor
+
+
+# ---------------------------------------------------------------------------
+# IPD002 — all randomness is explicitly seeded
+# ---------------------------------------------------------------------------
+
+
+class _SeededRngVisitor(ContextVisitor):
+    def visit_Attribute(self, node: ast.Attribute) -> None:
+        value = node.value
+        if isinstance(value, ast.Name):
+            if value.id == "random" and node.attr != "Random":
+                self.report(
+                    node,
+                    f"module-level random.{node.attr} uses the shared "
+                    "unseeded RNG; build a random.Random(seed) instead",
+                )
+            elif value.id in ("np", "numpy") and node.attr == "random":
+                self.report(
+                    node,
+                    "numpy.random global state is unseeded across runs; use "
+                    "numpy.random.Generator seeded explicitly (or stdlib "
+                    "random.Random(seed))",
+                )
+        self.generic_visit(node)
+
+    def visit_Call(self, node: ast.Call) -> None:
+        func = node.func
+        is_random_ctor = (isinstance(func, ast.Name) and func.id == "Random") or (
+            isinstance(func, ast.Attribute)
+            and func.attr == "Random"
+            and isinstance(func.value, ast.Name)
+            and func.value.id == "random"
+        )
+        if is_random_ctor and not node.args and not node.keywords:
+            self.report(
+                node,
+                "random.Random() without a seed is nondeterministic; pass an "
+                "explicit seed",
+            )
+        self.generic_visit(node)
+
+    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+        if node.module == "random":
+            for alias in node.names:
+                if alias.name != "Random":
+                    self.report(
+                        node,
+                        f"importing {alias.name} from random binds the shared "
+                        "unseeded RNG; import Random and seed it",
+                    )
+        elif node.module in ("numpy", "numpy.random") and any(
+            alias.name == "random" or node.module == "numpy.random"
+            for alias in node.names
+        ):
+            self.report(
+                node,
+                "numpy.random global state is unseeded across runs; use a "
+                "seeded numpy.random.Generator",
+            )
+        self.generic_visit(node)
+
+
+@register
+class SeededRngRule(VisitorRule):
+    code = "IPD002"
+    name = "seeded-rng"
+    invariant = (
+        "All randomness flows through explicitly seeded generators: no "
+        "module-level random.*, no unseeded random.Random(), no "
+        "numpy.random global state in src/repro."
+    )
+    visitor_class = _SeededRngVisitor
+
+
+# ---------------------------------------------------------------------------
+# IPD003 — typed exception taxonomy on runtime failure paths
+# ---------------------------------------------------------------------------
+
+#: raising these directly loses the typed taxonomy the recovery paths
+#: dispatch on (WorkerCrashError / StateCodecError / CheckpointCorruptError …)
+_GENERIC_RAISES = {"Exception", "BaseException", "RuntimeError"}
+
+_BROAD_EXCEPTS = {"Exception", "BaseException"}
+
+
+class _ExceptionTaxonomyVisitor(ContextVisitor):
+    def visit_ExceptHandler(self, node: ast.ExceptHandler) -> None:
+        if node.type is None:
+            self.report(
+                node,
+                "bare except: swallows everything including KeyboardInterrupt;"
+                " catch the typed exceptions the failure path documents",
+            )
+        elif self._is_broad(node.type) and not self._reraises(node):
+            self.report(
+                node,
+                "except Exception that does not re-raise silently swallows "
+                "failures; narrow to the typed hierarchy or re-raise",
+            )
+        self.generic_visit(node)
+
+    def visit_Raise(self, node: ast.Raise) -> None:
+        exc = node.exc
+        target = exc.func if isinstance(exc, ast.Call) else exc
+        if isinstance(target, ast.Name) and target.id in _GENERIC_RAISES:
+            self.report(
+                node,
+                f"raise {target.id} is untyped; raise a member of the typed "
+                "hierarchy (StateCodecError / CheckpointCorruptError / "
+                "WorkerCrashError / PipelineStateError …)",
+            )
+        self.generic_visit(node)
+
+    @staticmethod
+    def _is_broad(annotation: ast.expr) -> bool:
+        names: list[ast.expr] = (
+            list(annotation.elts)
+            if isinstance(annotation, ast.Tuple)
+            else [annotation]
+        )
+        return any(
+            isinstance(name, ast.Name) and name.id in _BROAD_EXCEPTS
+            for name in names
+        )
+
+    @staticmethod
+    def _reraises(handler: ast.ExceptHandler) -> bool:
+        return any(
+            isinstance(stmt, ast.Raise)
+            for stmt in ast.walk(ast.Module(body=handler.body, type_ignores=[]))
+        )
+
+
+@register
+class ExceptionTaxonomyRule(VisitorRule):
+    code = "IPD003"
+    name = "exception-taxonomy"
+    invariant = (
+        "Runtime and codec failure paths never swallow broad exceptions and "
+        "never raise untyped ones: recovery dispatches on the typed "
+        "hierarchy, so a swallowed or generic error breaks it silently."
+    )
+    visitor_class = _ExceptionTaxonomyVisitor
+
+    def applies_to(self, source: SourceFile) -> bool:
+        parts = Path(source.rel).parts
+        return (
+            "runtime" in parts
+            or Path(source.rel).name in ("statecodec.py", "checkpoint.py")
+        )
+
+
+# ---------------------------------------------------------------------------
+# IPD004 — codec layout changes require a version bump
+# ---------------------------------------------------------------------------
+
+
+@register
+class CodecGuardRule(Rule):
+    code = "IPD004"
+    name = "codec-guard"
+    invariant = (
+        "The structural fingerprint of statecodec.py's encoded dataclass "
+        "layouts and wire constants is pinned to CODEC_VERSION: changing "
+        "the layout without bumping the version fails."
+    )
+
+    #: overridable pin file (tests point this at fixture pins)
+    codec_pins: "Path | str" = DEFAULT_PIN_PATH
+
+    def applies_to(self, source: SourceFile) -> bool:
+        return Path(source.rel).name == "statecodec.py"
+
+    def check(self, source: SourceFile) -> Iterator[Finding]:
+        tree = source.tree
+        assert tree is not None  # framework skips unparsable files
+        version = extract_codec_version(tree)
+        if version is None:
+            yield source.finding(
+                self,
+                tree,
+                "statecodec.py defines no CODEC_VERSION integer literal; the "
+                "wire format must be explicitly versioned",
+            )
+            return
+        try:
+            pins = load_pins(self.codec_pins)
+        except FileNotFoundError:
+            yield source.finding(
+                self,
+                tree,
+                f"codec fingerprint pin file {self.codec_pins} is missing; "
+                "record it with --record-codec-pin",
+            )
+            return
+        fingerprint = structural_fingerprint(tree)
+        pinned = pins.get(version)
+        if pinned is None:
+            yield source.finding(
+                self,
+                tree,
+                f"CODEC_VERSION {version} has no recorded fingerprint; after "
+                "an intentional format change, record it with "
+                "--record-codec-pin",
+            )
+        elif pinned != fingerprint:
+            yield source.finding(
+                self,
+                tree,
+                f"encoded layout changed but CODEC_VERSION is still {version}"
+                f" (fingerprint {fingerprint[:12]}… != pinned {pinned[:12]}…);"
+                " bump CODEC_VERSION and re-record the pin",
+            )
+
+
+# ---------------------------------------------------------------------------
+# IPD005 — hot-path hygiene
+# ---------------------------------------------------------------------------
+
+
+class _HotPathVisitor(ContextVisitor):
+    def _in_hot_loop(self) -> bool:
+        return self.hot_depth > 0 and self.loop_depth > 0
+
+    def _report_comprehension(self, node: ast.AST, kind: str) -> None:
+        if self._in_hot_loop():
+            self.report(
+                node,
+                f"{kind} allocates a fresh object per iteration inside a "
+                "@hot_path loop; build once outside the loop or mutate in "
+                "place",
+            )
+
+    def visit_ListComp(self, node: ast.ListComp) -> None:
+        self._report_comprehension(node, "list comprehension")
+        self.generic_visit(node)
+
+    def visit_SetComp(self, node: ast.SetComp) -> None:
+        self._report_comprehension(node, "set comprehension")
+        self.generic_visit(node)
+
+    def visit_DictComp(self, node: ast.DictComp) -> None:
+        self._report_comprehension(node, "dict comprehension")
+        self.generic_visit(node)
+
+    def visit_GeneratorExp(self, node: ast.GeneratorExp) -> None:
+        self._report_comprehension(node, "generator expression")
+        self.generic_visit(node)
+
+    def visit_BinOp(self, node: ast.BinOp) -> None:
+        if self._in_hot_loop() and isinstance(node.op, ast.Add):
+            if any(
+                isinstance(side, ast.JoinedStr)
+                or (
+                    isinstance(side, ast.Constant)
+                    and isinstance(side.value, str)
+                )
+                for side in (node.left, node.right)
+            ):
+                self.report(
+                    node,
+                    "string concatenation with + allocates inside a "
+                    "@hot_path loop; precompute or use join outside the loop",
+                )
+        self.generic_visit(node)
+
+    def visit_Attribute(self, node: ast.Attribute) -> None:
+        # flag the `self.<x>.<y>` link of any self-rooted chain of depth
+        # >= 2 inside a hot loop: `self` is loop-invariant, so the inner
+        # lookup should be hoisted to a local before the loop
+        if (
+            self._in_hot_loop()
+            and isinstance(node.value, ast.Attribute)
+            and isinstance(node.value.value, ast.Name)
+            and node.value.value.id in ("self", "cls")
+        ):
+            base = node.value.value.id
+            chain = f"{base}.{node.value.attr}.{node.attr}"
+            self.report(
+                node,
+                f"attribute chain {chain} re-resolved every iteration of a "
+                f"@hot_path loop; hoist {base}.{node.value.attr} to a local "
+                "before the loop",
+            )
+        self.generic_visit(node)
+
+
+@register
+class HotPathHygieneRule(VisitorRule):
+    code = "IPD005"
+    name = "hot-path-hygiene"
+    invariant = (
+        "Functions marked @hot_path (Algorithm-1 ingest and sweep) keep "
+        "their loops allocation-clean: no comprehensions, no +-string "
+        "builds, no re-resolved self.x.y attribute chains inside loops."
+    )
+    visitor_class = _HotPathVisitor
+
+
+# ---------------------------------------------------------------------------
+# IPD006 — fault seams default to off
+# ---------------------------------------------------------------------------
+
+
+class _FaultSeamVisitor(ContextVisitor):
+    def enter_function(
+        self, node: "ast.FunctionDef | ast.AsyncFunctionDef", hot: bool
+    ) -> None:
+        args = node.args
+        positional = args.posonlyargs + args.args
+        # defaults align right: the last len(defaults) positionals have one
+        offset = len(positional) - len(args.defaults)
+        for index, arg in enumerate(positional):
+            if arg.arg != "fault_hook":
+                continue
+            default: Optional[ast.expr] = None
+            if index >= offset:
+                default = args.defaults[index - offset]
+            self._check_default(node, default)
+        for arg, kw_default in zip(args.kwonlyargs, args.kw_defaults):
+            if arg.arg == "fault_hook":
+                self._check_default(node, kw_default)
+
+    def _check_default(
+        self, node: ast.AST, default: Optional[ast.expr]
+    ) -> None:
+        if default is None or not (
+            isinstance(default, ast.Constant) and default.value is None
+        ):
+            self.report(
+                node,
+                "fault_hook parameters must default to None: the chaos seam "
+                "is strictly opt-in, production call sites pay one identity "
+                "check and nothing else",
+            )
+
+
+@register
+class FaultSeamRule(VisitorRule):
+    code = "IPD006"
+    name = "fault-seam"
+    invariant = (
+        "Every fault_hook parameter defaults to None, keeping fault "
+        "injection strictly opt-in on production paths."
+    )
+    visitor_class = _FaultSeamVisitor

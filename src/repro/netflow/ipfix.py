@@ -55,7 +55,7 @@ _V4_RECORD = struct.Struct("!IIIQQQ")
 _V6_RECORD = struct.Struct("!16s16sIQQQ")
 
 
-def _encode_template(template_id: int, fields) -> bytes:
+def _encode_template(template_id: int, fields: "tuple[tuple[int, int], ...]") -> bytes:
     body = _TEMPLATE_HEADER.pack(template_id, len(fields))
     for element_id, length in fields:
         body += _FIELD_SPEC.pack(element_id, length)
@@ -225,7 +225,9 @@ class IPFIXCollector:
             return self._decode_fixed(body, _V6_RECORD, IPV6)
         raise ValueError(f"unsupported template layout: {template_id}")
 
-    def _decode_fixed(self, body: bytes, record_struct, version) -> list[FlowRecord]:
+    def _decode_fixed(
+        self, body: bytes, record_struct: struct.Struct, version: int
+    ) -> list[FlowRecord]:
         flows = []
         count = len(body) // record_struct.size
         for index in range(count):

@@ -31,7 +31,8 @@ from .executors import (
     WorkerCrashError,
     make_executor,
 )
-from .live import LivePipeline
+from .faulthook import FaultHookLike
+from .live import LivePipeline, PipelineStateError
 from .pipeline import Pipeline
 from .result import RunResult
 from .sharding import ShardedIPD
@@ -41,6 +42,8 @@ from .sinks import CallbackSink, CSVSink, MemorySink, Sink
 __all__ = [
     "Pipeline",
     "LivePipeline",
+    "PipelineStateError",
+    "FaultHookLike",
     "ShardedIPD",
     "ShardEngine",
     "RunResult",

@@ -43,6 +43,7 @@ from typing import Optional, Union
 from ..core.algorithm import IPD
 from ..core.params import IPDParams
 from ..core.statecodec import IncompatibleStateError, StateCodecError
+from .faulthook import FaultHookLike
 from .sharding import ShardedIPD
 
 __all__ = [
@@ -195,13 +196,13 @@ class CheckpointStore:
         self,
         directory: Union[str, Path],
         retain: int = 3,
-        fault_hook=None,
+        fault_hook: Optional[FaultHookLike] = None,
     ) -> None:
         if retain < 1:
             raise ValueError("retain must be at least 1")
         self.directory = Path(directory)
         self.retain = retain
-        self.fault_hook = fault_hook
+        self.fault_hook: Optional[FaultHookLike] = fault_hook
         self.directory.mkdir(parents=True, exist_ok=True)
 
     def _path_for(self, when: float) -> Path:
@@ -280,7 +281,7 @@ class CheckpointStore:
         shards: int = 1,
         executor: str = "serial",
         workers: Optional[int] = None,
-    ):
+    ) -> "Union[IPD, ShardedIPD]":
         """Rebuild an engine from *checkpoint* (see :func:`restore_engine`).
 
         A truncated or corrupt engine blob raises
@@ -310,7 +311,7 @@ def restore_engine(
     shards: int = 1,
     executor: str = "serial",
     workers: Optional[int] = None,
-):
+) -> "Union[IPD, ShardedIPD]":
     """Rebuild an engine of the requested topology from an engine blob.
 
     The blob is topology-free (a merged single-engine image), so any

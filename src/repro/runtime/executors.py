@@ -38,11 +38,15 @@ from __future__ import annotations
 
 import queue
 import threading
-from typing import Iterable, Optional
+from typing import TYPE_CHECKING, Iterable, Optional, Union
+
+if TYPE_CHECKING:
+    from multiprocessing.connection import Connection
 
 from ..core.output import IPDRecord
 from ..core.params import IPDParams
 from ..netflow.records import FlowBatch
+from .faulthook import FaultHookLike
 from .shards import ShardEngine, ShardMetrics, ShardTickResult
 
 __all__ = [
@@ -88,7 +92,7 @@ class ShardWorker:
             )
         return engine
 
-    def handle(self, cmd: tuple):
+    def handle(self, cmd: tuple) -> object:
         """Process one command; returns the reply or ``None`` (no reply)."""
         kind = cmd[0]
         if kind == "feed":
@@ -130,7 +134,7 @@ class SerialExecutor:
     def __init__(self, params: IPDParams, depth: int, workers: int = 1) -> None:
         self._worker = ShardWorker(params, depth)
         self._tick_results: Optional[dict[int, ShardTickResult]] = None
-        self.fault_hook = None
+        self.fault_hook: Optional[FaultHookLike] = None
 
     def feed(self, index: int, batch: FlowBatch) -> None:
         if self.fault_hook is not None:
@@ -191,7 +195,7 @@ class ThreadedExecutor:
             self._replies.append(replies)
             self._threads.append(thread)
         self._closed = False
-        self.fault_hook = None
+        self.fault_hook: Optional[FaultHookLike] = None
 
     def _slot(self, index: int) -> int:
         return index % self.workers
@@ -274,7 +278,9 @@ def _thread_worker_loop(
             replies.put(reply)
 
 
-def _mp_worker_main(conn, params: IPDParams, depth: int) -> None:
+def _mp_worker_main(
+    conn: "Connection", params: IPDParams, depth: int
+) -> None:
     """Worker-process entry point (module-level: must be picklable)."""
     worker = ShardWorker(params, depth)
     while True:
@@ -318,7 +324,7 @@ class MultiprocessExecutor:
             self._conns.append(parent_conn)
             self._processes.append(process)
         self._closed = False
-        self.fault_hook = None
+        self.fault_hook: Optional[FaultHookLike] = None
 
     def _slot(self, index: int) -> int:
         return index % self.workers
@@ -331,7 +337,7 @@ class MultiprocessExecutor:
                 f"shard worker {slot} is gone ({exc!r})"
             ) from exc
 
-    def _recv(self, slot: int):
+    def _recv(self, slot: int) -> object:
         try:
             return self._conns[slot].recv()
         except (EOFError, ConnectionResetError, OSError) as exc:
@@ -408,8 +414,9 @@ class MultiprocessExecutor:
             conn.close()
 
 
-def make_executor(kind: str, params: IPDParams, depth: int,
-                  workers: Optional[int] = None):
+def make_executor(
+    kind: str, params: IPDParams, depth: int, workers: Optional[int] = None
+) -> "Union[SerialExecutor, ThreadedExecutor, MultiprocessExecutor]":
     """Build an executor by name (``serial`` / ``threaded`` / ``mp``)."""
     if kind == "serial":
         return SerialExecutor(params, depth)

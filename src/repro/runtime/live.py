@@ -40,7 +40,11 @@ from .checkpoint import Checkpoint, CheckpointStore, restore_engine
 from .executors import EXECUTOR_KINDS
 from .sharding import ShardedIPD
 
-__all__ = ["LivePipeline"]
+__all__ = ["LivePipeline", "PipelineStateError"]
+
+
+class PipelineStateError(RuntimeError):
+    """Lifecycle misuse of a live runtime (e.g. ``start()`` twice)."""
 
 
 class LivePipeline:
@@ -54,7 +58,7 @@ class LivePipeline:
         shards: int = 1,
         executor: str = "serial",
         workers: Optional[int] = None,
-        engine=None,
+        engine: "IPD | ShardedIPD | None" = None,
         checkpoint_store: "CheckpointStore | str | Path | None" = None,
         checkpoint_every: Optional[float] = None,
     ) -> None:
@@ -80,7 +84,9 @@ class LivePipeline:
             raise ValueError("checkpoint_every must be positive")
         #: wall-clock seconds between periodic saves; None saves only on stop
         self.checkpoint_every = checkpoint_every
-        self._clock = clock or time.monotonic
+        # the one legitimate wall-clock read: the injectable default of
+        # the live runtime's clock seam (tests substitute a fake clock)
+        self._clock = clock or time.monotonic  # ipd-lint: disable=IPD001
         self._next_checkpoint: float | None = None
         self._queue: "queue.Queue[FlowRecord | FlowBatch | None]" = queue.Queue(
             maxsize=100_000
@@ -99,7 +105,7 @@ class LivePipeline:
         shards: int = 1,
         executor: str = "serial",
         workers: Optional[int] = None,
-        **kwargs,
+        **kwargs: object,
     ) -> "LivePipeline":
         """Restore the latest checkpoint into a fresh live runtime.
 
@@ -124,7 +130,7 @@ class LivePipeline:
         return cls(engine=engine, checkpoint_store=checkpoint_store, **kwargs)
 
     @property
-    def ipd(self):
+    def ipd(self) -> "IPD | ShardedIPD":
         """The underlying engine (compatibility alias)."""
         return self.engine
 
@@ -132,7 +138,7 @@ class LivePipeline:
 
     def start(self) -> None:
         if self._ingest_thread is not None:
-            raise RuntimeError("already started")
+            raise PipelineStateError("already started")
         self._ingest_thread = threading.Thread(
             target=self._ingest_loop, name="ipd-stage1", daemon=True
         )

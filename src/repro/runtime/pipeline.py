@@ -29,6 +29,7 @@ checkpoint and replaying forward, instead of failing the run.
 
 from __future__ import annotations
 
+import warnings
 from bisect import bisect_left
 from dataclasses import dataclass
 from pathlib import Path
@@ -40,6 +41,7 @@ from ..core.params import IPDParams
 from ..netflow.records import FlowBatch, FlowRecord
 from .checkpoint import Checkpoint, CheckpointStore
 from .executors import EXECUTOR_KINDS, WorkerCrashError
+from .faulthook import FaultHookLike
 from .result import RunResult
 from .sharding import ShardedIPD
 from .sinks import Sink
@@ -76,7 +78,7 @@ class Pipeline:
         engine: Optional[Engine] = None,
         checkpoint_store: "CheckpointStore | str | Path | None" = None,
         checkpoint_every: Optional[float] = None,
-        fault_hook=None,
+        fault_hook: Optional[FaultHookLike] = None,
     ) -> None:
         if snapshot_seconds <= 0:
             raise ValueError("snapshot_seconds must be positive")
@@ -118,9 +120,13 @@ class Pipeline:
         #: writes (sink-error site), and propagated to the executor's
         #: own feed/tick sites — including across crash recoveries,
         #: which rebuild the engine.  ``None`` (the default) is a no-op.
-        self.fault_hook = fault_hook
+        self.fault_hook: Optional[FaultHookLike] = fault_hook
         self._attach_fault_hook()
         self._resume: Optional[_ResumeState] = None
+        #: teardown failures swallowed during crash recovery — the dead
+        #: engine's state is unrecoverable either way, but the failures
+        #: stay inspectable here (and each one raises a RuntimeWarning)
+        self.teardown_errors: list[Exception] = []
 
     def _attach_fault_hook(self) -> None:
         if self.fault_hook is None:
@@ -144,7 +150,7 @@ class Pipeline:
         shards: int = 1,
         executor: str = "serial",
         workers: Optional[int] = None,
-        **kwargs,
+        **kwargs: object,
     ) -> "Pipeline":
         """Continue from a checkpoint (the latest one, unless given).
 
@@ -186,7 +192,10 @@ class Pipeline:
 
     # ------------------------------------------------------------------ replay
 
-    def run(self, flows) -> RunResult:
+    def run(
+        self,
+        flows: "Iterable[FlowRecord | FlowBatch] | Callable[[], Iterable[FlowRecord | FlowBatch]]",
+    ) -> RunResult:
         """Replay *flows* (non-decreasing timestamps) to completion.
 
         *flows* may also be a zero-argument callable returning the
@@ -227,10 +236,20 @@ class Pipeline:
         """Rebuild the engine from the last checkpoint after a crash."""
         assert self._rebuild is not None
         params = self.engine.params
-        try:
-            self.engine.close()  # type: ignore[union-attr]
-        except Exception:
-            pass  # the dead executor may fail teardown; state is gone anyway
+        close = getattr(self.engine, "close", None)
+        if close is not None:
+            try:
+                close()
+            except (OSError, RuntimeError, ValueError) as exc:
+                # The dead executor may fail teardown; the engine state is
+                # gone either way, so recovery proceeds — but the failure
+                # stays visible instead of vanishing.
+                self.teardown_errors.append(exc)
+                warnings.warn(
+                    f"engine teardown failed during crash recovery: {exc!r}",
+                    RuntimeWarning,
+                    stacklevel=2,
+                )
         shards, executor, workers = self._rebuild
         # latest_valid: a corrupt newest checkpoint only costs extra
         # replay (recovery falls back to an older intact image, or to a
@@ -315,20 +334,24 @@ class Pipeline:
         def _boundary(when: float) -> Iterator[tuple[float, list[IPDRecord]]]:
             # advance sweep/snapshot/checkpoint grids up to `when`
             nonlocal next_sweep, next_snapshot, next_checkpoint
-            while when >= next_sweep:  # type: ignore[operator]
-                self._tick(next_sweep, result)
-                if next_snapshot is not None and next_sweep >= next_snapshot:
-                    yield self._emit(next_sweep, result)
+            # callers align the grids at the first flow before boundaries
+            assert next_sweep is not None
+            sweep_at = next_sweep
+            while when >= sweep_at:
+                self._tick(sweep_at, result)
+                if next_snapshot is not None and sweep_at >= next_snapshot:
+                    yield self._emit(sweep_at, result)
                     next_snapshot += self.snapshot_seconds
-                if next_checkpoint is not None and next_sweep >= next_checkpoint:
+                if next_checkpoint is not None and sweep_at >= next_checkpoint:
                     # post-sweep barrier: the image is consistent (all
                     # ingest before the tick applied, the sweep settled)
                     self._save_checkpoint(
-                        next_sweep, result, next_sweep + t, next_snapshot
+                        sweep_at, result, sweep_at + t, next_snapshot
                     )
-                    while next_checkpoint <= next_sweep:
+                    while next_checkpoint <= sweep_at:
                         next_checkpoint += every
-                next_sweep += t
+                sweep_at += t
+                next_sweep = sweep_at
 
         for item in flows:
             if isinstance(item, FlowBatch):
@@ -469,5 +492,5 @@ class Pipeline:
     def __enter__(self) -> "Pipeline":
         return self
 
-    def __exit__(self, *exc) -> None:
+    def __exit__(self, *exc: object) -> None:
         self.close()

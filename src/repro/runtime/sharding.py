@@ -42,7 +42,7 @@ from __future__ import annotations
 
 import operator
 import time
-from typing import Optional
+from typing import Iterable, Optional
 
 from ..core.algorithm import IPD, SweepReport, _is_empty_unclassified
 from ..core.iputil import IPV4, IPV6, Prefix
@@ -189,7 +189,7 @@ class ShardedIPD:
             self._executor.feed(index, _gather(batch, rows))
         return count
 
-    def ingest_many(self, flows) -> int:
+    def ingest_many(self, flows: "Iterable[FlowRecord] | FlowBatch") -> int:
         """Batched routing for an iterable of flows."""
         if isinstance(flows, FlowBatch):
             return self.ingest_batch(flows)
@@ -549,7 +549,7 @@ class ShardedIPD:
     def __enter__(self) -> "ShardedIPD":
         return self
 
-    def __exit__(self, *exc) -> None:
+    def __exit__(self, *exc: object) -> None:
         self.close()
 
 

@@ -18,7 +18,7 @@ picklable for that reason).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional
+from typing import TYPE_CHECKING, Optional
 
 from ..core.algorithm import IPD, SweepReport
 from ..core.iputil import IPV4, IPV6, Prefix
@@ -33,6 +33,10 @@ from ..core.statecodec import (
 )
 from ..netflow.records import FlowBatch
 from ..topology.elements import IngressPoint
+
+if TYPE_CHECKING:
+    from ..core.output import IPDRecord
+    from ..core.rangetree import RangeTree
 
 __all__ = ["ShardEngine", "ShardTickResult", "RootSummary", "ShardMetrics"]
 
@@ -203,7 +207,7 @@ class ShardEngine:
         )
 
     @staticmethod
-    def _summarize_root(tree) -> RootSummary:
+    def _summarize_root(tree: "RangeTree") -> RootSummary:
         root = tree.root
         state = root._state
         if isinstance(state, DelegatedState):
@@ -222,7 +226,9 @@ class ShardEngine:
         assert isinstance(state, UnclassifiedState)
         return RootSummary("empty" if state.is_empty() else "busy")
 
-    def snapshot(self, now: float, include_unclassified: bool = False):
+    def snapshot(
+        self, now: float, include_unclassified: bool = False
+    ) -> "list[IPDRecord]":
         return self.ipd.snapshot(now, include_unclassified=include_unclassified)
 
     def metrics(self) -> ShardMetrics:

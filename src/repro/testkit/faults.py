@@ -38,7 +38,10 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
-from typing import Optional
+from typing import TYPE_CHECKING, Optional
+
+if TYPE_CHECKING:
+    from ..netflow.records import FlowBatch
 
 __all__ = ["FAULT_SITES", "Fault", "FaultPlan", "InjectedSinkError"]
 
@@ -155,7 +158,7 @@ class FaultPlan:
             self.fired.append((site, occurrence))
         return fault
 
-    def before_tick(self, executor, now: float) -> None:
+    def before_tick(self, executor: object, now: float) -> None:
         """``worker_crash`` site: called by executors at ``tick_begin``
         (and by the pipeline itself for an executor-less plain engine).
 
@@ -184,7 +187,7 @@ class FaultPlan:
             f"injected worker crash at tick {now} ({self.describe()})"
         )
 
-    def on_feed(self, index: int, batch) -> Optional[str]:
+    def on_feed(self, index: int, batch: "FlowBatch") -> Optional[str]:
         """``feed_drop`` / ``feed_duplicate`` site: called by executors
         per fed batch; returns ``"drop"``, ``"duplicate"`` or ``None``.
 

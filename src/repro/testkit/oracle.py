@@ -27,7 +27,10 @@ and ``duration_seconds`` legitimately differ from a dirty-sweep engine.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterable, Optional
+from typing import TYPE_CHECKING, Iterable, Optional
+
+if TYPE_CHECKING:
+    from ..runtime.result import RunResult
 
 from ..core.algorithm import SweepReport
 from ..core.iputil import IPV4, IPV6, Prefix, mask_ip
@@ -101,7 +104,9 @@ def _leaves(root: _Node) -> Iterable[_Node]:
         if node.left is None:
             yield node
         else:
-            stack.append(node.right)  # type: ignore[arg-type]
+            right = node.right
+            assert right is not None  # internal nodes have both children
+            stack.append(right)
             stack.append(node.left)
 
 
@@ -157,7 +162,7 @@ class ReferenceIPD:
         if self.lb_detector is not None:
             self.lb_detector.observe(flow)
 
-    def ingest_many(self, flows) -> int:
+    def ingest_many(self, flows: "Iterable[FlowRecord] | FlowBatch") -> int:
         """Ingest an iterable (or :class:`FlowBatch`) one flow at a time."""
         if isinstance(flows, FlowBatch):
             flows = flows.iter_flows()
@@ -173,7 +178,8 @@ class ReferenceIPD:
         while node.left is not None:
             bit_index = bits - node.prefix.masklen - 1
             if (masked >> bit_index) & 1:
-                node = node.right  # type: ignore[assignment]
+                assert node.right is not None  # internal: both children
+                node = node.right
             else:
                 node = node.left
         return node
@@ -375,7 +381,9 @@ class ReferenceIPD:
                 continue
             if not expanded:
                 stack.append((node, True))
-                stack.append((node.right, False))  # type: ignore[arg-type]
+                right = node.right
+                assert right is not None  # internal nodes have both children
+                stack.append((right, False))
                 stack.append((node.left, False))
                 continue
             left, right = node.left, node.right
@@ -575,7 +583,10 @@ def compare_reports(
 
 
 def assert_engines_equivalent(
-    engine, oracle: ReferenceIPD, now: float, include_unclassified: bool = True
+    engine: object,
+    oracle: ReferenceIPD,
+    now: float,
+    include_unclassified: bool = True,
 ) -> None:
     """Full-state equivalence: snapshots, sizes, counters, §5.8 failures.
 
@@ -605,7 +616,7 @@ def replay_reference(
     params: IPDParams,
     snapshot_seconds: float = 300.0,
     include_unclassified: bool = True,
-):
+) -> "RunResult":
     """Replay a per-flow stream through the oracle with the pipeline's
     event grid: sweeps at ``t`` boundaries of the trace clock, snapshots
     every *snapshot_seconds*, and a closing tick for the final bucket.

@@ -86,7 +86,7 @@ def flow_events_list(
 
 @st.composite
 def traces(
-    draw,
+    draw: st.DrawFn,
     min_buckets: int = 1,
     max_buckets: int = 8,
     max_flows_per_bucket: int = 40,

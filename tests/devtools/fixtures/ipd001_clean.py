@@ -1,0 +1,18 @@
+"""Fixture: nothing here may trip IPD001 (no-wallclock)."""
+import datetime
+import time
+
+
+def elapsed() -> float:
+    # perf_counter is allowed: duration metrics never feed classification
+    start = time.perf_counter()
+    return time.perf_counter() - start
+
+
+def explicit_zone():
+    # tz-aware now() is explicit about its source, not a silent local read
+    return datetime.datetime.now(datetime.timezone.utc)
+
+
+def injected(clock):
+    return clock()

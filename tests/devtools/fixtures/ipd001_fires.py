@@ -1,0 +1,23 @@
+"""Fixture: every function below must trip IPD001 (no-wallclock).
+
+This file is parsed by the lint tests, never imported.
+"""
+import datetime
+import time
+from time import monotonic  # fires: pulls a wall-clock read into scope
+
+
+def stamp() -> float:
+    return time.time()  # fires
+
+
+def mono() -> float:
+    return time.monotonic()  # fires
+
+
+def when():
+    return datetime.datetime.now()  # fires: argless local-time read
+
+
+def utc():
+    return datetime.datetime.utcnow()  # fires

@@ -1,0 +1,12 @@
+"""Fixture: nothing here may trip IPD002 (seeded-rng)."""
+from random import Random
+
+_RNG = Random(1234)
+
+
+def pick(items):
+    return items[_RNG.randrange(len(items))]
+
+
+def fresh(seed: int) -> Random:
+    return Random(seed)

@@ -1,0 +1,20 @@
+"""Fixture: every function below must trip IPD002 (seeded-rng).
+
+Parsed only, never imported (numpy need not be installed).
+"""
+import random
+
+import numpy as np
+from random import shuffle  # fires: binds the shared unseeded RNG
+
+
+def pick(items):
+    return random.choice(items)  # fires: module-level RNG
+
+
+def unseeded():
+    return random.Random()  # fires: no seed
+
+
+def noisy():
+    return np.random.rand(4)  # fires: numpy global RNG state

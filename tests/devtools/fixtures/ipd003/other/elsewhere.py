@@ -1,0 +1,5 @@
+"""Fixture: outside IPD003's path scope — its generic raise is ignored."""
+
+
+def untyped_but_out_of_scope():
+    raise RuntimeError("IPD003 only polices runtime/ and the codec files")

@@ -1,0 +1,29 @@
+"""Fixture: nothing here may trip IPD003 (exception-taxonomy)."""
+
+
+class ShardFailure(RuntimeError):
+    """A typed member of the failure hierarchy."""
+
+
+def narrow():
+    try:
+        risky()
+    except (OSError, ValueError) as exc:
+        raise ShardFailure(str(exc)) from exc
+
+
+def broad_but_visible():
+    # broad catch is fine when the failure is re-raised, not swallowed
+    try:
+        risky()
+    except Exception:
+        cleanup()
+        raise
+
+
+def risky():
+    raise ShardFailure("fixture helper")
+
+
+def cleanup():
+    pass

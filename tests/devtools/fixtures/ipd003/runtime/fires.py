@@ -1,0 +1,23 @@
+"""Fixture: every handler/raise below must trip IPD003 (in-scope path)."""
+
+
+def swallow_broad():
+    try:
+        risky()
+    except Exception:  # fires: swallows without re-raise
+        pass
+
+
+def swallow_everything():
+    try:
+        risky()
+    except:  # noqa: E722  fires: bare except
+        pass
+
+
+def untyped_failure():
+    raise RuntimeError("boom")  # fires: untyped raise
+
+
+def risky():
+    raise ValueError("fixture helper")

@@ -1,0 +1,10 @@
+"""Fixture statecodec without a CODEC_VERSION: IPD004 must fire."""
+from dataclasses import dataclass
+
+_MAGIC = b"IPDX"
+
+
+@dataclass
+class NodeImage:
+    prefix: int
+    masklen: int

@@ -1,0 +1,20 @@
+"""Fixture statecodec: a minimal versioned wire layout for IPD004 tests."""
+from dataclasses import dataclass
+
+CODEC_VERSION = 1
+
+_MAGIC = b"IPDX"
+_KIND_LEAF = 1
+_FLAG_CLASSIFIED = 2
+
+
+@dataclass
+class NodeImage:
+    prefix: int
+    masklen: int
+
+
+@dataclass
+class TreeImage:
+    version: int
+    nodes: "list[NodeImage]"

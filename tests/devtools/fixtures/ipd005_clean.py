@@ -1,0 +1,23 @@
+"""Fixture: nothing here may trip IPD005 (hot-path-hygiene)."""
+from repro.devtools.markers import hot_path
+
+
+class Engine:
+    @hot_path
+    def ingest(self, flows):
+        # loop-invariant lookups hoisted before the loop: clean
+        counts = self.tree.counts
+        for flow in flows:
+            counts[flow.name] = flow.value
+
+    @hot_path
+    def setup(self, versions):
+        # allocation *outside* any loop of a hot function is fine
+        return {version: [] for version in versions}
+
+    def cold(self, flows):
+        # not marked @hot_path: loops may allocate freely
+        out = []
+        for flow in flows:
+            out.append(["x" + flow.name for _ in range(2)])
+        return out

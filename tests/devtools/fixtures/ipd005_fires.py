@@ -1,0 +1,11 @@
+"""Fixture: the hot loop below must trip IPD005 three ways."""
+from repro.devtools.markers import hot_path
+
+
+class Engine:
+    @hot_path
+    def ingest(self, flows):
+        for flow in flows:
+            key = "prefix-" + flow.name  # fires: +-string build in loop
+            parts = [f.value for f in flow.fields]  # fires: comprehension
+            self.tree.counts[key] = parts  # fires: self.x.y chain in loop

@@ -1,0 +1,16 @@
+"""Fixture: nothing here may trip IPD006 (fault-seam)."""
+
+
+class Store:
+    def __init__(self, path, fault_hook=None):
+        self.path = path
+        self.fault_hook = fault_hook
+
+
+def run(flows, *, fault_hook=None):
+    return flows
+
+
+def unrelated(hook):
+    # only parameters literally named fault_hook are policed
+    return hook

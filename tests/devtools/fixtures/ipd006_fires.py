@@ -1,0 +1,15 @@
+"""Fixture: every signature below must trip IPD006 (fault-seam)."""
+
+
+class Store:
+    def __init__(self, path, fault_hook):  # fires: no default
+        self.path = path
+        self.fault_hook = fault_hook
+
+
+def run(flows, fault_hook=object()):  # fires: default is not None
+    return flows
+
+
+def tick(*, fault_hook):  # fires: keyword-only without default
+    return fault_hook

@@ -1,0 +1,14 @@
+"""Fixture: one violation per line, each silenced a different way."""
+import time
+
+
+def stamp() -> float:
+    return time.time()  # ipd-lint: disable=IPD001
+
+
+def stamp_all() -> float:
+    return time.time()  # ipd-lint: disable=all
+
+
+def still_fires() -> float:
+    return time.time()  # ipd-lint: disable=IPD002  (wrong code: no effect)

@@ -1,0 +1,101 @@
+"""Framework behaviour: suppression, selection, registry, reports."""
+
+from pathlib import Path
+
+import pytest
+
+from repro.devtools.framework import (
+    Finding,
+    build_rules,
+    lint_paths,
+    registered_rules,
+)
+from repro.devtools.lint import run_lint
+from repro.devtools.markers import hot_path
+
+FIXTURES = Path(__file__).parent / "fixtures"
+
+ALL_CODES = ["IPD001", "IPD002", "IPD003", "IPD004", "IPD005", "IPD006"]
+
+
+def test_registry_holds_all_six_rules():
+    build_rules()  # importing the rules module populates the registry
+    assert sorted(registered_rules()) == ALL_CODES
+
+
+def test_build_rules_rejects_unknown_codes():
+    with pytest.raises(ValueError, match="unknown rule code"):
+        build_rules(["IPD999"])
+
+
+def test_build_rules_applies_config_to_declaring_rules(tmp_path):
+    pins = tmp_path / "pins.json"
+    rules = build_rules(["IPD004", "IPD001"], codec_pins=pins)
+    by_code = {rule.code: rule for rule in rules}
+    assert by_code["IPD004"].codec_pins == pins
+    assert not hasattr(by_code["IPD001"], "codec_pins")
+
+
+def test_select_is_case_insensitive():
+    rules = build_rules(["ipd001"])
+    assert [rule.code for rule in rules] == ["IPD001"]
+
+
+def test_line_scoped_suppression():
+    report = run_lint([str(FIXTURES / "suppressed.py")], select=["IPD001"])
+    # disable=IPD001 and disable=all each silence one; the wrong-code
+    # comment on the last line does not
+    assert len(report.findings) == 1
+    assert report.suppressed == 2
+    assert "still_fires" in _line_of(report.findings[0])
+
+
+def _line_of(finding: Finding) -> str:
+    path = Path(finding.path)
+    if not path.is_absolute():
+        path = Path.cwd() / path
+    return path.read_text(encoding="utf-8").splitlines()[finding.line - 2]
+
+
+def test_syntax_error_becomes_ipd000_finding(tmp_path):
+    bad = tmp_path / "broken.py"
+    bad.write_text("def oops(:\n", encoding="utf-8")
+    report = lint_paths([bad])
+    assert len(report.findings) == 1
+    assert report.findings[0].rule == "IPD000"
+    assert "does not parse" in report.findings[0].message
+
+
+def test_report_to_dict_shape():
+    report = run_lint([str(FIXTURES / "ipd001_fires.py")], select=["IPD001"])
+    payload = report.to_dict()
+    assert payload["clean"] is False
+    assert payload["files_scanned"] == 1
+    assert payload["counts"] == {"IPD001": len(report.findings)}
+    first = payload["findings"][0]
+    assert set(first) == {"rule", "path", "line", "col", "message"}
+
+
+def test_finding_format_is_path_line_col_code():
+    finding = Finding(rule="IPD001", path="a.py", line=3, col=7, message="x")
+    assert finding.format() == "a.py:3:7: IPD001 x"
+
+
+def test_findings_sorted_by_location():
+    report = run_lint([str(FIXTURES)], select=["IPD001", "IPD002"])
+    keys = [finding.sort_key() for finding in report.findings]
+    assert keys == sorted(keys)
+
+
+def test_hot_path_marker_is_identity():
+    def probe(x: int) -> int:
+        return x + 1
+
+    marked = hot_path(probe)
+    assert marked is probe  # no wrapper, no overhead
+    assert marked(1) == 2
+
+
+def test_missing_path_raises():
+    with pytest.raises(FileNotFoundError):
+        lint_paths([FIXTURES / "does_not_exist"])

@@ -37,7 +37,7 @@ class TestSubpackageSurfaces:
         "repro.workloads", "repro.analysis", "repro.baselines",
         "repro.paramstudy", "repro.reporting", "repro.cli",
         "repro.archive", "repro.steering", "repro.runtime",
-        "repro.testkit",
+        "repro.testkit", "repro.devtools",
     ])
     def test_imports_cleanly(self, module):
         imported = importlib.import_module(module)
@@ -47,7 +47,7 @@ class TestSubpackageSurfaces:
         "repro.core", "repro.netflow", "repro.topology", "repro.bgp",
         "repro.workloads", "repro.analysis", "repro.baselines",
         "repro.paramstudy", "repro.reporting", "repro.runtime",
-        "repro.testkit",
+        "repro.testkit", "repro.devtools",
     ])
     def test_all_lists_resolve(self, module):
         imported = importlib.import_module(module)
@@ -130,6 +130,36 @@ class TestTestkitSurface:
 
         with tempfile.TemporaryDirectory() as directory:
             assert CheckpointStore(directory).fault_hook is None
+
+
+class TestDevtoolsSurface:
+    """The static-analysis package shipped with the repo."""
+
+    @pytest.mark.parametrize("name", [
+        "Finding", "LintReport", "Rule", "ContextVisitor", "SourceFile",
+        "build_rules", "lint_paths", "register", "registered_rules",
+        "hot_path",
+    ])
+    def test_devtools_exports(self, name):
+        import repro.devtools
+
+        assert name in repro.devtools.__all__
+        assert hasattr(repro.devtools, name)
+
+    @pytest.mark.parametrize("name", [
+        "PipelineStateError", "FaultHookLike",
+    ])
+    def test_runtime_taxonomy_exports(self, name):
+        import repro.runtime
+
+        assert name in repro.runtime.__all__
+        assert hasattr(repro.runtime, name)
+
+    def test_fault_plan_satisfies_the_seam_protocol(self):
+        from repro.runtime import FaultHookLike
+        from repro.testkit import FaultPlan
+
+        assert isinstance(FaultPlan(), FaultHookLike)
 
 
 class TestMinimalUserJourney:
