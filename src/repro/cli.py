@@ -32,7 +32,12 @@ from .netflow.records import (
     read_flows_csv_batched,
     write_flows_csv,
 )
-from .runtime import EXECUTOR_KINDS, CheckpointStore, Pipeline
+from .runtime import (
+    EXECUTOR_KINDS,
+    TRANSPORT_KINDS,
+    CheckpointStore,
+    Pipeline,
+)
 
 __all__ = ["main"]
 
@@ -112,6 +117,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
                     shards=args.shards,
                     executor=args.executor,
                     workers=args.workers,
+                    transport=args.transport,
                     snapshot_seconds=args.snapshot_seconds,
                     checkpoint_every=args.checkpoint_every,
                 )
@@ -143,6 +149,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
             shards=args.shards,
             executor=args.executor,
             workers=args.workers,
+            transport=args.transport,
             snapshot_seconds=args.snapshot_seconds,
             checkpoint_store=store,
             checkpoint_every=args.checkpoint_every,
@@ -154,6 +161,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
         count = write_records_csv(records, stream)
     engine = (
         f"{args.shards} shard(s), {args.executor} executor"
+        + (f", {args.transport} transport" if args.executor == "mp" else "")
         if args.shards > 1 or args.executor != "serial"
         else "single engine"
     )
@@ -297,6 +305,9 @@ def build_parser() -> argparse.ArgumentParser:
                           "identical to --shards 1, only throughput changes")
     run.add_argument("--workers", type=int, default=None,
                      help="worker threads/processes for threaded/mp executors")
+    run.add_argument("--transport", choices=TRANSPORT_KINDS, default="pickle",
+                     help="mp executor data plane: pickle-over-pipe or "
+                          "zero-copy shared-memory rings")
     run.add_argument("--checkpoint-dir", default=None,
                      help="directory for periodic engine checkpoints "
                           "(enables crash recovery and --resume)")

@@ -68,8 +68,10 @@ __all__ = [
     "plant_image",
     "restore_tree",
     "encode_engine",
+    "encode_engine_into",
     "decode_engine",
     "encode_subtree",
+    "encode_subtree_into",
     "decode_subtree",
 ]
 
@@ -353,32 +355,42 @@ def restore_tree(tree: RangeTree, image: TreeImage) -> None:
 
 
 class _Writer:
-    """Byte-stream writer with per-blob ingress interning."""
+    """Byte-stream writer with per-blob ingress interning.
+
+    All output funnels through the :meth:`raw` / :meth:`byte` sinks so
+    :class:`_ViewWriter` can redirect the same encode bodies into a
+    caller-provided memoryview without re-implementing the format.
+    """
 
     def __init__(self) -> None:
         self.buffer = bytearray()
         self._ingress_table: dict[IngressPoint, int] = {}
 
+    def raw(self, data: "bytes | bytearray") -> None:
+        self.buffer += data
+
+    def byte(self, value: int) -> None:
+        self.buffer.append(value)
+
     def uvarint(self, value: int) -> None:
         if value < 0:
             raise StateCodecError(f"cannot encode negative varint: {value}")
-        buffer = self.buffer
         while True:
             byte = value & 0x7F
             value >>= 7
             if value:
-                buffer.append(byte | 0x80)
+                self.byte(byte | 0x80)
             else:
-                buffer.append(byte)
+                self.byte(byte)
                 return
 
     def float(self, value: float) -> None:
-        self.buffer += _pack_float(value)
+        self.raw(_pack_float(value))
 
     def string(self, text: str) -> None:
         raw = text.encode("utf-8")
         self.uvarint(len(raw))
-        self.buffer += raw
+        self.raw(raw)
 
     def ingress(self, ingress: IngressPoint) -> None:
         index = self._ingress_table.get(ingress)
@@ -391,15 +403,49 @@ class _Writer:
         self._ingress_table[ingress] = len(self._ingress_table)
 
     def prefix(self, prefix: Prefix) -> None:
-        self.buffer.append(prefix.version)
+        self.byte(prefix.version)
         self.uvarint(prefix.masklen)
         self.uvarint(prefix.value)
+
+
+class _ViewWriter(_Writer):
+    """A :class:`_Writer` that encodes into a caller-provided memoryview.
+
+    Zero-copy sibling of the bytearray writer: checkpoint images and
+    shard-handoff blobs can be serialized straight into a shared-memory
+    ring reservation (or any preallocated buffer).  Overflowing the view
+    raises :class:`StateCodecError` before any out-of-bounds write.
+    """
+
+    def __init__(self, view: memoryview) -> None:
+        super().__init__()
+        self.view = view
+        self.offset = 0
+
+    def _overflow(self, needed: int) -> StateCodecError:
+        return StateCodecError(
+            f"encode buffer too small: need {self.offset + needed} bytes, "
+            f"have {len(self.view)}"
+        )
+
+    def raw(self, data: "bytes | bytearray") -> None:
+        end = self.offset + len(data)
+        if end > len(self.view):
+            raise self._overflow(len(data))
+        self.view[self.offset:end] = data
+        self.offset = end
+
+    def byte(self, value: int) -> None:
+        if self.offset >= len(self.view):
+            raise self._overflow(1)
+        self.view[self.offset] = value
+        self.offset += 1
 
 
 class _Reader:
     """Mirror of :class:`_Writer`; raises on truncated or damaged input."""
 
-    def __init__(self, data: bytes) -> None:
+    def __init__(self, data: "bytes | bytearray | memoryview") -> None:
         self.data = data
         self.offset = 0
         self._ingress_table: list[IngressPoint] = []
@@ -435,7 +481,8 @@ class _Reader:
         end = self.offset + length
         if end > len(self.data):
             raise StateCodecError("truncated blob")
-        text = self.data[self.offset:end].decode("utf-8")
+        # bytes() also covers memoryview input (slices of a shm ring)
+        text = bytes(self.data[self.offset:end]).decode("utf-8")
         self.offset = end
         return text
 
@@ -461,9 +508,9 @@ class _Reader:
 
 
 def _write_header(writer: _Writer, kind: int) -> None:
-    writer.buffer += _MAGIC
-    writer.buffer.append(kind)
-    writer.buffer += struct.pack(">H", CODEC_VERSION)
+    writer.raw(_MAGIC)
+    writer.byte(kind)
+    writer.raw(struct.pack(">H", CODEC_VERSION))
 
 
 def _read_header(reader: _Reader, expected_kind: int) -> None:
@@ -504,7 +551,7 @@ def _write_node(writer: _Writer, image: NodeImage) -> None:
     tag = _KIND_TO_TAG.get(image.kind)
     if tag is None:
         raise StateCodecError(f"unknown node kind {image.kind!r}")
-    writer.buffer.append(tag | (_TAG_DIRTY if image.dirty else 0))
+    writer.byte(tag | (_TAG_DIRTY if image.dirty else 0))
     if image.kind == "internal":
         _write_node(writer, image.left)
         _write_node(writer, image.right)
@@ -600,7 +647,7 @@ def _write_params(writer: _Writer, params: IPDParams) -> None:
         flags |= _FLAG_ENABLE_BUNDLES
     if params.decay is default_decay:
         flags |= _FLAG_DEFAULT_DECAY
-    writer.buffer.append(flags)
+    writer.byte(flags)
 
 
 def _read_params(reader: _Reader, override: Optional[IPDParams]) -> IPDParams:
@@ -641,17 +688,15 @@ def _read_params(reader: _Reader, override: Optional[IPDParams]) -> IPDParams:
 # ---------------------------------------------------------------------------
 
 
-def encode_engine(image: EngineImage) -> bytes:
-    """Serialize a whole-engine image to one versioned blob."""
-    writer = _Writer()
+def _encode_engine_with(writer: _Writer, image: EngineImage) -> None:
     _write_header(writer, _KIND_ENGINE)
     _write_params(writer, image.params)
     writer.uvarint(image.flows_ingested)
     writer.uvarint(image.bytes_ingested)
     if image.last_sweep_at is None:
-        writer.buffer.append(0)
+        writer.byte(0)
     else:
-        writer.buffer.append(1)
+        writer.byte(1)
         writer.float(image.last_sweep_at)
     writer.uvarint(len(image.cidrmax_failures))
     for prefix, failures in image.cidrmax_failures.items():
@@ -660,19 +705,43 @@ def encode_engine(image: EngineImage) -> bytes:
     writer.uvarint(len(image.trees))
     for version in sorted(image.trees):
         tree = image.trees[version]
-        writer.buffer.append(version)
+        writer.byte(version)
         writer.prefix(tree.root_prefix)
         writer.uvarint(tree.split_count)
         writer.uvarint(tree.join_count)
         _write_node(writer, tree.root)
+
+
+def encode_engine(image: EngineImage) -> bytes:
+    """Serialize a whole-engine image to one versioned blob."""
+    writer = _Writer()
+    _encode_engine_with(writer, image)
     return bytes(writer.buffer)
 
 
-def decode_engine(data: bytes, params: Optional[IPDParams] = None) -> EngineImage:
+def encode_engine_into(image: EngineImage, buf: memoryview) -> int:
+    """Serialize a whole-engine image into *buf*; returns bytes written.
+
+    The zero-copy sibling of :func:`encode_engine` — the blob lands
+    directly in a caller-provided buffer (e.g. a shared-memory ring
+    reservation).  Raises :class:`StateCodecError` if *buf* is too
+    small; nothing past the returned length is touched.
+    """
+    writer = _ViewWriter(buf)
+    _encode_engine_with(writer, image)
+    return writer.offset
+
+
+def decode_engine(
+    data: "bytes | bytearray | memoryview",
+    params: Optional[IPDParams] = None,
+) -> EngineImage:
     """Parse an engine blob back into an :class:`EngineImage`.
 
-    *params* overrides the encoded parameters — required when the blob
-    was written with a custom (non-serializable) decay function.
+    *data* may be any byte buffer, including a memoryview slice of
+    shared memory (nothing in the returned image aliases it).  *params*
+    overrides the encoded parameters — required when the blob was
+    written with a custom (non-serializable) decay function.
     """
     reader = _Reader(data)
     with _damage_reported(reader):
@@ -713,6 +782,22 @@ def decode_engine(data: bytes, params: Optional[IPDParams] = None) -> EngineImag
 # ---------------------------------------------------------------------------
 
 
+def _encode_subtree_with(
+    writer: _Writer,
+    prefix: Prefix,
+    version: int,
+    root: NodeImage,
+    split_count: int,
+    join_count: int,
+) -> None:
+    _write_header(writer, _KIND_SUBTREE)
+    writer.byte(version)
+    writer.prefix(prefix)
+    writer.uvarint(split_count)
+    writer.uvarint(join_count)
+    _write_node(writer, root)
+
+
 def encode_subtree(
     prefix: Prefix,
     version: int,
@@ -722,16 +807,25 @@ def encode_subtree(
 ) -> bytes:
     """Serialize one detached subtree (a seed payload or shard export)."""
     writer = _Writer()
-    _write_header(writer, _KIND_SUBTREE)
-    writer.buffer.append(version)
-    writer.prefix(prefix)
-    writer.uvarint(split_count)
-    writer.uvarint(join_count)
-    _write_node(writer, root)
+    _encode_subtree_with(writer, prefix, version, root, split_count, join_count)
     return bytes(writer.buffer)
 
 
-def decode_subtree(data: bytes) -> SubtreeImage:
+def encode_subtree_into(
+    prefix: Prefix,
+    version: int,
+    root: NodeImage,
+    buf: memoryview,
+    split_count: int = 0,
+    join_count: int = 0,
+) -> int:
+    """Serialize one subtree into *buf*; returns the bytes written."""
+    writer = _ViewWriter(buf)
+    _encode_subtree_with(writer, prefix, version, root, split_count, join_count)
+    return writer.offset
+
+
+def decode_subtree(data: "bytes | bytearray | memoryview") -> SubtreeImage:
     """Parse a subtree blob back into a :class:`SubtreeImage`."""
     reader = _Reader(data)
     with _damage_reported(reader):

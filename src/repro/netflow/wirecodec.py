@@ -1,0 +1,322 @@
+"""Binary wire codec for :class:`~repro.netflow.records.FlowBatch`.
+
+The multiprocess executor's shared-memory transport moves batches from
+the router process into shard workers as flat fixed-width columns
+instead of pickled Python lists: one frame is decoded with a handful of
+``struct`` calls over the ring buffer's memory, never materializing an
+intermediate ``bytes`` copy.  Layout of one encoded batch::
+
+    u16 wire version | u8 family | u8 flags | u32 rows | u32 new ingresses
+    new-ingress defs    (u16 len + utf-8 router, u16 len + utf-8 interface)
+    timestamps          f64[rows]            (little-endian, bit-exact)
+    src_ips             u32[rows] (IPv4)  or  (u64 hi, u64 lo)[rows] (IPv6)
+    ingress indexes     u32[rows]
+    packet counts       u64[rows]
+    byte counts         u64[rows]
+    dst presence bitmap ceil(rows/8) bytes   (only when flags bit 0 set)
+    dst_ips             fixed-width values for present rows only
+
+Ingress points are interned **per connection**, mirroring the
+statecodec's per-blob interning trick: a :class:`FlowBatchEncoder` keeps
+the ingress → index table across batches and ships only newly seen
+ingress definitions, so steady-state frames carry 4 bytes per row for
+what pickle re-serializes as two strings.  The paired
+:class:`FlowBatchDecoder` rebuilds the same table on the consumer side;
+the transport's FIFO frame ordering is what keeps the two tables in
+sync, which is why one encoder must feed exactly one decoder.
+
+``encode_into`` writes into a caller-provided ``memoryview`` (the
+reserved ring-buffer region) and ``decode_from`` reads straight out of
+one; ``measure`` sizes a batch beforehand so the caller can reserve
+exactly.  All damage — truncation, dangling interning references,
+out-of-range column values, trailing bytes — raises the typed
+:class:`WireCodecError`; frames written by a newer codec raise its
+:class:`IncompatibleWireError` subclass.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Union
+
+from ..core.iputil import IPV4, IPV6
+from ..topology.elements import IngressPoint
+from .records import FlowBatch
+
+__all__ = [
+    "WIRE_VERSION",
+    "WireCodecError",
+    "IncompatibleWireError",
+    "FlowBatchEncoder",
+    "FlowBatchDecoder",
+]
+
+#: bump when the frame layout changes; decoders reject newer versions
+WIRE_VERSION = 1
+
+#: wire version, family, flags, row count, new-ingress count
+_HEADER = struct.Struct("<HBBII")
+_U16 = struct.Struct("<H")
+
+#: flags bit 0: a dst column (bitmap + values) follows the byte counts
+_FLAG_HAS_DST = 1
+
+_U64_MASK = (1 << 64) - 1
+
+Buffer = Union[bytes, bytearray, memoryview]
+
+
+class WireCodecError(ValueError):
+    """A FlowBatch frame could not be encoded or decoded."""
+
+
+class IncompatibleWireError(WireCodecError):
+    """The frame was written by a newer wire codec than this build."""
+
+
+def _utf8_len(text: str) -> int:
+    return len(text.encode("utf-8"))
+
+
+class FlowBatchEncoder:
+    """Stateful per-connection encoder (interning table spans batches)."""
+
+    def __init__(self) -> None:
+        self._table: dict[IngressPoint, int] = {}
+
+    def measure(self, batch: FlowBatch) -> int:
+        """Exact encoded size of *batch*, without mutating the table."""
+        rows = len(batch.timestamps)
+        size = _HEADER.size
+        table = self._table
+        pending: set[IngressPoint] = set()
+        for ingress in batch.ingresses:
+            if ingress in table or ingress in pending:
+                continue
+            pending.add(ingress)
+            size += 4 + _utf8_len(ingress.router) + _utf8_len(ingress.interface)
+        src_width = 4 if batch.version == IPV4 else 16
+        size += rows * (8 + src_width + 4 + 8 + 8)
+        if any(dst is not None for dst in batch.dst_ips):
+            size += (rows + 7) // 8
+            size += src_width * sum(
+                1 for dst in batch.dst_ips if dst is not None
+            )
+        return size
+
+    def encode_into(self, batch: FlowBatch, buf: "memoryview | bytearray") -> int:
+        """Serialize *batch* into *buf*; returns the bytes written.
+
+        *buf* must be at least :meth:`measure` bytes long (extra space is
+        left untouched).  On any failure the interning table is rolled
+        back, so a raised frame never desyncs the connection.
+        """
+        view = buf if isinstance(buf, memoryview) else memoryview(buf)
+        version = batch.version
+        if version not in (IPV4, IPV6):
+            raise WireCodecError(f"unsupported address family {version}")
+        needed = self.measure(batch)
+        if needed > len(view):
+            raise WireCodecError(
+                f"encode buffer too small: need {needed} bytes, "
+                f"have {len(view)}"
+            )
+        table = self._table
+        fresh: list[IngressPoint] = []
+        try:
+            indexes: list[int] = []
+            for ingress in batch.ingresses:
+                index = table.get(ingress)
+                if index is None:
+                    index = len(table)
+                    table[ingress] = index
+                    fresh.append(ingress)
+                indexes.append(index)
+            rows = len(batch.timestamps)
+            has_dst = any(dst is not None for dst in batch.dst_ips)
+            flags = _FLAG_HAS_DST if has_dst else 0
+            _HEADER.pack_into(
+                view, 0, WIRE_VERSION, version, flags, rows, len(fresh)
+            )
+            offset = _HEADER.size
+            for ingress in fresh:
+                for text in (ingress.router, ingress.interface):
+                    raw = text.encode("utf-8")
+                    _U16.pack_into(view, offset, len(raw))
+                    offset += 2
+                    view[offset:offset + len(raw)] = raw
+                    offset += len(raw)
+            struct.pack_into(f"<{rows}d", view, offset, *batch.timestamps)
+            offset += 8 * rows
+            offset = _pack_addresses(view, offset, version, batch.src_ips)
+            struct.pack_into(f"<{rows}I", view, offset, *indexes)
+            offset += 4 * rows
+            struct.pack_into(f"<{rows}Q", view, offset, *batch.packet_counts)
+            offset += 8 * rows
+            struct.pack_into(f"<{rows}Q", view, offset, *batch.byte_counts)
+            offset += 8 * rows
+            if has_dst:
+                bitmap_len = (rows + 7) // 8
+                bitmap = bytearray(bitmap_len)
+                present: list[int] = []
+                for row, dst in enumerate(batch.dst_ips):
+                    if dst is not None:
+                        bitmap[row // 8] |= 1 << (row % 8)
+                        present.append(dst)
+                view[offset:offset + bitmap_len] = bitmap
+                offset += bitmap_len
+                offset = _pack_addresses(view, offset, version, present)
+        except WireCodecError:
+            for ingress in fresh:
+                del table[ingress]
+            raise
+        except (struct.error, OverflowError, ValueError) as exc:
+            for ingress in fresh:
+                del table[ingress]
+            raise WireCodecError(
+                f"column value not encodable ({exc})"
+            ) from exc
+        if offset != needed:  # pragma: no cover - internal consistency
+            for ingress in fresh:
+                del table[ingress]
+            raise WireCodecError(
+                f"encoder wrote {offset} bytes, measured {needed}"
+            )
+        return offset
+
+    def encode(self, batch: FlowBatch) -> bytes:
+        """Convenience allocation path (tests, benchmarks)."""
+        out = bytearray(self.measure(batch))
+        self.encode_into(batch, memoryview(out))
+        return bytes(out)
+
+
+class FlowBatchDecoder:
+    """Mirror of :class:`FlowBatchEncoder` for the consumer side."""
+
+    def __init__(self) -> None:
+        self._table: list[IngressPoint] = []
+
+    def decode_from(self, buf: Buffer) -> FlowBatch:
+        """Parse one frame out of *buf* (exactly one encoded batch).
+
+        On any failure newly interned ingress entries are rolled back
+        before the typed error propagates.
+        """
+        view = buf if isinstance(buf, memoryview) else memoryview(buf)
+        table = self._table
+        mark = len(table)
+        try:
+            return self._decode(view)
+        except WireCodecError:
+            del table[mark:]
+            raise
+        except (struct.error, IndexError, UnicodeDecodeError, ValueError) as exc:
+            del table[mark:]
+            raise WireCodecError(f"damaged frame ({exc})") from exc
+
+    def _decode(self, view: memoryview) -> FlowBatch:
+        wire_version, version, flags, rows, fresh_count = _HEADER.unpack_from(
+            view, 0
+        )
+        if wire_version > WIRE_VERSION:
+            raise IncompatibleWireError(
+                f"frame uses wire version {wire_version}; this build reads "
+                f"up to {WIRE_VERSION}"
+            )
+        if version not in (IPV4, IPV6):
+            raise WireCodecError(f"unsupported address family {version}")
+        table = self._table
+        offset = _HEADER.size
+        for __ in range(fresh_count):
+            parts: list[str] = []
+            for __ in range(2):
+                (length,) = _U16.unpack_from(view, offset)
+                offset += 2
+                end = offset + length
+                if end > len(view):
+                    raise WireCodecError("truncated ingress definition")
+                parts.append(bytes(view[offset:end]).decode("utf-8"))
+                offset = end
+            table.append(IngressPoint(parts[0], parts[1]))
+        timestamps = list(struct.unpack_from(f"<{rows}d", view, offset))
+        offset += 8 * rows
+        src_ips, offset = _unpack_addresses(view, offset, version, rows)
+        indexes = struct.unpack_from(f"<{rows}I", view, offset)
+        offset += 4 * rows
+        size = len(table)
+        for index in indexes:
+            if index >= size:
+                raise WireCodecError(f"dangling ingress reference {index}")
+        ingresses = [table[index] for index in indexes]
+        packet_counts = list(struct.unpack_from(f"<{rows}Q", view, offset))
+        offset += 8 * rows
+        byte_counts = list(struct.unpack_from(f"<{rows}Q", view, offset))
+        offset += 8 * rows
+        dst_ips: list[int | None]
+        if flags & _FLAG_HAS_DST:
+            bitmap_len = (rows + 7) // 8
+            if offset + bitmap_len > len(view):
+                raise WireCodecError("truncated dst presence bitmap")
+            bitmap = bytes(view[offset:offset + bitmap_len])
+            offset += bitmap_len
+            present = sum(
+                1
+                for row in range(rows)
+                if bitmap[row // 8] & (1 << (row % 8))
+            )
+            values, offset = _unpack_addresses(view, offset, version, present)
+            dst_ips = []
+            cursor = 0
+            for row in range(rows):
+                if bitmap[row // 8] & (1 << (row % 8)):
+                    dst_ips.append(values[cursor])
+                    cursor += 1
+                else:
+                    dst_ips.append(None)
+        else:
+            dst_ips = [None] * rows
+        if offset != len(view):
+            raise WireCodecError(
+                f"frame has {len(view) - offset} trailing bytes"
+            )
+        return FlowBatch(
+            version,
+            timestamps,
+            src_ips,
+            ingresses,
+            packet_counts,
+            byte_counts,
+            dst_ips,
+        )
+
+
+def _pack_addresses(
+    view: "memoryview | bytearray",
+    offset: int,
+    version: int,
+    values: "list[int]",
+) -> int:
+    count = len(values)
+    if version == IPV4:
+        struct.pack_into(f"<{count}I", view, offset, *values)
+        return offset + 4 * count
+    flat: list[int] = []
+    for value in values:
+        flat.append(value >> 64)
+        flat.append(value & _U64_MASK)
+    struct.pack_into(f"<{2 * count}Q", view, offset, *flat)
+    return offset + 16 * count
+
+
+def _unpack_addresses(
+    view: memoryview, offset: int, version: int, count: int
+) -> tuple[list[int], int]:
+    if version == IPV4:
+        values = list(struct.unpack_from(f"<{count}I", view, offset))
+        return values, offset + 4 * count
+    flat = struct.unpack_from(f"<{2 * count}Q", view, offset)
+    values = [
+        (flat[2 * row] << 64) | flat[2 * row + 1] for row in range(count)
+    ]
+    return values, offset + 16 * count

@@ -10,7 +10,9 @@ One execution surface for every way of running IPD:
   itself, usable directly wherever an :class:`~repro.core.algorithm.IPD`
   is expected.
 * executors (``serial`` / ``threaded`` / ``mp``) — interchangeable
-  backends driving the shard engines.
+  backends driving the shard engines.  The mp executor's data plane is
+  selectable: ``transport="pickle"`` (pipes) or ``transport="shm"``
+  (zero-copy shared-memory rings, :mod:`repro.runtime.shmring`).
 
 ``repro.core.driver``'s ``OfflineDriver`` and ``ThreadedIPD`` are thin
 façades over this package, kept for compatibility.
@@ -25,6 +27,7 @@ from .checkpoint import (
 )
 from .executors import (
     EXECUTOR_KINDS,
+    TRANSPORT_KINDS,
     MultiprocessExecutor,
     SerialExecutor,
     ThreadedExecutor,
@@ -37,6 +40,7 @@ from .pipeline import Pipeline
 from .result import RunResult
 from .sharding import ShardedIPD
 from .shards import ShardEngine
+from .shmring import ShmFrameError, ShmRing, ShmRingError
 from .sinks import CallbackSink, CSVSink, MemorySink, Sink
 
 __all__ = [
@@ -62,4 +66,8 @@ __all__ = [
     "WorkerCrashError",
     "make_executor",
     "EXECUTOR_KINDS",
+    "TRANSPORT_KINDS",
+    "ShmRing",
+    "ShmRingError",
+    "ShmFrameError",
 ]

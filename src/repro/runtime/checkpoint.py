@@ -281,6 +281,7 @@ class CheckpointStore:
         shards: int = 1,
         executor: str = "serial",
         workers: Optional[int] = None,
+        transport: str = "pickle",
     ) -> "Union[IPD, ShardedIPD]":
         """Rebuild an engine from *checkpoint* (see :func:`restore_engine`).
 
@@ -296,6 +297,7 @@ class CheckpointStore:
                 shards=shards,
                 executor=executor,
                 workers=workers,
+                transport=transport,
             )
         except IncompatibleStateError:
             raise
@@ -311,6 +313,7 @@ def restore_engine(
     shards: int = 1,
     executor: str = "serial",
     workers: Optional[int] = None,
+    transport: str = "pickle",
 ) -> "Union[IPD, ShardedIPD]":
     """Rebuild an engine of the requested topology from an engine blob.
 
@@ -322,5 +325,10 @@ def restore_engine(
     if shards == 1 and executor == "serial":
         return IPD.from_bytes(blob, params=params)
     return ShardedIPD.from_bytes(
-        blob, params=params, shards=shards, executor=executor, workers=workers
+        blob,
+        params=params,
+        shards=shards,
+        executor=executor,
+        workers=workers,
+        transport=transport,
     )

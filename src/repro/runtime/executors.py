@@ -12,18 +12,27 @@ three executors implement it with different parallelism:
   queues in, reply queues out.  Threads share the interpreter (GIL), so
   this buys overlap with I/O and with the aggregator's own sweep, not
   raw ingest parallelism; it supersedes the old ``ThreadedIPD`` layout.
-* :class:`MultiprocessExecutor` — one worker process per slot connected
-  by a duplex pipe; :class:`~repro.netflow.records.FlowBatch` columns
-  are pickled across.  This is the executor that actually multiplies
-  single-core ingest throughput.
+* :class:`MultiprocessExecutor` — one worker process per slot.  The
+  control plane (tick/snapshot/metrics/export and their replies) is a
+  duplex pipe; the data plane is selected by ``transport``:
+  ``"pickle"`` ships :class:`~repro.netflow.records.FlowBatch` columns
+  and shard ops pickled over the same pipe (the legacy transport),
+  ``"shm"`` encodes them with the binary wire codec
+  (:mod:`repro.netflow.wirecodec`) straight into a per-slot
+  shared-memory ring (:mod:`repro.runtime.shmring`) — written once by
+  the router, read once by the worker, no pickling in between.  This
+  is the executor that actually multiplies single-core ingest
+  throughput.
 
 Every executor carries a ``fault_hook`` attribute (default ``None``)
 — the testkit's chaos seam.  When set to a
-:class:`~repro.testkit.faults.FaultPlan`, the hook is consulted at two
+:class:`~repro.testkit.faults.FaultPlan`, the hook is consulted at
 named injection sites: ``feed`` (a batch may be dropped or delivered
-twice) and ``tick_begin`` (a worker crash may be injected).  Unset, each
-site costs a single identity check on paths that are already dominated
-by queue/pipe traffic, so production behaviour is unchanged.
+twice), ``tick_begin`` (a worker crash may be injected), and — shm
+transport only — ``shm_feed`` (a forced backpressure stall or a
+corrupted frame).  Unset, each site costs a single identity check on
+paths that are already dominated by queue/pipe traffic, so production
+behaviour is unchanged.
 
 Shard *index* → worker *slot* is a fixed ``index % workers`` mapping,
 and each worker handles its commands strictly in order (FIFO per pipe /
@@ -31,12 +40,16 @@ queue), so no acknowledgement round-trips are needed for ``feed`` and
 ``apply``: a later ``tick``/``snapshot``/``metrics`` reply implies every
 earlier command was applied.  Tick replies are a barrier; state
 evolution is therefore identical across executors — only wall-clock
-interleaving differs.
+interleaving differs.  The shm transport keeps the same contract: feeds
+and shard ops travel the ring in commit order, and every control-plane
+command carries the ring's committed-frame watermark, which the worker
+drains up to before executing the command.
 """
 
 from __future__ import annotations
 
 import queue
+import struct
 import threading
 from typing import TYPE_CHECKING, Iterable, Optional, Union
 
@@ -46,8 +59,10 @@ if TYPE_CHECKING:
 from ..core.output import IPDRecord
 from ..core.params import IPDParams
 from ..netflow.records import FlowBatch
+from ..netflow.wirecodec import FlowBatchDecoder, FlowBatchEncoder, WireCodecError
 from .faulthook import FaultHookLike
 from .shards import ShardEngine, ShardMetrics, ShardTickResult
+from .shmring import FRAME_FEED, FRAME_OPS, ShmRing, ShmRingError
 
 __all__ = [
     "SerialExecutor",
@@ -56,9 +71,31 @@ __all__ = [
     "WorkerCrashError",
     "make_executor",
     "EXECUTOR_KINDS",
+    "TRANSPORT_KINDS",
 ]
 
 EXECUTOR_KINDS = ("serial", "threaded", "mp")
+TRANSPORT_KINDS = ("pickle", "shm")
+
+#: ring bytes per worker slot; a single frame (one encoded batch or one
+#: shard-handoff blob) must fit — router batches top out around 0.5 MiB
+#: at the 8192-row flush threshold, so 4 MiB leaves generous headroom
+_RING_CAPACITY = 1 << 22
+
+#: forced-full probes injected by a chaos ``shm_ring_full`` fault
+_FAULT_STALL_CHECKS = 5
+
+#: producer stall iterations between worker liveness checks (~10 ms)
+_LIVENESS_EVERY = 50
+
+#: seconds the shm worker waits on the pipe before re-polling the ring
+_SHM_IDLE_POLL_SECONDS = 0.001
+
+_U32 = struct.Struct("<I")
+#: shm op-frame prefix: op tag, shard index, address-family version
+_OP_HEADER = struct.Struct("<BIB")
+_OP_SEED = 1
+_OP_RESET = 2
 
 
 class WorkerCrashError(RuntimeError):
@@ -281,7 +318,7 @@ def _thread_worker_loop(
 def _mp_worker_main(
     conn: "Connection", params: IPDParams, depth: int
 ) -> None:
-    """Worker-process entry point (module-level: must be picklable)."""
+    """Pickle-transport worker entry (module-level: must be picklable)."""
     worker = ShardWorker(params, depth)
     while True:
         try:
@@ -296,29 +333,130 @@ def _mp_worker_main(
             conn.send(reply)
 
 
+def _apply_shm_frame(
+    worker: ShardWorker,
+    decoder: FlowBatchDecoder,
+    kind: int,
+    payload: memoryview,
+) -> None:
+    """Decode one ring frame and apply it — straight off shared memory."""
+    if kind == FRAME_FEED:
+        (index,) = _U32.unpack_from(payload, 0)
+        worker.handle(("feed", index, decoder.decode_from(payload[4:])))
+    elif kind == FRAME_OPS:
+        tag, index, version = _OP_HEADER.unpack_from(payload, 0)
+        if tag == _OP_SEED:
+            (length,) = _U32.unpack_from(payload, _OP_HEADER.size)
+            start = _OP_HEADER.size + 4
+            blob = payload[start:start + length]
+            worker.handle(("ops", [("seed", index, version, blob)]))
+        elif tag == _OP_RESET:
+            worker.handle(("ops", [("reset", index, version)]))
+        else:
+            raise ShmRingError(f"unknown shard-op tag {tag}")
+    else:
+        raise ShmRingError(f"unexpected frame kind {kind}")
+
+
+def _mp_worker_shm_main(
+    conn: "Connection", ring_name: str, params: IPDParams, depth: int
+) -> None:
+    """Shm-transport worker entry: drain the ring, obey pipe barriers.
+
+    Ring frames (feeds and shard ops) are applied as they arrive; a
+    pipe command carries the producer's committed-frame watermark and
+    executes only once the ring has been drained that far, which is
+    what preserves the feed-before-barrier ordering contract.  Any
+    transport damage — a CRC failure, an undecodable frame — exits the
+    process, so the parent's next barrier raises
+    :class:`WorkerCrashError` and checkpoint recovery takes over.
+    """
+    ring = ShmRing(name=ring_name)
+    worker = ShardWorker(params, depth)
+    decoder = FlowBatchDecoder()
+    consumed = 0
+    try:
+        while True:
+            frame = ring.try_recv()
+            if frame is not None:
+                seq, kind, payload = frame
+                _apply_shm_frame(worker, decoder, kind, payload)
+                consumed = seq
+                continue
+            if not conn.poll(_SHM_IDLE_POLL_SECONDS):
+                continue
+            try:
+                cmd = conn.recv()
+            except EOFError:
+                return
+            watermark = cmd[-1]
+            while consumed < watermark:
+                seq, kind, payload = ring.recv()
+                _apply_shm_frame(worker, decoder, kind, payload)
+                consumed = seq
+            if cmd[0] == "stop":
+                conn.close()
+                return
+            reply = worker.handle(cmd[:-1])
+            if reply is not None:
+                conn.send(reply)
+    except (ShmRingError, WireCodecError):
+        # transport damage: die quietly — the parent's next barrier
+        # turns the closed pipe into a WorkerCrashError and recovery
+        # rebuilds this worker from the last checkpoint
+        return
+    finally:
+        ring.close()
+
+
 class MultiprocessExecutor:
-    """One worker process per slot, duplex pipes carrying FlowBatch columns."""
+    """One worker process per slot; pipe control plane, selectable data plane."""
 
     kind = "mp"
 
-    def __init__(self, params: IPDParams, depth: int, workers: int = 2) -> None:
+    def __init__(
+        self,
+        params: IPDParams,
+        depth: int,
+        workers: int = 2,
+        transport: str = "pickle",
+    ) -> None:
         import multiprocessing
 
+        if transport not in TRANSPORT_KINDS:
+            raise ValueError(
+                f"unknown transport {transport!r}; expected one of "
+                f"{TRANSPORT_KINDS}"
+            )
         try:
             ctx = multiprocessing.get_context("fork")
         except ValueError:  # pragma: no cover - non-POSIX fallback
             ctx = multiprocessing.get_context()
         self.workers = max(1, workers)
+        self.transport = transport
         self._conns = []
         self._processes = []
+        self._rings: list[ShmRing] = []
+        self._encoders: list[FlowBatchEncoder] = []
         for slot in range(self.workers):
             parent_conn, child_conn = ctx.Pipe(duplex=True)
-            process = ctx.Process(
-                target=_mp_worker_main,
-                args=(child_conn, params, depth),
-                name=f"ipd-shard-{slot}",
-                daemon=True,
-            )
+            if transport == "shm":
+                ring = ShmRing(capacity=_RING_CAPACITY)
+                self._rings.append(ring)
+                self._encoders.append(FlowBatchEncoder())
+                process = ctx.Process(
+                    target=_mp_worker_shm_main,
+                    args=(child_conn, ring.name, params, depth),
+                    name=f"ipd-shard-{slot}",
+                    daemon=True,
+                )
+            else:
+                process = ctx.Process(
+                    target=_mp_worker_main,
+                    args=(child_conn, params, depth),
+                    name=f"ipd-shard-{slot}",
+                    daemon=True,
+                )
             process.start()
             child_conn.close()
             self._conns.append(parent_conn)
@@ -345,27 +483,95 @@ class MultiprocessExecutor:
                 f"shard worker {slot} died before replying ({exc!r})"
             ) from exc
 
+    def _barrier_send(self, slot: int, cmd: tuple) -> None:
+        """Send a control-plane command, stamped with the ring watermark."""
+        if self.transport == "shm":
+            cmd = cmd + (self._rings[slot].sequence,)
+        self._send(slot, cmd)
+
+    def _reserve(self, slot: int, kind: int, size: int) -> memoryview:
+        """Ring reservation that notices a dead worker during backpressure."""
+        process = self._processes[slot]
+
+        def on_stall(spins: int) -> None:
+            if spins % _LIVENESS_EVERY == 0 and not process.is_alive():
+                raise WorkerCrashError(
+                    f"shard worker {slot} died while its ring was full"
+                )
+
+        return self._rings[slot].reserve(kind, size, on_stall=on_stall)
+
     def feed(self, index: int, batch: FlowBatch) -> None:
         if self.fault_hook is not None:
             action = self.fault_hook.on_feed(index, batch)
             if action == "drop":
                 return
             if action == "duplicate":
-                self._send(self._slot(index), ("feed", index, batch))
-        self._send(self._slot(index), ("feed", index, batch))
+                self._feed_once(index, batch)
+        self._feed_once(index, batch)
+
+    def _feed_once(self, index: int, batch: FlowBatch) -> None:
+        if self.transport != "shm":
+            self._send(self._slot(index), ("feed", index, batch))
+            return
+        slot = self._slot(index)
+        corrupt = False
+        if self.fault_hook is not None:
+            action = self.fault_hook.on_shm_feed(slot)
+            if action == "stall":
+                self._rings[slot].force_stall(_FAULT_STALL_CHECKS)
+            elif action == "corrupt":
+                corrupt = True
+        encoder = self._encoders[slot]
+        view = self._reserve(slot, FRAME_FEED, 4 + encoder.measure(batch))
+        try:
+            _U32.pack_into(view, 0, index)
+            encoder.encode_into(batch, view[4:])
+        except Exception:
+            self._rings[slot].abort(view)
+            raise
+        self._rings[slot].commit(view, corrupt=corrupt)
 
     def apply(self, ops: Iterable[tuple]) -> None:
+        if self.transport == "shm":
+            for op in ops:
+                self._apply_shm_op(op)
+            return
         by_slot: dict[int, list[tuple]] = {}
         for op in ops:
             by_slot.setdefault(self._slot(op[1]), []).append(op)
         for slot, slot_ops in by_slot.items():
             self._send(slot, ("ops", slot_ops))
 
+    def _apply_shm_op(self, op: tuple) -> None:
+        slot = self._slot(op[1])
+        if op[0] == "seed":
+            payload = op[3]
+            size = _OP_HEADER.size + 4 + len(payload)
+            view = self._reserve(slot, FRAME_OPS, size)
+            try:
+                _OP_HEADER.pack_into(view, 0, _OP_SEED, op[1], op[2])
+                _U32.pack_into(view, _OP_HEADER.size, len(payload))
+                view[_OP_HEADER.size + 4:] = payload
+            except Exception:
+                self._rings[slot].abort(view)
+                raise
+        elif op[0] == "reset":
+            view = self._reserve(slot, FRAME_OPS, _OP_HEADER.size)
+            try:
+                _OP_HEADER.pack_into(view, 0, _OP_RESET, op[1], op[2])
+            except Exception:
+                self._rings[slot].abort(view)
+                raise
+        else:
+            raise ValueError(f"unknown shard op: {op[0]!r}")
+        self._rings[slot].commit(view)
+
     def tick_begin(self, now: float) -> None:
         if self.fault_hook is not None:
             self.fault_hook.before_tick(self, now)
         for slot in range(self.workers):
-            self._send(slot, ("tick", now))
+            self._barrier_send(slot, ("tick", now))
 
     def tick_collect(self) -> dict[int, ShardTickResult]:
         results: dict[int, ShardTickResult] = {}
@@ -375,7 +581,7 @@ class MultiprocessExecutor:
 
     def snapshot(self, now: float, include_unclassified: bool) -> list[IPDRecord]:
         for slot in range(self.workers):
-            self._send(slot, ("snapshot", now, include_unclassified))
+            self._barrier_send(slot, ("snapshot", now, include_unclassified))
         records: list[IPDRecord] = []
         for slot in range(self.workers):
             records.extend(self._recv(slot))
@@ -383,7 +589,7 @@ class MultiprocessExecutor:
 
     def metrics(self) -> ShardMetrics:
         for slot in range(self.workers):
-            self._send(slot, ("metrics",))
+            self._barrier_send(slot, ("metrics",))
         metrics = ShardMetrics()
         for slot in range(self.workers):
             metrics.add(self._recv(slot))
@@ -391,7 +597,7 @@ class MultiprocessExecutor:
 
     def export(self) -> dict[int, dict[int, bytes]]:
         for slot in range(self.workers):
-            self._send(slot, ("export",))
+            self._barrier_send(slot, ("export",))
         exports: dict[int, dict[int, bytes]] = {}
         for slot in range(self.workers):
             exports.update(self._recv(slot))
@@ -401,9 +607,12 @@ class MultiprocessExecutor:
         if self._closed:
             return
         self._closed = True
-        for conn in self._conns:
+        for slot, conn in enumerate(self._conns):
+            cmd: tuple = ("stop",)
+            if self.transport == "shm":
+                cmd = ("stop", self._rings[slot].sequence)
             try:
-                conn.send(("stop",))
+                conn.send(cmd)
             except (BrokenPipeError, OSError):  # worker already gone
                 pass
         for process in self._processes:
@@ -412,12 +621,28 @@ class MultiprocessExecutor:
                 process.terminate()
         for conn in self._conns:
             conn.close()
+        for ring in self._rings:
+            ring.close()
+            ring.unlink()
 
 
 def make_executor(
-    kind: str, params: IPDParams, depth: int, workers: Optional[int] = None
+    kind: str,
+    params: IPDParams,
+    depth: int,
+    workers: Optional[int] = None,
+    transport: str = "pickle",
 ) -> "Union[SerialExecutor, ThreadedExecutor, MultiprocessExecutor]":
     """Build an executor by name (``serial`` / ``threaded`` / ``mp``)."""
+    if transport not in TRANSPORT_KINDS:
+        raise ValueError(
+            f"unknown transport {transport!r}; expected one of "
+            f"{TRANSPORT_KINDS}"
+        )
+    if kind != "mp" and transport != "pickle":
+        raise ValueError(
+            f"transport {transport!r} applies only to the mp executor"
+        )
     if kind == "serial":
         return SerialExecutor(params, depth)
     if kind == "threaded":
@@ -427,7 +652,7 @@ def make_executor(
             import os
 
             workers = min(4, os.cpu_count() or 1)
-        return MultiprocessExecutor(params, depth, workers)
+        return MultiprocessExecutor(params, depth, workers, transport)
     raise ValueError(
         f"unknown executor {kind!r}; expected one of {EXECUTOR_KINDS}"
     )

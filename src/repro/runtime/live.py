@@ -58,6 +58,7 @@ class LivePipeline:
         shards: int = 1,
         executor: str = "serial",
         workers: Optional[int] = None,
+        transport: str = "pickle",
         engine: "IPD | ShardedIPD | None" = None,
         checkpoint_store: "CheckpointStore | str | Path | None" = None,
         checkpoint_every: Optional[float] = None,
@@ -72,7 +73,11 @@ class LivePipeline:
             self.engine = IPD(params)
         else:
             self.engine = ShardedIPD(
-                params, shards=shards, executor=executor, workers=workers
+                params,
+                shards=shards,
+                executor=executor,
+                workers=workers,
+                transport=transport,
             )
         self.sweep_interval = sweep_interval
         if checkpoint_store is not None and not isinstance(
@@ -105,6 +110,7 @@ class LivePipeline:
         shards: int = 1,
         executor: str = "serial",
         workers: Optional[int] = None,
+        transport: str = "pickle",
         **kwargs: object,
     ) -> "LivePipeline":
         """Restore the latest checkpoint into a fresh live runtime.
@@ -126,6 +132,7 @@ class LivePipeline:
             shards=shards,
             executor=executor,
             workers=workers,
+            transport=transport,
         )
         return cls(engine=engine, checkpoint_store=checkpoint_store, **kwargs)
 

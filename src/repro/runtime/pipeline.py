@@ -71,6 +71,7 @@ class Pipeline:
         shards: int = 1,
         executor: str = "serial",
         workers: Optional[int] = None,
+        transport: str = "pickle",
         snapshot_seconds: float = 300.0,
         include_unclassified: bool = False,
         on_sweep: Optional[Callable[[SweepReport, Engine], None]] = None,
@@ -90,17 +91,23 @@ class Pipeline:
             self.engine: Engine = engine
             #: topology to rebuild after a worker crash; None means the
             #: engine is caller-owned and recovery must re-raise
-            self._rebuild: Optional[tuple[int, str, Optional[int]]] = None
+            self._rebuild: Optional[
+                tuple[int, str, Optional[int], str]
+            ] = None
         elif shards == 1 and executor == "serial":
             # The degenerate topology needs no router or merger: run the
             # plain engine and the pipeline adds zero per-flow overhead.
             self.engine = IPD(params)
-            self._rebuild = (1, "serial", None)
+            self._rebuild = (1, "serial", None, "pickle")
         else:
             self.engine = ShardedIPD(
-                params, shards=shards, executor=executor, workers=workers
+                params,
+                shards=shards,
+                executor=executor,
+                workers=workers,
+                transport=transport,
             )
-            self._rebuild = (shards, executor, workers)
+            self._rebuild = (shards, executor, workers, transport)
         self.snapshot_seconds = snapshot_seconds
         self.include_unclassified = include_unclassified
         self.on_sweep = on_sweep
@@ -150,6 +157,7 @@ class Pipeline:
         shards: int = 1,
         executor: str = "serial",
         workers: Optional[int] = None,
+        transport: str = "pickle",
         **kwargs: object,
     ) -> "Pipeline":
         """Continue from a checkpoint (the latest one, unless given).
@@ -178,11 +186,12 @@ class Pipeline:
             shards=shards,
             executor=executor,
             workers=workers,
+            transport=transport,
         )
         pipeline = cls(
             engine=engine, checkpoint_store=checkpoint_store, **kwargs
         )
-        pipeline._rebuild = (shards, executor, workers)
+        pipeline._rebuild = (shards, executor, workers, transport)
         pipeline._resume = _ResumeState(
             flows_processed=checkpoint.flows_processed,
             next_sweep=checkpoint.next_sweep,
@@ -250,7 +259,7 @@ class Pipeline:
                     RuntimeWarning,
                     stacklevel=2,
                 )
-        shards, executor, workers = self._rebuild
+        shards, executor, workers, transport = self._rebuild
         # latest_valid: a corrupt newest checkpoint only costs extra
         # replay (recovery falls back to an older intact image, or to a
         # from-scratch replay), never a failed or wrong run
@@ -263,7 +272,11 @@ class Pipeline:
                 self.engine = IPD(params)
             else:
                 self.engine = ShardedIPD(
-                    params, shards=shards, executor=executor, workers=workers
+                    params,
+                    shards=shards,
+                    executor=executor,
+                    workers=workers,
+                    transport=transport,
                 )
             self._attach_fault_hook()
             result.sweeps.clear()
@@ -277,6 +290,7 @@ class Pipeline:
             shards=shards,
             executor=executor,
             workers=workers,
+            transport=transport,
         )
         self._attach_fault_hook()
         # roll the result back to the checkpoint: later sweeps/snapshots

@@ -80,6 +80,7 @@ class ShardedIPD:
         shards: int = 4,
         executor: str = "serial",
         workers: Optional[int] = None,
+        transport: str = "pickle",
     ) -> None:
         params = params or DEFAULT_PARAMS
         if shards < 1 or shards & (shards - 1):
@@ -95,9 +96,12 @@ class ShardedIPD:
         self.shards = shards
         self.split_depth = depth
         self.executor_kind = executor
+        self.transport = transport
         #: ranges coarser than /k live here, in a plain single engine
         self.aggregator = IPD(params)
-        self._executor = make_executor(executor, params, depth, workers)
+        self._executor = make_executor(
+            executor, params, depth, workers, transport
+        )
         #: family version -> shard indices currently delegated down
         self._delegated: dict[int, set[int]] = {IPV4: set(), IPV6: set()}
         #: family version -> shard index -> the aggregator's placeholder leaf
@@ -430,6 +434,7 @@ class ShardedIPD:
         shards: int = 4,
         executor: str = "serial",
         workers: Optional[int] = None,
+        transport: str = "pickle",
     ) -> "ShardedIPD":
         """Rebuild a sharded deployment from a merged engine image.
 
@@ -447,6 +452,7 @@ class ShardedIPD:
             shards=shards,
             executor=executor,
             workers=workers,
+            transport=transport,
         )
         depth = engine.split_depth
         ops: list[tuple] = []
@@ -507,11 +513,16 @@ class ShardedIPD:
         shards: int = 4,
         executor: str = "serial",
         workers: Optional[int] = None,
+        transport: str = "pickle",
     ) -> "ShardedIPD":
         """Rebuild a sharded deployment from a :meth:`to_bytes` blob."""
         image = decode_engine(data, params=params)
         return cls.from_image(
-            image, shards=shards, executor=executor, workers=workers
+            image,
+            shards=shards,
+            executor=executor,
+            workers=workers,
+            transport=transport,
         )
 
     # ------------------------------------------------------------------ output

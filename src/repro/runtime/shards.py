@@ -139,7 +139,7 @@ class ShardEngine:
         else:  # pragma: no cover - defensive
             raise ValueError(f"unknown shard op: {op[0]!r}")
 
-    def seed(self, version: int, payload: bytes) -> None:
+    def seed(self, version: int, payload: "bytes | memoryview") -> None:
         """Activate one family tree by planting an encoded subtree blob.
 
         The blob is either a single handed-down aggregator leaf (the

@@ -1,0 +1,349 @@
+"""SPSC ring buffer over POSIX shared memory — the mp data plane.
+
+One :class:`ShmRing` connects the router process (single producer) to
+one shard-worker process (single consumer).  The producer reserves a
+frame directly inside the shared segment, the wire codec encodes into
+that reservation, and the consumer decodes straight out of it — the
+batch bytes are written once and read once, with no pickling and no
+intermediate copies.
+
+Segment layout::
+
+    u64 write counter | u64 read counter | ... padding to 64 ... | data
+
+Both counters are monotonic byte positions (``position % capacity`` is
+the physical offset); ``write - read`` is the number of unconsumed
+bytes, so full/empty are unambiguous without wasting a slot.  Each
+frame is::
+
+    u32 payload length | u32 seq | u8 kind | u32 crc32 | payload
+
+``seq`` numbers committed data frames from 1; the executor sends it as
+a watermark with every control-plane command so the worker can drain
+the ring up to the exact frame the command must observe.  ``crc32``
+(over the payload) turns any in-flight corruption into a typed
+:class:`ShmFrameError` on the consumer instead of a silently divergent
+decode.  A frame never wraps: when the tail of the segment is too short
+the producer publishes a ``PAD`` frame (or, below header size, the
+consumer skips the tail implicitly) and restarts at offset zero.
+
+Backpressure is a bounded sleep-spin: :meth:`reserve` waits for the
+consumer to free space, invoking an optional ``on_stall`` callback each
+iteration (the executor uses it to detect a dead worker) and raising
+:class:`ShmRingError` if the stall outlasts ``stall_timeout`` spins.
+
+Lifecycle: the creating side owns the segment name and must call
+:meth:`unlink` exactly once after both ends have :meth:`close`\\ d; the
+attaching side (the worker) only ever closes.  Attachment is by name,
+so the ring crosses both fork and spawn process starts.
+"""
+
+from __future__ import annotations
+
+import struct
+import time
+import zlib
+from multiprocessing import shared_memory
+from typing import Callable, Optional
+
+__all__ = [
+    "ShmRing",
+    "ShmRingError",
+    "ShmFrameError",
+    "FRAME_PAD",
+    "FRAME_FEED",
+    "FRAME_OPS",
+]
+
+#: frame kinds carried on the ring (PAD frames are consumed internally)
+FRAME_PAD = 0
+FRAME_FEED = 1
+FRAME_OPS = 2
+
+_CTRL = struct.Struct("<QQ")
+_HEADER = struct.Struct("<IIBI")
+_DATA_OFFSET = 64
+
+#: sleep per stall iteration; bounded spinning keeps the unloaded-ring
+#: latency low without burning a core while the peer is busy
+_STALL_SLEEP_SECONDS = 0.0002
+
+#: default stall budget: iterations of _STALL_SLEEP_SECONDS (~30 s)
+_DEFAULT_STALL_TIMEOUT = 150_000
+
+
+class ShmRingError(RuntimeError):
+    """The ring protocol failed (stall timeout, oversized frame, misuse)."""
+
+
+class ShmFrameError(ShmRingError):
+    """A frame failed its CRC — the payload was corrupted in flight."""
+
+
+class ShmRing:
+    """Single-producer single-consumer byte ring in shared memory."""
+
+    def __init__(
+        self,
+        capacity: int = 1 << 20,
+        name: Optional[str] = None,
+        stall_timeout: int = _DEFAULT_STALL_TIMEOUT,
+    ) -> None:
+        if name is None:
+            if capacity <= _HEADER.size:
+                raise ValueError(
+                    f"ring capacity must exceed {_HEADER.size} bytes"
+                )
+            self._shm = shared_memory.SharedMemory(
+                create=True, size=_DATA_OFFSET + capacity
+            )
+            self.capacity = capacity
+            self.owner = True
+            _CTRL.pack_into(self._shm.buf, 0, 0, 0)
+        else:
+            self._shm = shared_memory.SharedMemory(name=name)
+            self.capacity = self._shm.size - _DATA_OFFSET
+            self.owner = False
+        self.stall_timeout = stall_timeout
+        self._buf: Optional[memoryview] = self._shm.buf
+        #: producer-side monotonic write position / committed frame seq
+        self._write = 0
+        self._seq = 0
+        #: consumer-side monotonic read position and the un-consumed frame
+        self._read = 0
+        self._held: Optional[tuple[memoryview, int]] = None
+        self._pending: Optional[tuple[int, int, int]] = None
+        #: chaos knob: treat the ring as full for this many reserve checks
+        self._force_full = 0
+        self._closed = False
+        self._unlinked = False
+
+    @property
+    def name(self) -> str:
+        """Segment name the consumer side attaches with."""
+        return self._shm.name
+
+    @property
+    def sequence(self) -> int:
+        """Seq of the last committed data frame (the producer watermark)."""
+        return self._seq
+
+    # ------------------------------------------------------------------ producer
+
+    def _read_counter(self) -> int:
+        assert self._buf is not None
+        return _CTRL.unpack_from(self._buf, 0)[1]
+
+    def _publish_write(self) -> None:
+        assert self._buf is not None
+        struct.pack_into("<Q", self._buf, 0, self._write)
+
+    def force_stall(self, checks: int) -> None:
+        """Chaos seam: make the next *checks* reserve probes see a full
+        ring, driving the real backpressure wait loop."""
+        self._force_full = checks
+
+    def reserve(
+        self,
+        kind: int,
+        size: int,
+        on_stall: Optional[Callable[[int], None]] = None,
+    ) -> memoryview:
+        """Block until *size* payload bytes fit; return the write view.
+
+        The returned memoryview is the payload region of the next frame,
+        inside shared memory — encode into it, then :meth:`commit`.
+        Only one reservation may be outstanding.  ``on_stall(spins)`` is
+        invoked once per backpressure iteration and may raise to abort.
+        """
+        if self._pending is not None:
+            raise ShmRingError("previous reservation was never committed")
+        buf = self._buf
+        if buf is None:
+            raise ShmRingError("ring is closed")
+        needed = _HEADER.size + size
+        if needed > self.capacity:
+            raise ShmRingError(
+                f"frame of {size} payload bytes exceeds ring capacity "
+                f"{self.capacity}"
+            )
+        spins = 0
+        while True:
+            position = self._write % self.capacity
+            contiguous = self.capacity - position
+            free = self.capacity - (self._write - self._read_counter())
+            if self._force_full:
+                self._force_full -= 1
+            elif contiguous < needed:
+                # the frame must not wrap: pad out the tail (the pad is
+                # published on its own so it never deadlocks against the
+                # frame itself fitting) and retry from offset zero
+                if free >= contiguous:
+                    if contiguous >= _HEADER.size:
+                        _HEADER.pack_into(
+                            buf,
+                            _DATA_OFFSET + position,
+                            contiguous - _HEADER.size,
+                            0,
+                            FRAME_PAD,
+                            0,
+                        )
+                    # below header size the consumer skips the tail itself
+                    self._write += contiguous
+                    self._publish_write()
+                    continue
+            elif free >= needed:
+                break
+            spins += 1
+            if on_stall is not None:
+                on_stall(spins)
+            if spins > self.stall_timeout:
+                raise ShmRingError(
+                    f"ring full: consumer made no progress in "
+                    f"{spins} backpressure checks"
+                )
+            time.sleep(_STALL_SLEEP_SECONDS)
+        start = _DATA_OFFSET + position + _HEADER.size
+        self._pending = (position, size, kind)
+        return buf[start:start + size]
+
+    def commit(self, view: memoryview, corrupt: bool = False) -> int:
+        """Publish the reserved frame; returns its seq.
+
+        *view* is the memoryview :meth:`reserve` returned; its CRC is
+        taken here, after encoding.  ``corrupt=True`` (chaos tests only)
+        flips one payload bit *after* the CRC is computed, guaranteeing
+        the consumer sees a :class:`ShmFrameError`.
+        """
+        if self._pending is None:
+            raise ShmRingError("commit without a reservation")
+        position, size, kind = self._pending
+        self._pending = None
+        buf = self._buf
+        assert buf is not None
+        crc = zlib.crc32(view) & 0xFFFFFFFF
+        if corrupt and size:
+            view[size // 2] ^= 0x40
+        view.release()
+        self._seq += 1
+        _HEADER.pack_into(
+            buf, _DATA_OFFSET + position, size, self._seq, kind, crc
+        )
+        self._write += _HEADER.size + size
+        self._publish_write()
+        return self._seq
+
+    def abort(self, view: memoryview) -> None:
+        """Drop an uncommitted reservation (the frame is never published)."""
+        if self._pending is not None:
+            self._pending = None
+            view.release()
+
+    def send(self, kind: int, payload: "bytes | bytearray") -> int:
+        """Copying convenience path (tests): reserve + write + commit."""
+        view = self.reserve(kind, len(payload))
+        view[:] = payload
+        return self.commit(view)
+
+    # ------------------------------------------------------------------ consumer
+
+    def _write_counter(self) -> int:
+        assert self._buf is not None
+        return _CTRL.unpack_from(self._buf, 0)[0]
+
+    def _publish_read(self) -> None:
+        assert self._buf is not None
+        struct.pack_into("<Q", self._buf, 8, self._read)
+
+    def _release_held(self) -> None:
+        if self._held is None:
+            return
+        view, advance = self._held
+        self._held = None
+        view.release()
+        self._read += advance
+        self._publish_read()
+
+    def try_recv(self) -> Optional[tuple[int, int, memoryview]]:
+        """Pop the next data frame: ``(seq, kind, payload)`` or ``None``.
+
+        The payload view aliases ring memory and stays valid until the
+        *next* ``try_recv``/``recv``/``close`` call, which also frees
+        the frame's space for the producer.  The CRC is verified here.
+        """
+        self._release_held()
+        buf = self._buf
+        if buf is None:
+            raise ShmRingError("ring is closed")
+        write = self._write_counter()
+        while True:
+            if self._read == write:
+                return None
+            position = self._read % self.capacity
+            contiguous = self.capacity - position
+            if contiguous < _HEADER.size:
+                self._read += contiguous
+                self._publish_read()
+                continue
+            size, seq, kind, crc = _HEADER.unpack_from(
+                buf, _DATA_OFFSET + position
+            )
+            if kind == FRAME_PAD:
+                self._read += _HEADER.size + size
+                self._publish_read()
+                continue
+            start = _DATA_OFFSET + position + _HEADER.size
+            payload = buf[start:start + size]
+            if zlib.crc32(payload) & 0xFFFFFFFF != crc:
+                payload.release()
+                raise ShmFrameError(
+                    f"frame {seq} (kind {kind}, {size} bytes) failed its "
+                    f"CRC check"
+                )
+            self._held = (payload, _HEADER.size + size)
+            return seq, kind, payload
+
+    def recv(
+        self, on_stall: Optional[Callable[[int], None]] = None
+    ) -> tuple[int, int, memoryview]:
+        """Blocking :meth:`try_recv` with the same stall budget."""
+        spins = 0
+        while True:
+            frame = self.try_recv()
+            if frame is not None:
+                return frame
+            spins += 1
+            if on_stall is not None:
+                on_stall(spins)
+            if spins > self.stall_timeout:
+                raise ShmRingError(
+                    f"ring empty: producer made no progress in "
+                    f"{spins} checks"
+                )
+            time.sleep(_STALL_SLEEP_SECONDS)
+
+    # ------------------------------------------------------------------ lifecycle
+
+    def close(self) -> None:
+        """Release views and detach from the segment (idempotent)."""
+        if self._closed:
+            return
+        self._closed = True
+        self._release_held()
+        self._pending = None
+        self._buf = None
+        self._shm.close()
+
+    def unlink(self) -> None:
+        """Destroy the segment (owner side, once, after close)."""
+        if not self.owner or self._unlinked:
+            return
+        self._unlinked = True
+        self._shm.unlink()
+
+    def __enter__(self) -> "ShmRing":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()
+        self.unlink()

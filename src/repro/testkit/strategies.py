@@ -24,13 +24,14 @@ from hypothesis import strategies as st
 
 from ..core.iputil import IPV4
 from ..core.params import IPDParams
-from ..netflow.records import FlowRecord
+from ..netflow.records import FlowBatch, FlowRecord
 from ..topology.elements import IngressPoint
 
 __all__ = [
     "DEFAULT_INGRESSES",
     "SMALL_SPACE_PARAMS",
     "engine_params",
+    "flow_batches",
     "flow_events",
     "flow_events_list",
     "shard_counts",
@@ -134,6 +135,39 @@ def traces(
                 )
             )
     return flows
+
+
+@st.composite
+def flow_batches(
+    draw: st.DrawFn,
+    version: int = IPV4,
+    max_rows: int = 64,
+    ingresses: tuple[IngressPoint, ...] = DEFAULT_INGRESSES,
+) -> FlowBatch:
+    """Columnar :class:`FlowBatch` values for the wire-codec suites.
+
+    Rows span the full address and counter ranges of the family,
+    timestamps are arbitrary finite f64 values (the codec must carry
+    them bit-exactly), and ``dst_ips`` mixes ``None`` with real
+    addresses so the presence-bitmap path is exercised.  ``max_rows=0``
+    yields only empty batches.
+    """
+    max_src = (1 << 32) - 1 if version == IPV4 else (1 << 128) - 1
+    max_count = (1 << 64) - 1
+    rows = draw(st.integers(min_value=0, max_value=max_rows))
+
+    def column(values: st.SearchStrategy) -> list:
+        return draw(st.lists(values, min_size=rows, max_size=rows))
+
+    return FlowBatch(
+        version,
+        column(st.floats(allow_nan=False, allow_infinity=False, width=64)),
+        column(st.integers(min_value=0, max_value=max_src)),
+        column(st.sampled_from(ingresses)),
+        column(st.integers(min_value=0, max_value=max_count)),
+        column(st.integers(min_value=0, max_value=max_count)),
+        column(st.none() | st.integers(min_value=0, max_value=max_src)),
+    )
 
 
 def engine_params(

@@ -1,0 +1,12 @@
+"""Fixture: pickle outside the executor's legacy branch trips IPD007."""
+import pickle  # fires: module-level serializer import in the transport
+
+
+def _feed_shm(ring, batch):
+    payload = pickle.dumps(batch)  # fires: shm data plane must not pickle
+    ring.send(payload)
+
+
+def _feed_pickle(conn, batch):
+    # the sanctioned legacy-transport branch: functions named *pickle*
+    conn.send(pickle.dumps(batch))

@@ -1,0 +1,15 @@
+"""Fixture: nothing here may trip IPD007 (no-pickle-hot-path)."""
+import pickle
+
+from repro.devtools.markers import hot_path
+
+
+class Engine:
+    @hot_path
+    def ingest(self, batch, codec):
+        # the binary wire codec, not object serialization: clean
+        return codec.encode(batch)
+
+    def snapshot(self, state):
+        # pickle outside hot paths and outside the executor module: fine
+        return pickle.dumps(state)

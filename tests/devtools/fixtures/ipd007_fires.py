@@ -1,0 +1,16 @@
+"""Fixture: pickle/marshal on hot paths must trip IPD007 four ways."""
+from repro.devtools.markers import hot_path
+
+
+class Engine:
+    @hot_path
+    def ingest(self, batch):
+        import pickle  # fires: pickle import inside a hot path
+
+        return pickle.dumps(batch)  # fires: pickle call inside a hot path
+
+    @hot_path
+    def persist(self, state):
+        import marshal  # fires: marshal import inside a hot path
+
+        return marshal.dumps(state)  # fires: marshal call inside a hot path

@@ -15,10 +15,12 @@ from repro.devtools.markers import hot_path
 
 FIXTURES = Path(__file__).parent / "fixtures"
 
-ALL_CODES = ["IPD001", "IPD002", "IPD003", "IPD004", "IPD005", "IPD006"]
+ALL_CODES = [
+    "IPD001", "IPD002", "IPD003", "IPD004", "IPD005", "IPD006", "IPD007"
+]
 
 
-def test_registry_holds_all_six_rules():
+def test_registry_holds_all_rules():
     build_rules()  # importing the rules module populates the registry
     assert sorted(registered_rules()) == ALL_CODES
 

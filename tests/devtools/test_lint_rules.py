@@ -1,4 +1,4 @@
-"""Fires / does-not-fire fixture pair per lint rule (IPD001–IPD006).
+"""Fires / does-not-fire fixture pair per lint rule (IPD001–IPD007).
 
 Each rule is exercised in isolation (``select=[code]``) against a
 fixture that must trip it and one that must not, so a rule that stops
@@ -19,6 +19,7 @@ _PAIRS = [
     ("IPD002", FIXTURES / "ipd002_fires.py", 4, FIXTURES / "ipd002_clean.py"),
     ("IPD005", FIXTURES / "ipd005_fires.py", 3, FIXTURES / "ipd005_clean.py"),
     ("IPD006", FIXTURES / "ipd006_fires.py", 3, FIXTURES / "ipd006_clean.py"),
+    ("IPD007", FIXTURES / "ipd007_fires.py", 4, FIXTURES / "ipd007_clean.py"),
 ]
 
 
@@ -79,3 +80,21 @@ def test_ipd005_only_flags_loops_of_hot_functions():
 def test_ipd006_names_the_seam_contract():
     report = run_lint([str(FIXTURES / "ipd006_fires.py")], select=["IPD006"])
     assert all("fault_hook" in f.message for f in report.findings)
+
+
+def test_ipd007_fires_in_executor_module_outside_legacy_branch():
+    # lint the directory so the file scans as runtime/executors.py
+    report = run_lint([str(FIXTURES / "ipd007")], select=["IPD007"])
+    assert len(report.findings) == 2
+    assert all(f.rule == "IPD007" for f in report.findings)
+    # the module-level import and the shm feed are flagged; nothing in
+    # the *_pickle legacy branch is
+    assert all(f.line < 10 for f in report.findings)
+
+
+def test_ipd007_messages_name_the_serializer():
+    report = run_lint([str(FIXTURES / "ipd007_fires.py")], select=["IPD007"])
+    messages = " ".join(f.message for f in report.findings)
+    assert "pickle" in messages
+    assert "marshal" in messages
+    assert "@hot_path" in messages

@@ -55,7 +55,9 @@ def test_cli_exits_two_on_usage_errors():
 def test_cli_list_rules(capsys):
     assert main(["--list-rules"]) == 0
     out = capsys.readouterr().out
-    for code in ("IPD001", "IPD002", "IPD003", "IPD004", "IPD005", "IPD006"):
+    for code in (
+        "IPD001", "IPD002", "IPD003", "IPD004", "IPD005", "IPD006", "IPD007"
+    ):
         assert code in out
 
 

@@ -1,0 +1,214 @@
+"""The FlowBatch wire codec: lossless round-trips and typed damage.
+
+The shm transport moves every flow through this codec, so its two
+contracts are load-bearing: (1) decode(encode(batch)) reproduces the
+batch exactly — bit-exact f64 timestamps, full-range u32/u128
+addresses, ingress identity through the per-connection interning
+table — and (2) every kind of damaged frame raises the typed
+``WireCodecError`` with the interning table rolled back, never a
+silently divergent batch.
+"""
+
+import struct
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.iputil import IPV4, IPV6
+from repro.netflow.records import FlowBatch
+from repro.netflow.wirecodec import (
+    WIRE_VERSION,
+    FlowBatchDecoder,
+    FlowBatchEncoder,
+    IncompatibleWireError,
+    WireCodecError,
+)
+from repro.testkit import strategies as ipd_st
+from repro.topology.elements import IngressPoint
+
+
+def assert_batches_equal(ours: FlowBatch, theirs: FlowBatch) -> None:
+    assert ours.version == theirs.version
+    # struct.pack("<d") round-trips exactly, so plain float equality is
+    # the bit-exactness check (NaN is excluded by the strategies)
+    assert ours.timestamps == theirs.timestamps
+    assert ours.src_ips == theirs.src_ips
+    assert ours.ingresses == theirs.ingresses
+    assert ours.packet_counts == theirs.packet_counts
+    assert ours.byte_counts == theirs.byte_counts
+    assert ours.dst_ips == theirs.dst_ips
+
+
+def roundtrip(batch: FlowBatch) -> FlowBatch:
+    encoder = FlowBatchEncoder()
+    decoder = FlowBatchDecoder()
+    return decoder.decode_from(encoder.encode(batch))
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("version", [IPV4, IPV6])
+    def test_empty_batch(self, version):
+        assert_batches_equal(
+            FlowBatch.empty(version), roundtrip(FlowBatch.empty(version))
+        )
+
+    def test_extreme_values_v6(self):
+        batch = FlowBatch(
+            IPV6,
+            [0.0, -0.0, 1e308, 5e-324, 1706745600.000001],
+            [0, (1 << 128) - 1, 1 << 127, 1, (1 << 64) - 1],
+            [IngressPoint("R1", "et0")] * 5,
+            [0, (1 << 64) - 1, 1, 2, 3],
+            [0, (1 << 64) - 1, 9, 8, 7],
+            [None, (1 << 128) - 1, None, 0, None],
+        )
+        decoded = roundtrip(batch)
+        assert_batches_equal(batch, decoded)
+        # -0.0 must keep its sign bit, not just compare equal to 0.0
+        assert struct.pack("<d", decoded.timestamps[1]) == struct.pack(
+            "<d", -0.0
+        )
+
+    def test_unicode_ingress_names(self):
+        batch = FlowBatch(
+            IPV4,
+            [1.0],
+            [42],
+            [IngressPoint("börder-router-β", "ethé/0")],
+            [1],
+            [1500],
+            [None],
+        )
+        assert_batches_equal(batch, roundtrip(batch))
+
+    def test_interning_spans_batches(self):
+        """Steady-state frames carry indexes, not ingress strings."""
+        encoder = FlowBatchEncoder()
+        decoder = FlowBatchDecoder()
+        ingress = IngressPoint("R1", "et0")
+        batch = FlowBatch(IPV4, [1.0], [7], [ingress], [1], [1], [None])
+        first = encoder.encode(batch)
+        second = encoder.encode(batch)
+        saved = len(first) - len(second)
+        assert saved == 4 + len("R1") + len("et0")
+        one = decoder.decode_from(first)
+        two = decoder.decode_from(second)
+        assert one.ingresses == two.ingresses == [ingress]
+
+    def test_measure_is_exact(self):
+        encoder = FlowBatchEncoder()
+        batch = FlowBatch(
+            IPV4,
+            [1.0, 2.0],
+            [1, 2],
+            [IngressPoint("R1", "et0"), IngressPoint("R2", "et0")],
+            [1, 1],
+            [1, 1],
+            [None, 3],
+        )
+        measured = encoder.measure(batch)
+        assert len(encoder.encode(batch)) == measured
+
+    @given(batch=ipd_st.flow_batches(version=IPV4))
+    @settings(max_examples=60, deadline=None)
+    def test_v4_roundtrip(self, batch):
+        assert_batches_equal(batch, roundtrip(batch))
+
+    @given(batch=ipd_st.flow_batches(version=IPV6))
+    @settings(max_examples=60, deadline=None)
+    def test_v6_roundtrip(self, batch):
+        assert_batches_equal(batch, roundtrip(batch))
+
+    @given(
+        batches=st.lists(
+            ipd_st.flow_batches(version=IPV4, max_rows=16),
+            min_size=1,
+            max_size=6,
+        )
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_connection_roundtrip(self, batches):
+        """One encoder paired with one decoder over a frame sequence —
+        the shape of an actual transport connection — stays lossless."""
+        encoder = FlowBatchEncoder()
+        decoder = FlowBatchDecoder()
+        for batch in batches:
+            assert_batches_equal(
+                batch, decoder.decode_from(encoder.encode(batch))
+            )
+
+
+class TestDamage:
+    def _frame(self, rows: int = 2) -> bytes:
+        batch = FlowBatch(
+            IPV4,
+            [float(row) for row in range(rows)],
+            list(range(rows)),
+            [IngressPoint("R1", "et0")] * rows,
+            [1] * rows,
+            [1] * rows,
+            [None] * rows,
+        )
+        return FlowBatchEncoder().encode(batch)
+
+    def test_truncated_frame(self):
+        frame = self._frame()
+        with pytest.raises(WireCodecError):
+            FlowBatchDecoder().decode_from(frame[: len(frame) - 3])
+
+    def test_trailing_bytes(self):
+        with pytest.raises(WireCodecError, match="trailing"):
+            FlowBatchDecoder().decode_from(self._frame() + b"\x00")
+
+    def test_newer_wire_version(self):
+        frame = bytearray(self._frame())
+        struct.pack_into("<H", frame, 0, WIRE_VERSION + 1)
+        with pytest.raises(IncompatibleWireError):
+            FlowBatchDecoder().decode_from(bytes(frame))
+
+    def test_bad_family(self):
+        frame = bytearray(self._frame())
+        frame[2] = 9
+        with pytest.raises(WireCodecError):
+            FlowBatchDecoder().decode_from(bytes(frame))
+
+    def test_dangling_ingress_reference(self):
+        decoder = FlowBatchDecoder()
+        # frame referencing interning index 0 on a fresh decoder whose
+        # table is empty: strip the definitions by lying about the count
+        frame = bytearray(self._frame())
+        struct.pack_into("<I", frame, 8, 0)  # new-ingress count = 0
+        with pytest.raises(WireCodecError):
+            decoder.decode_from(bytes(frame))
+        assert decoder._table == []  # rollback left the table clean
+
+    def test_encoder_rejects_small_buffer(self):
+        encoder = FlowBatchEncoder()
+        batch = FlowBatch(
+            IPV4, [1.0], [1], [IngressPoint("R1", "et0")], [1], [1], [None]
+        )
+        with pytest.raises(WireCodecError, match="too small"):
+            encoder.encode_into(batch, bytearray(4))
+        # the failed encode must not have interned anything
+        assert encoder._table == {}
+        assert_batches_equal(
+            batch, FlowBatchDecoder().decode_from(encoder.encode(batch))
+        )
+
+    def test_encoder_rejects_unknown_family(self):
+        with pytest.raises(WireCodecError):
+            FlowBatchEncoder().encode(FlowBatch.empty(5))
+
+    def test_decoder_rolls_back_interning_on_damage(self):
+        encoder = FlowBatchEncoder()
+        decoder = FlowBatchDecoder()
+        good = FlowBatch(
+            IPV4, [1.0], [1], [IngressPoint("R1", "et0")], [1], [1], [None]
+        )
+        frame = encoder.encode(good)
+        with pytest.raises(WireCodecError):
+            decoder.decode_from(frame + b"\x01")  # trailing-byte damage
+        assert decoder._table == []
+        # the same frame, undamaged, still decodes on this connection
+        assert_batches_equal(good, decoder.decode_from(frame))

@@ -39,12 +39,15 @@ def reference_run(flows, params):
     ).run(flows)
 
 
-def sharded_run(flows, params, shards, executor="serial", workers=None):
+def sharded_run(
+    flows, params, shards, executor="serial", workers=None, transport="pickle"
+):
     with Pipeline(
         params,
         shards=shards,
         executor=executor,
         workers=workers,
+        transport=transport,
         snapshot_seconds=120.0,
         include_unclassified=True,
     ) as pipeline:
@@ -146,6 +149,36 @@ class TestExecutorEquivalence:
         )
 
 
+class TestTransportEquivalence:
+    """Acceptance pin: mp snapshots are byte-identical to the serial
+    reference for N in {1, 4, 16} on both data planes — the legacy
+    pickle pipe and the zero-copy shm rings."""
+
+    @pytest.mark.parametrize("transport", ["pickle", "shm"])
+    @pytest.mark.parametrize("shards", [1, 4, 16])
+    def test_fig05_trace(self, shards, transport):
+        flows = fig05_trace()
+        assert_equivalent(
+            reference_run(flows, FIG05_PARAMS),
+            sharded_run(
+                flows, FIG05_PARAMS, shards, executor="mp", workers=2,
+                transport=transport,
+            ),
+        )
+
+    @pytest.mark.parametrize("transport", ["pickle", "shm"])
+    @pytest.mark.parametrize("shards", [1, 4, 16])
+    def test_dualstack_trace(self, shards, transport):
+        flows = dualstack_trace()
+        assert_equivalent(
+            reference_run(flows, DUALSTACK_PARAMS),
+            sharded_run(
+                flows, DUALSTACK_PARAMS, shards, executor="mp", workers=2,
+                transport=transport,
+            ),
+        )
+
+
 class TestShardedValidation:
     def test_non_power_of_two_rejected(self):
         with pytest.raises(ValueError):
@@ -163,6 +196,16 @@ class TestShardedValidation:
     def test_unknown_executor_rejected(self):
         with pytest.raises(ValueError):
             ShardedIPD(FIG05_PARAMS, shards=4, executor="gpu")
+
+    def test_unknown_transport_rejected(self):
+        with pytest.raises(ValueError):
+            ShardedIPD(FIG05_PARAMS, shards=4, executor="mp", transport="rdma")
+
+    def test_transport_requires_mp_executor(self):
+        with pytest.raises(ValueError, match="mp executor"):
+            ShardedIPD(
+                FIG05_PARAMS, shards=4, executor="serial", transport="shm"
+            )
 
     def test_close_is_idempotent(self):
         engine = ShardedIPD(FIG05_PARAMS, shards=4, executor="threaded")

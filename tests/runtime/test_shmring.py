@@ -1,0 +1,217 @@
+"""ShmRing protocol: ordering, wrap/PAD handling, backpressure, damage.
+
+The ring is exercised in-process (producer and an attached consumer in
+one test body, or a consumer thread for the backpressure cases) — the
+protocol is position-based shared state, so nothing about it needs a
+second OS process to be covered.
+"""
+
+import threading
+import time
+
+import pytest
+
+from repro.runtime.shmring import (
+    FRAME_FEED,
+    FRAME_OPS,
+    ShmFrameError,
+    ShmRing,
+    ShmRingError,
+)
+
+
+@pytest.fixture
+def ring():
+    ring = ShmRing(capacity=256)
+    consumer = ShmRing(name=ring.name)
+    yield ring, consumer
+    consumer.close()
+    ring.close()
+    ring.unlink()
+
+
+class TestOrdering:
+    def test_frames_arrive_in_commit_order_across_wraps(self, ring):
+        producer, consumer = ring
+        # 256-byte capacity, ~29-byte frames: plenty of wraparounds
+        drained = []
+
+        def consume():
+            while len(drained) < 200:
+                frame = consumer.try_recv()
+                if frame is None:
+                    continue
+                seq, kind, payload = frame
+                drained.append((seq, kind, bytes(payload)))
+
+        thread = threading.Thread(target=consume, daemon=True)
+        thread.start()
+        for index in range(200):
+            kind = FRAME_FEED if index % 2 == 0 else FRAME_OPS
+            producer.send(kind, index.to_bytes(2, "little") * 8)
+        thread.join(timeout=30.0)
+        assert not thread.is_alive()
+        assert [seq for seq, __, __ in drained] == list(range(1, 201))
+        for index, (__, kind, payload) in enumerate(drained):
+            assert kind == (FRAME_FEED if index % 2 == 0 else FRAME_OPS)
+            assert payload == index.to_bytes(2, "little") * 8
+
+    def test_sequence_is_the_watermark(self, ring):
+        producer, consumer = ring
+        assert producer.sequence == 0
+        producer.send(FRAME_FEED, b"a")
+        producer.send(FRAME_FEED, b"bb")
+        assert producer.sequence == 2
+        seq, __, __ = consumer.try_recv()
+        assert seq == 1
+        seq, __, __ = consumer.try_recv()
+        assert seq == 2
+
+    def test_zero_length_payload(self, ring):
+        producer, consumer = ring
+        producer.send(FRAME_OPS, b"")
+        seq, kind, payload = consumer.try_recv()
+        assert (seq, kind, bytes(payload)) == (1, FRAME_OPS, b"")
+
+
+class TestReserveCommit:
+    def test_encode_in_place(self, ring):
+        producer, consumer = ring
+        view = producer.reserve(FRAME_FEED, 10)
+        view[:] = b"0123456789"
+        producer.commit(view)
+        __, __, payload = consumer.try_recv()
+        assert bytes(payload) == b"0123456789"
+
+    def test_double_reservation_rejected(self, ring):
+        producer, __ = ring
+        view = producer.reserve(FRAME_FEED, 4)
+        with pytest.raises(ShmRingError, match="never committed"):
+            producer.reserve(FRAME_FEED, 4)
+        producer.abort(view)
+
+    def test_abort_frees_the_reservation(self, ring):
+        producer, consumer = ring
+        view = producer.reserve(FRAME_FEED, 4)
+        producer.abort(view)
+        assert consumer.try_recv() is None
+        producer.send(FRAME_FEED, b"ok")  # reservable again
+        __, __, payload = consumer.try_recv()
+        assert bytes(payload) == b"ok"
+
+    def test_commit_without_reservation_rejected(self, ring):
+        producer, __ = ring
+        with pytest.raises(ShmRingError, match="without a reservation"):
+            producer.commit(memoryview(bytearray(4)))
+
+    def test_oversized_frame_rejected(self, ring):
+        producer, __ = ring
+        with pytest.raises(ShmRingError, match="exceeds ring capacity"):
+            producer.reserve(FRAME_FEED, producer.capacity)
+
+
+class TestBackpressure:
+    def test_producer_waits_for_consumer(self, ring):
+        producer, consumer = ring
+        payload = bytes(90)
+        producer.send(FRAME_FEED, payload)
+        producer.send(FRAME_FEED, payload)  # ring is now nearly full
+        drained = []
+
+        def drain_later():
+            time.sleep(0.05)
+            while len(drained) < 3:
+                frame = consumer.try_recv()
+                if frame is not None:
+                    drained.append(bytes(frame[2]))
+
+        thread = threading.Thread(target=drain_later, daemon=True)
+        thread.start()
+        producer.send(FRAME_FEED, payload)  # blocks until space is freed
+        thread.join(timeout=30.0)
+        assert not thread.is_alive()
+        assert producer.sequence == 3
+        assert drained == [payload] * 3
+
+    def test_force_stall_drives_the_wait_loop(self, ring):
+        producer, __ = ring
+        producer.force_stall(3)
+        stalls = []
+        view = producer.reserve(FRAME_FEED, 8, on_stall=stalls.append)
+        producer.abort(view)
+        assert stalls == [1, 2, 3]
+
+    def test_stall_timeout_raises_typed(self):
+        producer = ShmRing(capacity=64, stall_timeout=5)
+        try:
+            producer.send(FRAME_FEED, bytes(40))
+            with pytest.raises(ShmRingError, match="no progress"):
+                producer.send(FRAME_FEED, bytes(40))
+        finally:
+            producer.close()
+            producer.unlink()
+
+    def test_recv_timeout_raises_typed(self):
+        consumer = ShmRing(capacity=64, stall_timeout=5)
+        try:
+            with pytest.raises(ShmRingError, match="no progress"):
+                consumer.recv()
+        finally:
+            consumer.close()
+            consumer.unlink()
+
+
+class TestDamage:
+    def test_corrupt_commit_raises_frame_error(self, ring):
+        producer, consumer = ring
+        view = producer.reserve(FRAME_FEED, 16)
+        view[:] = b"x" * 16
+        producer.commit(view, corrupt=True)
+        with pytest.raises(ShmFrameError, match="CRC"):
+            consumer.try_recv()
+
+    def test_clean_frames_pass_crc(self, ring):
+        producer, consumer = ring
+        for index in range(20):  # interleaved so the tiny ring never fills
+            producer.send(FRAME_FEED, bytes([index]) * 24)
+            __, __, payload = consumer.try_recv()
+            assert bytes(payload) == bytes([index]) * 24
+
+
+class TestLifecycle:
+    def test_attach_by_name_sees_capacity(self):
+        owner = ShmRing(capacity=512)
+        attached = ShmRing(name=owner.name)
+        assert attached.capacity == 512
+        assert not attached.owner and owner.owner
+        attached.close()
+        owner.close()
+        owner.unlink()
+
+    def test_close_and_unlink_are_idempotent(self):
+        ring = ShmRing(capacity=128)
+        ring.close()
+        ring.close()
+        ring.unlink()
+        ring.unlink()
+
+    def test_operations_after_close_raise(self):
+        ring = ShmRing(capacity=128)
+        ring.close()
+        ring.unlink()
+        with pytest.raises(ShmRingError, match="closed"):
+            ring.reserve(FRAME_FEED, 4)
+        with pytest.raises(ShmRingError, match="closed"):
+            ring.try_recv()
+
+    def test_context_manager_tears_down(self):
+        with ShmRing(capacity=128) as ring:
+            name = ring.name
+        from multiprocessing import shared_memory
+
+        with pytest.raises(FileNotFoundError):
+            shared_memory.SharedMemory(name=name)
+
+    def test_tiny_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            ShmRing(capacity=8)
