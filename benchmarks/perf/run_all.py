@@ -35,6 +35,13 @@ Three groups of measurements, all on the §5.7 workload (4096 distinct
   transports.  Recorded, not gated: the end-to-end ratio depends on
   the core count (zero-copy pays off when the router and the workers
   actually overlap; on one core it measures protocol overhead only).
+* ``query``    — the serving plane: CompiledLPM compile cost and blob
+  size, bulk and per-call lookup throughput through an installed
+  epoch, p50/p99 per-call latency, and the epoch hot-swap pause (the
+  longest single install over 1000 swaps).  Recorded, not gated.
+
+``--only GROUP[,GROUP]`` restricts a run to the named groups (the CI
+serving job runs ``--only query`` as a smoke check).
 
 ``--check BASELINE`` re-runs the ingest group and fails (exit 1) if any
 path regresses more than ``--tolerance`` (default 30%) against the
@@ -479,13 +486,139 @@ def bench_transport(flow_count: int, repeats: int,
     return result
 
 
-def run_benchmarks(flow_count: int, repeats: int) -> dict:
-    print(f"sec57 workload: {flow_count:,} flows, best of {repeats}")
-    flows = build_flows(flow_count)
+def bench_query(flow_count: int, repeats: int,
+                ranges: int = 4096) -> dict:
+    """The serving plane: compiled-LPM lookups and epoch hot-swap.
+
+    Measures compile cost, bulk and per-call lookup throughput through
+    an installed epoch, per-call tail latency, and the swap pause — the
+    longest single :meth:`IngressLookupService.install` observed while
+    alternating two prebuilt epochs (the zero-pause claim, quantified).
+    Recorded, not gated.
+    """
+    from repro.core.lpm import CompiledLPM
+    from repro.core.output import IPDRecord
+    from repro.core.snapshot import Snapshot
+    from repro.core.iputil import Prefix
+    from repro.serving import IngressLookupService, ServingEpoch
+
+    base = parse_ip("11.0.0.0")[0]
+    records = [
+        IPDRecord(
+            timestamp=300.0,
+            range=Prefix(base + index * 16, 28, IPV4),
+            ingress=INGRESSES[index % len(INGRESSES)],
+            s_ingress=0.97,
+            s_ipcount=64,
+            n_cidr=4,
+            candidates=(),
+            classified=True,
+        )
+        for index in range(ranges)
+    ]
+    compile_seconds = best_of(
+        lambda: CompiledLPM.from_records(records), repeats
+    )
+    table = CompiledLPM.from_records(records)
+    blob_bytes = len(table.to_bytes())
+
+    # query mix: ~87% hits spread across every range, rest misses
+    queries = [
+        (base + ((index * 2654435761) % (ranges * 16 * 8 // 7)))
+        & 0xFFFFFFFF
+        for index in range(max(flow_count, 10_000))
+    ]
+
+    service = IngressLookupService()
+    snapshot = Snapshot(300.0, records, epoch=1, source="bench")
+    service.install_snapshot(snapshot)
+
+    bulk_seconds = best_of(lambda: table.lookup_many(queries), repeats)
+    bulk_rate = len(queries) / bulk_seconds
+    service_seconds = best_of(
+        lambda: service.lookup_many(queries), repeats
+    )
+    service_rate = len(queries) / service_seconds
+
+    # per-call latency distribution through the service hot path
+    samples = queries[:20_000]
+    lookup = service.lookup
+    latencies = []
+    for value in samples:
+        start = time.perf_counter()
+        lookup(value)
+        latencies.append(time.perf_counter() - start)
+    latencies.sort()
+    p50_us = latencies[len(latencies) // 2] * 1e6
+    p99_us = latencies[(len(latencies) * 99) // 100] * 1e6
+
+    # swap pause: alternate two fully built epochs under measurement
+    other = ServingEpoch.from_snapshot(
+        Snapshot(600.0, records, epoch=2, source="bench")
+    )
+    first = service.current
+    installs = 1000
+    worst = 0.0
+    for index in range(installs):
+        epoch = other if index & 1 else first
+        start = time.perf_counter()
+        service.install(epoch)
+        pause = time.perf_counter() - start
+        if pause > worst:
+            worst = pause
+
+    result = {
+        "rows": len(table),
+        "compile_ms": round(compile_seconds * 1000.0, 3),
+        "blob_bytes": blob_bytes,
+        "queries": len(queries),
+        "bulk_lookups_per_second": round(bulk_rate),
+        "service_lookups_per_second": round(service_rate),
+        "p50_latency_us": round(p50_us, 3),
+        "p99_latency_us": round(p99_us, 3),
+        "swap_installs": installs,
+        "swap_pause_max_us": round(worst * 1e6, 3),
+        "note": "recorded, not gated: the swap pause bounds reader "
+                "stall during an epoch install (one reference store)",
+    }
+    print(f"  query compile={result['compile_ms']} ms "
+          f"({len(table)} rows, blob {blob_bytes:,} B)")
+    print(f"  query bulk={bulk_rate:,.0f} service={service_rate:,.0f} "
+          f"lookups/s  p50={p50_us:.2f} us  p99={p99_us:.2f} us")
+    print(f"  query swap pause max={result['swap_pause_max_us']} us "
+          f"over {installs} installs")
+    return result
+
+
+#: benchmark group name -> needs the sec57 flow list
+GROUPS = (
+    "ingest",
+    "batch_size_scaling",
+    "sweep",
+    "sharded_mp",
+    "checkpoint",
+    "transport",
+    "query",
+)
+
+
+def run_benchmarks(flow_count: int, repeats: int,
+                   only: "set[str] | None" = None) -> dict:
+    selected = set(GROUPS) if not only else only
+    unknown = selected - set(GROUPS)
+    if unknown:
+        raise ValueError(f"unknown benchmark group(s): {sorted(unknown)}")
+    print(f"sec57 workload: {flow_count:,} flows, best of {repeats}; "
+          f"groups: {', '.join(g for g in GROUPS if g in selected)}")
+    flows = (
+        build_flows(flow_count)
+        if selected & {"ingest", "batch_size_scaling"}
+        else []
+    )
     print("calibrating machine speed...")
     calibration = calibrate()
     print(f"  calibration {calibration:,.0f} ops/s")
-    results = {
+    results: dict = {
         "meta": {
             "workload": "sec57",
             "flows": flow_count,
@@ -494,13 +627,21 @@ def run_benchmarks(flow_count: int, repeats: int) -> dict:
         },
         "calibration_ops_per_second": round(calibration),
         "seed_flows_per_second": SEED_FLOWS_PER_SECOND,
-        "ingest": bench_ingest(flows, repeats),
-        "batch_size_scaling": bench_batch_sizes(flows, repeats),
-        "sweep": bench_sweep(),
-        "sharded_mp": bench_sharded_mp(flow_count, repeats),
-        "checkpoint": bench_checkpoint(flow_count, repeats),
-        "transport": bench_transport(flow_count, repeats),
     }
+    if "ingest" in selected:
+        results["ingest"] = bench_ingest(flows, repeats)
+    if "batch_size_scaling" in selected:
+        results["batch_size_scaling"] = bench_batch_sizes(flows, repeats)
+    if "sweep" in selected:
+        results["sweep"] = bench_sweep()
+    if "sharded_mp" in selected:
+        results["sharded_mp"] = bench_sharded_mp(flow_count, repeats)
+    if "checkpoint" in selected:
+        results["checkpoint"] = bench_checkpoint(flow_count, repeats)
+    if "transport" in selected:
+        results["transport"] = bench_transport(flow_count, repeats)
+    if "query" in selected:
+        results["query"] = bench_query(flow_count, repeats)
     return results
 
 
@@ -567,10 +708,26 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--tolerance", type=float, default=0.30,
                         help="allowed fractional regression vs baseline "
                              "(default 0.30)")
+    parser.add_argument("--only", default=None,
+                        help="comma-separated benchmark groups to run "
+                             f"(default all: {','.join(GROUPS)})")
     args = parser.parse_args(argv)
 
+    only = (
+        {name.strip() for name in args.only.split(",") if name.strip()}
+        if args.only
+        else None
+    )
     _assert_hot_path_is_free()
-    results = run_benchmarks(args.flows, args.repeats)
+    try:
+        results = run_benchmarks(args.flows, args.repeats, only=only)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if args.check is not None and "ingest" not in results:
+        print("error: --check needs the ingest group (drop --only or "
+              "include ingest)", file=sys.stderr)
+        return 2
     if args.output is not None:
         args.output.parent.mkdir(parents=True, exist_ok=True)
         args.output.write_text(json.dumps(results, indent=2) + "\n")

@@ -12,14 +12,17 @@ from .steering import SteeringPlan, SteeringPolicy, apply_plan, link_loads
 from .core import (
     DEFAULT_PARAMS,
     IPD,
+    CompiledLPM,
     IPDParams,
     IPDRecord,
     LPMTable,
     OfflineDriver,
     Prefix,
     RunResult,
+    Snapshot,
     ThreadedIPD,
     build_lpm_from_records,
+    compile_lpm_from_records,
 )
 from .netflow import FlowRecord, PacketSampler, StatisticalTime
 from .runtime import (
@@ -38,6 +41,7 @@ __version__ = "1.0.0"
 __all__ = [
     "Checkpoint",
     "CheckpointStore",
+    "CompiledLPM",
     "DEFAULT_PARAMS",
     "IPD",
     "IPDParams",
@@ -53,6 +57,7 @@ __all__ = [
     "Prefix",
     "RunResult",
     "ShardedIPD",
+    "Snapshot",
     "SnapshotArchive",
     "SteeringPlan",
     "SteeringPolicy",
@@ -63,6 +68,7 @@ __all__ = [
     "WorkerCrashError",
     "apply_plan",
     "build_lpm_from_records",
+    "compile_lpm_from_records",
     "generate_topology",
     "link_loads",
     "restore_engine",

@@ -10,8 +10,9 @@ Layout::
     <root>/
       index.json                       # day -> {file, snapshots, records}
       2021-03-04.csv.gz                # all snapshots of that (UTC) day
-      2021-03-05.csv.gz
-      ...
+      2021-03-04.00000.v4.lpm          # compiled-LPM blob per snapshot
+      2021-03-05.csv.gz                #   and family (optional, next to
+      ...                              #   the day's CSV partition)
 
 Each partition holds the standard record CSV (one header, records of
 many snapshots distinguished by their ``timestamp`` column), so a
@@ -32,11 +33,14 @@ import gzip
 import io
 import json
 import pathlib
+from bisect import bisect_right
 from dataclasses import dataclass
-from typing import Iterable, Iterator, Optional, Sequence
+from typing import Iterable, Iterator, Mapping, Optional, Sequence
 
-from .core.iputil import Prefix
+from .core.iputil import IPV4, Prefix
+from .core.lpm import CompiledLPM
 from .core.output import IPDRecord, read_records_csv, write_records_csv
+from .core.snapshot import Snapshot
 
 __all__ = ["SnapshotArchive", "ArchiveStats"]
 
@@ -86,8 +90,20 @@ class SnapshotArchive:
             return legacy
         return _day_key(timestamp)
 
-    def append(self, timestamp: float, records: Sequence[IPDRecord]) -> None:
-        """Append one snapshot; snapshots must arrive in time order."""
+    def append(
+        self,
+        timestamp: float,
+        records: Sequence[IPDRecord],
+        compiled: Optional[Mapping[int, bytes]] = None,
+    ) -> None:
+        """Append one snapshot; snapshots must arrive in time order.
+
+        *compiled* optionally maps address family → compiled-LPM blob
+        (:meth:`repro.core.lpm.CompiledLPM.to_bytes`); each blob is
+        stored as its own file in the snapshot's day partition, next to
+        the CSV, and indexed so :meth:`compiled_at` can load it without
+        re-parsing (or re-compiling) the records.
+        """
         key = self._partition_key(timestamp)
         newest = self.newest_timestamp()
         if newest is not None and timestamp <= newest:
@@ -115,9 +131,32 @@ class SnapshotArchive:
             body = payload.split("\n", 1)[1]
             with gzip.open(path, "at") as stream:
                 stream.write(body)
+        if compiled:
+            sequence = len(entry["snapshots"])
+            blobs: dict[str, str] = {}
+            for version in sorted(compiled):
+                blob_name = f"{key}.{sequence:05d}.v{version}.lpm"
+                (self.root / blob_name).write_bytes(compiled[version])
+                blobs[str(version)] = blob_name
+            entry.setdefault("compiled", {})[_time_key(timestamp)] = blobs
         entry["snapshots"].append(timestamp)
         entry["records"] += len(stamped)
         self._save_index()
+
+    def append_snapshot(
+        self, snapshot: Snapshot, compiled: bool = True
+    ) -> None:
+        """Append one pipeline :class:`Snapshot`, blobs included.
+
+        With ``compiled=True`` (default) the snapshot's compiled LPM for
+        every present family is serialized alongside the CSV — the
+        artifact the serving plane's historical queries load directly.
+        """
+        self.append(
+            snapshot.when,
+            snapshot.records,
+            compiled=snapshot.compiled_blobs() if compiled else None,
+        )
 
     def append_run(self, snapshots: dict[float, Sequence[IPDRecord]]) -> int:
         """Append a whole run's snapshots (sorted); returns count."""
@@ -190,6 +229,85 @@ class SnapshotArchive:
         times = self.snapshot_times()
         return times[-1] if times else None
 
+    def load_at(
+        self, timestamp: float
+    ) -> Optional[tuple[float, list[IPDRecord]]]:
+        """The newest snapshot at or before *timestamp* (point-in-time).
+
+        Binary-searches :meth:`snapshot_times` (legacy ``day-NNNNNN``
+        and UTC-date partitions interleave correctly — the sorted time
+        list, not the key text, drives the search) and decompresses only
+        the one partition holding the hit.  Returns ``(snapshot time,
+        records)``, or ``None`` when the archive holds nothing that old.
+        """
+        times = self.snapshot_times()
+        position = bisect_right(times, timestamp)
+        if position == 0:
+            return None
+        found = times[position - 1]
+        return found, self._load_one(found)
+
+    def latest(self) -> Optional[tuple[float, list[IPDRecord]]]:
+        """The newest archived snapshot as ``(time, records)``."""
+        newest = self.newest_timestamp()
+        if newest is None:
+            return None
+        return newest, self._load_one(newest)
+
+    def compiled_at(
+        self, timestamp: float, version: int = IPV4
+    ) -> Optional[tuple[float, CompiledLPM]]:
+        """Point-in-time compiled LPM: the serving plane's history read.
+
+        Like :meth:`load_at`, but returns the stored compiled blob for
+        the chosen family when one was archived (no CSV parse, no
+        recompilation) and falls back to compiling the CSV records
+        otherwise.
+        """
+        times = self.snapshot_times()
+        position = bisect_right(times, timestamp)
+        if position == 0:
+            return None
+        found = times[position - 1]
+        blob_name = self._compiled_blob_name(found, version)
+        if blob_name is not None:
+            blob_path = self.root / blob_name
+            if blob_path.exists():
+                return found, CompiledLPM.from_bytes(blob_path.read_bytes())
+        return found, CompiledLPM.from_records(
+            self._load_one(found), version=version
+        )
+
+    def _entry_for_time(self, timestamp: float) -> Optional[dict]:
+        for entry in self._index.values():
+            if timestamp in entry["snapshots"]:
+                return entry
+        return None
+
+    def _load_one(self, timestamp: float) -> list[IPDRecord]:
+        """Records of the snapshot at exactly *timestamp* (one partition
+        decompressed, rows of other snapshots skipped)."""
+        entry = self._entry_for_time(timestamp)
+        if entry is None:
+            return []
+        records: list[IPDRecord] = []
+        with gzip.open(self.root / entry["file"], "rt") as stream:
+            for record in read_records_csv(stream):
+                if record.timestamp == timestamp:
+                    records.append(record)
+        return records
+
+    def _compiled_blob_name(
+        self, timestamp: float, version: int
+    ) -> Optional[str]:
+        entry = self._entry_for_time(timestamp)
+        if entry is None:
+            return None
+        blobs = entry.get("compiled", {}).get(_time_key(timestamp))
+        if not blobs:
+            return None
+        return blobs.get(str(version))
+
     def stats(self) -> ArchiveStats:
         compressed = sum(
             (self.root / entry["file"]).stat().st_size
@@ -211,3 +329,8 @@ def _restamp(record: IPDRecord, timestamp: float) -> IPDRecord:
     from dataclasses import replace
 
     return replace(record, timestamp=timestamp)
+
+
+def _time_key(timestamp: float) -> str:
+    """JSON-safe snapshot-time key; ``repr`` round-trips floats exactly."""
+    return repr(timestamp)

@@ -9,6 +9,8 @@ Thin operational wrappers over the library:
 * ``archive``   — maintain the longitudinal snapshot archive.
 * ``watch``     — print a prefix's classification trajectory from an
   archive (the Fig. 13/14 view, with a confidence sparkline).
+* ``serve``     — run the ingress lookup service (asyncio line
+  protocol) over an IPD output CSV or an archive's latest snapshot.
 
 All file formats are the library's own CSV round-trip formats
 (:mod:`repro.netflow.records`, :mod:`repro.core.output`), so outputs of
@@ -284,6 +286,53 @@ def _cmd_evaluate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from .archive import SnapshotArchive
+    from .core.snapshot import Snapshot
+    from .serving import IngressLookupService, LookupServer
+
+    archive = SnapshotArchive(args.archive) if args.archive else None
+    if args.records:
+        with open(args.records) as stream:
+            records = list(read_records_csv(stream))
+        if not records:
+            print(f"no records in {args.records}", file=sys.stderr)
+            return 2
+        when = max(record.timestamp for record in records)
+    elif archive is not None:
+        newest = archive.latest()
+        if newest is None:
+            print(f"archive {args.archive} holds no snapshots", file=sys.stderr)
+            return 2
+        when, records = newest
+    else:
+        print("serve requires --records and/or --archive", file=sys.stderr)
+        return 2
+
+    snapshot = Snapshot(when, records, epoch=1, source="cli")
+    service = IngressLookupService(archive=archive, shards=args.shards)
+    epoch = service.install_snapshot(snapshot)
+    server = LookupServer(service, host=args.host, port=args.port)
+
+    async def _run() -> None:
+        host, port = await server.start()
+        # flush: supervisors watch for the banner through a pipe
+        print(f"serving {len(epoch)} ranges (epoch {epoch.epoch}, "
+              f"watermark {epoch.watermark:.0f}s) on {host}:{port}",
+              flush=True)
+        print("protocol: GET <ip> | MGET <ip>... | AT <ts> <ip> | "
+              "STATS | QUIT", flush=True)
+        await server.serve_forever()
+
+    try:
+        asyncio.run(_run())
+    except KeyboardInterrupt:
+        print("shutting down")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -360,6 +409,22 @@ def build_parser() -> argparse.ArgumentParser:
     watch.add_argument("--start", type=float, default=None)
     watch.add_argument("--end", type=float, default=None)
     watch.set_defaults(handler=_cmd_watch)
+
+    serve = commands.add_parser(
+        "serve", help="run the ingress lookup service over TCP"
+    )
+    serve.add_argument("--records", default=None,
+                       help="IPD record CSV to compile and serve")
+    serve.add_argument("--archive", default=None,
+                       help="snapshot archive; serves its latest snapshot "
+                            "(unless --records is also given) and answers "
+                            "point-in-time AT queries")
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=0,
+                       help="TCP port (0 = ephemeral, printed at startup)")
+    serve.add_argument("--shards", type=int, default=4,
+                       help="query-load counter grid (power of two)")
+    serve.set_defaults(handler=_cmd_serve)
     return parser
 
 

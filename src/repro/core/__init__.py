@@ -5,10 +5,17 @@ from .bundles import bundle_candidates, dominant_ingress, make_bundle
 from .driver import OfflineDriver, RunResult, ThreadedIPD
 from .lbdetect import LBDetectorLike, LBVerdict, LoadBalanceDetector
 from .iputil import IPV4, IPV6, Prefix, format_ip, mask_ip, parse_ip, parse_prefix
-from .lpm import LPMTable, build_lpm_from_records
+from .lpm import (
+    CompiledEntry,
+    CompiledLPM,
+    LPMTable,
+    build_lpm_from_records,
+    compile_lpm_from_records,
+)
 from .output import IPDRecord, read_records_csv, write_records_csv
 from .params import DEFAULT_PARAMS, IPDParams, default_decay
 from .rangetree import RangeNode, RangeTree
+from .snapshot import Snapshot
 from .state import ClassifiedState, UnclassifiedState
 from .statecodec import (
     CODEC_VERSION,
@@ -23,6 +30,8 @@ from .statecodec import (
 
 __all__ = [
     "CODEC_VERSION",
+    "CompiledEntry",
+    "CompiledLPM",
     "DEFAULT_PARAMS",
     "EngineImage",
     "IPD",
@@ -40,6 +49,7 @@ __all__ = [
     "RangeNode",
     "RangeTree",
     "RunResult",
+    "Snapshot",
     "StateCodecError",
     "SweepReport",
     "ThreadedIPD",
@@ -47,6 +57,7 @@ __all__ = [
     "UnclassifiedState",
     "build_lpm_from_records",
     "bundle_candidates",
+    "compile_lpm_from_records",
     "decode_engine",
     "decode_subtree",
     "default_decay",

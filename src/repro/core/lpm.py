@@ -1,4 +1,4 @@
-"""Longest-prefix-match table over IPD output.
+"""Longest-prefix-match tables over IPD output.
 
 The paper's validation pipeline (§5.1) builds an LPM lookup table from
 each 5-minute IPD output bin, then replays the raw flow trace against it
@@ -6,21 +6,58 @@ to compare predicted with actual ingress points.  The same structure
 serves operational queries ("which ingress serves 198.51.100.17 right
 now?") and the longitudinal matching/stability analyses of §5.3.
 
-The table is a static binary trie built once per snapshot; lookups walk
-at most ``masklen`` bits and return the most specific covering entry.
+Two implementations share that contract:
+
+* :class:`LPMTable` — a mutable pointer trie, built incrementally; the
+  general-purpose structure (arbitrary payloads, exact-prefix ops).
+* :class:`CompiledLPM` — an immutable, array-packed compilation of one
+  snapshot's classified ranges: sorted prefix-key columns per masklen
+  (binary-searched), interned ingress ids, confidence and range-age
+  columns.  It is the serving plane's unit of deployment — cheap to
+  share between threads, allocation-free to query, and serializable as
+  a versioned blob (``to_bytes``/``from_bytes``, statecodec
+  conventions: magic + u16 version, typed decode errors, IPD004
+  fingerprint-pinned).
 """
 
 from __future__ import annotations
 
-from typing import Generic, Iterable, Iterator, Optional, TypeVar, cast
+import struct
+from array import array
+from bisect import bisect_left
+from typing import Generic, Iterable, Iterator, NamedTuple, Optional, TypeVar, cast
 
+from ..devtools.markers import hot_path
 from ..topology.elements import IngressPoint
 from .iputil import IPV4, IPV6, Prefix
 from .output import IPDRecord
+from .statecodec import (
+    IncompatibleStateError,
+    StateCodecError,
+    _damage_reported,
+    _Reader,
+    _Writer,
+)
 
-__all__ = ["LPMTable", "build_lpm_from_records"]
+__all__ = [
+    "CODEC_VERSION",
+    "CompiledEntry",
+    "CompiledLPM",
+    "LPMTable",
+    "build_lpm_from_records",
+    "compile_lpm_from_records",
+]
 
 V = TypeVar("V")
+
+#: bump when the compiled-blob wire format changes; decoders reject
+#: newer versions (IPD004 pins the layout fingerprint to this number)
+CODEC_VERSION = 1
+
+_MAGIC = b"IPDL"
+_KIND_COMPILED = 0x43  # 'C'
+
+_MASK64 = (1 << 64) - 1
 
 
 class _LPMNode(Generic[V]):
@@ -142,3 +179,373 @@ def build_lpm_from_records(
             continue
         table.insert(record.range, record.ingress)
     return table
+
+
+# ---------------------------------------------------------------------------
+# compiled (array-packed, immutable) LPM
+# ---------------------------------------------------------------------------
+
+
+class CompiledEntry(NamedTuple):
+    """One compiled row: the §5.1 answer plus its serving metadata."""
+
+    prefix: Prefix
+    ingress: IngressPoint
+    #: the snapshot's dominance share for this range (``s_ingress``)
+    confidence: float
+    #: the snapshot timestamp the row was compiled from; a query at time
+    #: ``at`` derives the answer's age as ``at - timestamp``
+    timestamp: float
+
+
+class CompiledLPM:
+    """An immutable, array-packed longest-prefix-match structure.
+
+    Rows are stored sorted by ``(masklen, prefix value)`` in flat
+    columns: prefix keys (one ``array('Q')`` for IPv4, a hi/lo pair for
+    IPv6), per-row masklens, interned ingress ids, confidence and the
+    source snapshot timestamp.  Each masklen owns a contiguous slice of
+    the key column; :meth:`lookup_row` walks masklens most-specific
+    first and binary-searches the slice, so a lookup is
+    ``O(#masklens · log n)`` with zero allocation — the shape the
+    serving hot path needs (rules IPD005/IPD008 pin it).
+
+    Instances are deeply read-only by convention (nothing mutates after
+    construction), which is what makes epoch hot-swap in
+    :mod:`repro.serving` a single reference assignment.
+    """
+
+    __slots__ = (
+        "version",
+        "_bits",
+        "_buckets",
+        "_keys",
+        "_keys_hi",
+        "_keys_lo",
+        "_masklens",
+        "_ingress_ids",
+        "_confidence",
+        "_timestamps",
+        "_ingresses",
+    )
+
+    def __init__(
+        self,
+        version: int,
+        rows: "Iterable[tuple[int, int, IngressPoint, float, float]]" = (),
+    ) -> None:
+        """Build from ``(masklen, value, ingress, confidence, timestamp)``
+        rows.  Rows may arrive in any order; a later duplicate prefix
+        replaces an earlier one (matching :meth:`LPMTable.insert`)."""
+        if version not in (IPV4, IPV6):
+            raise ValueError(f"unknown IP version: {version!r}")
+        self.version = version
+        bits = 32 if version == IPV4 else 128
+        self._bits = bits
+        dedup: dict[tuple[int, int], tuple[IngressPoint, float, float]] = {}
+        for masklen, value, ingress, confidence, timestamp in rows:
+            if not 0 <= masklen <= bits:
+                raise ValueError(f"masklen {masklen} out of range for v{version}")
+            shift = bits - masklen
+            canonical = (value >> shift) << shift if shift else value
+            if canonical >> bits:
+                raise ValueError(f"prefix value {value:#x} out of range")
+            dedup[(masklen, canonical)] = (ingress, confidence, timestamp)
+
+        intern: dict[IngressPoint, int] = {}
+        ingresses: list[IngressPoint] = []
+        masklens = array("B")
+        keys = array("Q")
+        keys_hi = array("Q")
+        keys_lo = array("Q")
+        ingress_ids = array("L")
+        confidences = array("d")
+        timestamps = array("d")
+        buckets: list[tuple[int, int, int]] = []  # (shift, start, end)
+        previous_masklen = -1
+        for index, (masklen, value) in enumerate(sorted(dedup)):
+            if masklen != previous_masklen:
+                buckets.append((bits - masklen, index, index))
+                previous_masklen = masklen
+            buckets[-1] = (buckets[-1][0], buckets[-1][1], index + 1)
+            masklens.append(masklen)
+            if version == IPV4:
+                keys.append(value)
+            else:
+                keys_hi.append(value >> 64)
+                keys_lo.append(value & _MASK64)
+            ingress, confidence, timestamp = dedup[(masklen, value)]
+            ingress_id = intern.get(ingress)
+            if ingress_id is None:
+                ingress_id = len(ingresses)
+                intern[ingress] = ingress_id
+                ingresses.append(ingress)
+            ingress_ids.append(ingress_id)
+            confidences.append(confidence)
+            timestamps.append(timestamp)
+        # lookups probe most-specific (largest masklen == smallest shift)
+        # first so the first hit is the longest match
+        buckets.sort(key=lambda bucket: bucket[0])
+        self._buckets: tuple[tuple[int, int, int], ...] = tuple(buckets)
+        self._keys = keys
+        self._keys_hi = keys_hi
+        self._keys_lo = keys_lo
+        self._masklens = masklens
+        self._ingress_ids = ingress_ids
+        self._confidence = confidences
+        self._timestamps = timestamps
+        self._ingresses: tuple[IngressPoint, ...] = tuple(ingresses)
+
+    # ------------------------------------------------------------------ build
+
+    @classmethod
+    def from_records(
+        cls,
+        records: Iterable[IPDRecord],
+        version: int = IPV4,
+        classified_only: bool = True,
+    ) -> "CompiledLPM":
+        """Compile one snapshot's records (the :func:`build_lpm_from_records`
+        filter semantics, flattened into columns)."""
+        return cls(
+            version,
+            (
+                (
+                    record.range.masklen,
+                    record.range.value,
+                    record.ingress,
+                    record.s_ingress,
+                    record.timestamp,
+                )
+                for record in records
+                if record.version == version
+                and (not classified_only or record.classified)
+            ),
+        )
+
+    @classmethod
+    def from_table(
+        cls,
+        table: "LPMTable[IngressPoint]",
+        confidence: float = 1.0,
+        timestamp: float = 0.0,
+    ) -> "CompiledLPM":
+        """Flatten a pointer-trie :class:`LPMTable` into compiled form."""
+        return cls(
+            table.version,
+            (
+                (prefix.masklen, prefix.value, ingress, confidence, timestamp)
+                for prefix, ingress in table.items()
+            ),
+        )
+
+    # ------------------------------------------------------------------ query
+
+    @hot_path
+    def lookup_row(self, ip_value: int) -> int:
+        """Row index of the most specific entry covering *ip_value*, or -1."""
+        if self.version == IPV4:
+            keys = self._keys
+            for shift, start, end in self._buckets:
+                masked = (ip_value >> shift) << shift
+                index = bisect_left(keys, masked, start, end)
+                if index < end and keys[index] == masked:
+                    return index
+            return -1
+        keys_hi = self._keys_hi
+        keys_lo = self._keys_lo
+        for shift, start, end in self._buckets:
+            masked = (ip_value >> shift) << shift
+            hi = masked >> 64
+            lo = masked & _MASK64
+            low = start
+            high = end
+            while low < high:
+                mid = (low + high) >> 1
+                mid_hi = keys_hi[mid]
+                if mid_hi < hi or (mid_hi == hi and keys_lo[mid] < lo):
+                    low = mid + 1
+                else:
+                    high = mid
+            if low < end and keys_hi[low] == hi and keys_lo[low] == lo:
+                return low
+        return -1
+
+    @hot_path
+    def lookup(self, ip_value: int) -> Optional[IngressPoint]:
+        """Most specific ingress covering *ip_value*, or ``None``.
+
+        Matches :meth:`LPMTable.lookup` on every address (property-pinned
+        in ``tests/core/test_compiled_lpm.py``)."""
+        row = self.lookup_row(ip_value)
+        if row < 0:
+            return None
+        return self._ingresses[self._ingress_ids[row]]
+
+    def lookup_entry(self, ip_value: int) -> Optional[CompiledEntry]:
+        """Like :meth:`lookup` but returns the full compiled row."""
+        row = self.lookup_row(ip_value)
+        return self.entry(row) if row >= 0 else None
+
+    def lookup_many(
+        self, ip_values: Iterable[int]
+    ) -> list[Optional[IngressPoint]]:
+        """Bulk :meth:`lookup` over *ip_values*, one result per input."""
+        lookup_row = self.lookup_row
+        ingress_ids = self._ingress_ids
+        ingresses = self._ingresses
+        results: list[Optional[IngressPoint]] = []
+        append = results.append
+        for value in ip_values:
+            row = lookup_row(value)
+            append(ingresses[ingress_ids[row]] if row >= 0 else None)
+        return results
+
+    def entry(self, row: int) -> CompiledEntry:
+        """Materialize compiled row *row* (0 ≤ row < ``len(self)``)."""
+        if not 0 <= row < len(self._masklens):
+            raise IndexError(f"row {row} out of range")
+        if self.version == IPV4:
+            value = self._keys[row]
+        else:
+            value = (self._keys_hi[row] << 64) | self._keys_lo[row]
+        return CompiledEntry(
+            prefix=Prefix(value, self._masklens[row], self.version),
+            ingress=self._ingresses[self._ingress_ids[row]],
+            confidence=self._confidence[row],
+            timestamp=self._timestamps[row],
+        )
+
+    def entries(self) -> Iterator[CompiledEntry]:
+        """All rows, most-general first (``(masklen, value)`` order)."""
+        for row in range(len(self._masklens)):
+            yield self.entry(row)
+
+    def __len__(self) -> int:
+        return len(self._masklens)
+
+    def nbytes(self) -> int:
+        """Approximate packed size of the column storage, in bytes."""
+        total = 0
+        for column in (
+            self._keys,
+            self._keys_hi,
+            self._keys_lo,
+            self._masklens,
+            self._ingress_ids,
+            self._confidence,
+            self._timestamps,
+        ):
+            total += column.buffer_info()[1] * column.itemsize
+        return total
+
+    # ------------------------------------------------------------------ codec
+
+    def to_bytes(self) -> bytes:
+        """Serialize as a versioned compiled-snapshot blob.
+
+        Layout (statecodec conventions: LEB128 varints, big-endian f64,
+        per-blob ingress interning)::
+
+            magic "IPDL" | u8 kind 'C' | u16 codec version
+            | u8 family | uvarint row count
+            | rows, (masklen, value) ascending:
+                u8 masklen | uvarint prefix value | interned ingress
+                | f64 confidence | f64 timestamp
+        """
+        writer = _Writer()
+        writer.raw(_MAGIC)
+        writer.byte(_KIND_COMPILED)
+        writer.raw(struct.pack(">H", CODEC_VERSION))
+        writer.byte(self.version)
+        count = len(self._masklens)
+        writer.uvarint(count)
+        for row in range(count):
+            writer.byte(self._masklens[row])
+            if self.version == IPV4:
+                writer.uvarint(self._keys[row])
+            else:
+                writer.uvarint(
+                    (self._keys_hi[row] << 64) | self._keys_lo[row]
+                )
+            writer.ingress(self._ingresses[self._ingress_ids[row]])
+            writer.float(self._confidence[row])
+            writer.float(self._timestamps[row])
+        return bytes(writer.buffer)
+
+    @classmethod
+    def from_bytes(cls, data: "bytes | bytearray | memoryview") -> "CompiledLPM":
+        """Decode a :meth:`to_bytes` blob.
+
+        Raises :class:`~repro.core.statecodec.StateCodecError` (with the
+        failing byte offset) on any structural damage — truncation, bad
+        magic, non-canonical or out-of-order rows, trailing garbage —
+        and :class:`~repro.core.statecodec.IncompatibleStateError` when
+        the blob was written by a newer codec.
+        """
+        reader = _Reader(data)
+        with _damage_reported(reader):
+            if len(reader.data) < 4 or bytes(reader.data[:4]) != _MAGIC:
+                raise StateCodecError("not a compiled LPM blob (bad magic)")
+            reader.offset = 4
+            kind = reader.byte()
+            if kind != _KIND_COMPILED:
+                raise StateCodecError(
+                    f"unexpected blob kind {chr(kind)!r}; expected "
+                    f"{chr(_KIND_COMPILED)!r}"
+                )
+            if reader.offset + 2 > len(reader.data):
+                raise StateCodecError("truncated blob")
+            (version,) = struct.unpack_from(">H", reader.data, reader.offset)
+            reader.offset += 2
+            if version > CODEC_VERSION:
+                raise IncompatibleStateError(
+                    f"blob uses compiled-LPM codec version {version}; this "
+                    f"build reads up to {CODEC_VERSION}"
+                )
+            family = reader.byte()
+            if family not in (IPV4, IPV6):
+                raise StateCodecError(f"unknown IP version in blob: {family}")
+            bits = 32 if family == IPV4 else 128
+            count = reader.uvarint()
+            rows: list[tuple[int, int, IngressPoint, float, float]] = []
+            previous: Optional[tuple[int, int]] = None
+            for _ in range(count):
+                masklen = reader.byte()
+                if masklen > bits:
+                    raise StateCodecError(
+                        f"masklen {masklen} out of range for v{family}"
+                    )
+                value = reader.uvarint()
+                if value >> bits:
+                    raise StateCodecError("prefix value out of range")
+                shift = bits - masklen
+                if shift and value & ((1 << shift) - 1):
+                    raise StateCodecError(
+                        f"non-canonical prefix value {value:#x}/{masklen}"
+                    )
+                key = (masklen, value)
+                if previous is not None and key <= previous:
+                    raise StateCodecError("rows out of (masklen, value) order")
+                previous = key
+                ingress = reader.ingress()
+                confidence = reader.float()
+                timestamp = reader.float()
+                rows.append((masklen, value, ingress, confidence, timestamp))
+            if reader.offset != len(reader.data):
+                raise StateCodecError(
+                    f"{len(reader.data) - reader.offset} trailing bytes "
+                    "after compiled LPM blob"
+                )
+        return cls(family, rows)
+
+
+def compile_lpm_from_records(
+    records: Iterable[IPDRecord],
+    version: int = IPV4,
+    classified_only: bool = True,
+) -> CompiledLPM:
+    """Compiled sibling of :func:`build_lpm_from_records`."""
+    return CompiledLPM.from_records(
+        records, version=version, classified_only=classified_only
+    )

@@ -12,6 +12,8 @@ IPD003   exception-taxonomy  runtime failure paths stay typed, never swallow
 IPD004   codec-guard         codec layout changes require a CODEC_VERSION bump
 IPD005   hot-path-hygiene    ``@hot_path`` loops stay allocation-clean
 IPD006   fault-seam          every ``fault_hook`` parameter defaults to None
+IPD007   no-pickle-hot-path  no object serialization on hot paths / shm plane
+IPD008   lookup-alloc-free   ``@hot_path`` ``lookup*`` never allocates containers
 =======  ==================  ====================================================
 
 Run it with ``python -m repro.devtools.lint src/repro``; suppress one

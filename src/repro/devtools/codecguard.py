@@ -1,10 +1,11 @@
-"""Structural fingerprinting of the state codec (rule IPD004).
+"""Structural fingerprinting of the wire codecs (rule IPD004).
 
-The wire format in :mod:`repro.core.statecodec` is versioned by
-``CODEC_VERSION``, and every persisted checkpoint depends on decoders
-agreeing with the version stamped in the blob.  The encoded layout is
-defined by two things that live in plain Python and are therefore easy
-to change *silently*:
+Two modules define versioned wire formats: the engine state codec
+(:mod:`repro.core.statecodec`) and the compiled-LPM blob codec
+(:mod:`repro.core.lpm`).  Every persisted checkpoint and compiled
+snapshot artifact depends on decoders agreeing with the version stamped
+in the blob.  The encoded layout is defined by things that live in
+plain Python and are therefore easy to change *silently*:
 
 * the field lists of the image dataclasses (``NodeImage``,
   ``TreeImage``, ``SubtreeImage``, ``EngineImage``) that the encoder
@@ -16,11 +17,14 @@ This module reduces both to a canonical *structural fingerprint* —
 a SHA-256 over the dataclass layouts and wire constants extracted from
 the module's AST — and rule IPD004 pins that fingerprint to the
 ``CODEC_VERSION`` it was recorded at (``codec_fingerprints.json``).
-Changing the layout without bumping the version fails the lint; bumping
-the version requires recording the new fingerprint, which makes the
-compatibility decision explicit in the diff.
+Pins are keyed ``<module stem>:<version>`` (``statecodec:1``,
+``lpm:1``); bare-integer keys written by earlier versions keep working
+as a fallback for ``statecodec.py``.  Changing a layout without bumping
+its version fails the lint; bumping the version requires recording the
+new fingerprint, which makes the compatibility decision explicit in the
+diff.
 
-Regenerate the pin after an *intentional* format change with::
+Regenerate the pins after an *intentional* format change with::
 
     python -m repro.devtools.lint --record-codec-pin
 """
@@ -37,6 +41,7 @@ __all__ = [
     "DEFAULT_PIN_PATH",
     "structural_fingerprint",
     "load_pins",
+    "pin_for",
     "record_pin",
 ]
 
@@ -118,10 +123,29 @@ def structural_fingerprint(tree: ast.Module) -> str:
     return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
 
 
-def load_pins(path: "Path | str" = DEFAULT_PIN_PATH) -> dict[int, str]:
-    """The committed ``CODEC_VERSION -> fingerprint`` map."""
+def load_pins(path: "Path | str" = DEFAULT_PIN_PATH) -> dict[str, str]:
+    """The committed ``key -> fingerprint`` map, keys as stored.
+
+    Keys are ``<module stem>:<version>`` (and, for archives written by
+    earlier versions, bare ``<version>`` strings); resolve one with
+    :func:`pin_for` rather than indexing directly.
+    """
     raw = json.loads(Path(path).read_text(encoding="utf-8"))
-    return {int(version): fingerprint for version, fingerprint in raw.items()}
+    return {str(key): str(fingerprint) for key, fingerprint in raw.items()}
+
+
+def pin_for(pins: dict[str, str], stem: str, version: int) -> Optional[str]:
+    """The recorded fingerprint for codec module *stem* at *version*.
+
+    Prefers the stem-qualified key; falls back to the legacy bare
+    version key, which only ever referred to ``statecodec``.
+    """
+    fingerprint = pins.get(f"{stem}:{version}")
+    if fingerprint is not None:
+        return fingerprint
+    if stem == "statecodec":
+        return pins.get(str(version))
+    return None
 
 
 def record_pin(
@@ -130,10 +154,14 @@ def record_pin(
 ) -> tuple[int, str]:
     """Record the current fingerprint of *source_path* under its version.
 
+    The pin is written under the stem-qualified key
+    (``<stem>:<version>``); a legacy bare key for the same statecodec
+    version is refreshed too so both spellings stay consistent.
     Returns ``(version, fingerprint)``.  Fails if the module carries no
     ``CODEC_VERSION`` literal.
     """
-    tree = ast.parse(Path(source_path).read_text(encoding="utf-8"))
+    source = Path(source_path)
+    tree = ast.parse(source.read_text(encoding="utf-8"))
     version = extract_codec_version(tree)
     if version is None:
         raise ValueError(f"{source_path} defines no CODEC_VERSION literal")
@@ -142,7 +170,9 @@ def record_pin(
     pins: dict[str, str] = {}
     if pin_file.exists():
         pins = json.loads(pin_file.read_text(encoding="utf-8"))
-    pins[str(version)] = fingerprint
+    pins[f"{source.stem}:{version}"] = fingerprint
+    if source.stem == "statecodec" and str(version) in pins:
+        pins[str(version)] = fingerprint
     pin_file.write_text(
         json.dumps(pins, indent=2, sort_keys=True) + "\n", encoding="utf-8"
     )

@@ -26,11 +26,10 @@ from .framework import LintReport, build_rules, lint_paths
 __all__ = ["main", "run_lint"]
 
 
-def _default_statecodec() -> Path:
-    """The in-tree statecodec.py, resolved relative to this package."""
-    return (
-        Path(__file__).resolve().parents[1] / "core" / "statecodec.py"
-    )
+def _default_codec_modules() -> list[Path]:
+    """The in-tree codec modules, resolved relative to this package."""
+    core = Path(__file__).resolve().parents[1] / "core"
+    return [core / "statecodec.py", core / "lpm.py"]
 
 
 def run_lint(
@@ -75,12 +74,13 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     )
     parser.add_argument(
         "--record-codec-pin",
-        metavar="STATECODEC",
+        metavar="CODEC_MODULE",
         nargs="?",
         const="",
         default=None,
-        help="record the current codec fingerprint for its CODEC_VERSION "
-        "(optionally pass an explicit statecodec.py path) and exit",
+        help="record the current codec fingerprint(s) for their "
+        "CODEC_VERSION (default: the in-tree statecodec.py and lpm.py; "
+        "optionally pass one explicit codec module path) and exit",
     )
     args = parser.parse_args(argv)
 
@@ -91,18 +91,22 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return 0
 
     if args.record_codec_pin is not None:
-        source = (
-            Path(args.record_codec_pin)
+        sources = (
+            [Path(args.record_codec_pin)]
             if args.record_codec_pin
-            else _default_statecodec()
+            else _default_codec_modules()
         )
         pin_path = Path(args.codec_pins) if args.codec_pins else DEFAULT_PIN_PATH
-        try:
-            version, fingerprint = record_pin(source, pin_path)
-        except (OSError, ValueError, SyntaxError) as exc:
-            print(f"error: {exc}", file=sys.stderr)
-            return 2
-        print(f"recorded codec version {version} -> {fingerprint}")
+        for source in sources:
+            try:
+                version, fingerprint = record_pin(source, pin_path)
+            except (OSError, ValueError, SyntaxError) as exc:
+                print(f"error: {exc}", file=sys.stderr)
+                return 2
+            print(
+                f"recorded {source.stem} codec version {version} -> "
+                f"{fingerprint}"
+            )
         return 0
 
     if not args.paths:

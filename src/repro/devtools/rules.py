@@ -1,4 +1,4 @@
-"""The repo-specific lint rules (IPD001–IPD007).
+"""The repo-specific lint rules (IPD001–IPD008).
 
 Each rule encodes one load-bearing invariant of the reproduction; the
 ``invariant`` attribute is the sentence DESIGN.md §10 documents.  Rules
@@ -16,6 +16,7 @@ from .codecguard import (
     DEFAULT_PIN_PATH,
     extract_codec_version,
     load_pins,
+    pin_for,
     structural_fingerprint,
 )
 from .framework import (
@@ -35,6 +36,7 @@ __all__ = [
     "HotPathHygieneRule",
     "FaultSeamRule",
     "NoPickleHotPathRule",
+    "LookupAllocRule",
 ]
 
 
@@ -275,26 +277,28 @@ class CodecGuardRule(Rule):
     code = "IPD004"
     name = "codec-guard"
     invariant = (
-        "The structural fingerprint of statecodec.py's encoded dataclass "
-        "layouts and wire constants is pinned to CODEC_VERSION: changing "
-        "the layout without bumping the version fails."
+        "The structural fingerprint of each codec module's encoded "
+        "dataclass layouts and wire constants (statecodec.py, lpm.py) is "
+        "pinned to its CODEC_VERSION: changing a layout without bumping "
+        "that version fails."
     )
 
     #: overridable pin file (tests point this at fixture pins)
     codec_pins: "Path | str" = DEFAULT_PIN_PATH
 
     def applies_to(self, source: SourceFile) -> bool:
-        return Path(source.rel).name == "statecodec.py"
+        return Path(source.rel).name in ("statecodec.py", "lpm.py")
 
     def check(self, source: SourceFile) -> Iterator[Finding]:
         tree = source.tree
         assert tree is not None  # framework skips unparsable files
+        stem = Path(source.rel).stem
         version = extract_codec_version(tree)
         if version is None:
             yield source.finding(
                 self,
                 tree,
-                "statecodec.py defines no CODEC_VERSION integer literal; the "
+                f"{stem}.py defines no CODEC_VERSION integer literal; the "
                 "wire format must be explicitly versioned",
             )
             return
@@ -309,7 +313,7 @@ class CodecGuardRule(Rule):
             )
             return
         fingerprint = structural_fingerprint(tree)
-        pinned = pins.get(version)
+        pinned = pin_for(pins, stem, version)
         if pinned is None:
             yield source.finding(
                 self,
@@ -545,3 +549,91 @@ class NoPickleHotPathRule(VisitorRule):
         "codec only."
     )
     visitor_class = _NoPickleVisitor
+
+
+# ---------------------------------------------------------------------------
+# IPD008 — serving lookups never allocate containers
+# ---------------------------------------------------------------------------
+
+#: builtin container constructors whose call allocates on every lookup
+_CONTAINER_BUILTINS = {"dict", "list", "set"}
+
+
+class _LookupAllocVisitor(ContextVisitor):
+    """Flags per-call container allocation in ``@hot_path`` lookups.
+
+    Scope: the body of any ``@hot_path`` function whose name starts with
+    ``lookup`` — the serving plane's per-request path, where a dict or
+    list built per call is pure allocator pressure at hundreds of
+    thousands of lookups per second.  Bulk variants that legitimately
+    build a result list stay unmarked (``lookup_many``) or aggregate
+    outside the marked function.
+    """
+
+    def _in_hot_lookup(self) -> bool:
+        if self.hot_depth == 0:
+            return False
+        return any(
+            str(getattr(fn, "name", "")).startswith("lookup")
+            for fn in self.function_stack
+        )
+
+    def _flag(self, node: ast.AST, what: str) -> None:
+        self.report(
+            node,
+            f"{what} allocates a container per call inside a @hot_path "
+            "lookup function; return row indices or scalars, or move "
+            "aggregation to an unmarked bulk wrapper",
+        )
+
+    def visit_Dict(self, node: ast.Dict) -> None:
+        if self._in_hot_lookup():
+            self._flag(node, "dict display")
+        self.generic_visit(node)
+
+    def visit_List(self, node: ast.List) -> None:
+        if self._in_hot_lookup() and isinstance(node.ctx, ast.Load):
+            self._flag(node, "list display")
+        self.generic_visit(node)
+
+    def visit_Set(self, node: ast.Set) -> None:
+        if self._in_hot_lookup():
+            self._flag(node, "set display")
+        self.generic_visit(node)
+
+    def visit_ListComp(self, node: ast.ListComp) -> None:
+        if self._in_hot_lookup():
+            self._flag(node, "list comprehension")
+        self.generic_visit(node)
+
+    def visit_SetComp(self, node: ast.SetComp) -> None:
+        if self._in_hot_lookup():
+            self._flag(node, "set comprehension")
+        self.generic_visit(node)
+
+    def visit_DictComp(self, node: ast.DictComp) -> None:
+        if self._in_hot_lookup():
+            self._flag(node, "dict comprehension")
+        self.generic_visit(node)
+
+    def visit_Call(self, node: ast.Call) -> None:
+        func = node.func
+        if (
+            self._in_hot_lookup()
+            and isinstance(func, ast.Name)
+            and func.id in _CONTAINER_BUILTINS
+        ):
+            self._flag(node, f"{func.id}() call")
+        self.generic_visit(node)
+
+
+@register
+class LookupAllocRule(VisitorRule):
+    code = "IPD008"
+    name = "lookup-alloc-free"
+    invariant = (
+        "@hot_path functions named lookup* never allocate dict/list/set "
+        "containers per call: the serving plane's per-request path stays "
+        "allocation-free, with aggregation in unmarked bulk wrappers."
+    )
+    visitor_class = _LookupAllocVisitor

@@ -36,6 +36,7 @@ from .executors import (
 )
 from .faulthook import FaultHookLike
 from .live import LivePipeline, PipelineStateError
+from ..core.snapshot import Snapshot
 from .pipeline import Pipeline
 from .result import RunResult
 from .sharding import ShardedIPD
@@ -57,6 +58,7 @@ __all__ = [
     "CHECKPOINT_VERSION",
     "restore_engine",
     "Sink",
+    "Snapshot",
     "MemorySink",
     "CallbackSink",
     "CSVSink",

@@ -38,6 +38,7 @@ from typing import Callable, Iterable, Iterator, Optional, Sequence, Union
 from ..core.algorithm import IPD, SweepReport
 from ..core.output import IPDRecord
 from ..core.params import IPDParams
+from ..core.snapshot import Snapshot
 from ..netflow.records import FlowBatch, FlowRecord
 from .checkpoint import Checkpoint, CheckpointStore
 from .executors import EXECUTOR_KINDS, WorkerCrashError
@@ -112,6 +113,11 @@ class Pipeline:
         self.include_unclassified = include_unclassified
         self.on_sweep = on_sweep
         self.sinks: list[Sink] = list(sinks) if sinks is not None else []
+        #: emission counter: each emitted Snapshot gets the next epoch
+        #: number, strictly increasing for the life of this pipeline
+        self._epoch = 0
+        #: exactly-once guard for sink teardown (close() is re-entrant)
+        self._sinks_closed = False
         if checkpoint_store is not None and not isinstance(
             checkpoint_store, CheckpointStore
         ):
@@ -354,7 +360,8 @@ class Pipeline:
             while when >= sweep_at:
                 self._tick(sweep_at, result)
                 if next_snapshot is not None and sweep_at >= next_snapshot:
-                    yield self._emit(sweep_at, result)
+                    emitted = self._emit(sweep_at, result)
+                    yield emitted.when, emitted.records
                     next_snapshot += self.snapshot_seconds
                 if next_checkpoint is not None and sweep_at >= next_checkpoint:
                     # post-sweep barrier: the image is consistent (all
@@ -436,7 +443,8 @@ class Pipeline:
         if last_time is not None and next_sweep is not None:
             # Close the final bucket.
             self._tick(next_sweep, result)
-            yield self._emit(next_sweep, result)
+            final = self._emit(next_sweep, result)
+            yield final.when, final.records
             if store is not None:
                 self._save_checkpoint(
                     next_sweep, result, next_sweep + t, next_snapshot
@@ -446,7 +454,8 @@ class Pipeline:
             # saved at the closing tick): nothing to replay, but the
             # resumed run still yields the final mapping.  No sweep —
             # the checkpointed image is already post-final-sweep.
-            yield self._emit(resume.next_sweep - t, result)
+            replayed = self._emit(resume.next_sweep - t, result)
+            yield replayed.when, replayed.records
 
     def _tick(self, when: float, result: RunResult) -> None:
         if self.fault_hook is not None and getattr(
@@ -480,25 +489,33 @@ class Pipeline:
             )
         )
 
-    def _emit(
-        self, when: float, result: RunResult
-    ) -> tuple[float, list[IPDRecord]]:
+    def _emit(self, when: float, result: RunResult) -> Snapshot:
         records = self.engine.snapshot(
             when, include_unclassified=self.include_unclassified
         )
         result.snapshots[when] = records
+        self._epoch += 1
+        snapshot = Snapshot(when, records, epoch=self._epoch, source="pipeline")
         if self.fault_hook is not None:
             self.fault_hook.on_sink_emit(when)
         for sink in self.sinks:
-            sink.emit(when, records)
-        return when, records
+            sink.emit(snapshot)
+        return snapshot
 
     # ------------------------------------------------------------------ lifecycle
 
     def close(self) -> None:
-        """Flush sinks and shut down executor workers (idempotent)."""
-        for sink in self.sinks:
-            sink.close()
+        """Flush sinks and shut down executor workers (idempotent).
+
+        Sinks are closed exactly once per pipeline, whichever path gets
+        here first — normal teardown, the context-manager exit, or an
+        explicit close after crash recovery; :meth:`Sink.close` is
+        itself idempotent as a second line of defense.
+        """
+        if not self._sinks_closed:
+            self._sinks_closed = True
+            for sink in self.sinks:
+                sink.close()
         close = getattr(self.engine, "close", None)
         if close is not None:
             close()

@@ -1,17 +1,26 @@
 """Pipeline output sinks.
 
-A sink receives every snapshot a :class:`~repro.runtime.pipeline.Pipeline`
-emits — ``(snapshot time, Table-3 records)`` pairs — and does something
-with it: keep it in memory, hand it to a callback, or append it to a
-Table-3 CSV file.  Sinks are deliberately tiny; anything stateful or
-format-specific belongs behind the :class:`CallbackSink`.
+A sink receives every :class:`~repro.core.snapshot.Snapshot` a
+:class:`~repro.runtime.pipeline.Pipeline` emits — records plus the
+lazily compiled LPM and epoch/watermark metadata — and does something
+with it: keep it in memory, hand it to a callback, append it to a
+Table-3 CSV file, or feed an archive/serving plane.  Sinks are
+deliberately tiny; anything stateful or format-specific belongs behind
+the :class:`CallbackSink`.
+
+Lifecycle: ``emit`` per snapshot, then ``close`` exactly once.
+:meth:`Sink.close` is explicitly idempotent — a second call is a no-op,
+not a rewrite — and subclasses hook teardown via :meth:`Sink._close`,
+which the base class guarantees runs at most once even when both a
+recovery path and normal teardown reach it.
 """
 
 from __future__ import annotations
 
-from typing import Callable
+from typing import Callable, Optional
 
 from ..core.output import IPDRecord, write_records_csv
+from ..core.snapshot import Snapshot
 
 __all__ = ["Sink", "MemorySink", "CallbackSink", "CSVSink"]
 
@@ -19,21 +28,41 @@ __all__ = ["Sink", "MemorySink", "CallbackSink", "CSVSink"]
 class Sink:
     """Interface: ``emit`` per snapshot, ``close`` once at end of run."""
 
-    def emit(self, when: float, records: list[IPDRecord]) -> None:
+    def __init__(self) -> None:
+        self._closed = False
+
+    def emit(self, snapshot: Snapshot) -> None:
         raise NotImplementedError
 
+    @property
+    def closed(self) -> bool:
+        """True once :meth:`close` has run."""
+        return self._closed
+
     def close(self) -> None:
-        pass
+        """Flush and release resources.  Idempotent: only the first call
+        runs :meth:`_close`; later calls return immediately."""
+        if self._closed:
+            return
+        self._closed = True
+        self._close()
+
+    def _close(self) -> None:
+        """Subclass teardown hook; guaranteed to run at most once."""
 
 
 class MemorySink(Sink):
     """Keep every snapshot in memory (time -> records)."""
 
     def __init__(self) -> None:
+        super().__init__()
         self.snapshots: dict[float, list[IPDRecord]] = {}
+        #: the last Snapshot object received (compiled-LPM cache included)
+        self.latest: Optional[Snapshot] = None
 
-    def emit(self, when: float, records: list[IPDRecord]) -> None:
-        self.snapshots[when] = records
+    def emit(self, snapshot: Snapshot) -> None:
+        self.snapshots[snapshot.when] = snapshot.records
+        self.latest = snapshot
 
     def final_snapshot(self) -> list[IPDRecord]:
         if not self.snapshots:
@@ -42,13 +71,27 @@ class MemorySink(Sink):
 
 
 class CallbackSink(Sink):
-    """Forward each snapshot to a user callback."""
+    """Forward each snapshot to a user callback.
 
-    def __init__(self, callback: Callable[[float, list[IPDRecord]], None]) -> None:
+    The callback keeps its historical ``(when, records)`` signature;
+    callers that want the full :class:`Snapshot` (compiled LPM, epoch)
+    pass ``with_snapshot=True`` to receive the object itself instead.
+    """
+
+    def __init__(
+        self,
+        callback: "Callable[..., None]",
+        with_snapshot: bool = False,
+    ) -> None:
+        super().__init__()
         self.callback = callback
+        self.with_snapshot = with_snapshot
 
-    def emit(self, when: float, records: list[IPDRecord]) -> None:
-        self.callback(when, records)
+    def emit(self, snapshot: Snapshot) -> None:
+        if self.with_snapshot:
+            self.callback(snapshot)
+        else:
+            self.callback(snapshot.when, snapshot.records)
 
 
 class CSVSink(Sink):
@@ -58,22 +101,24 @@ class CSVSink(Sink):
     written — the common "give me the final mapping" case; otherwise
     every snapshot's rows land in the file in emission order under one
     header (each row carries its timestamp, so the concatenation stays
-    unambiguous).  The file is written on :meth:`close`.
+    unambiguous).  The file is written once, on the first
+    :meth:`~Sink.close`.
     """
 
     def __init__(self, path: str, final_only: bool = True) -> None:
+        super().__init__()
         self.path = path
         self.final_only = final_only
         self.rows_written = 0
         self._pending: list[IPDRecord] = []
 
-    def emit(self, when: float, records: list[IPDRecord]) -> None:
+    def emit(self, snapshot: Snapshot) -> None:
         if self.final_only:
-            self._pending = list(records)
+            self._pending = list(snapshot.records)
         else:
-            self._pending.extend(records)
+            self._pending.extend(snapshot.records)
 
-    def close(self) -> None:
+    def _close(self) -> None:
         with open(self.path, "w", newline="") as stream:
             self.rows_written = write_records_csv(self._pending, stream)
         self._pending = []

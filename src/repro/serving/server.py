@@ -1,0 +1,182 @@
+"""The asyncio line-protocol front end of the lookup service.
+
+A :class:`LookupServer` exposes an :class:`IngressLookupService` over a
+newline-delimited text protocol (one request per line, telnet-able):
+
+=============================  =============================================
+request                        response
+=============================  =============================================
+``GET <ip>``                   ``HIT <router> <if> <prefix> <conf> <age>
+                               <epoch>`` or ``MISS <epoch>``
+``MGET <ip> [<ip> ...]``       one ``HIT``/``MISS`` line per address, then
+                               ``END <epoch>`` — all answered from the
+                               *same* epoch, even across a concurrent swap
+``AT <timestamp> <ip>``        point-in-time ``HIT``/``MISS`` (epoch -1)
+``STATS``                      one JSON line (epoch, watermark, installs,
+                               queries, per-shard loads, skew)
+``QUIT``                       closes the connection
+=============================  =============================================
+
+Malformed input answers ``ERR <reason>`` and keeps the connection open.
+The server holds no per-request state beyond the line being processed;
+epoch installs on the service are visible to the next request
+immediately, with in-flight bulk requests pinned to the epoch they
+started on.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from typing import Optional
+
+from ..core.iputil import parse_ip
+from .service import (
+    IngressLookupService,
+    LookupResult,
+    NoEpochError,
+    ServingError,
+)
+
+__all__ = ["LookupServer"]
+
+
+def _format_hit(result: Optional[LookupResult], epoch: int) -> str:
+    if result is None:
+        return f"MISS {epoch}"
+    ingress = result.ingress
+    return (
+        f"HIT {ingress.router} {ingress.interface} {result.prefix} "
+        f"{result.confidence:.6g} {result.age:.6g} {result.epoch}"
+    )
+
+
+class LookupServer:
+    """Serve an :class:`IngressLookupService` on a TCP socket."""
+
+    def __init__(
+        self,
+        service: IngressLookupService,
+        host: str = "127.0.0.1",
+        port: int = 0,
+    ) -> None:
+        self.service = service
+        self.host = host
+        self.port = port
+        self._server: Optional[asyncio.AbstractServer] = None
+
+    # ---------------------------------------------------------- lifecycle
+
+    async def start(self) -> tuple[str, int]:
+        """Bind and start accepting; returns the bound ``(host, port)``.
+
+        ``port=0`` binds an ephemeral port — the return value carries
+        the actual one.
+        """
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.host, self.port
+        )
+        sockets = self._server.sockets or []
+        if sockets:
+            address = sockets[0].getsockname()
+            self.host, self.port = address[0], address[1]
+        return self.host, self.port
+
+    async def stop(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+
+    async def serve_forever(self) -> None:
+        """Start (if needed) and block until cancelled."""
+        if self._server is None:
+            await self.start()
+        assert self._server is not None
+        async with self._server:
+            await self._server.serve_forever()
+
+    # ---------------------------------------------------------- protocol
+
+    async def _handle_connection(
+        self,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+    ) -> None:
+        try:
+            while True:
+                line = await reader.readline()
+                if not line:
+                    break
+                request = line.decode("utf-8", errors="replace").strip()
+                if not request:
+                    continue
+                if request.upper() == "QUIT":
+                    break
+                for response in self._respond(request):
+                    writer.write(response.encode("utf-8") + b"\n")
+                await writer.drain()
+        except asyncio.CancelledError:
+            # event-loop teardown cancels in-flight handlers; drop the
+            # connection quietly instead of logging a cancelled task
+            pass
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass  # peer vanished mid-close; nothing left to release
+
+    def _respond(self, request: str) -> list[str]:
+        """All response lines for one request line."""
+        parts = request.split()
+        command = parts[0].upper()
+        try:
+            if command == "GET" and len(parts) == 2:
+                return [self._get(parts[1])]
+            if command == "MGET" and len(parts) >= 2:
+                return self._mget(parts[1:])
+            if command == "AT" and len(parts) == 3:
+                return [self._at(parts[1], parts[2])]
+            if command == "STATS" and len(parts) == 1:
+                return [json.dumps(self.service.stats(), sort_keys=True)]
+            return [f"ERR unknown or malformed command: {command}"]
+        except NoEpochError:
+            return ["ERR no epoch installed"]
+        except ServingError as exc:
+            return [f"ERR {exc}"]
+        except ValueError as exc:
+            return [f"ERR {exc}"]
+
+    def _get(self, text: str) -> str:
+        value, version = parse_ip(text)
+        result = self.service.lookup(value, version)
+        current = self.service.current
+        epoch = current.epoch if current is not None else -1
+        return _format_hit(result, epoch)
+
+    def _mget(self, texts: list[str]) -> list[str]:
+        # all addresses of one family resolve against one pinned epoch;
+        # mixed-family batches keep per-family pinning via lookup_many
+        parsed = [parse_ip(text) for text in texts]
+        by_version: dict[int, list[int]] = {}
+        for value, version in parsed:
+            by_version.setdefault(version, []).append(value)
+        answers: dict[tuple[int, int], Optional[LookupResult]] = {}
+        epoch = -1
+        for version, values in by_version.items():
+            epoch, results = self.service.lookup_many(values, version)
+            for value, result in zip(values, results):
+                answers[(value, version)] = result
+        lines = [
+            _format_hit(answers[(value, version)], epoch)
+            for value, version in parsed
+        ]
+        lines.append(f"END {epoch}")
+        return lines
+
+    def _at(self, timestamp_text: str, ip_text: str) -> str:
+        timestamp = float(timestamp_text)
+        value, version = parse_ip(ip_text)
+        result = self.service.lookup_at(timestamp, value, version)
+        return _format_hit(result, -1)

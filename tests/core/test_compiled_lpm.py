@@ -1,0 +1,245 @@
+"""CompiledLPM: parity with LPMTable, blob round-trip, damage taxonomy.
+
+The compiled structure is the serving plane's unit of deployment, so
+this suite pins the three properties it must never lose:
+
+* **parity** — ``CompiledLPM.lookup`` agrees with ``LPMTable.lookup``
+  on every address, both families, for arbitrary (deduplicated) prefix
+  sets, including probes at range edges.
+* **round-trip** — ``from_bytes(to_bytes())`` reproduces the table
+  exactly and byte-stably.
+* **damage** — every truncation and random corruption either decodes
+  to a valid table or raises the typed codec errors, never an
+  arbitrary low-level exception.
+"""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.iputil import IPV4, IPV6, Prefix
+from repro.core.lpm import (
+    CompiledLPM,
+    LPMTable,
+    build_lpm_from_records,
+    compile_lpm_from_records,
+)
+from repro.core.output import IPDRecord
+from repro.core.statecodec import IncompatibleStateError, StateCodecError
+from repro.topology.elements import IngressPoint
+
+INGRESSES = [
+    IngressPoint("R1", "et0"),
+    IngressPoint("R1", "et1"),
+    IngressPoint("R2", "et0"),
+    IngressPoint("R3", "hu0"),
+]
+
+
+def _bits(version: int) -> int:
+    return 32 if version == IPV4 else 128
+
+
+def _prefix_rows(version: int):
+    """Strategy: lists of (masklen, value, ingress, confidence, ts) rows."""
+    bits = _bits(version)
+
+    def make_row(draw_tuple):
+        masklen, seed, ingress_index, confidence, timestamp = draw_tuple
+        shift = bits - masklen
+        value = (seed % (1 << bits)) >> shift << shift
+        return (
+            masklen,
+            value,
+            INGRESSES[ingress_index],
+            confidence,
+            timestamp,
+        )
+
+    return st.lists(
+        st.tuples(
+            st.integers(min_value=0, max_value=bits),
+            st.integers(min_value=0, max_value=(1 << bits) - 1),
+            st.integers(min_value=0, max_value=len(INGRESSES) - 1),
+            st.floats(min_value=0.0, max_value=1.0, allow_nan=False),
+            st.floats(min_value=0.0, max_value=1e9, allow_nan=False),
+        ).map(make_row),
+        max_size=40,
+    )
+
+
+def _probes(rows, version, extra):
+    """Addresses worth probing: range edges plus arbitrary values."""
+    bits = _bits(version)
+    top = (1 << bits) - 1
+    values = set(extra)
+    for masklen, value, *_ in rows:
+        span = (1 << (bits - masklen)) - 1
+        values.update((value, value + span, min(top, value + span + 1)))
+        if value:
+            values.add(value - 1)
+    return sorted(values)
+
+
+class TestParity:
+    @pytest.mark.parametrize("version", [IPV4, IPV6])
+    @settings(max_examples=120, deadline=None)
+    @given(data=st.data())
+    def test_lookup_matches_lpm_table_everywhere(self, version, data):
+        rows = data.draw(_prefix_rows(version))
+        extra = data.draw(
+            st.lists(
+                st.integers(min_value=0, max_value=(1 << _bits(version)) - 1),
+                max_size=20,
+            )
+        )
+        table = LPMTable(version)
+        for masklen, value, ingress, _, _ in rows:
+            table.insert(Prefix(value, masklen, version), ingress)
+        compiled = CompiledLPM(
+            version,
+            ((m, v, i, c, t) for m, v, i, c, t in rows),
+        )
+        assert len(compiled) == len(table)
+        for probe in _probes(rows, version, extra):
+            assert compiled.lookup(probe) == table.lookup(probe), (
+                f"divergence at {probe:#x}"
+            )
+
+    @pytest.mark.parametrize("version", [IPV4, IPV6])
+    def test_from_records_matches_build_lpm_from_records(self, version):
+        bits = _bits(version)
+        rng = random.Random(20240809)
+        records = []
+        for index in range(64):
+            masklen = rng.randint(0, bits)
+            shift = bits - masklen
+            value = (rng.getrandbits(bits) >> shift) << shift
+            records.append(
+                IPDRecord(
+                    timestamp=300.0,
+                    range=Prefix(value, masklen, version),
+                    ingress=INGRESSES[index % len(INGRESSES)],
+                    s_ingress=0.9,
+                    s_ipcount=8,
+                    n_cidr=4,
+                    candidates=(),
+                    classified=index % 5 != 0,
+                )
+            )
+        reference = build_lpm_from_records(records, version)
+        compiled = compile_lpm_from_records(records, version=version)
+        for _ in range(2000):
+            probe = rng.getrandbits(bits)
+            assert compiled.lookup(probe) == reference.lookup(probe)
+
+    def test_duplicate_prefix_last_wins_like_insert(self):
+        prefix = Prefix.from_string("10.0.0.0/8")
+        table = LPMTable(IPV4)
+        table.insert(prefix, INGRESSES[0])
+        table.insert(prefix, INGRESSES[1])
+        compiled = CompiledLPM(
+            IPV4,
+            [
+                (8, prefix.value, INGRESSES[0], 0.5, 1.0),
+                (8, prefix.value, INGRESSES[1], 0.9, 2.0),
+            ],
+        )
+        probe = prefix.value + 7
+        assert compiled.lookup(probe) == table.lookup(probe) == INGRESSES[1]
+        assert compiled.lookup_entry(probe).confidence == 0.9
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("version", [IPV4, IPV6])
+    @settings(max_examples=80, deadline=None)
+    @given(data=st.data())
+    def test_to_bytes_from_bytes_identity(self, version, data):
+        rows = data.draw(_prefix_rows(version))
+        compiled = CompiledLPM(version, rows)
+        blob = compiled.to_bytes()
+        decoded = CompiledLPM.from_bytes(blob)
+        assert decoded.version == compiled.version
+        assert list(decoded.entries()) == list(compiled.entries())
+        # re-encoding is byte-stable (canonical row order in the blob)
+        assert decoded.to_bytes() == blob
+
+    def test_accepts_bytearray_and_memoryview(self):
+        compiled = CompiledLPM(
+            IPV4, [(8, Prefix.from_string("10.0.0.0/8").value,
+                    INGRESSES[0], 1.0, 0.0)]
+        )
+        blob = compiled.to_bytes()
+        for view in (bytearray(blob), memoryview(blob)):
+            assert list(CompiledLPM.from_bytes(view).entries()) == list(
+                compiled.entries()
+            )
+
+
+def _sample_blob() -> bytes:
+    rng = random.Random(7)
+    rows = []
+    for _ in range(12):
+        masklen = rng.randint(4, 28)
+        shift = 32 - masklen
+        value = (rng.getrandbits(32) >> shift) << shift
+        rows.append(
+            (masklen, value, INGRESSES[rng.randrange(len(INGRESSES))],
+             rng.random(), float(rng.randrange(10_000)))
+        )
+    return CompiledLPM(IPV4, rows).to_bytes()
+
+
+class TestDamage:
+    def test_every_truncation_raises_typed_error(self):
+        blob = _sample_blob()
+        for length in range(len(blob)):
+            with pytest.raises(StateCodecError):
+                CompiledLPM.from_bytes(blob[:length])
+
+    def test_trailing_garbage_raises(self):
+        blob = _sample_blob()
+        with pytest.raises(StateCodecError):
+            CompiledLPM.from_bytes(blob + b"\x00")
+
+    def test_newer_version_raises_incompatible(self):
+        blob = bytearray(_sample_blob())
+        # magic(4) + kind(1) then u16 big-endian version
+        blob[5:7] = (99).to_bytes(2, "big")
+        with pytest.raises(IncompatibleStateError):
+            CompiledLPM.from_bytes(bytes(blob))
+
+    def test_wrong_magic_and_kind_raise(self):
+        blob = _sample_blob()
+        with pytest.raises(StateCodecError):
+            CompiledLPM.from_bytes(b"XXXX" + blob[4:])
+        damaged = bytearray(blob)
+        damaged[4] ^= 0xFF
+        with pytest.raises(StateCodecError):
+            CompiledLPM.from_bytes(bytes(damaged))
+
+    def test_bitflips_raise_typed_errors_or_decode(self):
+        """Random corruption never escapes the codec taxonomy.
+
+        A flipped bit may still decode (e.g. a confidence byte) — the
+        contract is that *failures* are always StateCodecError (with
+        IncompatibleStateError for version bumps), never a raw
+        struct/index/overflow error.
+        """
+        blob = _sample_blob()
+        rng = random.Random(20240809)
+        for _ in range(400):
+            position = rng.randrange(len(blob))
+            mask = 1 << rng.randrange(8)
+            damaged = bytearray(blob)
+            damaged[position] ^= mask
+            try:
+                decoded = CompiledLPM.from_bytes(bytes(damaged))
+            except StateCodecError:
+                continue  # the typed taxonomy: exactly what we accept
+            # decodable corruption must still yield a coherent table
+            assert len(decoded) <= 12
+            for entry in decoded.entries():
+                assert entry.prefix.version == IPV4

@@ -1,0 +1,27 @@
+"""Fixture: allocation-free hot lookup plus legitimately-allocating
+neighbors that IPD008 must leave alone."""
+from repro.devtools.markers import hot_path
+
+
+class Service:
+    @hot_path
+    def lookup_row(self, ip_value):
+        keys = self.keys  # hoisted locals, scalar return: clean
+        low, high = 0, len(keys)
+        while low < high:
+            mid = (low + high) // 2
+            if keys[mid] <= ip_value:
+                low = mid + 1
+            else:
+                high = mid
+        return low - 1
+
+    def lookup_many(self, ip_values):
+        # unmarked bulk wrapper: the result list is allowed here
+        return [self.lookup_row(value) for value in ip_values]
+
+    @hot_path
+    def ingest(self, flows):
+        # hot but not a lookup*: out of IPD008's scope
+        batch = list(flows)
+        return batch

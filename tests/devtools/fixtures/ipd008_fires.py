@@ -1,0 +1,13 @@
+"""Fixture: the hot lookup below must trip IPD008 four ways."""
+from repro.devtools.markers import hot_path
+
+
+class Service:
+    @hot_path
+    def lookup(self, ip_value):
+        row = self.table.find(ip_value)
+        hit = {"row": row}  # fires: dict display
+        trail = [row, ip_value]  # fires: list display
+        masks = [m for m in self.masks]  # fires: list comprehension
+        seen = set()  # fires: set() constructor call
+        return hit, trail, masks, seen

@@ -60,7 +60,7 @@ def test_missing_codec_version_fires(tmp_path):
     assert "CODEC_VERSION" in report.findings[0].message
 
 
-def test_rule_only_applies_to_statecodec(tmp_path):
+def test_rule_only_applies_to_codec_modules(tmp_path):
     # a layout-ish file under any other name is out of scope
     report = run_lint(
         [str(FIXTURES / "ipd006_clean.py")],
@@ -68,6 +68,30 @@ def test_rule_only_applies_to_statecodec(tmp_path):
         codec_pins=tmp_path / "absent.json",
     )
     assert report.clean
+
+
+def test_stem_qualified_pin_preferred_over_legacy(tmp_path):
+    # a stale legacy bare key must not shadow the stem-qualified pin
+    pins = _pin_file(
+        tmp_path, {"1": "0" * 64, "statecodec:1": _fingerprint(VERSIONED)}
+    )
+    report = run_lint([str(VERSIONED)], select=["IPD004"], codec_pins=pins)
+    assert report.clean, [f.format() for f in report.findings]
+
+
+def test_lpm_pin_does_not_fall_back_to_bare_key(tmp_path):
+    # the legacy bare-version key only ever meant statecodec; lpm.py
+    # needs its own stem-qualified entry
+    import repro
+
+    lpm = Path(repro.__file__).parent / "core" / "lpm.py"
+    pins = _pin_file(tmp_path, {"1": _fingerprint(lpm)})
+    report = run_lint([str(lpm)], select=["IPD004"], codec_pins=pins)
+    assert len(report.findings) == 1
+    assert "no recorded fingerprint" in report.findings[0].message
+    pins = _pin_file(tmp_path, {"lpm:1": _fingerprint(lpm)})
+    report = run_lint([str(lpm)], select=["IPD004"], codec_pins=pins)
+    assert report.clean, [f.format() for f in report.findings]
 
 
 def test_fingerprint_tracks_layout_not_formatting(tmp_path):
@@ -111,4 +135,13 @@ def test_in_tree_pin_matches_current_statecodec():
 
     statecodec = Path(repro.__file__).parent / "core" / "statecodec.py"
     report = run_lint([str(statecodec)], select=["IPD004"])
+    assert report.clean, [f.format() for f in report.findings]
+
+
+def test_in_tree_pin_matches_current_lpm():
+    """The compiled-LPM blob codec must match its committed pin too."""
+    import repro
+
+    lpm = Path(repro.__file__).parent / "core" / "lpm.py"
+    report = run_lint([str(lpm)], select=["IPD004"])
     assert report.clean, [f.format() for f in report.findings]

@@ -1,4 +1,4 @@
-"""Fires / does-not-fire fixture pair per lint rule (IPD001–IPD007).
+"""Fires / does-not-fire fixture pair per lint rule (IPD001–IPD008).
 
 Each rule is exercised in isolation (``select=[code]``) against a
 fixture that must trip it and one that must not, so a rule that stops
@@ -20,6 +20,7 @@ _PAIRS = [
     ("IPD005", FIXTURES / "ipd005_fires.py", 3, FIXTURES / "ipd005_clean.py"),
     ("IPD006", FIXTURES / "ipd006_fires.py", 3, FIXTURES / "ipd006_clean.py"),
     ("IPD007", FIXTURES / "ipd007_fires.py", 4, FIXTURES / "ipd007_clean.py"),
+    ("IPD008", FIXTURES / "ipd008_fires.py", 4, FIXTURES / "ipd008_clean.py"),
 ]
 
 

@@ -128,6 +128,68 @@ class TestSinks:
         assert [r.timestamp for r in records] == [r.timestamp for r in expected]
 
 
+class _CountingSink(MemorySink):
+    def __init__(self):
+        super().__init__()
+        self.close_calls = 0
+
+    def _close(self):
+        self.close_calls += 1
+
+
+class TestSinkLifecycle:
+    def test_sink_close_is_idempotent(self):
+        sink = _CountingSink()
+        assert not sink.closed
+        sink.close()
+        sink.close()
+        sink.close()
+        assert sink.closed
+        assert sink.close_calls == 1
+
+    def test_pipeline_closes_each_sink_exactly_once(self):
+        sinks = [_CountingSink(), _CountingSink()]
+        pipeline = Pipeline(params(), snapshot_seconds=300.0, sinks=sinks)
+        pipeline.run(stream(3))
+        pipeline.close()
+        pipeline.close()  # explicit double-close must stay a no-op
+        assert [sink.close_calls for sink in sinks] == [1, 1]
+
+    def test_context_manager_exit_after_explicit_close(self):
+        sink = _CountingSink()
+        with Pipeline(params(), snapshot_seconds=300.0, sinks=[sink]) as p:
+            p.run(stream(3))
+            p.close()  # caller closes early; __exit__ follows anyway
+        assert sink.close_calls == 1
+
+    def test_sinks_closed_once_when_the_stream_raises(self):
+        def broken():
+            yield from stream(2)
+            raise RuntimeError("upstream died")
+
+        sink = _CountingSink()
+        with pytest.raises(RuntimeError, match="upstream died"):
+            with Pipeline(
+                params(), snapshot_seconds=300.0, sinks=[sink]
+            ) as pipeline:
+                pipeline.run(broken())
+        assert sink.closed
+        assert sink.close_calls == 1
+
+    def test_csv_sink_second_close_does_not_rewrite(self, tmp_path):
+        path = tmp_path / "once.csv"
+        sink = CSVSink(str(path))
+        pipeline = Pipeline(params(), snapshot_seconds=300.0, sinks=[sink])
+        pipeline.run(stream(11))
+        pipeline.close()
+        written = sink.rows_written
+        path.write_text("sentinel: closing again must not clobber this\n")
+        sink.close()
+        pipeline.close()
+        assert sink.rows_written == written
+        assert path.read_text().startswith("sentinel")
+
+
 class TestLivePipeline:
     def test_classifies_with_sharded_engine(self):
         runner = LivePipeline(

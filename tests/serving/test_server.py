@@ -1,0 +1,226 @@
+"""LookupServer: the line protocol end to end over real sockets.
+
+Each test spins up the asyncio server on an ephemeral port, speaks the
+protocol through an actual TCP connection, and shuts down cleanly; the
+bulk-query test pins that MGET answers from exactly one epoch even when
+an install lands mid-request.
+"""
+
+import asyncio
+import json
+
+from repro.core.iputil import Prefix
+from repro.core.output import IPDRecord
+from repro.core.snapshot import Snapshot
+from repro.serving import IngressLookupService, LookupServer
+from repro.topology.elements import IngressPoint
+
+R1 = IngressPoint("R1", "et0")
+R2 = IngressPoint("R2", "et0")
+
+
+def record(cidr, ingress, timestamp=100.0):
+    return IPDRecord(
+        timestamp=timestamp,
+        range=Prefix.from_string(cidr),
+        ingress=ingress,
+        s_ingress=0.9,
+        s_ipcount=32,
+        n_cidr=4,
+        candidates=(),
+        classified=True,
+    )
+
+
+def service_with(ingress=R1, when=200.0, epoch=1):
+    service = IngressLookupService()
+    service.install_snapshot(
+        Snapshot(
+            when,
+            [
+                record("10.0.0.0/8", ingress, timestamp=when),
+                record("2001:db8::/32", ingress, timestamp=when),
+            ],
+            epoch=epoch,
+            source="test",
+        )
+    )
+    return service
+
+
+class Client:
+    def __init__(self, reader, writer):
+        self.reader = reader
+        self.writer = writer
+
+    async def ask(self, line):
+        self.writer.write((line + "\n").encode())
+        await self.writer.drain()
+        return (await self.reader.readline()).decode().strip()
+
+    async def lines(self, line, count):
+        self.writer.write((line + "\n").encode())
+        await self.writer.drain()
+        return [
+            (await self.reader.readline()).decode().strip()
+            for _ in range(count)
+        ]
+
+
+async def run_session(service, conversation):
+    server = LookupServer(service)
+    host, port = await server.start()
+    reader, writer = await asyncio.open_connection(host, port)
+    try:
+        return await conversation(Client(reader, writer), service)
+    finally:
+        writer.close()
+        await server.stop()
+
+
+class TestProtocol:
+    def test_get_hit_and_miss(self):
+        async def talk(client, service):
+            assert await client.ask("GET 10.1.2.3") == (
+                "HIT R1 et0 10.0.0.0/8 0.9 0 1"
+            )
+            assert await client.ask("GET 99.0.0.1") == "MISS 1"
+            assert await client.ask("GET 2001:db8::42") == (
+                "HIT R1 et0 2001:db8::/32 0.9 0 1"
+            )
+
+        asyncio.run(run_session(service_with(), talk))
+
+    def test_mget_one_line_per_address_plus_end(self):
+        async def talk(client, service):
+            lines = await client.lines("MGET 10.1.2.3 99.0.0.1 10.0.0.1", 4)
+            assert lines[0].startswith("HIT R1")
+            assert lines[1] == "MISS 1"
+            assert lines[2].startswith("HIT R1")
+            assert lines[3] == "END 1"
+
+        asyncio.run(run_session(service_with(), talk))
+
+    def test_stats_is_json(self):
+        async def talk(client, service):
+            await client.ask("GET 10.1.2.3")
+            payload = json.loads(await client.ask("STATS"))
+            assert payload["epoch"] == 1
+            assert payload["queries"] == 1
+            assert payload["watermark"] == 200.0
+
+        asyncio.run(run_session(service_with(), talk))
+
+    def test_at_historical_query(self, tmp_path):
+        from repro.archive import SnapshotArchive
+
+        archive = SnapshotArchive(tmp_path / "arch")
+        archive.append_snapshot(
+            Snapshot(100.0, [record("10.0.0.0/8", R2, timestamp=100.0)])
+        )
+        service = IngressLookupService(archive=archive)
+        service.install_snapshot(
+            Snapshot(300.0, [record("10.0.0.0/8", R1, timestamp=300.0)],
+                     epoch=5)
+        )
+
+        async def talk(client, service):
+            # live answer is R1; the archived history answers R2
+            assert (await client.ask("GET 10.1.2.3")).startswith("HIT R1")
+            historical = await client.ask("AT 150 10.1.2.3")
+            assert historical.startswith("HIT R2")
+            assert historical.endswith("-1")  # historical epoch marker
+            assert await client.ask("AT 50 10.1.2.3") == "MISS -1"
+
+        asyncio.run(run_session(service, talk))
+
+    def test_errors_keep_the_connection_open(self):
+        async def talk(client, service):
+            assert (await client.ask("FROB 1")).startswith("ERR")
+            assert (await client.ask("GET not-an-ip")).startswith("ERR")
+            assert (await client.ask("GET")).startswith("ERR")
+            # still serving after three errors
+            assert (await client.ask("GET 10.1.2.3")).startswith("HIT")
+
+        asyncio.run(run_session(service_with(), talk))
+
+    def test_no_epoch_installed_is_a_protocol_error(self):
+        async def talk(client, service):
+            assert await client.ask("GET 10.1.2.3") == "ERR no epoch installed"
+
+        asyncio.run(run_session(IngressLookupService(), talk))
+
+    def test_quit_closes_the_connection(self):
+        async def talk(client, service):
+            client.writer.write(b"QUIT\n")
+            await client.writer.drain()
+            assert await client.reader.readline() == b""
+
+        asyncio.run(run_session(service_with(), talk))
+
+
+class TestSwapDuringQueries:
+    def test_next_request_sees_the_new_epoch(self):
+        async def talk(client, service):
+            assert (await client.ask("GET 10.1.2.3")).endswith(" 1")
+            service.install_snapshot(
+                Snapshot(400.0, [record("10.0.0.0/8", R2, timestamp=400.0)],
+                         epoch=2)
+            )
+            answer = await client.ask("GET 10.1.2.3")
+            assert answer.startswith("HIT R2")
+            assert answer.endswith(" 2")
+
+        asyncio.run(run_session(service_with(), talk))
+
+    def test_mget_pinned_to_one_epoch_across_concurrent_swaps(self):
+        """Bulk answers never mix epochs, even with installs mid-MGET.
+
+        A background task swaps epochs as fast as the loop allows while
+        MGET requests stream; every response block must be internally
+        consistent (all HIT lines name the same epoch as END).
+        """
+        service = service_with()
+        epochs = [
+            service.current,
+            None,  # built inside the loop to reuse compile work
+        ]
+        from repro.serving import ServingEpoch
+
+        epochs[1] = ServingEpoch.from_snapshot(
+            Snapshot(400.0, [record("10.0.0.0/8", R2, timestamp=400.0)],
+                     epoch=2, source="test")
+        )
+        ingress_of_epoch = {1: "R1", 2: "R2"}
+
+        async def talk(client, service):
+            stop = asyncio.Event()
+
+            async def swapper():
+                index = 0
+                while not stop.is_set():
+                    service.install(epochs[index & 1])
+                    index += 1
+                    await asyncio.sleep(0)
+
+            task = asyncio.create_task(swapper())
+            try:
+                for _ in range(200):
+                    lines = await client.lines(
+                        "MGET 10.1.2.3 10.0.0.1 10.9.9.9 99.0.0.1", 5
+                    )
+                    end_epoch = int(lines[-1].split()[1])
+                    want_router = ingress_of_epoch[end_epoch]
+                    for line in lines[:-1]:
+                        parts = line.split()
+                        if parts[0] == "HIT":
+                            assert parts[1] == want_router, lines
+                            assert int(parts[-1]) == end_epoch, lines
+                        else:
+                            assert int(parts[1]) == end_epoch, lines
+            finally:
+                stop.set()
+                await task
+
+        asyncio.run(run_session(service, talk))
+        assert service.installs > 2

@@ -176,6 +176,78 @@ class TestLegacyPartitions:
         assert times == [300.0, 90_000.0]
 
 
+class TestPointInTime:
+    """``load_at`` / ``latest``: the serving plane's history reads."""
+
+    @pytest.fixture
+    def mixed_root(self, tmp_path):
+        """Legacy ``day-NNNNNN`` day 0 followed by UTC-date days 1 and 2."""
+        import json
+
+        root = tmp_path / "arch"
+        archive = SnapshotArchive(root)
+        archive.append(300.0, [record("10.0.0.0/24")])
+        archive.append(600.0, [record("10.0.1.0/24", B)])
+        (root / "1970-01-01.csv.gz").rename(root / "day-000000.csv.gz")
+        index = json.loads((root / "index.json").read_text())
+        entry = index.pop("1970-01-01")
+        entry["file"] = "day-000000.csv.gz"
+        index["day-000000"] = entry
+        (root / "index.json").write_text(json.dumps(index))
+        archive = SnapshotArchive(root)
+        archive.append(90_000.0, [record("10.1.0.0/24")])
+        archive.append(180_000.0, [record("10.2.0.0/24", B)])
+        return root
+
+    def test_empty_archive(self, tmp_path):
+        archive = SnapshotArchive(tmp_path / "arch")
+        assert archive.load_at(1e9) is None
+        assert archive.latest() is None
+
+    def test_before_first_snapshot(self, mixed_root):
+        assert SnapshotArchive(mixed_root).load_at(299.9) is None
+
+    def test_exact_hit(self, mixed_root):
+        found, records = SnapshotArchive(mixed_root).load_at(600.0)
+        assert found == 600.0
+        assert [str(r.range) for r in records] == ["10.0.1.0/24"]
+
+    def test_between_snapshots_rounds_down(self, mixed_root):
+        archive = SnapshotArchive(mixed_root)
+        # inside the legacy partition
+        found, records = archive.load_at(599.0)
+        assert found == 300.0
+        assert [str(r.range) for r in records] == ["10.0.0.0/24"]
+        # straddling the legacy -> date-key boundary
+        found, records = archive.load_at(89_999.0)
+        assert found == 600.0
+        assert records[0].ingress == B
+
+    def test_after_newest_clamps_to_latest(self, mixed_root):
+        archive = SnapshotArchive(mixed_root)
+        found, records = archive.load_at(1e12)
+        assert found == 180_000.0
+        assert (found, [str(r.range) for r in records]) == (
+            archive.latest()[0],
+            [str(r.range) for r in archive.latest()[1]],
+        )
+
+    def test_latest_reads_only_the_newest(self, mixed_root):
+        found, records = SnapshotArchive(mixed_root).latest()
+        assert found == 180_000.0
+        assert [str(r.range) for r in records] == ["10.2.0.0/24"]
+        assert records[0].timestamp == 180_000.0
+
+    def test_load_at_reopened_archive(self, mixed_root):
+        """The bisect path works from a cold index (no appends made)."""
+        archive = SnapshotArchive(mixed_root)
+        times = archive.snapshot_times()
+        assert times == [300.0, 600.0, 90_000.0, 180_000.0]
+        for probe, want in [(300.0, 300.0), (100_000.0, 90_000.0)]:
+            found, __ = archive.load_at(probe)
+            assert found == want
+
+
 class TestEndToEnd:
     def test_run_archive_analyze(self, tmp_path):
         """IPD run -> archive -> reload -> stability analysis."""

@@ -37,7 +37,7 @@ class TestSubpackageSurfaces:
         "repro.workloads", "repro.analysis", "repro.baselines",
         "repro.paramstudy", "repro.reporting", "repro.cli",
         "repro.archive", "repro.steering", "repro.runtime",
-        "repro.testkit", "repro.devtools",
+        "repro.testkit", "repro.devtools", "repro.serving",
     ])
     def test_imports_cleanly(self, module):
         imported = importlib.import_module(module)
@@ -47,7 +47,7 @@ class TestSubpackageSurfaces:
         "repro.core", "repro.netflow", "repro.topology", "repro.bgp",
         "repro.workloads", "repro.analysis", "repro.baselines",
         "repro.paramstudy", "repro.reporting", "repro.runtime",
-        "repro.testkit", "repro.devtools",
+        "repro.testkit", "repro.devtools", "repro.serving",
     ])
     def test_all_lists_resolve(self, module):
         imported = importlib.import_module(module)
@@ -160,6 +160,44 @@ class TestDevtoolsSurface:
         from repro.testkit import FaultPlan
 
         assert isinstance(FaultPlan(), FaultHookLike)
+
+
+class TestServingSurface:
+    """The serving-plane symbols added with the lookup service."""
+
+    @pytest.mark.parametrize("name", [
+        "IngressLookupService", "LookupResult", "LookupServer",
+        "NoEpochError", "ReshardPolicy", "ServingEpoch", "ServingError",
+        "ShardLoadCounters",
+    ])
+    def test_serving_exports(self, name):
+        import repro.serving
+
+        assert name in repro.serving.__all__
+        assert hasattr(repro.serving, name)
+
+    @pytest.mark.parametrize("name", [
+        "CompiledLPM", "compile_lpm_from_records",
+    ])
+    def test_compiled_lpm_exported_from_core_and_top_level(self, name):
+        import repro.core
+
+        for module in (repro, repro.core):
+            assert name in module.__all__
+            assert hasattr(module, name)
+
+    def test_compiled_lpm_codec_surface(self):
+        from repro import CompiledLPM
+
+        for method in ("to_bytes", "from_bytes", "from_records",
+                       "lookup", "lookup_entry", "entries"):
+            assert hasattr(CompiledLPM, method), f"CompiledLPM.{method}"
+
+    def test_snapshot_carries_compiled_tables(self):
+        from repro.core.snapshot import Snapshot
+
+        for method in ("compiled", "watermark", "epoch"):
+            assert hasattr(Snapshot, method), f"Snapshot.{method}"
 
 
 class TestMinimalUserJourney:
