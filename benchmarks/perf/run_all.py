@@ -39,6 +39,14 @@ Three groups of measurements, all on the §5.7 workload (4096 distinct
   size, bulk and per-call lookup throughput through an installed
   epoch, p50/p99 per-call latency, and the epoch hot-swap pause (the
   longest single install over 1000 swaps).  Recorded, not gated.
+* ``admission`` — the sketch-gated admission front-end: per-decision
+  admit cost through both gate paths (count-min update vs the
+  known-elephant set probe), the exact-mode holdback ratio, and
+  off/exact/lossy ``ingest_batch()`` throughput on the uniform §5.7
+  workload (every source promotes within one batch) and on a
+  spoofed-random-source workload (no source ever promotes — the shape
+  the gate exists for).  The lossy spoofed rate is compared against
+  the committed prebuilt-batch ingest baseline.
 
 ``--only GROUP[,GROUP]`` restricts a run to the named groups (the CI
 serving job runs ``--only query`` as a smoke check).
@@ -79,6 +87,11 @@ from repro.topology.elements import IngressPoint
 
 #: the committed single-core rate of the pre-batching substrate
 SEED_FLOWS_PER_SECOND = 427_637
+
+#: the committed prebuilt-batch ingest rate (baseline.json's
+#: ``ingest.ingest_batch_prebuilt``) — the bar the lossy admission
+#: front-end must clear on the spoofed-random-source workload
+SEED_BATCH_FLOWS_PER_SECOND = 3_486_442
 
 INGRESSES = [IngressPoint(f"R{i}", "et0") for i in range(8)]
 
@@ -590,6 +603,128 @@ def bench_query(flow_count: int, repeats: int,
     return result
 
 
+def bench_admission(flow_count: int, repeats: int) -> dict:
+    """The admission front-end: gate cost, holdback, mode throughput.
+
+    Two workload shapes bracket the gate's behaviour: the uniform §5.7
+    workload (4096 repeating sources — every group promotes on its
+    first batch, so exact/lossy pay only the elephant-set probe) and a
+    spoofed-random-source workload (every flow a distinct source —
+    nothing promotes, exact buffers everything, lossy refuses the trie
+    ingest entirely).  The lossy spoofed rate is the headline: it must
+    beat the committed prebuilt-batch baseline, which was measured with
+    no gate on the *friendly* uniform workload.
+    """
+    from repro.core.admission import AdmissionConfig, AdmissionController
+
+    workloads = {
+        "uniform": build_flows(flow_count),
+        "spoofed": build_spread_flows(flow_count),
+    }
+    # size the sketch for the workload's distinct-source count (the
+    # default 2^14 width saturates against 100k spoofed sources and the
+    # controller would degrade to admit-everything — correct behaviour,
+    # but it would measure the fallback instead of the gate)
+    width = 1 << 18
+    modes: dict[str, "AdmissionConfig | None"] = {
+        "off": None,
+        "exact": AdmissionConfig(mode="exact", width=width),
+        "lossy": AdmissionConfig(mode="lossy", width=width),
+    }
+
+    # per-decision admit cost, measured through filter_groups directly:
+    # distinct keys exercise the count-min update path; a promoted herd
+    # exercises the known-elephant fast path.
+    decisions = 50_000
+    keys = [((index * 2654435761) & 0xFFFFFFF0) for index in range(decisions)]
+    group_dicts = [
+        {key: [{0: 1.0}, 0.0, 0.0] for key in keys[start:start + 4096]}
+        for start in range(0, decisions, 4096)
+    ]
+
+    def admit_sketch_path():
+        controller = AdmissionController(
+            AdmissionConfig(mode="lossy", width=width)
+        )
+        filter_groups = controller.filter_groups
+        for groups in group_dicts:
+            filter_groups(4, groups)
+
+    sketch_seconds = best_of(admit_sketch_path, repeats)
+
+    herd_controller = AdmissionController(
+        AdmissionConfig(mode="lossy", promote_weight=0.5, width=width)
+    )
+    for groups in group_dicts:  # weight 1.0 >= 0.5: promotes every key
+        herd_controller.filter_groups(4, groups)
+
+    def admit_elephant_path():
+        filter_groups = herd_controller.filter_groups
+        for groups in group_dicts:
+            filter_groups(4, groups)
+
+    elephant_seconds = best_of(admit_elephant_path, repeats)
+
+    result: dict = {
+        "admit_ns_sketch_path": round(sketch_seconds / decisions * 1e9, 1),
+        "admit_ns_elephant_path": round(elephant_seconds / decisions * 1e9, 1),
+        "note": "recorded, not gated except lossy_spoofed_beats_baseline: "
+                "lossy must out-ingest the ungated prebuilt-batch baseline "
+                "on hostile traffic",
+    }
+    print(f"  admission admit cost sketch={result['admit_ns_sketch_path']} "
+          f"ns/decision  elephant={result['admit_ns_elephant_path']} "
+          f"ns/decision")
+
+    for workload_name, flows in workloads.items():
+        batches = list(iter_flow_batches(flows, batch_size=65536))
+        rates = {}
+        for mode_name, config in modes.items():
+            def ingest_all():
+                ipd = IPD(sec57_params(), admission=config)
+                for batch in batches:
+                    ipd.ingest_batch(batch)
+
+            rates[mode_name] = len(flows) / best_of(ingest_all, repeats)
+
+        # holdback ratio: share of exact-mode gate decisions that
+        # buffered the group instead of passing it to the trie
+        probe = IPD(
+            sec57_params(),
+            admission=AdmissionConfig(mode="exact", width=width),
+        )
+        for batch in batches:
+            probe.ingest_batch(batch)
+        assert probe.admission is not None
+        admitted, held, dropped, promoted = probe.admission.take_counters()
+        total = admitted + held + dropped
+        holdback = held / total if total else 0.0
+
+        result[workload_name] = {
+            "off_flows_per_second": round(rates["off"]),
+            "exact_flows_per_second": round(rates["exact"]),
+            "lossy_flows_per_second": round(rates["lossy"]),
+            "exact_vs_off_ratio": round(rates["exact"] / rates["off"], 2),
+            "lossy_vs_off_ratio": round(rates["lossy"] / rates["off"], 2),
+            "holdback_ratio": round(holdback, 4),
+            "promoted_groups": promoted,
+        }
+        print(f"  admission {workload_name:<8} off={rates['off']:>12,.0f} "
+              f"exact={rates['exact']:>12,.0f} "
+              f"lossy={rates['lossy']:>12,.0f} flows/s  "
+              f"holdback={holdback:.2%}")
+
+    lossy_spoofed = result["spoofed"]["lossy_flows_per_second"]
+    result["baseline_prebuilt_flows_per_second"] = SEED_BATCH_FLOWS_PER_SECOND
+    result["lossy_spoofed_beats_baseline"] = (
+        lossy_spoofed > SEED_BATCH_FLOWS_PER_SECOND
+    )
+    print(f"  admission lossy spoofed {lossy_spoofed:,.0f} flows/s vs "
+          f"ungated prebuilt baseline {SEED_BATCH_FLOWS_PER_SECOND:,} "
+          f"({'beats' if result['lossy_spoofed_beats_baseline'] else 'BELOW'})")
+    return result
+
+
 #: benchmark group name -> needs the sec57 flow list
 GROUPS = (
     "ingest",
@@ -599,6 +734,7 @@ GROUPS = (
     "checkpoint",
     "transport",
     "query",
+    "admission",
 )
 
 
@@ -642,6 +778,8 @@ def run_benchmarks(flow_count: int, repeats: int,
         results["transport"] = bench_transport(flow_count, repeats)
     if "query" in selected:
         results["query"] = bench_query(flow_count, repeats)
+    if "admission" in selected:
+        results["admission"] = bench_admission(flow_count, repeats)
     return results
 
 

@@ -12,6 +12,7 @@ from .steering import SteeringPlan, SteeringPolicy, apply_plan, link_loads
 from .core import (
     DEFAULT_PARAMS,
     IPD,
+    AdmissionConfig,
     CompiledLPM,
     IPDParams,
     IPDRecord,
@@ -39,6 +40,7 @@ from .topology import IngressPoint, ISPTopology, LinkType, TopologySpec, generat
 __version__ = "1.0.0"
 
 __all__ = [
+    "AdmissionConfig",
     "Checkpoint",
     "CheckpointStore",
     "CompiledLPM",

@@ -24,6 +24,7 @@ import sys
 from pathlib import Path
 from typing import Optional, Sequence
 
+from .core.admission import AdmissionConfig
 from .core.iputil import parse_ip
 from .core.lpm import build_lpm_from_records
 from .core.output import read_records_csv, write_records_csv
@@ -69,8 +70,20 @@ def _params_from(args: argparse.Namespace) -> IPDParams:
     )
 
 
+def _admission_from(args: argparse.Namespace) -> Optional[AdmissionConfig]:
+    if args.admission == "off":
+        return None
+    return AdmissionConfig(
+        mode=args.admission,
+        promote_weight=args.admission_promote_weight,
+        width=args.admission_width,
+        depth=args.admission_depth,
+    )
+
+
 def _cmd_run(args: argparse.Namespace) -> int:
     params = _params_from(args)
+    admission = _admission_from(args)
 
     def flow_source():
         # A fresh file handle per (re)start: checkpoint resume and
@@ -120,6 +133,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
                     executor=args.executor,
                     workers=args.workers,
                     transport=args.transport,
+                    admission=admission,
                     snapshot_seconds=args.snapshot_seconds,
                     checkpoint_every=args.checkpoint_every,
                 )
@@ -155,6 +169,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
             snapshot_seconds=args.snapshot_seconds,
             checkpoint_store=store,
             checkpoint_every=args.checkpoint_every,
+            admission=admission,
         )
     with pipeline:
         result = pipeline.run(flow_source)
@@ -171,6 +186,15 @@ def _cmd_run(args: argparse.Namespace) -> int:
     print(f"processed {result.flows_processed:,} flows, "
           f"{len(result.sweeps)} sweeps ({engine}){note}; wrote {count} "
           f"ranges to {args.output}")
+    if args.admission != "off":
+        admitted = sum(s.admission_admitted for s in result.sweeps)
+        held = sum(s.admission_held for s in result.sweeps)
+        dropped = sum(s.admission_dropped for s in result.sweeps)
+        promoted = sum(s.admission_promoted for s in result.sweeps)
+        saturated = any(s.admission_saturated for s in result.sweeps)
+        print(f"admission ({args.admission}): admitted {admitted:,}  "
+              f"held {held:,}  dropped {dropped:,}  promoted {promoted:,}"
+              + ("  [saturated]" if saturated else ""))
     return 0
 
 
@@ -369,6 +393,20 @@ def build_parser() -> argparse.ArgumentParser:
                      help="continue from the latest checkpoint in "
                           "--checkpoint-dir (replays the same flow CSV, "
                           "skipping already-processed rows)")
+    run.add_argument("--admission", choices=["off", "exact", "lossy"],
+                     default="off",
+                     help="sketch-gated admission front-end: 'exact' holds "
+                          "mice back but replays them before each sweep "
+                          "(output identical to off), 'lossy' drops sources "
+                          "that never reach the promotion threshold")
+    run.add_argument("--admission-promote-weight", type=float, default=4.0,
+                     help="sketch estimate at which a source is promoted "
+                          "to the elephant fast path")
+    run.add_argument("--admission-width", type=int, default=1 << 14,
+                     help="count-min sketch columns (rounded up to a "
+                          "power of two)")
+    run.add_argument("--admission-depth", type=int, default=4,
+                     help="count-min sketch rows")
     _add_param_arguments(run)
     run.set_defaults(handler=_cmd_run)
 

@@ -1,5 +1,15 @@
 """IPD core: parameters, range trie, two-stage algorithm, LPM, output."""
 
+from .admission import (
+    ADMISSION_MODES,
+    AdmissionConfig,
+    AdmissionController,
+    AdmissionImage,
+    CountMinSketch,
+    decode_admission,
+    encode_admission,
+    merge_admission_images,
+)
 from .algorithm import IPD, SweepReport
 from .bundles import bundle_candidates, dominant_ingress, make_bundle
 from .driver import OfflineDriver, RunResult, ThreadedIPD
@@ -29,8 +39,13 @@ from .statecodec import (
 )
 
 __all__ = [
+    "ADMISSION_MODES",
+    "AdmissionConfig",
+    "AdmissionController",
+    "AdmissionImage",
     "CODEC_VERSION",
     "CompiledEntry",
+    "CountMinSketch",
     "CompiledLPM",
     "DEFAULT_PARAMS",
     "EngineImage",
@@ -58,12 +73,15 @@ __all__ = [
     "build_lpm_from_records",
     "bundle_candidates",
     "compile_lpm_from_records",
+    "decode_admission",
     "decode_engine",
     "decode_subtree",
     "default_decay",
     "dominant_ingress",
+    "encode_admission",
     "encode_engine",
     "encode_subtree",
+    "merge_admission_images",
     "format_ip",
     "make_bundle",
     "mask_ip",

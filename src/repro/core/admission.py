@@ -1,0 +1,984 @@
+"""Sketch-gated admission front-end for the ingest path.
+
+At deployment scale most source prefixes are one-shot "mice" that never
+accumulate to ``n_cidr``, yet every flow pays a full trie insert.  This
+module inserts a staged *admit → promote → count* pipeline between
+batch decode and trie ingest:
+
+* a seeded **count-min sketch** (Azzana et al.'s Bloom-filter large-flow
+  identification, generalized to weighted counts) tracks the volume of
+  every masked source cheaply and off-trie;
+* sources whose sketch estimate crosses the **promotion threshold**
+  (Jurkiewicz's mice/elephant boundary) are promoted to the *elephant
+  set* and admitted directly — with a cached leaf handle that bypasses
+  the trie lookup entirely on subsequent batches;
+* sub-threshold "mice" are **held back**: in ``exact`` mode they are
+  buffered and replayed before every sweep (byte-identical output to
+  running without admission); in ``lossy`` mode they are dropped and
+  only their sketch counts survive (bounded accuracy loss, measured on
+  the Fig. 6 benchmark).
+
+Aging is wired to trace time (IPD001): the sketch halves on fixed
+``age_seconds`` boundaries of the replayed clock, so a long-idle mouse
+must re-earn its promotion.  All hashing is seeded (IPD002) via a
+splitmix64 mix of an explicit seed — two controllers built from the
+same :class:`AdmissionConfig` make identical decisions on the same
+stream, which is what lets per-shard controllers merge.
+
+Saturation safety: a sketch can only ever *over*-estimate, so admission
+errors always fall toward admitting more.  When the sketch saturates —
+its fill ratio crosses ``max_fill``, or the ``sketch_saturate`` fault
+forces it — the controller degrades to admit-everything.  An elephant,
+once promoted, is never held or dropped again.
+
+The controller's state (sketch cells, elephant set, held groups, aging
+cursor) round-trips through a versioned wire section (``CODEC_VERSION``
+below, IPD004-pinned as ``admission:1``) appended to engine blobs by
+:meth:`IPD.to_bytes`, so checkpoint/resume and reshard-on-restore carry
+admission state with the trie.
+"""
+
+from __future__ import annotations
+
+from array import array
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Iterator, Optional
+
+from ..devtools.markers import hot_path
+from ..topology.elements import IngressPoint
+from .statecodec import StateCodecError, _Reader, _Writer
+
+try:  # the vectorized lossy gate; the per-group path covers absence
+    import numpy as _np
+except ImportError:  # pragma: no cover - numpy ships with the toolchain
+    _np = None  # type: ignore[assignment]
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..netflow.records import FlowBatch
+    from .rangetree import RangeNode
+
+__all__ = [
+    "ADMISSION_MODES",
+    "AdmissionConfig",
+    "AdmissionController",
+    "AdmissionImage",
+    "CODEC_VERSION",
+    "CountMinSketch",
+    "decode_admission",
+    "encode_admission",
+    "merge_admission_images",
+]
+
+#: bump when the admission wire section changes; pinned as ``admission:1``
+CODEC_VERSION = 1
+
+_MAGIC = b"IPDA"
+_KIND_ADMISSION = 0x41  # 'A'
+
+_FLAG_SATURATED = 1
+_FLAG_LOSSY = 2
+
+_MASK64 = (1 << 64) - 1
+
+#: the admission modes the runtime accepts (``off`` maps to no controller)
+ADMISSION_MODES = ("exact", "lossy")
+
+#: group slots, mirroring the ingest-path group layout
+_BY_INGRESS = 0
+_NEWEST = 1
+_OLDEST = 2
+
+
+def _splitmix64(value: int) -> int:
+    """One splitmix64 round; the seeded hash base for sketch rows."""
+    value = (value + 0x9E3779B97F4A7C15) & _MASK64
+    value = ((value ^ (value >> 30)) * 0xBF58476D1CE4E5B9) & _MASK64
+    value = ((value ^ (value >> 27)) * 0x94D049BB133111EB) & _MASK64
+    return value ^ (value >> 31)
+
+
+def _splitmix64_array(values: "object") -> "object":
+    """:func:`_splitmix64` over a uint64 ndarray (wrapping arithmetic).
+
+    Bit-for-bit identical to the scalar form: numpy uint64 ops wrap mod
+    2^64 exactly as the masked Python-int version does, so both gate
+    paths hash a key to the same sketch cells.
+    """
+    values = values + _np.uint64(0x9E3779B97F4A7C15)
+    values = (values ^ (values >> _np.uint64(30))) * _np.uint64(0xBF58476D1CE4E5B9)
+    values = (values ^ (values >> _np.uint64(27))) * _np.uint64(0x94D049BB133111EB)
+    return values ^ (values >> _np.uint64(31))
+
+
+@dataclass(frozen=True)
+class AdmissionConfig:
+    """Tuning knobs for the admission front-end.
+
+    ``mode`` selects the holdback semantics: ``"exact"`` buffers mice
+    and replays them before each sweep (byte-identical to no admission);
+    ``"lossy"`` drops them below the threshold.  ``promote_weight`` is
+    the sketch-estimate (flow count, or bytes with ``count_bytes``
+    params) at which a source is promoted to the elephant set.
+    """
+
+    mode: str = "exact"
+    #: sketch estimate at which a source becomes an elephant
+    promote_weight: float = 4.0
+    #: cells per sketch row (rounded up to a power of two)
+    width: int = 1 << 14
+    #: independent hash rows
+    depth: int = 4
+    #: seed for the per-row hash salts (IPD002: always explicit)
+    seed: int = 0x1905
+    #: trace-time interval between sketch halvings
+    age_seconds: float = 120.0
+    #: nonzero-cell fill ratio beyond which the sketch counts as
+    #: saturated and the controller degrades to admit-everything
+    max_fill: float = 0.9
+
+    def __post_init__(self) -> None:
+        if self.mode not in ADMISSION_MODES:
+            raise ValueError(
+                f"unknown admission mode {self.mode!r}; "
+                f"expected one of {ADMISSION_MODES}"
+            )
+        if self.width < 1 or self.depth < 1:
+            raise ValueError("sketch width and depth must be >= 1")
+        if self.promote_weight <= 0.0:
+            raise ValueError("promote_weight must be positive")
+        if self.age_seconds <= 0.0:
+            raise ValueError("age_seconds must be positive")
+        if not 0.0 < self.max_fill <= 1.0:
+            raise ValueError("max_fill must be in (0, 1]")
+
+
+class CountMinSketch:
+    """A seeded, weighted count-min sketch with trace-time aging.
+
+    Estimates only ever err upward (hash collisions add foreign weight),
+    so a decision gated on ``estimate >= threshold`` can admit a mouse
+    early but can never starve an elephant — the safe direction for an
+    admission filter.  ``halve`` implements aging: all cells decay by
+    half and the fill count is retightened.
+    """
+
+    __slots__ = ("width", "depth", "_mask", "_salts", "cells", "fill")
+
+    def __init__(self, width: int, depth: int, seed: int) -> None:
+        # round up to a power of two so row indexing is a mask
+        actual = 1
+        while actual < width:
+            actual <<= 1
+        self.width = actual
+        self.depth = depth
+        self._mask = actual - 1
+        self._salts = tuple(
+            _splitmix64(seed ^ (row * 0x9E3779B97F4A7C15)) for row in range(depth)
+        )
+        self.cells = array("d", bytes(8 * actual * depth))
+        self.fill = 0
+
+    def add(self, key: int, weight: float) -> float:
+        """Fold *weight* into every row; returns the updated estimate."""
+        cells = self.cells
+        mask = self._mask
+        width = self.width
+        base = 0
+        fill = 0
+        estimate = float("inf")
+        for salt in self._salts:
+            index = base + (_splitmix64((key & _MASK64) ^ (key >> 64) ^ salt) & mask)
+            value = cells[index]
+            if value == 0.0:
+                fill += 1
+            value += weight
+            cells[index] = value
+            if value < estimate:
+                estimate = value
+            base += width
+        self.fill += fill
+        return estimate
+
+    def estimate(self, key: int) -> float:
+        """The current (over-)estimate for *key*, without mutating."""
+        cells = self.cells
+        mask = self._mask
+        width = self.width
+        base = 0
+        estimate = float("inf")
+        for salt in self._salts:
+            value = cells[base + (_splitmix64((key & _MASK64) ^ (key >> 64) ^ salt) & mask)]
+            if value < estimate:
+                estimate = value
+            base += width
+        return estimate
+
+    def halve(self) -> None:
+        """Age every cell by half; cells below one count reset to zero."""
+        cells = self.cells
+        fill = 0
+        for index, value in enumerate(cells):
+            if value == 0.0:
+                continue
+            value *= 0.5
+            if value < 0.5:
+                value = 0.0
+            else:
+                fill += 1
+            cells[index] = value
+        self.fill = fill
+
+    def clear(self) -> None:
+        """Drop all counts (used when aging skips many intervals)."""
+        self.cells = array("d", bytes(8 * self.width * self.depth))
+        self.fill = 0
+
+    @property
+    def fill_ratio(self) -> float:
+        """Fraction of nonzero cells across all rows."""
+        return self.fill / (self.width * self.depth)
+
+    def sparse_cells(self) -> list[tuple[int, float]]:
+        """The nonzero cells as ``(index, value)`` pairs (codec form)."""
+        return [
+            (index, value)
+            for index, value in enumerate(self.cells)
+            if value != 0.0
+        ]
+
+    def load_sparse(self, pairs: "list[tuple[int, float]]") -> None:
+        """Replace the cell contents from codec ``(index, value)`` pairs."""
+        self.clear()
+        cells = self.cells
+        size = len(cells)
+        fill = 0
+        for index, value in pairs:
+            if not 0 <= index < size:
+                raise StateCodecError(
+                    f"sketch cell index {index} out of range (size {size})"
+                )
+            if value != 0.0 and cells[index] == 0.0:
+                fill += 1
+            cells[index] = value
+        self.fill = fill
+
+    def merge(self, other: "CountMinSketch") -> None:
+        """Cellwise-add *other* (same geometry and salts required)."""
+        if (
+            self.width != other.width
+            or self.depth != other.depth
+            or self._salts != other._salts
+        ):
+            raise StateCodecError(
+                "cannot merge sketches with different geometry or seed"
+            )
+        cells = self.cells
+        fill = 0
+        for index, value in enumerate(other.cells):
+            if value == 0.0:
+                continue
+            if cells[index] == 0.0:
+                fill += 1
+            cells[index] += value
+        self.fill += fill
+
+
+@dataclass
+class AdmissionImage:
+    """Codec-neutral snapshot of a controller's state.
+
+    ``sketches`` holds the sparse nonzero cells per address family;
+    ``held`` keeps the exact-mode holdback groups in their chronological
+    insertion order (the replay order byte-identity depends on).
+    """
+
+    mode: str
+    promote_weight: float
+    width: int
+    depth: int
+    seed: int
+    age_seconds: float
+    max_fill: float
+    #: aging cursor: the last trace-time boundary applied (None = unset)
+    age_boundary: Optional[int] = None
+    saturated: bool = False
+    #: version -> [(cell index, value), ...]
+    sketches: dict[int, list] = field(default_factory=dict)
+    #: version -> [masked ip, ...]
+    elephants: dict[int, list] = field(default_factory=dict)
+    #: version -> {masked: [{ingress: weight}, newest, oldest]}
+    held: dict[int, dict[int, list]] = field(default_factory=dict)
+
+    def config(self) -> AdmissionConfig:
+        """The :class:`AdmissionConfig` this state was produced under."""
+        return AdmissionConfig(
+            mode=self.mode,
+            promote_weight=self.promote_weight,
+            width=self.width,
+            depth=self.depth,
+            seed=self.seed,
+            age_seconds=self.age_seconds,
+            max_fill=self.max_fill,
+        )
+
+
+class AdmissionController:
+    """Per-engine admission state: sketch, elephant set, holdback buffer.
+
+    One controller fronts one engine's ingest path.  The engine calls
+    :meth:`filter_groups` on every pre-grouped batch; held groups are
+    drained and replayed by the engine before each sweep (and before
+    snapshots), which is what keeps ``exact`` mode byte-identical.
+    """
+
+    def __init__(self, config: AdmissionConfig) -> None:
+        self.config = config
+        self.exact = config.mode == "exact"
+        self._sketches: dict[int, CountMinSketch] = {}
+        self._elephants: dict[int, set[int]] = {}
+        self._held: dict[int, dict[int, list]] = {}
+        self._handles: dict[int, dict[int, "RangeNode"]] = {}
+        # lazily rebuilt sorted-ndarray mirror of each elephant set,
+        # keyed by version, cached as (herd size, array) — promotions
+        # only ever grow the herd, so a size match means it is current
+        self._herd_arrays: dict[int, "tuple[int, object]"] = {}
+        self._age_boundary: Optional[int] = None
+        self._saturated = False
+        # decision counters since the last take_counters() drain
+        self.admitted = 0
+        self.held_back = 0
+        self.dropped = 0
+        self.promoted = 0
+
+    # ------------------------------------------------------------------ plumbing
+
+    def sketch(self, version: int) -> CountMinSketch:
+        """The (lazily created) per-family sketch."""
+        sketch = self._sketches.get(version)
+        if sketch is None:
+            config = self.config
+            sketch = CountMinSketch(config.width, config.depth, config.seed)
+            self._sketches[version] = sketch
+        return sketch
+
+    def elephants(self, version: int) -> set[int]:
+        """The per-family promoted-source set."""
+        herd = self._elephants.get(version)
+        if herd is None:
+            herd = set()
+            self._elephants[version] = herd
+        return herd
+
+    def handles(self, version: int) -> "dict[int, RangeNode]":
+        """Cached elephant leaf handles (the lookup-bypass fast path)."""
+        handles = self._handles.get(version)
+        if handles is None:
+            handles = {}
+            self._handles[version] = handles
+        return handles
+
+    def held(self, version: int) -> dict[int, list]:
+        """The per-family holdback buffer (exact mode)."""
+        held = self._held.get(version)
+        if held is None:
+            held = {}
+            self._held[version] = held
+        return held
+
+    @property
+    def saturated(self) -> bool:
+        """True when the controller has degraded to admit-everything."""
+        if self._saturated:
+            return True
+        max_fill = self.config.max_fill
+        for sketch in self._sketches.values():
+            if sketch.fill_ratio > max_fill:
+                return True
+        return False
+
+    def saturate(self) -> None:
+        """Force admit-everything (the ``sketch_saturate`` fault site)."""
+        self._saturated = True
+
+    # ------------------------------------------------------------------ decisions
+
+    def _herd_array(self, version: int) -> "object":
+        """The elephant set as a sorted uint64 ndarray (vectorized gate)."""
+        herd = self.elephants(version)
+        cached = self._herd_arrays.get(version)
+        if cached is not None and cached[0] == len(herd):
+            return cached[1]
+        mirror = _np.fromiter(herd, dtype=_np.uint64, count=len(herd))
+        mirror.sort()
+        self._herd_arrays[version] = (len(herd), mirror)
+        return mirror
+
+    @hot_path
+    def prefilter_rows(
+        self,
+        version: int,
+        shift: int,
+        sources: "list[int]",
+        weights: "Optional[list[int]]" = None,
+    ) -> "Optional[list[int]]":
+        """Vectorized lossy gate over raw batch columns.
+
+        Runs *before* the per-flow grouping pass, so a dropped mouse
+        never pays any Python-level per-flow work: the whole batch is
+        masked, sketch-counted and thresholded as ndarray operations,
+        and only the surviving row indices are returned for grouping.
+        Returns ``None`` to admit every row — exact mode (the holdback
+        buffer needs the groups), saturation, numpy unavailable, or a
+        mask shift ≥ 64 bits (v6 keys exceed uint64; those batches take
+        the per-group path).
+
+        Decision semantics match :meth:`filter_groups` on the same
+        batch: weights fold into the same seeded cells (integer-valued,
+        so the float sums are exact regardless of add order) and every
+        source's estimate is read after the whole batch's weight is in,
+        exactly like the per-group path's one summed add per source.
+        Promoted sources join the shared elephant set, so the group
+        path's herd fast-path and cached leaf handles pick them up.
+        """
+        if _np is None or self.exact or shift >= 64 or self.saturated:
+            return None
+        try:
+            raw = _np.array(sources, dtype=_np.uint64)
+        except (OverflowError, TypeError):  # stray >64-bit key: group path
+            return None
+        shift_bits = _np.uint64(shift)
+        masked = (raw >> shift_bits) << shift_bits
+        folded = (
+            None
+            if weights is None
+            else _np.array(weights, dtype=_np.float64)
+        )
+
+        # elephants never touch the sketch (same as the group path's
+        # herd fast path); only the mice rows feed it below
+        herd_mirror = self._herd_array(version)
+        if herd_mirror.size:  # type: ignore[attr-defined]
+            elephant = _np.isin(masked, herd_mirror)
+            mice_rows = _np.nonzero(~elephant)[0]
+            if mice_rows.size == 0:
+                return None  # the whole batch is promoted traffic
+            mice_keys = masked[mice_rows]
+            mice_weights = None if folded is None else folded[mice_rows]
+        else:
+            elephant = None
+            mice_rows = None
+            mice_keys = masked
+            mice_weights = folded
+
+        sketch = self.sketch(version)
+        width = sketch.width
+        cells = _np.frombuffer(sketch.cells, dtype=_np.float64)
+        index_mask = _np.uint64(width - 1)
+        estimate = None
+        for row, salt in enumerate(sketch._salts):
+            indices = (
+                (_splitmix64_array(mice_keys ^ _np.uint64(salt)) & index_mask)
+                .astype(_np.intp)
+            )
+            row_cells = cells[row * width:(row + 1) * width]
+            row_cells += _np.bincount(
+                indices, weights=mice_weights, minlength=width
+            )
+            gathered = row_cells[indices]
+            estimate = (
+                gathered
+                if estimate is None
+                else _np.minimum(estimate, gathered)
+            )
+        sketch.fill = int(_np.count_nonzero(cells))
+        if sketch.fill_ratio > self.config.max_fill:
+            return None  # saturated: degrade to admit-everything
+
+        promoted = estimate >= self.config.promote_weight
+        if promoted.any():
+            herd = self.elephants(version)
+            new_keys = _np.unique(mice_keys[promoted]).tolist()
+            herd.update(new_keys)
+            self.promoted += len(new_keys)
+        total = len(raw)
+        if elephant is None:
+            keep = promoted
+        else:
+            keep = elephant
+            keep[mice_rows[promoted]] = True
+        kept = int(_np.count_nonzero(keep))
+        if kept == total:
+            return None
+        self.dropped += total - kept
+        rows: "list[int]" = _np.nonzero(keep)[0].tolist()
+        return rows
+
+    @hot_path
+    def filter_groups(
+        self, version: int, groups: "dict[int, list]"
+    ) -> "dict[int, list]":
+        """Gate pre-grouped samples; returns the admitted subset.
+
+        Each group is ``masked -> [by_ingress, newest, oldest]`` exactly
+        as built by the engine's batch grouping pass.  Elephants pass
+        straight through; unknown sources update the sketch and are
+        promoted, held (exact) or dropped (lossy).  On promotion any
+        held history for the source is folded into the admitted group so
+        no sample is lost.
+        """
+        if self.saturated:
+            return self._admit_everything(version, groups)
+        config = self.config
+        threshold = config.promote_weight
+        exact = self.exact
+        herd = self.elephants(version)
+        held = self.held(version)
+        sketch = self.sketch(version)
+        sketch_add = sketch.add
+        held_get = held.get
+        admitted: dict[int, list] = {}
+        n_admitted = 0
+        n_held = 0
+        n_dropped = 0
+        n_promoted = 0
+        for masked, group in groups.items():
+            if masked in herd:
+                admitted[masked] = group
+                n_admitted += 1
+                continue
+            by_ingress = group[_BY_INGRESS]
+            weight = 0.0
+            for value in by_ingress.values():
+                weight += value
+            estimate = sketch_add(masked, weight)
+            if estimate >= threshold:
+                herd.add(masked)
+                n_promoted += 1
+                pending = held_get(masked)
+                if pending is not None:
+                    del held[masked]
+                    _merge_group_into(pending, group)
+                    group = pending
+                admitted[masked] = group
+                n_admitted += 1
+            elif exact:
+                pending = held_get(masked)
+                if pending is None:
+                    held[masked] = group
+                else:
+                    _merge_group_into(pending, group)
+                n_held += 1
+            else:
+                n_dropped += 1
+        self.admitted += n_admitted
+        self.held_back += n_held
+        self.dropped += n_dropped
+        self.promoted += n_promoted
+        return admitted
+
+    def _admit_everything(
+        self, version: int, groups: "dict[int, list]"
+    ) -> "dict[int, list]":
+        """Saturation fallback: admit all groups, folding in held history.
+
+        The degraded mode must never *lose* relative to admission-off:
+        every group passes through, and a held mouse's buffered samples
+        ride along with its next appearance.
+        """
+        held = self.held(version)
+        if held:
+            for masked, group in groups.items():
+                pending = held.get(masked)
+                if pending is not None:
+                    del held[masked]
+                    _merge_group_into(pending, group)
+                    groups[masked] = pending
+        self.admitted += len(groups)
+        return groups
+
+    def drain_held(self, version: int) -> dict[int, list]:
+        """Detach and return the holdback buffer for replay."""
+        held = self._held.get(version)
+        if not held:
+            return {}
+        self._held[version] = {}
+        return held
+
+    def has_held(self) -> bool:
+        """True when any family has buffered holdback groups."""
+        for held in self._held.values():
+            if held:
+                return True
+        return False
+
+    # ------------------------------------------------------------------ aging
+
+    def age_to(self, now: float) -> int:
+        """Advance the trace-time aging cursor; returns halvings applied.
+
+        The sketch halves once per elapsed ``age_seconds`` boundary of
+        the replayed clock.  Skipping many intervals clears the sketch
+        outright (2^-53 of anything is zero weight).
+        """
+        boundary = int(now // self.config.age_seconds)
+        previous = self._age_boundary
+        self._age_boundary = boundary
+        if previous is None or boundary <= previous:
+            return 0
+        steps = boundary - previous
+        if steps >= 53:
+            for sketch in self._sketches.values():
+                sketch.clear()
+            return steps
+        for sketch in self._sketches.values():
+            for __ in range(steps):
+                sketch.halve()
+        return steps
+
+    def take_counters(self) -> tuple[int, int, int, int]:
+        """Drain the (admitted, held, dropped, promoted) decision counters."""
+        counters = (self.admitted, self.held_back, self.dropped, self.promoted)
+        self.admitted = 0
+        self.held_back = 0
+        self.dropped = 0
+        self.promoted = 0
+        return counters
+
+    # ------------------------------------------------------------------ batch split
+
+    def partition_batch(
+        self, batch: "FlowBatch", cidr_max: int
+    ) -> "tuple[FlowBatch, FlowBatch]":
+        """Split a columnar batch into (admitted, held) row views.
+
+        The pre-trie form of :meth:`filter_groups` for callers that gate
+        whole batches (benchmarks, external pre-filters): rows whose
+        masked source is — or becomes — an elephant land in the admitted
+        batch, the rest in the held batch.  Row order is preserved and
+        the split reuses the batch columns without copying row payloads
+        (:meth:`FlowBatch.select`).  Unlike :meth:`filter_groups` this
+        does not buffer holdback state; the held view is returned to the
+        caller instead.
+        """
+        version = batch.version
+        shift = (128 if version == 6 else 32) - cidr_max
+        herd = self.elephants(version)
+        sketch = self.sketch(version)
+        threshold = self.config.promote_weight
+        saturated = self.saturated
+        admitted_rows: list[int] = []
+        held_rows: list[int] = []
+        admitted_append = admitted_rows.append
+        held_append = held_rows.append
+        for row, src in enumerate(batch.src_ips):
+            masked = (src >> shift) << shift
+            if saturated or masked in herd:
+                admitted_append(row)
+                continue
+            if sketch.add(masked, 1.0) >= threshold:
+                herd.add(masked)
+                self.promoted += 1
+                admitted_append(row)
+            else:
+                held_append(row)
+        self.admitted += len(admitted_rows)
+        self.held_back += len(held_rows)
+        return batch.select(admitted_rows), batch.select(held_rows)
+
+    # ------------------------------------------------------------------ state io
+
+    def to_image(self) -> AdmissionImage:
+        """Snapshot the controller state as a codec-neutral image."""
+        config = self.config
+        return AdmissionImage(
+            mode=config.mode,
+            promote_weight=config.promote_weight,
+            width=config.width,
+            depth=config.depth,
+            seed=config.seed,
+            age_seconds=config.age_seconds,
+            max_fill=config.max_fill,
+            age_boundary=self._age_boundary,
+            saturated=self._saturated,
+            sketches={
+                version: sketch.sparse_cells()
+                for version, sketch in self._sketches.items()
+                if sketch.fill
+            },
+            elephants={
+                version: sorted(herd)
+                for version, herd in self._elephants.items()
+                if herd
+            },
+            held={
+                version: {
+                    masked: [dict(group[_BY_INGRESS]), group[_NEWEST], group[_OLDEST]]
+                    for masked, group in held.items()
+                }
+                for version, held in self._held.items()
+                if held
+            },
+        )
+
+    @classmethod
+    def from_image(cls, image: AdmissionImage) -> "AdmissionController":
+        """Rebuild a controller from an image (checkpoint restore)."""
+        controller = cls(image.config())
+        controller._age_boundary = image.age_boundary
+        controller._saturated = image.saturated
+        for version, pairs in image.sketches.items():
+            controller.sketch(version).load_sparse(pairs)
+        for version, herd in image.elephants.items():
+            controller.elephants(version).update(herd)
+        for version, held in image.held.items():
+            buffer = controller.held(version)
+            for masked, group in held.items():
+                buffer[masked] = [dict(group[_BY_INGRESS]), group[_NEWEST], group[_OLDEST]]
+        return controller
+
+    def to_bytes(self) -> bytes:
+        """Serialize the controller state as one versioned section."""
+        return encode_admission(self.to_image())
+
+
+def _merge_group_into(target: list, extra: list) -> None:
+    """Fold *extra*'s per-ingress weights and time bounds into *target*.
+
+    *target* is the chronologically older group, so insertion order of
+    newly seen ingresses matches the order a single unheld stream would
+    have produced — the property exact-mode byte-identity rides on.
+    """
+    by_ingress = target[_BY_INGRESS]
+    get = by_ingress.get
+    for ingress, weight in extra[_BY_INGRESS].items():
+        previous = get(ingress)
+        by_ingress[ingress] = weight if previous is None else previous + weight
+    if extra[_NEWEST] > target[_NEWEST]:
+        target[_NEWEST] = extra[_NEWEST]
+    if extra[_OLDEST] < target[_OLDEST]:
+        target[_OLDEST] = extra[_OLDEST]
+
+
+# ---------------------------------------------------------------------------
+# wire section (appended to engine blobs; pinned as admission:1)
+# ---------------------------------------------------------------------------
+
+
+def encode_admission(image: AdmissionImage) -> bytes:
+    """Serialize an admission image as one versioned trailing section."""
+    writer = _Writer()
+    writer.raw(_MAGIC)
+    writer.byte(_KIND_ADMISSION)
+    writer.byte(CODEC_VERSION)
+    flags = 0
+    if image.saturated:
+        flags |= _FLAG_SATURATED
+    if image.mode == "lossy":
+        flags |= _FLAG_LOSSY
+    writer.byte(flags)
+    writer.float(image.promote_weight)
+    writer.uvarint(image.width)
+    writer.uvarint(image.depth)
+    writer.uvarint(image.seed)
+    writer.float(image.age_seconds)
+    writer.float(image.max_fill)
+    if image.age_boundary is None:
+        writer.byte(0)
+    else:
+        writer.byte(1)
+        writer.uvarint(image.age_boundary)
+    writer.uvarint(len(image.sketches))
+    for version in sorted(image.sketches):
+        writer.byte(version)
+        pairs = image.sketches[version]
+        writer.uvarint(len(pairs))
+        for index, value in pairs:
+            writer.uvarint(index)
+            writer.float(value)
+    writer.uvarint(len(image.elephants))
+    for version in sorted(image.elephants):
+        herd = image.elephants[version]
+        writer.byte(version)
+        writer.uvarint(len(herd))
+        for masked in herd:
+            writer.uvarint(masked)
+    writer.uvarint(len(image.held))
+    for version in sorted(image.held):
+        held = image.held[version]
+        writer.byte(version)
+        writer.uvarint(len(held))
+        for masked, group in held.items():
+            writer.uvarint(masked)
+            writer.float(group[_NEWEST])
+            writer.float(group[_OLDEST])
+            by_ingress = group[_BY_INGRESS]
+            writer.uvarint(len(by_ingress))
+            for ingress, weight in by_ingress.items():
+                writer.ingress(ingress)
+                writer.float(weight)
+    return bytes(writer.buffer)
+
+
+def decode_admission(data: "bytes | bytearray | memoryview") -> AdmissionImage:
+    """Parse an admission section back into an :class:`AdmissionImage`."""
+    reader = _Reader(data)
+    with _admission_damage_reported(reader):
+        if len(data) < 5 or bytes(data[:4]) != _MAGIC:
+            raise StateCodecError("not an admission section (bad magic)")
+        reader.offset = 4
+        kind = reader.byte()
+        if kind != _KIND_ADMISSION:
+            raise StateCodecError(
+                f"unexpected admission section kind {kind:#x}"
+            )
+        version = reader.byte()
+        if version > CODEC_VERSION:
+            raise StateCodecError(
+                f"admission section uses codec version {version}; this "
+                f"build reads up to {CODEC_VERSION}"
+            )
+        flags = reader.byte()
+        promote_weight = reader.float()
+        width = reader.uvarint()
+        depth = reader.uvarint()
+        seed = reader.uvarint()
+        age_seconds = reader.float()
+        max_fill = reader.float()
+        age_boundary = reader.uvarint() if reader.byte() else None
+        sketches: dict[int, list[tuple[int, float]]] = {}
+        for __ in range(reader.uvarint()):
+            family = reader.byte()
+            sketches[family] = [
+                (reader.uvarint(), reader.float())
+                for __ in range(reader.uvarint())
+            ]
+        elephants: dict[int, list[int]] = {}
+        for __ in range(reader.uvarint()):
+            family = reader.byte()
+            elephants[family] = [
+                reader.uvarint() for __ in range(reader.uvarint())
+            ]
+        held: dict[int, dict[int, list]] = {}
+        for __ in range(reader.uvarint()):
+            family = reader.byte()
+            groups: dict[int, list] = {}
+            for __ in range(reader.uvarint()):
+                masked = reader.uvarint()
+                newest = reader.float()
+                oldest = reader.float()
+                by_ingress: dict[IngressPoint, float] = {}
+                for __ in range(reader.uvarint()):
+                    ingress = reader.ingress()
+                    by_ingress[ingress] = reader.float()
+                groups[masked] = [by_ingress, newest, oldest]
+            held[family] = groups
+        return AdmissionImage(
+            mode="lossy" if flags & _FLAG_LOSSY else "exact",
+            promote_weight=promote_weight,
+            width=width,
+            depth=depth,
+            seed=seed,
+            age_seconds=age_seconds,
+            max_fill=max_fill,
+            age_boundary=age_boundary,
+            saturated=bool(flags & _FLAG_SATURATED),
+            sketches=sketches,
+            elephants=elephants,
+            held=held,
+        )
+
+
+def merge_admission_images(
+    images: "list[Optional[AdmissionImage]]",
+) -> Optional[AdmissionImage]:
+    """Merge per-shard admission images into one engine-wide image.
+
+    Sketches add cellwise (identical geometry/seed required — shards are
+    always built from one config), elephant sets union, held groups
+    union (address-space sharding makes their key sets disjoint), and
+    saturation is sticky across the fleet.  Over-counting from the merge
+    only ever admits *more*, which is the safe direction.
+    """
+    images = [image for image in images if image is not None]
+    if not images:
+        return None
+    first = images[0]
+    merged_sketches: dict[int, CountMinSketch] = {}
+    merged_elephants: dict[int, set[int]] = {}
+    merged_held: dict[int, dict[int, list]] = {}
+    saturated = False
+    age_boundary: Optional[int] = None
+    for image in images:
+        if (
+            image.width != first.width
+            or image.depth != first.depth
+            or image.seed != first.seed
+            or image.mode != first.mode
+        ):
+            raise StateCodecError(
+                "cannot merge admission images with different configs"
+            )
+        saturated = saturated or image.saturated
+        if image.age_boundary is not None:
+            age_boundary = (
+                image.age_boundary
+                if age_boundary is None
+                else max(age_boundary, image.age_boundary)
+            )
+        for version, pairs in image.sketches.items():
+            sketch = merged_sketches.get(version)
+            if sketch is None:
+                sketch = CountMinSketch(first.width, first.depth, first.seed)
+                merged_sketches[version] = sketch
+            incoming = CountMinSketch(first.width, first.depth, first.seed)
+            incoming.load_sparse(pairs)
+            sketch.merge(incoming)
+        for version, herd in image.elephants.items():
+            merged_elephants.setdefault(version, set()).update(herd)
+        for version, held in image.held.items():
+            target = merged_held.setdefault(version, {})
+            for masked, group in held.items():
+                pending = target.get(masked)
+                if pending is None:
+                    target[masked] = [
+                        dict(group[_BY_INGRESS]), group[_NEWEST], group[_OLDEST]
+                    ]
+                else:
+                    _merge_group_into(pending, group)
+    return AdmissionImage(
+        mode=first.mode,
+        promote_weight=first.promote_weight,
+        width=first.width,
+        depth=first.depth,
+        seed=first.seed,
+        age_seconds=first.age_seconds,
+        max_fill=first.max_fill,
+        age_boundary=age_boundary,
+        saturated=saturated,
+        sketches={
+            version: sketch.sparse_cells()
+            for version, sketch in merged_sketches.items()
+        },
+        elephants={
+            version: sorted(herd)
+            for version, herd in merged_elephants.items()
+        },
+        held=merged_held,
+    )
+
+
+@contextmanager
+def _admission_damage_reported(reader: _Reader) -> Iterator[None]:
+    """Normalize admission-section decode failures into codec errors."""
+    try:
+        yield
+    except StateCodecError as exc:
+        if exc.offset is None:
+            exc.offset = reader.offset
+        raise
+    except (ValueError, KeyError, IndexError, OverflowError) as exc:
+        raise StateCodecError(
+            f"damaged admission section at offset {reader.offset}: {exc!r}",
+            offset=reader.offset,
+        ) from exc

@@ -41,6 +41,12 @@ from typing import Iterable
 from ..devtools.markers import hot_path
 from ..netflow.records import FlowBatch, FlowRecord
 from ..topology.elements import IngressPoint
+from .admission import (
+    AdmissionConfig,
+    AdmissionController,
+    decode_admission,
+    encode_admission,
+)
 from .bundles import dominant_ingress
 from .iputil import IPV4, IPV6, Prefix, mask_ip
 from .lbdetect import LBDetectorLike
@@ -51,7 +57,7 @@ from .state import ClassifiedState, DelegatedState, UnclassifiedState
 from .statecodec import (
     EngineImage,
     StateCodecError,
-    decode_engine,
+    decode_engine_span,
     encode_engine,
     engine_to_image,
     restore_tree,
@@ -88,6 +94,13 @@ class SweepReport:
     cache_hits: int = 0
     cache_misses: int = 0
     cache_evictions: int = 0
+    #: admission front-end decisions since the previous sweep (all zero
+    #: when no admission controller is attached)
+    admission_admitted: int = 0
+    admission_held: int = 0
+    admission_dropped: int = 0
+    admission_promoted: int = 0
+    admission_saturated: bool = False
     #: per-family leaf counts after the sweep
     leaves_by_version: dict[int, int] = field(default_factory=dict)
 
@@ -112,8 +125,12 @@ class IPD:
         lb_detector: LBDetectorLike | None = None,
         lb_patience: int = 3,
         roots: "dict[int, Prefix] | None" = None,
+        admission: "AdmissionController | AdmissionConfig | None" = None,
     ) -> None:
         self.params = params or DEFAULT_PARAMS
+        #: optional sketch-gated admission front-end; ``None`` means the
+        #: classic direct-to-trie ingest path (admission off)
+        self.admission: AdmissionController | None = _coerce_admission(admission)
         #: per-family root prefixes; defaults to /0 (the whole space).
         #: The sharded runtime roots one engine per depth-k subtree.
         self.trees: dict[int, RangeTree] = {
@@ -144,8 +161,16 @@ class IPD:
         per-range payloads, params, counters, and the dirty/expiry
         bookkeeping — the restored engine's next sweep visits the same
         leaves and produces the same report this engine's would have.
+
+        With an admission front-end attached, its state (sketch cells,
+        elephant set, held groups) is appended as a self-delimiting
+        trailing section; admission-off blobs are byte-identical to
+        what this method always produced.
         """
-        return encode_engine(self.to_image())
+        blob = encode_engine(self.to_image())
+        if self.admission is not None:
+            blob += encode_admission(self.admission.to_image())
+        return blob
 
     @classmethod
     def from_image(
@@ -153,6 +178,7 @@ class IPD:
         image: EngineImage,
         lb_detector: LBDetectorLike | None = None,
         lb_patience: int = 3,
+        admission: "AdmissionController | AdmissionConfig | None" = None,
     ) -> "IPD":
         """Rebuild an engine from an image produced by :meth:`to_image`."""
         roots = {
@@ -163,6 +189,7 @@ class IPD:
             lb_detector=lb_detector,
             lb_patience=lb_patience,
             roots=roots,
+            admission=admission,
         )
         for version, tree_image in image.trees.items():
             tree = engine.trees.get(version)
@@ -184,15 +211,26 @@ class IPD:
         params: IPDParams | None = None,
         lb_detector: LBDetectorLike | None = None,
         lb_patience: int = 3,
+        admission: "AdmissionController | AdmissionConfig | None" = None,
     ) -> "IPD":
         """Rebuild an engine from a :meth:`to_bytes` blob.
 
         *params* must be supplied when the blob was written with a
-        custom decay function (callables do not serialize).
+        custom decay function (callables do not serialize).  When the
+        blob carries a trailing admission section, the controller is
+        restored from it and *admission* is ignored; otherwise
+        *admission* (a config or fresh controller) attaches one.
         """
-        image = decode_engine(data, params=params)
+        image, consumed = decode_engine_span(data, params=params)
+        if consumed < len(data):
+            admission = AdmissionController.from_image(
+                decode_admission(memoryview(data)[consumed:])
+            )
         return cls.from_image(
-            image, lb_detector=lb_detector, lb_patience=lb_patience
+            image,
+            lb_detector=lb_detector,
+            lb_patience=lb_patience,
+            admission=admission,
         )
 
     # ------------------------------------------------------------------ stage 1
@@ -203,8 +241,18 @@ class IPD:
         params = self.params
         tree = self.trees[flow.version]
         masked = mask_ip(flow.src_ip, params.cidr_max(flow.version), flow.version)
-        leaf = tree.lookup_leaf(masked)
         weight = float(flow.bytes) if params.count_bytes else 1.0
+        if self.admission is not None:
+            # route through the staged admit path as a one-group batch
+            self._apply_groups(
+                tree, {masked: [{flow.ingress: weight}, flow.timestamp, flow.timestamp]}
+            )
+            self.flows_ingested += 1
+            self.bytes_ingested += flow.bytes
+            if self.lb_detector is not None:
+                self.lb_detector.observe(flow)
+            return
+        leaf = tree.lookup_leaf(masked)
         state = leaf._state
         if isinstance(state, UnclassifiedState):
             state.add(masked, flow.ingress, flow.timestamp, weight)
@@ -238,6 +286,21 @@ class IPD:
         shift = tree.root.prefix.bits - params.cidr_max(batch.version)
         count_bytes = params.count_bytes
 
+        # pass 0 (lossy admission only): the vectorized pre-gate drops
+        # never-promoted mice on the raw columns, before any per-flow
+        # Python work; accounting below still covers the full batch
+        original = batch
+        admission = self.admission
+        if admission is not None:
+            kept_rows = admission.prefilter_rows(
+                batch.version,
+                shift,
+                batch.src_ips,
+                batch.byte_counts if count_bytes else None,
+            )
+            if kept_rows is not None:
+                batch = batch.select(kept_rows)
+
         # pass 1: mask + group.  groups: masked -> [by_ingress, newest, oldest]
         groups: dict[int, list] = {}
         get_group = groups.get
@@ -261,23 +324,77 @@ class IPD:
                     group[2] = ts
 
         # pass 2: one leaf resolution + one state fold per distinct source
-        self._apply_groups(tree, groups)
+        if groups:
+            self._apply_groups(tree, groups)
 
         self.flows_ingested += count
-        self.bytes_ingested += sum(batch.byte_counts)
+        self.bytes_ingested += sum(original.byte_counts)
         if self.lb_detector is not None:
             observe = self.lb_detector.observe
-            for flow in batch.iter_flows():
+            for flow in original.iter_flows():
                 observe(flow)
         return count
 
-    @hot_path
     def _apply_groups(self, tree: RangeTree, groups: dict[int, list]) -> None:
-        """Fold accumulated per-source groups into their covering leaves."""
+        """Fold accumulated per-source groups into their covering leaves.
+
+        This is the admission seam: with a controller attached the
+        groups first pass its admit → promote → count gate and only the
+        admitted subset reaches the trie; without one this is a direct
+        alias for the classic fold.
+        """
+        admission = self.admission
+        if admission is None:
+            self._apply_groups_direct(tree, groups)
+            return
+        admitted = admission.filter_groups(tree.version, groups)
+        if admitted:
+            self._apply_admitted(tree, admitted, admission)
+
+    @hot_path
+    def _apply_groups_direct(self, tree: RangeTree, groups: dict[int, list]) -> None:
+        """The classic per-source fold, bypassing admission entirely."""
         lookup = tree.lookup_leaf
         dirty_add = tree.dirty.add
         for masked, (by_ingress, newest, oldest) in groups.items():
             leaf = lookup(masked)
+            state = leaf._state
+            if isinstance(state, UnclassifiedState):
+                state.add_batch(masked, by_ingress, newest, oldest)
+                dirty_add(leaf)
+                if state.heap_bound != state.oldest_seen:
+                    tree.schedule_expiry(leaf)
+            else:
+                assert isinstance(state, ClassifiedState)
+                state.add_batch(by_ingress, newest)
+
+    @hot_path
+    def _apply_admitted(
+        self,
+        tree: RangeTree,
+        groups: dict[int, list],
+        admission: AdmissionController,
+    ) -> None:
+        """Fold admitted groups, with the known-elephant leaf fast path.
+
+        Elephants keep a cached handle to their covering leaf, so the
+        steady-state hot loop skips the trie lookup (and its LRU cache)
+        entirely.  A handle is revalidated the same way the lookup cache
+        is: a split or join kills the node, falling back to one lookup.
+        """
+        version = tree.version
+        handles = admission.handles(version)
+        herd = admission.elephants(version)
+        lookup = tree.lookup_leaf
+        dirty_add = tree.dirty.add
+        handles_get = handles.get
+        herd_contains = herd.__contains__
+        for masked, (by_ingress, newest, oldest) in groups.items():
+            leaf = handles_get(masked)
+            if leaf is None or leaf.dead or leaf.left is not None:
+                leaf = lookup(masked)
+                if herd_contains(masked):
+                    handles[masked] = leaf
             state = leaf._state
             if isinstance(state, UnclassifiedState):
                 state.add_batch(masked, by_ingress, newest, oldest)
@@ -356,11 +473,51 @@ class IPD:
 
     # ------------------------------------------------------------------ stage 2
 
+    def flush_held(self) -> None:
+        """Replay all held-back groups into the trie (exact mode).
+
+        Called before every sweep and snapshot so that whenever state
+        becomes observable, the trie has seen exactly the samples an
+        admission-off engine would have — the byte-identity contract of
+        ``exact`` mode.  Replayed groups bypass the admission gate (they
+        were already decided) but mark dirty/expiry exactly as a direct
+        ingest would have.
+        """
+        admission = self.admission
+        if admission is None or not admission.has_held():
+            return
+        for tree in self.trees.values():
+            held = admission.drain_held(tree.version)
+            if held:
+                self._apply_groups_direct(tree, held)
+
+    def saturate_admission(self) -> None:
+        """Force the admission sketch to its ceiling (fault injection).
+
+        A saturated controller degrades to admit-everything; without a
+        controller this is a no-op, so fault plans can target any
+        engine.
+        """
+        if self.admission is not None:
+            self.admission.saturate()
+
     @hot_path
     def sweep(self, now: float) -> SweepReport:
         """Run one Stage-2 pass over the active ranges (Algorithm 1, lines 5-19)."""
         started = time.perf_counter()
+        admission = self.admission
+        if admission is not None:
+            admission.age_to(now)
+            self.flush_held()
         report = SweepReport(timestamp=now)
+        if admission is not None:
+            (
+                report.admission_admitted,
+                report.admission_held,
+                report.admission_dropped,
+                report.admission_promoted,
+            ) = admission.take_counters()
+            report.admission_saturated = admission.saturated
         for tree in self.trees.values():
             self._sweep_tree(tree, now, report)
             report.leaves_by_version[tree.version] = tree.leaf_count()
@@ -572,6 +729,7 @@ class IPD:
         self, now: float, include_unclassified: bool = False
     ) -> list[IPDRecord]:
         """Emit the current mapping in the Table-3 raw output format."""
+        self.flush_held()
         params = self.params
         records: list[IPDRecord] = []
         for tree in self.trees.values():
@@ -646,6 +804,15 @@ class IPD:
 
     def leaf_count(self) -> int:
         return sum(tree.leaf_count() for tree in self.trees.values())
+
+
+def _coerce_admission(
+    admission: "AdmissionController | AdmissionConfig | None",
+) -> "AdmissionController | None":
+    """Normalize the ``admission`` constructor argument to a controller."""
+    if admission is None or isinstance(admission, AdmissionController):
+        return admission
+    return AdmissionController(admission)
 
 
 def _members_of(ingress: IngressPoint) -> tuple[IngressPoint, ...]:

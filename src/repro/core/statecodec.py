@@ -70,6 +70,7 @@ __all__ = [
     "encode_engine",
     "encode_engine_into",
     "decode_engine",
+    "decode_engine_span",
     "encode_subtree",
     "encode_subtree_into",
     "decode_subtree",
@@ -742,6 +743,23 @@ def decode_engine(
     shared memory (nothing in the returned image aliases it).  *params*
     overrides the encoded parameters — required when the blob was
     written with a custom (non-serializable) decay function.
+
+    Trailing bytes past the engine section are ignored; callers that
+    need to parse what follows (e.g. an appended admission section) use
+    :func:`decode_engine_span`.
+    """
+    image, __ = decode_engine_span(data, params=params)
+    return image
+
+
+def decode_engine_span(
+    data: "bytes | bytearray | memoryview",
+    params: Optional[IPDParams] = None,
+) -> "tuple[EngineImage, int]":
+    """Like :func:`decode_engine`, but also return the bytes consumed.
+
+    The second element is the offset one past the engine section, so a
+    caller can locate trailing sections appended after the engine blob.
     """
     reader = _Reader(data)
     with _damage_reported(reader):
@@ -767,7 +785,7 @@ def decode_engine(
                 join_count=join_count,
                 root=_read_node(reader),
             )
-        return EngineImage(
+        image = EngineImage(
             params=decoded_params,
             flows_ingested=flows_ingested,
             bytes_ingested=bytes_ingested,
@@ -775,6 +793,7 @@ def decode_engine(
             cidrmax_failures=cidrmax_failures,
             trees=trees,
         )
+        return image, reader.offset
 
 
 # ---------------------------------------------------------------------------

@@ -278,16 +278,16 @@ class CodecGuardRule(Rule):
     name = "codec-guard"
     invariant = (
         "The structural fingerprint of each codec module's encoded "
-        "dataclass layouts and wire constants (statecodec.py, lpm.py) is "
-        "pinned to its CODEC_VERSION: changing a layout without bumping "
-        "that version fails."
+        "dataclass layouts and wire constants (statecodec.py, lpm.py, "
+        "admission.py) is pinned to its CODEC_VERSION: changing a layout "
+        "without bumping that version fails."
     )
 
     #: overridable pin file (tests point this at fixture pins)
     codec_pins: "Path | str" = DEFAULT_PIN_PATH
 
     def applies_to(self, source: SourceFile) -> bool:
-        return Path(source.rel).name in ("statecodec.py", "lpm.py")
+        return Path(source.rel).name in ("statecodec.py", "lpm.py", "admission.py")
 
     def check(self, source: SourceFile) -> Iterator[Finding]:
         tree = source.tree

@@ -14,7 +14,8 @@ the engine per simulated run, so they must be cheap to allocate and hash.
 from __future__ import annotations
 
 import csv
-from typing import IO, Iterable, Iterator, NamedTuple, Optional
+import operator
+from typing import IO, Iterable, Iterator, NamedTuple, Optional, Sequence
 
 from ..core.iputil import IPV4, format_ip, parse_ip
 from ..topology.elements import IngressPoint
@@ -146,6 +147,41 @@ class FlowBatch:
             self.packet_counts[start:end],
             self.byte_counts[start:end],
             self.dst_ips[start:end],
+        )
+
+    def select(self, rows: Sequence[int]) -> "FlowBatch":
+        """A batch view of *rows*, in order, without copying row payloads.
+
+        The selected batch re-references the same timestamp/ingress/…
+        objects (only fresh column lists are allocated); selecting every
+        row returns ``self`` unchanged.  Shard routing and the admission
+        front-end's admitted/held split are both built on this.
+        """
+        count = len(rows)
+        if count == len(self.timestamps):
+            return self
+        if count == 0:
+            return FlowBatch(self.version)
+        if count == 1:
+            row = rows[0]
+            return FlowBatch(
+                self.version,
+                [self.timestamps[row]],
+                [self.src_ips[row]],
+                [self.ingresses[row]],
+                [self.packet_counts[row]],
+                [self.byte_counts[row]],
+                [self.dst_ips[row]],
+            )
+        get = operator.itemgetter(*rows)
+        return FlowBatch(
+            self.version,
+            list(get(self.timestamps)),
+            list(get(self.src_ips)),
+            list(get(self.ingresses)),
+            list(get(self.packet_counts)),
+            list(get(self.byte_counts)),
+            list(get(self.dst_ips)),
         )
 
     def iter_flows(self) -> Iterator[FlowRecord]:

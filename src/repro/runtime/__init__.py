@@ -42,7 +42,7 @@ from .result import RunResult
 from .sharding import ShardedIPD
 from .shards import ShardEngine
 from .shmring import ShmFrameError, ShmRing, ShmRingError
-from .sinks import CallbackSink, CSVSink, MemorySink, Sink
+from .sinks import CallbackSink, CSVSink, MemorySink, ServiceSink, Sink
 
 __all__ = [
     "Pipeline",
@@ -62,6 +62,7 @@ __all__ = [
     "MemorySink",
     "CallbackSink",
     "CSVSink",
+    "ServiceSink",
     "SerialExecutor",
     "ThreadedExecutor",
     "MultiprocessExecutor",

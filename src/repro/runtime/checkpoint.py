@@ -40,6 +40,7 @@ from dataclasses import dataclass, field, replace
 from pathlib import Path
 from typing import Optional, Union
 
+from ..core.admission import AdmissionConfig
 from ..core.algorithm import IPD
 from ..core.params import IPDParams
 from ..core.statecodec import IncompatibleStateError, StateCodecError
@@ -282,6 +283,7 @@ class CheckpointStore:
         executor: str = "serial",
         workers: Optional[int] = None,
         transport: str = "pickle",
+        admission: Optional[AdmissionConfig] = None,
     ) -> "Union[IPD, ShardedIPD]":
         """Rebuild an engine from *checkpoint* (see :func:`restore_engine`).
 
@@ -298,6 +300,7 @@ class CheckpointStore:
                 executor=executor,
                 workers=workers,
                 transport=transport,
+                admission=admission,
             )
         except IncompatibleStateError:
             raise
@@ -314,16 +317,20 @@ def restore_engine(
     executor: str = "serial",
     workers: Optional[int] = None,
     transport: str = "pickle",
+    admission: Optional[AdmissionConfig] = None,
 ) -> "Union[IPD, ShardedIPD]":
     """Rebuild an engine of the requested topology from an engine blob.
 
     The blob is topology-free (a merged single-engine image), so any
     legal ``shards``/``executor`` combination works — including one that
     differs from the checkpointing run's.  ``shards=1, executor='serial'``
-    yields a plain :class:`~repro.core.algorithm.IPD`.
+    yields a plain :class:`~repro.core.algorithm.IPD`.  When the blob
+    carries a trailing admission section, the front-end is restored from
+    it and *admission* is ignored; otherwise *admission* attaches a
+    fresh one.
     """
     if shards == 1 and executor == "serial":
-        return IPD.from_bytes(blob, params=params)
+        return IPD.from_bytes(blob, params=params, admission=admission)
     return ShardedIPD.from_bytes(
         blob,
         params=params,
@@ -331,4 +338,5 @@ def restore_engine(
         executor=executor,
         workers=workers,
         transport=transport,
+        admission=admission,
     )

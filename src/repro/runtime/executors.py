@@ -56,6 +56,7 @@ from typing import TYPE_CHECKING, Iterable, Optional, Union
 if TYPE_CHECKING:
     from multiprocessing.connection import Connection
 
+from ..core.admission import AdmissionConfig, AdmissionImage
 from ..core.output import IPDRecord
 from ..core.params import IPDParams
 from ..netflow.records import FlowBatch
@@ -93,9 +94,12 @@ _SHM_IDLE_POLL_SECONDS = 0.001
 
 _U32 = struct.Struct("<I")
 #: shm op-frame prefix: op tag, shard index, address-family version
+#: (version is 0 for admission ops, which are family-agnostic)
 _OP_HEADER = struct.Struct("<BIB")
 _OP_SEED = 1
 _OP_RESET = 2
+_OP_ADMISSION = 3
+_OP_SATURATE = 4
 
 
 class WorkerCrashError(RuntimeError):
@@ -116,16 +120,22 @@ class ShardWorker:
     the multiprocessing executor inside a worker process.
     """
 
-    def __init__(self, params: IPDParams, depth: int) -> None:
+    def __init__(
+        self,
+        params: IPDParams,
+        depth: int,
+        admission: Optional[AdmissionConfig] = None,
+    ) -> None:
         self.params = params
         self.depth = depth
+        self.admission = admission
         self.engines: dict[int, ShardEngine] = {}
 
     def engine(self, index: int) -> ShardEngine:
         engine = self.engines.get(index)
         if engine is None:
             engine = self.engines[index] = ShardEngine(
-                self.params, self.depth, index
+                self.params, self.depth, index, admission=self.admission
             )
         return engine
 
@@ -160,6 +170,11 @@ class ShardWorker:
                 index: engine.export()
                 for index, engine in sorted(self.engines.items())
             }
+        if kind == "admission_export":
+            return {
+                index: engine.admission_image()
+                for index, engine in sorted(self.engines.items())
+            }
         raise ValueError(f"unknown executor command: {kind!r}")
 
 
@@ -168,8 +183,14 @@ class SerialExecutor:
 
     kind = "serial"
 
-    def __init__(self, params: IPDParams, depth: int, workers: int = 1) -> None:
-        self._worker = ShardWorker(params, depth)
+    def __init__(
+        self,
+        params: IPDParams,
+        depth: int,
+        workers: int = 1,
+        admission: Optional[AdmissionConfig] = None,
+    ) -> None:
+        self._worker = ShardWorker(params, depth, admission=admission)
         self._tick_results: Optional[dict[int, ShardTickResult]] = None
         self.fault_hook: Optional[FaultHookLike] = None
 
@@ -204,6 +225,9 @@ class SerialExecutor:
     def export(self) -> dict[int, dict[int, bytes]]:
         return self._worker.handle(("export",))
 
+    def admission_export(self) -> dict[int, Optional[AdmissionImage]]:
+        return self._worker.handle(("admission_export",))
+
     def close(self) -> None:
         pass
 
@@ -213,7 +237,13 @@ class ThreadedExecutor:
 
     kind = "threaded"
 
-    def __init__(self, params: IPDParams, depth: int, workers: int = 2) -> None:
+    def __init__(
+        self,
+        params: IPDParams,
+        depth: int,
+        workers: int = 2,
+        admission: Optional[AdmissionConfig] = None,
+    ) -> None:
         self.workers = max(1, workers)
         self._commands: list[queue.SimpleQueue] = []
         self._replies: list[queue.SimpleQueue] = []
@@ -223,7 +253,7 @@ class ThreadedExecutor:
             replies: queue.SimpleQueue = queue.SimpleQueue()
             thread = threading.Thread(
                 target=_thread_worker_loop,
-                args=(params, depth, commands, replies),
+                args=(params, depth, admission, commands, replies),
                 name=f"ipd-shard-{slot}",
                 daemon=True,
             )
@@ -289,6 +319,14 @@ class ThreadedExecutor:
             exports.update(replies.get())
         return exports
 
+    def admission_export(self) -> dict[int, Optional[AdmissionImage]]:
+        for commands in self._commands:
+            commands.put(("admission_export",))
+        images: dict[int, Optional[AdmissionImage]] = {}
+        for replies in self._replies:
+            images.update(replies.get())
+        return images
+
     def close(self) -> None:
         if self._closed:
             return
@@ -302,10 +340,11 @@ class ThreadedExecutor:
 def _thread_worker_loop(
     params: IPDParams,
     depth: int,
+    admission: Optional[AdmissionConfig],
     commands: queue.SimpleQueue,
     replies: queue.SimpleQueue,
 ) -> None:
-    worker = ShardWorker(params, depth)
+    worker = ShardWorker(params, depth, admission=admission)
     while True:
         cmd = commands.get()
         if cmd[0] == "stop":
@@ -316,10 +355,13 @@ def _thread_worker_loop(
 
 
 def _mp_worker_main(
-    conn: "Connection", params: IPDParams, depth: int
+    conn: "Connection",
+    params: IPDParams,
+    depth: int,
+    admission: Optional[AdmissionConfig] = None,
 ) -> None:
     """Pickle-transport worker entry (module-level: must be picklable)."""
-    worker = ShardWorker(params, depth)
+    worker = ShardWorker(params, depth, admission=admission)
     while True:
         try:
             cmd = conn.recv()
@@ -352,6 +394,13 @@ def _apply_shm_frame(
             worker.handle(("ops", [("seed", index, version, blob)]))
         elif tag == _OP_RESET:
             worker.handle(("ops", [("reset", index, version)]))
+        elif tag == _OP_ADMISSION:
+            (length,) = _U32.unpack_from(payload, _OP_HEADER.size)
+            start = _OP_HEADER.size + 4
+            blob = payload[start:start + length]
+            worker.handle(("ops", [("admission", index, 0, blob)]))
+        elif tag == _OP_SATURATE:
+            worker.handle(("ops", [("saturate", index, 0)]))
         else:
             raise ShmRingError(f"unknown shard-op tag {tag}")
     else:
@@ -359,7 +408,11 @@ def _apply_shm_frame(
 
 
 def _mp_worker_shm_main(
-    conn: "Connection", ring_name: str, params: IPDParams, depth: int
+    conn: "Connection",
+    ring_name: str,
+    params: IPDParams,
+    depth: int,
+    admission: Optional[AdmissionConfig] = None,
 ) -> None:
     """Shm-transport worker entry: drain the ring, obey pipe barriers.
 
@@ -372,7 +425,7 @@ def _mp_worker_shm_main(
     :class:`WorkerCrashError` and checkpoint recovery takes over.
     """
     ring = ShmRing(name=ring_name)
-    worker = ShardWorker(params, depth)
+    worker = ShardWorker(params, depth, admission=admission)
     decoder = FlowBatchDecoder()
     consumed = 0
     try:
@@ -420,6 +473,7 @@ class MultiprocessExecutor:
         depth: int,
         workers: int = 2,
         transport: str = "pickle",
+        admission: Optional[AdmissionConfig] = None,
     ) -> None:
         import multiprocessing
 
@@ -446,14 +500,14 @@ class MultiprocessExecutor:
                 self._encoders.append(FlowBatchEncoder())
                 process = ctx.Process(
                     target=_mp_worker_shm_main,
-                    args=(child_conn, ring.name, params, depth),
+                    args=(child_conn, ring.name, params, depth, admission),
                     name=f"ipd-shard-{slot}",
                     daemon=True,
                 )
             else:
                 process = ctx.Process(
                     target=_mp_worker_main,
-                    args=(child_conn, params, depth),
+                    args=(child_conn, params, depth, admission),
                     name=f"ipd-shard-{slot}",
                     daemon=True,
                 )
@@ -563,6 +617,24 @@ class MultiprocessExecutor:
             except Exception:
                 self._rings[slot].abort(view)
                 raise
+        elif op[0] == "admission":
+            payload = op[3]
+            size = _OP_HEADER.size + 4 + len(payload)
+            view = self._reserve(slot, FRAME_OPS, size)
+            try:
+                _OP_HEADER.pack_into(view, 0, _OP_ADMISSION, op[1], 0)
+                _U32.pack_into(view, _OP_HEADER.size, len(payload))
+                view[_OP_HEADER.size + 4:] = payload
+            except Exception:
+                self._rings[slot].abort(view)
+                raise
+        elif op[0] == "saturate":
+            view = self._reserve(slot, FRAME_OPS, _OP_HEADER.size)
+            try:
+                _OP_HEADER.pack_into(view, 0, _OP_SATURATE, op[1], 0)
+            except Exception:
+                self._rings[slot].abort(view)
+                raise
         else:
             raise ValueError(f"unknown shard op: {op[0]!r}")
         self._rings[slot].commit(view)
@@ -603,6 +675,14 @@ class MultiprocessExecutor:
             exports.update(self._recv(slot))
         return exports
 
+    def admission_export(self) -> dict[int, Optional[AdmissionImage]]:
+        for slot in range(self.workers):
+            self._barrier_send(slot, ("admission_export",))
+        images: dict[int, Optional[AdmissionImage]] = {}
+        for slot in range(self.workers):
+            images.update(self._recv(slot))
+        return images
+
     def close(self) -> None:
         if self._closed:
             return
@@ -632,6 +712,7 @@ def make_executor(
     depth: int,
     workers: Optional[int] = None,
     transport: str = "pickle",
+    admission: Optional[AdmissionConfig] = None,
 ) -> "Union[SerialExecutor, ThreadedExecutor, MultiprocessExecutor]":
     """Build an executor by name (``serial`` / ``threaded`` / ``mp``)."""
     if transport not in TRANSPORT_KINDS:
@@ -644,15 +725,17 @@ def make_executor(
             f"transport {transport!r} applies only to the mp executor"
         )
     if kind == "serial":
-        return SerialExecutor(params, depth)
+        return SerialExecutor(params, depth, admission=admission)
     if kind == "threaded":
-        return ThreadedExecutor(params, depth, workers or 2)
+        return ThreadedExecutor(params, depth, workers or 2, admission=admission)
     if kind == "mp":
         if workers is None:
             import os
 
             workers = min(4, os.cpu_count() or 1)
-        return MultiprocessExecutor(params, depth, workers, transport)
+        return MultiprocessExecutor(
+            params, depth, workers, transport, admission=admission
+        )
     raise ValueError(
         f"unknown executor {kind!r}; expected one of {EXECUTOR_KINDS}"
     )

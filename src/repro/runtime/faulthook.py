@@ -30,6 +30,9 @@ class FaultHookLike(Protocol):
     def before_tick(self, executor: object, now: float) -> None:
         """Sweep-tick site (``executor`` is ``None`` for a plain engine)."""
 
+    def before_sweep(self, engine: object, now: float) -> None:
+        """Engine-level sweep site: may saturate the admission sketch."""
+
     def on_sink_emit(self, when: float) -> None:
         """Sink-write site: may raise to simulate a failing sink."""
 

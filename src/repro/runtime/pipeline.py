@@ -35,6 +35,7 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import Callable, Iterable, Iterator, Optional, Sequence, Union
 
+from ..core.admission import AdmissionConfig
 from ..core.algorithm import IPD, SweepReport
 from ..core.output import IPDRecord
 from ..core.params import IPDParams
@@ -81,6 +82,7 @@ class Pipeline:
         checkpoint_store: "CheckpointStore | str | Path | None" = None,
         checkpoint_every: Optional[float] = None,
         fault_hook: Optional[FaultHookLike] = None,
+        admission: Optional[AdmissionConfig] = None,
     ) -> None:
         if snapshot_seconds <= 0:
             raise ValueError("snapshot_seconds must be positive")
@@ -93,13 +95,13 @@ class Pipeline:
             #: topology to rebuild after a worker crash; None means the
             #: engine is caller-owned and recovery must re-raise
             self._rebuild: Optional[
-                tuple[int, str, Optional[int], str]
+                tuple[int, str, Optional[int], str, Optional[AdmissionConfig]]
             ] = None
         elif shards == 1 and executor == "serial":
             # The degenerate topology needs no router or merger: run the
             # plain engine and the pipeline adds zero per-flow overhead.
-            self.engine = IPD(params)
-            self._rebuild = (1, "serial", None, "pickle")
+            self.engine = IPD(params, admission=admission)
+            self._rebuild = (1, "serial", None, "pickle", admission)
         else:
             self.engine = ShardedIPD(
                 params,
@@ -107,8 +109,9 @@ class Pipeline:
                 executor=executor,
                 workers=workers,
                 transport=transport,
+                admission=admission,
             )
-            self._rebuild = (shards, executor, workers, transport)
+            self._rebuild = (shards, executor, workers, transport, admission)
         self.snapshot_seconds = snapshot_seconds
         self.include_unclassified = include_unclassified
         self.on_sweep = on_sweep
@@ -164,6 +167,7 @@ class Pipeline:
         executor: str = "serial",
         workers: Optional[int] = None,
         transport: str = "pickle",
+        admission: Optional[AdmissionConfig] = None,
         **kwargs: object,
     ) -> "Pipeline":
         """Continue from a checkpoint (the latest one, unless given).
@@ -176,7 +180,9 @@ class Pipeline:
         image, re-carved at this deployment's split depth.
 
         ``params`` is only required when the original run used a custom
-        (non-serializable) decay function.
+        (non-serializable) decay function.  ``admission`` only matters
+        when the checkpoint carries no admission section of its own (a
+        blob-embedded section always wins).
         """
         if not isinstance(checkpoint_store, CheckpointStore):
             checkpoint_store = CheckpointStore(checkpoint_store)
@@ -193,11 +199,12 @@ class Pipeline:
             executor=executor,
             workers=workers,
             transport=transport,
+            admission=admission,
         )
         pipeline = cls(
             engine=engine, checkpoint_store=checkpoint_store, **kwargs
         )
-        pipeline._rebuild = (shards, executor, workers, transport)
+        pipeline._rebuild = (shards, executor, workers, transport, admission)
         pipeline._resume = _ResumeState(
             flows_processed=checkpoint.flows_processed,
             next_sweep=checkpoint.next_sweep,
@@ -265,7 +272,7 @@ class Pipeline:
                     RuntimeWarning,
                     stacklevel=2,
                 )
-        shards, executor, workers, transport = self._rebuild
+        shards, executor, workers, transport, admission = self._rebuild
         # latest_valid: a corrupt newest checkpoint only costs extra
         # replay (recovery falls back to an older intact image, or to a
         # from-scratch replay), never a failed or wrong run
@@ -275,7 +282,7 @@ class Pipeline:
         if checkpoint is None:
             # crashed before the first (intact) checkpoint: restart fresh
             if shards == 1 and executor == "serial":
-                self.engine = IPD(params)
+                self.engine = IPD(params, admission=admission)
             else:
                 self.engine = ShardedIPD(
                     params,
@@ -283,6 +290,7 @@ class Pipeline:
                     executor=executor,
                     workers=workers,
                     transport=transport,
+                    admission=admission,
                 )
             self._attach_fault_hook()
             result.sweeps.clear()
@@ -297,6 +305,7 @@ class Pipeline:
             executor=executor,
             workers=workers,
             transport=transport,
+            admission=admission,
         )
         self._attach_fault_hook()
         # roll the result back to the checkpoint: later sweeps/snapshots
@@ -458,13 +467,16 @@ class Pipeline:
             yield replayed.when, replayed.records
 
     def _tick(self, when: float, result: RunResult) -> None:
-        if self.fault_hook is not None and getattr(
-            self.engine, "_executor", None
-        ) is None:
-            # a sharded engine's executor consults the hook itself at
-            # tick_begin; cover the executor-less plain engine here so
-            # the worker-crash site exists for every topology
-            self.fault_hook.before_tick(None, when)
+        if self.fault_hook is not None:
+            # the sketch-saturate site is engine-level, so the pipeline
+            # fires it for every topology (the engine fans it out to its
+            # shards itself); a no-op for engines without admission
+            self.fault_hook.before_sweep(self.engine, when)
+            if getattr(self.engine, "_executor", None) is None:
+                # a sharded engine's executor consults the hook itself at
+                # tick_begin; cover the executor-less plain engine here so
+                # the worker-crash site exists for every topology
+                self.fault_hook.before_tick(None, when)
         report = self.engine.sweep(when)
         result.sweeps.append(report)
         if self.on_sweep is not None:

@@ -40,10 +40,18 @@ supported in sharded mode — attach it to a plain :class:`IPD`.
 
 from __future__ import annotations
 
-import operator
 import time
+from dataclasses import replace
 from typing import Iterable, Optional
 
+from ..core.admission import (
+    AdmissionConfig,
+    AdmissionController,
+    AdmissionImage,
+    decode_admission,
+    encode_admission,
+    merge_admission_images,
+)
 from ..core.algorithm import IPD, SweepReport, _is_empty_unclassified
 from ..core.iputil import IPV4, IPV6, Prefix
 from ..core.output import IPDRecord
@@ -53,7 +61,7 @@ from ..core.state import UnclassifiedState
 from ..core.statecodec import (
     EngineImage,
     NodeImage,
-    decode_engine,
+    decode_engine_span,
     decode_subtree,
     encode_engine,
     encode_subtree,
@@ -81,6 +89,7 @@ class ShardedIPD:
         executor: str = "serial",
         workers: Optional[int] = None,
         transport: str = "pickle",
+        admission: Optional[AdmissionConfig] = None,
     ) -> None:
         params = params or DEFAULT_PARAMS
         if shards < 1 or shards & (shards - 1):
@@ -97,10 +106,14 @@ class ShardedIPD:
         self.split_depth = depth
         self.executor_kind = executor
         self.transport = transport
+        # the *config* (not a controller) is what crosses process
+        # boundaries: each engine builds its own controller from it, and
+        # identical seeds/geometry keep the shard sketches mergeable
+        self.admission_config = admission
         #: ranges coarser than /k live here, in a plain single engine
-        self.aggregator = IPD(params)
+        self.aggregator = IPD(params, admission=admission)
         self._executor = make_executor(
-            executor, params, depth, workers, transport
+            executor, params, depth, workers, transport, admission=admission
         )
         #: family version -> shard indices currently delegated down
         self._delegated: dict[int, set[int]] = {IPV4: set(), IPV6: set()}
@@ -188,9 +201,9 @@ class ShardedIPD:
                 else:
                     aggregator_rows.append(row)
         if aggregator_rows:
-            self.aggregator.ingest_batch(_gather(batch, aggregator_rows))
+            self.aggregator.ingest_batch(batch.select(aggregator_rows))
         for index, rows in buckets.items():
-            self._executor.feed(index, _gather(batch, rows))
+            self._executor.feed(index, batch.select(rows))
         return count
 
     def ingest_many(self, flows: "Iterable[FlowRecord] | FlowBatch") -> int:
@@ -367,6 +380,13 @@ class ShardedIPD:
             report.cache_hits += part.cache_hits
             report.cache_misses += part.cache_misses
             report.cache_evictions += part.cache_evictions
+            report.admission_admitted += part.admission_admitted
+            report.admission_held += part.admission_held
+            report.admission_dropped += part.admission_dropped
+            report.admission_promoted += part.admission_promoted
+            report.admission_saturated = (
+                report.admission_saturated or part.admission_saturated
+            )
         report.joins += boundary_joins
         report.prunes += boundary_prunes
         # Leaf/classified totals reflect the post-reconcile state (the
@@ -381,6 +401,73 @@ class ShardedIPD:
             tree.classified_count() for tree in self.aggregator.trees.values()
         ) + sum(metrics.classified_by_version.values())
         return report
+
+    # ------------------------------------------------------------------ admission
+
+    def saturate_admission(self) -> None:
+        """Force every engine's sketch to the saturation ceiling.
+
+        The ``sketch_saturate`` chaos site: from the next filtered group
+        on, aggregator and shards alike degrade to admit-everything.
+        No-op when admission is off.
+        """
+        if self.admission_config is None:
+            return
+        self.aggregator.saturate_admission()
+        self._executor.apply(
+            [("saturate", index, 0) for index in range(self.shards)]
+        )
+
+    def _admission_image(self) -> Optional[AdmissionImage]:
+        """The deployment-wide merged admission image (``None`` when off)."""
+        if self.aggregator.admission is None:
+            return None
+        images: list[Optional[AdmissionImage]] = [
+            self.aggregator.admission.to_image()
+        ]
+        images.extend(self._executor.admission_export().values())
+        return merge_admission_images(images)
+
+    def _restore_admission(self, image: AdmissionImage) -> None:
+        """Distribute a checkpointed admission image across the engines.
+
+        Sketch counts, the elephant herd, the age boundary and the
+        saturation flag are broadcast whole — a shard seeing the full
+        deployment's counts can only over-admit, which is always safe.
+        Held groups (exact mode) are routed like flows: a masked source
+        whose top-``k`` bits are delegated goes to that shard, anything
+        else to the aggregator, so each engine replays exactly the
+        groups it would have been holding.
+        """
+        aggregator_held: dict[int, dict[int, list]] = {}
+        shard_held: dict[int, dict[int, dict[int, list]]] = {}
+        for version, groups in image.held.items():
+            shift = self._shifts[version]
+            delegated = self._delegated[version]
+            for masked, group in groups.items():
+                index = masked >> shift
+                if index in delegated:
+                    shard_held.setdefault(index, {}).setdefault(
+                        version, {}
+                    )[masked] = group
+                else:
+                    aggregator_held.setdefault(version, {})[masked] = group
+        self.aggregator.admission = AdmissionController.from_image(
+            replace(image, held=aggregator_held)
+        )
+        self._executor.apply(
+            [
+                (
+                    "admission",
+                    index,
+                    0,
+                    encode_admission(
+                        replace(image, held=shard_held.get(index, {}))
+                    ),
+                )
+                for index in range(self.shards)
+            ]
+        )
 
     # ------------------------------------------------------------------ state io
 
@@ -424,8 +511,18 @@ class ShardedIPD:
         )
 
     def to_bytes(self) -> bytes:
-        """Serialize the merged deployment state to one engine blob."""
-        return encode_engine(self.to_image())
+        """Serialize the merged deployment state to one engine blob.
+
+        With admission on, the merged admission section (cellwise-summed
+        sketches, elephant union, all held groups) is appended after the
+        engine section, exactly as :meth:`IPD.to_bytes` appends its own
+        controller's — so the blob restores on any topology.
+        """
+        blob = encode_engine(self.to_image())
+        merged = self._admission_image()
+        if merged is not None:
+            blob += encode_admission(merged)
+        return blob
 
     @classmethod
     def from_image(
@@ -435,6 +532,7 @@ class ShardedIPD:
         executor: str = "serial",
         workers: Optional[int] = None,
         transport: str = "pickle",
+        admission: Optional[AdmissionConfig] = None,
     ) -> "ShardedIPD":
         """Rebuild a sharded deployment from a merged engine image.
 
@@ -453,6 +551,7 @@ class ShardedIPD:
             executor=executor,
             workers=workers,
             transport=transport,
+            admission=admission,
         )
         depth = engine.split_depth
         ops: list[tuple] = []
@@ -514,16 +613,32 @@ class ShardedIPD:
         executor: str = "serial",
         workers: Optional[int] = None,
         transport: str = "pickle",
+        admission: Optional[AdmissionConfig] = None,
     ) -> "ShardedIPD":
-        """Rebuild a sharded deployment from a :meth:`to_bytes` blob."""
-        image = decode_engine(data, params=params)
-        return cls.from_image(
+        """Rebuild a sharded deployment from a :meth:`to_bytes` blob.
+
+        A trailing admission section restores the front-end exactly
+        (its embedded config wins over the *admission* argument); a
+        bare engine blob plus an *admission* config starts a fresh
+        front-end, which is how ``--admission`` is enabled across a
+        resume from an admission-off checkpoint.
+        """
+        image, consumed = decode_engine_span(data, params=params)
+        admission_image: Optional[AdmissionImage] = None
+        if consumed < len(data):
+            admission_image = decode_admission(memoryview(data)[consumed:])
+            admission = admission_image.config()
+        engine = cls.from_image(
             image,
             shards=shards,
             executor=executor,
             workers=workers,
             transport=transport,
+            admission=admission,
         )
+        if admission_image is not None:
+            engine._restore_admission(admission_image)
+        return engine
 
     # ------------------------------------------------------------------ output
 
@@ -592,31 +707,4 @@ def _carve(
         kind="internal",
         left=_carve(image.left, left_prefix, depth, seeds),
         right=_carve(image.right, right_prefix, depth, seeds),
-    )
-
-
-def _gather(batch: FlowBatch, rows: list[int]) -> FlowBatch:
-    """Select *rows* of a batch into a new batch (order-preserving)."""
-    if len(rows) == len(batch.timestamps):
-        return batch
-    if len(rows) == 1:
-        row = rows[0]
-        return FlowBatch(
-            batch.version,
-            [batch.timestamps[row]],
-            [batch.src_ips[row]],
-            [batch.ingresses[row]],
-            [batch.packet_counts[row]],
-            [batch.byte_counts[row]],
-            [batch.dst_ips[row]],
-        )
-    get = operator.itemgetter(*rows)
-    return FlowBatch(
-        batch.version,
-        list(get(batch.timestamps)),
-        list(get(batch.src_ips)),
-        list(get(batch.ingresses)),
-        list(get(batch.packet_counts)),
-        list(get(batch.byte_counts)),
-        list(get(batch.dst_ips)),
     )

@@ -20,6 +20,12 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Optional
 
+from ..core.admission import (
+    AdmissionConfig,
+    AdmissionController,
+    AdmissionImage,
+    decode_admission,
+)
 from ..core.algorithm import IPD, SweepReport
 from ..core.iputil import IPV4, IPV6, Prefix
 from ..core.params import IPDParams
@@ -44,7 +50,11 @@ __all__ = ["ShardEngine", "ShardTickResult", "RootSummary", "ShardMetrics"]
 #: ``("seed", index, version, payload)`` activates a shard's family tree
 #: by planting an encoded subtree blob (a handed-down aggregator leaf,
 #: or a whole carved subtree on checkpoint resume); ``("reset", index,
-#: version)`` deactivates it after a cross-boundary join/prune.
+#: version)`` deactivates it after a cross-boundary join/prune;
+#: ``("admission", index, 0, payload)`` restores the shard's admission
+#: controller from an encoded admission section (checkpoint resume);
+#: ``("saturate", index, 0)`` forces its sketch to the saturation
+#: ceiling (the ``sketch_saturate`` fault site).
 ShardOp = tuple
 
 
@@ -114,7 +124,13 @@ class ShardMetrics:
 class ShardEngine:
     """One depth-``k`` subtree of the address space, run as a full IPD."""
 
-    def __init__(self, params: IPDParams, depth: int, index: int) -> None:
+    def __init__(
+        self,
+        params: IPDParams,
+        depth: int,
+        index: int,
+        admission: Optional[AdmissionConfig] = None,
+    ) -> None:
         self.index = index
         self.depth = depth
         roots = {
@@ -122,7 +138,10 @@ class ShardEngine:
                             depth, version)
             for version in (IPV4, IPV6)
         }
-        self.ipd = IPD(params, roots=roots)
+        # each shard builds its own controller from the shared config:
+        # same seed and geometry, so shard sketches stay cellwise-
+        # mergeable into the engine-wide admission image
+        self.ipd = IPD(params, roots=roots, admission=admission)
         # Both family trees start inactive: the aggregator owns the whole
         # space until its split cascade reaches the shard depth.
         for tree in self.ipd.trees.values():
@@ -136,6 +155,12 @@ class ShardEngine:
             self.seed(op[2], op[3])
         elif kind == "reset":
             self.reset(op[2])
+        elif kind == "admission":
+            self.ipd.admission = AdmissionController.from_image(
+                decode_admission(op[3])
+            )
+        elif kind == "saturate":
+            self.ipd.saturate_admission()
         else:  # pragma: no cover - defensive
             raise ValueError(f"unknown shard op: {op[0]!r}")
 
@@ -225,6 +250,12 @@ class ShardEngine:
             )
         assert isinstance(state, UnclassifiedState)
         return RootSummary("empty" if state.is_empty() else "busy")
+
+    def admission_image(self) -> Optional[AdmissionImage]:
+        """The shard controller's state image (``None`` when admission is off)."""
+        if self.ipd.admission is None:
+            return None
+        return self.ipd.admission.to_image()
 
     def snapshot(
         self, now: float, include_unclassified: bool = False

@@ -17,12 +17,15 @@ recovery path and normal teardown reach it.
 
 from __future__ import annotations
 
-from typing import Callable, Optional
+from typing import TYPE_CHECKING, Callable, Optional
 
 from ..core.output import IPDRecord, write_records_csv
 from ..core.snapshot import Snapshot
 
-__all__ = ["Sink", "MemorySink", "CallbackSink", "CSVSink"]
+if TYPE_CHECKING:
+    from ..serving.service import IngressLookupService, ServingEpoch
+
+__all__ = ["Sink", "MemorySink", "CallbackSink", "CSVSink", "ServiceSink"]
 
 
 class Sink:
@@ -122,3 +125,36 @@ class CSVSink(Sink):
         with open(self.path, "w", newline="") as stream:
             self.rows_written = write_records_csv(self._pending, stream)
         self._pending = []
+
+
+class ServiceSink(Sink):
+    """Install each emitted snapshot into a live lookup service.
+
+    Bridges the replay plane to the serving plane in-process: every
+    :class:`~repro.core.snapshot.Snapshot` the pipeline emits is
+    compiled into a :class:`~repro.serving.service.ServingEpoch` and
+    hot-swapped into the attached
+    :class:`~repro.serving.service.IngressLookupService`, so queries
+    against the service always answer from the newest completed sweep
+    while the pipeline keeps replaying.  Compilation happens inside
+    ``emit`` (the pipeline's thread), never on the query path.
+
+    Pass an existing service to feed one that also serves history from
+    an archive or checkpoint store; with no argument the sink creates a
+    fresh standalone service, reachable as :attr:`service`.
+    """
+
+    def __init__(self, service: "Optional[IngressLookupService]" = None) -> None:
+        super().__init__()
+        if service is None:
+            from ..serving.service import IngressLookupService
+
+            service = IngressLookupService()
+        self.service = service
+        #: epochs installed by this sink (not counting other writers)
+        self.installed = 0
+        self.latest: "Optional[ServingEpoch]" = None
+
+    def emit(self, snapshot: Snapshot) -> None:
+        self.latest = self.service.install_snapshot(snapshot)
+        self.installed += 1

@@ -21,6 +21,10 @@ site                  hook location
                       bit-flipped (``checkpoint_bitflip``) before disk
 ``sink_error``        ``Pipeline._emit`` — raises
                       :class:`InjectedSinkError` before the sinks write
+``sketch_saturate``   ``Pipeline._tick`` — the engine's admission
+                      sketch is forced to the saturation ceiling, so
+                      the front-end must degrade to admit-everything
+                      (a no-op when admission is off)
 ====================  ===================================================
 
 Faults are **one-shot**: each fires at the Nth occurrence of its site
@@ -58,6 +62,7 @@ FAULT_SITES = (
     "checkpoint_truncate",
     "checkpoint_bitflip",
     "sink_error",
+    "sketch_saturate",
 )
 
 #: upper bound on the feed occurrence index generate() schedules faults
@@ -192,6 +197,22 @@ class FaultPlan:
         raise WorkerCrashError(
             f"injected worker crash at tick {now} ({self.describe()})"
         )
+
+    def before_sweep(self, engine: object, now: float) -> None:
+        """``sketch_saturate`` site: called by ``Pipeline._tick`` with
+        the engine (plain or sharded) just before its sweep.
+
+        Saturation is a *degradation*, not a failure: the admission
+        front-end must fall back to admit-everything, so the run still
+        converges bit-exactly to the oracle — which is exactly what the
+        chaos suite asserts.  Engines without admission ignore it.
+        """
+        fault = self._take("sketch_saturate")
+        if fault is None:
+            return
+        saturate = getattr(engine, "saturate_admission", None)
+        if saturate is not None:
+            saturate()
 
     def on_feed(self, index: int, batch: "FlowBatch") -> Optional[str]:
         """``feed_drop`` / ``feed_duplicate`` site: called by executors

@@ -38,6 +38,7 @@ from .traffic import TrafficConfig, TrafficGenerator
 if TYPE_CHECKING:  # pragma: no cover - type-only imports
     from ..bgp.announcements import AnnouncementConfig
     from ..bgp.rib import BGPTable
+    from ..core.admission import AdmissionConfig
 
 __all__ = [
     "Scenario",
@@ -139,6 +140,7 @@ class Scenario:
         shards: int = 1,
         executor: str = "serial",
         workers: Optional[int] = None,
+        admission: "Optional[AdmissionConfig]" = None,
     ) -> tuple[list[FlowRecord], RunResult]:
         """Replay the scenario through IPD; returns (flows, results).
 
@@ -146,7 +148,9 @@ class Scenario:
         long runs where only snapshots matter) and the first element is
         an empty list.  ``shards`` / ``executor`` / ``workers`` select
         the runtime topology — results are identical for every choice,
-        only throughput changes.
+        only throughput changes.  ``admission`` attaches the sketch-gated
+        front-end; ``exact`` mode keeps results identical too, ``lossy``
+        trades never-promoted mice for ingest throughput.
         """
         with Pipeline(
             self.params,
@@ -155,6 +159,7 @@ class Scenario:
             workers=workers,
             snapshot_seconds=snapshot_seconds,
             include_unclassified=include_unclassified,
+            admission=admission,
         ) as pipeline:
             if keep_flows:
                 flows = list(self.generator().flows())

@@ -323,3 +323,83 @@ class TestNoOpHooks:
         )
         assert plan.fired == []
         assert_oracle_equivalent(result, final, fig05_trace, FIG05_PARAMS)
+
+
+class TestSketchSaturate:
+    """The ``sketch_saturate`` site: forced admission-sketch saturation.
+
+    The degradation contract: a saturated controller admits everything
+    from that point on — it may never *drop* (or hold) another group,
+    elephant or mouse.  In exact mode saturation is therefore invisible
+    in the output; in lossy mode flows dropped *before* the saturation
+    point are legitimately gone, but every sweep after it must report
+    zero drops and zero holdback.
+    """
+
+    def gated_run(self, admission, plan, shards=1, presaturate=False):
+        pipeline = Pipeline(
+            FIG05_PARAMS,
+            shards=shards,
+            snapshot_seconds=SNAPSHOT_SECONDS,
+            include_unclassified=True,
+            fault_hook=plan,
+            admission=admission,
+        )
+        try:
+            if presaturate:
+                pipeline.engine.saturate_admission()
+            result = pipeline.run(fig05_trace())
+            final = pipeline.engine.snapshot(
+                max(result.snapshots), include_unclassified=True
+            )
+            return result, final
+        finally:
+            pipeline.close()
+
+    @pytest.mark.parametrize("shards", [1, 4])
+    def test_exact_saturation_is_invisible(self, shards):
+        from repro.core.admission import AdmissionConfig
+
+        plan = FaultPlan([Fault("sketch_saturate", at=5)])
+        result, final = self.gated_run(
+            AdmissionConfig(mode="exact"), plan, shards=shards
+        )
+        assert ("sketch_saturate", 5) in plan.fired
+        assert any(s.admission_saturated for s in result.sweeps)
+        assert_oracle_equivalent(result, final, fig05_trace, FIG05_PARAMS)
+
+    @pytest.mark.parametrize("shards", [1, 4])
+    def test_lossy_presaturated_equals_off(self, shards):
+        """Saturated before any flow: lossy degrades to admit-everything
+        and the whole run is byte-identical to admission off."""
+        from repro.core.admission import AdmissionConfig
+
+        result, final = self.gated_run(
+            AdmissionConfig(mode="lossy"), FaultPlan(),
+            shards=shards, presaturate=True,
+        )
+        assert all(s.admission_dropped == 0 for s in result.sweeps)
+        assert_oracle_equivalent(result, final, fig05_trace, FIG05_PARAMS)
+
+    def test_lossy_midrun_saturation_stops_all_drops(self):
+        """After the fault fires, no sweep may drop or hold anything —
+        the gate degrades to admit-everything, never drop-an-elephant."""
+        from repro.core.admission import AdmissionConfig
+
+        fire_at = 4
+        plan = FaultPlan([Fault("sketch_saturate", at=fire_at)])
+        result, __ = self.gated_run(AdmissionConfig(mode="lossy"), plan)
+        assert ("sketch_saturate", fire_at) in plan.fired
+        saturated = [s.admission_saturated for s in result.sweeps]
+        assert not saturated[fire_at - 1] and all(saturated[fire_at:])
+        for report in result.sweeps[fire_at:]:
+            assert report.admission_dropped == 0
+            assert report.admission_held == 0
+
+    def test_site_is_noop_without_admission(self, tmp_path):
+        plan = FaultPlan([Fault("sketch_saturate", at=3)])
+        result, final = run_disturbed(
+            fig05_trace, FIG05_PARAMS, 1, "serial", plan, tmp_path
+        )
+        assert ("sketch_saturate", 3) in plan.fired
+        assert_oracle_equivalent(result, final, fig05_trace, FIG05_PARAMS)

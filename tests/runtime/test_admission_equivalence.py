@@ -1,0 +1,234 @@
+"""Exact-mode admission must be invisible in the output.
+
+The acceptance bar for the sketch-gated admission front-end: with
+``mode="exact"`` the staged admit → promote → count pipeline — mice
+held back in the sketch buffer, elephants fast-pathed past the trie
+lookup — produces snapshots that are *byte-identical* (serialized CSV)
+to running with no admission at all, at every shard count, on every
+executor and transport, at every sweep tick, and across
+checkpoint/resume including a resume that changes the shard count.
+Lossy mode is exercised for liveness and its bounded-loss accuracy
+contract lives in the Fig. 6 experiment (EXPERIMENTS.md).
+"""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.core.admission import AdmissionConfig
+from repro.core.algorithm import IPD
+from repro.core.iputil import IPV4
+from repro.netflow.records import FlowRecord, iter_flow_batches
+from repro.runtime import CheckpointStore, Pipeline, ShardedIPD
+from repro.testkit.strategies import (
+    DEFAULT_INGRESSES as INGRESSES,
+    SMALL_SPACE_PARAMS as PARAMS,
+    flow_events_list,
+)
+from repro.testkit.traces import (
+    DUALSTACK_PARAMS,
+    FIG05_PARAMS,
+    dualstack_trace,
+    fig05_trace,
+)
+from tests.runtime.test_shard_equivalence import (
+    assert_equivalent,
+    reference_run,
+    run_csv,
+)
+
+EXACT = AdmissionConfig(mode="exact")
+LOSSY = AdmissionConfig(mode="lossy")
+
+RETAIN = 100
+
+
+def admission_run(
+    flows,
+    params,
+    admission,
+    shards=1,
+    executor="serial",
+    workers=None,
+    transport="pickle",
+    **kwargs,
+):
+    with Pipeline(
+        params,
+        shards=shards,
+        executor=executor,
+        workers=workers,
+        transport=transport,
+        snapshot_seconds=120.0,
+        include_unclassified=True,
+        admission=admission,
+        **kwargs,
+    ) as pipeline:
+        return pipeline.run(flows)
+
+
+class TestExactEqualsOff:
+    """Exact admission vs the plain reference, every topology."""
+
+    @pytest.mark.parametrize("shards", [1, 4, 16])
+    def test_fig05_serial(self, shards):
+        flows = fig05_trace()
+        assert_equivalent(
+            reference_run(flows, FIG05_PARAMS),
+            admission_run(flows, FIG05_PARAMS, EXACT, shards=shards),
+        )
+
+    @pytest.mark.parametrize("shards", [1, 4, 16])
+    def test_dualstack_serial(self, shards):
+        flows = dualstack_trace()
+        assert_equivalent(
+            reference_run(flows, DUALSTACK_PARAMS),
+            admission_run(flows, DUALSTACK_PARAMS, EXACT, shards=shards),
+        )
+
+    @pytest.mark.parametrize("transport", ["pickle", "shm"])
+    def test_fig05_mp_both_transports(self, transport):
+        flows = fig05_trace()
+        assert_equivalent(
+            reference_run(flows, FIG05_PARAMS),
+            admission_run(
+                flows, FIG05_PARAMS, EXACT,
+                shards=4, executor="mp", workers=2, transport=transport,
+            ),
+        )
+
+    def test_batched_stream(self):
+        """Columnar ingest (the prefilter seam) through the router."""
+        flows = fig05_trace()
+        reference = reference_run(flows, FIG05_PARAMS)
+        batched = admission_run(
+            iter_flow_batches(flows, batch_size=97),
+            FIG05_PARAMS, EXACT, shards=4,
+        )
+        assert_equivalent(reference, batched)
+
+    def test_admission_counters_surface_in_reports(self):
+        flows = fig05_trace()
+        result = admission_run(flows, FIG05_PARAMS, EXACT, shards=4)
+        assert sum(s.admission_admitted for s in result.sweeps) > 0
+        assert sum(s.admission_dropped for s in result.sweeps) == 0
+        assert not any(s.admission_saturated for s in result.sweeps)
+
+    def test_lossy_runs_and_drops(self):
+        """Liveness only: lossy output quality is gated in EXPERIMENTS.md."""
+        flows = fig05_trace()
+        result = admission_run(flows, FIG05_PARAMS, LOSSY)
+        assert result.flows_processed == len(flows)
+        assert sum(s.admission_held for s in result.sweeps) == 0
+
+
+class TestExactEqualsOffProperty:
+    """Hypothesis: exact ≡ off at *every* sweep tick, any trace."""
+
+    @pytest.mark.parametrize("shards", [0, 4])
+    @settings(max_examples=15, deadline=None)
+    @given(raw_flows=flow_events_list(max_size=250))
+    def test_lockstep_equivalence(self, shards, raw_flows):
+        reference = IPD(PARAMS)
+        if shards:
+            gated = ShardedIPD(PARAMS, shards=shards, admission=EXACT)
+        else:
+            gated = IPD(PARAMS, admission=EXACT)
+        now = 0.0
+        try:
+            for chunk_start in range(0, max(len(raw_flows), 1), 25):
+                chunk = raw_flows[chunk_start:chunk_start + 25]
+                for src, ingress_index, offset in chunk:
+                    flow = FlowRecord(
+                        timestamp=now + offset * 10.0,
+                        src_ip=src,
+                        version=IPV4,
+                        ingress=INGRESSES[ingress_index],
+                    )
+                    reference.ingest(flow)
+                    gated.ingest(flow)
+                now += 60.0
+                reference.sweep(now)
+                gated.sweep(now)
+                assert (
+                    gated.snapshot(now, include_unclassified=True)
+                    == reference.snapshot(now, include_unclassified=True)
+                )
+                assert gated.state_size() == reference.state_size()
+                assert gated.leaf_count() == reference.leaf_count()
+            for __ in range(4):
+                now += 60.0
+                reference.sweep(now)
+                gated.sweep(now)
+                assert (
+                    gated.snapshot(now, include_unclassified=True)
+                    == reference.snapshot(now, include_unclassified=True)
+                )
+        finally:
+            if shards:
+                gated.close()
+
+
+class TestCheckpointResumeWithAdmission:
+    """The admission section rides the engine blob through resume."""
+
+    def checkpointing_run(self, flows, params, store, shards):
+        with Pipeline(
+            params,
+            shards=shards,
+            snapshot_seconds=120.0,
+            include_unclassified=True,
+            checkpoint_store=store,
+            checkpoint_every=params.t,
+            admission=EXACT,
+        ) as pipeline:
+            return pipeline.run(flows)
+
+    @pytest.mark.parametrize("resume_shards", [1, 4, 16])
+    def test_resume_and_reshard_stays_identical(self, tmp_path, resume_shards):
+        flows = fig05_trace()
+        reference = reference_run(flows, FIG05_PARAMS)
+        store = CheckpointStore(tmp_path / "ckpt", retain=RETAIN)
+        gated = self.checkpointing_run(flows, FIG05_PARAMS, store, shards=4)
+        assert run_csv(gated) == run_csv(reference)
+
+        checkpoints = [store.load(path) for path in store.list()]
+        checkpoint = checkpoints[len(checkpoints) // 2]
+        with Pipeline.resume(
+            store,
+            checkpoint=checkpoint,
+            shards=resume_shards,
+            snapshot_seconds=120.0,
+            include_unclassified=True,
+        ) as pipeline:
+            resumed = pipeline.run(flows)
+
+        # admission config survives through the blob's trailing section
+        config = (
+            pipeline.engine.admission_config
+            if resume_shards > 1
+            else pipeline.engine.admission.config
+        )
+        assert config.mode == "exact"
+
+        for when, records in resumed.snapshots.items():
+            assert records == reference.snapshots[when], f"snapshot @ {when}"
+        final = reference.snapshot_times()[-1]
+        assert final in resumed.snapshots
+
+    def test_admission_off_blob_unchanged(self, tmp_path):
+        """No admission → no trailing section: blobs stay byte-identical
+        to what the pre-admission substrate wrote."""
+        flows = fig05_trace()
+        engine = IPD(FIG05_PARAMS)
+        gated = IPD(FIG05_PARAMS, admission=EXACT)
+        for flow in flows:
+            engine.ingest(flow)
+            gated.ingest(flow)
+        engine.sweep(FIG05_PARAMS.t)
+        gated.sweep(FIG05_PARAMS.t)
+        plain_blob = engine.to_bytes()
+        gated_blob = gated.to_bytes()
+        assert gated_blob != plain_blob  # section present
+        assert gated_blob.startswith(plain_blob)  # strictly trailing
+        restored = IPD.from_bytes(plain_blob)
+        assert restored.admission is None

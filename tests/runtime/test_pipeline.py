@@ -111,6 +111,38 @@ class TestSinks:
         assert sink.rows_written == len(final)
         assert [r.range for r in records] == [r.range for r in final]
 
+    def test_service_sink_feeds_live_service(self):
+        from repro.runtime import ServiceSink
+
+        sink = ServiceSink()
+        pipeline = Pipeline(params(), snapshot_seconds=300.0, sinks=[sink])
+        result = pipeline.run(stream(11))
+        pipeline.close()
+        # one hot-swapped epoch per emitted snapshot, newest one serving
+        assert sink.installed == len(result.snapshot_times())
+        assert sink.service.current is sink.latest
+        assert sink.latest.watermark == result.snapshot_times()[-1]
+        final = result.final_snapshot()
+        classified = [r for r in final if r.classified]
+        assert classified
+        for record in classified:
+            answer = sink.service.lookup(record.range.value, record.range.version)
+            assert answer is not None
+            assert answer.ingress == record.ingress
+            assert answer.epoch == sink.latest.epoch
+
+    def test_service_sink_wraps_existing_service(self):
+        from repro.runtime import ServiceSink
+        from repro.serving import IngressLookupService
+
+        service = IngressLookupService()
+        sink = ServiceSink(service)
+        pipeline = Pipeline(params(), snapshot_seconds=300.0, sinks=[sink])
+        pipeline.run(stream(6))
+        pipeline.close()
+        assert sink.service is service
+        assert service.current is sink.latest
+
     def test_csv_sink_every_snapshot(self, tmp_path):
         path = tmp_path / "all.csv"
         sink = CSVSink(str(path), final_only=False)
