@@ -615,7 +615,11 @@ def bench_admission(flow_count: int, repeats: int) -> dict:
     beat the committed prebuilt-batch baseline, which was measured with
     no gate on the *friendly* uniform workload.
     """
-    from repro.core.admission import AdmissionConfig, AdmissionController
+    from repro.core.admission import (
+        AdmissionConfig,
+        AdmissionController,
+        auto_sketch_width,
+    )
 
     workloads = {
         "uniform": build_flows(flow_count),
@@ -624,8 +628,9 @@ def bench_admission(flow_count: int, repeats: int) -> dict:
     # size the sketch for the workload's distinct-source count (the
     # default 2^14 width saturates against 100k spoofed sources and the
     # controller would degrade to admit-everything — correct behaviour,
-    # but it would measure the fallback instead of the gate)
-    width = 1 << 18
+    # but it would measure the fallback instead of the gate); the
+    # spoofed workload has one distinct source per flow
+    width = auto_sketch_width(flow_count)
     modes: dict[str, "AdmissionConfig | None"] = {
         "off": None,
         "exact": AdmissionConfig(mode="exact", width=width),
@@ -725,6 +730,182 @@ def bench_admission(flow_count: int, repeats: int) -> dict:
     return result
 
 
+def bench_adversarial(repeats: int) -> dict:
+    """The adversarial scenario pack (EXPERIMENTS.md rows, DESIGN.md §15).
+
+    One downsized scenario per family, each with its pass criterion:
+
+    * **flood** — spoofed-source ingest throughput off/exact/lossy over
+      the attack-window slice of the flood trace (lossy must beat the
+      benign twin's prebuilt-batch rate measured in the same run —
+      frozen cross-machine constants would make the gate meaningless),
+      peak benign-range pollution with and without lossy admission, and
+      the state blow-up factor over the attack-free baseline twin.
+    * **policing** — clipped elephants must keep their ingress
+      classification through the clip window.
+    * **flap** — the survival curve over flap periods bracketing ``t``:
+      stable again by ~16t, fully unstable at period = ``t`` itself.
+    """
+    from repro.analysis import (
+        clip_survival,
+        flap_survival,
+        peak_pollution,
+        state_blowup,
+    )
+    from repro.core.admission import AdmissionConfig
+    from repro.core.params import IPDParams
+    from repro.workloads import adversarial_scenario
+
+    # factor-0.01 pairing for the downsized flow volume (DESIGN.md §5)
+    params = IPDParams(
+        n_cidr_factor_v4=0.01, n_cidr_factor_v6=0.01, drop_threshold=0.25
+    )
+    result: dict = {
+        "note": "recorded, not throughput-gated; the per-family pass "
+                "criteria are asserted by the CI adversarial smoke step",
+    }
+
+    # --- spoofed flood ----------------------------------------------------
+    scenario = adversarial_scenario(
+        "flood-uniform",
+        duration_hours=1.0,
+        flows_per_bucket_peak=800,
+        params=params,
+    )
+    truth = scenario.ground_truth
+    flows = list(scenario.generator().flows())
+    # rate the hostile slice: outside the window the trace is benign and
+    # would dilute the throughput question the gate exists to answer
+    lo, hi = truth.attack_window
+    window = [flow for flow in flows if lo <= flow.timestamp < hi]
+    batches = list(iter_flow_batches(window, batch_size=65536))
+    lossy = AdmissionConfig.for_cardinality(truth.expected_sources, mode="lossy")
+    modes: dict = {
+        "off": None,
+        "exact": AdmissionConfig.for_cardinality(
+            truth.expected_sources, mode="exact"
+        ),
+        "lossy": lossy,
+    }
+    rates = {}
+    for mode_name, config in modes.items():
+        def ingest_all():
+            ipd = IPD(params, admission=config)
+            for batch in batches:
+                ipd.ingest_batch(batch)
+
+        rates[mode_name] = len(window) / best_of(ingest_all, repeats)
+
+    # same-run benign yardstick: the attack-free twin ingested ungated
+    # from prebuilt batches, same params, same machine, same moment
+    benign_flows = list(scenario.baseline().generator().flows())
+    benign_batches = list(iter_flow_batches(benign_flows, batch_size=65536))
+
+    def ingest_benign():
+        ipd = IPD(params)
+        for batch in benign_batches:
+            ipd.ingest_batch(batch)
+
+    benign_rate = len(benign_flows) / best_of(ingest_benign, repeats)
+
+    __, attacked = scenario.run(snapshot_seconds=300.0, keep_flows=False)
+    __, gated = scenario.run(
+        snapshot_seconds=300.0, keep_flows=False, admission=lossy
+    )
+    __, baseline = scenario.baseline().run(
+        snapshot_seconds=300.0, keep_flows=False
+    )
+    pollution_off = peak_pollution(attacked, truth)
+    pollution_lossy = peak_pollution(gated, truth)
+    blowup = state_blowup(baseline, attacked)
+    blowup_lossy = state_blowup(baseline, gated)
+    result["flood"] = {
+        "flows": len(flows),
+        "window_flows": len(window),
+        "flood_flows": truth.notes["total_flood_flows"],
+        "expected_sources": truth.expected_sources,
+        "sketch_width": lossy.width,
+        "off_flows_per_second": round(rates["off"]),
+        "exact_flows_per_second": round(rates["exact"]),
+        "lossy_flows_per_second": round(rates["lossy"]),
+        "benign_prebuilt_flows_per_second": round(benign_rate),
+        "seed_prebuilt_flows_per_second": SEED_BATCH_FLOWS_PER_SECOND,
+        "lossy_beats_prebuilt_baseline": rates["lossy"] > benign_rate,
+        "peak_pollution_rate_off": round(pollution_off.pollution_rate, 4),
+        "peak_pollution_rate_lossy": round(pollution_lossy.pollution_rate, 4),
+        "state_blowup_off": round(blowup.factor, 2),
+        "state_blowup_lossy": round(blowup_lossy.factor, 2),
+    }
+    print(f"  adversarial flood   off={rates['off']:>12,.0f} "
+          f"exact={rates['exact']:>12,.0f} "
+          f"lossy={rates['lossy']:>12,.0f} flows/s  "
+          f"benign prebuilt={benign_rate:>12,.0f}")
+    print(f"  adversarial flood   pollution off={pollution_off.pollution_rate:.2%} "
+          f"lossy={pollution_lossy.pollution_rate:.2%}  "
+          f"blowup off={blowup.factor:.2f}x lossy={blowup_lossy.factor:.2f}x")
+
+    # --- policing clip ----------------------------------------------------
+    scenario = adversarial_scenario(
+        "policing-clip",
+        duration_hours=1.5,
+        flows_per_bucket_peak=1200,
+        params=params,
+    )
+    __, clipped_run = scenario.run(snapshot_seconds=300.0, keep_flows=False)
+    survivals = clip_survival(clipped_run, scenario.ground_truth)
+    result["policing"] = {
+        "targets": len(survivals),
+        "survived": sum(1 for s in survivals if s.survived),
+        "all_survived": all(s.survived for s in survivals),
+        "per_prefix": [
+            {
+                "prefix": s.prefix,
+                "classified_share": round(s.classified_share, 3),
+                "ingress_changes": s.ingress_changes,
+                "survived": s.survived,
+            }
+            for s in survivals
+        ],
+    }
+    print(f"  adversarial policing {result['policing']['survived']}"
+          f"/{result['policing']['targets']} clipped elephants survived")
+
+    # --- route-flap storm -------------------------------------------------
+    scenario = adversarial_scenario(
+        "flap-storm",
+        duration_hours=2.0,
+        flows_per_bucket_peak=1200,
+        params=params,
+    )
+    __, flap_run = scenario.run(snapshot_seconds=300.0, keep_flows=False)
+    curve = flap_survival(flap_run, scenario.ground_truth)
+    result["flap"] = {
+        "curve": [
+            {
+                "period_seconds": point.period_seconds,
+                "classified_share": round(point.classified_share, 3),
+                "ingresses_seen": len(point.ingresses_seen),
+            }
+            for point in curve
+        ],
+        # stability returns around 16t (960 s); the longest period has
+        # the fewest storm snapshots, so gate on the best long point
+        "stable_at_long_periods": any(
+            point.period_seconds >= 960.0 and point.stable(0.75)
+            for point in curve
+        ),
+        "unstable_at_t": any(
+            point.period_seconds == 60.0 and point.classified_share <= 0.25
+            for point in curve
+        ),
+    }
+    for point in curve:
+        print(f"  adversarial flap    period={point.period_seconds:>6.0f}s "
+              f"classified={point.classified_share:.2%} "
+              f"ingresses={len(point.ingresses_seen)}")
+    return result
+
+
 #: benchmark group name -> needs the sec57 flow list
 GROUPS = (
     "ingest",
@@ -735,6 +916,7 @@ GROUPS = (
     "transport",
     "query",
     "admission",
+    "adversarial",
 )
 
 
@@ -780,6 +962,8 @@ def run_benchmarks(flow_count: int, repeats: int,
         results["query"] = bench_query(flow_count, repeats)
     if "admission" in selected:
         results["admission"] = bench_admission(flow_count, repeats)
+    if "adversarial" in selected:
+        results["adversarial"] = bench_adversarial(repeats)
     return results
 
 

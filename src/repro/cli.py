@@ -2,7 +2,10 @@
 
 Thin operational wrappers over the library:
 
-* ``run``       — replay a flow CSV through IPD, write Table-3 records.
+* ``run``       — replay a flow CSV through IPD, write Table-3 records;
+  with ``--scenario`` it instead generates an adversarial scenario
+  (spoofed flood, policing clip, route-flap storm) and prints its
+  ground-truth evaluation.
 * ``lookup``    — LPM queries against an IPD output CSV.
 * ``simulate``  — generate a synthetic scenario's flow CSV (+ ground truth).
 * ``evaluate``  — score an IPD output CSV against a ground-truth flow CSV.
@@ -70,18 +73,141 @@ def _params_from(args: argparse.Namespace) -> IPDParams:
     )
 
 
-def _admission_from(args: argparse.Namespace) -> Optional[AdmissionConfig]:
+def _admission_from(
+    args: argparse.Namespace, expected_sources: Optional[int] = None
+) -> Optional[AdmissionConfig]:
     if args.admission == "off":
         return None
+    if args.admission_width is None and expected_sources is not None:
+        # scenario mode knows the flood's cardinality: auto-size the
+        # sketch unless the operator pinned a width explicitly
+        return AdmissionConfig.for_cardinality(
+            expected_sources,
+            mode=args.admission,
+            promote_weight=args.admission_promote_weight,
+            depth=args.admission_depth,
+        )
+    kwargs = {}
+    if args.admission_width is not None:
+        kwargs["width"] = args.admission_width
     return AdmissionConfig(
         mode=args.admission,
         promote_weight=args.admission_promote_weight,
-        width=args.admission_width,
         depth=args.admission_depth,
+        **kwargs,
     )
 
 
+def _print_admission_counters(args: argparse.Namespace, result) -> None:
+    if args.admission == "off":
+        return
+    admitted = sum(s.admission_admitted for s in result.sweeps)
+    held = sum(s.admission_held for s in result.sweeps)
+    dropped = sum(s.admission_dropped for s in result.sweeps)
+    promoted = sum(s.admission_promoted for s in result.sweeps)
+    saturated = any(s.admission_saturated for s in result.sweeps)
+    print(f"admission ({args.admission}): admitted {admitted:,}  "
+          f"held {held:,}  dropped {dropped:,}  promoted {promoted:,}"
+          + ("  [saturated]" if saturated else ""))
+
+
+def _cmd_run_scenario(args: argparse.Namespace) -> int:
+    """``run --scenario NAME``: an adversarial scenario end to end.
+
+    Generates the named scenario's flow stream, replays it through the
+    requested runtime topology, prints the family's ground-truth
+    evaluation (pollution/blow-up, clip survival, or the flap-survival
+    curve) and optionally writes the final Table-3 snapshot.
+    """
+    from .analysis import (
+        clip_survival,
+        flap_survival,
+        peak_pollution,
+        state_blowup,
+    )
+    from .workloads import adversarial_scenario
+
+    # factor-0.01 pairing for the synthetic downsized flow volume; the
+    # deployment-scale --n-cidr-factor default would never classify here
+    params = IPDParams(
+        n_cidr_factor_v4=0.01, n_cidr_factor_v6=0.01, drop_threshold=0.25
+    )
+    try:
+        scenario = adversarial_scenario(
+            args.scenario,
+            duration_hours=args.scenario_hours,
+            flows_per_bucket_peak=args.scenario_peak,
+            params=params,
+        )
+    except ValueError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    truth = scenario.ground_truth
+    admission = _admission_from(args, expected_sources=truth.expected_sources)
+    __, result = scenario.run(
+        snapshot_seconds=args.snapshot_seconds,
+        keep_flows=False,
+        shards=args.shards,
+        executor=args.executor,
+        workers=args.workers,
+        admission=admission,
+    )
+    window = truth.attack_window
+    print(f"scenario {scenario.name} ({truth.family}): "
+          f"{result.flows_processed:,} flows, {len(result.sweeps)} sweeps, "
+          f"attack window {window[0]:.0f}s..{window[1]:.0f}s")
+    _print_admission_counters(args, result)
+
+    if truth.family == "flood":
+        pollution = peak_pollution(result, truth)
+        print(f"peak benign-range pollution: {pollution.polluted}"
+              f"/{pollution.classified} classified ranges "
+              f"({pollution.pollution_rate:.2%}) "
+              f"at t={pollution.snapshot_time:.0f}s")
+        __, baseline = scenario.baseline().run(
+            snapshot_seconds=args.snapshot_seconds, keep_flows=False
+        )
+        blowup = state_blowup(baseline, result)
+        print(f"state blow-up vs attack-free baseline: {blowup.factor:.2f}x "
+              f"(peak {blowup.attacked_peak_leaves} vs "
+              f"{blowup.baseline_peak_leaves} leaves)")
+    elif truth.family == "policing":
+        for verdict in clip_survival(result, truth):
+            print(f"clip {verdict.prefix}: "
+                  f"{'SURVIVED' if verdict.survived else 'LOST'}  "
+                  f"classified {verdict.classified}/{verdict.snapshots} "
+                  f"snapshots, {verdict.ingress_changes} ingress change(s), "
+                  f"before={verdict.ingress_before}")
+    elif truth.family == "flap":
+        for point in flap_survival(result, truth):
+            print(f"flap period {point.period_seconds:>7.0f}s  "
+                  f"classified {point.classified_share:.0%} of "
+                  f"{point.snapshots} snapshots  "
+                  f"ingresses seen: {len(point.ingresses_seen)}")
+
+    if args.output is not None:
+        records = result.final_snapshot()
+        with open(args.output, "w") as stream:
+            count = write_records_csv(records, stream)
+        print(f"wrote {count} ranges to {args.output}")
+    return 0
+
+
 def _cmd_run(args: argparse.Namespace) -> int:
+    if args.scenario is not None:
+        if args.output is None:
+            # `run --scenario NAME [output.csv]`: a single positional
+            # is the output file, not a flow CSV
+            args.flows, args.output = None, args.flows
+        elif args.flows is not None:
+            print("run --scenario generates its own flows; at most one "
+                  "positional (the output CSV) is allowed", file=sys.stderr)
+            return 2
+        return _cmd_run_scenario(args)
+    if args.flows is None or args.output is None:
+        print("run requires <flows> and <output> positionals "
+              "(or --scenario NAME)", file=sys.stderr)
+        return 2
     params = _params_from(args)
     admission = _admission_from(args)
 
@@ -186,15 +312,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
     print(f"processed {result.flows_processed:,} flows, "
           f"{len(result.sweeps)} sweeps ({engine}){note}; wrote {count} "
           f"ranges to {args.output}")
-    if args.admission != "off":
-        admitted = sum(s.admission_admitted for s in result.sweeps)
-        held = sum(s.admission_held for s in result.sweeps)
-        dropped = sum(s.admission_dropped for s in result.sweeps)
-        promoted = sum(s.admission_promoted for s in result.sweeps)
-        saturated = any(s.admission_saturated for s in result.sweeps)
-        print(f"admission ({args.admission}): admitted {admitted:,}  "
-              f"held {held:,}  dropped {dropped:,}  promoted {promoted:,}"
-              + ("  [saturated]" if saturated else ""))
+    _print_admission_counters(args, result)
     return 0
 
 
@@ -365,8 +483,19 @@ def build_parser() -> argparse.ArgumentParser:
     commands = parser.add_subparsers(dest="command", required=True)
 
     run = commands.add_parser("run", help="replay a flow CSV through IPD")
-    run.add_argument("flows", help="input flow CSV")
-    run.add_argument("output", help="output IPD record CSV")
+    run.add_argument("flows", nargs="?", default=None,
+                     help="input flow CSV (omit with --scenario)")
+    run.add_argument("output", nargs="?", default=None,
+                     help="output IPD record CSV (optional with --scenario)")
+    run.add_argument("--scenario", default=None, metavar="NAME",
+                     help="replay a generated adversarial scenario instead "
+                          "of a flow CSV and print its ground-truth "
+                          "evaluation: flood-uniform, flood-subnet, "
+                          "policing-clip, or flap-storm")
+    run.add_argument("--scenario-hours", type=float, default=1.0,
+                     help="scenario duration (synthetic trace hours)")
+    run.add_argument("--scenario-peak", type=int, default=800,
+                     help="scenario peak benign flows per bucket")
     run.add_argument("--snapshot-seconds", type=float, default=300.0)
     run.add_argument("--batch-size", type=int, default=8192,
                      help="flows per columnar ingest batch "
@@ -402,9 +531,10 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--admission-promote-weight", type=float, default=4.0,
                      help="sketch estimate at which a source is promoted "
                           "to the elephant fast path")
-    run.add_argument("--admission-width", type=int, default=1 << 14,
+    run.add_argument("--admission-width", type=int, default=None,
                      help="count-min sketch columns (rounded up to a "
-                          "power of two)")
+                          "power of two; default 2^14, or auto-sized "
+                          "from the flood cardinality in --scenario mode)")
     run.add_argument("--admission-depth", type=int, default=4,
                      help="count-min sketch rows")
     _add_param_arguments(run)

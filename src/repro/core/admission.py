@@ -40,6 +40,7 @@ admission state with the trie.
 
 from __future__ import annotations
 
+import math
 from array import array
 from contextlib import contextmanager
 from dataclasses import dataclass, field
@@ -65,6 +66,7 @@ __all__ = [
     "AdmissionImage",
     "CODEC_VERSION",
     "CountMinSketch",
+    "auto_sketch_width",
     "decode_admission",
     "encode_admission",
     "merge_admission_images",
@@ -151,6 +153,74 @@ class AdmissionConfig:
             raise ValueError("age_seconds must be positive")
         if not 0.0 < self.max_fill <= 1.0:
             raise ValueError("max_fill must be in (0, 1]")
+
+    @classmethod
+    def for_cardinality(
+        cls,
+        distinct_sources: int,
+        *,
+        mode: str = "lossy",
+        width: Optional[int] = None,
+        promote_weight: float = 4.0,
+        depth: int = 4,
+        seed: int = 0x1905,
+        age_seconds: float = 120.0,
+        max_fill: float = 0.9,
+    ) -> "AdmissionConfig":
+        """A config whose sketch is sized for *distinct_sources* keys.
+
+        The width comes from :func:`auto_sketch_width` unless an
+        explicit *width* overrides it — the hand-tuned knob stays
+        available, the default stops saturating on source floods.
+        """
+        if width is None:
+            width = auto_sketch_width(distinct_sources, max_fill=max_fill)
+        return cls(
+            mode=mode,
+            promote_weight=promote_weight,
+            width=width,
+            depth=depth,
+            seed=seed,
+            age_seconds=age_seconds,
+            max_fill=max_fill,
+        )
+
+
+#: the sizing rule targets half the saturation ceiling, leaving aging
+#: lag and collision skew a factor-two cushion before degrade-to-admit
+_AUTO_FILL_HEADROOM = 0.5
+
+#: never auto-size below the historical default width
+_MIN_AUTO_WIDTH = 1 << 14
+
+
+def auto_sketch_width(
+    distinct_sources: int,
+    *,
+    max_fill: float = 0.9,
+    min_width: int = _MIN_AUTO_WIDTH,
+) -> int:
+    """Smallest power-of-two row width that survives *distinct_sources*.
+
+    After ``n`` distinct keys hash into a row of ``w`` cells, the
+    expected nonzero fraction is ``1 - (1 - 1/w)^n ≈ 1 - exp(-n/w)``.
+    The controller degrades to admit-everything at ``max_fill``, so the
+    rule solves for the width whose expected fill is half that ceiling
+    (``w >= n / -ln(1 - max_fill/2)``) and rounds up to a power of two.
+    At the default ``max_fill=0.9`` a 100k-source flood sizes to
+    ``2^18`` — the width the admission benchmark previously had to
+    hand-raise to stay unsaturated.
+    """
+    if distinct_sources < 0:
+        raise ValueError("distinct_sources must be >= 0")
+    if not 0.0 < max_fill <= 1.0:
+        raise ValueError("max_fill must be in (0, 1]")
+    target_fill = max_fill * _AUTO_FILL_HEADROOM
+    needed = distinct_sources / -math.log(1.0 - target_fill)
+    width = min_width
+    while width < needed:
+        width <<= 1
+    return width
 
 
 class CountMinSketch:

@@ -30,7 +30,11 @@ from ..topology.elements import IngressPoint
 __all__ = [
     "DEFAULT_INGRESSES",
     "SMALL_SPACE_PARAMS",
+    "adversarial_traces",
+    "clipped_elephants",
     "engine_params",
+    "flap_schedules",
+    "flood_bursts",
     "flow_batches",
     "flow_events",
     "flow_events_list",
@@ -167,6 +171,189 @@ def flow_batches(
         column(st.integers(min_value=0, max_value=max_count)),
         column(st.integers(min_value=0, max_value=max_count)),
         column(st.none() | st.integers(min_value=0, max_value=max_src)),
+    )
+
+
+@st.composite
+def flood_bursts(
+    draw: st.DrawFn,
+    max_buckets: int = 6,
+    max_benign_per_bucket: int = 10,
+    max_flood_sources: int = 120,
+    t: float = 60.0,
+    ingresses: tuple[IngressPoint, ...] = DEFAULT_INGRESSES,
+) -> list[FlowRecord]:
+    """Benign elephants plus a spoofed-source burst in the middle buckets.
+
+    The benign sub-stream repeats a handful of sources at stable
+    ingresses; the burst sprays drawn-distinct sources (each seen once,
+    the shape admission exists for) at one or two attacker ingresses.
+    Sizes stay small enough for the paper-literal oracle to keep up.
+    """
+    buckets = draw(st.integers(min_value=2, max_value=max_buckets))
+    benign_sources = draw(
+        st.lists(
+            st.integers(min_value=0, max_value=(1 << 32) - 1),
+            min_size=1,
+            max_size=4,
+            unique=True,
+        )
+    )
+    benign_ingress = {
+        src: draw(st.sampled_from(ingresses)) for src in benign_sources
+    }
+    flood_ingresses = draw(
+        st.lists(st.sampled_from(ingresses), min_size=1, max_size=2, unique=True)
+    )
+    burst_bucket = draw(st.integers(min_value=1, max_value=buckets - 1))
+    flood_sources = draw(
+        st.lists(
+            st.integers(min_value=0, max_value=(1 << 32) - 1),
+            min_size=1,
+            max_size=max_flood_sources,
+            unique=True,
+        )
+    )
+    flows: list[FlowRecord] = []
+    for bucket in range(buckets):
+        start = bucket * t
+        count = draw(
+            st.integers(min_value=0, max_value=max_benign_per_bucket)
+        )
+        for index in range(count):
+            src = draw(st.sampled_from(benign_sources))
+            flows.append(
+                FlowRecord(
+                    timestamp=start + index * (t / (max_benign_per_bucket + 1)),
+                    src_ip=src,
+                    version=IPV4,
+                    ingress=benign_ingress[src],
+                    bytes=draw(st.integers(min_value=1, max_value=1500)),
+                )
+            )
+        if bucket == burst_bucket:
+            step = t / (len(flood_sources) + 1)
+            for index, src in enumerate(flood_sources):
+                flows.append(
+                    FlowRecord(
+                        timestamp=start + index * step,
+                        src_ip=src,
+                        version=IPV4,
+                        ingress=draw(st.sampled_from(flood_ingresses)),
+                        bytes=1,
+                    )
+                )
+    flows.sort(key=lambda flow: flow.timestamp)
+    return flows
+
+
+@st.composite
+def clipped_elephants(
+    draw: st.DrawFn,
+    max_buckets: int = 8,
+    max_flows_per_bucket: int = 12,
+    t: float = 60.0,
+    ingresses: tuple[IngressPoint, ...] = DEFAULT_INGRESSES,
+) -> list[FlowRecord]:
+    """Elephant streams whose byte weights collapse inside a clip window.
+
+    Models the visible effect of a token-bucket policer: the flow *count*
+    survives, the *byte* counters drop to the policed residue for a span
+    of buckets, then recover.  Exercises byte-weighted counting and decay
+    against a mid-trace regime change.
+    """
+    buckets = draw(st.integers(min_value=3, max_value=max_buckets))
+    clip_start = draw(st.integers(min_value=1, max_value=buckets - 2))
+    clip_len = draw(st.integers(min_value=1, max_value=buckets - clip_start - 1))
+    sources = draw(
+        st.lists(
+            st.integers(min_value=0, max_value=(1 << 32) - 1),
+            min_size=1,
+            max_size=3,
+            unique=True,
+        )
+    )
+    source_ingress = {
+        src: draw(st.sampled_from(ingresses)) for src in sources
+    }
+    heavy = draw(st.integers(min_value=10_000, max_value=1_000_000))
+    residue = draw(st.integers(min_value=1, max_value=100))
+    flows: list[FlowRecord] = []
+    for bucket in range(buckets):
+        start = bucket * t
+        clipped = clip_start <= bucket < clip_start + clip_len
+        count = draw(st.integers(min_value=1, max_value=max_flows_per_bucket))
+        for index in range(count):
+            src = draw(st.sampled_from(sources))
+            flows.append(
+                FlowRecord(
+                    timestamp=start + index * (t / (max_flows_per_bucket + 1)),
+                    src_ip=src,
+                    version=IPV4,
+                    ingress=source_ingress[src],
+                    bytes=residue if clipped else heavy,
+                )
+            )
+    return flows
+
+
+@st.composite
+def flap_schedules(
+    draw: st.DrawFn,
+    max_buckets: int = 10,
+    max_flows_per_bucket: int = 8,
+    t: float = 60.0,
+    ingresses: tuple[IngressPoint, ...] = DEFAULT_INGRESSES,
+) -> list[FlowRecord]:
+    """One prefix whose ingress oscillates with a drawn dwell time.
+
+    All sources share a drawn high-bit prefix; the serving ingress
+    rotates through a drawn pair every ``dwell`` buckets (dwell 1 is a
+    storm faster than ``t``).  Probes the decay function's stability
+    under path churn without any generator machinery.
+    """
+    buckets = draw(st.integers(min_value=4, max_value=max_buckets))
+    dwell = draw(st.integers(min_value=1, max_value=3))
+    masklen = draw(st.integers(min_value=8, max_value=20))
+    base = draw(
+        st.integers(min_value=0, max_value=(1 << 32) - 1)
+    ) & ~((1 << (32 - masklen)) - 1)
+    span = 1 << (32 - masklen)
+    pair = draw(
+        st.lists(st.sampled_from(ingresses), min_size=2, max_size=2, unique=True)
+    )
+    flows: list[FlowRecord] = []
+    for bucket in range(buckets):
+        start = bucket * t
+        ingress = pair[(bucket // dwell) % len(pair)]
+        count = draw(st.integers(min_value=1, max_value=max_flows_per_bucket))
+        for index in range(count):
+            flows.append(
+                FlowRecord(
+                    timestamp=start + index * (t / (max_flows_per_bucket + 1)),
+                    src_ip=base + draw(st.integers(min_value=0, max_value=span - 1)),
+                    version=IPV4,
+                    ingress=ingress,
+                    bytes=draw(st.integers(min_value=1, max_value=1500)),
+                )
+            )
+    return flows
+
+
+def adversarial_traces(
+    t: float = 60.0,
+    ingresses: tuple[IngressPoint, ...] = DEFAULT_INGRESSES,
+) -> st.SearchStrategy:
+    """Any of the three adversarial trace families, equally weighted.
+
+    The differential suite feeds these to the optimized engines and the
+    paper-literal oracle: hostile shapes must not change a single
+    decision relative to the reference semantics.
+    """
+    return st.one_of(
+        flood_bursts(t=t, ingresses=ingresses),
+        clipped_elephants(t=t, ingresses=ingresses),
+        flap_schedules(t=t, ingresses=ingresses),
     )
 
 

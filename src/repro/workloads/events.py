@@ -30,6 +30,9 @@ __all__ = [
     "MaintenanceEvent",
     "RemapEvent",
     "LoadBalanceEvent",
+    "PolicingEvent",
+    "PolicerState",
+    "RouteFlapEvent",
     "EventSchedule",
 ]
 
@@ -104,6 +107,111 @@ class LoadBalanceEvent:
         )
 
 
+@dataclass(frozen=True)
+class PolicingEvent:
+    """Traffic policing clips a prefix's volume to a token-bucket rate.
+
+    During [start, end) flows sourced from *prefix* pass through a
+    token bucket refilled at *rate_bytes_per_second* with capacity
+    *burst_bytes*: bytes above the refill rate are clipped, a flow
+    whose bucket is empty is dropped outright.  The event changes a
+    range's volume *profile* (the elephant-flow shape the admission
+    front-end keys on), not where its traffic enters — the paper's
+    classification must survive it.
+
+    The event itself is immutable; the bucket's mutable counters live
+    in a per-generator-run :class:`PolicerState` so a scenario's shared
+    schedule stays reusable across deterministic re-runs.
+    """
+
+    prefix: Prefix
+    start: float
+    end: float
+    rate_bytes_per_second: float
+    burst_bytes: float
+
+    def __post_init__(self) -> None:
+        if self.end <= self.start:
+            raise ValueError("policing window must end after it starts")
+        if self.rate_bytes_per_second <= 0.0:
+            raise ValueError("rate_bytes_per_second must be positive")
+        if self.burst_bytes <= 0.0:
+            raise ValueError("burst_bytes must be positive")
+
+    def applies(self, timestamp: float, src_ip: int, version: int) -> bool:
+        return (
+            self.start <= timestamp < self.end
+            and version == self.prefix.version
+            and self.prefix.contains_ip(src_ip)
+        )
+
+
+class PolicerState:
+    """Mutable token-bucket counters for one generator run.
+
+    Flows must be offered in non-decreasing timestamp order (the
+    generator sorts each bucket before applying policing).
+    """
+
+    __slots__ = ("event", "tokens", "last_refill")
+
+    def __init__(self, event: PolicingEvent) -> None:
+        self.event = event
+        self.tokens = event.burst_bytes
+        self.last_refill = event.start
+
+    def grant(self, timestamp: float, want_bytes: int) -> int:
+        """Grant up to *want_bytes* from the bucket at *timestamp*."""
+        event = self.event
+        if timestamp > self.last_refill:
+            refill = (timestamp - self.last_refill) * event.rate_bytes_per_second
+            self.tokens = min(event.burst_bytes, self.tokens + refill)
+            self.last_refill = timestamp
+        granted = min(want_bytes, int(self.tokens))
+        if granted > 0:
+            self.tokens -= granted
+        return max(0, granted)
+
+
+@dataclass(frozen=True)
+class RouteFlapEvent:
+    """A prefix oscillates between ingresses with a fixed period.
+
+    Models route-flap / anycast-shift storms: during [start, end) the
+    prefix's traffic enters via ``ingresses[k]`` where ``k`` advances
+    every ``period_seconds / len(ingresses)`` — one full cycle per
+    period.  Deterministic in trace time (no RNG), so flap ground truth
+    is exactly reconstructible.  Periods bracketing the engine's ``t``
+    probe the decay function's stability envelope.
+    """
+
+    prefix: Prefix
+    start: float
+    end: float
+    period_seconds: float
+    ingresses: tuple[IngressPoint, ...]
+
+    def __post_init__(self) -> None:
+        if self.end <= self.start:
+            raise ValueError("flap window must end after it starts")
+        if self.period_seconds <= 0.0:
+            raise ValueError("period_seconds must be positive")
+        if len(self.ingresses) < 2:
+            raise ValueError("a flap needs at least two ingresses")
+
+    def applies(self, timestamp: float, src_ip: int, version: int) -> bool:
+        return (
+            self.start <= timestamp < self.end
+            and version == self.prefix.version
+            and self.prefix.contains_ip(src_ip)
+        )
+
+    def ingress_at(self, timestamp: float) -> IngressPoint:
+        dwell = self.period_seconds / len(self.ingresses)
+        slot = int((timestamp - self.start) / dwell)
+        return self.ingresses[slot % len(self.ingresses)]
+
+
 @dataclass
 class EventSchedule:
     """The ordered set of events active during a generator run."""
@@ -111,6 +219,8 @@ class EventSchedule:
     maintenance: list[MaintenanceEvent] = field(default_factory=list)
     remaps: list[RemapEvent] = field(default_factory=list)
     load_balancing: list[LoadBalanceEvent] = field(default_factory=list)
+    policing: list[PolicingEvent] = field(default_factory=list)
+    flaps: list[RouteFlapEvent] = field(default_factory=list)
 
     def add(self, event: object) -> None:
         if isinstance(event, MaintenanceEvent):
@@ -119,6 +229,10 @@ class EventSchedule:
             self.remaps.append(event)
         elif isinstance(event, LoadBalanceEvent):
             self.load_balancing.append(event)
+        elif isinstance(event, PolicingEvent):
+            self.policing.append(event)
+        elif isinstance(event, RouteFlapEvent):
+            self.flaps.append(event)
         else:
             raise TypeError(f"unknown event type: {type(event).__name__}")
 
@@ -132,14 +246,18 @@ class EventSchedule:
     ) -> IngressPoint:
         """Apply all matching events to a flow's planned ingress.
 
-        Load balancing wins over remaps wins over maintenance: a prefix
-        being balanced is balanced regardless of where it would have
-        entered, while maintenance only matters if the traffic would
-        actually have used the serviced equipment.
+        Load balancing wins over flaps wins over remaps wins over
+        maintenance: a prefix being balanced is balanced regardless of
+        where it would have entered, a flapping route overrides any
+        mapping decision, while maintenance only matters if the traffic
+        would actually have used the serviced equipment.
         """
         for lb_event in self.load_balancing:
             if lb_event.applies(timestamp, src_ip, version):
                 return rng.choice(lb_event.choices)
+        for flap in self.flaps:
+            if flap.applies(timestamp, src_ip, version):
+                return flap.ingress_at(timestamp)
         for remap in self.remaps:
             if remap.applies(timestamp, src_ip, version):
                 return remap.new_ingress
@@ -148,8 +266,18 @@ class EventSchedule:
                 return maintenance.fallback
         return ingress
 
+    def make_policers(self) -> list[PolicerState]:
+        """Fresh token-bucket state for one generator run."""
+        return [PolicerState(event) for event in self.policing]
+
     def is_empty(self) -> bool:
-        return not (self.maintenance or self.remaps or self.load_balancing)
+        return not (
+            self.maintenance
+            or self.remaps
+            or self.load_balancing
+            or self.policing
+            or self.flaps
+        )
 
 
 def same_pop_fallback(

@@ -112,6 +112,12 @@ class TrafficGenerator:
         }
         #: remap log: (timestamp, unit prefix) — stability ground truth
         self.remap_log: list[tuple[float, str]] = []
+        # Token-bucket state is per-run: a scenario's shared schedule
+        # stays immutable, so every fresh generator clips identically.
+        self._policers = self.events.make_policers()
+        #: clip log: (timestamp, policed prefix, offered bytes, granted
+        #: bytes) — policing ground truth; granted 0 means dropped
+        self.clip_log: list[tuple[float, str, int, int]] = []
 
     # ------------------------------------------------------------------ stream
 
@@ -210,9 +216,42 @@ class TrafficGenerator:
                     unit = units[bisect.bisect_left(cdf, rng.random() * total)]
                     flows.append(self._make_flow(bucket_start, model, unit))
         flows.sort(key=lambda flow: flow.timestamp)
+        if self._policers:
+            flows = self._apply_policing(flows)
         return flows
 
     # ------------------------------------------------------------------ internals
+
+    def _apply_policing(self, flows: list[FlowRecord]) -> list[FlowRecord]:
+        """Clip a sorted bucket through the active token buckets.
+
+        Runs after the per-bucket sort so each bucket consumes its
+        tokens in timestamp order (a token bucket is stateful in time).
+        A flow that exhausts its bucket is clipped to the granted bytes
+        (packets rescaled, never below 1); a flow granted nothing is
+        dropped — exactly what a policer does to the wire.
+        """
+        policed: list[FlowRecord] = []
+        for flow in flows:
+            dropped = False
+            for state in self._policers:
+                if not state.event.applies(
+                    flow.timestamp, flow.src_ip, flow.version
+                ):
+                    continue
+                granted = state.grant(flow.timestamp, flow.bytes)
+                self.clip_log.append(
+                    (flow.timestamp, str(state.event.prefix), flow.bytes, granted)
+                )
+                if granted <= 0:
+                    dropped = True
+                elif granted < flow.bytes:
+                    packets = max(1, round(flow.packets * granted / flow.bytes))
+                    flow = flow._replace(packets=packets, bytes=granted)
+                break
+            if not dropped:
+                policed.append(flow)
+        return policed
 
     def _make_flow(
         self, bucket_start: float, model: ASIngressModel, unit: MappingUnit

@@ -1,0 +1,209 @@
+"""Unit tests for the adversarial evaluators on handcrafted records.
+
+The end-to-end behaviours (a real flood polluting a real run) live in
+``tests/workloads/test_adversarial.py``; here every evaluator is pinned
+on synthetic :class:`IPDRecord` snapshots where the right answer is
+arithmetic.
+"""
+
+import pytest
+
+from repro.analysis.adversarial import (
+    benign_flips,
+    clip_survival,
+    flap_survival,
+    peak_pollution,
+    pollution_report,
+    state_blowup,
+)
+from repro.core.algorithm import SweepReport
+from repro.core.iputil import Prefix
+from repro.core.output import IPDRecord
+from repro.runtime.result import RunResult
+from repro.topology.elements import IngressPoint
+from repro.workloads.adversarial import AdversarialGroundTruth
+from repro.workloads.events import PolicingEvent, RouteFlapEvent
+
+A = IngressPoint("R1", "et0")
+B = IngressPoint("R2", "et0")
+
+BENIGN = (Prefix.from_string("10.0.0.0/8"), Prefix.from_string("172.16.0.0/12"))
+
+
+def record(range_text, ingress=A, classified=True):
+    prefix = Prefix.from_string(range_text)
+    return IPDRecord(
+        timestamp=0.0, range=prefix, ingress=ingress, s_ingress=1.0,
+        s_ipcount=10.0, n_cidr=4.0, candidates=((ingress, 10.0),),
+        classified=classified,
+    )
+
+
+def sweep(timestamp=60.0, leaves=0):
+    return SweepReport(timestamp=timestamp, leaves=leaves)
+
+
+def truth(**overrides):
+    fields = dict(
+        family="flood",
+        attacked_prefixes=(),
+        benign_prefixes=BENIGN,
+        attack_window=(600.0, 1200.0),
+        flood_ingresses=(B,),
+        expected_sources=0,
+        clipped=(),
+        flaps=(),
+        notes={},
+    )
+    fields.update(overrides)
+    return AdversarialGroundTruth(**fields)
+
+
+class TestPollution:
+    def test_counts_ranges_outside_the_plan(self):
+        records = [
+            record("10.1.0.0/16"),            # inside plan: benign
+            record("10.0.0.0/8"),             # exactly the plan block
+            record("203.0.0.0/8"),            # outside: polluted
+            record("9.255.0.0/16"),           # adjacent, outside: polluted
+            record("198.51.100.0/24", classified=False),  # unclassified: ignored
+        ]
+        report = pollution_report(records, BENIGN)
+        assert (report.classified, report.benign, report.polluted) == (4, 2, 2)
+        assert report.pollution_rate == pytest.approx(0.5)
+
+    def test_overlap_is_enough(self):
+        # a coarse range covering plan + flood space counts as benign
+        report = pollution_report([record("0.0.0.0/0")], BENIGN)
+        assert report.polluted == 0
+
+    def test_empty_snapshot(self):
+        report = pollution_report([], BENIGN)
+        assert report.classified == 0
+        assert report.pollution_rate == 0.0
+
+    def test_peak_prefers_polluted_count_over_rate(self):
+        result = RunResult(snapshots={
+            # early: 1 of 2 polluted (rate 0.5, count 1)
+            700.0: [record("203.0.0.0/8"), record("10.1.0.0/16")],
+            # developed: 3 of 9 polluted (rate 0.33, count 3) <- the peak
+            900.0: [record("203.0.0.0/8"), record("204.0.0.0/8"),
+                    record("205.0.0.0/8")]
+                   + [record(f"10.{i}.0.0/16") for i in range(6)],
+            # after expiry: clean again
+            2000.0: [record("10.1.0.0/16")],
+        })
+        report = peak_pollution(result, truth())
+        assert report.snapshot_time == 900.0
+        assert report.polluted == 3
+
+    def test_peak_ignores_snapshots_after_the_window(self):
+        result = RunResult(snapshots={
+            2000.0: [record("203.0.0.0/8")],  # outside window + slack
+        })
+        assert peak_pollution(result, truth()).polluted == 0
+
+
+class TestBenignFlips:
+    def test_detects_ingress_change(self):
+        baseline = [record("10.0.0.0/8", A), record("172.16.0.0/12", A)]
+        attacked = [record("10.0.0.0/8", B), record("172.16.0.0/12", A)]
+        flips = benign_flips(baseline, attacked, BENIGN)
+        assert (flips.probed, flips.both_classified, flips.flipped) == (2, 2, 1)
+        assert flips.flip_rate == pytest.approx(0.5)
+
+    def test_unclassified_blocks_do_not_count(self):
+        baseline = [record("10.0.0.0/8", A)]
+        flips = benign_flips(baseline, [], BENIGN)
+        assert flips.both_classified == 0
+        assert flips.flip_rate == 0.0
+
+
+class TestStateBlowup:
+    def test_factor_uses_peak_leaves(self):
+        baseline = RunResult(sweeps=[sweep(60.0, 10), sweep(120.0, 50)])
+        attacked = RunResult(sweeps=[sweep(60.0, 20), sweep(120.0, 200)])
+        blowup = state_blowup(baseline, attacked)
+        assert blowup.baseline_peak_leaves == 50
+        assert blowup.attacked_peak_leaves == 200
+        assert blowup.factor == pytest.approx(4.0)
+
+    def test_zero_baseline(self):
+        assert state_blowup(RunResult(), RunResult()).factor == 0.0
+
+
+class TestClipSurvival:
+    EVENT = PolicingEvent(
+        prefix=Prefix.from_string("10.0.0.0/8"),
+        start=600.0, end=900.0,
+        rate_bytes_per_second=100, burst_bytes=100,
+    )
+
+    def test_survives_when_always_classified_same_ingress(self):
+        result = RunResult(snapshots={
+            300.0: [record("10.0.0.0/8", A)],
+            700.0: [record("10.0.0.0/8", A)],
+            800.0: [record("10.0.0.0/8", A)],
+        })
+        (verdict,) = clip_survival(result, truth(clipped=(self.EVENT,)))
+        assert verdict.survived
+        assert verdict.classified_share == 1.0
+        assert verdict.ingress_before == str(A)
+
+    def test_lost_classification_fails(self):
+        result = RunResult(snapshots={
+            300.0: [record("10.0.0.0/8", A)],
+            700.0: [record("10.0.0.0/8", A, classified=False)],
+            800.0: [record("10.0.0.0/8", A)],
+        })
+        (verdict,) = clip_survival(result, truth(clipped=(self.EVENT,)))
+        assert not verdict.survived
+        assert verdict.classified == 1
+
+    def test_ingress_change_fails(self):
+        result = RunResult(snapshots={
+            300.0: [record("10.0.0.0/8", A)],
+            700.0: [record("10.0.0.0/8", B)],
+        })
+        (verdict,) = clip_survival(result, truth(clipped=(self.EVENT,)))
+        assert not verdict.survived
+        assert verdict.ingress_changes == 1
+
+    def test_never_classified_before_clip_fails(self):
+        result = RunResult(snapshots={700.0: [record("10.0.0.0/8", A)]})
+        (verdict,) = clip_survival(result, truth(clipped=(self.EVENT,)))
+        assert verdict.ingress_before is None
+        assert not verdict.survived
+
+
+class TestFlapSurvival:
+    def flap(self, period):
+        return RouteFlapEvent(
+            prefix=Prefix.from_string("10.0.0.0/8"),
+            start=0.0, end=2400.0,
+            period_seconds=period, ingresses=(A, B),
+        )
+
+    def test_curve_sorted_by_period_and_settle_skip(self):
+        result = RunResult(snapshots={
+            # inside settle (first 300 s): must be skipped
+            200.0: [],
+            600.0: [record("10.0.0.0/8", A)],
+            1200.0: [record("10.0.0.0/8", B)],
+            1800.0: [record("10.0.0.0/8", A, classified=False)],
+        })
+        slow, fast = (self.flap(960.0), self.flap(30.0))
+        curve = flap_survival(result, truth(flaps=(slow, fast)))
+        assert [point.period_seconds for point in curve] == [30.0, 960.0]
+        for point in curve:
+            assert point.snapshots == 3
+            assert point.classified == 2
+            assert point.classified_share == pytest.approx(2 / 3)
+            assert set(point.ingresses_seen) == {str(A), str(B)}
+            assert point.stable(0.6)
+            assert not point.stable(0.9)
+
+    def test_empty_window(self):
+        (point,) = flap_survival(RunResult(), truth(flaps=(self.flap(60.0),)))
+        assert point.snapshots == 0
+        assert not point.stable()

@@ -403,3 +403,57 @@ class TestSketchSaturate:
         )
         assert ("sketch_saturate", 3) in plan.fired
         assert_oracle_equivalent(result, final, fig05_trace, FIG05_PARAMS)
+
+
+class TestFloodSaturation:
+    """``sketch_saturate`` during a live spoofed flood (DESIGN.md §15).
+
+    The nastiest timing for the fault: the gate is mid-flood, holding
+    back a six-figure spoofed herd, when the sketch saturates.  The
+    degradation contract must hold under real attack volume — after the
+    fault no sweep drops or holds anything, every spoofed flow floods
+    into the trie, and the run still completes with the flood state
+    expiring on schedule.
+    """
+
+    def test_saturation_mid_flood_degrades_to_admit_everything(self):
+        from repro.core.admission import AdmissionConfig
+        from repro.core.params import IPDParams
+        from repro.workloads import adversarial_scenario
+
+        params = IPDParams(
+            n_cidr_factor_v4=0.01, n_cidr_factor_v6=0.01, drop_threshold=0.25
+        )
+        scenario = adversarial_scenario(
+            "flood-uniform", duration_hours=0.5,
+            flows_per_bucket_peak=400, params=params,
+        )
+        truth = scenario.ground_truth
+        # fire inside the attack window: sweeps run every params.t from
+        # the trace start, the flood occupies the middle half of the run
+        start = scenario.traffic_config.start_time
+        fire_at = int((truth.attack_window[0] - start) // params.t) + 2
+        plan = FaultPlan([Fault("sketch_saturate", at=fire_at)])
+        admission = AdmissionConfig.for_cardinality(
+            truth.expected_sources, mode="lossy"
+        )
+        with Pipeline(
+            params,
+            snapshot_seconds=300.0,
+            fault_hook=plan,
+            admission=admission,
+        ) as pipeline:
+            result = pipeline.run(scenario.generator().flows())
+        assert ("sketch_saturate", fire_at) in plan.fired
+        saturated = [s.admission_saturated for s in result.sweeps]
+        assert not saturated[fire_at - 1] and all(saturated[fire_at:])
+        # before the fault the gate was really fighting the flood (the
+        # sweep at fire_at still reports the pre-fault interval)...
+        assert any(
+            s.admission_dropped > 0 for s in result.sweeps[: fire_at + 1]
+        )
+        # ...after it, admit-everything: no drop, no holdback, ever
+        for report in result.sweeps[fire_at + 1:]:
+            assert report.admission_dropped == 0
+            assert report.admission_held == 0
+        assert result.flows_processed > 0

@@ -12,6 +12,7 @@ from repro.core.admission import (
     AdmissionConfig,
     AdmissionController,
     CountMinSketch,
+    auto_sketch_width,
     decode_admission,
     encode_admission,
     merge_admission_images,
@@ -50,6 +51,57 @@ class TestConfigValidation:
         # "off" means no controller at all; the config never models it
         with pytest.raises(ValueError):
             AdmissionConfig(mode="off")
+
+
+class TestAutoSketchWidth:
+    """The cardinality-driven sizing rule: w >= n / -ln(1 - max_fill/2)."""
+
+    def test_flood_scale_matches_hand_raised_width(self):
+        # the perf benchmark used to hand-raise width to 2^18 for its
+        # 100k-source flood; the rule must land on the same answer
+        assert auto_sketch_width(100_000) == 1 << 18
+
+    def test_small_cardinalities_hit_the_floor(self):
+        assert auto_sketch_width(0) == 1 << 14
+        assert auto_sketch_width(5_000) == 1 << 14
+
+    def test_width_is_a_power_of_two(self):
+        for n in (1, 999, 12_345, 100_000, 1_000_000):
+            width = auto_sketch_width(n)
+            assert width & (width - 1) == 0
+
+    def test_monotone_in_cardinality(self):
+        widths = [auto_sketch_width(n) for n in (10, 10_000, 100_000, 10**6)]
+        assert widths == sorted(widths)
+
+    def test_expected_fill_stays_under_max_fill(self):
+        # 1 - exp(-n/w) is the expected row fill after n distinct keys;
+        # the rule targets half of max_fill, so it must clear max_fill
+        import math
+
+        for n in (10_000, 100_000, 1_000_000):
+            width = auto_sketch_width(n, max_fill=0.9)
+            assert 1.0 - math.exp(-n / width) <= 0.9 * 0.5 + 1e-9
+
+    def test_rejects_bad_inputs(self):
+        with pytest.raises(ValueError):
+            auto_sketch_width(-1)
+        with pytest.raises(ValueError):
+            auto_sketch_width(100, max_fill=0.0)
+        with pytest.raises(ValueError):
+            auto_sketch_width(100, max_fill=1.5)
+
+    def test_for_cardinality_autosizes(self):
+        config = AdmissionConfig.for_cardinality(100_000)
+        assert config.mode == "lossy"
+        assert config.width == 1 << 18
+
+    def test_for_cardinality_explicit_width_wins(self):
+        config = AdmissionConfig.for_cardinality(100_000, width=1 << 15)
+        assert config.width == 1 << 15
+
+    def test_for_cardinality_passes_mode_through(self):
+        assert AdmissionConfig.for_cardinality(10, mode="exact").mode == "exact"
 
 
 class TestCountMinSketch:

@@ -72,6 +72,30 @@ class TestRunCommand:
         content = output.read_text()
         assert "R1.et0" in content
 
+    def test_run_requires_positionals_without_scenario(self, capsys):
+        assert main(["run"]) == 2
+        assert "--scenario" in capsys.readouterr().err
+
+    def test_scenario_rejects_unknown_name(self, capsys):
+        assert main(["run", "--scenario", "ddos"]) == 2
+        assert "flood-uniform" in capsys.readouterr().err
+
+    def test_scenario_rejects_two_positionals(self, capsys):
+        assert main(["run", "a.csv", "b.csv", "--scenario", "flap-storm"]) == 2
+        assert "generates its own flows" in capsys.readouterr().err
+
+    def test_scenario_run_prints_evaluation(self, tmp_path):
+        output = tmp_path / "records.csv"
+        status, text = run_cli(
+            "run", "--scenario", "policing-clip",
+            "--scenario-hours", "0.5", "--scenario-peak", "200",
+            output,
+        )
+        assert status == 0
+        assert "scenario policing-clip (policing)" in text
+        assert "clip " in text
+        assert output.exists()
+
     def test_lookup_after_run(self, flow_csv, tmp_path):
         output = tmp_path / "records.csv"
         run_cli("run", flow_csv, output, "--n-cidr-factor", "0.01")

@@ -10,7 +10,10 @@ from repro.workloads.events import (
     EventSchedule,
     LoadBalanceEvent,
     MaintenanceEvent,
+    PolicerState,
+    PolicingEvent,
     RemapEvent,
+    RouteFlapEvent,
     same_pop_fallback,
 )
 
@@ -52,6 +55,93 @@ class TestRemapEvent:
         assert not event.applies(150.0, ip("10.1.2.3"), IPV4)
         assert not event.applies(50.0, ip("11.0.0.1"), IPV4)
         assert not event.applies(50.0, ip("10.1.2.3"), 6)
+
+
+class TestPolicingEvent:
+    def make(self) -> PolicingEvent:
+        return PolicingEvent(
+            prefix=Prefix.from_string("10.0.0.0/8"),
+            start=100.0,
+            end=200.0,
+            rate_bytes_per_second=1000,
+            burst_bytes=5000,
+        )
+
+    def test_applies_in_window_inside_prefix(self):
+        event = self.make()
+        assert event.applies(150.0, ip("10.1.2.3"), IPV4)
+        assert not event.applies(99.0, ip("10.1.2.3"), IPV4)
+        assert not event.applies(200.0, ip("10.1.2.3"), IPV4)  # end exclusive
+        assert not event.applies(150.0, ip("11.0.0.1"), IPV4)
+        assert not event.applies(150.0, ip("10.1.2.3"), 6)
+
+    def test_rejects_bad_shape(self):
+        with pytest.raises(ValueError):
+            PolicingEvent(
+                prefix=Prefix.from_string("10.0.0.0/8"),
+                start=200.0, end=100.0,
+                rate_bytes_per_second=1000, burst_bytes=1000,
+            )
+        with pytest.raises(ValueError):
+            PolicingEvent(
+                prefix=Prefix.from_string("10.0.0.0/8"),
+                start=0.0, end=100.0,
+                rate_bytes_per_second=0, burst_bytes=1000,
+            )
+
+    def test_token_bucket_grant_math(self):
+        state = PolicerState(self.make())
+        # the bucket starts full: a burst-sized want is granted whole
+        assert state.grant(100.0, 5000) == 5000
+        # drained; half a second refills 500 tokens
+        assert state.grant(100.5, 5000) == 500
+        # no time passed, nothing left
+        assert state.grant(100.5, 100) == 0
+        # refill is capped at burst_bytes no matter the idle span
+        assert state.grant(1_000_000.0, 99_999) == 5000
+
+    def test_partial_grant_leaves_residue(self):
+        state = PolicerState(self.make())
+        assert state.grant(100.0, 3000) == 3000
+        assert state.grant(100.0, 3000) == 2000
+        assert state.grant(100.0, 3000) == 0
+
+
+class TestRouteFlapEvent:
+    def make(self, period=60.0, ingresses=(A, B)) -> RouteFlapEvent:
+        return RouteFlapEvent(
+            prefix=Prefix.from_string("10.0.0.0/8"),
+            start=0.0,
+            end=600.0,
+            period_seconds=period,
+            ingresses=ingresses,
+        )
+
+    def test_applies_window_and_prefix(self):
+        event = self.make()
+        assert event.applies(10.0, ip("10.1.2.3"), IPV4)
+        assert not event.applies(600.0, ip("10.1.2.3"), IPV4)
+        assert not event.applies(10.0, ip("11.1.2.3"), IPV4)
+
+    def test_oscillation_period(self):
+        event = self.make(period=60.0)
+        # dwell = period / len(ingresses) = 30s per ingress
+        assert event.ingress_at(0.0) == A
+        assert event.ingress_at(29.9) == A
+        assert event.ingress_at(30.0) == B
+        assert event.ingress_at(59.9) == B
+        assert event.ingress_at(60.0) == A  # full cycle
+
+    def test_three_way_rotation(self):
+        event = self.make(period=90.0, ingresses=(A, A2, B))
+        seen = [event.ingress_at(offset) for offset in (0.0, 30.0, 60.0, 90.0)]
+        assert seen == [A, A2, B, A]
+
+    def test_rejects_bad_shape(self):
+        with pytest.raises(ValueError):
+            self.make(period=0.0)
+        with pytest.raises(ValueError):
+            self.make(ingresses=(A,))
 
 
 class TestSchedule:
@@ -102,6 +192,52 @@ class TestSchedule:
         share = picks.count(A) / len(picks)
         assert 0.45 < share < 0.55
 
+    def test_rewrite_applies_flap(self):
+        schedule = EventSchedule()
+        schedule.add(
+            RouteFlapEvent(
+                Prefix.from_string("10.0.0.0/8"),
+                start=0.0, end=600.0, period_seconds=60.0, ingresses=(A, B),
+            )
+        )
+        rng = random.Random(1)
+        assert schedule.rewrite(10.0, ip("10.5.5.5"), IPV4, A2, rng) == A
+        assert schedule.rewrite(40.0, ip("10.5.5.5"), IPV4, A2, rng) == B
+        # outside the prefix and outside the window: untouched
+        assert schedule.rewrite(10.0, ip("11.5.5.5"), IPV4, A2, rng) == A2
+        assert schedule.rewrite(700.0, ip("10.5.5.5"), IPV4, A2, rng) == A2
+
+    def test_flap_beats_remap_loses_to_load_balancing(self):
+        prefix = Prefix.from_string("10.0.0.0/8")
+        schedule = EventSchedule()
+        schedule.add(RemapEvent(prefix, 0.0, 600.0, B))
+        schedule.add(
+            RouteFlapEvent(
+                prefix, start=0.0, end=600.0,
+                period_seconds=1e9, ingresses=(A, A2),
+            )
+        )
+        rng = random.Random(1)
+        # flap (dwelling on A for the whole trace) shadows the remap to B
+        assert schedule.rewrite(10.0, ip("10.5.5.5"), IPV4, B, rng) == A
+        schedule.add(LoadBalanceEvent(prefix, 0.0, 600.0, choices=(B,)))
+        assert schedule.rewrite(10.0, ip("10.5.5.5"), IPV4, A, rng) == B
+
+    def test_make_policers_are_fresh_per_call(self):
+        schedule = EventSchedule()
+        schedule.add(
+            PolicingEvent(
+                prefix=Prefix.from_string("10.0.0.0/8"),
+                start=0.0, end=100.0,
+                rate_bytes_per_second=10, burst_bytes=100,
+            )
+        )
+        first = schedule.make_policers()
+        second = schedule.make_policers()
+        assert first[0].grant(0.0, 100) == 100
+        # draining the first run's bucket must not leak into the second
+        assert second[0].grant(0.0, 100) == 100
+
     def test_unknown_event_type_rejected(self):
         with pytest.raises(TypeError):
             EventSchedule().add("not an event")
@@ -111,6 +247,98 @@ class TestSchedule:
         assert schedule.is_empty()
         schedule.add(MaintenanceEvent("R1", 0.0, 1.0, fallback=A2))
         assert not schedule.is_empty()
+
+    @pytest.mark.parametrize("event", [
+        PolicingEvent(
+            prefix=Prefix.from_string("10.0.0.0/8"),
+            start=0.0, end=1.0,
+            rate_bytes_per_second=1, burst_bytes=1,
+        ),
+        RouteFlapEvent(
+            prefix=Prefix.from_string("10.0.0.0/8"),
+            start=0.0, end=1.0, period_seconds=1.0, ingresses=(A, B),
+        ),
+    ])
+    def test_is_empty_sees_adversarial_events(self, event):
+        schedule = EventSchedule()
+        schedule.add(event)
+        assert not schedule.is_empty()
+
+
+class TestPolicingInGenerator:
+    """Ground-truth bookkeeping when a policer runs inside the stream."""
+
+    @pytest.fixture(scope="class")
+    def generators(self):
+        from repro.topology.generator import TopologySpec, generate_topology
+        from repro.workloads.address_space import AddressPlan
+        from repro.workloads.mapping import build_units
+        from repro.workloads.traffic import TrafficConfig, TrafficGenerator
+
+        spec = TopologySpec(seed=21)
+        topology = generate_topology(spec)
+        plan = AddressPlan.build(
+            hypergiant_asns=spec.hypergiant_asns,
+            peer_asns=spec.peer_asns,
+            tier1_asns=spec.transit_asns,
+        )
+        config = TrafficConfig(
+            duration_seconds=600.0, flows_per_bucket_peak=400, seed=1
+        )
+        schedule = EventSchedule()
+        # clip the whole v4 space hard: every in-window flow is policed
+        schedule.add(
+            PolicingEvent(
+                prefix=Prefix.root(IPV4),
+                start=120.0,
+                end=480.0,
+                rate_bytes_per_second=2000,
+                burst_bytes=4000,
+            )
+        )
+
+        def fresh(with_policer=True):
+            # unit models carry run-mutable dynamics: rebuild per run,
+            # exactly as Scenario.generator() does
+            models = build_units(topology, plan.profiles, seed=1)
+            return TrafficGenerator(
+                topology,
+                models,
+                config,
+                events=schedule if with_policer else None,
+            )
+
+        return fresh
+
+    def test_clip_log_records_offered_and_granted(self, generators):
+        generator = generators()
+        flows = list(generator.flows())
+        assert flows
+        assert generator.clip_log
+        for timestamp, prefix_text, offered, granted in generator.clip_log:
+            assert 120.0 <= timestamp < 480.0
+            assert prefix_text == "0.0.0.0/0"
+            assert 0 <= granted <= offered
+
+    def test_policer_only_reduces_bytes(self, generators):
+        clipped = sum(f.bytes for f in generators().flows())
+        free = sum(f.bytes for f in generators(with_policer=False).flows())
+        assert clipped < free
+        # outside the clip window the streams are identical
+        outside = [
+            f for f in generators().flows()
+            if not 120.0 <= f.timestamp < 480.0
+        ]
+        outside_free = [
+            f for f in generators(with_policer=False).flows()
+            if not 120.0 <= f.timestamp < 480.0
+        ]
+        assert outside == outside_free
+
+    def test_shared_schedule_is_reusable(self, generators):
+        # PolicerState lives per generator run: two fresh generators
+        # over one schedule object must produce identical streams
+        assert list(generators().flows()) == list(generators().flows())
 
 
 class TestSamePopFallback:
