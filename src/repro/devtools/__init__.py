@@ -14,7 +14,17 @@ IPD005   hot-path-hygiene    ``@hot_path`` loops stay allocation-clean
 IPD006   fault-seam          every ``fault_hook`` parameter defaults to None
 IPD007   no-pickle-hot-path  no object serialization on hot paths / shm plane
 IPD008   lookup-alloc-free   ``@hot_path`` ``lookup*`` never allocates containers
+IPD009   codec-symmetry      encode/decode twins mirror each other's wire ops
+IPD010   iteration-order-taint  unordered iteration never feeds serialized output
+IPD011   executor-state-discipline  worker state crosses only the op protocol
+IPD012   lifecycle-typestate close-exactly-once, no use after close
 =======  ==================  ====================================================
+
+IPD001–IPD008 are single-file visitor rules; IPD009–IPD012 are
+cross-module dataflow rules built on the project symbol graph
+(``project.py``) and the per-function CFG/fixpoint framework
+(``dataflow.py``), with results cached by file content hash
+(``--cache-dir``).
 
 Run it with ``python -m repro.devtools.lint src/repro``; suppress one
 finding with a trailing ``# ipd-lint: disable=<rule>`` comment.  The

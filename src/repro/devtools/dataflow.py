@@ -1,0 +1,282 @@
+"""Per-function control-flow graphs and a small forward fixpoint framework.
+
+The cross-module rules that reason about *execution order* — IPD010's
+iteration-order taint and IPD012's lifecycle typestate — need more than
+a syntactic walk: whether ``ring.recv()`` runs after ``ring.close()``
+depends on branches, loops and ``try``/``finally``, not on line order.
+This module gives them just enough machinery:
+
+* :func:`build_cfg` lowers one function body into basic blocks.
+  Compound statements appear in their *header* block as the raw AST
+  node (so a transfer function can read ``If.test`` or ``For.iter``
+  without recursing into the body, which lives in successor blocks).
+  ``try`` bodies edge into their handlers from both the block before
+  and the end of the body — any statement may raise — and ``finally``
+  joins both paths.
+* :class:`ForwardAnalysis` runs a classic worklist fixpoint over the
+  CFG: states propagate along edges, ``join`` merges at confluence
+  points, and iteration stops when nothing changes.  Subclasses choose
+  the lattice: a *may* analysis joins with union (IPD010's taint), a
+  *must* analysis joins with intersection (IPD012's
+  definitely-already-closed facts).
+
+After the fixpoint, :meth:`ForwardAnalysis.entry_states` hands back the
+stable state at each block entry; rules replay each block once against
+it to report violations, so a fact is only flagged when it holds on
+*every* path (must) or *some* path (may) — never because of the order
+two branches happen to appear in the file.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Generic, Iterator, Optional, Sequence, TypeVar
+
+__all__ = ["Block", "CFG", "build_cfg", "ForwardAnalysis", "header_exprs"]
+
+
+@dataclass
+class Block:
+    """One basic block: straight-line statements plus successor edges."""
+
+    id: int
+    items: list[ast.stmt] = field(default_factory=list)
+    succs: list[int] = field(default_factory=list)
+
+
+@dataclass
+class CFG:
+    """A function body lowered to blocks; entry is block 0."""
+
+    blocks: list[Block]
+
+    @property
+    def entry(self) -> Block:
+        return self.blocks[0]
+
+
+def header_exprs(stmt: ast.stmt) -> list[ast.expr]:
+    """The expressions evaluated *at* a statement, body excluded.
+
+    For a simple statement that is every expression it contains; for a
+    compound statement only its header (an ``if`` test, a loop
+    iterable, ``with`` context managers) — the body belongs to other
+    blocks.
+    """
+    if isinstance(stmt, ast.If) or isinstance(stmt, ast.While):
+        return [stmt.test]
+    if isinstance(stmt, (ast.For, ast.AsyncFor)):
+        return [stmt.iter]
+    if isinstance(stmt, (ast.With, ast.AsyncWith)):
+        return [item.context_expr for item in stmt.items]
+    if isinstance(stmt, ast.Try):
+        return []
+    if isinstance(stmt, ast.Return):
+        return [stmt.value] if stmt.value is not None else []
+    if isinstance(stmt, ast.Raise):
+        return [expr for expr in (stmt.exc, stmt.cause) if expr is not None]
+    out: list[ast.expr] = []
+    for child in ast.iter_child_nodes(stmt):
+        if isinstance(child, ast.expr):
+            out.append(child)
+    return out
+
+
+class _Builder:
+    def __init__(self) -> None:
+        self.blocks: list[Block] = [Block(0)]
+
+    def new_block(self) -> int:
+        block = Block(len(self.blocks))
+        self.blocks.append(block)
+        return block.id
+
+    def edge(self, src: int, dst: int) -> None:
+        if dst not in self.blocks[src].succs:
+            self.blocks[src].succs.append(dst)
+
+    def lower(
+        self,
+        stmts: Sequence[ast.stmt],
+        current: int,
+        breaks: "list[int]",
+        continues: "list[int]",
+    ) -> Optional[int]:
+        """Lower *stmts* starting in block *current*.
+
+        Returns the open block the next statement would land in, or
+        ``None`` when every path terminated (return/raise/break/...).
+        """
+        cur: Optional[int] = current
+        for stmt in stmts:
+            if cur is None:  # unreachable code after a terminator
+                return None
+            if isinstance(stmt, ast.If):
+                self.blocks[cur].items.append(stmt)
+                then_b = self.new_block()
+                else_b = self.new_block()
+                self.edge(cur, then_b)
+                self.edge(cur, else_b)
+                then_exit = self.lower(stmt.body, then_b, breaks, continues)
+                else_exit = self.lower(stmt.orelse, else_b, breaks, continues)
+                exits = [b for b in (then_exit, else_exit) if b is not None]
+                if not exits:
+                    cur = None
+                    continue
+                join = self.new_block()
+                for b in exits:
+                    self.edge(b, join)
+                cur = join
+            elif isinstance(stmt, (ast.For, ast.AsyncFor, ast.While)):
+                head = self.new_block()
+                self.edge(cur, head)
+                self.blocks[head].items.append(stmt)
+                body_b = self.new_block()
+                after = self.new_block()
+                self.edge(head, body_b)
+                self.edge(head, after)
+                body_exit = self.lower(
+                    stmt.body,
+                    body_b,
+                    breaks + [after],
+                    continues + [head],
+                )
+                if body_exit is not None:
+                    self.edge(body_exit, head)
+                cur = self.lower(stmt.orelse, after, breaks, continues)
+            elif isinstance(stmt, ast.Try):
+                self.blocks[cur].items.append(stmt)
+                body_b = self.new_block()
+                self.edge(cur, body_b)
+                body_exit = self.lower(stmt.body, body_b, breaks, continues)
+                handler_exits: list[int] = []
+                for handler in stmt.handlers:
+                    h_b = self.new_block()
+                    # any point in the body may raise: edge from both
+                    # the pre-body block and the end of the body
+                    self.edge(cur, h_b)
+                    if body_exit is not None:
+                        self.edge(body_exit, h_b)
+                    h_exit = self.lower(handler.body, h_b, breaks, continues)
+                    if h_exit is not None:
+                        handler_exits.append(h_exit)
+                else_exit = body_exit
+                if stmt.orelse and body_exit is not None:
+                    else_b = self.new_block()
+                    self.edge(body_exit, else_b)
+                    else_exit = self.lower(
+                        stmt.orelse, else_b, breaks, continues
+                    )
+                exits = [
+                    b
+                    for b in [else_exit, *handler_exits]
+                    if b is not None
+                ]
+                if stmt.finalbody:
+                    final_b = self.new_block()
+                    for b in exits:
+                        self.edge(b, final_b)
+                    if not exits:
+                        # finally still runs on the exceptional path
+                        self.edge(cur, final_b)
+                    cur = self.lower(
+                        stmt.finalbody, final_b, breaks, continues
+                    )
+                elif exits:
+                    join = self.new_block()
+                    for b in exits:
+                        self.edge(b, join)
+                    cur = join
+                else:
+                    cur = None
+            elif isinstance(stmt, (ast.With, ast.AsyncWith)):
+                self.blocks[cur].items.append(stmt)
+                body_b = self.new_block()
+                self.edge(cur, body_b)
+                cur = self.lower(stmt.body, body_b, breaks, continues)
+            elif isinstance(stmt, (ast.Return, ast.Raise)):
+                self.blocks[cur].items.append(stmt)
+                cur = None
+            elif isinstance(stmt, ast.Break):
+                if breaks:
+                    self.edge(cur, breaks[-1])
+                cur = None
+            elif isinstance(stmt, ast.Continue):
+                if continues:
+                    self.edge(cur, continues[-1])
+                cur = None
+            else:
+                self.blocks[cur].items.append(stmt)
+        return cur
+
+
+def build_cfg(
+    func: "ast.FunctionDef | ast.AsyncFunctionDef",
+) -> CFG:
+    """Lower *func*'s body into a control-flow graph."""
+    builder = _Builder()
+    builder.lower(func.body, 0, [], [])
+    return CFG(blocks=builder.blocks)
+
+
+S = TypeVar("S")
+
+
+class ForwardAnalysis(Generic[S]):
+    """Worklist forward dataflow over a :class:`CFG`.
+
+    Subclasses define the lattice: :meth:`initial_state` (at function
+    entry), :meth:`join` (at merge points — union for a *may* analysis,
+    intersection for a *must* analysis), and :meth:`transfer` (one
+    statement's effect).  States must be immutable values comparable
+    with ``==``.
+    """
+
+    #: safety valve: no realistic function body needs more sweeps
+    max_iterations = 10_000
+
+    def initial_state(self) -> S:
+        raise NotImplementedError
+
+    def join(self, left: S, right: S) -> S:
+        raise NotImplementedError
+
+    def transfer(self, state: S, stmt: ast.stmt) -> S:
+        raise NotImplementedError
+
+    def entry_states(self, cfg: CFG) -> dict[int, S]:
+        """Run to fixpoint; returns the stable state at each block entry.
+
+        Unreachable blocks are absent from the result.
+        """
+        states: dict[int, S] = {0: self.initial_state()}
+        worklist = [0]
+        iterations = 0
+        while worklist and iterations < self.max_iterations:
+            iterations += 1
+            block_id = worklist.pop()
+            state = states[block_id]
+            for stmt in cfg.blocks[block_id].items:
+                state = self.transfer(state, stmt)
+            for succ in cfg.blocks[block_id].succs:
+                if succ in states:
+                    merged = self.join(states[succ], state)
+                else:
+                    merged = state
+                if succ not in states or merged != states[succ]:
+                    states[succ] = merged
+                    worklist.append(succ)
+        return states
+
+    def replay(
+        self, cfg: CFG, states: "dict[int, S]"
+    ) -> Iterator[tuple[S, ast.stmt]]:
+        """Yield ``(state-before, statement)`` once per reachable statement."""
+        for block in cfg.blocks:
+            if block.id not in states:
+                continue
+            state = states[block.id]
+            for stmt in block.items:
+                yield state, stmt
+                state = self.transfer(state, stmt)

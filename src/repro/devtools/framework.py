@@ -22,6 +22,12 @@ Architecture
   context most rules need: the enclosing function stack, whether that
   function is marked ``@hot_path``, and the ``for``/``while`` loop
   nesting depth.
+* :class:`ProjectRule` — a rule that needs the whole scanned file set
+  at once (cross-module analysis over the
+  :class:`~repro.devtools.project.ProjectGraph`) instead of one file
+  at a time.  Project rules run once per lint invocation, after the
+  per-file rules, and their findings are cached by the content hashes
+  of every scanned file (see :mod:`repro.devtools.project`).
 * registry — rules register themselves with :func:`register`; the
   runner (:func:`lint_paths`) instantiates the registered set (or a
   ``--select`` subset), applies scopes and suppressions, and returns a
@@ -46,14 +52,19 @@ import ast
 import re
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Iterable, Iterator, Optional, Sequence, Type
+from typing import TYPE_CHECKING, Iterable, Iterator, Optional, Sequence, Type
+
+if TYPE_CHECKING:  # runtime import would cycle (project imports framework)
+    from .project import ProjectGraph
 
 __all__ = [
     "Finding",
     "SourceFile",
     "Rule",
     "ContextVisitor",
+    "ProjectRule",
     "LintReport",
+    "collect_import_aliases",
     "register",
     "registered_rules",
     "build_rules",
@@ -67,6 +78,36 @@ PARSE_ERROR_CODE = "IPD000"
 _SUPPRESS_RE = re.compile(r"#\s*ipd-lint:\s*disable=([A-Za-z0-9_,\s]+)")
 
 _SKIP_DIRS = {"__pycache__", ".git", "build", "dist"}
+
+
+def collect_import_aliases(
+    tree: ast.AST,
+) -> tuple[dict[str, str], dict[str, tuple[str, str]]]:
+    """Resolve the local names an ``import`` statement binds.
+
+    Returns ``(module_aliases, symbol_aliases)``: ``module_aliases``
+    maps a local name to the dotted module it denotes (``import
+    datetime as d`` -> ``{"d": "datetime"}``), ``symbol_aliases`` maps
+    a local name to ``(module, symbol)`` (``from datetime import
+    datetime as dtc`` -> ``{"dtc": ("datetime", "datetime")}``).
+    Relative imports keep their leading dots in the module key so
+    callers can resolve them against the importing module's package.
+    """
+    modules: dict[str, str] = {}
+    symbols: dict[str, tuple[str, str]] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                local = alias.asname or alias.name.split(".")[0]
+                target = alias.name if alias.asname else alias.name.split(".")[0]
+                modules[local] = target
+        elif isinstance(node, ast.ImportFrom):
+            module = "." * node.level + (node.module or "")
+            for alias in node.names:
+                if alias.name == "*":
+                    continue
+                symbols[alias.asname or alias.name] = (module, alias.name)
+    return modules, symbols
 
 
 @dataclass(frozen=True)
@@ -114,6 +155,20 @@ class SourceFile:
             self.tree = None
             self.syntax_error = exc
         self._suppressions = self._scan_suppressions()
+        self._import_aliases: (
+            "tuple[dict[str, str], dict[str, tuple[str, str]]] | None"
+        ) = None
+
+    def import_aliases(
+        self,
+    ) -> tuple[dict[str, str], dict[str, tuple[str, str]]]:
+        """The module's import table (see :func:`collect_import_aliases`)."""
+        if self._import_aliases is None:
+            if self.tree is None:
+                self._import_aliases = ({}, {})
+            else:
+                self._import_aliases = collect_import_aliases(self.tree)
+        return self._import_aliases
 
     @property
     def display_path(self) -> str:
@@ -214,15 +269,20 @@ class ContextVisitor(ast.NodeVisitor):
     ) -> None:
         hot = any(self._is_hot_marker(dec) for dec in node.decorator_list)
         outer_loop_depth = self.loop_depth
+        outer_hot_depth = self.hot_depth
         self.loop_depth = 0
+        # a nested def opens a fresh runtime scope: the enclosing
+        # function's hot-path context does not apply to its body unless
+        # the nested function carries its own @hot_path marker
+        if self.function_stack and not hot:
+            self.hot_depth = 0
         self.function_stack.append(node)
         if hot:
             self.hot_depth += 1
         self.enter_function(node, hot)
         self.generic_visit(node)
-        if hot:
-            self.hot_depth -= 1
         self.function_stack.pop()
+        self.hot_depth = outer_hot_depth
         self.loop_depth = outer_loop_depth
 
     def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
@@ -230,6 +290,19 @@ class ContextVisitor(ast.NodeVisitor):
 
     def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
         self._visit_function(node)
+
+    def visit_Lambda(self, node: ast.Lambda) -> None:
+        # a lambda body runs in its own (never-hot) scope, like a
+        # nested def: neither hot-path nor loop context leaks in
+        outer_loop_depth = self.loop_depth
+        outer_hot_depth = self.hot_depth
+        self.loop_depth = 0
+        self.hot_depth = 0
+        self.function_stack.append(node)
+        self.generic_visit(node)
+        self.function_stack.pop()
+        self.hot_depth = outer_hot_depth
+        self.loop_depth = outer_loop_depth
 
     def _visit_loop(self, node: "ast.For | ast.While | ast.AsyncFor") -> None:
         # the iterable / condition is evaluated outside the loop body
@@ -280,6 +353,23 @@ class VisitorRule(Rule):
         yield from visitor.findings
 
 
+class ProjectRule(Rule):
+    """A rule over the whole scanned file set (cross-module analysis).
+
+    Project rules do not run per file; :func:`lint_paths` builds one
+    :class:`~repro.devtools.project.ProjectGraph` over every parsed
+    source and calls :meth:`check_project` once.  Their findings are
+    cacheable by the content hashes of the scanned files.
+    """
+
+    def check(self, source: SourceFile) -> Iterator[Finding]:
+        return iter(())
+
+    def check_project(self, graph: "ProjectGraph") -> Iterator[Finding]:
+        """Yield findings over a :class:`ProjectGraph`."""
+        raise NotImplementedError
+
+
 # ---------------------------------------------------------------------------
 # registry
 # ---------------------------------------------------------------------------
@@ -312,8 +402,9 @@ def build_rules(
     declares them (e.g. ``codec_pins=...`` for IPD004), so tests can
     point a rule at fixture configuration without a parallel registry.
     """
-    # rules register on import of the rules module; import lazily to
+    # rules register on import of the rules modules; import lazily to
     # avoid a cycle (rules import framework)
+    from . import crossrules as _crossrules  # noqa: F401
     from . import rules as _rules  # noqa: F401  (import registers rules)
 
     if select is not None:
@@ -349,6 +440,8 @@ class LintReport:
     files_scanned: int = 0
     suppressed: int = 0
     rules: list[Rule] = field(default_factory=list)
+    #: True when the cross-module findings came from the content-hash cache
+    cache_hit: bool = False
 
     @property
     def clean(self) -> bool:
@@ -367,6 +460,7 @@ class LintReport:
             "suppressed": self.suppressed,
             "counts": self.by_rule(),
             "clean": self.clean,
+            "cache_hit": self.cache_hit,
         }
 
 
@@ -390,11 +484,20 @@ def iter_source_files(paths: Iterable[Path]) -> Iterator[tuple[Path, Path]]:
 def lint_paths(
     paths: "Sequence[Path | str]",
     select: Optional[Sequence[str]] = None,
+    cache_dir: "Path | str | None" = None,
     **config: object,
 ) -> LintReport:
-    """Run the registered rules over *paths* and return the report."""
+    """Run the registered rules over *paths* and return the report.
+
+    ``cache_dir`` enables the cross-module findings cache: project-rule
+    results are keyed by the content hashes of every scanned file, so
+    an unchanged tree skips the whole-project analysis on re-run.
+    """
     rules = build_rules(select, **config)
+    file_rules = [rule for rule in rules if not isinstance(rule, ProjectRule)]
+    project_rules = [rule for rule in rules if isinstance(rule, ProjectRule)]
     report = LintReport(rules=rules)
+    sources: list[SourceFile] = []
     for root, file in iter_source_files(Path(p) for p in paths):
         source = SourceFile(file, root)
         report.files_scanned += 1
@@ -410,7 +513,8 @@ def lint_paths(
                 )
             )
             continue
-        for rule in rules:
+        sources.append(source)
+        for rule in file_rules:
             if not rule.applies_to(source):
                 continue
             for finding in rule.check(source):
@@ -418,5 +522,54 @@ def lint_paths(
                     report.suppressed += 1
                 else:
                     report.findings.append(finding)
+    if project_rules and sources:
+        _run_project_rules(report, project_rules, sources, cache_dir)
     report.findings.sort(key=Finding.sort_key)
     return report
+
+
+def _run_project_rules(
+    report: LintReport,
+    project_rules: "list[Rule]",
+    sources: "list[SourceFile]",
+    cache_dir: "Path | str | None",
+) -> None:
+    """Run the cross-module rules once, through the findings cache."""
+    # imported lazily: project imports this module for SourceFile
+    from .project import FindingsCache, ProjectGraph, project_cache_key
+
+    cache = FindingsCache(cache_dir) if cache_dir is not None else None
+    key = None
+    if cache is not None:
+        key = project_cache_key(sources, project_rules)
+        cached = cache.load(key)
+        if cached is not None:
+            report.findings.extend(
+                Finding(**entry) for entry in cached["findings"]
+            )
+            report.suppressed += cached["suppressed"]
+            report.cache_hit = True
+            return
+    graph = ProjectGraph(sources)
+    by_path = {source.display_path: source for source in sources}
+    findings: list[Finding] = []
+    suppressed = 0
+    for rule in project_rules:
+        for finding in rule.check_project(graph):
+            origin = by_path.get(finding.path)
+            if origin is not None and origin.suppressed(
+                finding.rule, finding.line
+            ):
+                suppressed += 1
+            else:
+                findings.append(finding)
+    report.findings.extend(findings)
+    report.suppressed += suppressed
+    if cache is not None and key is not None:
+        cache.store(
+            key,
+            {
+                "findings": [finding.to_dict() for finding in findings],
+                "suppressed": suppressed,
+            },
+        )

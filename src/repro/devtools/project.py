@@ -1,0 +1,443 @@
+"""Project-wide module/symbol graph for the cross-module lint rules.
+
+The per-file rules (IPD001–IPD008) each look at one AST in isolation.
+The dataflow rules (IPD009–IPD012) need to see *across* files: which
+class a constructor call resolves to through import aliases, which
+attributes a class ever assigns, which methods a ``Writer``/``Reader``
+pair exposes, which functions a worker loop calls.  This module builds
+that picture once per lint run:
+
+* :class:`ModuleInfo` — one scanned module: its dotted name (derived
+  from ``__init__.py`` package markers), import alias tables with
+  relative imports resolved, class table (:class:`ClassInfo` with
+  methods, base names and set-typed attributes), module-level function
+  table, module-level constants, and coarse call edges.
+* :class:`ProjectGraph` — the scanned set as a whole, with cross-module
+  symbol resolution (:meth:`ProjectGraph.resolve_class`), transitive
+  base-class ancestry, and project-level summaries the rules consume.
+
+Caching
+-------
+
+Cross-module findings are cached by file content hash: the cache key is
+a digest over the sorted ``(relative path, sha256(file bytes))`` pairs
+of every scanned file plus each project rule's code and configuration
+(and the invoking cwd, because finding paths are cwd-relative).  Any
+byte changed anywhere invalidates the key — deliberately conservative,
+because a cross-module rule's findings for one file can depend on any
+other file — while a fully unchanged tree skips the whole analysis, so
+warm CI runs stay fast (see the timing gate in the static-analysis
+job).
+"""
+
+from __future__ import annotations
+
+import ast
+import hashlib
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterator, Optional, Sequence
+
+from .framework import Rule, SourceFile, collect_import_aliases
+
+__all__ = [
+    "ANALYZER_VERSION",
+    "ClassInfo",
+    "ModuleInfo",
+    "ProjectGraph",
+    "FindingsCache",
+    "project_cache_key",
+]
+
+#: bumped whenever the analyzer's semantics change, so stale cached
+#: findings from an older analyzer can never satisfy a newer gate
+ANALYZER_VERSION = 1
+
+_SET_CALLS = {"set", "frozenset"}
+
+
+def _is_set_expr(expr: ast.expr) -> bool:
+    """True for expressions that build an unordered set value."""
+    if isinstance(expr, (ast.Set, ast.SetComp)):
+        return True
+    if isinstance(expr, ast.Call) and isinstance(expr.func, ast.Name):
+        return expr.func.id in _SET_CALLS
+    return False
+
+
+def _annotation_is_set(annotation: Optional[ast.expr]) -> bool:
+    """True when a type annotation denotes a set type."""
+    if annotation is None:
+        return False
+    target = annotation
+    if isinstance(target, ast.Subscript):
+        target = target.value
+    if isinstance(target, ast.Name):
+        return target.id in ("set", "frozenset", "Set", "FrozenSet", "AbstractSet")
+    if isinstance(target, ast.Attribute):
+        return target.attr in ("Set", "FrozenSet", "AbstractSet")
+    if isinstance(target, ast.Constant) and isinstance(target.value, str):
+        head = target.value.split("[", 1)[0].strip()
+        return head in ("set", "frozenset", "Set", "FrozenSet", "AbstractSet")
+    return False
+
+
+def _base_name(base: ast.expr) -> Optional[str]:
+    """The source-level bare name of a class base (``Sink``, ``ipd.Sink``)."""
+    if isinstance(base, ast.Name):
+        return base.id
+    if isinstance(base, ast.Attribute):
+        return base.attr
+    return None
+
+
+@dataclass
+class ClassInfo:
+    """One class definition: methods, bases, and attribute facts."""
+
+    name: str
+    module: "ModuleInfo"
+    node: ast.ClassDef
+    bases: list[str] = field(default_factory=list)
+    methods: "dict[str, ast.FunctionDef | ast.AsyncFunctionDef]" = field(
+        default_factory=dict
+    )
+    #: attributes ever assigned a set-valued expression (``self.x = set()``)
+    #: or annotated as a set type inside this class's methods
+    set_attrs: set[str] = field(default_factory=set)
+
+    @property
+    def qualname(self) -> str:
+        return f"{self.module.name}.{self.name}"
+
+
+@dataclass
+class ModuleInfo:
+    """One scanned module's symbol tables."""
+
+    source: SourceFile
+    name: str
+    module_aliases: dict[str, str] = field(default_factory=dict)
+    symbol_aliases: "dict[str, tuple[str, str]]" = field(default_factory=dict)
+    classes: dict[str, ClassInfo] = field(default_factory=dict)
+    functions: "dict[str, ast.FunctionDef | ast.AsyncFunctionDef]" = field(
+        default_factory=dict
+    )
+    #: module-level single-target constant assignments (name -> value expr)
+    constants: dict[str, ast.expr] = field(default_factory=dict)
+    #: coarse call edges: (caller qualname, callee dotted source name)
+    call_edges: "list[tuple[str, str]]" = field(default_factory=list)
+
+    @property
+    def stem(self) -> str:
+        return Path(self.source.path).stem
+
+    def resolve_symbol_module(self, local: str) -> Optional[str]:
+        """The dotted module a local symbol was imported from, if any."""
+        entry = self.symbol_aliases.get(local)
+        if entry is None:
+            return None
+        module, _symbol = entry
+        if not module.startswith("."):
+            return module
+        # resolve a relative import against this module's package
+        level = len(module) - len(module.lstrip("."))
+        parts = self.name.split(".")
+        base = parts[: max(len(parts) - level, 0)]
+        tail = module.lstrip(".")
+        return ".".join(base + ([tail] if tail else []))
+
+
+def _module_name(path: Path) -> str:
+    """Best-effort dotted module name from package ``__init__.py`` markers."""
+    resolved = path.resolve()
+    parts = [resolved.stem]
+    parent = resolved.parent
+    while (parent / "__init__.py").exists():
+        parts.append(parent.name)
+        parent = parent.parent
+    if parts[0] == "__init__" and len(parts) > 1:
+        parts = parts[1:]
+    return ".".join(reversed(parts))
+
+
+def _callee_name(func: ast.expr) -> Optional[str]:
+    """Dotted source text of a call target (``f``, ``mod.f``, ``self.m``)."""
+    if isinstance(func, ast.Name):
+        return func.id
+    if isinstance(func, ast.Attribute):
+        prefix = _callee_name(func.value)
+        return f"{prefix}.{func.attr}" if prefix else None
+    return None
+
+
+def _extract_module(source: SourceFile) -> ModuleInfo:
+    tree = source.tree
+    assert tree is not None  # callers skip unparsable files
+    modules, symbols = source.import_aliases()
+    info = ModuleInfo(
+        source=source,
+        name=_module_name(Path(source.path)),
+        module_aliases=modules,
+        symbol_aliases=symbols,
+    )
+    for node in tree.body:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            info.functions[node.name] = node
+        elif isinstance(node, ast.Assign) and len(node.targets) == 1:
+            target = node.targets[0]
+            if isinstance(target, ast.Name):
+                info.constants[target.id] = node.value
+        elif isinstance(node, ast.ClassDef):
+            info.classes[node.name] = _extract_class(node, info)
+    _extract_call_edges(info, tree)
+    return info
+
+
+def _extract_class(node: ast.ClassDef, module: ModuleInfo) -> ClassInfo:
+    cls = ClassInfo(name=node.name, module=module, node=node)
+    for base in node.bases:
+        name = _base_name(base)
+        if name is not None:
+            cls.bases.append(name)
+    for stmt in node.body:
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            cls.methods[stmt.name] = stmt
+            for inner in ast.walk(stmt):
+                if isinstance(inner, ast.Assign):
+                    if _is_set_expr(inner.value):
+                        for target in inner.targets:
+                            attr = _self_attr(target)
+                            if attr is not None:
+                                cls.set_attrs.add(attr)
+                elif isinstance(inner, ast.AnnAssign):
+                    attr = _self_attr(inner.target)
+                    if attr is not None and _annotation_is_set(inner.annotation):
+                        cls.set_attrs.add(attr)
+        elif isinstance(stmt, ast.AnnAssign):
+            if isinstance(stmt.target, ast.Name) and _annotation_is_set(
+                stmt.annotation
+            ):
+                cls.set_attrs.add(stmt.target.id)
+    return cls
+
+
+def _self_attr(target: ast.expr) -> Optional[str]:
+    if (
+        isinstance(target, ast.Attribute)
+        and isinstance(target.value, ast.Name)
+        and target.value.id == "self"
+    ):
+        return target.attr
+    return None
+
+
+def _extract_call_edges(info: ModuleInfo, tree: ast.Module) -> None:
+    """Record coarse (caller qualname, callee name) edges for the module."""
+
+    def walk_scope(
+        body: Sequence[ast.stmt], qualname: str
+    ) -> None:
+        for stmt in body:
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                inner_qual = f"{qualname}.{stmt.name}" if qualname else stmt.name
+                for node in ast.walk(stmt):
+                    if isinstance(node, ast.Call):
+                        callee = _callee_name(node.func)
+                        if callee is not None:
+                            info.call_edges.append((inner_qual, callee))
+            elif isinstance(stmt, ast.ClassDef):
+                cls_qual = f"{qualname}.{stmt.name}" if qualname else stmt.name
+                walk_scope(stmt.body, cls_qual)
+
+    walk_scope(tree.body, "")
+
+
+class ProjectGraph:
+    """The scanned file set as one resolvable symbol graph."""
+
+    def __init__(self, sources: Sequence[SourceFile]) -> None:
+        self.modules: list[ModuleInfo] = [
+            _extract_module(source)
+            for source in sources
+            if source.tree is not None
+        ]
+        self.by_name: dict[str, ModuleInfo] = {
+            module.name: module for module in self.modules
+        }
+        self._classes_by_name: dict[str, list[ClassInfo]] = {}
+        for module in self.modules:
+            for cls in module.classes.values():
+                self._classes_by_name.setdefault(cls.name, []).append(cls)
+
+    # -- lookup --------------------------------------------------------------
+
+    def modules_with_stem(self, stems: Sequence[str]) -> Iterator[ModuleInfo]:
+        wanted = set(stems)
+        for module in self.modules:
+            if module.stem in wanted:
+                yield module
+
+    def classes_named(self, name: str) -> list[ClassInfo]:
+        return list(self._classes_by_name.get(name, []))
+
+    def resolve_class(
+        self, module: ModuleInfo, name: str
+    ) -> Optional[ClassInfo]:
+        """Resolve a bare name used in *module* to a scanned class.
+
+        Checks the module's own class table first, then follows a
+        ``from x import name`` alias into the defining module if that
+        module was scanned too.
+        """
+        local = module.classes.get(name)
+        if local is not None:
+            return local
+        entry = module.symbol_aliases.get(name)
+        if entry is not None:
+            target_module = module.resolve_symbol_module(name)
+            _origin, symbol = entry
+            if target_module is not None:
+                defining = self.by_name.get(target_module)
+                if defining is not None and symbol in defining.classes:
+                    return defining.classes[symbol]
+            # fall back to a unique bare-name match across the project
+            candidates = self.classes_named(symbol)
+            if len(candidates) == 1:
+                return candidates[0]
+        return None
+
+    def ancestry(self, cls: ClassInfo) -> set[str]:
+        """Transitive base-class *names* of *cls*, including its own."""
+        seen: set[str] = set()
+        frontier = [cls]
+        while frontier:
+            current = frontier.pop()
+            if current.name in seen:
+                continue
+            seen.add(current.name)
+            for base in current.bases:
+                if base in seen:
+                    continue
+                resolved = self.resolve_class(current.module, base)
+                if resolved is not None:
+                    frontier.append(resolved)
+                else:
+                    seen.add(base)
+        return seen
+
+    # -- project-level summaries --------------------------------------------
+
+    def set_attr_names(self) -> set[str]:
+        """Attribute names any scanned class assigns a set value to."""
+        names: set[str] = set()
+        for module in self.modules:
+            for cls in module.classes.values():
+                names.update(cls.set_attrs)
+        return names
+
+    def set_returning_callables(self) -> set[str]:
+        """Function/method names whose return annotation is a set type."""
+        names: set[str] = set()
+        for module in self.modules:
+            for name, func in module.functions.items():
+                if _annotation_is_set(func.returns):
+                    names.add(name)
+            for cls in module.classes.values():
+                for name, method in cls.methods.items():
+                    if _annotation_is_set(method.returns):
+                        names.add(name)
+        return names
+
+    def callees_of(self, qualname_suffix: str) -> set[str]:
+        """Bare callee names reachable (one hop) from matching callers."""
+        out: set[str] = set()
+        for module in self.modules:
+            for caller, callee in module.call_edges:
+                if caller == qualname_suffix or caller.endswith(
+                    "." + qualname_suffix
+                ):
+                    out.add(callee.rsplit(".", 1)[-1])
+        return out
+
+
+# ---------------------------------------------------------------------------
+# findings cache (content-hash keyed)
+# ---------------------------------------------------------------------------
+
+
+def _digest(data: bytes) -> str:
+    return hashlib.sha256(data).hexdigest()
+
+
+def project_cache_key(
+    sources: Sequence[SourceFile], rules: Sequence[Rule]
+) -> str:
+    """Cache key for one cross-module analysis run.
+
+    Keyed by every scanned file's content hash plus each rule's code
+    and instance configuration; any changed byte, rule set, or rule
+    config produces a different key.
+    """
+    payload = {
+        "analyzer": ANALYZER_VERSION,
+        "cwd": str(Path.cwd()),
+        "rules": sorted(
+            (
+                rule.code,
+                repr(sorted((k, repr(v)) for k, v in vars(rule).items())),
+            )
+            for rule in rules
+        ),
+        "files": sorted(
+            (source.rel, _digest(source.text.encode("utf-8")))
+            for source in sources
+        ),
+    }
+    return _digest(json.dumps(payload, sort_keys=True).encode("utf-8"))
+
+
+class FindingsCache:
+    """Tiny on-disk JSON cache for cross-module findings.
+
+    One file per key under *directory*; a missing or unreadable entry
+    is a miss (the analysis re-runs), never an error.
+    """
+
+    def __init__(self, directory: "Path | str") -> None:
+        self.directory = Path(directory)
+
+    def _path(self, key: str) -> Path:
+        return self.directory / f"{key}.json"
+
+    def load(self, key: str) -> "Optional[dict[str, object]]":
+        path = self._path(key)
+        try:
+            payload = json.loads(path.read_text(encoding="utf-8"))
+        except (OSError, ValueError):
+            return None
+        if not isinstance(payload, dict):
+            return None
+        if payload.get("analyzer") != ANALYZER_VERSION:
+            return None
+        findings = payload.get("findings")
+        suppressed = payload.get("suppressed")
+        if not isinstance(findings, list) or not isinstance(suppressed, int):
+            return None
+        return {"findings": findings, "suppressed": suppressed}
+
+    def store(self, key: str, payload: "dict[str, object]") -> None:
+        self.directory.mkdir(parents=True, exist_ok=True)
+        body = dict(payload)
+        body["analyzer"] = ANALYZER_VERSION
+        path = self._path(key)
+        tmp = path.with_suffix(".tmp")
+        try:
+            tmp.write_text(
+                json.dumps(body, sort_keys=True), encoding="utf-8"
+            )
+            tmp.replace(path)
+        except OSError:
+            # caching is best-effort; a full re-run is always correct
+            return

@@ -53,7 +53,7 @@ _WALLCLOCK_TIME_ATTRS = {"time", "monotonic", "monotonic_ns", "time_ns"}
 class _WallclockVisitor(ContextVisitor):
     def visit_Attribute(self, node: ast.Attribute) -> None:
         value = node.value
-        if isinstance(value, ast.Name) and value.id == "time":
+        if self._names_module(value, "time"):
             if node.attr in _WALLCLOCK_TIME_ATTRS:
                 self.report(
                     node,
@@ -95,11 +95,26 @@ class _WallclockVisitor(ContextVisitor):
                     )
         self.generic_visit(node)
 
-    @staticmethod
-    def _mentions_datetime(value: ast.expr) -> bool:
+    def _names_module(self, value: ast.expr, module: str) -> bool:
+        """True when *value* denotes *module*, through any import alias."""
+        if not isinstance(value, ast.Name):
+            return False
+        if value.id == module:
+            return True
+        module_aliases, _ = self.source.import_aliases()
+        return module_aliases.get(value.id) == module
+
+    def _mentions_datetime(self, value: ast.expr) -> bool:
         if isinstance(value, ast.Name):
-            return value.id in ("datetime", "dt")
+            if value.id in ("datetime", "dt") or self._names_module(
+                value, "datetime"
+            ):
+                return True
+            _, symbol_aliases = self.source.import_aliases()
+            return symbol_aliases.get(value.id) == ("datetime", "datetime")
         if isinstance(value, ast.Attribute):
+            # d.datetime.now() — the module half is checked by the
+            # attr name; the base may itself be an import alias
             return value.attr == "datetime"
         return False
 

@@ -3,7 +3,9 @@
 This file is parsed by the lint tests, never imported.
 """
 import datetime
+import datetime as d
 import time
+import time as clk
 from time import monotonic  # fires: pulls a wall-clock read into scope
 
 
@@ -21,3 +23,11 @@ def when():
 
 def utc():
     return datetime.datetime.utcnow()  # fires
+
+
+def aliased_when():
+    return d.datetime.now()  # fires: alias must not evade the rule
+
+
+def aliased_stamp() -> float:
+    return clk.time()  # fires: alias must not evade the rule

@@ -1,0 +1,59 @@
+"""Fixture: nothing here may trip IPD009 (codec-symmetry).
+
+Covers the tolerated shapes: optional fields written under an ``if``
+and read via a conditional expression, a write-side loop paired with a
+read-side comprehension, a pure field *rename* (no swap), and a
+zero-op helper with no decode twin.
+"""
+
+
+class FixWriter:
+    def u8(self, value):
+        raise NotImplementedError
+
+    def u16(self, value):
+        raise NotImplementedError
+
+
+class FixReader:
+    def u8(self):
+        raise NotImplementedError
+
+    def u16(self):
+        raise NotImplementedError
+
+
+def _write_record(writer, rec):
+    writer.u8(rec.kind)
+    if rec.kind:
+        writer.u16(rec.extra)
+
+
+def _read_record(reader):
+    kind = reader.u8()
+    extra = reader.u16() if kind else 0
+    return kind, extra
+
+
+def _write_items(writer, items):
+    writer.u8(len(items))
+    for item in items:
+        writer.u16(item)
+
+
+def _read_items(reader):
+    count = reader.u8()
+    return [reader.u16() for _ in range(count)]
+
+
+def _write_meta(writer, meta):
+    writer.u16(meta.version)
+
+
+def _read_meta(reader):
+    schema = reader.u16()  # renamed field, same wire shape: tolerated
+    return schema
+
+
+def _write_nothing(writer):
+    return None  # no wire bytes: an unpaired helper is fine

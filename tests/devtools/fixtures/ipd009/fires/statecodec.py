@@ -1,0 +1,50 @@
+"""Fixture: every codec pair below must trip IPD009 (codec-symmetry).
+
+The file is named ``statecodec.py`` so the rule's module-stem scope
+picks it up; it is parsed by the lint tests, never imported.  The
+writer/reader classes exercise primitive *discovery*: ``u8``/``u32``
+are not in the built-in primitive set and must be learned from the
+shared public surface of ``FixWriter``/``FixReader``.
+"""
+
+
+class FixWriter:
+    def u8(self, value):
+        raise NotImplementedError
+
+    def u32(self, value):
+        raise NotImplementedError
+
+
+class FixReader:
+    def u8(self):
+        raise NotImplementedError
+
+    def u32(self):
+        raise NotImplementedError
+
+
+def _write_record(writer, rec):
+    writer.u8(rec.kind)
+    writer.u32(rec.total)
+
+
+def _read_record(reader):
+    kind = reader.u8()
+    total = reader.u8()  # fires: width mismatch, encode used u32
+    return kind, total
+
+
+def _write_window(writer, window):
+    writer.u32(window.start)
+    writer.u32(window.length)
+
+
+def _read_window(reader):
+    length = reader.u32()  # fires: field order swapped vs the encoder
+    start = reader.u32()
+    return start, length
+
+
+def _write_orphan(writer, value):
+    writer.u8(value)  # fires: moves wire bytes with no decode twin

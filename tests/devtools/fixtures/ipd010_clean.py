@@ -1,0 +1,21 @@
+"""Fixture: nothing here may trip IPD010 (iteration-order-taint)."""
+
+
+def dump_rows(rows: set, csv_writer):
+    for row in sorted(rows):
+        csv_writer.writerow(row)  # sorted() fixes the order first
+
+
+def encode_tags(writer, tags):
+    ordered = sorted(set(tags))
+    writer.write(",".join(ordered))
+
+
+def count_rows(rows: set, csv_writer):
+    csv_writer.writerow([len(rows)])  # aggregation is order-free
+
+
+def local_only(tags):
+    # unordered values that never reach a serialization sink are fine
+    seen = set(tags)
+    return "x" in seen

@@ -1,0 +1,20 @@
+"""Fixture: every function below must trip IPD010 (iteration-order-taint).
+
+This file is parsed by the lint tests, never imported.
+"""
+
+
+def dump_rows(rows: set, csv_writer):
+    for row in rows:
+        csv_writer.writerow(row)  # fires: set iteration order reaches CSV
+
+
+def encode_tags(writer, tags):
+    unordered = set(tags)
+    blob = ",".join(unordered)
+    writer.write(blob)  # fires: joined set order reaches codec output
+
+
+def pack_all(buf, values: frozenset):
+    materialized = list(values)
+    buf.pack(materialized)  # fires: materialized set order is packed

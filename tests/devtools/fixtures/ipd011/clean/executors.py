@@ -1,0 +1,23 @@
+"""Fixture: nothing here may trip IPD011 (executor-state-discipline)."""
+
+
+class ShardWorker:
+    def __init__(self):
+        self.engine = object()
+        self.pending = []
+
+    def handle(self, op):
+        return op
+
+
+class GoodExecutor:
+    def __init__(self, nshards):
+        self._worker = ShardWorker()
+        self._round_robin = 0  # parent-owned state: not a worker handle
+
+    def submit(self, op):
+        self._round_robin += 1
+        return self._worker.handle(op)
+
+    def shutdown(self):
+        return self._worker.handle({"op": "close"})

@@ -1,0 +1,28 @@
+"""Fixture: IPD011 (executor-state-discipline) must fire twice here.
+
+Named ``executors.py`` so the rule's module-stem scope picks it up;
+parsed by the lint tests, never imported.
+"""
+
+
+class ShardWorker:
+    def __init__(self):
+        self.engine = object()
+        self.pending = []
+
+    def handle(self, op):
+        return op
+
+
+class BadExecutor:
+    def __init__(self, nshards):
+        self._worker = ShardWorker()
+
+    def submit(self, op):
+        return self._worker.handle(op)  # protocol call: allowed
+
+    def peek(self):
+        return self._worker.engine  # fires: reads worker-owned state
+
+    def drain(self):
+        self._worker.pending.clear()  # fires: mutates worker-owned state

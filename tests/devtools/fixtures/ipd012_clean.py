@@ -1,0 +1,49 @@
+"""Fixture: nothing here may trip IPD012 (lifecycle-typestate)."""
+
+from contextlib import closing
+
+
+class Sink:
+    def emit(self, record):
+        raise NotImplementedError
+
+    def close(self):
+        raise NotImplementedError
+
+
+def close_once(records):
+    sink = Sink()
+    for record in records:
+        sink.emit(record)
+    sink.close()
+
+
+def diamond(flag):
+    sink = Sink()
+    if flag:
+        sink.emit({"hot": True})
+    else:
+        sink.emit({"hot": False})
+    sink.close()
+
+
+def early_return(flag):
+    sink = Sink()
+    if flag:
+        sink.close()
+        return None
+    sink.emit({})
+    sink.close()
+    return sink
+
+
+def escapes(registry):
+    sink = Sink()
+    registry.append(sink)  # ownership transferred: tracking stops here
+    sink.close()
+
+
+def managed(records):
+    with closing(Sink()) as sink:
+        for record in records:
+            sink.emit(record)  # the context manager owns the lifecycle

@@ -1,0 +1,37 @@
+"""Fixture: every function below must trip IPD012 (lifecycle-typestate).
+
+The local ``Sink`` class resolves through the project graph and
+carries the Sink lifecycle protocol.  Parsed by the lint tests, never
+imported.
+"""
+
+
+class Sink:
+    def emit(self, record):
+        raise NotImplementedError
+
+    def close(self):
+        raise NotImplementedError
+
+
+def double_close(records):
+    sink = Sink()
+    for record in records:
+        sink.emit(record)
+    sink.close()
+    sink.close()  # fires: close is exactly-once
+
+
+def use_after_close():
+    sink = Sink()
+    sink.close()
+    sink.emit({})  # fires: use after close
+
+
+def closed_on_every_branch(flag):
+    sink = Sink()
+    if flag:
+        sink.close()
+    else:
+        sink.close()
+    sink.close()  # fires: already closed on both joined paths

@@ -1,0 +1,62 @@
+"""IPD009 against the real codec: a seeded mutation must flip it.
+
+The acceptance pin of the analyzer: reordering two field writes in
+``statecodec.py``'s encoder — or dropping a decode-side read — is
+caught statically.  ``codec_fingerprints.json`` is never consulted;
+this is the static twin of the IPD004 runtime pin.
+"""
+
+from pathlib import Path
+
+from repro.devtools.lint import run_lint
+
+REAL = Path(__file__).parents[2] / "src" / "repro" / "core" / "statecodec.py"
+
+_SWAP_BEFORE = (
+    "        writer.float(image.last_seen)\n"
+    "        writer.float(image.classified_at)\n"
+)
+_SWAP_AFTER = (
+    "        writer.float(image.classified_at)\n"
+    "        writer.float(image.last_seen)\n"
+)
+_DROP_BEFORE = "        classified_at = reader.float()\n"
+_DROP_AFTER = "        classified_at = 0.0\n"
+
+
+def _lint_variant(tmp_path, mutate=None):
+    text = REAL.read_text(encoding="utf-8")
+    if mutate is not None:
+        text = mutate(text)
+    (tmp_path / "statecodec.py").write_text(text, encoding="utf-8")
+    return run_lint([str(tmp_path)], select=["IPD009"])
+
+
+def test_real_codec_is_symmetric(tmp_path):
+    report = _lint_variant(tmp_path)
+    assert report.clean, [f.format() for f in report.findings]
+
+
+def test_swapped_encoder_field_writes_fire(tmp_path):
+    def swap(text):
+        assert _SWAP_BEFORE in text, "statecodec.py encoder shape changed"
+        return text.replace(_SWAP_BEFORE, _SWAP_AFTER)
+
+    report = _lint_variant(tmp_path, swap)
+    assert len(report.findings) == 1
+    finding = report.findings[0]
+    assert finding.rule == "IPD009"
+    assert "field order drift" in finding.message
+    assert "last_seen" in finding.message
+    assert "classified_at" in finding.message
+
+
+def test_dropped_decode_read_fires(tmp_path):
+    def drop(text):
+        assert _DROP_BEFORE in text, "statecodec.py decoder shape changed"
+        return text.replace(_DROP_BEFORE, _DROP_AFTER)
+
+    report = _lint_variant(tmp_path, drop)
+    assert report.findings
+    assert all(f.rule == "IPD009" for f in report.findings)
+    assert any("no mirror" in f.message for f in report.findings)

@@ -1,0 +1,170 @@
+"""CFG lowering shapes and the forward fixpoint framework."""
+
+import ast
+
+from repro.devtools.dataflow import ForwardAnalysis, build_cfg, header_exprs
+
+
+def _func(code):
+    tree = ast.parse(code)
+    func = tree.body[0]
+    assert isinstance(func, (ast.FunctionDef, ast.AsyncFunctionDef))
+    return func
+
+
+def _reachable(cfg):
+    seen = set()
+    frontier = [0]
+    while frontier:
+        block = frontier.pop()
+        if block in seen:
+            continue
+        seen.add(block)
+        frontier.extend(cfg.blocks[block].succs)
+    return seen
+
+
+def test_straight_line_is_one_block():
+    cfg = build_cfg(_func("def f():\n    a = 1\n    b = 2\n    return a + b\n"))
+    assert len(cfg.blocks) == 1
+    assert len(cfg.entry.items) == 3
+
+
+def test_if_produces_diamond():
+    cfg = build_cfg(
+        _func(
+            "def f(x):\n"
+            "    if x:\n"
+            "        a = 1\n"
+            "    else:\n"
+            "        a = 2\n"
+            "    return a\n"
+        )
+    )
+    # entry (with the If header), then, else, join
+    assert len(cfg.entry.succs) == 2
+    join_targets = {
+        succ
+        for block_id in cfg.entry.succs
+        for succ in cfg.blocks[block_id].succs
+    }
+    assert len(join_targets) == 1  # both arms meet at one join block
+
+
+def test_loop_produces_back_edge():
+    cfg = build_cfg(
+        _func("def f(xs):\n    for x in xs:\n        use(x)\n    return 1\n")
+    )
+    has_back_edge = any(
+        succ <= block.id for block in cfg.blocks for succ in block.succs
+    )
+    assert has_back_edge
+
+
+def test_return_terminates_path():
+    cfg = build_cfg(
+        _func(
+            "def f(x):\n"
+            "    if x:\n"
+            "        return 1\n"
+            "    return 2\n"
+            "    unreachable()\n"
+        )
+    )
+    # code after the final return is dropped entirely
+    flat = [stmt for block in cfg.blocks for stmt in block.items]
+    assert not any(
+        isinstance(stmt, ast.Expr) for stmt in flat
+    ), "unreachable call survived lowering"
+
+
+def test_try_edges_into_handler_from_body_start():
+    cfg = build_cfg(
+        _func(
+            "def f():\n"
+            "    try:\n"
+            "        risky()\n"
+            "    except ValueError:\n"
+            "        recover()\n"
+            "    return 1\n"
+        )
+    )
+    assert len(_reachable(cfg)) == len(
+        [b for b in cfg.blocks if b.id in _reachable(cfg)]
+    )
+    # the handler must be reachable even if the body terminates early
+    assert len(cfg.entry.succs) >= 1
+
+
+def test_header_exprs_isolate_compound_headers():
+    func = _func(
+        "def f(xs):\n"
+        "    for x in xs:\n"
+        "        use(x)\n"
+    )
+    loop = func.body[0]
+    exprs = header_exprs(loop)
+    assert exprs == [loop.iter]  # the body is not part of the header
+
+
+class _ReachingConstants(ForwardAnalysis):
+    """Toy must-analysis: variables definitely equal to a literal int."""
+
+    def initial_state(self):
+        return frozenset()
+
+    def join(self, left, right):
+        return left & right
+
+    def transfer(self, state, stmt):
+        if (
+            isinstance(stmt, ast.Assign)
+            and len(stmt.targets) == 1
+            and isinstance(stmt.targets[0], ast.Name)
+        ):
+            name = stmt.targets[0].id
+            state = frozenset(s for s in state if s[0] != name)
+            if isinstance(stmt.value, ast.Constant) and isinstance(
+                stmt.value.value, int
+            ):
+                state |= {(name, stmt.value.value)}
+        return state
+
+
+def test_fixpoint_must_join_intersects_branches():
+    func = _func(
+        "def f(flag):\n"
+        "    a = 1\n"
+        "    if flag:\n"
+        "        b = 2\n"
+        "    else:\n"
+        "        b = 3\n"
+        "    c = 4\n"
+    )
+    analysis = _ReachingConstants()
+    cfg = build_cfg(func)
+    states = analysis.entry_states(cfg)
+    final = list(analysis.replay(cfg, states))[-1]
+    state_before_last, last = final
+    assert isinstance(last, ast.Assign)
+    # a = 1 holds on every path; b differs per branch so it is dropped
+    assert ("a", 1) in state_before_last
+    assert not any(name == "b" for name, _ in state_before_last)
+
+
+def test_fixpoint_terminates_on_loops():
+    func = _func(
+        "def f(n):\n"
+        "    a = 1\n"
+        "    while n:\n"
+        "        a = 1\n"
+        "        n = 0\n"
+        "    done = 1\n"
+    )
+    analysis = _ReachingConstants()
+    cfg = build_cfg(func)
+    states = analysis.entry_states(cfg)
+    assert states  # reached a fixpoint without hitting the iteration cap
+    replayed = [stmt for _state, stmt in analysis.replay(cfg, states)]
+    # every reachable statement is replayed exactly once
+    assert sum(isinstance(s, ast.Assign) for s in replayed) == 4

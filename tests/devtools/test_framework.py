@@ -1,11 +1,14 @@
 """Framework behaviour: suppression, selection, registry, reports."""
 
+import ast
 from pathlib import Path
 
 import pytest
 
 from repro.devtools.framework import (
+    ContextVisitor,
     Finding,
+    SourceFile,
     build_rules,
     lint_paths,
     registered_rules,
@@ -17,7 +20,7 @@ FIXTURES = Path(__file__).parent / "fixtures"
 
 ALL_CODES = [
     "IPD001", "IPD002", "IPD003", "IPD004", "IPD005", "IPD006", "IPD007",
-    "IPD008",
+    "IPD008", "IPD009", "IPD010", "IPD011", "IPD012",
 ]
 
 
@@ -102,3 +105,91 @@ def test_hot_path_marker_is_identity():
 def test_missing_path_raises():
     with pytest.raises(FileNotFoundError):
         lint_paths([FIXTURES / "does_not_exist"])
+
+
+# -- ContextVisitor nesting: hot-path context must not leak ------------------
+
+
+def _contexts(tmp_path, code):
+    """Map each ``mark("label")`` call site to (is_hot, loop_depth)."""
+    src = tmp_path / "probe.py"
+    src.write_text(code, encoding="utf-8")
+    source = SourceFile(src, tmp_path)
+    rule = build_rules(["IPD001"])[0]
+    seen = {}
+
+    class Probe(ContextVisitor):
+        def visit_Call(self, node):
+            if isinstance(node.func, ast.Name) and node.func.id == "mark":
+                label = node.args[0].value
+                seen[label] = (self.hot_depth > 0, self.loop_depth)
+            self.generic_visit(node)
+
+    Probe(rule, source).visit(source.tree)
+    return seen
+
+
+def test_nested_def_inside_hot_path_is_not_hot(tmp_path):
+    seen = _contexts(
+        tmp_path,
+        "@hot_path\n"
+        "def outer():\n"
+        "    mark('hot-body')\n"
+        "    def inner():\n"
+        "        mark('nested')\n"
+        "    mark('hot-after')\n",
+    )
+    assert seen["hot-body"] == (True, 0)
+    assert seen["nested"] == (False, 0)
+    # context is restored once the nested scope closes
+    assert seen["hot-after"] == (True, 0)
+
+
+def test_nested_def_with_own_marker_is_hot(tmp_path):
+    seen = _contexts(
+        tmp_path,
+        "@hot_path\n"
+        "def outer():\n"
+        "    @hot_path\n"
+        "    def inner():\n"
+        "        mark('nested-hot')\n",
+    )
+    assert seen["nested-hot"] == (True, 0)
+
+
+def test_lambda_inside_hot_loop_resets_context(tmp_path):
+    seen = _contexts(
+        tmp_path,
+        "@hot_path\n"
+        "def outer(xs):\n"
+        "    for x in xs:\n"
+        "        mark('loop-body')\n"
+        "        f = lambda y: mark('lambda-body')\n"
+        "        mark('loop-after')\n",
+    )
+    assert seen["loop-body"] == (True, 1)
+    assert seen["lambda-body"] == (False, 0)
+    assert seen["loop-after"] == (True, 1)
+
+
+def test_async_def_tracks_hot_context(tmp_path):
+    seen = _contexts(
+        tmp_path,
+        "@hot_path\n"
+        "async def outer():\n"
+        "    mark('async-hot')\n"
+        "    async def inner():\n"
+        "        mark('async-nested')\n",
+    )
+    assert seen["async-hot"] == (True, 0)
+    assert seen["async-nested"] == (False, 0)
+
+
+def test_hot_marker_attribute_form_counts(tmp_path):
+    seen = _contexts(
+        tmp_path,
+        "@markers.hot_path\n"
+        "def outer():\n"
+        "    mark('attr-hot')\n",
+    )
+    assert seen["attr-hot"] == (True, 0)

@@ -15,12 +15,14 @@ FIXTURES = Path(__file__).parent / "fixtures"
 
 #: (rule, fires fixture, expected finding count, clean fixture)
 _PAIRS = [
-    ("IPD001", FIXTURES / "ipd001_fires.py", 5, FIXTURES / "ipd001_clean.py"),
+    ("IPD001", FIXTURES / "ipd001_fires.py", 7, FIXTURES / "ipd001_clean.py"),
     ("IPD002", FIXTURES / "ipd002_fires.py", 4, FIXTURES / "ipd002_clean.py"),
     ("IPD005", FIXTURES / "ipd005_fires.py", 3, FIXTURES / "ipd005_clean.py"),
     ("IPD006", FIXTURES / "ipd006_fires.py", 3, FIXTURES / "ipd006_clean.py"),
     ("IPD007", FIXTURES / "ipd007_fires.py", 4, FIXTURES / "ipd007_clean.py"),
     ("IPD008", FIXTURES / "ipd008_fires.py", 4, FIXTURES / "ipd008_clean.py"),
+    ("IPD010", FIXTURES / "ipd010_fires.py", 3, FIXTURES / "ipd010_clean.py"),
+    ("IPD012", FIXTURES / "ipd012_fires.py", 3, FIXTURES / "ipd012_clean.py"),
 ]
 
 
@@ -91,6 +93,50 @@ def test_ipd007_fires_in_executor_module_outside_legacy_branch():
     # the module-level import and the shm feed are flagged; nothing in
     # the *_pickle legacy branch is
     assert all(f.line < 10 for f in report.findings)
+
+
+def test_ipd009_fires_on_asymmetric_codec():
+    # lint the directory so the file scans with the statecodec stem
+    report = run_lint([str(FIXTURES / "ipd009" / "fires")], select=["IPD009"])
+    assert len(report.findings) == 3
+    assert all(f.rule == "IPD009" for f in report.findings)
+    messages = " ".join(f.message for f in report.findings)
+    assert "no mirror" in messages  # the u8/u32 width mismatch
+    assert "field order drift" in messages  # the start/length swap
+    assert "no decode-side counterpart" in messages or "counterpart" in messages
+
+
+def test_ipd009_clean_symmetric_codec():
+    report = run_lint([str(FIXTURES / "ipd009" / "clean")], select=["IPD009"])
+    assert report.clean, [f.format() for f in report.findings]
+
+
+def test_ipd010_message_names_the_sink():
+    report = run_lint([str(FIXTURES / "ipd010_fires.py")], select=["IPD010"])
+    messages = " ".join(f.message for f in report.findings)
+    assert "sorted" in messages
+
+
+def test_ipd011_fires_on_worker_state_reach_through():
+    report = run_lint([str(FIXTURES / "ipd011" / "fires")], select=["IPD011"])
+    assert len(report.findings) == 2
+    assert all(f.rule == "IPD011" for f in report.findings)
+    messages = " ".join(f.message for f in report.findings)
+    assert "engine" in messages
+    assert "pending" in messages
+    assert "handle" in messages  # the sanctioned protocol is named
+
+
+def test_ipd011_clean_protocol_only_executor():
+    report = run_lint([str(FIXTURES / "ipd011" / "clean")], select=["IPD011"])
+    assert report.clean, [f.format() for f in report.findings]
+
+
+def test_ipd012_messages_name_the_lifecycle():
+    report = run_lint([str(FIXTURES / "ipd012_fires.py")], select=["IPD012"])
+    messages = " ".join(f.message for f in report.findings)
+    assert "exactly-once" in messages
+    assert "after close" in messages
 
 
 def test_ipd007_messages_name_the_serializer():

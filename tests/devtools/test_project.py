@@ -1,0 +1,155 @@
+"""Project graph construction, symbol resolution and the findings cache."""
+
+from pathlib import Path
+
+from repro.devtools.framework import SourceFile, build_rules, lint_paths
+from repro.devtools.project import (
+    FindingsCache,
+    ProjectGraph,
+    project_cache_key,
+)
+
+
+def _graph(tmp_path, files):
+    sources = []
+    for rel, text in files.items():
+        path = tmp_path / rel
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(text, encoding="utf-8")
+        sources.append(SourceFile(path, tmp_path))
+    return ProjectGraph(sources)
+
+
+def test_graph_indexes_modules_classes_and_functions(tmp_path):
+    graph = _graph(
+        tmp_path,
+        {
+            "pkg/__init__.py": "",
+            "pkg/core.py": (
+                "class Engine:\n"
+                "    def run(self):\n"
+                "        return step()\n"
+                "\n\n"
+                "def step():\n"
+                "    return 1\n"
+            ),
+        },
+    )
+    core = graph.by_name["pkg.core"]
+    assert "Engine" in core.classes
+    assert "step" in core.functions
+    assert list(graph.modules_with_stem(["core"])) == [core]
+    assert graph.classes_named("Engine") == [core.classes["Engine"]]
+    # one-hop call edge from the method to the module function
+    assert "step" in graph.callees_of("Engine.run")
+
+
+def test_resolve_class_follows_import_alias(tmp_path):
+    graph = _graph(
+        tmp_path,
+        {
+            "pkg/__init__.py": "",
+            "pkg/base.py": "class Worker:\n    pass\n",
+            "pkg/use.py": (
+                "from pkg.base import Worker as W\n"
+                "\n\n"
+                "def build():\n"
+                "    return W()\n"
+            ),
+        },
+    )
+    use = graph.by_name["pkg.use"]
+    resolved = graph.resolve_class(use, "W")
+    assert resolved is not None
+    assert resolved.name == "Worker"
+    assert resolved.module.name == "pkg.base"
+
+
+def test_ancestry_is_transitive_and_keeps_unresolved_names(tmp_path):
+    graph = _graph(
+        tmp_path,
+        {
+            "mod.py": (
+                "from elsewhere import External\n"
+                "\n\n"
+                "class Base(External):\n"
+                "    pass\n"
+                "\n\n"
+                "class Child(Base):\n"
+                "    pass\n"
+            ),
+        },
+    )
+    mod = graph.by_name["mod"]
+    names = graph.ancestry(mod.classes["Child"])
+    assert {"Child", "Base", "External"} <= names
+
+
+def test_set_summaries(tmp_path):
+    graph = _graph(
+        tmp_path,
+        {
+            "mod.py": (
+                "class Holder:\n"
+                "    def __init__(self):\n"
+                "        self.members = set()\n"
+                "\n\n"
+                "def actives() -> set:\n"
+                "    return set()\n"
+            ),
+        },
+    )
+    assert "members" in graph.set_attr_names()
+    assert "actives" in graph.set_returning_callables()
+
+
+def test_cache_key_tracks_content_and_rule_config(tmp_path):
+    path = tmp_path / "a.py"
+    path.write_text("x = 1\n", encoding="utf-8")
+    sources = [SourceFile(path, tmp_path)]
+    rules = build_rules(["IPD009"])
+    key = project_cache_key(sources, rules)
+    assert key == project_cache_key([SourceFile(path, tmp_path)], rules)
+
+    path.write_text("x = 2\n", encoding="utf-8")
+    assert key != project_cache_key([SourceFile(path, tmp_path)], rules)
+
+    path.write_text("x = 1\n", encoding="utf-8")
+    other_rules = build_rules(["IPD010"])
+    assert key != project_cache_key([SourceFile(path, tmp_path)], other_rules)
+
+
+def test_findings_cache_roundtrip_and_corruption(tmp_path):
+    cache = FindingsCache(tmp_path / "cache")
+    payload = {"findings": [{"rule": "IPD009"}], "suppressed": 1}
+    assert cache.load("k") is None
+    cache.store("k", payload)
+    assert cache.load("k") == payload
+
+    # a corrupt entry is a miss, never an error
+    (tmp_path / "cache" / "bad.json").write_text("{not json", encoding="utf-8")
+    assert cache.load("bad") is None
+
+
+def test_lint_paths_warm_run_hits_the_cache(tmp_path):
+    target = tmp_path / "statecodec.py"
+    target.write_text(
+        "def _write_flag(writer, value):\n"
+        "    writer.byte(value)\n"
+        "\n\n"
+        "def _read_flag(reader):\n"
+        "    return reader.byte()\n",
+        encoding="utf-8",
+    )
+    cache_dir = tmp_path / ".cache"
+    cold = lint_paths([target], select=["IPD009"], cache_dir=cache_dir)
+    assert cold.clean and not cold.cache_hit
+    warm = lint_paths([target], select=["IPD009"], cache_dir=cache_dir)
+    assert warm.clean and warm.cache_hit
+
+    # touching the file invalidates the key
+    target.write_text(
+        target.read_text(encoding="utf-8") + "\n# changed\n", encoding="utf-8"
+    )
+    third = lint_paths([target], select=["IPD009"], cache_dir=cache_dir)
+    assert not third.cache_hit

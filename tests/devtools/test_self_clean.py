@@ -57,9 +57,16 @@ def test_cli_list_rules(capsys):
     out = capsys.readouterr().out
     for code in (
         "IPD001", "IPD002", "IPD003", "IPD004", "IPD005", "IPD006", "IPD007",
-        "IPD008",
+        "IPD008", "IPD009", "IPD010", "IPD011", "IPD012",
     ):
         assert code in out
+
+
+def test_examples_respect_lifecycles():
+    """The lifecycle typestate holds on the shipped example scripts too."""
+    examples = REPO_ROOT / "examples"
+    report = run_lint([str(examples)], select=["IPD012"])
+    assert report.clean, "\n".join(f.format() for f in report.findings)
 
 
 def test_cli_select_subset(capsys):
